@@ -1,0 +1,95 @@
+//===- bench/BenchCommon.h - Shared harness for the figures -----*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the per-figure binaries: run the 12 Table 3
+/// workloads under the three Section 4 configurations on a machine model
+/// and print paper-style rows.
+///
+/// The problem scale can be reduced for quick runs with SPF_SCALE (e.g.
+/// SPF_SCALE=0.1 ./fig6_speedup_p4); the recorded EXPERIMENTS.md numbers
+/// use the default 1.0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_BENCH_BENCHCOMMON_H
+#define SPF_BENCH_BENCHCOMMON_H
+
+#include "workloads/Runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace spf {
+namespace bench {
+
+inline double scaleFromEnv() {
+  const char *S = std::getenv("SPF_SCALE");
+  if (!S)
+    return 1.0;
+  double V = std::atof(S);
+  return V > 0 ? V : 1.0;
+}
+
+inline workloads::WorkloadConfig benchConfig() {
+  workloads::WorkloadConfig Cfg;
+  Cfg.Scale = scaleFromEnv();
+  return Cfg;
+}
+
+/// Results for one workload under the three configurations.
+struct WorkloadRuns {
+  const workloads::WorkloadSpec *Spec = nullptr;
+  workloads::RunResult Base;
+  workloads::RunResult Inter;
+  workloads::RunResult Intra;
+  bool HasInter = false;
+};
+
+/// Runs every Table 3 workload on \p Machine. When \p WithInter is false
+/// only BASELINE and INTER+INTRA are run (enough for the MPI figures).
+inline std::vector<WorkloadRuns> runAll(const sim::MachineConfig &Machine,
+                                        bool WithInter) {
+  using namespace workloads;
+  std::vector<WorkloadRuns> Rows;
+  for (const WorkloadSpec &Spec : allWorkloads()) {
+    WorkloadRuns Row;
+    Row.Spec = &Spec;
+
+    RunOptions Opt;
+    Opt.Machine = Machine;
+    Opt.Config = benchConfig();
+
+    Opt.Algo = Algorithm::Baseline;
+    Row.Base = runWorkload(Spec, Opt);
+    if (WithInter) {
+      Opt.Algo = Algorithm::Inter;
+      Row.Inter = runWorkload(Spec, Opt);
+      Row.HasInter = true;
+    }
+    Opt.Algo = Algorithm::InterIntra;
+    Row.Intra = runWorkload(Spec, Opt);
+
+    if (!Row.Base.SelfCheckOk || !Row.Intra.SelfCheckOk)
+      std::fprintf(stderr, "WARNING: %s failed its self-check\n",
+                   Spec.Name.c_str());
+    if (Row.Intra.ReturnValue != Row.Base.ReturnValue)
+      std::fprintf(stderr,
+                   "WARNING: %s computed a different result with "
+                   "prefetching enabled\n",
+                   Spec.Name.c_str());
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+inline double speedup(const WorkloadRuns &Row,
+                      const workloads::RunResult &Opt) {
+  return workloads::speedupPercent(Row.Base, Opt,
+                                   Row.Spec->CompiledFraction);
+}
+
+} // namespace bench
+} // namespace spf
+
+#endif // SPF_BENCH_BENCHCOMMON_H

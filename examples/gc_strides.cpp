@@ -1,0 +1,114 @@
+//===- examples/gc_strides.cpp - Why strides survive garbage collection ---===//
+///
+/// Demonstrates the paper's Section 4 observation that makes stride
+/// prefetching viable in a garbage-collected heap at all: "Live objects
+/// are packed by sliding compaction, which does not change their internal
+/// order on the heap. Thus, the garbage collector usually preserves
+/// constant strides among the live objects."
+///
+/// The program interleaves live strided records with garbage, shows the
+/// irregular pitches before collection, collects, and shows the pitch
+/// becoming perfectly constant — then runs a prefetched loop across
+/// several forced collections.
+///
+/// Build & run:   ./build/examples/gc_strides
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PrefetchPass.h"
+#include "exec/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "sim/MachineConfig.h"
+#include "vm/GarbageCollector.h"
+#include "workloads/KernelBuilder.h"
+#include "workloads/Runner.h"
+
+#include <iostream>
+
+using namespace spf;
+
+int main() {
+  vm::TypeTable Types;
+  auto *Rec = Types.addClass("Record");
+  const vm::FieldDesc *FV = Types.addField(Rec, "v", ir::Type::I64);
+  for (int I = 0; I < 9; ++I) // 96-byte records: above half a P4 line.
+    Types.addField(Rec, "pad" + std::to_string(I), ir::Type::I64);
+  auto *Junk = Types.addClass("Junk");
+  Types.addField(Junk, "x", ir::Type::I64);
+  auto *Blob = Types.addClass("Blob"); // The loop's per-iteration garbage.
+  for (int I = 0; I < 13; ++I)
+    Types.addField(Blob, "y" + std::to_string(I), ir::Type::I64);
+
+  vm::HeapConfig HC;
+  HC.HeapBytes = 384 << 10; // Tight: the loop's garbage will force GC.
+  vm::Heap Heap(Types, HC);
+  vm::GarbageCollector Gc;
+
+  // Allocate live records interleaved with differently-sized garbage:
+  // the pitches are irregular, so no stride pattern exists yet.
+  const unsigned N = 2000;
+  std::vector<vm::Addr> Roots;
+  vm::Addr Arr = Heap.allocArray(ir::Type::Ref, N);
+  Roots.push_back(Arr);
+  for (unsigned I = 0; I != N; ++I) {
+    vm::Addr R = Heap.allocObject(*Rec);
+    Heap.store(R + FV->Offset, ir::Type::I64, I);
+    Heap.store(Heap.elemAddr(Arr, I), ir::Type::Ref, R);
+    for (unsigned J = 0; J != I % 4; ++J)
+      Heap.allocObject(*Junk); // Garbage between live records.
+  }
+
+  auto PitchOf = [&](unsigned I) {
+    vm::Addr A = Heap.load(Heap.elemAddr(Roots[0], I), ir::Type::Ref);
+    vm::Addr B = Heap.load(Heap.elemAddr(Roots[0], I + 1), ir::Type::Ref);
+    return B - A;
+  };
+  std::cout << "Pitches before GC (irregular, garbage between records):\n ";
+  for (unsigned I = 0; I != 8; ++I)
+    std::cout << " " << PitchOf(I);
+
+  std::vector<vm::Addr *> RootPtrs;
+  for (vm::Addr &A : Roots)
+    RootPtrs.push_back(&A);
+  vm::GcStats S = Gc.collect(Heap, RootPtrs);
+  std::cout << "\n\nCollected " << S.ReclaimedBytes << " bytes of garbage ("
+            << S.LiveObjects << " objects live).\n";
+
+  std::cout << "Pitches after sliding compaction (constant stride):\n ";
+  for (unsigned I = 0; I != 8; ++I)
+    std::cout << " " << PitchOf(I);
+  std::cout << "\n\n";
+
+  // The constant stride is now discoverable: build a summing loop that
+  // also produces fresh garbage every iteration, prefetch it, and run it
+  // through several more collections.
+  ir::Module M;
+  ir::IRBuilder B(M);
+  ir::Method *Fn =
+      M.addMethod("sum", ir::Type::I64, {ir::Type::Ref, ir::Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest L(B, "i");
+  ir::PhiInst *I = L.civ(B.i32(0));
+  ir::PhiInst *Acc = L.addCarried(B.i64(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(1)));
+  ir::Value *Obj = B.aload(Fn->arg(0), I, ir::Type::Ref);
+  L.setNext(Acc, B.add(Acc, B.getField(Obj, FV)));
+  B.newObject(Blob); // 120 B of garbage per iteration: GCs will fire.
+  L.close();
+  B.ret(Acc);
+
+  core::PrefetchPassOptions Opts = workloads::passOptionsFor(
+      sim::MachineConfig::pentium4(), core::PrefetchMode::InterIntra);
+  core::PrefetchPass Pass(Heap, Opts);
+  core::PrefetchPassResult R = Pass.run(Fn, {Roots[0], N});
+  std::cout << "Prefetch pass after GC: " << R.CodeGen.Prefetches
+            << " prefetch(es) inserted (stride discovered).\n";
+
+  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  exec::Interpreter Interp(Heap, Mem, &Roots);
+  uint64_t Sum = Interp.run(Fn, {Roots[0], N});
+  std::cout << "Loop ran with " << Interp.stats().GcRuns
+            << " further collection(s); sum = " << Sum
+            << " (expected " << (uint64_t)N * (N - 1) / 2 << ").\n";
+  return Sum == (uint64_t)N * (N - 1) / 2 ? 0 : 1;
+}

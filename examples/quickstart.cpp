@@ -1,0 +1,141 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+///
+/// Builds a small list-of-objects traversal in the JIT IR, runs the stride
+/// prefetching pass with the actual argument values (object inspection),
+/// prints the method before and after, and executes both versions on the
+/// simulated Pentium 4 to show the cycle and miss improvements.
+///
+/// Build & run:   cmake -B build -G Ninja && cmake --build build
+///                ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PrefetchPass.h"
+#include "exec/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "sim/MachineConfig.h"
+
+#include <iostream>
+
+using namespace spf;
+
+int main() {
+  // -- 1. Declare classes and build a heap ----------------------------------
+  vm::TypeTable Types;
+  vm::ClassDesc *Point = Types.addClass("Point");
+  const vm::FieldDesc *FX = Types.addField(Point, "x", ir::Type::F64);
+  const vm::FieldDesc *FY = Types.addField(Point, "y", ir::Type::F64);
+  // Pad the object so its pitch exceeds half a cache line.
+  for (int I = 0; I < 8; ++I)
+    Types.addField(Point, "pad" + std::to_string(I), ir::Type::F64);
+
+  vm::Heap::Config HC;
+  HC.HeapBytes = 32ull << 20;
+  vm::Heap Heap(Types, HC);
+
+  // Allocate 40k points consecutively and collect them in a ref array:
+  // the allocation order is exactly what gives the loads stride patterns.
+  const unsigned N = 40000;
+  vm::Addr Arr = Heap.allocArray(ir::Type::Ref, N);
+  for (unsigned I = 0; I != N; ++I) {
+    vm::Addr P = Heap.allocObject(*Point);
+    double V = 0.25 * I;
+    uint64_t Bits;
+    __builtin_memcpy(&Bits, &V, 8);
+    Heap.store(P + FX->Offset, ir::Type::F64, Bits);
+    Heap.store(P + FY->Offset, ir::Type::F64, Bits);
+    Heap.store(Heap.elemAddr(Arr, I), ir::Type::Ref, P);
+  }
+
+  // -- 2. Build the method: sum += a[i].x * a[i].y over the array -----------
+  ir::Module M;
+  ir::Method *Sum = M.addMethod("sumPoints", ir::Type::F64,
+                                {ir::Type::Ref, ir::Type::I32});
+  ir::IRBuilder B(M);
+  ir::BasicBlock *Entry = Sum->addBlock("entry");
+  ir::BasicBlock *Header = Sum->addBlock("loop.header");
+  ir::BasicBlock *Body = Sum->addBlock("loop.body");
+  ir::BasicBlock *Exit = Sum->addBlock("loop.exit");
+
+  B.setInsertPoint(Entry);
+  B.jump(Header);
+
+  B.setInsertPoint(Header);
+  ir::PhiInst *I = B.phi(ir::Type::I32);
+  ir::PhiInst *Acc = B.phi(ir::Type::F64);
+  B.br(B.cmpLt(I, Sum->arg(1)), Body, Exit);
+
+  B.setInsertPoint(Body);
+  ir::Value *P = B.aload(Sum->arg(0), I, ir::Type::Ref);
+  ir::Value *X = B.getField(P, FX);
+  ir::Value *Y = B.getField(P, FY);
+  ir::Value *Acc1 = B.add(Acc, B.mul(X, Y));
+  ir::Value *I1 = B.add(I, B.i32(1));
+  B.jump(Header);
+
+  B.setInsertPoint(Exit);
+  B.ret(Acc);
+
+  Sum->recomputePreds();
+  I->addIncoming(Entry, M.intConst(ir::Type::I32, 0));
+  I->addIncoming(Body, I1);
+  Acc->addIncoming(Entry, M.floatConst(0.0));
+  Acc->addIncoming(Body, Acc1);
+
+  std::vector<std::string> Errors;
+  if (!ir::verifyMethod(Sum, &Errors)) {
+    for (const auto &E : Errors)
+      std::cerr << "verifier: " << E << "\n";
+    return 1;
+  }
+
+  std::cout << "== Method before stride prefetching ==\n";
+  ir::printMethod(std::cout, Sum);
+
+  // -- 3. Baseline run on the simulated Pentium 4 ---------------------------
+  sim::MachineConfig P4 = sim::MachineConfig::pentium4();
+  std::vector<uint64_t> Args = {Arr, N};
+
+  uint64_t BaseCycles, BaseL2Miss;
+  {
+    sim::MemorySystem Mem(P4);
+    exec::Interpreter Interp(Heap, Mem);
+    Interp.run(Sum, Args);
+    BaseCycles = Mem.cycles();
+    BaseL2Miss = Mem.stats().L2LoadMisses;
+  }
+
+  // -- 4. The paper's pass: object inspection + stride prefetching ----------
+  core::PrefetchPassOptions Opts;
+  Opts.Planner.Mode = core::PrefetchMode::InterIntra;
+  Opts.Planner.LineBytes = P4.L2.LineBytes; // SW prefetch fills the L2.
+  core::PrefetchPass Pass(Heap, Opts);
+  core::PrefetchPassResult R = Pass.run(Sum, Args);
+
+  std::cout << "\n== After: " << R.CodeGen.Prefetches << " prefetch(es), "
+            << R.CodeGen.SpecLoads << " spec_load(s) inserted ==\n";
+  ir::printMethod(std::cout, Sum);
+
+  uint64_t OptCycles, OptL2Miss;
+  {
+    sim::MemorySystem Mem(P4);
+    exec::Interpreter Interp(Heap, Mem);
+    Interp.run(Sum, Args);
+    OptCycles = Mem.cycles();
+    OptL2Miss = Mem.stats().L2LoadMisses;
+  }
+
+  std::cout << "\nPentium 4 model:  baseline " << BaseCycles << " cycles, "
+            << BaseL2Miss << " L2 load misses\n";
+  std::cout << "    prefetching:  " << OptCycles << " cycles, " << OptL2Miss
+            << " L2 load misses\n";
+  std::cout << "        speedup:  "
+            << (static_cast<double>(BaseCycles) /
+                    static_cast<double>(OptCycles) -
+                1.0) *
+                   100.0
+            << "%\n";
+  return 0;
+}

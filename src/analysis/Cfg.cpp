@@ -1,0 +1,52 @@
+//===- analysis/Cfg.cpp ---------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace spf;
+using namespace spf::analysis;
+using namespace spf::ir;
+
+std::vector<BasicBlock *> analysis::reversePostOrder(Method *M) {
+  std::vector<BasicBlock *> PostOrder;
+  std::unordered_set<BasicBlock *> Visited;
+
+  // Iterative DFS with explicit successor cursors to avoid deep recursion.
+  struct Frame {
+    BasicBlock *BB;
+    std::vector<BasicBlock *> Succs;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+
+  BasicBlock *Entry = M->entry();
+  if (!Entry)
+    return {};
+  Visited.insert(Entry);
+  Stack.push_back({Entry, Entry->successors(), 0});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (F.Next == F.Succs.size()) {
+      PostOrder.push_back(F.BB);
+      Stack.pop_back();
+      continue;
+    }
+    BasicBlock *Succ = F.Succs[F.Next++];
+    if (Visited.insert(Succ).second)
+      Stack.push_back({Succ, Succ->successors(), 0});
+  }
+
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+std::unordered_map<const BasicBlock *, unsigned>
+analysis::rpoIndexMap(const std::vector<BasicBlock *> &RPO) {
+  std::unordered_map<const BasicBlock *, unsigned> Map;
+  for (unsigned I = 0, E = RPO.size(); I != E; ++I)
+    Map[RPO[I]] = I;
+  return Map;
+}

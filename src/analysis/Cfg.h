@@ -1,0 +1,30 @@
+//===- analysis/Cfg.h - CFG traversal utilities -----------------*- C++ -*-===//
+///
+/// \file
+/// Reverse-postorder computation and small CFG helpers shared by the
+/// dominator and loop analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_ANALYSIS_CFG_H
+#define SPF_ANALYSIS_CFG_H
+
+#include "ir/Method.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace spf {
+namespace analysis {
+
+/// Blocks of \p M reachable from the entry, in reverse postorder.
+std::vector<ir::BasicBlock *> reversePostOrder(ir::Method *M);
+
+/// Maps each block to its index in \p RPO.
+std::unordered_map<const ir::BasicBlock *, unsigned>
+rpoIndexMap(const std::vector<ir::BasicBlock *> &RPO);
+
+} // namespace analysis
+} // namespace spf
+
+#endif // SPF_ANALYSIS_CFG_H

@@ -1,0 +1,19 @@
+//===- analysis/DefUse.cpp ------------------------------------------------===//
+
+#include "analysis/DefUse.h"
+
+using namespace spf;
+using namespace spf::analysis;
+using namespace spf::ir;
+
+DefUse::DefUse(Method *M) {
+  for (const auto &BB : M->blocks())
+    for (const auto &I : BB->instructions())
+      for (Value *Op : I->operands())
+        Users[Op].push_back(I.get());
+}
+
+const std::vector<Instruction *> &DefUse::usersOf(const Value *V) const {
+  auto It = Users.find(V);
+  return It == Users.end() ? Empty : It->second;
+}

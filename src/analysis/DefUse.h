@@ -1,0 +1,43 @@
+//===- analysis/DefUse.h - Def-use chains -----------------------*- C++ -*-===//
+///
+/// \file
+/// Def-use chains computed on demand. The paper uses use-def information to
+/// build the load dependence graph ("we can construct the graph, for
+/// instance, by utilizing the use-def chains built for the method") and the
+/// profitability analysis requires knowing whether any instruction is data
+/// dependent on a load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_ANALYSIS_DEFUSE_H
+#define SPF_ANALYSIS_DEFUSE_H
+
+#include "ir/Method.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace spf {
+namespace analysis {
+
+/// Maps every value defined in a method to the instructions using it.
+class DefUse {
+public:
+  explicit DefUse(ir::Method *M);
+
+  /// Instructions that use \p V as an operand (in program order,
+  /// duplicates possible for repeated operands).
+  const std::vector<ir::Instruction *> &usersOf(const ir::Value *V) const;
+
+  /// Returns true if at least one instruction uses \p V.
+  bool hasUsers(const ir::Value *V) const { return !usersOf(V).empty(); }
+
+private:
+  std::unordered_map<const ir::Value *, std::vector<ir::Instruction *>> Users;
+  std::vector<ir::Instruction *> Empty;
+};
+
+} // namespace analysis
+} // namespace spf
+
+#endif // SPF_ANALYSIS_DEFUSE_H

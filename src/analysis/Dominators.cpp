@@ -1,0 +1,76 @@
+//===- analysis/Dominators.cpp --------------------------------------------===//
+//
+// "A Simple, Fast Dominance Algorithm" (Cooper, Harvey, Kennedy).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+using namespace spf;
+using namespace spf::analysis;
+using namespace spf::ir;
+
+DominatorTree::DominatorTree(Method *M)
+    : RPO(reversePostOrder(M)), RpoIndex(rpoIndexMap(RPO)) {
+  const unsigned N = RPO.size();
+  Idom.assign(N, -1);
+  if (N == 0)
+    return;
+  Idom[0] = 0; // The entry dominates itself.
+
+  auto Intersect = [this](int A, int B) {
+    while (A != B) {
+      while (A > B)
+        A = Idom[A];
+      while (B > A)
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1; I != N; ++I) {
+      int NewIdom = -1;
+      for (BasicBlock *Pred : RPO[I]->predecessors()) {
+        auto It = RpoIndex.find(Pred);
+        if (It == RpoIndex.end())
+          continue; // Unreachable predecessor.
+        int P = static_cast<int>(It->second);
+        if (Idom[P] == -1)
+          continue; // Not yet processed.
+        NewIdom = NewIdom == -1 ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != -1 && Idom[I] != NewIdom) {
+        Idom[I] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = RpoIndex.find(BB);
+  if (It == RpoIndex.end() || It->second == 0)
+    return nullptr;
+  int Dom = Idom[It->second];
+  return Dom < 0 ? nullptr : RPO[Dom];
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  auto ItA = RpoIndex.find(A), ItB = RpoIndex.find(B);
+  if (ItA == RpoIndex.end() || ItB == RpoIndex.end())
+    return false;
+  unsigned IA = ItA->second;
+  int Cur = static_cast<int>(ItB->second);
+  while (Cur >= 0) {
+    if (static_cast<unsigned>(Cur) == IA)
+      return true;
+    if (Cur == 0)
+      return false;
+    Cur = Idom[Cur];
+  }
+  return false;
+}

@@ -1,0 +1,45 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++ -*-===//
+///
+/// \file
+/// Dominator tree built with the Cooper-Harvey-Kennedy iterative algorithm.
+/// Needed to identify natural loops (back edges target dominators).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_ANALYSIS_DOMINATORS_H
+#define SPF_ANALYSIS_DOMINATORS_H
+
+#include "analysis/Cfg.h"
+
+namespace spf {
+namespace analysis {
+
+/// Immediate-dominator information for the reachable blocks of a method.
+class DominatorTree {
+public:
+  explicit DominatorTree(ir::Method *M);
+
+  /// Immediate dominator of \p BB (null for the entry or unreachable
+  /// blocks).
+  ir::BasicBlock *idom(const ir::BasicBlock *BB) const;
+
+  /// Returns true if \p A dominates \p B (reflexively).
+  bool dominates(const ir::BasicBlock *A, const ir::BasicBlock *B) const;
+
+  /// Returns true when \p BB is reachable from the entry.
+  bool isReachable(const ir::BasicBlock *BB) const {
+    return RpoIndex.count(BB) != 0;
+  }
+
+  const std::vector<ir::BasicBlock *> &rpo() const { return RPO; }
+
+private:
+  std::vector<ir::BasicBlock *> RPO;
+  std::unordered_map<const ir::BasicBlock *, unsigned> RpoIndex;
+  std::vector<int> Idom; // Indexed by RPO index; -1 = undefined.
+};
+
+} // namespace analysis
+} // namespace spf
+
+#endif // SPF_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,105 @@
+//===- analysis/LoopInfo.cpp ----------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace spf;
+using namespace spf::analysis;
+using namespace spf::ir;
+
+std::vector<BasicBlock *> Loop::latches() const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *Pred : Header->predecessors())
+    if (contains(Pred))
+      Result.push_back(Pred);
+  return Result;
+}
+
+LoopInfo::LoopInfo(Method *M, const DominatorTree &DT) {
+  (void)M;
+  const auto &RPO = DT.rpo();
+  auto Index = rpoIndexMap(RPO);
+
+  // Discover natural loops: a back edge P -> H exists when H dominates P.
+  for (BasicBlock *Header : RPO) {
+    std::vector<BasicBlock *> Latches;
+    for (BasicBlock *Pred : Header->predecessors())
+      if (DT.isReachable(Pred) && DT.dominates(Header, Pred))
+        Latches.push_back(Pred);
+    if (Latches.empty())
+      continue;
+
+    auto L = std::make_unique<Loop>(Header);
+    L->addBlock(Header);
+    // Backward walk from every latch, stopping at the header; loops
+    // sharing a header are merged into one (as in LLVM's LoopInfo).
+    std::vector<BasicBlock *> Work(Latches.begin(), Latches.end());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (L->contains(BB))
+        continue;
+      L->addBlock(BB);
+      for (BasicBlock *Pred : BB->predecessors())
+        if (DT.isReachable(Pred))
+          Work.push_back(Pred);
+    }
+    Loops.push_back(std::move(L));
+  }
+
+  // Establish nesting: the parent of L is the smallest strictly larger
+  // loop containing L's header. Natural loops (with shared headers merged)
+  // are either disjoint or nested, so this is well-defined.
+  std::vector<Loop *> BySize;
+  for (const auto &L : Loops)
+    BySize.push_back(L.get());
+  std::sort(BySize.begin(), BySize.end(), [](const Loop *A, const Loop *B) {
+    return A->blocks().size() < B->blocks().size();
+  });
+
+  for (unsigned I = 0, E = BySize.size(); I != E; ++I) {
+    Loop *L = BySize[I];
+    for (unsigned J = I + 1; J != E; ++J) {
+      Loop *Candidate = BySize[J];
+      if (Candidate != L && Candidate->contains(L->header())) {
+        L->Parent = Candidate;
+        break;
+      }
+    }
+  }
+
+  for (const auto &L : Loops) {
+    if (L->Parent)
+      L->Parent->SubLoops.push_back(L.get());
+    else
+      TopLevel.push_back(L.get());
+  }
+
+  // Program order (header RPO index) for deterministic traversal.
+  auto ByHeader = [&Index](Loop *A, Loop *B) {
+    return Index.at(A->header()) < Index.at(B->header());
+  };
+  std::sort(TopLevel.begin(), TopLevel.end(), ByHeader);
+  for (const auto &L : Loops)
+    std::sort(L->SubLoops.begin(), L->SubLoops.end(), ByHeader);
+
+  // Innermost-loop map: larger loops first so smaller ones overwrite.
+  for (auto It = BySize.rbegin(); It != BySize.rend(); ++It)
+    for (BasicBlock *BB : (*It)->blocks())
+      BlockToLoop[BB] = *It;
+}
+
+std::vector<Loop *> LoopInfo::loopsPostOrder() const {
+  std::vector<Loop *> Result;
+  // Children before parents, trees in program order (paper, Section 3).
+  std::function<void(Loop *)> Visit = [&](Loop *L) {
+    for (Loop *Sub : L->subLoops())
+      Visit(Sub);
+    Result.push_back(L);
+  };
+  for (Loop *L : TopLevel)
+    Visit(L);
+  return Result;
+}

@@ -1,0 +1,98 @@
+//===- analysis/LoopInfo.h - Loop nesting forest ----------------*- C++ -*-===//
+///
+/// \file
+/// Natural-loop detection and the loop nesting forest. The prefetch pass
+/// traverses this forest "in a postorder traversal, walking the trees in
+/// the program order" (paper, Section 3) and folds small-trip-count inner
+/// loops into their parents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_ANALYSIS_LOOPINFO_H
+#define SPF_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <memory>
+#include <unordered_set>
+
+namespace spf {
+namespace analysis {
+
+/// One natural loop: a header and the set of blocks of its body.
+class Loop {
+public:
+  Loop(ir::BasicBlock *Header) : Header(Header) {}
+
+  ir::BasicBlock *header() const { return Header; }
+
+  /// All blocks in the loop, including blocks of nested loops.
+  const std::vector<ir::BasicBlock *> &blocks() const { return Blocks; }
+
+  bool contains(const ir::BasicBlock *BB) const {
+    return BlockSet.count(BB) != 0;
+  }
+
+  /// Returns true when \p I 's parent block is inside this loop.
+  bool contains(const ir::Instruction *I) const {
+    return contains(I->parent());
+  }
+
+  Loop *parent() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+
+  /// Latch blocks: in-loop predecessors of the header (back-edge sources).
+  std::vector<ir::BasicBlock *> latches() const;
+
+  /// Loop depth; 1 for outermost loops.
+  unsigned depth() const {
+    unsigned D = 1;
+    for (Loop *L = Parent; L; L = L->parent())
+      ++D;
+    return D;
+  }
+
+private:
+  friend class LoopInfo;
+
+  void addBlock(ir::BasicBlock *BB) {
+    if (BlockSet.insert(BB).second)
+      Blocks.push_back(BB);
+  }
+
+  ir::BasicBlock *Header;
+  std::vector<ir::BasicBlock *> Blocks;
+  std::unordered_set<const ir::BasicBlock *> BlockSet;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+};
+
+/// The loop nesting forest of a method.
+class LoopInfo {
+public:
+  LoopInfo(ir::Method *M, const DominatorTree &DT);
+
+  /// Outermost loops in program order.
+  const std::vector<Loop *> &topLevelLoops() const { return TopLevel; }
+
+  /// All loops, innermost first (forest postorder), trees in program order.
+  std::vector<Loop *> loopsPostOrder() const;
+
+  /// The innermost loop containing \p BB, or null.
+  Loop *loopFor(const ir::BasicBlock *BB) const {
+    auto It = BlockToLoop.find(BB);
+    return It == BlockToLoop.end() ? nullptr : It->second;
+  }
+
+  size_t numLoops() const { return Loops.size(); }
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<Loop *> TopLevel;
+  std::unordered_map<const ir::BasicBlock *, Loop *> BlockToLoop;
+};
+
+} // namespace analysis
+} // namespace spf
+
+#endif // SPF_ANALYSIS_LOOPINFO_H

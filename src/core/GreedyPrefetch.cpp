@@ -1,0 +1,83 @@
+//===- core/GreedyPrefetch.cpp --------------------------------------------===//
+
+#include "core/GreedyPrefetch.h"
+
+#include "ir/Instruction.h"
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::ir;
+
+GreedyResult core::runGreedyPrefetch(Method *M, GreedyOptions Opts) {
+  GreedyResult Result;
+
+  M->recomputePreds();
+  analysis::DominatorTree DT(M);
+  analysis::LoopInfo LI(M, DT);
+
+  for (analysis::Loop *L : LI.loopsPostOrder()) {
+    ++Result.LoopsVisited;
+    BasicBlock *Header = L->header();
+
+    for (const auto &IP : Header->instructions()) {
+      auto *Phi = dyn_cast<PhiInst>(IP.get());
+      if (!Phi)
+        break;
+      if (Phi->type() != Type::Ref)
+        continue;
+
+      // The loop-carried input must be a getfield whose base chases back
+      // to the phi: p -> p.next, or p -> p.a.next through intermediate
+      // reference loads inside the loop.
+      for (unsigned K = 0, E = Phi->numIncoming(); K != E; ++K) {
+        if (!L->contains(Phi->incomingBlock(K)))
+          continue; // Entry edge.
+        auto *Chase = dyn_cast<GetFieldInst>(Phi->incomingValue(K));
+        if (!Chase || !L->contains(Chase))
+          continue;
+
+        // Walk the base chain back to the phi (bounded hops).
+        Value *Base = Chase->object();
+        bool ReachesPhi = false;
+        for (int Hop = 0; Hop < 4 && Base; ++Hop) {
+          if (Base == Phi) {
+            ReachesPhi = true;
+            break;
+          }
+          if (auto *G = dyn_cast<GetFieldInst>(Base)) {
+            if (!L->contains(G))
+              break;
+            Base = G->object();
+          } else {
+            break;
+          }
+        }
+        if (!ReachesPhi)
+          continue;
+
+        ++Result.RecurrencesFound;
+
+        // Greedy: the loaded pointer IS the lookahead address. Touch the
+        // next node's start...
+        BasicBlock *BB = Chase->parent();
+        Instruction *Pos = BB->insertAfter(
+            Chase, std::make_unique<PrefetchInst>(Chase, nullptr, 0,
+                                                  Opts.PrefetchDisp,
+                                                  /*Guarded=*/false));
+        ++Result.Prefetches;
+        // ...and the chased field itself when it lives elsewhere.
+        if (Opts.CoverChasedField &&
+            Chase->field()->Offset >= 64 + Opts.PrefetchDisp) {
+          BB->insertAfter(Pos, std::make_unique<PrefetchInst>(
+                                   Chase, nullptr, 0,
+                                   Chase->field()->Offset,
+                                   /*Guarded=*/false));
+          ++Result.Prefetches;
+        }
+        break; // One chase per phi.
+      }
+    }
+  }
+
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===- core/GreedyPrefetch.h - Luk & Mowry greedy prefetching ---*- C++ -*-===//
+///
+/// \file
+/// The classic alternative for recursive data structures, implemented as
+/// a comparison baseline: Luk & Mowry's *greedy prefetching* (ASPLOS'96,
+/// discussed in the paper's Section 5) approximates the address of the
+/// node d hops ahead "as one of the pointers from n_i" — i.e., when a
+/// loop chases `p = p.next`, the just-loaded next pointer is itself a
+/// natural prefetch address one node ahead.
+///
+/// Stride prefetching and greedy prefetching are complementary: stride
+/// patterns need allocation-order regularity (db, Euler), greedy needs
+/// only the pointer in hand (javac/jack-style chases, where stride
+/// discovery finds nothing). The comparison bench measures both on both
+/// kinds of programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_CORE_GREEDYPREFETCH_H
+#define SPF_CORE_GREEDYPREFETCH_H
+
+#include "analysis/LoopInfo.h"
+
+namespace spf {
+namespace core {
+
+/// Options for the greedy pass.
+struct GreedyOptions {
+  /// Byte offsets (from the prefetched node's base) to touch; one line's
+  /// worth of header+fields by default.
+  int64_t PrefetchDisp = 0;
+  /// Also prefetch the chased field's own slot in the next node, keeping
+  /// the chase itself covered when the field sits in a later line.
+  bool CoverChasedField = true;
+};
+
+/// Result statistics.
+struct GreedyResult {
+  unsigned LoopsVisited = 0;
+  unsigned RecurrencesFound = 0;
+  unsigned Prefetches = 0;
+};
+
+/// Finds pointer-chasing recurrences in \p M 's loops — a Ref-typed
+/// header phi whose loop-carried input is a `getfield` off the phi itself
+/// (directly or through intermediate field loads) — and inserts a
+/// prefetch of the newly loaded pointer right after each chase load.
+GreedyResult runGreedyPrefetch(ir::Method *M,
+                               GreedyOptions Opts = GreedyOptions());
+
+} // namespace core
+} // namespace spf
+
+#endif // SPF_CORE_GREEDYPREFETCH_H

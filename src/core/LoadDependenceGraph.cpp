@@ -1,0 +1,70 @@
+//===- core/LoadDependenceGraph.cpp ---------------------------------------===//
+
+#include "core/LoadDependenceGraph.h"
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::ir;
+
+Value *LoadDependenceGraph::baseOperand(const Instruction *Load) {
+  if (const auto *G = dyn_cast<GetFieldInst>(Load))
+    return G->object();
+  if (const auto *A = dyn_cast<ALoadInst>(Load))
+    return A->array();
+  if (const auto *L = dyn_cast<ArrayLengthInst>(Load))
+    return L->array();
+  return nullptr; // getstatic: fixed address, root node.
+}
+
+LoadDependenceGraph::LoadDependenceGraph(analysis::Loop *Target,
+                                         const analysis::LoopInfo &LI) {
+  this->Target = Target;
+
+  // Nodes: every heap load in the loop body, in program order (the
+  // loop's own block list is in discovery order, so walk the method).
+  // Nested-loop loads are included and carry their home loop for
+  // small-trip filtering.
+  for (const auto &BBOwn : Target->header()->parent()->blocks()) {
+    BasicBlock *BB = BBOwn.get();
+    if (!Target->contains(BB))
+      continue;
+    for (const auto &IP : BB->instructions()) {
+      Instruction *I = IP.get();
+      if (!I->isHeapLoad())
+        continue;
+      LdgNode N;
+      N.Load = I;
+      N.Home = LI.loopFor(BB);
+      NodeIndex[I] = static_cast<unsigned>(Nodes.size());
+      Nodes.push_back(std::move(N));
+    }
+  }
+
+  // Edges: To is directly data dependent on From when To's reference
+  // operand is From's result (which is then necessarily a Ref).
+  for (unsigned To = 0, E = Nodes.size(); To != E; ++To) {
+    Value *Base = baseOperand(Nodes[To].Load);
+    if (!Base)
+      continue;
+    auto *BaseInst = dyn_cast<Instruction>(Base);
+    if (!BaseInst)
+      continue;
+    auto FromIt = NodeIndex.find(BaseInst);
+    if (FromIt == NodeIndex.end())
+      continue;
+    unsigned From = FromIt->second;
+    LdgEdge Edge;
+    Edge.From = From;
+    Edge.To = To;
+    Nodes[From].Succs.push_back(To);
+    Nodes[To].Preds.push_back(From);
+    Edges.push_back(Edge);
+  }
+}
+
+LdgEdge *LoadDependenceGraph::edgeBetween(unsigned From, unsigned To) {
+  for (LdgEdge &E : Edges)
+    if (E.From == From && E.To == To)
+      return &E;
+  return nullptr;
+}

@@ -1,0 +1,114 @@
+//===- core/LoadDependenceGraph.h - Section 3.1 -----------------*- C++ -*-===//
+///
+/// \file
+/// The load dependence graph: "Each node of the graph is a load instruction
+/// using a reference as an operand. A directed edge exists from node L1 to
+/// node L2 if and only if L2 is directly data dependent upon L1" (paper,
+/// Section 3.1). Reference-chasing sequences appear as adjacent nodes,
+/// limiting which pairs are checked for intra-iteration stride patterns.
+///
+/// For a loop with nested loops, nested loads are included tentatively and
+/// filtered later: the paper considers them "only if [the nested loop] has
+/// a small trip count", and trip counts are observed during object
+/// inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_CORE_LOADDEPENDENCEGRAPH_H
+#define SPF_CORE_LOADDEPENDENCEGRAPH_H
+
+#include "analysis/LoopInfo.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace spf {
+namespace core {
+
+/// Wu's stride-pattern taxonomy (Wu, PLDI'02; the approach the paper's
+/// INTER configuration emulates). The paper's algorithm exploits strong
+/// single strides; the weak/phased kinds are classified as an extension
+/// and can optionally be exploited by the planner.
+enum class StridePatternKind : uint8_t {
+  None,         ///< No usable pattern.
+  StrongSingle, ///< One stride dominates >= the majority threshold.
+  WeakSingle,   ///< One stride dominates 50%..threshold of samples.
+  PhasedMulti,  ///< Few distinct strides in long constant phases.
+};
+
+const char *stridePatternKindName(StridePatternKind K);
+
+/// One load instruction in the graph, annotated (after object inspection
+/// and stride analysis) with its inter-iteration stride.
+struct LdgNode {
+  ir::Instruction *Load = nullptr;
+  /// The innermost loop the load lives in (may be a nested loop of the
+  /// graph's target loop).
+  analysis::Loop *Home = nullptr;
+  /// Filled by StrideAnalysis: dominant inter-iteration stride in bytes,
+  /// present only for strong single-stride patterns (what the paper's
+  /// algorithm exploits).
+  std::optional<int64_t> InterStride;
+  /// Number of stride samples backing InterStride.
+  unsigned InterSamples = 0;
+  /// Extended classification of the inter-iteration stride sequence.
+  StridePatternKind InterKind = StridePatternKind::None;
+  /// The dominant stride for WeakSingle/PhasedMulti patterns.
+  int64_t ExtendedStride = 0;
+
+  std::vector<unsigned> Succs; ///< Indices of directly dependent loads.
+  std::vector<unsigned> Preds;
+};
+
+/// One dependence edge, annotated with the intra-iteration stride between
+/// the two loads' addresses when one was discovered.
+struct LdgEdge {
+  unsigned From = 0;
+  unsigned To = 0;
+  /// Filled by StrideAnalysis: dominant intra-iteration stride in bytes.
+  std::optional<int64_t> IntraStride;
+  unsigned IntraSamples = 0;
+};
+
+/// The load dependence graph of one target loop.
+class LoadDependenceGraph {
+public:
+  /// Builds the graph for \p Target. All heap loads in the loop body are
+  /// nodes, including loads of nested loops (marked with their home loop
+  /// so small-trip filtering can drop them later).
+  LoadDependenceGraph(analysis::Loop *Target, const analysis::LoopInfo &LI);
+
+  analysis::Loop *target() const { return Target; }
+
+  std::vector<LdgNode> &nodes() { return Nodes; }
+  const std::vector<LdgNode> &nodes() const { return Nodes; }
+
+  std::vector<LdgEdge> &edges() { return Edges; }
+  const std::vector<LdgEdge> &edges() const { return Edges; }
+
+  /// Index of the node for \p Load, or nullopt.
+  std::optional<unsigned> nodeFor(const ir::Instruction *Load) const {
+    auto It = NodeIndex.find(Load);
+    if (It == NodeIndex.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// The edge From -> To, or null.
+  LdgEdge *edgeBetween(unsigned From, unsigned To);
+
+  /// The base reference operand of a graph-eligible load, or null (e.g.
+  /// getstatic reads a fixed address).
+  static ir::Value *baseOperand(const ir::Instruction *Load);
+
+private:
+  analysis::Loop *Target;
+  std::vector<LdgNode> Nodes;
+  std::vector<LdgEdge> Edges;
+  std::unordered_map<const ir::Instruction *, unsigned> NodeIndex;
+};
+
+} // namespace core
+} // namespace spf
+
+#endif // SPF_CORE_LOADDEPENDENCEGRAPH_H

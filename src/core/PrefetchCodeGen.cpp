@@ -1,0 +1,47 @@
+//===- core/PrefetchCodeGen.cpp -------------------------------------------===//
+
+#include "core/PrefetchCodeGen.h"
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::ir;
+
+CodeGenStats core::applyPlan(const LoopPlan &Plan) {
+  CodeGenStats Stats;
+
+  for (const AnchorPlan &A : Plan.Anchors) {
+    BasicBlock *BB = A.Anchor->parent();
+    Instruction *InsertPos = A.Anchor;
+
+    if (A.EmitPlain) {
+      InsertPos = BB->insertAfter(
+          InsertPos, std::make_unique<PrefetchInst>(A.Base, A.Index, A.Scale,
+                                                    A.AnchorDisp,
+                                                    A.PlainGuarded));
+      ++Stats.Prefetches;
+      continue;
+    }
+
+    if (A.Derefs.empty())
+      continue;
+
+    // a = spec_load(A(Lx) + d*c)
+    Instruction *Spec = BB->insertAfter(
+        InsertPos,
+        std::make_unique<SpecLoadInst>(A.Base, A.Index, A.Scale,
+                                       A.AnchorDisp));
+    Spec->setName("pref");
+    ++Stats.SpecLoads;
+    InsertPos = Spec;
+
+    // prefetch(F(a) [+ S]) for each planned dereference target.
+    for (const DerefPrefetch &D : A.Derefs) {
+      InsertPos = BB->insertAfter(
+          InsertPos, std::make_unique<PrefetchInst>(
+                         Spec, nullptr, 0, D.Offset, D.Guarded));
+      ++Stats.Prefetches;
+    }
+  }
+
+  return Stats;
+}

@@ -1,0 +1,30 @@
+//===- core/PrefetchCodeGen.h - Plan application ----------------*- C++ -*-===//
+///
+/// \file
+/// Rewrites the IR according to a LoopPlan: inserts `prefetch` /
+/// `spec_load` instructions immediately after their anchor loads, exactly
+/// mirroring the code sequences of the paper's Figures 3 and 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_CORE_PREFETCHCODEGEN_H
+#define SPF_CORE_PREFETCHCODEGEN_H
+
+#include "core/PrefetchPlanner.h"
+
+namespace spf {
+namespace core {
+
+/// Numbers of instructions inserted.
+struct CodeGenStats {
+  unsigned Prefetches = 0;
+  unsigned SpecLoads = 0;
+};
+
+/// Materializes \p Plan into the anchors' blocks.
+CodeGenStats applyPlan(const LoopPlan &Plan);
+
+} // namespace core
+} // namespace spf
+
+#endif // SPF_CORE_PREFETCHCODEGEN_H

@@ -1,0 +1,96 @@
+//===- core/PrefetchPass.cpp ----------------------------------------------===//
+
+#include "core/PrefetchPass.h"
+
+#include <algorithm>
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::ir;
+
+PrefetchPassResult PrefetchPass::run(Method *M,
+                                     const std::vector<uint64_t> &Args) {
+  M->recomputePreds();
+  analysis::DominatorTree DT(M);
+  analysis::LoopInfo LI(M, DT);
+  analysis::DefUse DU(M);
+  return run(M, Args, LI, DU);
+}
+
+PrefetchPassResult PrefetchPass::run(Method *M,
+                                     const std::vector<uint64_t> &Args,
+                                     const analysis::LoopInfo &LI,
+                                     const analysis::DefUse &DU) {
+  PrefetchPassResult Result;
+  if (LI.numLoops() == 0)
+    return Result;
+
+  uint64_t InspectionStepsLeft = Opts.MethodInspectionBudget;
+
+  // "The algorithm then traverses the loops in each tree in a postorder
+  //  traversal, walking the trees in the program order."
+  for (analysis::Loop *L : LI.loopsPostOrder()) {
+    ++Result.LoopsVisited;
+    LoopReport Report;
+    Report.L = L;
+
+    // Step 1: load dependence graph (nested loads included tentatively).
+    LoadDependenceGraph Graph(L, LI);
+    if (Graph.nodes().empty()) {
+      Result.Loops.push_back(Report);
+      continue;
+    }
+
+    // Step 2: object inspection with the actual parameter values,
+    // under the method-wide step budget.
+    if (InspectionStepsLeft == 0) {
+      Result.Loops.push_back(Report);
+      continue;
+    }
+    InspectorOptions InspOpts = Opts.Inspector;
+    InspOpts.StepBudget = std::min<uint64_t>(InspOpts.StepBudget,
+                                             InspectionStepsLeft);
+    ObjectInspector Inspector(Heap, LI, InspOpts);
+    InspectionResult Insp = Inspector.inspect(M, Args, L, Graph);
+    InspectionStepsLeft -= std::min(InspectionStepsLeft, Insp.StepsUsed);
+    Report.Reached = Insp.ReachedTarget;
+    Report.IterationsObserved = Insp.IterationsObserved;
+    if (!Insp.ReachedTarget) {
+      ++Result.LoopsNotReached;
+      Result.Loops.push_back(Report);
+      continue;
+    }
+
+    // A loop that exits within the small-trip budget is not prefetched
+    // directly; its loads are reconsidered with the parent loop.
+    if (Insp.TargetExitedEarly &&
+        Insp.IterationsObserved <= Opts.SmallTripMax) {
+      ++Result.LoopsSkippedSmallTrip;
+      Report.SkippedSmallTrip = true;
+      Result.Loops.push_back(Report);
+      continue;
+    }
+
+    // Step 3: stride pattern annotation.
+    annotateStrides(Graph, Insp, Opts.Stride);
+    for (const LdgNode &N : Graph.nodes())
+      Report.NodesWithInterStride += N.InterStride.has_value();
+    for (const LdgEdge &E : Graph.edges())
+      Report.EdgesWithIntraStride += E.IntraStride.has_value();
+
+    // Step 4: plan and generate prefetching code.
+    LoopPlan Plan = planPrefetches(Graph, DU, Opts.Planner);
+    Report.PlainPrefetches = Plan.numPlain();
+    Report.SpecLoads = Plan.numSpecLoads();
+    Report.DerefPrefetches = Plan.numDeref();
+    Report.IntraPrefetches = Plan.numIntra();
+
+    CodeGenStats CG = applyPlan(Plan);
+    Result.CodeGen.Prefetches += CG.Prefetches;
+    Result.CodeGen.SpecLoads += CG.SpecLoads;
+
+    Result.Loops.push_back(Report);
+  }
+
+  return Result;
+}

@@ -1,0 +1,210 @@
+//===- core/PrefetchPlanner.cpp -------------------------------------------===//
+
+#include "core/PrefetchPlanner.h"
+
+#include <cstdlib>
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::ir;
+
+unsigned LoopPlan::numPlain() const {
+  unsigned N = 0;
+  for (const AnchorPlan &A : Anchors)
+    N += A.EmitPlain;
+  return N;
+}
+
+unsigned LoopPlan::numSpecLoads() const {
+  unsigned N = 0;
+  for (const AnchorPlan &A : Anchors)
+    N += !A.Derefs.empty();
+  return N;
+}
+
+unsigned LoopPlan::numDeref() const {
+  unsigned N = 0;
+  for (const AnchorPlan &A : Anchors)
+    for (const DerefPrefetch &D : A.Derefs)
+      N += !D.IsIntra;
+  return N;
+}
+
+unsigned LoopPlan::numIntra() const {
+  unsigned N = 0;
+  for (const AnchorPlan &A : Anchors)
+    for (const DerefPrefetch &D : A.Derefs)
+      N += D.IsIntra;
+  return N;
+}
+
+bool core::decomposeAddress(const Instruction *Load, Value *&Base,
+                            Value *&Index, unsigned &Scale, int64_t &Disp) {
+  Base = nullptr;
+  Index = nullptr;
+  Scale = 0;
+  Disp = 0;
+  if (const auto *G = dyn_cast<GetFieldInst>(Load)) {
+    Base = G->object();
+    Disp = G->field()->Offset;
+    return true;
+  }
+  if (const auto *A = dyn_cast<ALoadInst>(Load)) {
+    Base = A->array();
+    Index = A->index();
+    Scale = ir::storageSize(A->type());
+    Disp = vm::ObjectHeaderSize;
+    return true;
+  }
+  if (const auto *L = dyn_cast<ArrayLengthInst>(Load)) {
+    Base = L->array();
+    Disp = vm::ArrayLengthOffset;
+    return true;
+  }
+  return false; // getstatic: constant address, never strided.
+}
+
+int64_t core::dereferenceOffset(const Instruction *Ly) {
+  if (const auto *G = dyn_cast<GetFieldInst>(Ly))
+    return G->field()->Offset;
+  if (isa<ArrayLengthInst>(Ly))
+    return vm::ArrayLengthOffset;
+  // aaload/iaload/daload through the loaded reference: approximate with the
+  // first element ("typically, the function simply adds a constant offset").
+  return vm::ObjectHeaderSize;
+}
+
+namespace {
+
+/// Tracks issued prefetch targets for the cache-line dedup condition:
+/// "data accessed by L must not apparently share the same cache line with
+/// data for which the prefetch code is already issued."
+class LineDedup {
+public:
+  explicit LineDedup(unsigned LineBytes) : LineBytes(LineBytes) {}
+
+  /// Returns true (and records the target) when no previously issued
+  /// prefetch with the same address shape lands within one line.
+  bool tryIssue(const Value *Base, const Value *Index, unsigned Scale,
+                int64_t Disp) {
+    for (const Target &T : Issued) {
+      if (T.Base != Base || T.Index != Index || T.Scale != Scale)
+        continue;
+      if (std::llabs(T.Disp - Disp) < static_cast<int64_t>(LineBytes))
+        return false;
+    }
+    Issued.push_back(Target{Base, Index, Scale, Disp});
+    return true;
+  }
+
+private:
+  struct Target {
+    const Value *Base;
+    const Value *Index;
+    unsigned Scale;
+    int64_t Disp;
+  };
+  unsigned LineBytes;
+  std::vector<Target> Issued;
+};
+
+} // namespace
+
+LoopPlan core::planPrefetches(const LoadDependenceGraph &Graph,
+                              const analysis::DefUse &DU,
+                              const PlannerOptions &Opts) {
+  LoopPlan Plan;
+  LineDedup Dedup(Opts.LineBytes);
+  const auto &Nodes = Graph.nodes();
+  const int64_t C = static_cast<int64_t>(Opts.ScheduleDistance);
+
+  for (unsigned X = 0, E = Nodes.size(); X != E; ++X) {
+    const LdgNode &NX = Nodes[X];
+    bool WeakOnly = !NX.InterStride && Opts.ExploitWeakStrides &&
+                    (NX.InterKind == StridePatternKind::WeakSingle ||
+                     NX.InterKind == StridePatternKind::PhasedMulti) &&
+                    NX.ExtendedStride != 0;
+    if (!NX.InterStride && !WeakOnly)
+      continue;
+    // Profitability (1): something must consume the load.
+    if (!DU.hasUsers(NX.Load))
+      continue;
+
+    AnchorPlan A;
+    A.Anchor = NX.Load;
+    if (!decomposeAddress(NX.Load, A.Base, A.Index, A.Scale, A.AnchorDisp))
+      continue;
+    int64_t D = NX.InterStride ? *NX.InterStride : NX.ExtendedStride;
+    A.InterStride = D;
+    A.AnchorDisp += D * C;
+
+    // Adjacent nodes lacking inter-iteration patterns enable the
+    // dereference-based path (INTER+INTRA mode only).
+    std::vector<unsigned> UnstridedSuccs;
+    if (Opts.Mode == PrefetchMode::InterIntra && !WeakOnly)
+      for (unsigned Y : NX.Succs)
+        if (!Nodes[Y].InterStride && DU.hasUsers(Nodes[Y].Load))
+          UnstridedSuccs.push_back(Y);
+
+    if (UnstridedSuccs.empty()) {
+      // Plain inter-iteration stride prefetch. Profitability (3): the
+      // stride must exceed half a cache line, or the line is (almost
+      // certainly) already covered — by the previous iteration's access or
+      // by the hardware prefetcher.
+      if (std::llabs(D) <= static_cast<int64_t>(Opts.LineBytes / 2))
+        continue;
+      // Profitability (2): line dedup against already-issued prefetches.
+      if (!Dedup.tryIssue(A.Base, A.Index, A.Scale, A.AnchorDisp))
+        continue;
+      A.EmitPlain = true;
+      A.PlainGuarded = false;
+      Plan.Anchors.push_back(std::move(A));
+      continue;
+    }
+
+    // spec_load + dereference-based + intra-iteration prefetching.
+    // Per-chain dedup of offsets relative to the spec-loaded value; the
+    // spec_load itself touches A(Lx)+d*c, so no plain prefetch is needed.
+    LineDedup ChainDedup(Opts.LineBytes);
+    for (unsigned Y : UnstridedSuccs) {
+      const LdgNode &NY = Nodes[Y];
+      int64_t OffY = dereferenceOffset(NY.Load);
+      if (ChainDedup.tryIssue(nullptr, nullptr, 0, OffY))
+        A.Derefs.push_back(DerefPrefetch{OffY, Opts.GuardedIntraPrefetch,
+                                         NY.Load, /*IsIntra=*/false});
+
+      // Transitive intra chain from Ly: follow edges annotated with intra
+      // strides, accumulating S along the path.
+      std::vector<std::pair<unsigned, int64_t>> Work{{Y, OffY}};
+      std::vector<bool> Visited(Nodes.size(), false);
+      Visited[Y] = true;
+      while (!Work.empty()) {
+        auto [Z, Acc] = Work.back();
+        Work.pop_back();
+        for (unsigned W : Nodes[Z].Succs) {
+          if (Visited[W])
+            continue;
+          const LdgEdge *Edge =
+              const_cast<LoadDependenceGraph &>(Graph).edgeBetween(Z, W);
+          if (!Edge || !Edge->IntraStride)
+            continue;
+          Visited[W] = true;
+          int64_t Off = Acc + *Edge->IntraStride;
+          // Condition (2) plus "we assume that the stride is longer than
+          // the cache line": targets within a line of an issued prefetch
+          // are dropped.
+          if (ChainDedup.tryIssue(nullptr, nullptr, 0, Off))
+            A.Derefs.push_back(DerefPrefetch{
+                Off, Opts.GuardedIntraPrefetch, Nodes[W].Load,
+                /*IsIntra=*/true});
+          Work.emplace_back(W, Off);
+        }
+      }
+    }
+
+    if (!A.Derefs.empty())
+      Plan.Anchors.push_back(std::move(A));
+  }
+
+  return Plan;
+}

@@ -1,0 +1,164 @@
+//===- core/StrideAnalysis.cpp --------------------------------------------===//
+
+#include "core/StrideAnalysis.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace spf;
+using namespace spf::core;
+
+std::optional<int64_t>
+core::dominantStride(const std::vector<int64_t> &Samples,
+                     const StrideOptions &Opts, unsigned *NumSamples) {
+  if (NumSamples)
+    *NumSamples = static_cast<unsigned>(Samples.size());
+  if (Samples.size() < Opts.MinSamples)
+    return std::nullopt;
+
+  std::map<int64_t, unsigned> Histogram;
+  for (int64_t S : Samples)
+    ++Histogram[S];
+
+  auto Best = std::max_element(
+      Histogram.begin(), Histogram.end(),
+      [](const auto &A, const auto &B) { return A.second < B.second; });
+
+  double Fraction =
+      static_cast<double>(Best->second) / static_cast<double>(Samples.size());
+  if (Fraction < Opts.MajorityThreshold)
+    return std::nullopt;
+  return Best->first;
+}
+
+const char *core::stridePatternKindName(StridePatternKind K) {
+  switch (K) {
+  case StridePatternKind::None:
+    return "none";
+  case StridePatternKind::StrongSingle:
+    return "strong-single";
+  case StridePatternKind::WeakSingle:
+    return "weak-single";
+  case StridePatternKind::PhasedMulti:
+    return "phased-multi";
+  }
+  return "?";
+}
+
+StridePatternKind
+core::classifyStridePattern(const std::vector<int64_t> &Samples,
+                            const StrideOptions &Opts, int64_t &Stride) {
+  Stride = 0;
+  if (Samples.size() < Opts.MinSamples)
+    return StridePatternKind::None;
+
+  std::map<int64_t, unsigned> Histogram;
+  for (int64_t S : Samples)
+    ++Histogram[S];
+  auto Best = std::max_element(
+      Histogram.begin(), Histogram.end(),
+      [](const auto &A, const auto &B) { return A.second < B.second; });
+  double Fraction =
+      static_cast<double>(Best->second) / static_cast<double>(Samples.size());
+
+  if (Fraction >= Opts.MajorityThreshold) {
+    Stride = Best->first;
+    return Best->first == 0 ? StridePatternKind::None
+                            : StridePatternKind::StrongSingle;
+  }
+
+  // Phased multiple-stride: few distinct strides, few phase changes.
+  unsigned Changes = 0;
+  for (size_t I = 1; I < Samples.size(); ++I)
+    Changes += Samples[I] != Samples[I - 1];
+  if (Histogram.size() <= 3 &&
+      Changes <= std::max<size_t>(2, Samples.size() / 4)) {
+    Stride = Samples.front(); // The first phase's stride.
+    return StridePatternKind::PhasedMulti;
+  }
+
+  if (Fraction >= 0.5 && Best->first != 0) {
+    Stride = Best->first;
+    return StridePatternKind::WeakSingle;
+  }
+  return StridePatternKind::None;
+}
+
+void core::annotateStrides(LoadDependenceGraph &Graph,
+                           const InspectionResult &Insp,
+                           const StrideOptions &Opts) {
+  // Identify nested loops whose loads must be dropped: observed average
+  // trip count above SmallTripMax, or loops never observed at all that are
+  // not the target itself.
+  auto NodeEligible = [&](const LdgNode &N) {
+    if (N.Home == Graph.target())
+      return true;
+    // Walk up from the load's home loop to (exclusive) the target: every
+    // level must be small-trip.
+    for (analysis::Loop *L = N.Home; L && L != Graph.target();
+         L = L->parent()) {
+      auto It = Insp.SubLoopTrips.find(L);
+      if (It == Insp.SubLoopTrips.end())
+        return false; // Never executed during inspection.
+      if (It->second.average() > Opts.SmallTripMax)
+        return false;
+    }
+    return true;
+  };
+
+  // Inter-iteration strides: differences of the per-iteration first
+  // addresses over consecutive observed iterations.
+  for (LdgNode &N : Graph.nodes()) {
+    N.InterStride.reset();
+    N.InterSamples = 0;
+    if (!NodeEligible(N))
+      continue;
+    auto It = Insp.Trace.find(N.Load);
+    if (It == Insp.Trace.end())
+      continue;
+    const auto &Recs = It->second;
+    std::vector<int64_t> Diffs;
+    for (size_t I = 1; I < Recs.size(); ++I)
+      if (Recs[I].Iteration == Recs[I - 1].Iteration + 1)
+        Diffs.push_back(static_cast<int64_t>(Recs[I].Address) -
+                        static_cast<int64_t>(Recs[I - 1].Address));
+    auto S = dominantStride(Diffs, Opts, &N.InterSamples);
+    if (S && *S != 0)
+      N.InterStride = S;
+    N.InterKind = classifyStridePattern(Diffs, Opts, N.ExtendedStride);
+  }
+
+  // Intra-iteration strides on adjacent pairs: same-iteration address
+  // differences.
+  for (LdgEdge &E : Graph.edges()) {
+    E.IntraStride.reset();
+    E.IntraSamples = 0;
+    const LdgNode &From = Graph.nodes()[E.From];
+    const LdgNode &To = Graph.nodes()[E.To];
+    if (!NodeEligible(From) || !NodeEligible(To))
+      continue;
+    auto FromIt = Insp.Trace.find(From.Load);
+    auto ToIt = Insp.Trace.find(To.Load);
+    if (FromIt == Insp.Trace.end() || ToIt == Insp.Trace.end())
+      continue;
+
+    // Join the two sparse traces on iteration number.
+    std::vector<int64_t> Diffs;
+    const auto &A = FromIt->second;
+    const auto &B = ToIt->second;
+    size_t IA = 0, IB = 0;
+    while (IA < A.size() && IB < B.size()) {
+      if (A[IA].Iteration < B[IB].Iteration) {
+        ++IA;
+      } else if (A[IA].Iteration > B[IB].Iteration) {
+        ++IB;
+      } else {
+        Diffs.push_back(static_cast<int64_t>(B[IB].Address) -
+                        static_cast<int64_t>(A[IA].Address));
+        ++IA;
+        ++IB;
+      }
+    }
+    E.IntraStride = dominantStride(Diffs, Opts, &E.IntraSamples);
+  }
+}

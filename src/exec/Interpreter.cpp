@@ -1,0 +1,427 @@
+//===- exec/Interpreter.cpp -----------------------------------------------===//
+
+#include "exec/Interpreter.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace spf;
+using namespace spf::exec;
+using namespace spf::ir;
+
+Interpreter::Interpreter(vm::Heap &Heap, sim::MemorySystem &Mem,
+                         std::vector<vm::Addr> *ExternalRoots)
+    : Heap(Heap), Mem(Mem), ExternalRoots(ExternalRoots) {}
+
+const Interpreter::MethodInfo &Interpreter::infoFor(Method *M) {
+  auto It = Infos.find(M);
+  if (It != Infos.end())
+    return It->second;
+
+  M->renumber();
+  MethodInfo Info;
+  unsigned NumValues = M->numArgs();
+  for (const auto &Arg : M->arguments())
+    if (Arg->type() == Type::Ref)
+      Info.RefValueIds.push_back(Arg->id());
+  for (const auto &BB : M->blocks())
+    for (const auto &I : BB->instructions()) {
+      ++NumValues;
+      if (I->type() == Type::Ref)
+        Info.RefValueIds.push_back(I->id());
+    }
+  Info.NumValues = NumValues;
+  return Infos.emplace(M, std::move(Info)).first->second;
+}
+
+uint64_t Interpreter::run(Method *M, const std::vector<uint64_t> &Args) {
+  return execute(M, Args);
+}
+
+void Interpreter::enableMixedMode(CompileHook Hook, unsigned Threshold,
+                                  unsigned Penalty) {
+  MixedModeHook = std::move(Hook);
+  CompileThreshold = Threshold;
+  InterpPenalty = Penalty;
+}
+
+uint64_t Interpreter::eval(const Frame &F, const Value *V) const {
+  if (const auto *C = dyn_cast<Constant>(V))
+    return C->raw();
+  return F.Regs[V->id()]; // Arguments and instructions share the id space.
+}
+
+void Interpreter::collectGarbage() {
+  std::vector<vm::Addr *> Roots;
+  if (ExternalRoots)
+    for (vm::Addr &Handle : *ExternalRoots)
+      Roots.push_back(&Handle);
+  for (Frame *F : ActiveFrames)
+    for (unsigned Id : infoFor(F->M).RefValueIds)
+      Roots.push_back(&F->Regs[Id]);
+  Gc.collect(Heap, Roots);
+  ++Stats.GcRuns;
+  // Charge a nominal pause; GC cost is not part of the paper's metric
+  // (best-run steady-state timing), so keep it small but nonzero.
+  Mem.tick(10000);
+}
+
+vm::Addr Interpreter::allocate(const Instruction *I, const Frame &F) {
+  auto TryAlloc = [&]() -> vm::Addr {
+    if (const auto *NO = dyn_cast<NewObjectInst>(I))
+      return Heap.allocObject(*NO->objectClass());
+    const auto *NA = cast<NewArrayInst>(I);
+    int64_t Len = static_cast<int64_t>(eval(F, NA->length()));
+    if (Len < 0)
+      reportFatalError("negative array length");
+    return Heap.allocArray(NA->elementType(), static_cast<uint64_t>(Len));
+  };
+
+  vm::Addr A = TryAlloc();
+  if (!A) {
+    collectGarbage();
+    A = TryAlloc();
+    if (!A)
+      reportFatalError("out of memory after garbage collection");
+  }
+  ++Stats.Allocations;
+  Mem.tick(4); // Bump allocation + zeroing fast path.
+  return A;
+}
+
+uint64_t Interpreter::evalBinary(const BinaryInst *B, uint64_t L,
+                                 uint64_t R) const {
+  using BinOp = BinaryInst::BinOp;
+  Type OpTy = B->lhs()->type();
+
+  if (OpTy == Type::F64) {
+    double A, C;
+    __builtin_memcpy(&A, &L, 8);
+    __builtin_memcpy(&C, &R, 8);
+    double Res = 0.0;
+    switch (B->binOp()) {
+    case BinOp::Add: Res = A + C; break;
+    case BinOp::Sub: Res = A - C; break;
+    case BinOp::Mul: Res = A * C; break;
+    case BinOp::Div: Res = A / C; break;
+    case BinOp::CmpEq: return A == C;
+    case BinOp::CmpNe: return A != C;
+    case BinOp::CmpLt: return A < C;
+    case BinOp::CmpLe: return A <= C;
+    case BinOp::CmpGt: return A > C;
+    case BinOp::CmpGe: return A >= C;
+    default:
+      reportFatalError("invalid f64 binary op");
+    }
+    uint64_t Bits;
+    __builtin_memcpy(&Bits, &Res, 8);
+    return Bits;
+  }
+
+  int64_t A = static_cast<int64_t>(L);
+  int64_t C = static_cast<int64_t>(R);
+  auto Wrap = [OpTy](int64_t V) -> uint64_t {
+    if (OpTy == Type::I32)
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(V)));
+    return static_cast<uint64_t>(V);
+  };
+
+  switch (B->binOp()) {
+  case BinOp::Add: return Wrap(A + C);
+  case BinOp::Sub: return Wrap(A - C);
+  case BinOp::Mul: return Wrap(A * C);
+  case BinOp::Div:
+    if (C == 0)
+      reportFatalError("integer division by zero");
+    return Wrap(A / C);
+  case BinOp::Rem:
+    if (C == 0)
+      reportFatalError("integer remainder by zero");
+    return Wrap(A % C);
+  case BinOp::And: return Wrap(A & C);
+  case BinOp::Or: return Wrap(A | C);
+  case BinOp::Xor: return Wrap(A ^ C);
+  case BinOp::Shl: return Wrap(A << (C & 63));
+  case BinOp::Shr: return Wrap(A >> (C & 63));
+  case BinOp::CmpEq: return L == R;
+  case BinOp::CmpNe: return L != R;
+  case BinOp::CmpLt: return A < C;
+  case BinOp::CmpLe: return A <= C;
+  case BinOp::CmpGt: return A > C;
+  case BinOp::CmpGe: return A >= C;
+  }
+  spf_unreachable("unknown binop");
+}
+
+vm::Addr Interpreter::addressOf(const Frame &F, const AddressedInst *A) const {
+  vm::Addr Base = eval(F, A->base());
+  int64_t Offset = A->displacement();
+  if (A->index())
+    Offset += static_cast<int64_t>(eval(F, A->index())) *
+              static_cast<int64_t>(A->scale());
+  return Base + static_cast<uint64_t>(Offset);
+}
+
+uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
+  if (M->isNative()) {
+    ++Stats.Calls;
+    return M->nativeImpl()(Args);
+  }
+  if (++CallDepth > 512)
+    reportFatalError("call stack overflow in simulated program");
+
+  // Mixed mode: hand hot methods to the JIT with the actual arguments of
+  // the triggering invocation. The rewritten IR takes effect immediately
+  // (on-stack replacement is not modeled: the *current* activation was
+  // dispatched before the compile; in practice the hook runs at entry,
+  // so this activation already executes the compiled code).
+  bool Interpreted = false;
+  if (MixedModeHook) {
+    Interpreted = !CompiledMethods.count(M);
+    if (Interpreted && ++InvocationCounts[M] >= CompileThreshold) {
+      // Never rewrite a method with live activations (we do not model
+      // on-stack replacement): a recursive caller's frame was laid out
+      // for the old IR. Defer to the next clean invocation.
+      bool OnStack = false;
+      for (const Frame *Active : ActiveFrames)
+        OnStack |= Active->M == M;
+      if (!OnStack) {
+        CompiledMethods.insert(M);
+        Infos.erase(M); // The hook rewrites the IR; renumber on next use.
+        MixedModeHook(M, Args);
+        Interpreted = false;
+      }
+    }
+  }
+
+  const MethodInfo &Info = infoFor(M);
+  Frame F;
+  F.M = M;
+  F.Regs.assign(Info.NumValues, 0);
+  assert(Args.size() == M->numArgs() && "argument count mismatch");
+  for (unsigned I = 0, E = M->numArgs(); I != E; ++I)
+    F.Regs[M->arg(I)->id()] = Args[I];
+
+  ActiveFrames.push_back(&F);
+
+  BasicBlock *BB = M->entry();
+  const BasicBlock *PrevBB = nullptr;
+  uint64_t Result = 0;
+
+  // Scratch buffers hoisted out of the loop.
+  std::vector<std::pair<unsigned, uint64_t>> PhiUpdates;
+  std::vector<uint64_t> CallArgs;
+
+  while (true) {
+    // Parallel phi evaluation at block entry.
+    if (PrevBB) {
+      PhiUpdates.clear();
+      for (const auto &IP : BB->instructions()) {
+        auto *Phi = dyn_cast<PhiInst>(IP.get());
+        if (!Phi)
+          break;
+        Value *In = Phi->valueFor(PrevBB);
+        assert(In && "phi has no incoming value for predecessor");
+        PhiUpdates.emplace_back(Phi->id(), eval(F, In));
+      }
+      for (const auto &[Id, V] : PhiUpdates)
+        F.Regs[Id] = V;
+    }
+
+    BasicBlock *NextBB = nullptr;
+
+    for (const auto &IP : BB->instructions()) {
+      Instruction *I = IP.get();
+      if (isa<PhiInst>(I))
+        continue; // Handled at block entry; not a retired instruction.
+
+      if (++Stats.Retired > MaxInstructions)
+        reportFatalError("execution budget exceeded (runaway loop?)");
+      if (Interpreted)
+        Mem.tick(InterpPenalty); // Bytecode dispatch overhead.
+
+      switch (I->opcode()) {
+      case Opcode::Binary: {
+        auto *B = cast<BinaryInst>(I);
+        F.Regs[I->id()] = evalBinary(B, eval(F, B->lhs()), eval(F, B->rhs()));
+        Mem.tick(1);
+        break;
+      }
+      case Opcode::Conv: {
+        auto *C = cast<ConvInst>(I);
+        uint64_t S = eval(F, C->src());
+        switch (C->convOp()) {
+        case ConvInst::ConvOp::SExt32To64:
+          F.Regs[I->id()] = S;
+          break;
+        case ConvInst::ConvOp::Trunc64To32:
+          F.Regs[I->id()] = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int32_t>(S)));
+          break;
+        case ConvInst::ConvOp::IToF: {
+          double D = static_cast<double>(static_cast<int64_t>(S));
+          uint64_t Bits;
+          __builtin_memcpy(&Bits, &D, 8);
+          F.Regs[I->id()] = Bits;
+          break;
+        }
+        case ConvInst::ConvOp::FToI: {
+          double D;
+          __builtin_memcpy(&D, &S, 8);
+          F.Regs[I->id()] = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int32_t>(D)));
+          break;
+        }
+        }
+        Mem.tick(1);
+        break;
+      }
+      case Opcode::GetField: {
+        auto *G = cast<GetFieldInst>(I);
+        vm::Addr Obj = eval(F, G->object());
+        if (!Obj)
+          reportFatalError("null pointer in getfield");
+        vm::Addr A = Obj + G->field()->Offset;
+        Mem.load(A);
+        F.Regs[I->id()] = Heap.load(A, G->type());
+        break;
+      }
+      case Opcode::PutField: {
+        auto *P = cast<PutFieldInst>(I);
+        vm::Addr Obj = eval(F, P->object());
+        if (!Obj)
+          reportFatalError("null pointer in putfield");
+        vm::Addr A = Obj + P->field()->Offset;
+        Mem.store(A);
+        Heap.store(A, P->field()->Ty, eval(F, P->value()));
+        break;
+      }
+      case Opcode::GetStatic: {
+        auto *G = cast<GetStaticInst>(I);
+        Mem.load(G->variable()->Address);
+        F.Regs[I->id()] = Heap.load(G->variable()->Address, G->type());
+        break;
+      }
+      case Opcode::PutStatic: {
+        auto *P = cast<PutStaticInst>(I);
+        Mem.store(P->variable()->Address);
+        Heap.store(P->variable()->Address, P->variable()->Ty,
+                   eval(F, P->value()));
+        break;
+      }
+      case Opcode::ALoad: {
+        auto *AL = cast<ALoadInst>(I);
+        vm::Addr Arr = eval(F, AL->array());
+        if (!Arr)
+          reportFatalError("null pointer in aload");
+        int64_t Idx = static_cast<int64_t>(eval(F, AL->index()));
+        assert(Idx >= 0 &&
+               static_cast<uint64_t>(Idx) < Heap.arrayLength(Arr) &&
+               "array index out of bounds");
+        vm::Addr A = Heap.elemAddr(Arr, static_cast<uint64_t>(Idx));
+        Mem.load(A);
+        F.Regs[I->id()] = Heap.load(A, AL->type());
+        break;
+      }
+      case Opcode::AStore: {
+        auto *AS = cast<AStoreInst>(I);
+        vm::Addr Arr = eval(F, AS->array());
+        if (!Arr)
+          reportFatalError("null pointer in astore");
+        int64_t Idx = static_cast<int64_t>(eval(F, AS->index()));
+        assert(Idx >= 0 &&
+               static_cast<uint64_t>(Idx) < Heap.arrayLength(Arr) &&
+               "array index out of bounds");
+        vm::Addr A = Heap.elemAddr(Arr, static_cast<uint64_t>(Idx));
+        Mem.store(A);
+        Heap.store(A, Heap.arrayElemType(Arr), eval(F, AS->value()));
+        break;
+      }
+      case Opcode::ArrayLength: {
+        auto *AL = cast<ArrayLengthInst>(I);
+        vm::Addr Arr = eval(F, AL->array());
+        if (!Arr)
+          reportFatalError("null pointer in arraylength");
+        Mem.load(Arr + vm::ArrayLengthOffset);
+        F.Regs[I->id()] =
+            static_cast<uint64_t>(static_cast<int64_t>(Heap.arrayLength(Arr)));
+        break;
+      }
+      case Opcode::NewObject:
+      case Opcode::NewArray:
+        F.Regs[I->id()] = allocate(I, F);
+        break;
+      case Opcode::Call: {
+        auto *C = cast<CallInst>(I);
+        if (!C->callee())
+          reportFatalError("call to unresolved method");
+        CallArgs.clear();
+        for (Value *Op : C->operands())
+          CallArgs.push_back(eval(F, Op));
+        Mem.tick(5); // Call/return overhead.
+        ++Stats.Calls;
+        uint64_t R = execute(C->callee(), CallArgs);
+        if (I->type() != Type::Void)
+          F.Regs[I->id()] = R;
+        break;
+      }
+      case Opcode::Phi:
+        break; // Unreachable; handled above.
+      case Opcode::Branch: {
+        auto *B = cast<BranchInst>(I);
+        Mem.tick(1);
+        NextBB = eval(F, B->condition()) ? B->trueSuccessor()
+                                         : B->falseSuccessor();
+        break;
+      }
+      case Opcode::Jump:
+        Mem.tick(1);
+        NextBB = cast<JumpInst>(I)->target();
+        break;
+      case Opcode::Ret: {
+        auto *R = cast<RetInst>(I);
+        if (R->value())
+          Result = eval(F, R->value());
+        ActiveFrames.pop_back();
+        --CallDepth;
+        return Result;
+      }
+      case Opcode::Prefetch: {
+        auto *P = cast<PrefetchInst>(I);
+        ++Stats.PrefetchRelated;
+        vm::Addr A = addressOf(F, P);
+        if (P->isGuarded()) {
+          // Software exception check: only touch mapped memory.
+          if (Heap.isValidAccess(A, 8))
+            Mem.guardedLoad(A);
+          else
+            Mem.tick(Mem.config().GuardedLoadCost);
+        } else {
+          Mem.prefetch(A);
+        }
+        break;
+      }
+      case Opcode::SpecLoad: {
+        auto *S = cast<SpecLoadInst>(I);
+        ++Stats.PrefetchRelated;
+        vm::Addr A = addressOf(F, S);
+        if (Heap.isValidAccess(A, 8)) {
+          Mem.guardedLoad(A);
+          F.Regs[I->id()] = Heap.load(A, Type::Ref);
+        } else {
+          Mem.tick(Mem.config().GuardedLoadCost);
+          F.Regs[I->id()] = 0;
+        }
+        break;
+      }
+      }
+
+      if (NextBB)
+        break;
+    }
+
+    assert(NextBB && "fell off the end of a block without a terminator");
+    PrevBB = BB;
+    BB = NextBB;
+  }
+}

@@ -1,0 +1,114 @@
+//===- exec/Interpreter.h - IR execution engine -----------------*- C++ -*-===//
+///
+/// \file
+/// Executes compiled IR methods over the simulated heap, reporting every
+/// memory operation to the machine's MemorySystem. This stands in for the
+/// JVM's compiled-code execution: the paper's measured quantities (cycles,
+/// retired instructions, cache/DTLB miss events) all originate here.
+///
+/// Allocation failures trigger the mark-compact collector with the active
+/// frames' reference slots plus the caller-provided handles as roots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_EXEC_INTERPRETER_H
+#define SPF_EXEC_INTERPRETER_H
+
+#include "ir/Module.h"
+#include "sim/MemorySystem.h"
+#include "vm/GarbageCollector.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace spf {
+namespace exec {
+
+/// Execution statistics accumulated across calls.
+struct ExecStats {
+  /// Retired instructions (phis excluded; prefetches included, since the
+  /// paper reports the retired-instruction increase they cause).
+  uint64_t Retired = 0;
+  /// Retired prefetch-related instructions (prefetch + spec_load).
+  uint64_t PrefetchRelated = 0;
+  uint64_t Calls = 0;
+  uint64_t Allocations = 0;
+  uint64_t GcRuns = 0;
+};
+
+/// Executes IR methods; one instance per simulated machine run.
+class Interpreter {
+public:
+  /// \p ExternalRoots are mutator handles (workload data-structure roots)
+  /// that the GC must trace and may update.
+  Interpreter(vm::Heap &Heap, sim::MemorySystem &Mem,
+              std::vector<vm::Addr> *ExternalRoots = nullptr);
+
+  /// Runs \p M with \p Args; returns the raw 64-bit result (0 for void).
+  uint64_t run(ir::Method *M, const std::vector<uint64_t> &Args);
+
+  /// Called when a method's invocation counter reaches the mixed-mode
+  /// compile threshold, with the actual arguments of that invocation —
+  /// the values object inspection consumes.
+  using CompileHook =
+      std::function<void(ir::Method *, const std::vector<uint64_t> &)>;
+
+  /// Enables mixed-mode execution: methods start out interpreted (each
+  /// retired instruction costs \p InterpPenalty extra cycles, modeling
+  /// bytecode-dispatch overhead) and are handed to \p Hook — typically
+  /// jit::CompileManager::compile — at their \p Threshold -th invocation,
+  /// exactly the paper's "mixed mode... selectively compiles methods that
+  /// are executed frequently".
+  void enableMixedMode(CompileHook Hook, unsigned Threshold = 2,
+                       unsigned InterpPenalty = 9);
+
+  /// True once \p M has been handed to the compile hook.
+  bool isCompiled(const ir::Method *M) const {
+    return CompiledMethods.count(M) != 0;
+  }
+
+  const ExecStats &stats() const { return Stats; }
+  vm::GarbageCollector &gc() { return Gc; }
+
+  /// Execution budget; exceeded budgets abort (runaway-loop protection).
+  void setMaxInstructions(uint64_t Max) { MaxInstructions = Max; }
+
+private:
+  struct MethodInfo {
+    unsigned NumValues = 0;
+    std::vector<unsigned> RefValueIds; // Dense ids of Ref-typed values.
+  };
+
+  struct Frame {
+    ir::Method *M = nullptr;
+    std::vector<uint64_t> Regs;
+  };
+
+  const MethodInfo &infoFor(ir::Method *M);
+  uint64_t execute(ir::Method *M, const std::vector<uint64_t> &Args);
+  uint64_t eval(const Frame &F, const ir::Value *V) const;
+  uint64_t evalBinary(const ir::BinaryInst *B, uint64_t L, uint64_t R) const;
+  vm::Addr addressOf(const Frame &F, const ir::AddressedInst *A) const;
+  vm::Addr allocate(const ir::Instruction *I, const Frame &F);
+  void collectGarbage();
+
+  vm::Heap &Heap;
+  sim::MemorySystem &Mem;
+  std::vector<vm::Addr> *ExternalRoots;
+  CompileHook MixedModeHook;
+  unsigned CompileThreshold = 0;
+  unsigned InterpPenalty = 0;
+  std::unordered_map<const ir::Method *, unsigned> InvocationCounts;
+  std::unordered_set<const ir::Method *> CompiledMethods;
+  vm::GarbageCollector Gc;
+  ExecStats Stats;
+  uint64_t MaxInstructions = 4ull << 30;
+  std::unordered_map<ir::Method *, MethodInfo> Infos;
+  std::vector<Frame *> ActiveFrames;
+  unsigned CallDepth = 0;
+};
+
+} // namespace exec
+} // namespace spf
+
+#endif // SPF_EXEC_INTERPRETER_H

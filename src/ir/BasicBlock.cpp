@@ -1,0 +1,76 @@
+//===- ir/BasicBlock.cpp --------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace spf;
+using namespace spf::ir;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(!terminator() && "appending past a terminator");
+  I->setParent(this);
+  Insts.push_back(std::move(I));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAfter(Instruction *Pos,
+                                     std::unique_ptr<Instruction> I) {
+  assert(Pos->parent() == this && "insertion point not in this block");
+  auto It = std::find_if(Insts.begin(), Insts.end(),
+                         [Pos](const std::unique_ptr<Instruction> &P) {
+                           return P.get() == Pos;
+                         });
+  assert(It != Insts.end() && "insertion point missing from block");
+  I->setParent(this);
+  return Insts.insert(std::next(It), std::move(I))->get();
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction *I) {
+  auto It = std::find_if(Insts.begin(), Insts.end(),
+                         [I](const std::unique_ptr<Instruction> &P) {
+                           return P.get() == I;
+                         });
+  assert(It != Insts.end() && "detaching instruction not in this block");
+  std::unique_ptr<Instruction> Owned = std::move(*It);
+  Insts.erase(It);
+  Owned->setParent(nullptr);
+  return Owned;
+}
+
+Instruction *BasicBlock::insertBefore(Instruction *Pos,
+                                      std::unique_ptr<Instruction> I) {
+  assert(Pos->parent() == this && "insertion point not in this block");
+  auto It = std::find_if(Insts.begin(), Insts.end(),
+                         [Pos](const std::unique_ptr<Instruction> &P) {
+                           return P.get() == Pos;
+                         });
+  assert(It != Insts.end() && "insertion point missing from block");
+  I->setParent(this);
+  return Insts.insert(It, std::move(I))->get();
+}
+
+void BasicBlock::erase(Instruction *I) {
+  auto It = std::find_if(Insts.begin(), Insts.end(),
+                         [I](const std::unique_ptr<Instruction> &P) {
+                           return P.get() == I;
+                         });
+  assert(It != Insts.end() && "erasing instruction not in this block");
+  Insts.erase(It);
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instruction *Term = terminator();
+  if (!Term)
+    return {};
+  if (auto *Br = dyn_cast<BranchInst>(Term)) {
+    if (Br->trueSuccessor() == Br->falseSuccessor())
+      return {Br->trueSuccessor()};
+    return {Br->trueSuccessor(), Br->falseSuccessor()};
+  }
+  if (auto *J = dyn_cast<JumpInst>(Term))
+    return {J->target()};
+  return {}; // Ret.
+}

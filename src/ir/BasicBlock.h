@@ -1,0 +1,90 @@
+//===- ir/BasicBlock.h - CFG basic block ------------------------*- C++ -*-===//
+///
+/// \file
+/// A basic block: an owned sequence of instructions ending in a terminator.
+/// Successors derive from the terminator; predecessors are maintained by
+/// the Method when edges are created.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_IR_BASICBLOCK_H
+#define SPF_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spf {
+namespace ir {
+
+class Method;
+
+/// A straight-line sequence of instructions with a single terminator.
+class BasicBlock {
+public:
+  BasicBlock(Method *Parent, unsigned Id, std::string Name)
+      : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+
+  Method *parent() const { return Parent; }
+  unsigned id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  const std::vector<std::unique_ptr<Instruction>> &instructions() const {
+    return Insts;
+  }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// The block terminator, or null if the block is still being built.
+  Instruction *terminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back().get();
+  }
+
+  /// Appends \p I, transferring ownership.
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I immediately after \p Pos (which must live in this block);
+  /// used by prefetch code generation to place prefetches next to their
+  /// anchor loads.
+  Instruction *insertAfter(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Removes \p I from the block and destroys it. \p I must have no users.
+  void erase(Instruction *I);
+
+  /// Detaches \p I from the block without destroying it (for moving an
+  /// instruction between blocks).
+  std::unique_ptr<Instruction> detach(Instruction *I);
+
+  /// Inserts \p I immediately before \p Pos (which must live here).
+  Instruction *insertBefore(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Returns the control-flow successors (0-2 blocks).
+  std::vector<BasicBlock *> successors() const;
+
+  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+  void addPredecessor(BasicBlock *Pred) { Preds.push_back(Pred); }
+  void clearPredecessors() { Preds.clear(); }
+
+private:
+  Method *Parent;
+  unsigned Id;
+  std::string Name;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+  std::vector<BasicBlock *> Preds;
+};
+
+} // namespace ir
+} // namespace spf
+
+#endif // SPF_IR_BASICBLOCK_H

@@ -1,0 +1,107 @@
+//===- ir/IRBuilder.cpp ---------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace spf;
+using namespace spf::ir;
+
+Instruction *IRBuilder::insert(std::unique_ptr<Instruction> I) {
+  assert(BB && "no insertion block set");
+  return BB->append(std::move(I));
+}
+
+Value *IRBuilder::binary(BinaryInst::BinOp Op, Value *Lhs, Value *Rhs) {
+  assert(Lhs->type() == Rhs->type() && "binary operand types differ");
+  Type ResTy = Lhs->type();
+  if (Op >= BinaryInst::BinOp::CmpEq)
+    ResTy = Type::I32;
+  return insert(std::make_unique<BinaryInst>(Op, ResTy, Lhs, Rhs));
+}
+
+Value *IRBuilder::conv(ConvInst::ConvOp Op, Value *Src) {
+  Type Ty = Type::I32;
+  switch (Op) {
+  case ConvInst::ConvOp::SExt32To64:
+    Ty = Type::I64;
+    break;
+  case ConvInst::ConvOp::Trunc64To32:
+    Ty = Type::I32;
+    break;
+  case ConvInst::ConvOp::IToF:
+    Ty = Type::F64;
+    break;
+  case ConvInst::ConvOp::FToI:
+    Ty = Type::I32;
+    break;
+  }
+  return insert(std::make_unique<ConvInst>(Op, Ty, Src));
+}
+
+Value *IRBuilder::getField(Value *Obj, const vm::FieldDesc *Field) {
+  return insert(std::make_unique<GetFieldInst>(Obj, Field));
+}
+
+void IRBuilder::putField(Value *Obj, const vm::FieldDesc *Field, Value *V) {
+  insert(std::make_unique<PutFieldInst>(Obj, Field, V));
+}
+
+Value *IRBuilder::getStatic(const StaticVarDesc *Var) {
+  return insert(std::make_unique<GetStaticInst>(Var));
+}
+
+void IRBuilder::putStatic(const StaticVarDesc *Var, Value *V) {
+  insert(std::make_unique<PutStaticInst>(Var, V));
+}
+
+Value *IRBuilder::aload(Value *Array, Value *Index, Type ElemTy) {
+  return insert(std::make_unique<ALoadInst>(Array, Index, ElemTy));
+}
+
+void IRBuilder::astore(Value *Array, Value *Index, Value *V) {
+  insert(std::make_unique<AStoreInst>(Array, Index, V));
+}
+
+Value *IRBuilder::arrayLength(Value *Array) {
+  return insert(std::make_unique<ArrayLengthInst>(Array));
+}
+
+Value *IRBuilder::newObject(const vm::ClassDesc *Cls) {
+  return insert(std::make_unique<NewObjectInst>(Cls));
+}
+
+Value *IRBuilder::newArray(Type ElemTy, Value *Length) {
+  return insert(std::make_unique<NewArrayInst>(ElemTy, Length));
+}
+
+Value *IRBuilder::call(Method *Callee, Type RetTy, std::vector<Value *> Args,
+                       bool IsVirtual) {
+  return insert(
+      std::make_unique<CallInst>(Callee, RetTy, std::move(Args), IsVirtual));
+}
+
+PhiInst *IRBuilder::phi(Type Ty) {
+  assert(BB && "no insertion block set");
+  assert((BB->empty() || isa<PhiInst>(BB->back())) &&
+         "phis must be grouped at the block start");
+  return cast<PhiInst>(insert(std::make_unique<PhiInst>(Ty)));
+}
+
+void IRBuilder::br(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB) {
+  insert(std::make_unique<BranchInst>(Cond, TrueBB, FalseBB));
+}
+
+void IRBuilder::jump(BasicBlock *Target) {
+  insert(std::make_unique<JumpInst>(Target));
+}
+
+void IRBuilder::ret(Value *V) { insert(std::make_unique<RetInst>(V)); }
+
+void IRBuilder::prefetch(Value *Base, Value *Index, unsigned Scale,
+                         int64_t Disp, bool Guarded) {
+  insert(std::make_unique<PrefetchInst>(Base, Index, Scale, Disp, Guarded));
+}
+
+Value *IRBuilder::specLoad(Value *Base, Value *Index, unsigned Scale,
+                           int64_t Disp) {
+  return insert(std::make_unique<SpecLoadInst>(Base, Index, Scale, Disp));
+}

@@ -1,0 +1,111 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+///
+/// \file
+/// Builder that appends instructions to a current insertion block, in the
+/// style of llvm::IRBuilder. Workload kernels and tests construct their
+/// methods through this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_IR_IRBUILDER_H
+#define SPF_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace spf {
+namespace ir {
+
+/// Appends new instructions to a designated basic block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &module() const { return M; }
+
+  void setInsertPoint(BasicBlock *Block) { BB = Block; }
+  BasicBlock *insertBlock() const { return BB; }
+
+  // Constants.
+  Constant *i32(int32_t V) { return M.intConst(Type::I32, V); }
+  Constant *i64(int64_t V) { return M.intConst(Type::I64, V); }
+  Constant *f64(double V) { return M.floatConst(V); }
+  Constant *nullRef() { return M.nullRef(); }
+
+  // Arithmetic / comparisons. The result type follows the operands for
+  // arithmetic; comparisons produce i32.
+  Value *binary(BinaryInst::BinOp Op, Value *Lhs, Value *Rhs);
+  Value *add(Value *L, Value *R) { return binary(BinaryInst::BinOp::Add, L, R); }
+  Value *sub(Value *L, Value *R) { return binary(BinaryInst::BinOp::Sub, L, R); }
+  Value *mul(Value *L, Value *R) { return binary(BinaryInst::BinOp::Mul, L, R); }
+  Value *div(Value *L, Value *R) { return binary(BinaryInst::BinOp::Div, L, R); }
+  Value *rem(Value *L, Value *R) { return binary(BinaryInst::BinOp::Rem, L, R); }
+  Value *andOp(Value *L, Value *R) {
+    return binary(BinaryInst::BinOp::And, L, R);
+  }
+  Value *xorOp(Value *L, Value *R) {
+    return binary(BinaryInst::BinOp::Xor, L, R);
+  }
+  Value *shl(Value *L, Value *R) { return binary(BinaryInst::BinOp::Shl, L, R); }
+  Value *shr(Value *L, Value *R) { return binary(BinaryInst::BinOp::Shr, L, R); }
+  Value *cmpEq(Value *L, Value *R) {
+    return binary(BinaryInst::BinOp::CmpEq, L, R);
+  }
+  Value *cmpNe(Value *L, Value *R) {
+    return binary(BinaryInst::BinOp::CmpNe, L, R);
+  }
+  Value *cmpLt(Value *L, Value *R) {
+    return binary(BinaryInst::BinOp::CmpLt, L, R);
+  }
+  Value *cmpLe(Value *L, Value *R) {
+    return binary(BinaryInst::BinOp::CmpLe, L, R);
+  }
+  Value *cmpGt(Value *L, Value *R) {
+    return binary(BinaryInst::BinOp::CmpGt, L, R);
+  }
+  Value *cmpGe(Value *L, Value *R) {
+    return binary(BinaryInst::BinOp::CmpGe, L, R);
+  }
+
+  Value *conv(ConvInst::ConvOp Op, Value *Src);
+
+  // Memory.
+  Value *getField(Value *Obj, const vm::FieldDesc *Field);
+  void putField(Value *Obj, const vm::FieldDesc *Field, Value *V);
+  Value *getStatic(const StaticVarDesc *Var);
+  void putStatic(const StaticVarDesc *Var, Value *V);
+  Value *aload(Value *Array, Value *Index, Type ElemTy);
+  void astore(Value *Array, Value *Index, Value *V);
+  Value *arrayLength(Value *Array);
+
+  // Allocation.
+  Value *newObject(const vm::ClassDesc *Cls);
+  Value *newArray(Type ElemTy, Value *Length);
+
+  // Calls.
+  Value *call(Method *Callee, Type RetTy, std::vector<Value *> Args,
+              bool IsVirtual = false);
+
+  // SSA.
+  PhiInst *phi(Type Ty);
+
+  // Control flow (each terminates the current block).
+  void br(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB);
+  void jump(BasicBlock *Target);
+  void ret(Value *V = nullptr);
+
+  // Prefetching primitives.
+  void prefetch(Value *Base, Value *Index, unsigned Scale, int64_t Disp,
+                bool Guarded = false);
+  Value *specLoad(Value *Base, Value *Index, unsigned Scale, int64_t Disp);
+
+private:
+  Instruction *insert(std::unique_ptr<Instruction> I);
+
+  Module &M;
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace ir
+} // namespace spf
+
+#endif // SPF_IR_IRBUILDER_H

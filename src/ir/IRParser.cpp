@@ -1,0 +1,670 @@
+//===- ir/IRParser.cpp ----------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/IRBuilder.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+using namespace spf;
+using namespace spf::ir;
+
+namespace {
+
+/// Parser state for one method body.
+class MethodParser {
+public:
+  MethodParser(Module &M, const vm::TypeTable &Types, const std::string &Text)
+      : M(M), Types(Types), Text(Text) {}
+
+  Method *parse(std::string *Error);
+
+private:
+  /// Records the first failure; subsequent parsing short-circuits.
+  void fail(const std::string &Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrorMsg = "line " + std::to_string(LineNo) + ": " + Msg;
+  }
+
+  static std::string trim(const std::string &S) {
+    size_t B = S.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      return "";
+    size_t E = S.find_last_not_of(" \t\r");
+    return S.substr(B, E - B + 1);
+  }
+
+  Type parseType(const std::string &T) {
+    if (T == "void")
+      return Type::Void;
+    if (T == "i32")
+      return Type::I32;
+    if (T == "i64")
+      return Type::I64;
+    if (T == "f64")
+      return Type::F64;
+    if (T == "ref")
+      return Type::Ref;
+    fail("unknown type '" + T + "'");
+    return Type::I32;
+  }
+
+  /// Splits a printed value token into its symbol ("%5", "%arg0") by
+  /// stripping the optional ".name" suffix.
+  static std::string symbolOf(const std::string &Token) {
+    size_t Dot = Token.find('.');
+    return Dot == std::string::npos ? Token : Token.substr(0, Dot);
+  }
+
+  /// Resolves a value token of expected type \p Ty. Unresolved %ids get a
+  /// placeholder constant and a patch entry.
+  Value *parseValue(const std::string &Token, Type Ty) {
+    if (Token.empty()) {
+      fail("empty value token");
+      return M.intConst(Type::I32, 0);
+    }
+    if (Token[0] == '%') {
+      std::string Sym = symbolOf(Token);
+      auto It = Symbols.find(Sym);
+      if (It != Symbols.end())
+        return It->second;
+      // Non-phi forward references only occur when the printed block
+      // order is not dominance-compatible; the printer's output for IR
+      // built in construction order never does this.
+      fail("undefined value '" + Sym + "' (only phi incomings may be "
+           "forward references)");
+      return M.intConst(Ty == Type::F64 ? Type::I64
+                        : Ty == Type::Void ? Type::I32
+                                           : Ty,
+                        0);
+    }
+    // Constants.
+    if (Token.rfind("null:", 0) == 0)
+      return M.nullRef();
+    if (Token.rfind("ref:", 0) == 0)
+      return M.intConst(Type::Ref,
+                        static_cast<int64_t>(
+                            std::strtoull(Token.c_str() + 4, nullptr, 16)));
+    if (Ty == Type::F64)
+      return M.floatConst(std::strtod(Token.c_str(), nullptr));
+    return M.intConst(Ty == Type::Void ? Type::I32 : Ty,
+                      std::strtoll(Token.c_str(), nullptr, 10));
+  }
+
+  /// Resolves "Class::field" (optionally preceded by the printed base
+  /// token, e.g. "%arg0.tv.TokenVector::v"), returning the field and the
+  /// base value token.
+  const vm::FieldDesc *parseFieldRef(const std::string &Token,
+                                     std::string &BaseToken) {
+    BaseToken = "%arg0";
+    size_t Sep = Token.find("::");
+    if (Sep == std::string::npos) {
+      fail("expected Class::field in '" + Token + "'");
+      return nullptr;
+    }
+    std::string FieldName = Token.substr(Sep + 2);
+    std::string Left = Token.substr(0, Sep);
+    size_t Dot = Left.rfind('.');
+    if (Dot == std::string::npos) {
+      fail("expected base value before class name in '" + Token + "'");
+      return nullptr;
+    }
+    std::string ClassName = Left.substr(Dot + 1);
+    BaseToken = Left.substr(0, Dot);
+    const vm::ClassDesc *Cls = Types.findClass(ClassName);
+    if (!Cls) {
+      fail("unknown class '" + ClassName + "'");
+      return nullptr;
+    }
+    const vm::FieldDesc *F = Cls->findField(FieldName);
+    if (!F)
+      fail("unknown field '" + ClassName + "::" + FieldName + "'");
+    return F;
+  }
+
+  BasicBlock *blockOf(const std::string &Label) {
+    auto It = Blocks.find(Label);
+    if (It == Blocks.end()) {
+      fail("unknown block label '" + Label + "'");
+      return Fn->entry();
+    }
+    return It->second;
+  }
+
+  /// Splits "a, b, c" into trimmed pieces (no nesting in our grammar).
+  std::vector<std::string> splitCommas(const std::string &S) {
+    std::vector<std::string> Out;
+    std::stringstream SS(S);
+    std::string Piece;
+    while (std::getline(SS, Piece, ',')) {
+      Piece = trim(Piece);
+      if (!Piece.empty())
+        Out.push_back(Piece);
+    }
+    return Out;
+  }
+
+  /// Parses "[base + idx*scale + disp]" / "[base + disp]" / "[base - d]".
+  void parseAddress(const std::string &S, std::string &BaseTok,
+                    std::string &IdxTok, unsigned &Scale, int64_t &Disp) {
+    BaseTok = "%arg0";
+    IdxTok.clear();
+    Scale = 0;
+    Disp = 0;
+    std::string Body = trim(S);
+    if (Body.empty() || Body.front() != '[' || Body.back() != ']') {
+      fail("expected [address] in '" + S + "'");
+      return;
+    }
+    Body = Body.substr(1, Body.size() - 2);
+
+    // Tokenize on spaces: base [+ idx*scale] (+|-) disp
+    std::vector<std::string> Toks;
+    std::stringstream SS(Body);
+    std::string T;
+    while (SS >> T)
+      Toks.push_back(T);
+    if (Toks.empty()) {
+      fail("empty address");
+      return;
+    }
+
+    BaseTok = Toks[0];
+    size_t I = 1;
+    if (I + 1 < Toks.size() && Toks[I] == "+" &&
+        Toks[I + 1].find('*') != std::string::npos) {
+      std::string Pair = Toks[I + 1];
+      size_t Star = Pair.find('*');
+      IdxTok = Pair.substr(0, Star);
+      Scale = static_cast<unsigned>(
+          std::strtoul(Pair.c_str() + Star + 1, nullptr, 10));
+      I += 2;
+    }
+    if (I + 1 < Toks.size() && (Toks[I] == "+" || Toks[I] == "-")) {
+      Disp = std::strtoll(Toks[I + 1].c_str(), nullptr, 10);
+      if (Toks[I] == "-")
+        Disp = -Disp;
+      I += 2;
+    }
+    if (I != Toks.size())
+      fail("trailing tokens in address '" + S + "'");
+  }
+
+  void parseHeader(const std::string &Line);
+  void scanLabels(const std::vector<std::string> &Lines);
+  void parseInstruction(const std::string &Line);
+  Instruction *parseOperation(const std::string &ResultTok,
+                              const std::string &Rhs);
+  void resolvePatches();
+
+  Module &M;
+  const vm::TypeTable &Types;
+  const std::string &Text;
+  std::string ErrorMsg;
+  bool Failed = false;
+  unsigned LineNo = 0;
+
+  Method *Fn = nullptr;
+  IRBuilder B{M};
+  std::unordered_map<std::string, Value *> Symbols;
+  std::unordered_map<std::string, BasicBlock *> Blocks;
+
+  struct PhiFix {
+    PhiInst *Phi;
+    std::vector<std::pair<std::string, std::string>> Incoming; // label,val
+  };
+  std::vector<PhiFix> PhiFixes;
+};
+
+void MethodParser::parseHeader(const std::string &Line) {
+  // method <type> <name>(<params>) {
+  std::stringstream SS(Line);
+  std::string Kw, TypeTok, Rest;
+  SS >> Kw >> TypeTok;
+  if (Kw != "method") {
+    fail("expected 'method'");
+    return;
+  }
+  Type RetTy = parseType(TypeTok);
+  std::getline(SS, Rest);
+  Rest = trim(Rest);
+  size_t Open = Rest.find('(');
+  size_t Close = Rest.rfind(')');
+  if (Open == std::string::npos || Close == std::string::npos ||
+      Close < Open) {
+    fail("malformed method signature");
+    return;
+  }
+  std::string Name = trim(Rest.substr(0, Open));
+  std::string Params = Rest.substr(Open + 1, Close - Open - 1);
+
+  std::vector<Type> ParamTys;
+  std::vector<std::string> ParamNames;
+  for (const std::string &P : splitCommas(Params)) {
+    std::stringstream PS(P);
+    std::string Ty, Tok;
+    PS >> Ty >> Tok;
+    ParamTys.push_back(parseType(Ty));
+    size_t Dot = Tok.find('.');
+    ParamNames.push_back(Dot == std::string::npos ? ""
+                                                  : Tok.substr(Dot + 1));
+  }
+
+  Fn = M.addMethod(Name, RetTy, ParamTys);
+  for (unsigned I = 0, E = Fn->numArgs(); I != E; ++I) {
+    Symbols["%arg" + std::to_string(I)] = Fn->arg(I);
+    if (!ParamNames[I].empty())
+      Fn->arg(I)->setName(ParamNames[I]);
+  }
+}
+
+void MethodParser::scanLabels(const std::vector<std::string> &Lines) {
+  for (const std::string &Raw : Lines) {
+    if (Raw.empty() || Raw[0] == ' ' || Raw[0] == '}')
+      continue;
+    size_t Colon = Raw.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    std::string Label = Raw.substr(0, Colon);
+    if (Label.rfind("method", 0) == 0)
+      continue;
+    Blocks[Label] = Fn->addBlock(Label);
+  }
+}
+
+Instruction *MethodParser::parseOperation(const std::string &ResultTok,
+                                          const std::string &Rhs) {
+  std::stringstream SS(Rhs);
+  std::string Op;
+  SS >> Op;
+  std::string Rest;
+  std::getline(SS, Rest);
+  Rest = trim(Rest);
+  BasicBlock *BB = B.insertBlock();
+
+  // Binary operations.
+  for (int K = 0; K <= static_cast<int>(BinaryInst::BinOp::CmpGe); ++K) {
+    auto BK = static_cast<BinaryInst::BinOp>(K);
+    if (Op != BinaryInst::binOpName(BK))
+      continue;
+    std::stringstream RS(Rest);
+    std::string TyTok, LhsTok, RhsTok;
+    RS >> TyTok >> LhsTok >> RhsTok;
+    if (!LhsTok.empty() && LhsTok.back() == ',')
+      LhsTok.pop_back();
+    Type Ty = parseType(TyTok);
+    Value *L = parseValue(LhsTok, Ty);
+    Value *R = parseValue(RhsTok, Ty);
+    return cast<Instruction>(B.binary(BK, L, R));
+  }
+
+  if (Op == "conv") {
+    std::stringstream RS(Rest);
+    std::string SrcTok, ToKw, TyTok;
+    RS >> SrcTok >> ToKw >> TyTok;
+    Type DstTy = parseType(TyTok);
+    Value *Src = parseValue(SrcTok, Type::I32);
+    ConvInst::ConvOp CO;
+    if (DstTy == Type::I64)
+      CO = ConvInst::ConvOp::SExt32To64;
+    else if (DstTy == Type::F64)
+      CO = ConvInst::ConvOp::IToF;
+    else if (Src->type() == Type::F64)
+      CO = ConvInst::ConvOp::FToI;
+    else
+      CO = ConvInst::ConvOp::Trunc64To32;
+    return cast<Instruction>(B.conv(CO, Src));
+  }
+
+  if (Op == "getfield") {
+    // <base.Class::field> (+off)
+    std::stringstream RS(Rest);
+    std::string RefTok;
+    RS >> RefTok;
+    std::string BaseTok;
+    const vm::FieldDesc *F = parseFieldRef(RefTok, BaseTok);
+    if (!F)
+      return nullptr;
+    Value *Base = parseValue(BaseTok, Type::Ref);
+    if (Base->type() != Type::Ref) {
+      fail("getfield base is not a ref");
+      return nullptr;
+    }
+    return cast<Instruction>(B.getField(Base, F));
+  }
+
+  if (Op == "putfield") {
+    // <base.Class::field> = <val>
+    size_t Eq = Rest.find('=');
+    if (Eq == std::string::npos) {
+      fail("expected '=' in putfield");
+      return nullptr;
+    }
+    std::string RefTok = trim(Rest.substr(0, Eq));
+    std::string ValTok = trim(Rest.substr(Eq + 1));
+    std::string BaseTok;
+    const vm::FieldDesc *F = parseFieldRef(RefTok, BaseTok);
+    if (!F)
+      return nullptr;
+    Value *Base = parseValue(BaseTok, Type::Ref);
+    if (Base->type() != Type::Ref) {
+      fail("putfield base is not a ref");
+      return nullptr;
+    }
+    B.putField(Base, F, parseValue(ValTok, F->Ty));
+    return BB->back();
+  }
+
+  if (Op == "getstatic" || Op == "putstatic") {
+    std::stringstream RS(Rest);
+    std::string Name;
+    RS >> Name;
+    StaticVarDesc *Var = nullptr;
+    for (const auto &SV : M.statics())
+      if (SV->Name == Name)
+        Var = SV.get();
+    if (!Var) {
+      fail("unknown static '" + Name + "'");
+      return nullptr;
+    }
+    if (Op == "getstatic")
+      return cast<Instruction>(B.getStatic(Var));
+    size_t Eq = Rest.find('=');
+    if (Eq == std::string::npos) {
+      fail("expected '=' in putstatic");
+      return nullptr;
+    }
+    B.putStatic(Var, parseValue(trim(Rest.substr(Eq + 1)), Var->Ty));
+    return BB->back();
+  }
+
+  if (Op.rfind("aload.", 0) == 0) {
+    Type ElemTy = parseType(Op.substr(6));
+    // <arr>[<idx>]
+    size_t Br = Rest.find('[');
+    size_t End = Rest.rfind(']');
+    if (Br == std::string::npos || End == std::string::npos) {
+      fail("expected aload brackets");
+      return nullptr;
+    }
+    Value *Arr = parseValue(trim(Rest.substr(0, Br)), Type::Ref);
+    if (Arr->type() != Type::Ref) {
+      fail("aload base is not a ref");
+      return nullptr;
+    }
+    Value *Idx = parseValue(trim(Rest.substr(Br + 1, End - Br - 1)),
+                            Type::I32);
+    return cast<Instruction>(B.aload(Arr, Idx, ElemTy));
+  }
+
+  if (Op == "astore") {
+    // <arr>[<idx>] = <val>
+    size_t Br = Rest.find('[');
+    size_t End = Rest.find(']');
+    if (Br == std::string::npos || End == std::string::npos) {
+      fail("malformed astore");
+      return nullptr;
+    }
+    size_t Eq = Rest.find('=', End);
+    if (Eq == std::string::npos) {
+      fail("malformed astore");
+      return nullptr;
+    }
+    Value *Arr = parseValue(trim(Rest.substr(0, Br)), Type::Ref);
+    if (Arr->type() != Type::Ref) {
+      fail("astore base is not a ref");
+      return nullptr;
+    }
+    Value *Idx = parseValue(trim(Rest.substr(Br + 1, End - Br - 1)),
+                            Type::I32);
+    std::string ValTok = trim(Rest.substr(Eq + 1));
+    // Element type is not printed; derive from a defined value when
+    // possible, else default integer.
+    Type VTy = Type::I32;
+    if (ValTok[0] == '%') {
+      auto It = Symbols.find(symbolOf(ValTok));
+      if (It != Symbols.end())
+        VTy = It->second->type();
+    } else if (ValTok.find('.') != std::string::npos ||
+               ValTok.find('e') != std::string::npos) {
+      VTy = Type::F64;
+    }
+    Value *V = parseValue(ValTok, VTy);
+    B.astore(Arr, Idx, V);
+    return BB->back();
+  }
+
+  if (Op == "arraylength")
+    return cast<Instruction>(
+        B.arrayLength(parseValue(trim(Rest), Type::Ref)));
+
+  if (Op == "new") {
+    const vm::ClassDesc *Cls = Types.findClass(trim(Rest));
+    if (!Cls) {
+      fail("unknown class '" + Rest + "'");
+      return nullptr;
+    }
+    return cast<Instruction>(B.newObject(Cls));
+  }
+
+  if (Op == "newarray") {
+    // <ty>[<len>]
+    size_t Br = Rest.find('[');
+    size_t End = Rest.rfind(']');
+    if (Br == std::string::npos || End == std::string::npos) {
+      fail("malformed newarray");
+      return nullptr;
+    }
+    Type ElemTy = parseType(trim(Rest.substr(0, Br)));
+    Value *Len = parseValue(trim(Rest.substr(Br + 1, End - Br - 1)),
+                            Type::I32);
+    return cast<Instruction>(B.newArray(ElemTy, Len));
+  }
+
+  if (Op == "call" || Op == "callvirt") {
+    size_t Open = Rest.find('(');
+    size_t Close = Rest.rfind(')');
+    if (Open == std::string::npos || Close == std::string::npos) {
+      fail("malformed call");
+      return nullptr;
+    }
+    std::string Callee = trim(Rest.substr(0, Open));
+    Method *Target = M.findMethod(Callee);
+    if (!Target) {
+      fail("unknown callee '" + Callee + "'");
+      return nullptr;
+    }
+    std::vector<Value *> Args;
+    auto Toks = splitCommas(Rest.substr(Open + 1, Close - Open - 1));
+    if (Toks.size() != Target->numArgs()) {
+      fail("call argument count mismatch for '" + Callee + "'");
+      return nullptr;
+    }
+    for (unsigned I = 0; I != Toks.size(); ++I)
+      Args.push_back(parseValue(Toks[I], Target->arg(I)->type()));
+    return cast<Instruction>(B.call(Target, Target->returnType(), Args,
+                                    Op == "callvirt"));
+  }
+
+  if (Op == "phi") {
+    std::stringstream RS(Rest);
+    std::string TyTok;
+    RS >> TyTok;
+    Type Ty = parseType(TyTok);
+    PhiInst *Phi = B.phi(Ty);
+    std::string Remainder;
+    std::getline(RS, Remainder);
+    // Incoming entries: [label: value], ...
+    PhiFix Fix;
+    Fix.Phi = Phi;
+    size_t Pos = 0;
+    while ((Pos = Remainder.find('[', Pos)) != std::string::npos) {
+      size_t End = Remainder.find(']', Pos);
+      size_t Colon = Remainder.find(':', Pos);
+      if (End == std::string::npos || Colon == std::string::npos ||
+          Colon > End) {
+        fail("malformed phi incoming");
+        return Phi;
+      }
+      Fix.Incoming.emplace_back(trim(Remainder.substr(Pos + 1,
+                                                      Colon - Pos - 1)),
+                                trim(Remainder.substr(Colon + 1,
+                                                      End - Colon - 1)));
+      Pos = End + 1;
+    }
+    PhiFixes.push_back(std::move(Fix));
+    return Phi;
+  }
+
+  if (Op == "br") {
+    // <cond> ? <true> : <false>
+    std::stringstream RS(Rest);
+    std::string CondTok, Q, TrueTok, C, FalseTok;
+    RS >> CondTok >> Q >> TrueTok >> C >> FalseTok;
+    if (Q != "?" || C != ":") {
+      fail("malformed br");
+      return nullptr;
+    }
+    Value *Cond = parseValue(CondTok, Type::I32);
+    if (Cond->type() != Type::I32) {
+      fail("br condition is not i32");
+      return nullptr;
+    }
+    B.br(Cond, blockOf(TrueTok), blockOf(FalseTok));
+    return BB->back();
+  }
+
+  if (Op == "jump") {
+    B.jump(blockOf(trim(Rest)));
+    return BB->back();
+  }
+
+  if (Op == "ret") {
+    std::string Tok = trim(Rest);
+    if (Tok.empty())
+      B.ret();
+    else
+      B.ret(parseValue(Tok, Fn->returnType()));
+    return BB->back();
+  }
+
+  if (Op == "prefetch" || Op == "prefetch.guarded" || Op == "spec_load") {
+    std::string BaseTok, IdxTok;
+    unsigned Scale;
+    int64_t Disp;
+    parseAddress(Rest, BaseTok, IdxTok, Scale, Disp);
+    Value *Base = parseValue(BaseTok, Type::Ref);
+    Value *Idx =
+        IdxTok.empty() ? nullptr : parseValue(IdxTok, Type::I32);
+    if (Op == "spec_load")
+      return cast<Instruction>(B.specLoad(Base, Idx, Scale, Disp));
+    B.prefetch(Base, Idx, Scale, Disp, Op == "prefetch.guarded");
+    return BB->back();
+  }
+
+  (void)ResultTok;
+  fail("unknown operation '" + Op + "'");
+  return nullptr;
+}
+
+void MethodParser::parseInstruction(const std::string &Line) {
+  std::string S = trim(Line);
+  std::string ResultTok;
+  // Optional "%id[.name] = " prefix. Careful: putfield/putstatic/astore
+  // also contain '='; a result prefix starts with '%' and the '=' comes
+  // before the operation word.
+  if (S[0] == '%') {
+    size_t Eq = S.find('=');
+    if (Eq != std::string::npos) {
+      ResultTok = trim(S.substr(0, Eq));
+      S = trim(S.substr(Eq + 1));
+    }
+  }
+  Instruction *I = parseOperation(ResultTok, S);
+  if (Failed || !I)
+    return;
+  if (!ResultTok.empty()) {
+    std::string Sym = symbolOf(ResultTok);
+    Symbols[Sym] = I;
+    size_t Dot = ResultTok.find('.');
+    if (Dot != std::string::npos)
+      I->setName(ResultTok.substr(Dot + 1));
+  }
+}
+
+void MethodParser::resolvePatches() {
+  Fn->recomputePreds();
+  for (const PhiFix &F : PhiFixes) {
+    for (const auto &[Label, ValTok] : F.Incoming) {
+      Value *V = parseValue(ValTok, F.Phi->type());
+      if (Failed)
+        return;
+      F.Phi->addIncoming(blockOf(Label), V);
+    }
+  }
+}
+
+Method *MethodParser::parse(std::string *Error) {
+  std::vector<std::string> Lines;
+  std::stringstream SS(Text);
+  std::string Line;
+  while (std::getline(SS, Line)) {
+    // Strip comments.
+    size_t Semi = Line.find(';');
+    if (Semi != std::string::npos)
+      Line = Line.substr(0, Semi);
+    if (trim(Line).empty())
+      continue;
+    Lines.push_back(Line);
+  }
+  if (Lines.empty()) {
+    fail("empty input");
+  } else {
+    LineNo = 1;
+    parseHeader(trim(Lines[0]));
+  }
+
+  if (!Failed) {
+    scanLabels(Lines);
+    if (Fn->numBlocks() == 0)
+      fail("method has no blocks");
+  }
+
+  for (size_t I = 1; !Failed && I < Lines.size(); ++I) {
+    LineNo = static_cast<unsigned>(I + 1);
+    const std::string &Raw = Lines[I];
+    std::string S = trim(Raw);
+    if (S == "}")
+      break;
+    if (Raw[0] != ' ') {
+      // A label line: switch insertion point.
+      size_t Colon = S.find(':');
+      B.setInsertPoint(blockOf(S.substr(0, Colon)));
+      continue;
+    }
+    parseInstruction(S);
+  }
+
+  if (!Failed)
+    resolvePatches();
+
+  if (Failed) {
+    if (Error)
+      *Error = ErrorMsg;
+    return nullptr;
+  }
+  return Fn;
+}
+
+} // namespace
+
+Method *ir::parseMethod(Module &M, const vm::TypeTable &Types,
+                        const std::string &Text, std::string *Error) {
+  MethodParser P(M, Types, Text);
+  return P.parse(Error);
+}

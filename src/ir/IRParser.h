@@ -1,0 +1,42 @@
+//===- ir/IRParser.h - Textual IR parsing -----------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the textual form produced by ir/IRPrinter back into IR. Round-
+/// tripping `printMethod` output is a tested invariant, which makes the
+/// textual form a stable interchange format for test cases and tools.
+///
+/// Accepted grammar (exactly the printer's output):
+///
+///   method <type> <name>(<type> %arg0[.name], ...) {
+///   <label>:[  ; preds: ...]
+///     %<id>[.name] = <op> ...
+///     ...
+///   }
+///
+/// Field references (`Class::field`) resolve through the vm::TypeTable;
+/// call targets resolve by name against methods already in the module
+/// (parse callees before callers). Values may be referenced before their
+/// textual definition (phis); unresolved references are patched in a
+/// second pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_IR_IRPARSER_H
+#define SPF_IR_IRPARSER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace spf {
+namespace ir {
+
+/// Parses one `method ... { ... }` definition from \p Text into \p M.
+/// \returns the new method, or null with a message in \p Error.
+Method *parseMethod(Module &M, const vm::TypeTable &Types,
+                    const std::string &Text, std::string *Error = nullptr);
+
+} // namespace ir
+} // namespace spf
+
+#endif // SPF_IR_IRPARSER_H

@@ -1,0 +1,114 @@
+//===- ir/Instruction.cpp -------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace spf;
+using namespace spf::ir;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Binary:
+    return "bin";
+  case Opcode::Conv:
+    return "conv";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::GetStatic:
+    return "getstatic";
+  case Opcode::PutStatic:
+    return "putstatic";
+  case Opcode::ALoad:
+    return "aload";
+  case Opcode::AStore:
+    return "astore";
+  case Opcode::ArrayLength:
+    return "arraylength";
+  case Opcode::NewObject:
+    return "new";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Branch:
+    return "br";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Prefetch:
+    return "prefetch";
+  case Opcode::SpecLoad:
+    return "spec_load";
+  }
+  spf_unreachable("unknown opcode");
+}
+
+bool Instruction::hasSideEffects() const {
+  switch (Op) {
+  case Opcode::PutField:
+  case Opcode::PutStatic:
+  case Opcode::AStore:
+  case Opcode::Call:
+  case Opcode::NewObject:
+  case Opcode::NewArray:
+  case Opcode::Branch:
+  case Opcode::Jump:
+  case Opcode::Ret:
+  case Opcode::Prefetch:
+  case Opcode::SpecLoad:
+    return true;
+  case Opcode::Binary:
+  case Opcode::Conv:
+  case Opcode::GetField:
+  case Opcode::GetStatic:
+  case Opcode::ALoad:
+  case Opcode::ArrayLength:
+  case Opcode::Phi:
+    return false;
+  }
+  spf_unreachable("unknown opcode");
+}
+
+const char *BinaryInst::binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "add";
+  case BinOp::Sub:
+    return "sub";
+  case BinOp::Mul:
+    return "mul";
+  case BinOp::Div:
+    return "div";
+  case BinOp::Rem:
+    return "rem";
+  case BinOp::And:
+    return "and";
+  case BinOp::Or:
+    return "or";
+  case BinOp::Xor:
+    return "xor";
+  case BinOp::Shl:
+    return "shl";
+  case BinOp::Shr:
+    return "shr";
+  case BinOp::CmpEq:
+    return "cmpeq";
+  case BinOp::CmpNe:
+    return "cmpne";
+  case BinOp::CmpLt:
+    return "cmplt";
+  case BinOp::CmpLe:
+    return "cmple";
+  case BinOp::CmpGt:
+    return "cmpgt";
+  case BinOp::CmpGe:
+    return "cmpge";
+  }
+  spf_unreachable("unknown binop");
+}

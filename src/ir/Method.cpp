@@ -1,0 +1,38 @@
+//===- ir/Method.cpp ------------------------------------------------------===//
+
+#include "ir/Method.h"
+
+#include "ir/Module.h"
+
+using namespace spf;
+using namespace spf::ir;
+
+Method::Method(Module *Parent, std::string Name, Type RetTy,
+               std::vector<Type> ParamTys)
+    : Parent(Parent), Name(std::move(Name)), RetTy(RetTy) {
+  for (unsigned I = 0, E = ParamTys.size(); I != E; ++I)
+    Args.push_back(std::make_unique<Argument>(ParamTys[I], I));
+}
+
+BasicBlock *Method::addBlock(std::string BlockName) {
+  Blocks.push_back(std::make_unique<BasicBlock>(
+      this, static_cast<unsigned>(Blocks.size()), std::move(BlockName)));
+  return Blocks.back().get();
+}
+
+void Method::recomputePreds() {
+  for (const auto &BB : Blocks)
+    BB->clearPredecessors();
+  for (const auto &BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      Succ->addPredecessor(BB.get());
+}
+
+void Method::renumber() {
+  unsigned NextId = 0;
+  for (const auto &Arg : Args)
+    Arg->setId(NextId++);
+  for (const auto &BB : Blocks)
+    for (const auto &I : BB->instructions())
+      I->setId(NextId++);
+}

@@ -1,0 +1,84 @@
+//===- ir/Method.h - A compiled method --------------------------*- C++ -*-===//
+///
+/// \file
+/// A method: a CFG of basic blocks plus formal arguments. Methods may also
+/// be "native" (implemented by a C++ callback), which models runtime
+/// library calls like `String.equals`; object inspection skips such calls
+/// exactly as it skips ordinary invocations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_IR_METHOD_H
+#define SPF_IR_METHOD_H
+
+#include "ir/BasicBlock.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spf {
+namespace ir {
+
+class Module;
+
+/// Signature and body of a method.
+class Method {
+public:
+  /// Native callback: receives raw 64-bit argument slots, returns a raw
+  /// 64-bit result slot.
+  using NativeFn = std::function<uint64_t(const std::vector<uint64_t> &)>;
+
+  Method(Module *Parent, std::string Name, Type RetTy,
+         std::vector<Type> ParamTys);
+
+  Method(const Method &) = delete;
+  Method &operator=(const Method &) = delete;
+
+  Module *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  Type returnType() const { return RetTy; }
+
+  const std::vector<std::unique_ptr<Argument>> &arguments() const {
+    return Args;
+  }
+  Argument *arg(unsigned I) const { return Args[I].get(); }
+  unsigned numArgs() const { return Args.size(); }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  BasicBlock *entry() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+  size_t numBlocks() const { return Blocks.size(); }
+
+  /// Creates and appends a new block. The first block created is the entry.
+  BasicBlock *addBlock(std::string BlockName);
+
+  /// Recomputes predecessor lists from terminators. Call after the CFG is
+  /// fully built or after edits.
+  void recomputePreds();
+
+  /// Assigns dense printer ids to all values in program order.
+  void renumber();
+
+  /// True if the method is implemented natively rather than in IR.
+  bool isNative() const { return static_cast<bool>(Native); }
+  const NativeFn &nativeImpl() const { return Native; }
+  void setNative(NativeFn Fn) { Native = std::move(Fn); }
+
+private:
+  Module *Parent;
+  std::string Name;
+  Type RetTy;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  NativeFn Native;
+};
+
+} // namespace ir
+} // namespace spf
+
+#endif // SPF_IR_METHOD_H

@@ -1,0 +1,52 @@
+//===- ir/Module.cpp ------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace spf;
+using namespace spf::ir;
+
+Method *Module::addMethod(std::string Name, Type RetTy,
+                          std::vector<Type> ParamTys) {
+  Methods.push_back(std::make_unique<Method>(this, std::move(Name), RetTy,
+                                             std::move(ParamTys)));
+  return Methods.back().get();
+}
+
+Method *Module::findMethod(const std::string &Name) const {
+  for (const auto &M : Methods)
+    if (M->name() == Name)
+      return M.get();
+  return nullptr;
+}
+
+Constant *Module::intConstImpl(Type Ty, int64_t V) {
+  auto Key = std::make_pair(static_cast<uint8_t>(Ty),
+                            static_cast<uint64_t>(V));
+  auto It = Constants.find(Key);
+  if (It != Constants.end())
+    return It->second.get();
+  auto C = std::make_unique<Constant>(Ty, static_cast<uint64_t>(V));
+  Constant *Raw = C.get();
+  Constants.emplace(Key, std::move(C));
+  return Raw;
+}
+
+Constant *Module::intConst(Type Ty, int64_t V) {
+  assert((Ty == Type::I32 || Ty == Type::I64 || Ty == Type::Ref) &&
+         "intConst requires an integer-like type");
+  return intConstImpl(Ty, V);
+}
+
+Constant *Module::floatConst(double V) {
+  uint64_t Bits;
+  __builtin_memcpy(&Bits, &V, sizeof(Bits));
+  return intConstImpl(Type::F64, static_cast<int64_t>(Bits));
+}
+
+StaticVarDesc *Module::addStatic(std::string Name, Type Ty) {
+  auto Var = std::make_unique<StaticVarDesc>();
+  Var->Name = std::move(Name);
+  Var->Ty = Ty;
+  Statics.push_back(std::move(Var));
+  return Statics.back().get();
+}

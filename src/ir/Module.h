@@ -1,0 +1,67 @@
+//===- ir/Module.h - Translation unit of the JIT IR -------------*- C++ -*-===//
+///
+/// \file
+/// A module owns methods, uniqued constants, and static-variable
+/// descriptors — the compile-time world of one simulated program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_IR_MODULE_H
+#define SPF_IR_MODULE_H
+
+#include "ir/Method.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spf {
+namespace ir {
+
+/// Owns the methods, constants, and statics of one program.
+class Module {
+public:
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  /// Creates a method with the given signature.
+  Method *addMethod(std::string Name, Type RetTy, std::vector<Type> ParamTys);
+
+  /// Returns the method named \p Name, or null.
+  Method *findMethod(const std::string &Name) const;
+
+  const std::vector<std::unique_ptr<Method>> &methods() const {
+    return Methods;
+  }
+
+  /// Returns the uniqued integer constant of type \p Ty with value \p V.
+  Constant *intConst(Type Ty, int64_t V);
+
+  /// Returns the uniqued double constant.
+  Constant *floatConst(double V);
+
+  /// Returns the uniqued null reference.
+  Constant *nullRef() { return intConstImpl(Type::Ref, 0); }
+
+  /// Declares a static variable; its simulated address is assigned later
+  /// by the workload (vm::Heap::allocStatic).
+  StaticVarDesc *addStatic(std::string Name, Type Ty);
+
+  const std::vector<std::unique_ptr<StaticVarDesc>> &statics() const {
+    return Statics;
+  }
+
+private:
+  Constant *intConstImpl(Type Ty, int64_t V);
+
+  std::vector<std::unique_ptr<Method>> Methods;
+  std::vector<std::unique_ptr<StaticVarDesc>> Statics;
+  std::map<std::pair<uint8_t, uint64_t>, std::unique_ptr<Constant>> Constants;
+};
+
+} // namespace ir
+} // namespace spf
+
+#endif // SPF_IR_MODULE_H

@@ -1,0 +1,65 @@
+//===- ir/Type.h - Primitive IR types ---------------------------*- C++ -*-===//
+///
+/// \file
+/// The IR's primitive type system. The JIT IR models Java-bytecode-shaped
+/// programs, so only a small set of slot types exists: 32/64-bit integers,
+/// doubles, references (simulated 64-bit heap addresses), and void.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_IR_TYPE_H
+#define SPF_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace spf {
+namespace ir {
+
+/// A primitive IR slot type.
+enum class Type : uint8_t {
+  Void, ///< No value (procedure returns).
+  I32,  ///< 32-bit signed integer (Java int, booleans, array indices).
+  I64,  ///< 64-bit signed integer (Java long).
+  F64,  ///< IEEE double.
+  Ref,  ///< Object reference: a simulated 64-bit heap address.
+};
+
+/// Returns the in-memory size in bytes of a value of type \p Ty when stored
+/// in an object field or array element.
+inline unsigned storageSize(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    assert(false && "void has no storage size");
+    return 0;
+  case Type::I32:
+    return 4;
+  case Type::I64:
+  case Type::F64:
+  case Type::Ref:
+    return 8;
+  }
+  return 0;
+}
+
+/// Returns a short printable name for \p Ty.
+inline const char *typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::I32:
+    return "i32";
+  case Type::I64:
+    return "i64";
+  case Type::F64:
+    return "f64";
+  case Type::Ref:
+    return "ref";
+  }
+  return "?";
+}
+
+} // namespace ir
+} // namespace spf
+
+#endif // SPF_IR_TYPE_H

@@ -1,0 +1,105 @@
+//===- ir/Value.h - Base of the IR value hierarchy --------------*- C++ -*-===//
+///
+/// \file
+/// `Value` is the root of the IR's def hierarchy: constants, method
+/// arguments, and instructions all produce values. LLVM-style `isa<>` /
+/// `cast<>` dispatch runs on `Value::kind()`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_IR_VALUE_H
+#define SPF_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <string>
+
+namespace spf {
+namespace ir {
+
+/// Discriminator for the Value hierarchy.
+enum class ValueKind : uint8_t {
+  Constant,
+  Argument,
+  Instruction,
+};
+
+/// Anything that can appear as an instruction operand.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value() = default;
+
+  ValueKind kind() const { return Kind; }
+  Type type() const { return Ty; }
+
+  /// A small per-method id used by the printer (%<id>); constants use
+  /// their literal spelling instead.
+  unsigned id() const { return Id; }
+  void setId(unsigned NewId) { Id = NewId; }
+
+  /// Optional name for readable dumps.
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+protected:
+  Value(ValueKind Kind, Type Ty) : Kind(Kind), Ty(Ty) {}
+
+private:
+  ValueKind Kind;
+  Type Ty;
+  unsigned Id = 0;
+  std::string Name;
+};
+
+/// A compile-time constant. Integers, doubles (bit-cast into the raw
+/// payload), and the null reference are all Constants.
+class Constant : public Value {
+public:
+  Constant(Type Ty, uint64_t RawBits)
+      : Value(ValueKind::Constant, Ty), Raw(RawBits) {}
+
+  /// Raw 64-bit payload (sign-extended for I32, bit pattern for F64).
+  uint64_t raw() const { return Raw; }
+
+  int64_t intValue() const { return static_cast<int64_t>(Raw); }
+
+  double floatValue() const {
+    double D;
+    static_assert(sizeof(D) == sizeof(Raw));
+    __builtin_memcpy(&D, &Raw, sizeof(D));
+    return D;
+  }
+
+  bool isNullRef() const { return type() == Type::Ref && Raw == 0; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Constant;
+  }
+
+private:
+  uint64_t Raw;
+};
+
+/// A formal parameter of a method.
+class Argument : public Value {
+public:
+  Argument(Type Ty, unsigned Index) : Value(ValueKind::Argument, Ty),
+                                      Index(Index) {}
+
+  unsigned index() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+};
+
+} // namespace ir
+} // namespace spf
+
+#endif // SPF_IR_VALUE_H

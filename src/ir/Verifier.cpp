@@ -1,0 +1,161 @@
+//===- ir/Verifier.cpp ----------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace spf;
+using namespace spf::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(Method *M, std::vector<std::string> *Errors)
+      : M(M), Errors(Errors) {}
+
+  bool run();
+
+private:
+  void fail(const BasicBlock *BB, const Instruction *I, const char *Msg) {
+    Ok = false;
+    if (!Errors)
+      return;
+    std::ostringstream OS;
+    OS << M->name() << "/" << BB->name() << ": " << Msg;
+    if (I) {
+      OS << " in '";
+      printInstruction(OS, I);
+      OS << "'";
+    }
+    Errors->push_back(OS.str());
+  }
+
+  void checkBlock(const BasicBlock *BB);
+  void checkInstruction(const BasicBlock *BB, const Instruction *I);
+
+  Method *M;
+  std::vector<std::string> *Errors;
+  std::set<const BasicBlock *> KnownBlocks;
+  std::set<const Value *> DefinedValues;
+  bool Ok = true;
+};
+
+} // namespace
+
+bool VerifierImpl::run() {
+  if (M->numBlocks() == 0) {
+    Ok = false;
+    if (Errors)
+      Errors->push_back(M->name() + ": method has no blocks");
+    return Ok;
+  }
+
+  for (const auto &BB : M->blocks())
+    KnownBlocks.insert(BB.get());
+  for (const auto &Arg : M->arguments())
+    DefinedValues.insert(Arg.get());
+  for (const auto &BB : M->blocks())
+    for (const auto &I : BB->instructions())
+      DefinedValues.insert(I.get());
+
+  for (const auto &BB : M->blocks())
+    checkBlock(BB.get());
+  return Ok;
+}
+
+void VerifierImpl::checkBlock(const BasicBlock *BB) {
+  if (BB->empty()) {
+    fail(BB, nullptr, "empty block");
+    return;
+  }
+
+  bool SeenNonPhi = false;
+  for (const auto &I : BB->instructions()) {
+    if (isa<PhiInst>(I.get())) {
+      if (SeenNonPhi)
+        fail(BB, I.get(), "phi after non-phi instruction");
+    } else {
+      SeenNonPhi = true;
+    }
+    if (I->isTerminator() && I.get() != BB->back())
+      fail(BB, I.get(), "terminator in the middle of a block");
+    checkInstruction(BB, I.get());
+  }
+
+  if (!BB->back()->isTerminator())
+    fail(BB, BB->back(), "block does not end in a terminator");
+
+  for (const BasicBlock *Succ : BB->successors())
+    if (!KnownBlocks.count(Succ))
+      fail(BB, BB->back(), "successor not owned by this method");
+}
+
+void VerifierImpl::checkInstruction(const BasicBlock *BB,
+                                    const Instruction *I) {
+  for (unsigned Idx = 0, E = I->numOperands(); Idx != E; ++Idx) {
+    const Value *Op = I->operand(Idx);
+    if (!Op) {
+      fail(BB, I, "null operand");
+      continue;
+    }
+    if (isa<Instruction>(Op) || isa<Argument>(Op)) {
+      if (!DefinedValues.count(Op))
+        fail(BB, I, "operand defined outside this method");
+    }
+    if (Op->type() == Type::Void)
+      fail(BB, I, "void-typed operand");
+  }
+
+  if (const auto *Phi = dyn_cast<PhiInst>(I)) {
+    const auto &Preds = BB->predecessors();
+    if (Phi->numIncoming() != Preds.size()) {
+      fail(BB, I, "phi incoming count differs from predecessor count");
+      return;
+    }
+    for (unsigned Idx = 0, E = Phi->numIncoming(); Idx != E; ++Idx) {
+      const BasicBlock *In = Phi->incomingBlock(Idx);
+      if (std::find(Preds.begin(), Preds.end(), In) == Preds.end())
+        fail(BB, I, "phi incoming block is not a predecessor");
+      if (Phi->incomingValue(Idx)->type() != Phi->type())
+        fail(BB, I, "phi incoming value type mismatch");
+    }
+  }
+
+  if (const auto *Ret = dyn_cast<RetInst>(I)) {
+    Type Expected = BB->parent()->returnType();
+    if (Expected == Type::Void) {
+      if (Ret->value())
+        fail(BB, I, "value returned from void method");
+    } else if (!Ret->value() || Ret->value()->type() != Expected) {
+      fail(BB, I, "return value type mismatch");
+    }
+  }
+
+  if (const auto *Put = dyn_cast<PutFieldInst>(I))
+    if (Put->value()->type() != Put->field()->Ty)
+      fail(BB, I, "putfield value type mismatch");
+
+  if (const auto *Get = dyn_cast<GetFieldInst>(I))
+    if (Get->type() != Get->field()->Ty)
+      fail(BB, I, "getfield result type mismatch");
+}
+
+bool ir::verifyMethod(Method *M, std::vector<std::string> *Errors) {
+  return VerifierImpl(M, Errors).run();
+}
+
+bool ir::verifyModule(Module *M, std::vector<std::string> *Errors) {
+  bool Ok = true;
+  for (const auto &Fn : M->methods()) {
+    if (Fn->isNative())
+      continue;
+    Ok &= verifyMethod(Fn.get(), Errors);
+  }
+  return Ok;
+}

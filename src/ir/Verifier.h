@@ -1,0 +1,32 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+///
+/// \file
+/// Structural verifier: every block ends in exactly one terminator, phis
+/// match predecessor lists, operand types agree with opcode contracts, and
+/// all referenced blocks belong to the method. Run after construction and
+/// after every transformation pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_IR_VERIFIER_H
+#define SPF_IR_VERIFIER_H
+
+#include "ir/Method.h"
+
+#include <string>
+#include <vector>
+
+namespace spf {
+namespace ir {
+
+/// Verifies \p M; appends human-readable problems to \p Errors.
+/// \returns true when the method is well-formed.
+bool verifyMethod(Method *M, std::vector<std::string> *Errors = nullptr);
+
+/// Verifies every non-native method in \p M.
+bool verifyModule(Module *M, std::vector<std::string> *Errors = nullptr);
+
+} // namespace ir
+} // namespace spf
+
+#endif // SPF_IR_VERIFIER_H

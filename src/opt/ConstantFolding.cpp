@@ -1,0 +1,97 @@
+//===- opt/ConstantFolding.cpp --------------------------------------------===//
+
+#include "opt/ConstantFolding.h"
+
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <optional>
+
+using namespace spf;
+using namespace spf::opt;
+using namespace spf::ir;
+
+static std::optional<uint64_t> foldBinary(const BinaryInst *B, int64_t L,
+                                          int64_t R) {
+  using BinOp = BinaryInst::BinOp;
+  Type OpTy = B->lhs()->type();
+  if (OpTy == Type::F64 || OpTy == Type::Ref)
+    return std::nullopt; // Keep it simple: fold integers only.
+
+  auto Wrap = [OpTy](int64_t V) -> uint64_t {
+    if (OpTy == Type::I32)
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(V)));
+    return static_cast<uint64_t>(V);
+  };
+
+  switch (B->binOp()) {
+  case BinOp::Add: return Wrap(L + R);
+  case BinOp::Sub: return Wrap(L - R);
+  case BinOp::Mul: return Wrap(L * R);
+  case BinOp::Div:
+    if (R == 0)
+      return std::nullopt; // Let the runtime trap.
+    return Wrap(L / R);
+  case BinOp::Rem:
+    if (R == 0)
+      return std::nullopt;
+    return Wrap(L % R);
+  case BinOp::And: return Wrap(L & R);
+  case BinOp::Or: return Wrap(L | R);
+  case BinOp::Xor: return Wrap(L ^ R);
+  case BinOp::Shl: return Wrap(L << (R & 63));
+  case BinOp::Shr: return Wrap(L >> (R & 63));
+  case BinOp::CmpEq: return L == R;
+  case BinOp::CmpNe: return L != R;
+  case BinOp::CmpLt: return L < R;
+  case BinOp::CmpLe: return L <= R;
+  case BinOp::CmpGt: return L > R;
+  case BinOp::CmpGe: return L >= R;
+  }
+  spf_unreachable("unknown binop");
+}
+
+unsigned opt::foldConstants(Method *M) {
+  Module *Mod = M->parent();
+  unsigned Folded = 0;
+  bool Changed = true;
+
+  while (Changed) {
+    Changed = false;
+    // Map from folded instruction to its replacement constant.
+    std::vector<std::pair<Instruction *, Constant *>> Replacements;
+
+    for (const auto &BB : M->blocks()) {
+      for (const auto &IP : BB->instructions()) {
+        auto *B = dyn_cast<BinaryInst>(IP.get());
+        if (!B)
+          continue;
+        auto *L = dyn_cast<Constant>(B->lhs());
+        auto *R = dyn_cast<Constant>(B->rhs());
+        if (!L || !R)
+          continue;
+        auto V = foldBinary(B, L->intValue(), R->intValue());
+        if (!V)
+          continue;
+        Replacements.emplace_back(
+            B, Mod->intConst(B->type(), static_cast<int64_t>(*V)));
+      }
+    }
+
+    if (Replacements.empty())
+      break;
+
+    for (auto &[Dead, Repl] : Replacements) {
+      for (const auto &BB : M->blocks())
+        for (const auto &IP : BB->instructions())
+          for (unsigned I = 0, E = IP->numOperands(); I != E; ++I)
+            if (IP->operand(I) == Dead)
+              IP->setOperand(I, Repl);
+      Dead->parent()->erase(Dead);
+      ++Folded;
+      Changed = true;
+    }
+  }
+  return Folded;
+}

@@ -1,0 +1,25 @@
+//===- opt/ConstantFolding.h - Constant folding pass ------------*- C++ -*-===//
+///
+/// \file
+/// Folds arithmetic and conversions over constant operands. One of the
+/// conventional optimizations forming the JIT pipeline whose total time is
+/// the denominator of the paper's Figure 11 compile-time overhead ratio.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_OPT_CONSTANTFOLDING_H
+#define SPF_OPT_CONSTANTFOLDING_H
+
+#include "ir/Method.h"
+
+namespace spf {
+namespace opt {
+
+/// Folds constant expressions in \p M until a fixpoint.
+/// \returns the number of instructions folded.
+unsigned foldConstants(ir::Method *M);
+
+} // namespace opt
+} // namespace spf
+
+#endif // SPF_OPT_CONSTANTFOLDING_H

@@ -1,0 +1,36 @@
+//===- opt/DeadCodeElim.cpp -----------------------------------------------===//
+
+#include "opt/DeadCodeElim.h"
+
+#include "analysis/DefUse.h"
+
+using namespace spf;
+using namespace spf::opt;
+using namespace spf::ir;
+
+unsigned opt::eliminateDeadCode(Method *M) {
+  unsigned Removed = 0;
+  bool Changed = true;
+
+  while (Changed) {
+    Changed = false;
+    analysis::DefUse DU(M);
+
+    std::vector<Instruction *> Dead;
+    for (const auto &BB : M->blocks())
+      for (const auto &IP : BB->instructions()) {
+        Instruction *I = IP.get();
+        if (I->hasSideEffects() || I->isTerminator())
+          continue;
+        if (!DU.hasUsers(I))
+          Dead.push_back(I);
+      }
+
+    for (Instruction *I : Dead) {
+      I->parent()->erase(I);
+      ++Removed;
+      Changed = true;
+    }
+  }
+  return Removed;
+}

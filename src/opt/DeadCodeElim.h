@@ -1,0 +1,24 @@
+//===- opt/DeadCodeElim.h - Dead code elimination ---------------*- C++ -*-===//
+///
+/// \file
+/// Removes side-effect-free instructions with no users. Part of the
+/// baseline JIT pipeline (Figure 11 denominator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_OPT_DEADCODEELIM_H
+#define SPF_OPT_DEADCODEELIM_H
+
+#include "ir/Method.h"
+
+namespace spf {
+namespace opt {
+
+/// Deletes dead instructions in \p M until a fixpoint.
+/// \returns the number of instructions removed.
+unsigned eliminateDeadCode(ir::Method *M);
+
+} // namespace opt
+} // namespace spf
+
+#endif // SPF_OPT_DEADCODEELIM_H

@@ -1,0 +1,160 @@
+//===- opt/LinearScan.cpp -------------------------------------------------===//
+
+#include "opt/LinearScan.h"
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace spf;
+using namespace spf::opt;
+using namespace spf::ir;
+
+AllocationResult opt::allocateRegisters(Method *M, const Liveness &LV,
+                                        unsigned NumRegisters) {
+  AllocationResult Result;
+  Result.NumRegisters = NumRegisters;
+
+  // Linearize in reverse postorder and assign instruction numbers.
+  auto RPO = analysis::reversePostOrder(M);
+  std::unordered_map<const Value *, unsigned> Number;
+  unsigned Counter = 0;
+  for (const auto &Arg : M->arguments())
+    Number[Arg.get()] = Counter++;
+  std::unordered_map<const BasicBlock *, std::pair<unsigned, unsigned>>
+      BlockRange;
+  for (BasicBlock *BB : RPO) {
+    unsigned Begin = Counter;
+    for (const auto &I : BB->instructions())
+      Number[I.get()] = Counter++;
+    BlockRange[BB] = {Begin, Counter};
+  }
+
+  // Build intervals: def point extended over every use; values live
+  // across block boundaries are extended over the full range of each
+  // block whose live-in contains them (a standard conservative
+  // linear-scan approximation of lifetime holes).
+  std::map<unsigned, LiveInterval> ById;
+  auto Extend = [&](const Value *V, unsigned Point) {
+    if (!(isa<Instruction>(V) || isa<Argument>(V)))
+      return;
+    auto NumIt = Number.find(V);
+    if (NumIt == Number.end())
+      return; // Unreachable block.
+    auto [It, Inserted] = ById.try_emplace(V->id());
+    LiveInterval &LI = It->second;
+    if (Inserted) {
+      LI.ValueId = V->id();
+      LI.Start = NumIt->second;
+      LI.End = NumIt->second;
+    }
+    LI.Start = std::min(LI.Start, Point);
+    LI.End = std::max(LI.End, Point);
+  };
+
+  for (const auto &Arg : M->arguments())
+    Extend(Arg.get(), Number[Arg.get()]);
+  for (BasicBlock *BB : RPO) {
+    for (const auto &I : BB->instructions()) {
+      unsigned P = Number[I.get()];
+      if (I->type() != Type::Void)
+        Extend(I.get(), P);
+      for (Value *Op : I->operands())
+        Extend(Op, P);
+    }
+    auto Range = BlockRange[BB];
+    const auto &In = LV.liveIn(BB);
+    const auto &Out = LV.liveOut(BB);
+    for (const auto &Other : ById) {
+      unsigned Id = Other.first;
+      if (Id < In.size() && (In[Id] || Out[Id])) {
+        LiveInterval &LI = ById[Id];
+        if (In[Id])
+          LI.Start = std::min(LI.Start, Range.first);
+        if (Out[Id])
+          LI.End = std::max(LI.End, Range.second);
+      }
+    }
+  }
+
+  for (auto &KV : ById)
+    Result.Intervals.push_back(KV.second);
+  std::sort(Result.Intervals.begin(), Result.Intervals.end(),
+            [](const LiveInterval &A, const LiveInterval &B) {
+              return A.Start < B.Start;
+            });
+
+  // True register pressure: an event sweep over interval endpoints
+  // (independent of spilling decisions).
+  {
+    std::vector<std::pair<unsigned, int>> Events;
+    for (const LiveInterval &LI : Result.Intervals) {
+      Events.emplace_back(LI.Start, +1);
+      Events.emplace_back(LI.End + 1, -1);
+    }
+    std::sort(Events.begin(), Events.end());
+    int Cur = 0;
+    for (const auto &[Point, Delta] : Events) {
+      Cur += Delta;
+      Result.MaxPressure =
+          std::max(Result.MaxPressure, static_cast<unsigned>(Cur));
+    }
+  }
+
+  // The scan.
+  std::vector<LiveInterval *> Active; // Sorted by End.
+  std::vector<bool> FreeRegs(NumRegisters, true);
+
+  auto ExpireBefore = [&](unsigned Start) {
+    auto It = Active.begin();
+    while (It != Active.end() && (*It)->End < Start) {
+      if ((*It)->Register >= 0)
+        FreeRegs[(*It)->Register] = true;
+      It = Active.erase(It);
+    }
+  };
+
+  for (LiveInterval &LI : Result.Intervals) {
+    ExpireBefore(LI.Start);
+
+    int Reg = -1;
+    for (unsigned R = 0; R != NumRegisters; ++R)
+      if (FreeRegs[R]) {
+        Reg = static_cast<int>(R);
+        break;
+      }
+
+    if (Reg >= 0) {
+      FreeRegs[Reg] = false;
+      LI.Register = Reg;
+      auto Pos = std::lower_bound(Active.begin(), Active.end(), &LI,
+                                  [](const LiveInterval *A,
+                                     const LiveInterval *B) {
+                                    return A->End < B->End;
+                                  });
+      Active.insert(Pos, &LI);
+      continue;
+    }
+
+    // Spill the interval that ends last (Poletto-Sarkar heuristic).
+    LiveInterval *Last = Active.empty() ? nullptr : Active.back();
+    if (Last && Last->End > LI.End) {
+      LI.Register = Last->Register;
+      Last->Register = -1;
+      ++Result.Spills;
+      Active.pop_back();
+      auto Pos = std::lower_bound(Active.begin(), Active.end(), &LI,
+                                  [](const LiveInterval *A,
+                                     const LiveInterval *B) {
+                                    return A->End < B->End;
+                                  });
+      Active.insert(Pos, &LI);
+    } else {
+      LI.Register = -1;
+      ++Result.Spills;
+    }
+  }
+
+  return Result;
+}

@@ -1,0 +1,103 @@
+//===- opt/Liveness.cpp ---------------------------------------------------===//
+
+#include "opt/Liveness.h"
+
+#include "analysis/Cfg.h"
+#include "support/Casting.h"
+
+using namespace spf;
+using namespace spf::opt;
+using namespace spf::ir;
+
+Liveness::Liveness(Method *M) {
+  M->renumber();
+  NumValues = M->numArgs();
+  for (const auto &BB : M->blocks())
+    NumValues += BB->size();
+  CrossBlock.assign(NumValues, false);
+
+  // Per-block use (upward-exposed) and def sets. Phi inputs count as uses
+  // in the corresponding *predecessor* (standard SSA liveness).
+  std::unordered_map<const BasicBlock *, std::vector<bool>> Use, Def;
+  for (const auto &BBOwn : M->blocks()) {
+    BasicBlock *BB = BBOwn.get();
+    auto &U = Use[BB];
+    auto &D = Def[BB];
+    U.assign(NumValues, false);
+    D.assign(NumValues, false);
+    LiveIn[BB].assign(NumValues, false);
+    LiveOut[BB].assign(NumValues, false);
+
+    for (const auto &I : BB->instructions()) {
+      if (!isa<PhiInst>(I.get())) {
+        for (Value *Op : I->operands())
+          if ((isa<Instruction>(Op) || isa<Argument>(Op)) &&
+              !D[Op->id()])
+            U[Op->id()] = true;
+      }
+      if (I->type() != Type::Void)
+        D[I->id()] = true;
+    }
+  }
+
+  // Phi uses feed the predecessors' live-out directly.
+  std::unordered_map<const BasicBlock *, std::vector<unsigned>> PhiUses;
+  for (const auto &BB : M->blocks())
+    for (const auto &I : BB->instructions()) {
+      auto *Phi = dyn_cast<PhiInst>(I.get());
+      if (!Phi)
+        break;
+      for (unsigned K = 0, E = Phi->numIncoming(); K != E; ++K) {
+        Value *In = Phi->incomingValue(K);
+        if (isa<Instruction>(In) || isa<Argument>(In))
+          PhiUses[Phi->incomingBlock(K)].push_back(In->id());
+      }
+    }
+
+  // Backward fixpoint: out[B] = union over succ S of (in[S] setminus
+  // S's phi defs) plus phi inputs along B->S; in[B] = use[B] + (out[B] -
+  // def[B]).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = M->blocks().rbegin(); It != M->blocks().rend(); ++It) {
+      BasicBlock *BB = It->get();
+      auto &Out = LiveOut[BB];
+      auto &In = LiveIn[BB];
+
+      std::vector<bool> NewOut(NumValues, false);
+      for (BasicBlock *Succ : BB->successors()) {
+        const auto &SIn = LiveIn[Succ];
+        for (unsigned V = 0; V != NumValues; ++V)
+          if (SIn[V])
+            NewOut[V] = true;
+      }
+      auto PU = PhiUses.find(BB);
+      if (PU != PhiUses.end())
+        for (unsigned V : PU->second)
+          NewOut[V] = true;
+
+      const auto &U = Use[BB];
+      const auto &D = Def[BB];
+      std::vector<bool> NewIn(NumValues, false);
+      for (unsigned V = 0; V != NumValues; ++V)
+        NewIn[V] = U[V] || (NewOut[V] && !D[V]);
+
+      if (NewOut != Out) {
+        Out = std::move(NewOut);
+        Changed = true;
+      }
+      if (NewIn != In) {
+        In = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+
+  for (const auto &BB : M->blocks()) {
+    const auto &In = LiveIn[BB.get()];
+    for (unsigned V = 0; V != NumValues; ++V)
+      if (In[V])
+        CrossBlock[V] = true;
+  }
+}

@@ -1,0 +1,69 @@
+//===- opt/LocalCSE.cpp ---------------------------------------------------===//
+
+#include "opt/LocalCSE.h"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace spf;
+using namespace spf::opt;
+using namespace spf::ir;
+
+namespace {
+
+/// Key identifying a CSE-able expression. Extra carries the sub-opcode.
+using ExprKey = std::tuple<Opcode, unsigned, const Value *, const Value *>;
+
+bool isCseCandidate(const Instruction *I) {
+  switch (I->opcode()) {
+  case Opcode::Binary:
+  case Opcode::Conv:
+  case Opcode::ArrayLength: // Lengths never change after allocation.
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprKey keyFor(const Instruction *I) {
+  unsigned Extra = 0;
+  if (const auto *B = dyn_cast<BinaryInst>(I))
+    Extra = static_cast<unsigned>(B->binOp());
+  else if (const auto *C = dyn_cast<ConvInst>(I))
+    Extra = static_cast<unsigned>(C->convOp());
+  const Value *Op0 = I->numOperands() > 0 ? I->operand(0) : nullptr;
+  const Value *Op1 = I->numOperands() > 1 ? I->operand(1) : nullptr;
+  return {I->opcode(), Extra, Op0, Op1};
+}
+
+} // namespace
+
+unsigned opt::localCSE(Method *M) {
+  unsigned Removed = 0;
+
+  for (const auto &BB : M->blocks()) {
+    std::map<ExprKey, Instruction *> Available;
+    std::vector<std::pair<Instruction *, Instruction *>> Dups;
+
+    for (const auto &IP : BB->instructions()) {
+      Instruction *I = IP.get();
+      if (!isCseCandidate(I))
+        continue;
+      auto [It, Inserted] = Available.emplace(keyFor(I), I);
+      if (!Inserted)
+        Dups.emplace_back(I, It->second);
+    }
+
+    for (auto &[Dead, Repl] : Dups) {
+      for (const auto &OtherBB : M->blocks())
+        for (const auto &IP : OtherBB->instructions())
+          for (unsigned I = 0, E = IP->numOperands(); I != E; ++I)
+            if (IP->operand(I) == Dead)
+              IP->setOperand(I, Repl);
+      BB->erase(Dead);
+      ++Removed;
+    }
+  }
+  return Removed;
+}

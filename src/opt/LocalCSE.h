@@ -1,0 +1,25 @@
+//===- opt/LocalCSE.h - Block-local common subexpressions -------*- C++ -*-===//
+///
+/// \file
+/// Block-local common-subexpression elimination over pure expressions
+/// (arithmetic, conversions) and `arraylength` loads (array lengths are
+/// immutable). Part of the baseline JIT pipeline (Figure 11 denominator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_OPT_LOCALCSE_H
+#define SPF_OPT_LOCALCSE_H
+
+#include "ir/Method.h"
+
+namespace spf {
+namespace opt {
+
+/// Eliminates duplicated pure expressions within each block of \p M.
+/// \returns the number of instructions removed.
+unsigned localCSE(ir::Method *M);
+
+} // namespace opt
+} // namespace spf
+
+#endif // SPF_OPT_LOCALCSE_H

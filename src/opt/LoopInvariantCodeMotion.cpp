@@ -1,0 +1,87 @@
+//===- opt/LoopInvariantCodeMotion.cpp ------------------------------------===//
+
+#include "opt/LoopInvariantCodeMotion.h"
+
+#include "support/Casting.h"
+
+using namespace spf;
+using namespace spf::opt;
+using namespace spf::ir;
+
+namespace {
+
+/// The unique predecessor of the header outside the loop, or null.
+BasicBlock *preheaderOf(const analysis::Loop *L) {
+  BasicBlock *Preheader = nullptr;
+  for (BasicBlock *Pred : L->header()->predecessors()) {
+    if (L->contains(Pred))
+      continue;
+    if (Preheader)
+      return nullptr; // Multiple entries.
+    Preheader = Pred;
+  }
+  return Preheader;
+}
+
+/// Pure and non-memory: safe to execute whenever its operands exist.
+bool isHoistable(const Instruction *I) {
+  if (I->opcode() != Opcode::Binary && I->opcode() != Opcode::Conv)
+    return false;
+  // Division can trap on zero; only hoist when the divisor is a nonzero
+  // constant.
+  if (const auto *B = dyn_cast<BinaryInst>(I)) {
+    using BinOp = BinaryInst::BinOp;
+    if (B->binOp() == BinOp::Div || B->binOp() == BinOp::Rem) {
+      const auto *C = dyn_cast<Constant>(B->rhs());
+      return C && C->intValue() != 0;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+unsigned opt::hoistLoopInvariants(Method *M) {
+  M->recomputePreds();
+  analysis::DominatorTree DT(M);
+  analysis::LoopInfo LI(M, DT);
+  unsigned Moved = 0;
+
+  // Innermost first: hoisting out of an inner loop can expose further
+  // hoisting from the outer one on the next iteration of the fixpoint.
+  for (analysis::Loop *L : LI.loopsPostOrder()) {
+    BasicBlock *Preheader = preheaderOf(L);
+    if (!Preheader || !Preheader->terminator())
+      continue;
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BasicBlock *BB : L->blocks()) {
+        // Collect first: moving mutates the instruction list.
+        std::vector<Instruction *> ToHoist;
+        for (const auto &IP : BB->instructions()) {
+          Instruction *I = IP.get();
+          if (!isHoistable(I))
+            continue;
+          bool Invariant = true;
+          for (Value *Op : I->operands()) {
+            const auto *OpInst = dyn_cast<Instruction>(Op);
+            if (OpInst && L->contains(OpInst))
+              Invariant = false;
+          }
+          if (Invariant)
+            ToHoist.push_back(I);
+        }
+        for (Instruction *I : ToHoist) {
+          std::unique_ptr<Instruction> Owned = BB->detach(I);
+          Preheader->insertBefore(Preheader->terminator(),
+                                  std::move(Owned));
+          ++Moved;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Moved;
+}

@@ -1,0 +1,30 @@
+//===- opt/LoopInvariantCodeMotion.h - LICM ---------------------*- C++ -*-===//
+///
+/// \file
+/// Hoists pure, loop-invariant arithmetic out of loops. Deliberately NOT
+/// part of the default JIT pipeline: the paper's running example relies
+/// on loads like `tv.v` and the bound-check `arraylength`s staying inside
+/// the loop (Table 1 lists them as in-loop loads), and hoisting heap
+/// loads would also move their potential null-pointer checks. Only
+/// side-effect-free, non-memory instructions (arithmetic, conversions)
+/// are moved, so the memory behaviour the prefetcher sees is unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_OPT_LOOPINVARIANTCODEMOTION_H
+#define SPF_OPT_LOOPINVARIANTCODEMOTION_H
+
+#include "analysis/LoopInfo.h"
+
+namespace spf {
+namespace opt {
+
+/// Hoists invariant arithmetic in \p M to loop preheaders (the unique
+/// out-of-loop predecessor of each header; loops without one are left
+/// alone). \returns the number of instructions moved.
+unsigned hoistLoopInvariants(ir::Method *M);
+
+} // namespace opt
+} // namespace spf
+
+#endif // SPF_OPT_LOOPINVARIANTCODEMOTION_H

@@ -1,0 +1,92 @@
+//===- sim/Cache.h - Set-associative cache model ----------------*- C++ -*-===//
+///
+/// \file
+/// Trace-driven set-associative LRU cache. Lines filled by a prefetch
+/// carry a ready-cycle: a demand access arriving before the fill completes
+/// pays only the remaining latency (partial hiding, as on the paper's
+/// out-of-order machines where a prefetch one iteration ahead may not
+/// fully cover memory latency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_SIM_CACHE_H
+#define SPF_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace spf {
+namespace sim {
+
+/// Geometry of one cache level.
+struct CacheParams {
+  uint64_t SizeBytes = 8 * 1024;
+  unsigned LineBytes = 64;
+  unsigned Assoc = 4;
+};
+
+/// Result of a demand access.
+struct CacheAccessResult {
+  bool Hit = false;
+  /// Extra cycles to wait for an in-flight prefetched line (0 when the
+  /// line is fully resident or absent).
+  uint64_t WaitCycles = 0;
+};
+
+/// One level of set-associative LRU cache.
+class Cache {
+public:
+  explicit Cache(CacheParams P);
+
+  unsigned lineBytes() const { return Params.LineBytes; }
+
+  /// Demand access at \p Now; fills the line on a miss (ready
+  /// immediately, i.e. the pipeline stalls for it — the penalty is charged
+  /// by the caller).
+  CacheAccessResult access(uint64_t Addr, uint64_t Now);
+
+  /// Prefetch fill: inserts the line, usable from cycle \p ReadyAt.
+  /// Counted separately from demand statistics.
+  void prefetchFill(uint64_t Addr, uint64_t ReadyAt);
+
+  /// True when the line holding \p Addr is present (no LRU update).
+  bool contains(uint64_t Addr) const;
+
+  /// Invalidates all lines (statistics are kept).
+  void reset();
+
+  // Statistics.
+  uint64_t demandAccesses() const { return DemandAccesses; }
+  uint64_t demandMisses() const { return DemandMisses; }
+  uint64_t prefetchFills() const { return PrefetchFills; }
+  /// Demand accesses that found an in-flight prefetched line and had to
+  /// wait for part of the fill latency.
+  uint64_t lateProbes() const { return LateProbes; }
+
+private:
+  struct Line {
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0;
+    uint64_t ReadyAt = 0;
+    bool Valid = false;
+  };
+
+  Line *findLine(uint64_t LineAddr);
+  const Line *findLine(uint64_t LineAddr) const;
+  Line &victimFor(uint64_t LineAddr);
+
+  CacheParams Params;
+  unsigned NumSets;
+  std::vector<Line> Lines; // NumSets * Assoc, set-major.
+  uint64_t UseClock = 0;
+
+  uint64_t DemandAccesses = 0;
+  uint64_t DemandMisses = 0;
+  uint64_t PrefetchFills = 0;
+  uint64_t LateProbes = 0;
+};
+
+} // namespace sim
+} // namespace spf
+
+#endif // SPF_SIM_CACHE_H

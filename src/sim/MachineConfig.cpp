@@ -1,0 +1,44 @@
+//===- sim/MachineConfig.cpp ----------------------------------------------===//
+
+#include "sim/MachineConfig.h"
+
+using namespace spf;
+using namespace spf::sim;
+
+MachineConfig MachineConfig::pentium4() {
+  MachineConfig C;
+  C.Name = "Pentium 4";
+  C.L1 = CacheParams{8 * 1024, 64, 4};
+  C.L2 = CacheParams{256 * 1024, 128, 8};
+  C.TlbEntries = 64;
+  C.PageBytes = 4096;
+  // Penalties model the *exposed* (post out-of-order overlap) stall per
+  // miss event, not raw DRAM latency: the evaluation machines hide most
+  // of the latency behind independent work, which a trace-driven cost
+  // model must fold into the per-event charge.
+  C.L1HitCycles = 1;
+  C.L2HitPenalty = 6;
+  C.MemPenalty = 100;
+  C.TlbMissPenalty = 35;
+  C.PrefetchFillLatency = 75;
+  C.SwPrefetchFill = PrefetchFillLevel::L2;
+  return C;
+}
+
+MachineConfig MachineConfig::athlonMP() {
+  MachineConfig C;
+  C.Name = "Athlon MP";
+  C.L1 = CacheParams{64 * 1024, 64, 2};
+  C.L2 = CacheParams{256 * 1024, 64, 16};
+  C.TlbEntries = 256;
+  C.PageBytes = 4096;
+  // 1.2 GHz: shallower pipeline, fewer cycles of exposed memory latency
+  // and a hardware page walker with a large DTLB.
+  C.L1HitCycles = 1;
+  C.L2HitPenalty = 4;
+  C.MemPenalty = 80;
+  C.TlbMissPenalty = 18;
+  C.PrefetchFillLatency = 80;
+  C.SwPrefetchFill = PrefetchFillLevel::L1;
+  return C;
+}

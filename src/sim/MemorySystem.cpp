@@ -1,0 +1,104 @@
+//===- sim/MemorySystem.cpp -----------------------------------------------===//
+
+#include "sim/MemorySystem.h"
+
+using namespace spf;
+using namespace spf::sim;
+
+MemorySystem::MemorySystem(const MachineConfig &Cfg)
+    : Cfg(Cfg), L1(Cfg.L1), L2(Cfg.L2), Dtlb(Cfg.TlbEntries, Cfg.PageBytes),
+      HwPf(Cfg.HwPrefetchStreams, Cfg.HwPrefetchDegree, Cfg.L2.LineBytes,
+           Cfg.PageBytes) {}
+
+void MemorySystem::hwPrefetchOnMiss(uint64_t Addr) {
+  if (!Cfg.HwPrefetchEnabled)
+    return;
+  HwTargets.clear();
+  HwPf.onDemandMiss(Addr, HwTargets);
+  for (uint64_t Target : HwTargets)
+    L2.prefetchFill(Target, Cycles + Cfg.PrefetchFillLatency);
+}
+
+void MemorySystem::demandAccess(uint64_t Addr, bool IsLoad) {
+  uint64_t Cost = Cfg.L1HitCycles;
+
+  if (!Dtlb.access(Addr)) {
+    Cost += Cfg.TlbMissPenalty;
+    if (IsLoad)
+      ++Stats.DtlbLoadMisses;
+  }
+
+  CacheAccessResult R1 = L1.access(Addr, Cycles);
+  if (R1.Hit) {
+    Cost += R1.WaitCycles;
+    // A sizeable wait means the line was filled by an in-flight prefetch:
+    // architecturally this was a miss, so keep training the hardware
+    // prefetcher (otherwise software prefetching would starve it).
+    if (R1.WaitCycles > Cfg.L2HitPenalty)
+      hwPrefetchOnMiss(Addr);
+  } else {
+    if (IsLoad)
+      ++Stats.L1LoadMisses;
+    CacheAccessResult R2 = L2.access(Addr, Cycles);
+    if (R2.Hit) {
+      Cost += Cfg.L2HitPenalty + R2.WaitCycles;
+      if (R2.WaitCycles > Cfg.L2HitPenalty)
+        hwPrefetchOnMiss(Addr);
+    } else {
+      Cost += Cfg.L2HitPenalty + Cfg.MemPenalty;
+      if (IsLoad)
+        ++Stats.L2LoadMisses;
+      hwPrefetchOnMiss(Addr);
+    }
+  }
+
+  Cycles += Cost;
+}
+
+void MemorySystem::load(uint64_t Addr) {
+  ++Stats.Loads;
+  demandAccess(Addr, /*IsLoad=*/true);
+}
+
+void MemorySystem::store(uint64_t Addr) {
+  ++Stats.Stores;
+  demandAccess(Addr, /*IsLoad=*/false);
+}
+
+void MemorySystem::prefetch(uint64_t Addr) {
+  ++Stats.SwPrefetchesIssued;
+  Cycles += Cfg.PrefetchIssueCost;
+
+  // "The processor cancels the execution of the instruction when a data
+  //  translation lookaside buffer miss will occur." (Section 3.3)
+  if (!Dtlb.contains(Addr)) {
+    ++Stats.SwPrefetchesCancelled;
+    return;
+  }
+
+  // The fill latency depends on where the line currently lives: an
+  // L2-resident line moves into the L1 in an L2-hit time, not a full
+  // memory round trip.
+  uint64_t ReadyAt = Cycles + (L2.contains(Addr) ? Cfg.L2HitPenalty
+                                                 : Cfg.PrefetchFillLatency);
+  L2.prefetchFill(Addr, ReadyAt);
+  if (Cfg.SwPrefetchFill == PrefetchFillLevel::L1)
+    L1.prefetchFill(Addr, ReadyAt);
+}
+
+void MemorySystem::guardedLoad(uint64_t Addr) {
+  ++Stats.GuardedLoads;
+  Cycles += Cfg.GuardedLoadCost;
+
+  // A real load: walks the page table if needed (priming the DTLB) and
+  // brings the line into every level. The fill completes after the
+  // residency-dependent latency; only the issue cost stalls the pipeline
+  // (no computation consumes the loaded value on the critical path).
+  Dtlb.fill(Addr);
+  if (L1.contains(Addr))
+    return;
+  uint64_t ReadyAt = Cycles + (L2.contains(Addr) ? Cfg.L2HitPenalty
+                                                 : Cfg.PrefetchFillLatency);
+  L2.prefetchFill(Addr, ReadyAt);
+  L1.prefetchFill(Addr, ReadyAt);
+}

@@ -1,0 +1,84 @@
+//===- sim/MemorySystem.h - L1 + L2 + DTLB + clock --------------*- C++ -*-===//
+///
+/// \file
+/// Composes the cache hierarchy, the DTLB, and the hardware prefetcher
+/// behind the event interface the interpreter drives: compute ticks,
+/// demand loads/stores, hardware prefetch instructions, and guarded loads.
+/// Owns the cycle clock and the counters behind Figures 8-10 (load misses
+/// per instruction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_SIM_MEMORYSYSTEM_H
+#define SPF_SIM_MEMORYSYSTEM_H
+
+#include "sim/HardwarePrefetcher.h"
+#include "sim/MachineConfig.h"
+#include "sim/Tlb.h"
+
+namespace spf {
+namespace sim {
+
+/// Event counters for the MPI figures.
+struct MemoryStats {
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t L1LoadMisses = 0;
+  uint64_t L2LoadMisses = 0;
+  uint64_t DtlbLoadMisses = 0;
+  uint64_t SwPrefetchesIssued = 0;
+  uint64_t SwPrefetchesCancelled = 0; ///< DTLB miss cancelled the prefetch.
+  uint64_t GuardedLoads = 0;
+};
+
+/// The simulated memory hierarchy of one machine.
+class MemorySystem {
+public:
+  explicit MemorySystem(const MachineConfig &Cfg);
+
+  const MachineConfig &config() const { return Cfg; }
+
+  /// Advances the clock for \p N non-memory instructions.
+  void tick(uint64_t N) { Cycles += N * Cfg.ComputeCycles; }
+
+  /// Demand load at \p Addr. Advances the clock by the access cost.
+  void load(uint64_t Addr);
+
+  /// Demand store at \p Addr.
+  void store(uint64_t Addr);
+
+  /// Hardware prefetch instruction: cancelled when the target page is not
+  /// in the DTLB; otherwise fills the configured level with the line
+  /// becoming usable PrefetchFillLatency cycles from now.
+  void prefetch(uint64_t Addr);
+
+  /// Guarded load: a real access that fills the DTLB (TLB priming) and all
+  /// cache levels, costing only the issue overhead — its latency is hidden
+  /// by out-of-order execution since no computation consumes its result.
+  void guardedLoad(uint64_t Addr);
+
+  uint64_t cycles() const { return Cycles; }
+  const MemoryStats &stats() const { return Stats; }
+
+  const Cache &l1() const { return L1; }
+  const Cache &l2() const { return L2; }
+  const Tlb &dtlb() const { return Dtlb; }
+
+private:
+  void demandAccess(uint64_t Addr, bool IsLoad);
+  void hwPrefetchOnMiss(uint64_t Addr);
+
+  MachineConfig Cfg;
+  Cache L1;
+  Cache L2;
+  Tlb Dtlb;
+  HardwarePrefetcher HwPf;
+  uint64_t Cycles = 0;
+  MemoryStats Stats;
+  std::vector<uint64_t> HwTargets; // Scratch for prefetcher output.
+};
+
+} // namespace sim
+} // namespace spf
+
+#endif // SPF_SIM_MEMORYSYSTEM_H

@@ -1,0 +1,47 @@
+//===- sim/Tlb.cpp --------------------------------------------------------===//
+
+#include "sim/Tlb.h"
+
+using namespace spf;
+using namespace spf::sim;
+
+void Tlb::touch(uint64_t Page) {
+  auto It = Map.find(Page);
+  Lru.splice(Lru.begin(), Lru, It->second);
+}
+
+void Tlb::insertPage(uint64_t Page) {
+  if (Map.size() >= Entries) {
+    uint64_t Evicted = Lru.back();
+    Lru.pop_back();
+    Map.erase(Evicted);
+  }
+  Lru.push_front(Page);
+  Map[Page] = Lru.begin();
+}
+
+bool Tlb::access(uint64_t Addr) {
+  uint64_t Page = Addr / PageBytes;
+  ++DemandAccesses;
+  if (Map.count(Page)) {
+    touch(Page);
+    return true;
+  }
+  ++DemandMisses;
+  insertPage(Page);
+  return false;
+}
+
+void Tlb::fill(uint64_t Addr) {
+  uint64_t Page = Addr / PageBytes;
+  if (Map.count(Page)) {
+    touch(Page);
+    return;
+  }
+  insertPage(Page);
+}
+
+void Tlb::reset() {
+  Lru.clear();
+  Map.clear();
+}

@@ -1,0 +1,64 @@
+//===- sim/Tlb.h - Data TLB model -------------------------------*- C++ -*-===//
+///
+/// \file
+/// LRU data TLB. DTLB behaviour is central to the paper's evaluation: a
+/// hardware prefetch is cancelled when it would miss the DTLB, and guarded
+/// loads are used precisely to fill DTLB entries in advance ("TLB priming",
+/// Section 3.3); Figure 10 reports DTLB load MPIs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_SIM_TLB_H
+#define SPF_SIM_TLB_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace spf {
+namespace sim {
+
+/// Fully-associative LRU TLB with O(1) lookup.
+class Tlb {
+public:
+  Tlb(unsigned Entries, unsigned PageBytes)
+      : Entries(Entries), PageBytes(PageBytes) {}
+
+  unsigned pageBytes() const { return PageBytes; }
+
+  /// Demand translation: returns true on hit. On a miss the entry is
+  /// filled (the page walk happened); the caller charges the penalty.
+  bool access(uint64_t Addr);
+
+  /// Probe without filling: the cancellation check of a hardware prefetch.
+  bool contains(uint64_t Addr) const {
+    return Map.count(Addr / PageBytes) != 0;
+  }
+
+  /// Fills the entry for \p Addr without counting a demand access
+  /// (TLB priming by a guarded load).
+  void fill(uint64_t Addr);
+
+  void reset();
+
+  uint64_t demandAccesses() const { return DemandAccesses; }
+  uint64_t demandMisses() const { return DemandMisses; }
+
+private:
+  void insertPage(uint64_t Page);
+  void touch(uint64_t Page);
+
+  unsigned Entries;
+  unsigned PageBytes;
+  // LRU order: front = most recent.
+  std::list<uint64_t> Lru;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> Map;
+
+  uint64_t DemandAccesses = 0;
+  uint64_t DemandMisses = 0;
+};
+
+} // namespace sim
+} // namespace spf
+
+#endif // SPF_SIM_TLB_H

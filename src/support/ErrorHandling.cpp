@@ -1,0 +1,19 @@
+//===- support/ErrorHandling.cpp ------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace spf;
+
+void spf::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "spf fatal error: %s\n", Msg);
+  std::abort();
+}
+
+void detail::unreachableInternal(const char *Msg, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,31 @@
+//===- support/ErrorHandling.h - Fatal errors and unreachable ---*- C++ -*-===//
+///
+/// \file
+/// Minimal programmatic-error utilities in the LLVM spirit: a fatal-error
+/// reporter for broken invariants and an `spf_unreachable` marker for
+/// control-flow points that must never execute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_SUPPORT_ERRORHANDLING_H
+#define SPF_SUPPORT_ERRORHANDLING_H
+
+namespace spf {
+
+/// Prints \p Msg to stderr and aborts. Used for invariant violations that
+/// must be diagnosed even in builds without assertions.
+[[noreturn]] void reportFatalError(const char *Msg);
+
+namespace detail {
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+} // namespace detail
+
+} // namespace spf
+
+/// Marks a point in code that must never be reached; aborts with a
+/// diagnostic when it is.
+#define spf_unreachable(MSG)                                                   \
+  ::spf::detail::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // SPF_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,49 @@
+//===- support/SplitMix64.h - Deterministic 64-bit RNG ----------*- C++ -*-===//
+///
+/// \file
+/// SplitMix64 pseudo-random generator. Deterministic across platforms so
+/// workload data construction and property tests are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_SUPPORT_SPLITMIX64_H
+#define SPF_SUPPORT_SPLITMIX64_H
+
+#include <cstdint>
+
+namespace spf {
+
+/// Tiny deterministic RNG (Steele, Lea, Flood; public-domain algorithm).
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert_bound(Bound);
+    return next() % Bound;
+  }
+
+  /// Returns a double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  static void assert_bound(uint64_t Bound) { (void)Bound; }
+
+  uint64_t State;
+};
+
+} // namespace spf
+
+#endif // SPF_SUPPORT_SPLITMIX64_H

@@ -1,0 +1,129 @@
+//===- vm/GarbageCollector.cpp --------------------------------------------===//
+
+#include "vm/GarbageCollector.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace spf;
+using namespace spf::vm;
+
+namespace {
+
+/// Applies \p Fn to the address of every reference slot inside the object
+/// at \p Obj (class ref fields, or all elements of a ref array).
+template <typename Callback>
+void forEachRefSlot(const Heap &H, Addr Obj, Callback Fn) {
+  if (H.isArray(Obj)) {
+    if (H.arrayElemType(Obj) != ir::Type::Ref)
+      return;
+    for (uint64_t I = 0, E = H.arrayLength(Obj); I != E; ++I)
+      Fn(Obj + ObjectHeaderSize + I * 8);
+    return;
+  }
+  const ClassDesc *Cls = H.types().classById(H.descId(Obj));
+  assert(Cls && "live object with unknown class");
+  for (const auto &F : Cls->fields())
+    if (F->Ty == ir::Type::Ref)
+      Fn(Obj + F->Offset);
+}
+
+} // namespace
+
+GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
+  ++Collections;
+  GcStats Stats;
+
+  // Index object starts so stray (non-reference) bit patterns in ref slots
+  // can be rejected instead of corrupting the trace.
+  std::unordered_set<Addr> Starts;
+  for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;
+       Obj += H.objectSize(Obj))
+    Starts.insert(Obj);
+
+  auto IsObjectRef = [&](Addr A) {
+    return A && H.isHeapAddress(A) && Starts.count(A);
+  };
+
+  // -- Mark ---------------------------------------------------------------
+  std::vector<Addr> Work;
+  auto MarkRoot = [&](Addr A) {
+    if (IsObjectRef(A) && !H.marked(A)) {
+      H.setMarked(A, true);
+      Work.push_back(A);
+    }
+  };
+
+  for (Addr *Slot : Roots)
+    MarkRoot(*Slot);
+  for (Addr Slot : H.staticRefSlots())
+    MarkRoot(H.load(Slot, ir::Type::Ref));
+
+  while (!Work.empty()) {
+    Addr Obj = Work.back();
+    Work.pop_back();
+    forEachRefSlot(H, Obj, [&](Addr SlotAddr) {
+      MarkRoot(H.load(SlotAddr, ir::Type::Ref));
+    });
+  }
+
+  // -- Compute sliding-compaction forwarding addresses ---------------------
+  // Scanning in address order and bump-assigning new addresses preserves
+  // the relative order of live objects (the property the paper relies on
+  // for stride stability).
+  std::unordered_map<Addr, Addr> Forward;
+  Addr NextFree = H.heapBase();
+  for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;
+       Obj += H.objectSize(Obj)) {
+    if (!H.marked(Obj))
+      continue;
+    Forward[Obj] = NextFree;
+    NextFree += H.objectSize(Obj);
+    ++Stats.LiveObjects;
+  }
+  Stats.LiveBytes = NextFree - H.heapBase();
+  Stats.ReclaimedBytes = (H.heapTop() - H.heapBase()) - Stats.LiveBytes;
+
+  auto Relocate = [&](Addr A) {
+    auto It = Forward.find(A);
+    return It == Forward.end() ? A : It->second;
+  };
+
+  // -- Fix references in live objects, statics, and roots ------------------
+  for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;
+       Obj += H.objectSize(Obj)) {
+    if (!H.marked(Obj))
+      continue;
+    forEachRefSlot(H, Obj, [&](Addr SlotAddr) {
+      Addr V = H.load(SlotAddr, ir::Type::Ref);
+      if (IsObjectRef(V))
+        H.store(SlotAddr, ir::Type::Ref, Relocate(V));
+    });
+  }
+  for (Addr Slot : H.staticRefSlots()) {
+    Addr V = H.load(Slot, ir::Type::Ref);
+    if (IsObjectRef(V))
+      H.store(Slot, ir::Type::Ref, Relocate(V));
+  }
+  for (Addr *Slot : Roots)
+    if (IsObjectRef(*Slot))
+      *Slot = Relocate(*Slot);
+
+  // -- Slide live objects down (ascending order; moves never overlap
+  //    destructively) and clear marks --------------------------------------
+  for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;) {
+    // Cache the size: once the object slides down over its old storage the
+    // header at the old address is no longer readable.
+    uint64_t Size = H.objectSize(Obj);
+    if (H.marked(Obj)) {
+      H.setMarked(Obj, false);
+      Addr To = Forward[Obj];
+      if (To != Obj)
+        std::memmove(H.ptr(To), H.ptr(Obj), Size);
+    }
+    Obj += Size;
+  }
+
+  H.setTop(NextFree - H.heapBase());
+  return Stats;
+}

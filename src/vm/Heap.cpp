@@ -1,0 +1,150 @@
+//===- vm/Heap.cpp --------------------------------------------------------===//
+
+#include "vm/Heap.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace spf;
+using namespace spf::vm;
+
+static uint64_t alignUp8(uint64_t N) { return (N + 7) & ~7ull; }
+
+Heap::Heap(const TypeTable &Types, Config Cfg)
+    : Types(Types), Cfg(Cfg), Storage(Cfg.HeapBytes),
+      StaticsStorage(Cfg.StaticsBytes) {
+  assert(Cfg.StaticsBase + Cfg.StaticsBytes <= Cfg.HeapBase &&
+         "statics area must not overlap the heap");
+}
+
+uint8_t *Heap::ptr(Addr A) {
+  if (A >= Cfg.HeapBase) {
+    assert(A - Cfg.HeapBase < Cfg.HeapBytes && "heap address out of range");
+    return Storage.data() + (A - Cfg.HeapBase);
+  }
+  assert(A >= Cfg.StaticsBase && A - Cfg.StaticsBase < Cfg.StaticsBytes &&
+         "address in neither heap nor statics area");
+  return StaticsStorage.data() + (A - Cfg.StaticsBase);
+}
+
+const uint8_t *Heap::ptr(Addr A) const {
+  return const_cast<Heap *>(this)->ptr(A);
+}
+
+Addr Heap::allocObject(const ClassDesc &Cls) {
+  uint64_t Size = alignUp8(Cls.instanceSize());
+  if (Top + Size > Cfg.HeapBytes)
+    return 0;
+  Addr A = Cfg.HeapBase + Top;
+  Top += Size;
+  ++NumAllocs;
+  std::memset(ptr(A), 0, Size);
+  uint32_t Id = Cls.id();
+  std::memcpy(ptr(A), &Id, 4);
+  return A;
+}
+
+Addr Heap::allocArray(ir::Type ElemTy, uint64_t Length) {
+  uint64_t Size =
+      alignUp8(ObjectHeaderSize + Length * ir::storageSize(ElemTy));
+  if (Top + Size > Cfg.HeapBytes)
+    return 0;
+  Addr A = Cfg.HeapBase + Top;
+  Top += Size;
+  ++NumAllocs;
+  std::memset(ptr(A), 0, Size);
+  uint32_t Id = static_cast<uint32_t>(ElemTy);
+  uint32_t Flags = HF_IsArray;
+  std::memcpy(ptr(A), &Id, 4);
+  std::memcpy(ptr(A) + 4, &Flags, 4);
+  std::memcpy(ptr(A) + ArrayLengthOffset, &Length, 8);
+  return A;
+}
+
+Addr Heap::allocStatic(ir::Type Ty) {
+  uint64_t Size = ir::storageSize(Ty);
+  uint64_t Offset = (StaticsTop + Size - 1) / Size * Size;
+  if (Offset + Size > Cfg.StaticsBytes)
+    reportFatalError("statics area exhausted");
+  StaticsTop = Offset + Size;
+  Addr A = Cfg.StaticsBase + Offset;
+  if (Ty == ir::Type::Ref)
+    StaticRefSlots.push_back(A);
+  return A;
+}
+
+uint64_t Heap::load(Addr A, ir::Type Ty) const {
+  if (Ty == ir::Type::I32) {
+    int32_t V;
+    std::memcpy(&V, ptr(A), 4);
+    return static_cast<uint64_t>(static_cast<int64_t>(V));
+  }
+  uint64_t V;
+  std::memcpy(&V, ptr(A), 8);
+  return V;
+}
+
+void Heap::store(Addr A, ir::Type Ty, uint64_t Raw) {
+  if (Ty == ir::Type::I32) {
+    int32_t V = static_cast<int32_t>(Raw);
+    std::memcpy(ptr(A), &V, 4);
+    return;
+  }
+  std::memcpy(ptr(A), &Raw, 8);
+}
+
+bool Heap::isArray(Addr Obj) const {
+  uint32_t Flags;
+  std::memcpy(&Flags, ptr(Obj) + 4, 4);
+  return Flags & HF_IsArray;
+}
+
+uint32_t Heap::descId(Addr Obj) const {
+  uint32_t Id;
+  std::memcpy(&Id, ptr(Obj), 4);
+  return Id;
+}
+
+uint64_t Heap::arrayLength(Addr Obj) const {
+  assert(isArray(Obj) && "arrayLength on a non-array");
+  uint64_t Len;
+  std::memcpy(&Len, ptr(Obj) + ArrayLengthOffset, 8);
+  return Len;
+}
+
+ir::Type Heap::arrayElemType(Addr Obj) const {
+  assert(isArray(Obj) && "arrayElemType on a non-array");
+  return static_cast<ir::Type>(descId(Obj));
+}
+
+uint64_t Heap::objectSize(Addr Obj) const {
+  if (isArray(Obj))
+    return alignUp8(ObjectHeaderSize +
+                    arrayLength(Obj) * ir::storageSize(arrayElemType(Obj)));
+  const ClassDesc *Cls = Types.classById(descId(Obj));
+  assert(Cls && "object with unknown class descriptor");
+  return alignUp8(Cls->instanceSize());
+}
+
+bool Heap::marked(Addr Obj) const {
+  uint32_t Flags;
+  std::memcpy(&Flags, ptr(Obj) + 4, 4);
+  return Flags & HF_Marked;
+}
+
+void Heap::setMarked(Addr Obj, bool M) {
+  uint32_t Flags;
+  std::memcpy(&Flags, ptr(Obj) + 4, 4);
+  Flags = M ? (Flags | HF_Marked) : (Flags & ~HF_Marked);
+  std::memcpy(ptr(Obj) + 4, &Flags, 4);
+}
+
+bool Heap::isObjectStart(Addr A) const {
+  for (Addr Obj = Cfg.HeapBase, End = heapTop(); Obj < End;
+       Obj += objectSize(Obj)) {
+    if (Obj == A)
+      return true;
+    if (Obj > A)
+      return false;
+  }
+  return false;
+}

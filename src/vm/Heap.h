@@ -1,0 +1,144 @@
+//===- vm/Heap.h - Simulated managed heap -----------------------*- C++ -*-===//
+///
+/// \file
+/// The simulated Java heap: a contiguous arena of simulated 64-bit
+/// addresses with bump-pointer allocation, a statics area, and typed slot
+/// accessors. Object references *are* simulated addresses, so stride
+/// patterns between objects are plain address arithmetic, exactly as on
+/// the paper's real JVM heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_VM_HEAP_H
+#define SPF_VM_HEAP_H
+
+#include "vm/TypeTable.h"
+
+#include <cstring>
+#include <vector>
+
+namespace spf {
+namespace vm {
+
+/// Offsets and flag bits of the 16-byte object header.
+enum HeaderFlags : uint32_t {
+  HF_IsArray = 1u << 0,
+  HF_Marked = 1u << 1,
+};
+
+/// Heap sizing and simulated address-space layout.
+struct HeapConfig {
+  /// Total heap size in bytes (the paper sets 128 MB; tests use less).
+  uint64_t HeapBytes = 64ull << 20;
+  /// Base simulated address of the heap.
+  Addr HeapBase = 0x100000000ull;
+  /// Size and base of the statics area (class variables).
+  uint64_t StaticsBytes = 1ull << 20;
+  Addr StaticsBase = 0x10000000ull;
+};
+
+/// A bump-allocated, garbage-collected simulated heap.
+class Heap {
+public:
+  using Config = HeapConfig;
+
+  explicit Heap(const TypeTable &Types, Config Cfg = Config());
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  const TypeTable &types() const { return Types; }
+
+  /// Allocates an instance of \p Cls with zeroed fields.
+  /// \returns the object address, or 0 when the heap is exhausted (the
+  /// caller should run a GC and retry).
+  Addr allocObject(const ClassDesc &Cls);
+
+  /// Allocates an array of \p Length elements of \p ElemTy, zero-filled.
+  Addr allocArray(ir::Type ElemTy, uint64_t Length);
+
+  /// Allocates one static variable slot and returns its address.
+  Addr allocStatic(ir::Type Ty);
+
+  // -- Typed slot access ---------------------------------------------------
+
+  /// Loads the raw 64-bit slot value at \p A of type \p Ty (i32 values are
+  /// sign-extended).
+  uint64_t load(Addr A, ir::Type Ty) const;
+
+  /// Stores \p Raw at \p A as a value of type \p Ty.
+  void store(Addr A, ir::Type Ty, uint64_t Raw);
+
+  // -- Header access -------------------------------------------------------
+
+  bool isArray(Addr Obj) const;
+  uint32_t descId(Addr Obj) const;
+  uint64_t arrayLength(Addr Obj) const;
+  ir::Type arrayElemType(Addr Obj) const;
+
+  /// Address of element \p I of array \p Obj.
+  Addr elemAddr(Addr Obj, uint64_t I) const {
+    return Obj + ObjectHeaderSize + I * ir::storageSize(arrayElemType(Obj));
+  }
+
+  /// Allocation size of the object or array at \p Obj, header included and
+  /// rounded to 8 bytes.
+  uint64_t objectSize(Addr Obj) const;
+
+  bool marked(Addr Obj) const;
+  void setMarked(Addr Obj, bool M);
+
+  // -- Address classification ----------------------------------------------
+
+  bool isHeapAddress(Addr A) const {
+    return A >= Cfg.HeapBase && A < Cfg.HeapBase + Top;
+  }
+  bool isStaticAddress(Addr A) const {
+    return A >= Cfg.StaticsBase && A < Cfg.StaticsBase + StaticsTop;
+  }
+  /// True when a \p Size -byte access at \p A touches mapped memory; this
+  /// is the guard check of a guarded (speculative) load.
+  bool isValidAccess(Addr A, unsigned Size) const {
+    return (isHeapAddress(A) && isHeapAddress(A + Size - 1)) ||
+           (isStaticAddress(A) && isStaticAddress(A + Size - 1));
+  }
+
+  /// True when \p A is the base address of an allocated heap object.
+  /// (Linear check; debugging/tests only.)
+  bool isObjectStart(Addr A) const;
+
+  // -- Layout queries ------------------------------------------------------
+
+  Addr heapBase() const { return Cfg.HeapBase; }
+  /// First free address (allocation frontier).
+  Addr heapTop() const { return Cfg.HeapBase + Top; }
+  uint64_t bytesUsed() const { return Top; }
+  uint64_t bytesFree() const { return Cfg.HeapBytes - Top; }
+  uint64_t allocationCount() const { return NumAllocs; }
+
+  /// Ref-typed static slots; the GC treats these as roots.
+  const std::vector<Addr> &staticRefSlots() const { return StaticRefSlots; }
+
+private:
+  friend class GarbageCollector;
+
+  uint8_t *ptr(Addr A);
+  const uint8_t *ptr(Addr A) const;
+
+  /// Resets the allocation frontier (compaction support).
+  void setTop(uint64_t NewTop) { Top = NewTop; }
+
+  const TypeTable &Types;
+  Config Cfg;
+  std::vector<uint8_t> Storage;
+  std::vector<uint8_t> StaticsStorage;
+  uint64_t Top = 0;
+  uint64_t StaticsTop = 0;
+  uint64_t NumAllocs = 0;
+  std::vector<Addr> StaticRefSlots;
+};
+
+} // namespace vm
+} // namespace spf
+
+#endif // SPF_VM_HEAP_H

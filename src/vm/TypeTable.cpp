@@ -1,0 +1,34 @@
+//===- vm/TypeTable.cpp ---------------------------------------------------===//
+
+#include "vm/TypeTable.h"
+
+using namespace spf;
+using namespace spf::vm;
+
+ClassDesc *TypeTable::addClass(std::string Name) {
+  auto Cls = std::make_unique<ClassDesc>(
+      static_cast<uint32_t>(Classes.size()), std::move(Name));
+  Classes.push_back(std::move(Cls));
+  return Classes.back().get();
+}
+
+const FieldDesc *TypeTable::addField(ClassDesc *Cls, std::string Name,
+                                     ir::Type Ty) {
+  unsigned Align = ir::storageSize(Ty);
+  unsigned Offset = (Cls->Size + Align - 1) / Align * Align;
+  auto Field = std::make_unique<FieldDesc>();
+  Field->Name = std::move(Name);
+  Field->Ty = Ty;
+  Field->Offset = Offset;
+  Field->Parent = Cls;
+  Cls->Size = Offset + ir::storageSize(Ty);
+  Cls->Fields.push_back(std::move(Field));
+  return Cls->Fields.back().get();
+}
+
+const ClassDesc *TypeTable::findClass(const std::string &Name) const {
+  for (const auto &Cls : Classes)
+    if (Cls->name() == Name)
+      return Cls.get();
+  return nullptr;
+}

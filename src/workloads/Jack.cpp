@@ -1,0 +1,118 @@
+//===- workloads/Jack.cpp - The 228_jack kernel ---------------------------===//
+///
+/// \file
+/// jack is a parser generator: its time goes to scanning token streams
+/// through small state tables and chasing token objects in creation-
+/// independent order. Stride prefetching finds nothing, and only 36.2% of
+/// the time is in compiled code at all (the lowest in Table 3), so the
+/// correct result is "no change".
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/ProgramPopulation.h"
+
+#include <algorithm>
+
+using namespace spf;
+using namespace spf::workloads;
+using namespace spf::ir;
+
+namespace {
+
+struct JackTypes {
+  const vm::ClassDesc *Token;
+  const vm::FieldDesc *Kind;
+  const vm::FieldDesc *Link; // Next token in stream order (shuffled).
+};
+
+JackTypes declareTypes(World &W) {
+  JackTypes T;
+  auto *Tok = W.Types->addClass("RToken");
+  T.Kind = W.Types->addField(Tok, "kind", Type::I32);
+  T.Link = W.Types->addField(Tok, "link", Type::Ref);
+  T.Token = Tok;
+  return T;
+}
+
+/// parse(head, dfa, rounds): run the token stream through a DFA table.
+Method *buildParse(World &W, const JackTypes &T) {
+  Method *M = W.Module->addMethod("Jack.parse", Type::I32,
+                                  {Type::Ref, Type::Ref, Type::I32});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Head = M->arg(0);
+  Value *Dfa = M->arg(1);
+  Value *Rounds = M->arg(2);
+  Value *States = B.arrayLength(Dfa);
+
+  LoopNest R(B, "round");
+  PhiInst *K = R.civ(B.i32(0));
+  PhiInst *Accepted = R.addCarried(B.i32(0));
+  R.beginBody(B.cmpLt(K, Rounds));
+
+  LoopNest Scan(B, "scan");
+  PhiInst *Cur = Scan.addCarried(Head);
+  PhiInst *State = Scan.addCarried(B.i32(0));
+  PhiInst *Acc = Scan.addCarried(Accepted);
+  Scan.beginBody(B.cmpNe(Cur, B.nullRef()));
+  Value *Kind = B.getField(Cur, T.Kind);
+  Value *Idx = B.rem(B.add(B.mul(State, B.i32(17)), Kind), States);
+  Value *NextState = B.aload(Dfa, Idx, Type::I32); // Small table.
+  Value *Next = B.getField(Cur, T.Link); // Strideless chase.
+  Scan.setNext(State, NextState);
+  Scan.setNext(Acc, B.add(Acc, B.cmpEq(NextState, B.i32(0))));
+  Scan.setNext(Cur, Next);
+  Scan.close();
+
+  R.setNext(Accepted, Acc);
+  R.close();
+  B.ret(Accepted);
+  return M;
+}
+
+} // namespace
+
+WorkloadSpec workloads::makeJackWorkload() {
+  WorkloadSpec S;
+  S.Name = "jack";
+  S.Description = "Java parser generator";
+  S.CompiledFraction = 0.362; // Table 3.
+  S.Build = [](const WorkloadConfig &Cfg) {
+    World W(Cfg);
+    JackTypes T = declareTypes(W);
+    SplitMix64 Rng(Cfg.Seed + 7);
+    Method *M = buildParse(W, T);
+
+    unsigned N = static_cast<unsigned>(20000 * Cfg.Scale);
+    N = N < 64 ? 64 : N;
+    std::vector<vm::Addr> Toks(N);
+    for (unsigned I = 0; I != N; ++I) {
+      Toks[I] = W.obj(T.Token);
+      W.setField(Toks[I], T.Kind, Rng.nextBelow(96));
+    }
+    std::vector<unsigned> Perm(N);
+    for (unsigned I = 0; I != N; ++I)
+      Perm[I] = I;
+    for (unsigned I = N - 1; I > 0; --I)
+      std::swap(Perm[I], Perm[Rng.nextBelow(I + 1)]);
+    for (unsigned I = 0; I + 1 < N; ++I)
+      W.setField(Toks[Perm[I]], T.Link, Toks[Perm[I + 1]]);
+    vm::Addr Head = Toks[Perm[0]];
+
+    unsigned DfaSize = 512;
+    vm::Addr Dfa = W.arr(Type::I32, DfaSize);
+    for (unsigned I = 0; I != DfaSize; ++I)
+      W.setElem(Dfa, I, Rng.nextBelow(DfaSize));
+
+    uint64_t Rounds = static_cast<uint64_t>(18 * Cfg.Scale);
+    Rounds = Rounds < 2 ? 2 : Rounds;
+    BuiltWorkload B = W.seal(M, {Head, Dfa, Rounds}, {Head, Dfa});
+    B.CompileUnits.push_back({M, B.EntryArgs});
+    // The rest of the program: the ordinary methods the JIT also
+    // compiles (the Figure 11 denominator).
+    addCompiledPopulation(B, 520, Cfg.Seed);
+    return B;
+  };
+  return S;
+}

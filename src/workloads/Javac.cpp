@@ -1,0 +1,115 @@
+//===- workloads/Javac.cpp - The 213_javac kernel -------------------------===//
+///
+/// \file
+/// javac walks ASTs whose nodes are linked in an order unrelated to their
+/// allocation order: the hot loop is a pointer chase (`n = n.next`) whose
+/// address sequence carries no stride pattern, so object inspection finds
+/// nothing and the pass must leave the method untouched. Compiled-code
+/// fraction is low (51.9%), further damping any effect.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/ProgramPopulation.h"
+
+#include <algorithm>
+
+using namespace spf;
+using namespace spf::workloads;
+using namespace spf::ir;
+
+namespace {
+
+struct JavacTypes {
+  const vm::ClassDesc *Node;
+  const vm::FieldDesc *Next; // Successor in the (shuffled) work order.
+  const vm::FieldDesc *Kind;
+  const vm::FieldDesc *Flags;
+};
+
+JavacTypes declareTypes(World &W) {
+  JavacTypes T;
+  auto *N = W.Types->addClass("TreeNode");
+  T.Next = W.Types->addField(N, "next", Type::Ref);
+  T.Kind = W.Types->addField(N, "kind", Type::I32);
+  T.Flags = W.Types->addField(N, "flags", Type::I32);
+  T.Node = N;
+  return T;
+}
+
+/// attribute(head, rounds) -> checksum: chase the node list, classifying
+/// each node. The recurrent load `n.next` has no stride pattern.
+Method *buildAttribute(World &W, const JavacTypes &T) {
+  Method *M = W.Module->addMethod("Attr.attribute", Type::I32,
+                                  {Type::Ref, Type::I32});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Head = M->arg(0);
+  Value *Rounds = M->arg(1);
+
+  LoopNest R(B, "round");
+  PhiInst *K = R.civ(B.i32(0));
+  PhiInst *Sum = R.addCarried(B.i32(0));
+  R.beginBody(B.cmpLt(K, Rounds));
+
+  LoopNest Walk(B, "walk");
+  PhiInst *Cur = Walk.addCarried(Head);
+  PhiInst *SumW = Walk.addCarried(Sum);
+  Walk.beginBody(B.cmpNe(Cur, B.nullRef()));
+  Value *Kind = B.getField(Cur, T.Kind);
+  Value *Flags = B.getField(Cur, T.Flags);
+  Value *Next = B.getField(Cur, T.Next); // Pointer chase, strideless.
+  Walk.setNext(SumW, B.add(SumW, B.xorOp(Kind, Flags)));
+  Walk.setNext(Cur, Next);
+  Walk.close();
+
+  R.setNext(Sum, SumW);
+  R.close();
+  B.ret(Sum);
+  return M;
+}
+
+} // namespace
+
+WorkloadSpec workloads::makeJavacWorkload() {
+  WorkloadSpec S;
+  S.Name = "javac";
+  S.Description = "Java compiler from JDK1.0.2";
+  S.CompiledFraction = 0.519; // Table 3.
+  S.Build = [](const WorkloadConfig &Cfg) {
+    World W(Cfg);
+    JavacTypes T = declareTypes(W);
+    SplitMix64 Rng(Cfg.Seed + 6);
+    Method *M = buildAttribute(W, T);
+
+    // Allocate nodes contiguously, then thread the next-list through a
+    // random permutation: the chase order is unrelated to addresses.
+    unsigned N = static_cast<unsigned>(30000 * Cfg.Scale);
+    N = N < 64 ? 64 : N;
+    std::vector<vm::Addr> Nodes(N);
+    for (unsigned I = 0; I != N; ++I) {
+      Nodes[I] = W.obj(T.Node);
+      W.setField(Nodes[I], T.Kind, Rng.nextBelow(64));
+      W.setField(Nodes[I], T.Flags, Rng.nextBelow(1u << 12));
+    }
+    std::vector<unsigned> Perm(N);
+    for (unsigned I = 0; I != N; ++I)
+      Perm[I] = I;
+    for (unsigned I = N - 1; I > 0; --I)
+      std::swap(Perm[I], Perm[Rng.nextBelow(I + 1)]);
+    for (unsigned I = 0; I + 1 < N; ++I)
+      W.setField(Nodes[Perm[I]], T.Next, Nodes[Perm[I + 1]]);
+    W.setField(Nodes[Perm[N - 1]], T.Next, 0);
+    vm::Addr Head = Nodes[Perm[0]];
+
+    uint64_t Rounds = static_cast<uint64_t>(24 * Cfg.Scale);
+    Rounds = Rounds < 2 ? 2 : Rounds;
+    BuiltWorkload B = W.seal(M, {Head, Rounds}, {Head});
+    B.CompileUnits.push_back({M, B.EntryArgs});
+    // The rest of the program: the ordinary methods the JIT also
+    // compiles (the Figure 11 denominator).
+    addCompiledPopulation(B, 680, Cfg.Seed);
+    return B;
+  };
+  return S;
+}

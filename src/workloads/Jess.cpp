@@ -1,0 +1,372 @@
+//===- workloads/Jess.cpp - The 202_jess kernel (Figure 1) ----------------===//
+///
+/// \file
+/// The paper's motivating example, reproduced from Figure 1:
+/// `Node2.findInMemory(TokenVector tv, Token t)` — a doubly nested loop
+/// whose outer loop scans a token array (large trip count) and whose inner
+/// loop compares fact vectors (small trip count). The eleven loads of
+/// Table 1 (L1..L11) appear explicitly, including the `arraylength` loads
+/// generated for bound checks.
+///
+/// Properties engineered to match the paper's analysis:
+///  * `Token` construction allocates the `facts` array immediately after
+///    the token, giving (L9, L10) an intra-iteration stride;
+///  * the token array's referents are scrambled (tokens are appended and
+///    removed while 202_jess runs, and removeElement moves the last
+///    element into the hole), so L9 shows no inter-iteration pattern while
+///    L4 (the `v[i]` load) keeps its 8-byte stride;
+///  * the inner loop's trip count (facts per token) is small;
+///  * `equals` is an invocation, skipped by object inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/ProgramPopulation.h"
+
+using namespace spf;
+using namespace spf::workloads;
+using namespace spf::ir;
+
+namespace {
+
+struct JessTypes {
+  const vm::ClassDesc *TokenVector;
+  const vm::FieldDesc *TvV;   // Token[] v
+  const vm::FieldDesc *TvPtr; // int ptr
+
+  const vm::ClassDesc *Token;
+  const vm::FieldDesc *TokFacts; // ValueVector[] facts
+  const vm::FieldDesc *TokSize;  // int size
+
+  const vm::ClassDesc *ValueVector;
+  const vm::FieldDesc *VvTag;
+  const vm::FieldDesc *VvVal;
+};
+
+JessTypes declareTypes(World &W) {
+  JessTypes T;
+  auto *Tv = W.Types->addClass("TokenVector");
+  T.TvV = W.Types->addField(Tv, "v", Type::Ref);
+  T.TvPtr = W.Types->addField(Tv, "ptr", Type::I32);
+  T.TokenVector = Tv;
+
+  auto *Tok = W.Types->addClass("Token");
+  T.TokFacts = W.Types->addField(Tok, "facts", Type::Ref);
+  T.TokSize = W.Types->addField(Tok, "size", Type::I32);
+  T.Token = Tok;
+
+  auto *Vv = W.Types->addClass("ValueVector");
+  T.VvTag = W.Types->addField(Vv, "tag", Type::I32);
+  T.VvVal = W.Types->addField(Vv, "val", Type::I32);
+  T.ValueVector = Vv;
+  return T;
+}
+
+constexpr unsigned FactsPerToken = 5;
+
+/// Allocates a Token exactly as the Figure 1 constructor would: the token,
+/// then its facts array, then the fact ValueVectors — all adjacent.
+vm::Addr allocToken(World &W, const JessTypes &T, SplitMix64 &Rng,
+                    int32_t FactBase) {
+  vm::Addr Tok = W.obj(T.Token);
+  vm::Addr Facts = W.arr(Type::Ref, FactsPerToken);
+  W.setField(Tok, T.TokFacts, Facts);
+  W.setField(Tok, T.TokSize, FactsPerToken);
+  for (unsigned J = 0; J != FactsPerToken; ++J) {
+    vm::Addr Vv = W.obj(T.ValueVector);
+    W.setField(Vv, T.VvTag, J);
+    W.setField(Vv, T.VvVal, FactBase + static_cast<int32_t>(J) +
+                                static_cast<int32_t>(Rng.nextBelow(3)));
+    W.setElem(Facts, J, Vv);
+  }
+  return Tok;
+}
+
+/// ValueVector.equals(a, b): the virtual call the inner loop makes.
+Method *buildEquals(World &W, const JessTypes &T) {
+  Method *M = W.Module->addMethod("ValueVector.equals", Type::I32,
+                                  {Type::Ref, Type::Ref});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Va = B.getField(M->arg(0), T.VvVal);
+  Value *Vb = B.getField(M->arg(1), T.VvVal);
+  B.ret(B.cmpEq(Va, Vb));
+  return M;
+}
+
+/// Figure 1's findInMemory with the Table 1 load numbering in comments.
+Method *buildFindInMemory(World &W, const JessTypes &T, Method *Equals) {
+  Method *M = W.Module->addMethod("Node2.findInMemory", Type::Ref,
+                                  {Type::Ref, Type::Ref});
+  M->arg(0)->setName("tv");
+  M->arg(1)->setName("t");
+  Module &Mod = *W.Module;
+  IRBuilder B(Mod);
+
+  BasicBlock *Entry = M->addBlock("entry");
+  BasicBlock *OuterHeader = M->addBlock("TokenLoop.header");
+  BasicBlock *OuterBody = M->addBlock("TokenLoop.body");
+  BasicBlock *InnerHeader = M->addBlock("FactLoop.header");
+  BasicBlock *InnerBody = M->addBlock("FactLoop.body");
+  BasicBlock *InnerLatch = M->addBlock("FactLoop.latch");
+  BasicBlock *Found = M->addBlock("found");
+  BasicBlock *OuterLatch = M->addBlock("TokenLoop.latch");
+  BasicBlock *NotFound = M->addBlock("notfound");
+
+  Value *Tv = M->arg(0);
+  Value *Tk = M->arg(1);
+
+  B.setInsertPoint(Entry);
+  B.jump(OuterHeader);
+
+  // TokenLoop: for (int i = 0; i < tv.ptr; i++)
+  B.setInsertPoint(OuterHeader);
+  PhiInst *I = B.phi(Type::I32);
+  I->setName("i");
+  Value *Ptr = B.getField(Tv, T.TvPtr); // L1
+  B.br(B.cmpLt(I, Ptr), OuterBody, NotFound);
+
+  B.setInsertPoint(OuterBody);
+  Value *V = B.getField(Tv, T.TvV); // L2
+  B.arrayLength(V);                 // L3 (bound check)
+  Value *Tmp = B.aload(V, I, Type::Ref); // L4
+  Tmp->setName("tmp");
+  Value *Size = B.getField(Tk, T.TokSize); // L5
+  B.jump(InnerHeader);
+
+  // FactLoop: for (int j = 0; j < t.size; j++)
+  B.setInsertPoint(InnerHeader);
+  PhiInst *J = B.phi(Type::I32);
+  J->setName("j");
+  B.br(B.cmpLt(J, Size), InnerBody, Found);
+
+  B.setInsertPoint(InnerBody);
+  Value *TFacts = B.getField(Tk, T.TokFacts); // L6
+  B.arrayLength(TFacts);                      // L7
+  Value *TF = B.aload(TFacts, J, Type::Ref);  // L8
+  Value *TmpFacts = B.getField(Tmp, T.TokFacts); // L9
+  B.arrayLength(TmpFacts);                       // L10
+  Value *TmpF = B.aload(TmpFacts, J, Type::Ref); // L11
+  Value *Eq = B.call(Equals, Type::I32, {TF, TmpF}, /*IsVirtual=*/true);
+  // if (!t.facts[j].equals(tmp.facts[j])) continue TokenLoop;
+  B.br(Eq, InnerLatch, OuterLatch);
+
+  B.setInsertPoint(InnerLatch);
+  Value *J1 = B.add(J, B.i32(1));
+  B.jump(InnerHeader);
+
+  B.setInsertPoint(Found);
+  B.ret(Tmp); // All facts matched: return tmp.
+
+  B.setInsertPoint(OuterLatch);
+  Value *I1 = B.add(I, B.i32(1));
+  B.jump(OuterHeader);
+
+  B.setInsertPoint(NotFound);
+  B.ret(Mod.nullRef());
+
+  M->recomputePreds();
+  I->addIncoming(Entry, Mod.intConst(Type::I32, 0));
+  I->addIncoming(OuterLatch, I1);
+  J->addIncoming(OuterBody, Mod.intConst(Type::I32, 0));
+  J->addIncoming(InnerLatch, J1);
+  return M;
+}
+
+/// addElement(tv, tok): tv.v[tv.ptr++] = tok.
+Method *buildAddElement(World &W, const JessTypes &T) {
+  Method *M = W.Module->addMethod("TokenVector.addElement", Type::Void,
+                                  {Type::Ref, Type::Ref});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Tv = M->arg(0);
+  Value *Ptr = B.getField(Tv, T.TvPtr);
+  Value *V = B.getField(Tv, T.TvV);
+  B.astore(V, Ptr, M->arg(1));
+  B.putField(Tv, T.TvPtr, B.add(Ptr, B.i32(1)));
+  B.ret();
+  return M;
+}
+
+/// removeAt(tv, index): moves the last element into the hole — exactly the
+/// order-destroying removeElement behaviour the paper describes.
+Method *buildRemoveAt(World &W, const JessTypes &T) {
+  Method *M = W.Module->addMethod("TokenVector.removeAt", Type::Void,
+                                  {Type::Ref, Type::I32});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Tv = M->arg(0);
+  Value *Idx = M->arg(1);
+  Value *Ptr = B.getField(Tv, T.TvPtr);
+  Value *V = B.getField(Tv, T.TvV);
+  Value *Last = B.sub(Ptr, B.i32(1));
+  Value *LastTok = B.aload(V, Last, Type::Ref);
+  B.astore(V, Idx, LastTok);
+  B.putField(Tv, T.TvPtr, Last);
+  B.ret();
+  return M;
+}
+
+/// JessChurn(tv, k): removeAt(tv, hash(k) % ptr) then addElement(tv,
+/// new Token(...)), scattering the array's referents over time.
+Method *buildChurn(World &W, const JessTypes &T, Method *Add,
+                   Method *RemoveAt) {
+  Method *M = W.Module->addMethod("JessChurn", Type::Void,
+                                  {Type::Ref, Type::I32});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Tv = M->arg(0);
+  Value *K = M->arg(1);
+  Value *Ptr = B.getField(Tv, T.TvPtr);
+  Value *H = B.mul(K, B.i32(-1640531527)); // Knuth hash (2654435761).
+  Value *H2 = B.andOp(H, B.i32(0x7fffffff));
+  Value *Victim = B.rem(H2, Ptr);
+  B.call(RemoveAt, Type::Void, {Tv, Victim});
+
+  // new Token(...): token + facts array + fact vectors, matching the
+  // build-time constructor's allocation order.
+  Value *Tok = B.newObject(T.Token);
+  Value *Facts = B.newArray(Type::Ref, B.i32(FactsPerToken));
+  B.putField(Tok, T.TokFacts, Facts);
+  B.putField(Tok, T.TokSize, B.i32(FactsPerToken));
+  LoopNest L(B, "initfacts");
+  PhiInst *J = L.civ(B.i32(0));
+  L.beginBody(B.cmpLt(J, B.i32(FactsPerToken)));
+  Value *Vv = B.newObject(T.ValueVector);
+  B.putField(Vv, T.VvTag, J);
+  B.putField(Vv, T.VvVal, B.add(B.mul(K, B.i32(7)), J));
+  B.astore(Facts, J, Vv);
+  L.close();
+  B.call(Add, Type::Void, {Tv, Tok});
+  B.ret();
+  return M;
+}
+
+/// The rest of the compiled rule engine: 202_jess's hottest method (the
+/// one findInMemory is inlined into) takes only ~25% of the compiled-code
+/// time (Section 4.1) — the Rete network activation work modeled here
+/// accounts for the remainder.
+Method *buildActivationWork(World &W) {
+  Method *M = W.Module->addMethod("Rete.runActivations", Type::I32,
+                                  {Type::I32, Type::I32});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Seed = M->arg(0);
+  Value *Iters = M->arg(1);
+  LoopNest L(B, "act");
+  PhiInst *I = L.civ(B.i32(0));
+  PhiInst *X = L.addCarried(Seed);
+  L.beginBody(B.cmpLt(I, Iters));
+  Value *X1 = B.add(B.mul(X, B.i32(29)), B.i32(111));
+  Value *X2 = B.xorOp(X1, B.shr(X1, B.i32(9)));
+  Value *X3 = B.add(X2, B.andOp(X2, B.i32(0xffff)));
+  L.setNext(X, X3);
+  L.close();
+  B.ret(X);
+  return M;
+}
+
+/// The driver: repeatedly queries findInMemory with rotating query tokens,
+/// churns the token vector, and runs the (dominant) activation work.
+Method *buildDriver(World &W, Method *Find, Method *Churn, Method *Act) {
+  Method *M = W.Module->addMethod(
+      "JessMain", Type::I32,
+      /*(tv, queries[], rounds, churnEvery, actIters)*/
+      {Type::Ref, Type::Ref, Type::I32, Type::I32, Type::I32});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Tv = M->arg(0);
+  Value *Queries = M->arg(1);
+  Value *Rounds = M->arg(2);
+  Value *ChurnEvery = M->arg(3);
+  Value *ActIters = M->arg(4);
+  Value *NQ = B.arrayLength(Queries);
+
+  LoopNest L(B, "round");
+  PhiInst *K = L.civ(B.i32(0));
+  PhiInst *Hits = L.addCarried(B.i32(0));
+  L.beginBody(B.cmpLt(K, Rounds));
+
+  Value *Qi = B.rem(K, NQ);
+  Value *Q = B.aload(Queries, Qi, Type::Ref);
+  Value *Res = B.call(Find, Type::Ref, {Tv, Q});
+  Value *Hit = B.cmpNe(Res, B.nullRef());
+  L.setNext(Hits, B.add(Hits, Hit));
+  B.call(Act, Type::I32, {K, ActIters});
+
+  Value *DoChurn = B.cmpEq(B.rem(K, ChurnEvery), B.i32(0));
+  BasicBlock *ChurnBB = M->addBlock("churn");
+  B.br(DoChurn, ChurnBB, L.latchBlock());
+  B.setInsertPoint(ChurnBB);
+  B.call(Churn, Type::Void, {Tv, K});
+  L.close(); // ChurnBB falls through to the latch.
+  B.ret(Hits);
+  return M;
+}
+
+} // namespace
+
+WorkloadSpec workloads::makeJessWorkload() {
+  WorkloadSpec S;
+  S.Name = "jess";
+  S.Description = "Java expert shell system";
+  S.CompiledFraction = 0.703; // Table 3.
+  S.Build = [](const WorkloadConfig &Cfg) {
+    World W(Cfg);
+    JessTypes T = declareTypes(W);
+    SplitMix64 Rng(Cfg.Seed);
+
+    Method *Equals = buildEquals(W, T);
+    Method *Find = buildFindInMemory(W, T, Equals);
+    Method *Add = buildAddElement(W, T);
+    Method *RemoveAt = buildRemoveAt(W, T);
+    Method *Churn = buildChurn(W, T, Add, RemoveAt);
+    Method *Act = buildActivationWork(W);
+    Method *Main = buildDriver(W, Find, Churn, Act);
+
+    // Token memory: N tokens (capacity 2N leaves churn headroom).
+    unsigned N = static_cast<unsigned>(1500 * Cfg.Scale);
+    N = N < 64 ? 64 : N;
+    vm::Addr TvObj = W.obj(T.TokenVector);
+    vm::Addr VArr = W.arr(Type::Ref, 2 * N);
+    W.setField(TvObj, T.TvV, VArr);
+    W.setField(TvObj, T.TvPtr, N);
+    for (unsigned I = 0; I != N; ++I)
+      W.setElem(VArr, I, allocToken(W, T, Rng, static_cast<int32_t>(I)));
+
+    // 202_jess has appended to and removed from this array long before the
+    // JIT compiles findInMemory: scramble the referents (Fisher-Yates).
+    for (unsigned I = N - 1; I > 0; --I) {
+      unsigned J = static_cast<unsigned>(Rng.nextBelow(I + 1));
+      uint64_t Tmp = W.getElem(VArr, I);
+      W.setElem(VArr, I, W.getElem(VArr, J));
+      W.setElem(VArr, J, Tmp);
+    }
+
+    // Query tokens, allocated after the table.
+    unsigned NQ = 16;
+    vm::Addr QArr = W.arr(Type::Ref, NQ);
+    for (unsigned I = 0; I != NQ; ++I)
+      W.setElem(QArr, I,
+                allocToken(W, T, Rng, static_cast<int32_t>(7 * I + 3)));
+
+    uint64_t Rounds = static_cast<uint64_t>(12 * Cfg.Scale);
+    Rounds = Rounds < 4 ? 4 : Rounds;
+    // Sized so findInMemory takes roughly a quarter of the compiled-code
+    // cycles, as in the paper's profile of 202_jess.
+    uint64_t ActIters = static_cast<uint64_t>(150000 * Cfg.Scale);
+    ActIters = ActIters < 100 ? 100 : ActIters;
+    uint64_t FirstQuery = W.getElem(QArr, 0);
+
+    BuiltWorkload B =
+        W.seal(Main, {TvObj, QArr, Rounds, 8, ActIters}, {TvObj, QArr});
+    // The hot methods compile with actual first-invocation arguments.
+    B.CompileUnits.push_back({Find, {TvObj, FirstQuery}});
+    B.CompileUnits.push_back({Main, B.EntryArgs});
+    // The rest of the program: the ordinary methods the JIT also
+    // compiles (the Figure 11 denominator).
+    addCompiledPopulation(B, 460, Cfg.Seed);
+    return B;
+  };
+  return S;
+}

@@ -1,0 +1,205 @@
+//===- workloads/KernelBuilder.h - Workload construction kit ----*- C++ -*-===//
+///
+/// \file
+/// Shared machinery for building workloads: a World (types + heap +
+/// module), heap population helpers, and LoopNest, a structured-loop
+/// builder that produces the canonical header/body/latch/exit shape with
+/// SSA phis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_WORKLOADS_KERNELBUILDER_H
+#define SPF_WORKLOADS_KERNELBUILDER_H
+
+#include "support/ErrorHandling.h"
+#include "support/SplitMix64.h"
+#include "workloads/Workload.h"
+
+#include <string>
+
+namespace spf {
+namespace workloads {
+
+/// The mutable world a workload is built into.
+struct World {
+  std::unique_ptr<vm::TypeTable> Types;
+  std::unique_ptr<vm::Heap> Heap;
+  std::unique_ptr<ir::Module> Module;
+
+  explicit World(const WorkloadConfig &Cfg) {
+    Types = std::make_unique<vm::TypeTable>();
+    vm::Heap::Config HC;
+    HC.HeapBytes = Cfg.HeapBytes;
+    Heap = std::make_unique<vm::Heap>(*Types, HC);
+    Module = std::make_unique<ir::Module>();
+  }
+
+  /// Allocates an instance, aborting on OOM (workload build phase).
+  vm::Addr obj(const vm::ClassDesc *Cls) {
+    vm::Addr A = Heap->allocObject(*Cls);
+    if (!A)
+      reportFatalError("workload build ran out of heap");
+    return A;
+  }
+
+  /// Allocates an array, aborting on OOM.
+  vm::Addr arr(ir::Type ElemTy, uint64_t N) {
+    vm::Addr A = Heap->allocArray(ElemTy, N);
+    if (!A)
+      reportFatalError("workload build ran out of heap");
+    return A;
+  }
+
+  void setField(vm::Addr Obj, const vm::FieldDesc *F, uint64_t V) {
+    Heap->store(Obj + F->Offset, F->Ty, V);
+  }
+  uint64_t getField(vm::Addr Obj, const vm::FieldDesc *F) const {
+    return Heap->load(Obj + F->Offset, F->Ty);
+  }
+  void setElem(vm::Addr Array, uint64_t I, uint64_t V) {
+    Heap->store(Heap->elemAddr(Array, I), Heap->arrayElemType(Array), V);
+  }
+  uint64_t getElem(vm::Addr Array, uint64_t I) const {
+    return Heap->load(Heap->elemAddr(Array, I), Heap->arrayElemType(Array));
+  }
+
+  /// Moves the world into a BuiltWorkload shell.
+  BuiltWorkload seal(ir::Method *Entry, std::vector<uint64_t> EntryArgs,
+                     std::vector<vm::Addr> Roots) {
+    BuiltWorkload W;
+    W.Types = std::move(Types);
+    W.Heap = std::move(Heap);
+    W.Module = std::move(Module);
+    W.Entry = Entry;
+    W.EntryArgs = std::move(EntryArgs);
+    W.Roots = std::move(Roots);
+    return W;
+  }
+};
+
+/// Builds one natural loop in the canonical shape:
+///
+///   (current) -> header { phis; <condition code>; br cond ? body : exit }
+///   body ... -> latch { civ' = civ + step; jump header }
+///   exit
+///
+/// Usage:
+///   LoopNest L(B, "i");
+///   ir::PhiInst *I = L.civ(B.i32(0));        // canonical induction var
+///   ... emit header code (e.g. bound loads) ...
+///   L.beginBody(B.cmpLt(I, Bound));
+///   ... emit body; branch to L.latchBlock() to 'continue',
+///       or to L.exitBlock() to 'break' ...
+///   L.close();                                // builder lands at exit
+///
+/// Carried-phi "next" values must dominate the latch; the canonical
+/// induction variable is incremented inside the latch, so any number of
+/// continue edges may enter it.
+class LoopNest {
+public:
+  LoopNest(ir::IRBuilder &B, const std::string &Name,
+           ir::Value *Step = nullptr)
+      : B(B), Step(Step) {
+    ir::Method *M = B.insertBlock()->parent();
+    Header = M->addBlock(Name + ".header");
+    Body = M->addBlock(Name + ".body");
+    Latch = M->addBlock(Name + ".latch");
+    Exit = M->addBlock(Name + ".exit");
+    B.jump(Header);
+    B.setInsertPoint(Header);
+  }
+
+  /// Canonical i32 induction variable starting at \p Init, incremented by
+  /// the loop step (default 1) in the latch. Call before non-phi header
+  /// code.
+  ir::PhiInst *civ(ir::Value *Init) {
+    assert(!Civ && "civ() called twice");
+    Civ = B.phi(ir::Type::I32);
+    CivInit = Init;
+    return Civ;
+  }
+
+  /// Additional loop-carried value; set its next value with setNext before
+  /// close().
+  ir::PhiInst *addCarried(ir::Value *Init) {
+    ir::PhiInst *P = B.phi(Init->type());
+    Carried.push_back({P, Init, nullptr});
+    return P;
+  }
+
+  void setNext(ir::PhiInst *P, ir::Value *Next) {
+    for (CarriedVar &C : Carried)
+      if (C.Phi == P) {
+        C.Next = Next;
+        return;
+      }
+    spf_unreachable("setNext on a phi not created by addCarried");
+  }
+
+  /// Ends the header with `br Cond ? body : exit`; positions the builder
+  /// at the body.
+  void beginBody(ir::Value *Cond) {
+    B.br(Cond, Body, Exit);
+    B.setInsertPoint(Body);
+  }
+
+  ir::BasicBlock *headerBlock() const { return Header; }
+  ir::BasicBlock *bodyBlock() const { return Body; }
+  ir::BasicBlock *latchBlock() const { return Latch; }
+  ir::BasicBlock *exitBlock() const { return Exit; }
+
+  /// Jumps from the current block to the latch (unless it already ends in
+  /// a terminator), emits the latch (civ increment + back edge), completes
+  /// all phis, and positions the builder at the exit block.
+  void close() {
+    if (!B.insertBlock()->terminator())
+      B.jump(Latch); // Otherwise every body path already branches.
+    B.setInsertPoint(Latch);
+    ir::Value *CivNext = nullptr;
+    if (Civ)
+      CivNext = B.add(Civ, Step ? Step : B.i32(1));
+    B.jump(Header);
+
+    // Wire phis: the incoming block for the initial value is every header
+    // predecessor except the latch.
+    Header->parent()->recomputePreds();
+    for (ir::BasicBlock *Pred : Header->predecessors()) {
+      if (Pred == Latch)
+        continue;
+      if (Civ)
+        Civ->addIncoming(Pred, CivInit);
+      for (CarriedVar &C : Carried)
+        C.Phi->addIncoming(Pred, C.Init);
+    }
+    if (Civ)
+      Civ->addIncoming(Latch, CivNext);
+    for (CarriedVar &C : Carried) {
+      assert(C.Next && "carried phi without a next value");
+      C.Phi->addIncoming(Latch, C.Next);
+    }
+
+    B.setInsertPoint(Exit);
+  }
+
+private:
+  struct CarriedVar {
+    ir::PhiInst *Phi;
+    ir::Value *Init;
+    ir::Value *Next;
+  };
+
+  ir::IRBuilder &B;
+  ir::Value *Step;
+  ir::BasicBlock *Header = nullptr;
+  ir::BasicBlock *Body = nullptr;
+  ir::BasicBlock *Latch = nullptr;
+  ir::BasicBlock *Exit = nullptr;
+  ir::PhiInst *Civ = nullptr;
+  ir::Value *CivInit = nullptr;
+  std::vector<CarriedVar> Carried;
+};
+
+} // namespace workloads
+} // namespace spf
+
+#endif // SPF_WORKLOADS_KERNELBUILDER_H

@@ -1,0 +1,167 @@
+//===- workloads/MolDyn.cpp - JavaGrande MolDyn kernel --------------------===//
+///
+/// \file
+/// "The main data structure of MolDyn is a one-dimensional array of
+/// molecule objects that fits in the L2 cache given the problem size."
+/// Both algorithms therefore achieve nothing on the Pentium 4 (whose
+/// software prefetch only fills the L2, where the data already lives) but
+/// small speedups on the Athlon MP (whose prefetch fills the L1; the
+/// 64 KB L1 cannot hold the molecules).
+///
+/// Molecules are allocated consecutively (pitch 72 bytes, above half a
+/// line on both machines), and the force loop's field loads carry the
+/// inter-iteration stride.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/ProgramPopulation.h"
+
+using namespace spf;
+using namespace spf::workloads;
+using namespace spf::ir;
+
+namespace {
+
+struct MolTypes {
+  const vm::ClassDesc *Particle;
+  const vm::FieldDesc *X;
+  const vm::FieldDesc *Y;
+  const vm::FieldDesc *Z;
+  const vm::FieldDesc *Vx;
+  const vm::FieldDesc *Vy;
+  const vm::FieldDesc *Vz;
+  const vm::FieldDesc *Mass;
+};
+
+MolTypes declareTypes(World &W) {
+  MolTypes T;
+  auto *P = W.Types->addClass("Particle");
+  T.X = W.Types->addField(P, "x", Type::F64);
+  T.Y = W.Types->addField(P, "y", Type::F64);
+  T.Z = W.Types->addField(P, "z", Type::F64);
+  T.Vx = W.Types->addField(P, "vx", Type::F64);
+  T.Vy = W.Types->addField(P, "vy", Type::F64);
+  T.Vz = W.Types->addField(P, "vz", Type::F64);
+  T.Mass = W.Types->addField(P, "mass", Type::F64);
+  T.Particle = P; // 16 + 7*8 = 72 bytes.
+  return T;
+}
+
+/// force(one, all, n, steps): the O(n^2) pairwise force kernel; the inner
+/// loop streams over all molecules.
+Method *buildForce(World &W, const MolTypes &T) {
+  Method *M = W.Module->addMethod(
+      "Particle.force", Type::F64,
+      /*(all, n, k, steps): the first k particles gather forces from all n*/
+      {Type::Ref, Type::I32, Type::I32, Type::I32});
+  M->arg(0)->setName("md");
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *All = M->arg(0);
+  Value *N = M->arg(1);
+  Value *K = M->arg(2);
+  Value *Steps = M->arg(3);
+
+  LoopNest Step(B, "step");
+  PhiInst *S = Step.civ(B.i32(0));
+  PhiInst *Acc = Step.addCarried(B.f64(0.0));
+  Step.beginBody(B.cmpLt(S, Steps));
+
+  LoopNest Outer(B, "pi");
+  PhiInst *I = Outer.civ(B.i32(0));
+  PhiInst *AccI = Outer.addCarried(Acc);
+  Outer.beginBody(B.cmpLt(I, K));
+
+  B.arrayLength(All);
+  Value *Pi = B.aload(All, I, Type::Ref);
+  Value *Xi = B.getField(Pi, T.X);
+  Value *Yi = B.getField(Pi, T.Y);
+
+  LoopNest Inner(B, "pj");
+  PhiInst *J = Inner.civ(B.i32(0));
+  PhiInst *AccJ = Inner.addCarried(AccI);
+  Inner.beginBody(B.cmpLt(J, N));
+
+  B.arrayLength(All);
+  Value *Pj = B.aload(All, J, Type::Ref); // 8-byte stride: rejected.
+  Value *Xj = B.getField(Pj, T.X);        // 72-byte stride: the anchor.
+  Value *Yj = B.getField(Pj, T.Y);
+  Value *Dx = B.sub(Xi, Xj);
+  Value *Dy = B.sub(Yi, Yj);
+  Value *R2 = B.add(B.mul(Dx, Dx), B.mul(Dy, Dy));
+  // Lennard-Jones-like force evaluation: tens of flops per pair, exactly
+  // why MolDyn is compute-heavy between its streaming accesses.
+  Value *R2s = B.add(R2, B.f64(0.015625));
+  Value *R4 = B.mul(R2s, R2s);
+  Value *R6 = B.mul(R4, R2s);
+  Value *R12 = B.mul(R6, R6);
+  Value *T6 = B.mul(R6, B.f64(0.000244140625));
+  Value *T12 = B.mul(R12, B.f64(5.9604644775390625e-08));
+  Value *F = B.sub(B.mul(T12, B.f64(0.5)), T6);
+  Value *Fx = B.mul(F, Dx);
+  Value *Fy = B.mul(F, Dy);
+  Value *Fm = B.add(B.mul(Fx, Fx), B.mul(Fy, Fy));
+  // Virial and energy accumulation terms.
+  Value *E6 = B.mul(T6, B.add(B.f64(1.0), B.mul(T6, B.f64(0.5))));
+  Value *E12 = B.mul(T12, B.sub(B.f64(1.0), B.mul(T12, B.f64(0.25))));
+  Value *Vir = B.sub(B.mul(E12, B.f64(12.0)), B.mul(E6, B.f64(6.0)));
+  Value *Pot = B.add(B.mul(E12, R2s), B.mul(E6, R4));
+  Value *Kin = B.mul(B.add(Fx, Fy), B.mul(Vir, B.f64(0.03125)));
+  Value *Mix = B.add(B.mul(Pot, B.f64(0.0078125)), Kin);
+  Value *AccNext =
+      B.add(AccJ, B.add(F, B.add(B.mul(Fm, B.f64(0.0625)), Mix)));
+  Inner.setNext(AccJ, AccNext);
+  Inner.close();
+
+  Outer.setNext(AccI, AccJ);
+  Outer.close();
+
+  Step.setNext(Acc, AccI);
+  Step.close();
+  B.ret(Acc);
+  return M;
+}
+
+} // namespace
+
+WorkloadSpec workloads::makeMolDynWorkload() {
+  WorkloadSpec S;
+  S.Name = "MolDyn";
+  S.Description = "Molecular dynamics simulation";
+  S.CompiledFraction = 0.854; // Table 3.
+  S.Build = [](const WorkloadConfig &Cfg) {
+    World W(Cfg);
+    MolTypes T = declareTypes(W);
+    SplitMix64 Rng(Cfg.Seed + 2);
+
+    Method *Force = buildForce(W, T);
+
+    // ~1500 molecules x 72 B = 108 KB (+12 KB array): inside the 256 KB
+    // L2, well beyond the Pentium 4's 8 KB and the Athlon's 64 KB L1.
+    unsigned N = static_cast<unsigned>(1500 * Cfg.Scale);
+    N = N < 64 ? 64 : N;
+    unsigned K = N / 5; // Gathering subset: keeps simulation time sane.
+    vm::Addr All = W.arr(Type::Ref, N);
+    for (unsigned I = 0; I != N; ++I) {
+      vm::Addr P = W.obj(T.Particle);
+      double X = static_cast<double>(Rng.nextDouble());
+      uint64_t Bits;
+      __builtin_memcpy(&Bits, &X, 8);
+      W.setField(P, T.X, Bits);
+      double Y = static_cast<double>(Rng.nextDouble());
+      __builtin_memcpy(&Bits, &Y, 8);
+      W.setField(P, T.Y, Bits);
+      W.setElem(All, I, P);
+    }
+
+    uint64_t Steps = 2;
+    BuiltWorkload B = W.seal(Force, {All, N, K, Steps}, {All});
+    B.CompileUnits.push_back({Force, B.EntryArgs});
+    // The rest of the program: the ordinary methods the JIT also
+    // compiles (the Figure 11 denominator).
+    addCompiledPopulation(B, 60, Cfg.Seed);
+    return B;
+  };
+  return S;
+}

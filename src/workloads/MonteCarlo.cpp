@@ -1,0 +1,81 @@
+//===- workloads/MonteCarlo.cpp - JavaGrande MonteCarlo kernel ------------===//
+///
+/// \file
+/// MonteCarlo is dominated by scalar arithmetic over a small per-path
+/// state: "the L1 cache MPIs of mpegaudio and MonteCarlo are quite small,
+/// and thus prefetching is not profitable for these benchmarks". Our
+/// kernel runs pseudo-random walks accumulating into a cache-resident
+/// path array; the pass finds no applicable loads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/ProgramPopulation.h"
+
+using namespace spf;
+using namespace spf::workloads;
+using namespace spf::ir;
+
+namespace {
+
+/// simulate(path, walks, steps) -> i32 checksum of final walk values.
+Method *buildSimulate(World &W) {
+  Method *M = W.Module->addMethod(
+      "PriceStock.simulate", Type::I32,
+      {Type::Ref, Type::I32, Type::I32});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Path = M->arg(0);
+  Value *Walks = M->arg(1);
+  Value *Steps = M->arg(2);
+  Value *PathLen = B.arrayLength(Path);
+
+  LoopNest Wk(B, "walk");
+  PhiInst *Wi = Wk.civ(B.i32(0));
+  PhiInst *Sum = Wk.addCarried(B.i32(0));
+  Wk.beginBody(B.cmpLt(Wi, Walks));
+
+  LoopNest St(B, "step");
+  PhiInst *Si = St.civ(B.i32(0));
+  PhiInst *X = St.addCarried(B.i32(1));
+  St.beginBody(B.cmpLt(Si, Steps));
+  // LCG step plus a touch of the small path array.
+  Value *X1 = B.add(B.mul(X, B.i32(1103515245)), B.i32(12345));
+  Value *X2 = B.andOp(X1, B.i32(0x7fffffff));
+  Value *Slot = B.rem(Si, PathLen);
+  Value *Old = B.aload(Path, Slot, Type::I32);
+  B.astore(Path, Slot, B.xorOp(Old, X2));
+  St.setNext(X, X2);
+  St.close();
+
+  Wk.setNext(Sum, B.add(Sum, X));
+  Wk.close();
+  B.ret(Sum);
+  return M;
+}
+
+} // namespace
+
+WorkloadSpec workloads::makeMonteCarloWorkload() {
+  WorkloadSpec S;
+  S.Name = "MonteCarlo";
+  S.Description = "Monte Carlo simulation";
+  S.CompiledFraction = 0.480; // Table 3.
+  S.Build = [](const WorkloadConfig &Cfg) {
+    World W(Cfg);
+    Method *M = buildSimulate(W);
+
+    vm::Addr Path = W.arr(Type::I32, 1024); // 4 KB: cache-resident.
+    uint64_t Walks = static_cast<uint64_t>(600 * Cfg.Scale);
+    Walks = Walks < 8 ? 8 : Walks;
+    uint64_t Steps = 1000;
+
+    BuiltWorkload B = W.seal(M, {Path, Walks, Steps}, {Path});
+    B.CompileUnits.push_back({M, B.EntryArgs});
+    // The rest of the program: the ordinary methods the JIT also
+    // compiles (the Figure 11 denominator).
+    addCompiledPopulation(B, 120, Cfg.Seed);
+    return B;
+  };
+  return S;
+}

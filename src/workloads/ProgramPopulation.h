@@ -1,0 +1,32 @@
+//===- workloads/ProgramPopulation.h - The rest of the program --*- C++ -*-===//
+///
+/// \file
+/// Synthesizes the compiled-method population of a benchmark. SPECjvm98
+/// programs JIT-compile hundreds of methods, almost all of which never
+/// show up in the performance profile; Figure 11's "total JIT compilation
+/// time" denominator is dominated by them. Each workload therefore adds a
+/// deterministic population of ordinary methods (arithmetic, branches,
+/// small counted loops — no profiled heap traffic) that are compiled but
+/// not executed by the harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_WORKLOADS_PROGRAMPOPULATION_H
+#define SPF_WORKLOADS_PROGRAMPOPULATION_H
+
+#include "workloads/KernelBuilder.h"
+
+namespace spf {
+namespace workloads {
+
+/// Generates \p NumMethods compile-only methods into \p B 's module and
+/// registers them (with no argument values, as for any method compiled
+/// before its first profiled invocation) in \p B 's compile units. Call
+/// after World::seal().
+void addCompiledPopulation(BuiltWorkload &B, unsigned NumMethods,
+                           uint64_t Seed);
+
+} // namespace workloads
+} // namespace spf
+
+#endif // SPF_WORKLOADS_PROGRAMPOPULATION_H

@@ -1,0 +1,254 @@
+//===- workloads/RayTracer.cpp - JavaGrande RayTracer kernel --------------===//
+///
+/// \file
+/// The paper's RayTracer anomaly: "One of the target loops of RayTracer
+/// contains an invocation of a recursive method. On the Pentium 4, stride
+/// prefetching in that target loop also reduces the cache misses in the
+/// other methods where prefetches are not inserted", improving the P4
+/// while slightly degrading the Athlon MP.
+///
+/// Mechanism reproduced here:
+///  * primitives have a two-line layout (96 bytes): the intersect loop
+///    touches the first 64 bytes; the recursive shade() method touches
+///    the second 64 bytes. The Pentium 4's L2 prefetch line (128 B) covers
+///    both halves — the cross-method benefit — while the Athlon's 64 B
+///    lines cover only the loop's half;
+///  * shade() is an invocation inside the target loop (object inspection
+///    skips it);
+///  * every primitive's constructor allocates its Material right behind
+///    it (intra-iteration stride 88), and the scene's reference array is
+///    permuted by the builder's spatial sort — so no load has an
+///    inter-iteration pattern and INTER emits nothing (matching the flat
+///    INTER bars), while INTER+INTRA prefetches through the dereference
+///    chain. On the Pentium 4 one 128-byte L2 line covers the primitive's
+///    both halves plus its material; on the Athlon the 64-byte prefetches
+///    cover only the intersect half, shade's misses remain, and the extra
+///    instructions make the net effect a wash or a small loss.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/ProgramPopulation.h"
+
+using namespace spf;
+using namespace spf::workloads;
+using namespace spf::ir;
+
+namespace {
+
+struct RtTypes {
+  const vm::ClassDesc *Prim;
+  const vm::FieldDesc *Mat; // Material (ref) — first line.
+  const vm::FieldDesc *Ox;
+  const vm::FieldDesc *Oy;
+  const vm::FieldDesc *R2;
+  const vm::FieldDesc *Pad;
+  const vm::FieldDesc *Nx; // Shading fields — second line.
+  const vm::FieldDesc *Ny;
+  const vm::FieldDesc *Nz;
+  const vm::FieldDesc *Kd;
+
+  const vm::ClassDesc *Material;
+  const vm::FieldDesc *MR; // reflectance
+  const vm::FieldDesc *MT; // transparency
+};
+
+RtTypes declareTypes(World &W) {
+  RtTypes T;
+  auto *P = W.Types->addClass("Primitive");
+  T.Mat = W.Types->addField(P, "mat", Type::Ref); // +16
+  T.Ox = W.Types->addField(P, "ox", Type::F64);   // +24
+  T.Oy = W.Types->addField(P, "oy", Type::F64);   // +32
+  T.R2 = W.Types->addField(P, "r2", Type::F64);   // +40
+  T.Pad = W.Types->addField(P, "pad", Type::F64); // +48
+  T.Nx = W.Types->addField(P, "nx", Type::F64);   // +56 (2nd 64B line)
+  T.Ny = W.Types->addField(P, "ny", Type::F64);   // +64
+  T.Nz = W.Types->addField(P, "nz", Type::F64);   // +72
+  T.Kd = W.Types->addField(P, "kd", Type::F64);   // +80
+  T.Prim = P; // 88 -> 88 bytes; pitch with material entourage varies.
+  auto *M = W.Types->addClass("Material");
+  T.MR = W.Types->addField(M, "refl", Type::F64);
+  T.MT = W.Types->addField(M, "trans", Type::F64);
+  T.Material = M; // 32 bytes.
+  return T;
+}
+
+/// shade(prim, depth): recursive shading touching the primitive's second
+/// cache line and its material.
+Method *buildShade(World &W, const RtTypes &T) {
+  Method *M = W.Module->addMethod("RayTracer.shade", Type::F64,
+                                  {Type::Ref, Type::I32});
+  IRBuilder B(*W.Module);
+  BasicBlock *Entry = M->addBlock("entry");
+  BasicBlock *Recurse = M->addBlock("recurse");
+  BasicBlock *Leaf = M->addBlock("leaf");
+  B.setInsertPoint(Entry);
+  Value *P = M->arg(0);
+  Value *Depth = M->arg(1);
+  Value *Nx = B.getField(P, T.Nx); // Second-line loads.
+  Value *Ny = B.getField(P, T.Ny);
+  Value *Kd = B.getField(P, T.Kd);
+  Value *Mat = B.getField(P, T.Mat);
+  Value *Refl = B.getField(Mat, T.MR);
+  // Phong-style shading arithmetic: normal dot products, attenuation,
+  // specular powers — the real shade() is flop-dense.
+  Value *Dot = B.add(B.mul(Nx, B.f64(0.57735)), B.mul(Ny, B.f64(0.57735)));
+  Value *Dot2 = B.mul(Dot, Dot);
+  Value *Spec = B.mul(Dot2, Dot2);
+  Value *Spec2 = B.mul(Spec, Spec);
+  Value *Att = B.div(B.f64(1.0), B.add(B.f64(1.0), B.mul(Dot2, B.f64(0.1))));
+  Value *Diff = B.mul(Kd, B.mul(Dot, Att));
+  Value *SpecTerm = B.mul(Refl, B.mul(Spec2, Att));
+  Value *Base = B.add(B.add(B.mul(Nx, Ny), Diff), SpecTerm);
+  B.br(B.cmpGt(Depth, B.i32(0)), Recurse, Leaf);
+
+  B.setInsertPoint(Recurse);
+  Value *Sub =
+      B.call(M, Type::F64, {P, B.sub(Depth, B.i32(1))}, /*IsVirtual=*/false);
+  B.ret(B.add(Base, B.mul(Sub, B.f64(0.5))));
+
+  B.setInsertPoint(Leaf);
+  B.ret(Base);
+  return M;
+}
+
+/// render(scene, rays, n): the target loop — intersect each primitive
+/// (first-line loads) and invoke the recursive shade on near hits.
+Method *buildRender(World &W, const RtTypes &T, Method *Shade) {
+  Method *M = W.Module->addMethod(
+      "RayTracer.render", Type::I32,
+      {Type::Ref, Type::I32, Type::I32});
+  IRBuilder B(*W.Module);
+  B.setInsertPoint(M->addBlock("entry"));
+  Value *Scene = M->arg(0);
+  Value *NRays = M->arg(1);
+  Value *N = M->arg(2);
+
+  LoopNest Ray(B, "ray");
+  PhiInst *R = Ray.civ(B.i32(0));
+  PhiInst *Hits = Ray.addCarried(B.i32(0));
+  Ray.beginBody(B.cmpLt(R, NRays));
+  Value *Rx = B.conv(ConvInst::ConvOp::IToF, B.rem(R, B.i32(89)));
+  // Each ray tests the BSP leaves along its path: a window of the scene
+  // array that drifts with the ray index. Consecutive rays overlap
+  // heavily (temporal reuse), so only part of each ray's window misses.
+  Value *Window = B.div(N, B.i32(2));
+  Value *Start = B.rem(B.mul(R, B.i32(53)), B.sub(N, Window));
+
+  LoopNest Obj(B, "obj");
+  PhiInst *I = Obj.civ(B.i32(0));
+  PhiInst *HitsI = Obj.addCarried(Hits);
+  Obj.beginBody(B.cmpLt(I, Window));
+
+  B.arrayLength(Scene);
+  Value *Idx = B.add(Start, I);
+  Value *Pr = B.aload(Scene, Idx, Type::Ref); // 8-byte stride.
+  Value *Ox = B.getField(Pr, T.Ox);         // First-line anchor.
+  Value *R2 = B.getField(Pr, T.R2);
+  Value *Mat = B.getField(Pr, T.Mat); // Material: constructor-adjacent
+                                      // to its primitive (intra stride).
+  Value *Refl = B.getField(Mat, T.MR);
+  // Full ray-primitive test: the real intersect does ~20 flops before
+  // deciding whether to shade.
+  Value *Dx = B.sub(Ox, Rx);
+  Value *Oy = B.getField(Pr, T.Oy);
+  Value *Dy = B.sub(Oy, B.mul(Rx, B.f64(0.25)));
+  Value *BCoef = B.add(B.mul(Dx, B.f64(0.6)), B.mul(Dy, B.f64(0.8)));
+  Value *CCoef = B.sub(B.add(B.mul(Dx, Dx), B.mul(Dy, Dy)), R2);
+  Value *Disc = B.sub(B.mul(BCoef, BCoef), CCoef);
+  Value *T0 = B.sub(BCoef, B.mul(Disc, B.f64(0.5)));
+  Value *T1 = B.add(B.mul(T0, T0), B.mul(Disc, B.f64(0.25)));
+  Value *D2 = B.mul(B.add(T1, B.mul(Disc, Disc)), Refl);
+  Value *Near = B.cmpLt(D2, B.mul(R2, B.f64(40.0)));
+
+  BasicBlock *HitBB = M->addBlock("hit");
+  BasicBlock *Cont = M->addBlock("cont");
+  B.br(Near, HitBB, Cont);
+
+  B.setInsertPoint(HitBB);
+  B.call(Shade, Type::F64, {Pr, B.i32(2)}); // The recursive invocation.
+  B.jump(Cont);
+
+  B.setInsertPoint(Cont);
+  PhiInst *HitInc = B.phi(Type::I32);
+  Value *HitsNext = B.add(HitsI, HitInc);
+  Obj.setNext(HitsI, HitsNext);
+  Obj.close();
+
+  Ray.setNext(Hits, HitsI);
+  Ray.close();
+  B.ret(Hits);
+
+  M->recomputePreds();
+  HitInc->addIncoming(HitBB, B.i32(1));
+  HitInc->addIncoming(Obj.bodyBlock(), B.i32(0));
+  return M;
+}
+
+} // namespace
+
+WorkloadSpec workloads::makeRayTracerWorkload() {
+  WorkloadSpec S;
+  S.Name = "RayTracer";
+  S.Description = "3D ray tracer";
+  S.CompiledFraction = 0.798; // Table 3.
+  S.Build = [](const WorkloadConfig &Cfg) {
+    World W(Cfg);
+    RtTypes T = declareTypes(W);
+    SplitMix64 Rng(Cfg.Seed + 4);
+
+    Method *Shade = buildShade(W, T);
+    Method *Render = buildRender(W, T, Shade);
+
+    unsigned N = static_cast<unsigned>(1000 * Cfg.Scale);
+    N = N < 64 ? 64 : N;
+
+    vm::Addr Scene = W.arr(Type::Ref, N);
+    for (unsigned I = 0; I != N; ++I) {
+      vm::Addr Pr = W.obj(T.Prim);
+      // The constructor allocates the material right behind the
+      // primitive: the source of the intra-iteration stride.
+      vm::Addr Mat = W.obj(T.Material);
+      {
+        double Refl = 0.6 + 0.001 * static_cast<double>(Rng.nextBelow(200));
+        uint64_t Bits;
+        __builtin_memcpy(&Bits, &Refl, 8);
+        W.setField(Mat, T.MR, Bits);
+      }
+      W.setField(Pr, T.Mat, Mat);
+      double Ox = static_cast<double>(Rng.nextBelow(89));
+      uint64_t Bits;
+      __builtin_memcpy(&Bits, &Ox, 8);
+      W.setField(Pr, T.Ox, Bits);
+      double R2 = 0.25 + 0.001 * static_cast<double>(Rng.nextBelow(50));
+      __builtin_memcpy(&Bits, &R2, 8);
+      W.setField(Pr, T.R2, Bits);
+      double Nx = 0.5, Kd = 0.25;
+      __builtin_memcpy(&Bits, &Nx, 8);
+      W.setField(Pr, T.Nx, Bits);
+      W.setField(Pr, T.Ny, Bits);
+      __builtin_memcpy(&Bits, &Kd, 8);
+      W.setField(Pr, T.Kd, Bits);
+      W.setElem(Scene, I, Pr);
+    }
+
+    // The scene builder's spatial sort permutes the reference array: no
+    // inter-iteration stride survives on the primitive loads.
+    for (unsigned I = N - 1; I > 0; --I) {
+      unsigned J = static_cast<unsigned>(Rng.nextBelow(I + 1));
+      uint64_t Tmp = W.getElem(Scene, I);
+      W.setElem(Scene, I, W.getElem(Scene, J));
+      W.setElem(Scene, J, Tmp);
+    }
+
+    uint64_t NRays = static_cast<uint64_t>(160 * Cfg.Scale);
+    NRays = NRays < 4 ? 4 : NRays;
+    BuiltWorkload B = W.seal(Render, {Scene, NRays, N}, {Scene});
+    B.CompileUnits.push_back({Render, B.EntryArgs});
+    // The rest of the program: the ordinary methods the JIT also
+    // compiles (the Figure 11 denominator).
+    addCompiledPopulation(B, 140, Cfg.Seed);
+    return B;
+  };
+  return S;
+}

@@ -1,0 +1,85 @@
+//===- workloads/Runner.h - Build, compile, simulate, measure ---*- C++ -*-===//
+///
+/// \file
+/// The measurement harness shared by all benches and the end-to-end tests:
+/// builds a workload, JIT-compiles its hot methods under one of the three
+/// evaluated configurations (BASELINE, INTER, INTER+INTRA), executes it on
+/// a simulated machine, and returns the cycle/miss/compile-time metrics
+/// the paper's figures are drawn from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_WORKLOADS_RUNNER_H
+#define SPF_WORKLOADS_RUNNER_H
+
+#include "exec/Interpreter.h"
+#include "jit/CompileManager.h"
+#include "workloads/Workload.h"
+
+#include <functional>
+
+namespace spf {
+namespace workloads {
+
+/// The three configurations of Section 4.
+enum class Algorithm : uint8_t {
+  Baseline,   ///< No stride prefetching.
+  Inter,      ///< INTER: inter-iteration stride prefetching only.
+  InterIntra, ///< INTER+INTRA: the paper's full algorithm.
+};
+
+const char *algorithmName(Algorithm A);
+
+/// One run = one workload on one machine under one algorithm.
+struct RunOptions {
+  sim::MachineConfig Machine = sim::MachineConfig::pentium4();
+  Algorithm Algo = Algorithm::Baseline;
+  WorkloadConfig Config;
+  /// Optional hook to adjust the derived pass options (ablation studies:
+  /// scheduling distance, guarded loads, inspection iterations, ...).
+  std::function<void(core::PrefetchPassOptions &)> TunePass;
+};
+
+/// Everything measured in one run.
+struct RunResult {
+  uint64_t CompiledCycles = 0; ///< Simulated cycles in compiled code.
+  uint64_t Retired = 0;        ///< Retired instructions.
+  sim::MemoryStats Mem;
+  exec::ExecStats Exec;
+  double JitTotalUs = 0;    ///< Total JIT compilation time.
+  double JitPrefetchUs = 0; ///< Prefetch pass share of it.
+  core::PrefetchPassResult Prefetch;
+  uint64_t ReturnValue = 0;
+  bool SelfCheckOk = true; ///< Entry returned the expected value.
+};
+
+/// Derives the prefetch pass options appropriate for \p M: the planner's
+/// line size is the line of the level software prefetches fill, and
+/// guarded loads are used for the intra path on machines whose prefetch
+/// only fills the L2 (the Pentium 4 setup of Section 4).
+core::PrefetchPassOptions passOptionsFor(const sim::MachineConfig &M,
+                                         core::PrefetchMode Mode);
+
+/// Builds, compiles, and runs \p Spec under \p Opts.
+RunResult runWorkload(const WorkloadSpec &Spec, const RunOptions &Opts);
+
+/// Mixed-mode total-time model: compiled cycles plus the (configuration-
+/// independent) uncompiled time derived from the baseline run and the
+/// workload's Table 3 compiled-code fraction \p F.
+double totalTime(uint64_t CompiledCycles, uint64_t BaselineCompiledCycles,
+                 double F);
+
+/// Speedup percentage of \p Opt over \p Base under the total-time model.
+double speedupPercent(const RunResult &Base, const RunResult &Opt, double F);
+
+/// Misses (or any event count) per retired instruction.
+inline double perInstruction(uint64_t Events, uint64_t Retired) {
+  return Retired ? static_cast<double>(Events) /
+                       static_cast<double>(Retired)
+                 : 0.0;
+}
+
+} // namespace workloads
+} // namespace spf
+
+#endif // SPF_WORKLOADS_RUNNER_H

@@ -1,0 +1,112 @@
+//===- workloads/Search.cpp - JavaGrande Search kernel --------------------===//
+///
+/// \file
+/// Alpha-beta pruned game-tree search over a small board with a
+/// transposition table probed at hash-scattered indices: no load in the
+/// hot loops has a stride pattern ("compress, javac, and Search do not
+/// contain code fragments where either ... stride prefetching [is]
+/// applicable"). The recursion also exercises the inspector's
+/// skip-invocation rule inside a loop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/ProgramPopulation.h"
+
+using namespace spf;
+using namespace spf::workloads;
+using namespace spf::ir;
+
+namespace {
+
+/// search(board, ttab, depth, state) -> score. Recursive alpha-beta-like
+/// scan: loop over moves, recurse on promising ones.
+Method *buildSearch(World &W) {
+  Method *M = W.Module->addMethod(
+      "SearchGame.search", Type::I32,
+      {Type::Ref, Type::Ref, Type::I32, Type::I32});
+  IRBuilder B(*W.Module);
+  BasicBlock *Entry = M->addBlock("entry");
+  BasicBlock *Leaf = M->addBlock("leaf");
+  BasicBlock *Body = M->addBlock("searchbody");
+  B.setInsertPoint(Entry);
+  Value *Board = M->arg(0);
+  Value *Ttab = M->arg(1);
+  Value *Depth = M->arg(2);
+  Value *State = M->arg(3);
+  B.br(B.cmpLe(Depth, B.i32(0)), Leaf, Body);
+
+  B.setInsertPoint(Leaf);
+  B.ret(B.andOp(State, B.i32(0xff)));
+
+  B.setInsertPoint(Body);
+  Value *Width = B.arrayLength(Board);
+  Value *TtLen = B.arrayLength(Ttab);
+
+  LoopNest Mv(B, "move");
+  PhiInst *Mi = Mv.civ(B.i32(0));
+  PhiInst *Best = Mv.addCarried(B.i32(-10000));
+  Mv.beginBody(B.cmpLt(Mi, Width));
+
+  Value *Cell = B.aload(Board, Mi, Type::I32); // Small board: cached.
+  Value *H = B.rem(B.andOp(B.mul(B.xorOp(State, Cell), B.i32(0x45d9f3b)),
+                           B.i32(0x7fffffff)),
+                   TtLen);
+  Value *Tt = B.aload(Ttab, H, Type::I32); // Scattered probe: no stride.
+
+  BasicBlock *Recurse = M->addBlock("recurse");
+  BasicBlock *Merge = M->addBlock("merge");
+  B.br(B.cmpEq(B.andOp(Tt, B.i32(3)), B.i32(0)), Recurse, Merge);
+
+  B.setInsertPoint(Recurse);
+  Value *Sub = B.call(M, Type::I32,
+                      {Board, Ttab, B.sub(Depth, B.i32(1)),
+                       B.xorOp(State, Cell)},
+                      /*IsVirtual=*/false);
+  B.jump(Merge);
+
+  B.setInsertPoint(Merge);
+  PhiInst *Score = B.phi(Type::I32);
+  Value *Gt = B.cmpGt(Score, Best);
+  Value *BestNext = B.add(B.mul(Gt, Score),
+                          B.mul(B.sub(B.i32(1), Gt), Best));
+  Mv.setNext(Best, BestNext);
+  Mv.close();
+  B.ret(Best);
+
+  M->recomputePreds();
+  Score->addIncoming(Recurse, Sub);
+  Score->addIncoming(Mv.bodyBlock(), Tt);
+  return M;
+}
+
+} // namespace
+
+WorkloadSpec workloads::makeSearchWorkload() {
+  WorkloadSpec S;
+  S.Name = "Search";
+  S.Description = "Alpha-beta pruned search";
+  S.CompiledFraction = 0.734; // Table 3.
+  S.Build = [](const WorkloadConfig &Cfg) {
+    World W(Cfg);
+    SplitMix64 Rng(Cfg.Seed + 8);
+    Method *M = buildSearch(W);
+
+    vm::Addr Board = W.arr(Type::I32, 49); // 7x7 connect-4-ish board.
+    for (unsigned I = 0; I != 49; ++I)
+      W.setElem(Board, I, Rng.nextBelow(3));
+    unsigned TtSize = 1 << 14;
+    vm::Addr Ttab = W.arr(Type::I32, TtSize);
+    for (unsigned I = 0; I != TtSize; ++I)
+      W.setElem(Ttab, I, Rng.nextBelow(1u << 20));
+
+    uint64_t Depth = Cfg.Scale >= 1.0 ? 4 : 3;
+    BuiltWorkload B = W.seal(M, {Board, Ttab, Depth, 0x1234}, {Board, Ttab});
+    B.CompileUnits.push_back({M, B.EntryArgs});
+    // The rest of the program: the ordinary methods the JIT also
+    // compiles (the Figure 11 denominator).
+    addCompiledPopulation(B, 70, Cfg.Seed);
+    return B;
+  };
+  return S;
+}

@@ -1,0 +1,25 @@
+//===- workloads/Workload.cpp ---------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace spf;
+using namespace spf::workloads;
+
+const std::vector<WorkloadSpec> &workloads::allWorkloads() {
+  static const std::vector<WorkloadSpec> Specs = {
+      makeMtrtWorkload(),      makeJessWorkload(),
+      makeCompressWorkload(),  makeDbWorkload(),
+      makeMpegAudioWorkload(), makeJackWorkload(),
+      makeJavacWorkload(),     makeEulerWorkload(),
+      makeMolDynWorkload(),    makeMonteCarloWorkload(),
+      makeRayTracerWorkload(), makeSearchWorkload(),
+  };
+  return Specs;
+}
+
+const WorkloadSpec *workloads::findWorkload(const std::string &Name) {
+  for (const WorkloadSpec &S : allWorkloads())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}

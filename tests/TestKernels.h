@@ -1,0 +1,193 @@
+//===- tests/TestKernels.h - Shared fixtures for core tests -----*- C++ -*-===//
+///
+/// \file
+/// A miniature jess-like world (Figure 1 shape) used by the load-
+/// dependence-graph, object-inspection, planner, and pass tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_TESTS_TESTKERNELS_H
+#define SPF_TESTS_TESTKERNELS_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "vm/Heap.h"
+
+#include <gtest/gtest.h>
+
+namespace spf {
+namespace testkernels {
+
+/// The Figure 1 world: TokenVector { Token[] v; int ptr; },
+/// Token { VV[] facts; int size; }, VV { int val; } — with tokens whose
+/// facts arrays are constructor-adjacent and whose array order is
+/// scrambled.
+struct JessWorld {
+  vm::TypeTable Types;
+  const vm::ClassDesc *TokenVector = nullptr;
+  const vm::FieldDesc *TvV = nullptr;
+  const vm::FieldDesc *TvPtr = nullptr;
+  const vm::ClassDesc *Token = nullptr;
+  const vm::FieldDesc *TokFacts = nullptr;
+  const vm::FieldDesc *TokSize = nullptr;
+  const vm::ClassDesc *VV = nullptr;
+  const vm::FieldDesc *VvVal = nullptr;
+
+  std::unique_ptr<vm::Heap> Heap;
+  vm::Addr Tv = 0;
+  vm::Addr QueryToken = 0;
+  unsigned NumTokens = 0;
+  unsigned FactsPerToken = 5;
+
+  ir::Module M;
+  ir::Method *Find = nullptr;   // The Figure 1 method.
+  ir::Method *Equals = nullptr; // The invoked comparison.
+
+  // The Table 1 loads (L3/L7/L10 are the bound-check arraylengths).
+  ir::Instruction *L1 = nullptr, *L2 = nullptr, *L3 = nullptr,
+                  *L4 = nullptr, *L5 = nullptr, *L6 = nullptr,
+                  *L7 = nullptr, *L8 = nullptr, *L9 = nullptr,
+                  *L10 = nullptr, *L11 = nullptr;
+
+  explicit JessWorld(unsigned NTokens = 64, bool Scramble = true) {
+    NumTokens = NTokens;
+    auto *TvC = Types.addClass("TokenVector");
+    TvV = Types.addField(TvC, "v", ir::Type::Ref);
+    TvPtr = Types.addField(TvC, "ptr", ir::Type::I32);
+    TokenVector = TvC;
+    auto *TokC = Types.addClass("Token");
+    TokFacts = Types.addField(TokC, "facts", ir::Type::Ref);
+    TokSize = Types.addField(TokC, "size", ir::Type::I32);
+    Token = TokC;
+    auto *VvC = Types.addClass("ValueVector");
+    VvVal = Types.addField(VvC, "val", ir::Type::I32);
+    VV = VvC;
+
+    vm::HeapConfig HC;
+    HC.HeapBytes = 4 << 20;
+    Heap = std::make_unique<vm::Heap>(Types, HC);
+
+    buildHeap(Scramble);
+    buildMethods();
+  }
+
+  vm::Addr allocToken(int32_t Base) {
+    vm::Addr Tok = Heap->allocObject(*Token);
+    vm::Addr Facts = Heap->allocArray(ir::Type::Ref, FactsPerToken);
+    Heap->store(Tok + TokFacts->Offset, ir::Type::Ref, Facts);
+    Heap->store(Tok + TokSize->Offset, ir::Type::I32, FactsPerToken);
+    for (unsigned J = 0; J != FactsPerToken; ++J) {
+      vm::Addr Fact = Heap->allocObject(*VV);
+      Heap->store(Fact + VvVal->Offset, ir::Type::I32, Base + J);
+      Heap->store(Heap->elemAddr(Facts, J), ir::Type::Ref, Fact);
+    }
+    return Tok;
+  }
+
+  void buildHeap(bool Scramble) {
+    Tv = Heap->allocObject(*TokenVector);
+    vm::Addr V = Heap->allocArray(ir::Type::Ref, NumTokens);
+    Heap->store(Tv + TvV->Offset, ir::Type::Ref, V);
+    Heap->store(Tv + TvPtr->Offset, ir::Type::I32, NumTokens);
+    for (unsigned I = 0; I != NumTokens; ++I)
+      Heap->store(Heap->elemAddr(V, I), ir::Type::Ref, allocToken(I * 10));
+    if (Scramble) {
+      // Deterministic scramble: swap i with (i*7+3) % n.
+      for (unsigned I = 0; I != NumTokens; ++I) {
+        unsigned J = (I * 7 + 3) % NumTokens;
+        uint64_t A = Heap->load(Heap->elemAddr(V, I), ir::Type::Ref);
+        uint64_t B2 = Heap->load(Heap->elemAddr(V, J), ir::Type::Ref);
+        Heap->store(Heap->elemAddr(V, I), ir::Type::Ref, B2);
+        Heap->store(Heap->elemAddr(V, J), ir::Type::Ref, A);
+      }
+    }
+    QueryToken = allocToken(5);
+  }
+
+  void buildMethods() {
+    using namespace ir;
+    IRBuilder B(M);
+
+    Equals = M.addMethod("equals", Type::I32, {Type::Ref, Type::Ref});
+    B.setInsertPoint(Equals->addBlock("entry"));
+    B.ret(B.cmpEq(B.getField(Equals->arg(0), VvVal),
+                  B.getField(Equals->arg(1), VvVal)));
+
+    Find = M.addMethod("findInMemory", Type::Ref, {Type::Ref, Type::Ref});
+    BasicBlock *Entry = Find->addBlock("entry");
+    BasicBlock *OH = Find->addBlock("outer.header");
+    BasicBlock *OB = Find->addBlock("outer.body");
+    BasicBlock *IH = Find->addBlock("inner.header");
+    BasicBlock *IB = Find->addBlock("inner.body");
+    BasicBlock *IL = Find->addBlock("inner.latch");
+    BasicBlock *Found = Find->addBlock("found");
+    BasicBlock *OL = Find->addBlock("outer.latch");
+    BasicBlock *NotFound = Find->addBlock("notfound");
+
+    Value *TvA = Find->arg(0);
+    Value *TkA = Find->arg(1);
+
+    B.setInsertPoint(Entry);
+    B.jump(OH);
+    B.setInsertPoint(OH);
+    PhiInst *I = B.phi(Type::I32);
+    L1 = cast<Instruction>(B.getField(TvA, TvPtr));
+    B.br(B.cmpLt(I, L1), OB, NotFound);
+
+    B.setInsertPoint(OB);
+    L2 = cast<Instruction>(B.getField(TvA, TvV));
+    L3 = cast<Instruction>(B.arrayLength(L2));
+    L4 = cast<Instruction>(B.aload(L2, I, Type::Ref));
+    L5 = cast<Instruction>(B.getField(TkA, TokSize));
+    B.jump(IH);
+
+    B.setInsertPoint(IH);
+    PhiInst *J = B.phi(Type::I32);
+    B.br(B.cmpLt(J, L5), IB, Found);
+
+    B.setInsertPoint(IB);
+    L6 = cast<Instruction>(B.getField(TkA, TokFacts));
+    L7 = cast<Instruction>(B.arrayLength(L6));
+    L8 = cast<Instruction>(B.aload(L6, J, Type::Ref));
+    L9 = cast<Instruction>(B.getField(L4, TokFacts));
+    L10 = cast<Instruction>(B.arrayLength(L9));
+    L11 = cast<Instruction>(B.aload(L9, J, Type::Ref));
+    Value *Eq = B.call(Equals, Type::I32, {L8, L11}, /*IsVirtual=*/true);
+    B.br(Eq, IL, OL);
+
+    B.setInsertPoint(IL);
+    Value *J1 = B.add(J, B.i32(1));
+    B.jump(IH);
+
+    B.setInsertPoint(Found);
+    B.ret(L4);
+
+    B.setInsertPoint(OL);
+    Value *I1 = B.add(I, B.i32(1));
+    B.jump(OH);
+
+    B.setInsertPoint(NotFound);
+    B.ret(M.nullRef());
+
+    Find->recomputePreds();
+    I->addIncoming(Entry, M.intConst(Type::I32, 0));
+    I->addIncoming(OL, I1);
+    J->addIncoming(OB, M.intConst(Type::I32, 0));
+    J->addIncoming(IL, J1);
+
+    EXPECT_TRUE(ir::verifyMethod(Find));
+  }
+
+  std::vector<uint64_t> findArgs() const { return {Tv, QueryToken}; }
+
+  /// Token pitch in bytes: Token(32) + facts array + fact objects.
+  int64_t tokenPitch() const {
+    return 32 + static_cast<int64_t>((16 + FactsPerToken * 8 + 7) / 8 * 8) +
+           static_cast<int64_t>(FactsPerToken) * 24;
+  }
+};
+
+} // namespace testkernels
+} // namespace spf
+
+#endif // SPF_TESTS_TESTKERNELS_H

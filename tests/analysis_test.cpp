@@ -1,0 +1,250 @@
+//===- tests/analysis_test.cpp - CFG, dominators, loops, def-use ----------===//
+
+#include "analysis/DefUse.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::analysis;
+using namespace spf::ir;
+
+namespace {
+
+/// Builds:  entry -> h1 -> b1 -> h2 -> b2 -> h2(latch) ; h2 -> l1latch ->
+/// h1 ; h1 -> exit — a classic doubly nested loop.
+struct NestedLoopMethod {
+  Module M;
+  Method *Fn;
+  BasicBlock *Entry, *H1, *B1, *H2, *B2, *L1Latch, *Exit;
+
+  NestedLoopMethod() {
+    Fn = M.addMethod("nested", Type::Void, {Type::I32});
+    IRBuilder B(M);
+    Entry = Fn->addBlock("entry");
+    H1 = Fn->addBlock("h1");
+    B1 = Fn->addBlock("b1");
+    H2 = Fn->addBlock("h2");
+    B2 = Fn->addBlock("b2");
+    L1Latch = Fn->addBlock("l1latch");
+    Exit = Fn->addBlock("exit");
+
+    B.setInsertPoint(Entry);
+    B.jump(H1);
+    B.setInsertPoint(H1);
+    B.br(Fn->arg(0), B1, Exit);
+    B.setInsertPoint(B1);
+    B.jump(H2);
+    B.setInsertPoint(H2);
+    B.br(Fn->arg(0), B2, L1Latch);
+    B.setInsertPoint(B2);
+    B.jump(H2); // Inner back edge.
+    B.setInsertPoint(L1Latch);
+    B.jump(H1); // Outer back edge.
+    B.setInsertPoint(Exit);
+    B.ret();
+    Fn->recomputePreds();
+  }
+};
+
+TEST(CfgTest, ReversePostOrderStartsAtEntryAndRespectsEdges) {
+  NestedLoopMethod N;
+  auto RPO = reversePostOrder(N.Fn);
+  ASSERT_EQ(RPO.size(), 7u);
+  EXPECT_EQ(RPO.front(), N.Entry);
+  auto Index = rpoIndexMap(RPO);
+  // A block must come after at least one predecessor (except headers via
+  // back edges); entry < h1 < b1 < h2.
+  EXPECT_LT(Index[N.Entry], Index[N.H1]);
+  EXPECT_LT(Index[N.H1], Index[N.B1]);
+  EXPECT_LT(Index[N.B1], Index[N.H2]);
+}
+
+TEST(CfgTest, UnreachableBlocksExcluded) {
+  Module M;
+  Method *Fn = M.addMethod("f", Type::Void, {});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  BasicBlock *Dead = Fn->addBlock("dead");
+  B.setInsertPoint(Entry);
+  B.ret();
+  B.setInsertPoint(Dead);
+  B.ret();
+  auto RPO = reversePostOrder(Fn);
+  EXPECT_EQ(RPO.size(), 1u);
+  EXPECT_EQ(RPO[0], Entry);
+}
+
+TEST(DominatorTest, NestedLoopDominance) {
+  NestedLoopMethod N;
+  DominatorTree DT(N.Fn);
+
+  EXPECT_EQ(DT.idom(N.Entry), nullptr);
+  EXPECT_EQ(DT.idom(N.H1), N.Entry);
+  EXPECT_EQ(DT.idom(N.B1), N.H1);
+  EXPECT_EQ(DT.idom(N.H2), N.B1);
+  EXPECT_EQ(DT.idom(N.B2), N.H2);
+  EXPECT_EQ(DT.idom(N.L1Latch), N.H2);
+  EXPECT_EQ(DT.idom(N.Exit), N.H1);
+
+  EXPECT_TRUE(DT.dominates(N.Entry, N.Exit));
+  EXPECT_TRUE(DT.dominates(N.H1, N.B2));
+  EXPECT_TRUE(DT.dominates(N.H2, N.H2));
+  EXPECT_FALSE(DT.dominates(N.B2, N.L1Latch));
+  EXPECT_FALSE(DT.dominates(N.Exit, N.H1));
+}
+
+TEST(DominatorTest, DiamondJoinDominatedByFork) {
+  Module M;
+  Method *Fn = M.addMethod("f", Type::Void, {Type::I32});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  BasicBlock *T = Fn->addBlock("t");
+  BasicBlock *F = Fn->addBlock("f");
+  BasicBlock *Join = Fn->addBlock("join");
+  B.setInsertPoint(Entry);
+  B.br(Fn->arg(0), T, F);
+  B.setInsertPoint(T);
+  B.jump(Join);
+  B.setInsertPoint(F);
+  B.jump(Join);
+  B.setInsertPoint(Join);
+  B.ret();
+  Fn->recomputePreds();
+
+  DominatorTree DT(Fn);
+  EXPECT_EQ(DT.idom(Join), Entry);
+  EXPECT_FALSE(DT.dominates(T, Join));
+  EXPECT_FALSE(DT.dominates(F, Join));
+}
+
+TEST(LoopInfoTest, FindsNestedLoopsWithCorrectBodies) {
+  NestedLoopMethod N;
+  DominatorTree DT(N.Fn);
+  LoopInfo LI(N.Fn, DT);
+
+  ASSERT_EQ(LI.numLoops(), 2u);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  Loop *Outer = LI.topLevelLoops()[0];
+  EXPECT_EQ(Outer->header(), N.H1);
+  ASSERT_EQ(Outer->subLoops().size(), 1u);
+  Loop *Inner = Outer->subLoops()[0];
+  EXPECT_EQ(Inner->header(), N.H2);
+
+  EXPECT_EQ(Inner->parent(), Outer);
+  EXPECT_EQ(Outer->parent(), nullptr);
+  EXPECT_EQ(Outer->depth(), 1u);
+  EXPECT_EQ(Inner->depth(), 2u);
+
+  // The outer loop's block set includes the inner loop's blocks.
+  EXPECT_TRUE(Outer->contains(N.B2));
+  EXPECT_TRUE(Outer->contains(N.H2));
+  EXPECT_FALSE(Outer->contains(N.Exit));
+  EXPECT_FALSE(Inner->contains(N.L1Latch));
+  EXPECT_TRUE(Inner->contains(N.B2));
+
+  // Innermost mapping.
+  EXPECT_EQ(LI.loopFor(N.B2), Inner);
+  EXPECT_EQ(LI.loopFor(N.B1), Outer);
+  EXPECT_EQ(LI.loopFor(N.Exit), nullptr);
+
+  // Latches.
+  auto OuterLatches = Outer->latches();
+  ASSERT_EQ(OuterLatches.size(), 1u);
+  EXPECT_EQ(OuterLatches[0], N.L1Latch);
+}
+
+TEST(LoopInfoTest, PostOrderVisitsInnerBeforeOuter) {
+  NestedLoopMethod N;
+  DominatorTree DT(N.Fn);
+  LoopInfo LI(N.Fn, DT);
+  auto Loops = LI.loopsPostOrder();
+  ASSERT_EQ(Loops.size(), 2u);
+  EXPECT_EQ(Loops[0]->header(), N.H2); // Inner first.
+  EXPECT_EQ(Loops[1]->header(), N.H1);
+}
+
+TEST(LoopInfoTest, SelfLoopAndSiblingLoops) {
+  Module M;
+  Method *Fn = M.addMethod("f", Type::Void, {Type::I32});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  BasicBlock *S = Fn->addBlock("self");
+  BasicBlock *Mid = Fn->addBlock("mid");
+  BasicBlock *L2H = Fn->addBlock("l2h");
+  BasicBlock *Exit = Fn->addBlock("exit");
+  B.setInsertPoint(Entry);
+  B.jump(S);
+  B.setInsertPoint(S);
+  B.br(Fn->arg(0), S, Mid); // Self loop.
+  B.setInsertPoint(Mid);
+  B.jump(L2H);
+  B.setInsertPoint(L2H);
+  B.br(Fn->arg(0), L2H, Exit); // Second self loop.
+  B.setInsertPoint(Exit);
+  B.ret();
+  Fn->recomputePreds();
+
+  DominatorTree DT(Fn);
+  LoopInfo LI(Fn, DT);
+  ASSERT_EQ(LI.numLoops(), 2u);
+  EXPECT_EQ(LI.topLevelLoops().size(), 2u);
+  // Program order: the 'self' loop first.
+  EXPECT_EQ(LI.topLevelLoops()[0]->header(), S);
+  EXPECT_EQ(LI.topLevelLoops()[1]->header(), L2H);
+  EXPECT_EQ(LI.topLevelLoops()[0]->blocks().size(), 1u);
+}
+
+TEST(LoopInfoTest, MultiLatchLoopsMerge) {
+  Module M;
+  Method *Fn = M.addMethod("f", Type::Void, {Type::I32});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  BasicBlock *H = Fn->addBlock("h");
+  BasicBlock *A = Fn->addBlock("a");
+  BasicBlock *L1 = Fn->addBlock("latch1");
+  BasicBlock *L2 = Fn->addBlock("latch2");
+  BasicBlock *Exit = Fn->addBlock("exit");
+  B.setInsertPoint(Entry);
+  B.jump(H);
+  B.setInsertPoint(H);
+  B.br(Fn->arg(0), A, Exit);
+  B.setInsertPoint(A);
+  B.br(Fn->arg(0), L1, L2);
+  B.setInsertPoint(L1);
+  B.jump(H);
+  B.setInsertPoint(L2);
+  B.jump(H);
+  B.setInsertPoint(Exit);
+  B.ret();
+  Fn->recomputePreds();
+
+  DominatorTree DT(Fn);
+  LoopInfo LI(Fn, DT);
+  ASSERT_EQ(LI.numLoops(), 1u); // One loop despite two back edges.
+  EXPECT_EQ(LI.topLevelLoops()[0]->latches().size(), 2u);
+}
+
+TEST(DefUseTest, TracksAllUsers) {
+  Module M;
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *A = B.add(Fn->arg(0), B.i32(1));
+  Value *C = B.mul(A, A); // Two uses of A in one instruction.
+  Value *D = B.sub(C, A); // Third use.
+  B.ret(D);
+
+  DefUse DU(Fn);
+  EXPECT_EQ(DU.usersOf(A).size(), 3u);
+  EXPECT_EQ(DU.usersOf(C).size(), 1u);
+  EXPECT_EQ(DU.usersOf(D).size(), 1u); // The ret.
+  EXPECT_TRUE(DU.hasUsers(Fn->arg(0)));
+
+  // An unused value has no users.
+  Value *Dead = B.i32(123456);
+  EXPECT_FALSE(DU.hasUsers(Dead));
+}
+
+} // namespace

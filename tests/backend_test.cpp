@@ -1,0 +1,132 @@
+//===- tests/backend_test.cpp - Liveness and linear-scan regalloc ---------===//
+
+#include "ir/IRBuilder.h"
+#include "opt/LinearScan.h"
+#include "workloads/KernelBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::ir;
+using namespace spf::opt;
+
+namespace {
+
+class BackendTest : public ::testing::Test {
+protected:
+  Module M;
+};
+
+TEST_F(BackendTest, StraightLineLiveness) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32, Type::I32});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  B.setInsertPoint(Entry);
+  Value *A = B.add(Fn->arg(0), Fn->arg(1));
+  Value *C = B.mul(A, A);
+  B.ret(C);
+
+  Liveness LV(Fn);
+  // Nothing is live into the entry (arguments are defined there in our
+  // model: they are not upward-exposed uses of a predecessor).
+  const auto &In = LV.liveIn(Entry);
+  EXPECT_TRUE(In[Fn->arg(0)->id()]); // Args are upward-exposed uses.
+  EXPECT_FALSE(LV.liveAcrossBlocks(cast<Instruction>(A)->id()));
+}
+
+TEST_F(BackendTest, LoopCarriedValuesAreLiveAcrossBlocks) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest L(B, "i");
+  PhiInst *I = L.civ(B.i32(0));
+  PhiInst *Acc = L.addCarried(B.i32(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(0)));
+  L.setNext(Acc, B.add(Acc, I));
+  L.close();
+  B.ret(Acc);
+  Fn->recomputePreds();
+
+  Liveness LV(Fn);
+  EXPECT_TRUE(LV.liveAcrossBlocks(I->id()));
+  EXPECT_TRUE(LV.liveAcrossBlocks(Acc->id()));
+  // The loop bound argument is live into the header.
+  EXPECT_TRUE(LV.liveIn(L.headerBlock())[Fn->arg(0)->id()]);
+  // The civ is live out of the latch (feeds the header phi).
+  EXPECT_TRUE(LV.liveOut(L.latchBlock()).size() > 0);
+}
+
+TEST_F(BackendTest, FewValuesNeedNoSpills) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32, Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *A = B.add(Fn->arg(0), Fn->arg(1));
+  B.ret(B.mul(A, B.i32(3)));
+  Fn->recomputePreds();
+
+  Liveness LV(Fn);
+  AllocationResult RA = allocateRegisters(Fn, LV, 7);
+  EXPECT_EQ(RA.Spills, 0u);
+  EXPECT_LE(RA.MaxPressure, 4u);
+  // Every interval got a register.
+  for (const LiveInterval &LI : RA.Intervals)
+    EXPECT_GE(LI.Register, 0);
+}
+
+TEST_F(BackendTest, HighPressureForcesSpills) {
+  // 12 simultaneously live values into 4 registers must spill.
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  std::vector<Value *> Vals;
+  for (int I = 0; I < 12; ++I)
+    Vals.push_back(B.add(Fn->arg(0), B.i32(I)));
+  Value *Sum = Vals[0];
+  for (int I = 1; I < 12; ++I)
+    Sum = B.add(Sum, Vals[I]); // All 12 live until their use here.
+  B.ret(Sum);
+  Fn->recomputePreds();
+
+  Liveness LV(Fn);
+  AllocationResult RA = allocateRegisters(Fn, LV, 4);
+  EXPECT_GT(RA.Spills, 0u);
+  EXPECT_GE(RA.MaxPressure, 10u);
+
+  // No two register-assigned intervals with the same register overlap.
+  for (size_t I = 0; I < RA.Intervals.size(); ++I)
+    for (size_t J = I + 1; J < RA.Intervals.size(); ++J) {
+      const LiveInterval &A = RA.Intervals[I];
+      const LiveInterval &C = RA.Intervals[J];
+      if (A.Register < 0 || C.Register < 0 || A.Register != C.Register)
+        continue;
+      bool Disjoint = A.End < C.Start || C.End < A.Start;
+      EXPECT_TRUE(Disjoint) << "register " << A.Register
+                            << " double-booked";
+    }
+}
+
+TEST_F(BackendTest, AllocationIsSoundOnRealKernels) {
+  // Property: across every workload's hot method, no register is assigned
+  // to two overlapping intervals.
+  for (const auto &Spec : workloads::allWorkloads()) {
+    workloads::WorkloadConfig Cfg;
+    Cfg.Scale = 0.02;
+    workloads::BuiltWorkload W = Spec.Build(Cfg);
+    Method *Hot = W.CompileUnits[0].M;
+    Hot->recomputePreds();
+    Liveness LV(Hot);
+    AllocationResult RA = allocateRegisters(Hot, LV, 7);
+    for (size_t I = 0; I < RA.Intervals.size(); ++I)
+      for (size_t J = I + 1; J < RA.Intervals.size(); ++J) {
+        const LiveInterval &A = RA.Intervals[I];
+        const LiveInterval &C = RA.Intervals[J];
+        if (A.Register < 0 || C.Register < 0 ||
+            A.Register != C.Register)
+          continue;
+        EXPECT_TRUE(A.End < C.Start || C.End < A.Start)
+            << Spec.Name << ": overlapping intervals share a register";
+      }
+  }
+}
+
+} // namespace

@@ -1,0 +1,433 @@
+//===- tests/inspect_test.cpp - Object inspection (Section 3.2) -----------===//
+
+#include "TestKernels.h"
+#include "core/ObjectInspector.h"
+#include "core/StrideAnalysis.h"
+#include "workloads/KernelBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::ir;
+using namespace spf::testkernels;
+
+namespace {
+
+struct JessFixture {
+  JessWorld W;
+  analysis::DominatorTree DT;
+  analysis::LoopInfo LI;
+
+  JessFixture(unsigned N = 64, bool Scramble = true)
+      : W(N, Scramble), DT((W.Find->recomputePreds(), W.Find)),
+        LI(W.Find, DT) {}
+
+  analysis::Loop *outer() { return LI.topLevelLoops()[0]; }
+  analysis::Loop *inner() { return outer()->subLoops()[0]; }
+
+  InspectionResult inspect(analysis::Loop *Target,
+                           InspectorOptions Opts = InspectorOptions()) {
+    LoadDependenceGraph G(Target, LI);
+    ObjectInspector Insp(*W.Heap, LI, Opts);
+    return Insp.inspect(W.Find, W.findArgs(), Target, G);
+  }
+};
+
+TEST(InspectTest, ReachesTargetAndObservesRequestedIterations) {
+  JessFixture F;
+  InspectionResult R = F.inspect(F.outer());
+  EXPECT_TRUE(R.ReachedTarget);
+  EXPECT_EQ(R.IterationsObserved, 20u);
+  EXPECT_FALSE(R.TargetExitedEarly);
+  EXPECT_GT(R.StepsUsed, 0u);
+}
+
+TEST(InspectTest, RecordsFirstAddressPerIterationWithRealValues) {
+  JessFixture F;
+  InspectionResult R = F.inspect(F.outer());
+
+  // L4 = aaload v[i]: its addresses are v+16, v+24, ... — stride 8.
+  auto It = R.Trace.find(F.W.L4);
+  ASSERT_NE(It, R.Trace.end());
+  const auto &Recs = It->second;
+  ASSERT_EQ(Recs.size(), 20u);
+  vm::Addr V = F.W.Heap->load(F.W.Tv + F.W.TvV->Offset, ir::Type::Ref);
+  for (unsigned I = 0; I != Recs.size(); ++I) {
+    EXPECT_EQ(Recs[I].Iteration, I);
+    EXPECT_EQ(Recs[I].Address, V + vm::ObjectHeaderSize + 8 * I);
+  }
+
+  // L1 (tv.ptr) is loop-invariant: same address every iteration.
+  const auto &R1 = R.Trace.at(F.W.L1);
+  ASSERT_EQ(R1.size(), 20u);
+  for (const auto &Rec : R1)
+    EXPECT_EQ(Rec.Address, F.W.Tv + F.W.TvPtr->Offset);
+}
+
+TEST(InspectTest, L9AddressesFollowTheScrambledTokens) {
+  JessFixture F;
+  InspectionResult R = F.inspect(F.outer());
+  // L9 = getfield tmp.facts: address = token + 16, with tokens scrambled.
+  vm::Addr V = F.W.Heap->load(F.W.Tv + F.W.TvV->Offset, ir::Type::Ref);
+  const auto &Recs = R.Trace.at(F.W.L9);
+  ASSERT_GE(Recs.size(), 19u); // Recorded (nearly) every iteration.
+  for (const auto &Rec : Recs) {
+    vm::Addr Tok = F.W.Heap->load(
+        F.W.Heap->elemAddr(V, Rec.Iteration), ir::Type::Ref);
+    EXPECT_EQ(Rec.Address, Tok + F.W.TokFacts->Offset);
+  }
+}
+
+TEST(InspectTest, InspectionIsSideEffectFree) {
+  JessFixture F;
+  // Snapshot the whole used heap.
+  std::vector<uint8_t> Before(F.W.Heap->bytesUsed());
+  for (uint64_t I = 0; I != Before.size(); I += 8) {
+    uint64_t V = F.W.Heap->load(F.W.Heap->heapBase() + I, ir::Type::I64);
+    memcpy(&Before[I], &V, std::min<uint64_t>(8, Before.size() - I));
+  }
+  uint64_t UsedBefore = F.W.Heap->bytesUsed();
+  uint64_t AllocsBefore = F.W.Heap->allocationCount();
+
+  F.inspect(F.outer());
+
+  EXPECT_EQ(F.W.Heap->bytesUsed(), UsedBefore);
+  EXPECT_EQ(F.W.Heap->allocationCount(), AllocsBefore);
+  for (uint64_t I = 0; I + 8 <= Before.size(); I += 8) {
+    uint64_t V = F.W.Heap->load(F.W.Heap->heapBase() + I, ir::Type::I64);
+    uint64_t Old;
+    memcpy(&Old, &Before[I], 8);
+    ASSERT_EQ(V, Old) << "heap mutated at offset " << I;
+  }
+}
+
+TEST(InspectTest, CallsAreSkippedSoInnerLoopRunsOncePerOuterIteration) {
+  JessFixture F;
+  InspectionResult R = F.inspect(F.outer());
+  // equals() returns unknown; the unknown-branch policy prefers the
+  // shallower successor (continue TokenLoop), so the inner loop is
+  // entered once and iterates once per outer iteration.
+  auto It = R.SubLoopTrips.find(F.inner());
+  ASSERT_NE(It, R.SubLoopTrips.end());
+  EXPECT_LE(It->second.average(), 2.0);
+  EXPECT_GE(It->second.Entries, 19u);
+}
+
+TEST(InspectTest, InnerLoopAsTargetExitsEarlyWithSmallTripCount) {
+  JessFixture F;
+  InspectionResult R = F.inspect(F.inner());
+  EXPECT_TRUE(R.ReachedTarget);
+  // When the inner loop itself is inspected, known conditions drive it:
+  // j runs to t.size (5) and the loop exits — a small-trip observation.
+  EXPECT_TRUE(R.TargetExitedEarly);
+  EXPECT_EQ(R.IterationsObserved, 6u); // 5 body iterations + exit check.
+}
+
+TEST(InspectTest, StepBudgetAbortsGracefully) {
+  JessFixture F;
+  InspectorOptions Opts;
+  Opts.StepBudget = 40;
+  InspectionResult R = F.inspect(F.outer(), Opts);
+  EXPECT_LE(R.StepsUsed, 41u);
+  EXPECT_LT(R.IterationsObserved, 20u);
+}
+
+// -- Store buffering, private heap, pre-target loops ----------------------
+
+struct ScratchWorld {
+  vm::TypeTable Types;
+  const vm::ClassDesc *Cell;
+  const vm::FieldDesc *FVal;
+  std::unique_ptr<vm::Heap> Heap;
+  ir::Module M;
+
+  ScratchWorld() {
+    auto *C = Types.addClass("Cell");
+    FVal = Types.addField(C, "v", ir::Type::I32);
+    Cell = C;
+    vm::HeapConfig HC;
+    HC.HeapBytes = 1 << 20;
+    Heap = std::make_unique<vm::Heap>(Types, HC);
+  }
+};
+
+TEST(InspectTest, StoresAreBufferedAndLoadsSeeThem) {
+  ScratchWorld S;
+  vm::Addr Obj = S.Heap->allocObject(*S.Cell);
+  S.Heap->store(Obj + S.FVal->Offset, ir::Type::I32, 5);
+  vm::Addr Arr = S.Heap->allocArray(ir::Type::Ref, 8);
+  S.Heap->store(S.Heap->elemAddr(Arr, 0), ir::Type::Ref, Obj);
+
+  // loop { c = a[0]; c.v = c.v + 1; sink = aload a[c.v % 8]; }
+  // If stores were visible, c.v would grow; buffered stores must still be
+  // seen by subsequent loads *within the inspection*.
+  IRBuilder B(S.M);
+  Method *Fn = S.M.addMethod("f", Type::I32, {Type::Ref, Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest L(B, "i");
+  PhiInst *I = L.civ(B.i32(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(1)));
+  Value *C = B.aload(Fn->arg(0), B.i32(0), Type::Ref);
+  Value *V = B.getField(C, S.FVal);
+  B.putField(C, S.FVal, B.add(V, B.i32(1)));
+  Instruction *Probe =
+      cast<Instruction>(B.aload(Fn->arg(0), B.rem(B.getField(C, S.FVal),
+                                                  B.i32(8)),
+                                Type::Ref));
+  L.close();
+  B.ret(B.i32(0));
+  Fn->recomputePreds();
+  ASSERT_TRUE(verifyMethod(Fn));
+
+  analysis::DominatorTree DT(Fn);
+  analysis::LoopInfo LI(Fn, DT);
+  LoadDependenceGraph G(LI.topLevelLoops()[0], LI);
+  ObjectInspector Insp(*S.Heap, LI);
+  InspectionResult R =
+      Insp.inspect(Fn, {Arr, 100}, LI.topLevelLoops()[0], G);
+
+  // Probe index = (5 + iter + 1) % 8: the buffered increments are seen.
+  const auto &Recs = R.Trace.at(Probe);
+  ASSERT_GE(Recs.size(), 8u);
+  for (const auto &Rec : Recs) {
+    uint64_t Idx = (5 + Rec.Iteration + 1) % 8;
+    EXPECT_EQ(Rec.Address, S.Heap->elemAddr(Arr, Idx));
+  }
+  // And the real heap still holds 5.
+  EXPECT_EQ(S.Heap->load(Obj + S.FVal->Offset, ir::Type::I32), 5u);
+}
+
+TEST(InspectTest, AllocationsGoToThePrivateHeap) {
+  ScratchWorld S;
+  // loop { c = new Cell; c.v = 9; acc = c.v; probe = a[acc % 4] }
+  IRBuilder B(S.M);
+  Method *Fn = S.M.addMethod("f", Type::I32, {Type::Ref, Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest L(B, "i");
+  PhiInst *I = L.civ(B.i32(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(1)));
+  Value *C = B.newObject(S.Cell);
+  B.putField(C, S.FVal, B.i32(9));
+  Value *V = B.getField(C, S.FVal); // Must read 9 from the shadow store.
+  Instruction *Probe = cast<Instruction>(
+      B.aload(Fn->arg(0), B.rem(V, B.i32(4)), Type::I32));
+  L.close();
+  B.ret(B.i32(0));
+  ASSERT_TRUE(verifyMethod(Fn));
+
+  vm::Addr Arr = S.Heap->allocArray(ir::Type::I32, 8);
+  uint64_t UsedBefore = S.Heap->bytesUsed();
+
+  analysis::DominatorTree DT(Fn);
+  analysis::LoopInfo LI(Fn, DT);
+  LoadDependenceGraph G(LI.topLevelLoops()[0], LI);
+  ObjectInspector Insp(*S.Heap, LI);
+  InspectionResult R = Insp.inspect(Fn, {Arr, 50}, LI.topLevelLoops()[0], G);
+
+  EXPECT_EQ(S.Heap->bytesUsed(), UsedBefore); // Nothing really allocated.
+  const auto &Recs = R.Trace.at(Probe);
+  ASSERT_GE(Recs.size(), 10u);
+  for (const auto &Rec : Recs)
+    EXPECT_EQ(Rec.Address, S.Heap->elemAddr(Arr, 9 % 4)); // v == 9 seen.
+}
+
+TEST(InspectTest, PreTargetLoopsRunOnce) {
+  ScratchWorld S;
+  // pre: for (k = 0; k < 1000; k++) base++;   <- interpreted once
+  // target: for (i = 0; i < n; i++) probe = a[(base + i) % 8];
+  IRBuilder B(S.M);
+  Method *Fn = S.M.addMethod("f", Type::I32, {Type::Ref, Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+
+  workloads::LoopNest Pre(B, "pre");
+  PhiInst *K = Pre.civ(B.i32(0));
+  PhiInst *Base = Pre.addCarried(B.i32(0));
+  Pre.beginBody(B.cmpLt(K, B.i32(1000)));
+  Pre.setNext(Base, B.add(Base, B.i32(1)));
+  Pre.close();
+
+  workloads::LoopNest L(B, "target");
+  PhiInst *I = L.civ(B.i32(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(1)));
+  Instruction *Probe = cast<Instruction>(B.aload(
+      Fn->arg(0), B.rem(B.add(Base, I), B.i32(8)), Type::I32));
+  L.close();
+  B.ret(B.i32(0));
+  ASSERT_TRUE(verifyMethod(Fn));
+
+  vm::Addr Arr = S.Heap->allocArray(ir::Type::I32, 8);
+
+  analysis::DominatorTree DT(Fn);
+  analysis::LoopInfo LI(Fn, DT);
+  // The target is the SECOND top-level loop.
+  ASSERT_EQ(LI.topLevelLoops().size(), 2u);
+  analysis::Loop *Target = LI.topLevelLoops()[1];
+  LoadDependenceGraph G(Target, LI);
+  ObjectInspector Insp(*S.Heap, LI);
+  InspectionResult R = Insp.inspect(Fn, {Arr, 100}, Target, G);
+
+  EXPECT_TRUE(R.ReachedTarget);
+  // The pre-loop ran once, so base == 1 (not 1000): the probe addresses
+  // start at element (1 + 0) % 8 = 1.
+  const auto &Recs = R.Trace.at(Probe);
+  ASSERT_GE(Recs.size(), 8u);
+  EXPECT_EQ(Recs[0].Address, S.Heap->elemAddr(Arr, 1));
+  // And the inspection spent nowhere near 1000 pre-loop iterations.
+  EXPECT_LT(R.StepsUsed, 400u);
+}
+
+} // namespace
+
+// -- Inter-procedural inspection (the paper's discussed extension) ---------
+
+namespace followcalls {
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::testkernels;
+
+TEST(InspectFollowCallsTest, EqualsResultBecomesKnown) {
+  // With FollowCalls, the inner loop's equals() invocation is stepped
+  // into and its result is a concrete value: the inner loop executes its
+  // real (data-dependent) trip counts instead of the unknown-branch
+  // heuristic's single iteration.
+  JessWorld W(64, /*Scramble=*/true);
+  W.Find->recomputePreds();
+  analysis::DominatorTree DT(W.Find);
+  analysis::LoopInfo LI(W.Find, DT);
+  analysis::Loop *Outer = LI.topLevelLoops()[0];
+  analysis::Loop *Inner = Outer->subLoops()[0];
+  LoadDependenceGraph G(Outer, LI);
+
+  InspectorOptions Opts;
+  Opts.FollowCalls = true;
+  ObjectInspector Insp(*W.Heap, LI, Opts);
+  InspectionResult R = Insp.inspect(W.Find, W.findArgs(), Outer, G);
+
+  ASSERT_TRUE(R.ReachedTarget);
+  // The query token matches no scanned token on every early iteration, so
+  // the real inner-loop trip is small but exact; crucially the stride
+  // discoveries are the same as with skipped calls.
+  annotateStrides(G, R, StrideOptions());
+  EXPECT_TRUE(G.nodes()[*G.nodeFor(W.L4)].InterStride.has_value());
+  LdgEdge *E = G.edgeBetween(*G.nodeFor(W.L9), *G.nodeFor(W.L10));
+  ASSERT_NE(E, nullptr);
+  EXPECT_TRUE(E->IntraStride.has_value());
+  EXPECT_EQ(*E->IntraStride, 24);
+  EXPECT_NE(R.SubLoopTrips.find(Inner), R.SubLoopTrips.end());
+}
+
+TEST(InspectFollowCallsTest, FollowingCostsMoreSteps) {
+  // The paper's trade-off: accuracy up, compilation time up.
+  JessWorld W(64, true);
+  W.Find->recomputePreds();
+  analysis::DominatorTree DT(W.Find);
+  analysis::LoopInfo LI(W.Find, DT);
+  analysis::Loop *Outer = LI.topLevelLoops()[0];
+  LoadDependenceGraph G(Outer, LI);
+
+  ObjectInspector Plain(*W.Heap, LI);
+  InspectionResult RPlain = Plain.inspect(W.Find, W.findArgs(), Outer, G);
+
+  InspectorOptions Opts;
+  Opts.FollowCalls = true;
+  ObjectInspector Follow(*W.Heap, LI, Opts);
+  InspectionResult RFollow = Follow.inspect(W.Find, W.findArgs(), Outer, G);
+
+  EXPECT_GT(RFollow.StepsUsed, RPlain.StepsUsed);
+}
+
+TEST(InspectFollowCallsTest, RecursionIsDepthLimited) {
+  // A self-recursive callee must not hang the inspector.
+  ScratchWorld S;
+  IRBuilder B(S.M);
+  Method *Rec = S.M.addMethod("rec", Type::I32, {Type::I32});
+  {
+    BasicBlock *Entry = Rec->addBlock("entry");
+    BasicBlock *Base = Rec->addBlock("base");
+    BasicBlock *Call = Rec->addBlock("call");
+    B.setInsertPoint(Entry);
+    B.br(B.cmpLe(Rec->arg(0), B.i32(0)), Base, Call);
+    B.setInsertPoint(Base);
+    B.ret(B.i32(1));
+    B.setInsertPoint(Call);
+    Value *Sub = B.call(Rec, Type::I32, {B.sub(Rec->arg(0), B.i32(1))});
+    B.ret(B.add(Sub, B.i32(1)));
+  }
+
+  Method *Fn = S.M.addMethod("f", Type::I32, {Type::Ref, Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest L(B, "i");
+  PhiInst *I = L.civ(B.i32(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(1)));
+  Value *V = B.call(Rec, Type::I32, {B.i32(1000000)}); // Deep recursion.
+  B.aload(Fn->arg(0), B.rem(V, B.i32(4)), Type::I32);
+  L.close();
+  B.ret(B.i32(0));
+  ASSERT_TRUE(verifyMethod(Fn));
+
+  vm::Addr Arr = S.Heap->allocArray(ir::Type::I32, 8);
+  Fn->recomputePreds();
+  analysis::DominatorTree DT(Fn);
+  analysis::LoopInfo LI(Fn, DT);
+  LoadDependenceGraph G(LI.topLevelLoops()[0], LI);
+  InspectorOptions Opts;
+  Opts.FollowCalls = true;
+  Opts.MaxCallDepth = 3;
+  ObjectInspector Insp(*S.Heap, LI, Opts);
+  InspectionResult R = Insp.inspect(Fn, {Arr, 50}, LI.topLevelLoops()[0], G);
+  EXPECT_TRUE(R.ReachedTarget);
+  EXPECT_LE(R.StepsUsed, InspectorOptions().StepBudget + 1);
+}
+
+TEST(InspectFollowCallsTest, CalleeStoresAreBufferedToo) {
+  // A callee that increments a field: following it must keep the side
+  // effect in the shared store buffer, visible to the caller's loads but
+  // never written to the real heap.
+  ScratchWorld S;
+  IRBuilder B(S.M);
+  Method *Bump = S.M.addMethod("bump", Type::Void, {Type::Ref});
+  B.setInsertPoint(Bump->addBlock("entry"));
+  Value *Old = B.getField(Bump->arg(0), S.FVal);
+  B.putField(Bump->arg(0), S.FVal, B.add(Old, B.i32(1)));
+  B.ret();
+
+  Method *Fn = S.M.addMethod("f", Type::I32, {Type::Ref, Type::Ref,
+                                              Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest L(B, "i");
+  PhiInst *I = L.civ(B.i32(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(2)));
+  B.call(Bump, Type::Void, {Fn->arg(1)});
+  Value *V = B.getField(Fn->arg(1), S.FVal);
+  Instruction *Probe = cast<Instruction>(
+      B.aload(Fn->arg(0), B.rem(V, B.i32(8)), Type::I32));
+  L.close();
+  B.ret(B.i32(0));
+  ASSERT_TRUE(verifyMethod(Fn));
+
+  vm::Addr Arr = S.Heap->allocArray(ir::Type::I32, 8);
+  vm::Addr Obj = S.Heap->allocObject(*S.Cell);
+  S.Heap->store(Obj + S.FVal->Offset, ir::Type::I32, 3);
+
+  Fn->recomputePreds();
+  analysis::DominatorTree DT(Fn);
+  analysis::LoopInfo LI(Fn, DT);
+  LoadDependenceGraph G(LI.topLevelLoops()[0], LI);
+  InspectorOptions Opts;
+  Opts.FollowCalls = true;
+  ObjectInspector Insp(*S.Heap, LI, Opts);
+  InspectionResult R =
+      Insp.inspect(Fn, {Arr, Obj, 20}, LI.topLevelLoops()[0], G);
+
+  // Iteration k loads (3 + k + 1) % 8.
+  const auto &Recs = R.Trace.at(Probe);
+  ASSERT_GE(Recs.size(), 8u);
+  for (const auto &Rec : Recs)
+    EXPECT_EQ(Rec.Address, S.Heap->elemAddr(Arr, (3 + Rec.Iteration + 1) % 8));
+  // Real heap untouched.
+  EXPECT_EQ(S.Heap->load(Obj + S.FVal->Offset, ir::Type::I32), 3u);
+}
+
+} // namespace followcalls

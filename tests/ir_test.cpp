@@ -1,0 +1,220 @@
+//===- tests/ir_test.cpp - IR construction, printing, verification --------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace spf;
+using namespace spf::ir;
+
+namespace {
+
+class IrTest : public ::testing::Test {
+protected:
+  vm::TypeTable Types;
+  Module M;
+};
+
+TEST_F(IrTest, TypeStorageSizes) {
+  EXPECT_EQ(storageSize(Type::I32), 4u);
+  EXPECT_EQ(storageSize(Type::I64), 8u);
+  EXPECT_EQ(storageSize(Type::F64), 8u);
+  EXPECT_EQ(storageSize(Type::Ref), 8u);
+}
+
+TEST_F(IrTest, ConstantsAreUniqued) {
+  Constant *A = M.intConst(Type::I32, 42);
+  Constant *B = M.intConst(Type::I32, 42);
+  Constant *C = M.intConst(Type::I64, 42);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A->intValue(), 42);
+}
+
+TEST_F(IrTest, FloatConstantRoundTrips) {
+  Constant *F = M.floatConst(3.25);
+  EXPECT_DOUBLE_EQ(F->floatValue(), 3.25);
+  EXPECT_EQ(M.floatConst(3.25), F);
+}
+
+TEST_F(IrTest, NullRefIsNull) {
+  EXPECT_TRUE(M.nullRef()->isNullRef());
+  EXPECT_EQ(M.nullRef()->type(), Type::Ref);
+}
+
+TEST_F(IrTest, CastingDiscriminatesValueKinds) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *Sum = B.add(Fn->arg(0), B.i32(1));
+  B.ret(Sum);
+
+  EXPECT_TRUE(isa<Argument>(Fn->arg(0)));
+  EXPECT_FALSE(isa<Constant>(Fn->arg(0)));
+  EXPECT_TRUE(isa<Instruction>(Sum));
+  EXPECT_TRUE(isa<BinaryInst>(Sum));
+  EXPECT_FALSE(isa<PhiInst>(Sum));
+  EXPECT_EQ(dyn_cast<BinaryInst>(Sum)->binOp(), BinaryInst::BinOp::Add);
+  EXPECT_EQ(dyn_cast<CallInst>(Sum), nullptr);
+}
+
+TEST_F(IrTest, ComparisonResultsAreI32) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I64, Type::I64});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *C = B.cmpLt(Fn->arg(0), Fn->arg(1));
+  EXPECT_EQ(C->type(), Type::I32);
+  B.ret(C);
+}
+
+TEST_F(IrTest, SuccessorsFollowTerminators) {
+  Method *Fn = M.addMethod("f", Type::Void, {Type::I32});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  BasicBlock *Then = Fn->addBlock("then");
+  BasicBlock *Else = Fn->addBlock("else");
+  B.setInsertPoint(Entry);
+  B.br(Fn->arg(0), Then, Else);
+  B.setInsertPoint(Then);
+  B.ret();
+  B.setInsertPoint(Else);
+  B.ret();
+
+  auto Succs = Entry->successors();
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], Then);
+  EXPECT_EQ(Succs[1], Else);
+  EXPECT_TRUE(Then->successors().empty());
+
+  Fn->recomputePreds();
+  EXPECT_EQ(Then->predecessors().size(), 1u);
+  EXPECT_EQ(Then->predecessors()[0], Entry);
+}
+
+TEST_F(IrTest, BranchWithIdenticalTargetsHasOneSuccessor) {
+  Method *Fn = M.addMethod("f", Type::Void, {Type::I32});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  BasicBlock *Next = Fn->addBlock("next");
+  B.setInsertPoint(Entry);
+  B.br(Fn->arg(0), Next, Next);
+  B.setInsertPoint(Next);
+  B.ret();
+  EXPECT_EQ(Entry->successors().size(), 1u);
+}
+
+TEST_F(IrTest, InsertAfterPlacesInstructionCorrectly) {
+  vm::ClassDesc *C = Types.addClass("C");
+  const vm::FieldDesc *F = Types.addField(C, "f", Type::Ref);
+
+  Method *Fn = M.addMethod("f", Type::Void, {Type::Ref});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  B.setInsertPoint(Entry);
+  Value *L = B.getField(Fn->arg(0), F);
+  B.ret();
+
+  auto *Anchor = cast<Instruction>(L);
+  Entry->insertAfter(Anchor, std::make_unique<PrefetchInst>(
+                                 Fn->arg(0), nullptr, 0, 64, false));
+  ASSERT_EQ(Entry->size(), 3u);
+  EXPECT_EQ(Entry->instructions()[1]->opcode(), Opcode::Prefetch);
+  EXPECT_EQ(Entry->instructions()[1]->parent(), Entry);
+}
+
+TEST_F(IrTest, VerifierAcceptsWellFormedMethod) {
+  Method *Fn = M.addMethod("ok", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  B.ret(B.add(Fn->arg(0), B.i32(1)));
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyMethod(Fn, &Errors)) << Errors.size();
+  EXPECT_TRUE(Errors.empty());
+}
+
+TEST_F(IrTest, VerifierRejectsMissingTerminator) {
+  Method *Fn = M.addMethod("bad", Type::Void, {Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  B.add(Fn->arg(0), B.i32(1)); // No terminator.
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyMethod(Fn, &Errors));
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST_F(IrTest, VerifierRejectsReturnTypeMismatch) {
+  Method *Fn = M.addMethod("bad", Type::I64, {Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  B.ret(Fn->arg(0)); // i32 returned from i64 method.
+  EXPECT_FALSE(verifyMethod(Fn));
+}
+
+TEST_F(IrTest, VerifierRejectsPhiPredMismatch) {
+  Method *Fn = M.addMethod("bad", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  BasicBlock *Next = Fn->addBlock("next");
+  B.setInsertPoint(Entry);
+  B.jump(Next);
+  B.setInsertPoint(Next);
+  PhiInst *P = B.phi(Type::I32);
+  B.ret(P);
+  Fn->recomputePreds();
+  // Phi has zero incoming but Next has one predecessor.
+  EXPECT_FALSE(verifyMethod(Fn));
+  P->addIncoming(Entry, M.intConst(Type::I32, 7));
+  EXPECT_TRUE(verifyMethod(Fn));
+}
+
+TEST_F(IrTest, VerifierRejectsForeignBlockSuccessor) {
+  Method *A = M.addMethod("a", Type::Void, {});
+  Method *Other = M.addMethod("b", Type::Void, {});
+  BasicBlock *Foreign = Other->addBlock("foreign");
+  IRBuilder B(M);
+  B.setInsertPoint(A->addBlock("entry"));
+  B.jump(Foreign);
+  EXPECT_FALSE(verifyMethod(A));
+}
+
+TEST_F(IrTest, PrinterMentionsOpcodeNamesAndOffsets) {
+  vm::ClassDesc *C = Types.addClass("Token");
+  const vm::FieldDesc *F = Types.addField(C, "facts", Type::Ref);
+
+  Method *Fn = M.addMethod("p", Type::Ref, {Type::Ref});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *L = B.getField(Fn->arg(0), F);
+  B.ret(L);
+
+  std::ostringstream OS;
+  printMethod(OS, Fn);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("getfield"), std::string::npos);
+  EXPECT_NE(Text.find("Token::facts"), std::string::npos);
+  EXPECT_NE(Text.find("(+16)"), std::string::npos);
+}
+
+TEST_F(IrTest, InstructionSideEffectTaxonomy) {
+  Method *Fn = M.addMethod("f", Type::Void, {Type::Ref, Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *Len = B.arrayLength(Fn->arg(0));
+  Value *El = B.aload(Fn->arg(0), Fn->arg(1), Type::I32);
+  B.astore(Fn->arg(0), Fn->arg(1), B.add(El, Len));
+  B.prefetch(Fn->arg(0), nullptr, 0, 64);
+  B.ret();
+
+  const auto &Insts = Fn->entry()->instructions();
+  EXPECT_FALSE(Insts[0]->hasSideEffects()); // arraylength
+  EXPECT_TRUE(Insts[0]->isHeapLoad());
+  EXPECT_FALSE(Insts[1]->hasSideEffects()); // aload
+  EXPECT_TRUE(Insts[3]->hasSideEffects());  // astore
+  EXPECT_TRUE(Insts[4]->hasSideEffects());  // prefetch
+  EXPECT_FALSE(Insts[4]->isHeapLoad());
+}
+
+} // namespace

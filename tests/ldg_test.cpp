@@ -1,0 +1,105 @@
+//===- tests/ldg_test.cpp - Load dependence graph (Section 3.1) -----------===//
+
+#include "TestKernels.h"
+#include "core/LoadDependenceGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::ir;
+using namespace spf::testkernels;
+
+namespace {
+
+struct JessAnalyses {
+  JessWorld W;
+  analysis::DominatorTree DT;
+  analysis::LoopInfo LI;
+
+  JessAnalyses() : DT((W.Find->recomputePreds(), W.Find)), LI(W.Find, DT) {}
+
+  analysis::Loop *outer() {
+    EXPECT_EQ(LI.topLevelLoops().size(), 1u);
+    return LI.topLevelLoops()[0];
+  }
+  analysis::Loop *inner() {
+    EXPECT_EQ(outer()->subLoops().size(), 1u);
+    return outer()->subLoops()[0];
+  }
+};
+
+TEST(LdgTest, OuterGraphContainsAllElevenTable1Loads) {
+  JessAnalyses A;
+  LoadDependenceGraph G(A.outer(), A.LI);
+  EXPECT_EQ(G.nodes().size(), 11u);
+  for (Instruction *L : {A.W.L1, A.W.L2, A.W.L3, A.W.L4, A.W.L5, A.W.L6,
+                         A.W.L7, A.W.L8, A.W.L9, A.W.L10, A.W.L11})
+    EXPECT_TRUE(G.nodeFor(L).has_value());
+}
+
+TEST(LdgTest, InnerGraphContainsOnlyInnerLoads) {
+  JessAnalyses A;
+  LoadDependenceGraph G(A.inner(), A.LI);
+  EXPECT_EQ(G.nodes().size(), 6u); // L6..L11.
+  EXPECT_FALSE(G.nodeFor(A.W.L4).has_value());
+  EXPECT_TRUE(G.nodeFor(A.W.L9).has_value());
+}
+
+TEST(LdgTest, EdgesFollowDirectDataDependence) {
+  // The Figure 5 graph: L2 -> {L3, L4}, L4 -> {L9}, L6 -> {L7, L8},
+  // L9 -> {L10, L11}; L1, L5 are isolated roots.
+  JessAnalyses A;
+  LoadDependenceGraph G(A.outer(), A.LI);
+
+  auto HasEdge = [&](Instruction *From, Instruction *To) {
+    auto F = G.nodeFor(From);
+    auto T = G.nodeFor(To);
+    EXPECT_TRUE(F && T);
+    return G.edgeBetween(*F, *T) != nullptr;
+  };
+
+  EXPECT_TRUE(HasEdge(A.W.L2, A.W.L3));
+  EXPECT_TRUE(HasEdge(A.W.L2, A.W.L4));
+  EXPECT_TRUE(HasEdge(A.W.L4, A.W.L9));
+  EXPECT_TRUE(HasEdge(A.W.L6, A.W.L7));
+  EXPECT_TRUE(HasEdge(A.W.L6, A.W.L8));
+  EXPECT_TRUE(HasEdge(A.W.L9, A.W.L10));
+  EXPECT_TRUE(HasEdge(A.W.L9, A.W.L11));
+
+  EXPECT_FALSE(HasEdge(A.W.L2, A.W.L9)); // Only *direct* dependence.
+  EXPECT_FALSE(HasEdge(A.W.L1, A.W.L2)); // Same base, no dependence.
+  EXPECT_FALSE(HasEdge(A.W.L4, A.W.L8)); // L8's base is L6.
+
+  EXPECT_TRUE(G.nodes()[*G.nodeFor(A.W.L1)].Succs.empty());
+  EXPECT_TRUE(G.nodes()[*G.nodeFor(A.W.L1)].Preds.empty());
+  EXPECT_EQ(G.nodes()[*G.nodeFor(A.W.L9)].Succs.size(), 2u);
+  EXPECT_EQ(G.nodes()[*G.nodeFor(A.W.L9)].Preds.size(), 1u);
+  EXPECT_EQ(G.edges().size(), 7u);
+}
+
+TEST(LdgTest, NodesRecordTheirHomeLoop) {
+  JessAnalyses A;
+  LoadDependenceGraph G(A.outer(), A.LI);
+  EXPECT_EQ(G.nodes()[*G.nodeFor(A.W.L4)].Home, A.outer());
+  EXPECT_EQ(G.nodes()[*G.nodeFor(A.W.L9)].Home, A.inner());
+}
+
+TEST(LdgTest, BaseOperandExtraction) {
+  JessAnalyses A;
+  EXPECT_EQ(LoadDependenceGraph::baseOperand(A.W.L4), A.W.L2);
+  EXPECT_EQ(LoadDependenceGraph::baseOperand(A.W.L9), A.W.L4);
+  EXPECT_EQ(LoadDependenceGraph::baseOperand(A.W.L1), A.W.Find->arg(0));
+  EXPECT_EQ(LoadDependenceGraph::baseOperand(A.W.L3), A.W.L2);
+}
+
+TEST(LdgTest, ArgumentBasedLoadsAreRoots) {
+  // Loads whose base is an argument (not another load) have no preds:
+  // L1, L2, L5, L6 chase the parameters directly.
+  JessAnalyses A;
+  LoadDependenceGraph G(A.outer(), A.LI);
+  for (Instruction *L : {A.W.L1, A.W.L2, A.W.L5, A.W.L6})
+    EXPECT_TRUE(G.nodes()[*G.nodeFor(L)].Preds.empty());
+}
+
+} // namespace

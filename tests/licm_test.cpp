@@ -1,0 +1,173 @@
+//===- tests/licm_test.cpp - Loop-invariant code motion -------------------===//
+
+#include "TestKernels.h"
+#include "exec/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "opt/LoopInvariantCodeMotion.h"
+#include "workloads/KernelBuilder.h"
+#include "workloads/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::ir;
+
+namespace {
+
+TEST(LicmTest, HoistsInvariantArithmetic) {
+  vm::TypeTable Types;
+  vm::HeapConfig HC;
+  HC.HeapBytes = 1 << 16;
+  vm::Heap Heap(Types, HC);
+  Module M;
+  IRBuilder B(M);
+
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32, Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest L(B, "i");
+  PhiInst *I = L.civ(B.i32(0));
+  PhiInst *Acc = L.addCarried(B.i32(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(0)));
+  // Invariant: (arg1 * 3) ^ 7. Variant: + i.
+  Value *Inv = B.xorOp(B.mul(Fn->arg(1), B.i32(3)), B.i32(7));
+  Value *Var = B.add(Inv, I);
+  L.setNext(Acc, B.add(Acc, Var));
+  L.close();
+  B.ret(Acc);
+  Fn->recomputePreds();
+  ASSERT_TRUE(verifyMethod(Fn));
+
+  sim::MemorySystem M1(sim::MachineConfig::pentium4());
+  exec::Interpreter I1(Heap, M1);
+  uint64_t Before = I1.run(Fn, {20, 5});
+  uint64_t RetiredBefore = I1.stats().Retired;
+
+  unsigned Moved = opt::hoistLoopInvariants(Fn);
+  EXPECT_EQ(Moved, 2u); // mul and xor.
+  ASSERT_TRUE(verifyMethod(Fn));
+  // Hoisted instructions now live outside the loop blocks.
+  analysis::DominatorTree DT(Fn);
+  analysis::LoopInfo LI(Fn, DT);
+  const auto *InvInst = cast<Instruction>(Inv);
+  EXPECT_EQ(LI.loopFor(InvInst->parent()), nullptr);
+
+  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  exec::Interpreter I2(Heap, M2);
+  uint64_t After = I2.run(Fn, {20, 5});
+  EXPECT_EQ(Before, After);
+  EXPECT_LT(I2.stats().Retired, RetiredBefore); // Fewer dynamic instrs.
+}
+
+TEST(LicmTest, LeavesHeapLoadsAlone) {
+  // The reason LICM stays out of the default pipeline: the Table 1 loads
+  // (tv.v, the bound-check arraylengths, t.size) must stay in-loop — and
+  // since the pass only touches arithmetic, they do.
+  testkernels::JessWorld W;
+  opt::hoistLoopInvariants(W.Find);
+  ASSERT_TRUE(verifyMethod(W.Find));
+
+  W.Find->recomputePreds();
+  analysis::DominatorTree DT(W.Find);
+  analysis::LoopInfo LI(W.Find, DT);
+  for (Instruction *L : {W.L1, W.L2, W.L3, W.L5, W.L6, W.L7, W.L9, W.L10})
+    EXPECT_NE(LI.loopFor(L->parent()), nullptr)
+        << "a Table 1 load was hoisted";
+}
+
+TEST(LicmTest, DoesNotHoistDivByPossiblyZero) {
+  vm::TypeTable Types;
+  Module M;
+  IRBuilder B(M);
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32, Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest L(B, "i");
+  PhiInst *I = L.civ(B.i32(0));
+  PhiInst *Acc = L.addCarried(B.i32(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(0)));
+  // Guarded division: only executes when arg1 != 0 at run time; hoisting
+  // it would trap on arg1 == 0.
+  BasicBlock *DivBB = Fn->blocks()[1].get();
+  (void)DivBB;
+  Value *Q = B.div(B.i32(100), Fn->arg(1)); // Divisor not a constant.
+  Value *QC = B.div(B.i32(100), B.i32(4));  // Constant divisor: hoistable.
+  L.setNext(Acc, B.add(Acc, B.add(Q, QC)));
+  L.close();
+  B.ret(Acc);
+  Fn->recomputePreds();
+
+  unsigned Moved = opt::hoistLoopInvariants(Fn);
+  EXPECT_EQ(Moved, 1u); // Only the constant-divisor division.
+  analysis::DominatorTree DT(Fn);
+  analysis::LoopInfo LI(Fn, DT);
+  EXPECT_NE(LI.loopFor(cast<Instruction>(Q)->parent()), nullptr);
+  EXPECT_EQ(LI.loopFor(cast<Instruction>(QC)->parent()), nullptr);
+}
+
+TEST(LicmTest, NestedLoopsHoistToTheRightLevel) {
+  vm::TypeTable Types;
+  Module M;
+  IRBuilder B(M);
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32, Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest Outer(B, "i");
+  PhiInst *I = Outer.civ(B.i32(0));
+  PhiInst *Acc = Outer.addCarried(B.i32(0));
+  Outer.beginBody(B.cmpLt(I, Fn->arg(0)));
+  Value *OuterVariant = B.mul(I, B.i32(5)); // Variant in outer loop.
+
+  workloads::LoopNest Inner(B, "j");
+  PhiInst *J = Inner.civ(B.i32(0));
+  PhiInst *AccJ = Inner.addCarried(Acc);
+  Inner.beginBody(B.cmpLt(J, Fn->arg(0)));
+  Value *FullyInv = B.mul(Fn->arg(1), B.i32(9)); // Invariant everywhere.
+  Value *InnerInv = B.add(OuterVariant, B.i32(1)); // Invariant in inner.
+  Inner.setNext(AccJ, B.add(AccJ, B.add(FullyInv, B.add(InnerInv, J))));
+  Inner.close();
+
+  Outer.setNext(Acc, AccJ);
+  Outer.close();
+  B.ret(Acc);
+  Fn->recomputePreds();
+  ASSERT_TRUE(verifyMethod(Fn));
+
+  unsigned Moved = opt::hoistLoopInvariants(Fn);
+  EXPECT_GE(Moved, 2u);
+  ASSERT_TRUE(verifyMethod(Fn));
+
+  analysis::DominatorTree DT(Fn);
+  analysis::LoopInfo LI(Fn, DT);
+  // FullyInv escaped both loops; InnerInv escaped the inner one only.
+  EXPECT_EQ(LI.loopFor(cast<Instruction>(FullyInv)->parent()), nullptr);
+  analysis::Loop *Home = LI.loopFor(cast<Instruction>(InnerInv)->parent());
+  ASSERT_NE(Home, nullptr);
+  EXPECT_EQ(Home->depth(), 1u);
+}
+
+TEST(LicmTest, WorkloadResultsUnchangedUnderLicm) {
+  // LICM before the prefetch pass must not disturb results or the
+  // discovered patterns (it never touches memory instructions).
+  workloads::WorkloadConfig Cfg;
+  Cfg.Scale = 0.05;
+  workloads::BuiltWorkload W1 = workloads::findWorkload("db")->Build(Cfg);
+  workloads::BuiltWorkload W2 = workloads::findWorkload("db")->Build(Cfg);
+  Method *Hot2 = W2.CompileUnits[0].M;
+  opt::hoistLoopInvariants(Hot2);
+  ASSERT_TRUE(verifyMethod(Hot2));
+
+  core::PrefetchPassOptions PO = workloads::passOptionsFor(
+      sim::MachineConfig::pentium4(), core::PrefetchMode::InterIntra);
+  core::PrefetchPass P1(*W1.Heap, PO);
+  core::PrefetchPass P2(*W2.Heap, PO);
+  auto R1 = P1.run(W1.CompileUnits[0].M, W1.CompileUnits[0].Args);
+  auto R2 = P2.run(Hot2, W2.CompileUnits[0].Args);
+  EXPECT_EQ(R1.CodeGen.SpecLoads, R2.CodeGen.SpecLoads);
+
+  sim::MemorySystem M1(sim::MachineConfig::pentium4());
+  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  exec::Interpreter I1(*W1.Heap, M1, &W1.Roots);
+  exec::Interpreter I2(*W2.Heap, M2, &W2.Roots);
+  EXPECT_EQ(I1.run(W1.Entry, W1.EntryArgs), I2.run(W2.Entry, W2.EntryArgs));
+}
+
+} // namespace

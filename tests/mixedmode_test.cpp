@@ -1,0 +1,154 @@
+//===- tests/mixedmode_test.cpp - Mixed-mode execution --------------------===//
+//
+// The paper's JVM "runs in a mixed-mode, meaning it selectively compiles
+// methods that are executed frequently". These tests drive the
+// invocation-counter path: methods start interpreted, get handed to the
+// CompileManager with the ACTUAL arguments of the triggering invocation
+// (the values object inspection needs), and speed up afterwards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestKernels.h"
+#include "exec/Interpreter.h"
+#include "jit/CompileManager.h"
+#include "workloads/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::testkernels;
+
+namespace {
+
+TEST(MixedModeTest, HotMethodsAreCompiledAtTheThreshold) {
+  JessWorld W;
+  jit::CompileManager::Options Opts;
+  Opts.Pass = workloads::passOptionsFor(sim::MachineConfig::pentium4(),
+                                        core::PrefetchMode::InterIntra);
+  jit::CompileManager Jit(*W.Heap, Opts);
+
+  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  exec::Interpreter Interp(*W.Heap, Mem);
+  unsigned Compiles = 0;
+  Interp.enableMixedMode(
+      [&](ir::Method *M, const std::vector<uint64_t> &Args) {
+        ++Compiles;
+        Jit.compile(M, Args);
+      },
+      /*Threshold=*/3);
+
+  EXPECT_FALSE(Interp.isCompiled(W.Find));
+  Interp.run(W.Find, W.findArgs());
+  Interp.run(W.Find, W.findArgs());
+  EXPECT_FALSE(Interp.isCompiled(W.Find)); // Two invocations: still cold.
+  Interp.run(W.Find, W.findArgs());
+  EXPECT_TRUE(Interp.isCompiled(W.Find)); // Third: compiled.
+  // equals() was invoked far more often and compiled too.
+  EXPECT_TRUE(Interp.isCompiled(W.Equals));
+  EXPECT_GE(Compiles, 2u);
+
+  // The compile received real arguments: the pass discovered jess's
+  // dereference chain.
+  EXPECT_GT(Jit.aggregatePrefetch().CodeGen.SpecLoads, 0u);
+}
+
+TEST(MixedModeTest, CompiledCodeIsFasterThanInterpreted) {
+  JessWorld W;
+  auto MeasureRun = [&](exec::Interpreter &I, sim::MemorySystem &M) {
+    uint64_t C0 = M.cycles();
+    I.run(W.Find, W.findArgs());
+    return M.cycles() - C0;
+  };
+
+  jit::CompileManager::Options Opts;
+  Opts.EnablePrefetch = false; // Isolate the interpret/compile gap.
+  jit::CompileManager Jit(*W.Heap, Opts);
+  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  exec::Interpreter Interp(*W.Heap, Mem);
+  Interp.enableMixedMode(
+      [&](ir::Method *M, const std::vector<uint64_t> &Args) {
+        Jit.compile(M, Args);
+      },
+      /*Threshold=*/2, /*InterpPenalty=*/9);
+
+  uint64_t Cold = MeasureRun(Interp, Mem); // Interpreted.
+  MeasureRun(Interp, Mem);                 // Triggers compilation.
+  uint64_t Warm = MeasureRun(Interp, Mem); // Compiled.
+  EXPECT_GT(Cold, 3 * Warm); // The 10x dispatch penalty dominates.
+}
+
+TEST(MixedModeTest, ResultsAreUnchangedAcrossTheTransition) {
+  JessWorld W1, W2;
+  // Reference: plain execution.
+  sim::MemorySystem M1(sim::MachineConfig::pentium4());
+  exec::Interpreter I1(*W1.Heap, M1);
+  std::vector<uint64_t> Results1;
+  for (int K = 0; K != 6; ++K)
+    Results1.push_back(I1.run(W1.Find, W1.findArgs()));
+
+  // Mixed mode with prefetching kicking in mid-sequence.
+  jit::CompileManager::Options Opts;
+  Opts.Pass = workloads::passOptionsFor(sim::MachineConfig::pentium4(),
+                                        core::PrefetchMode::InterIntra);
+  jit::CompileManager Jit(*W2.Heap, Opts);
+  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  exec::Interpreter I2(*W2.Heap, M2);
+  I2.enableMixedMode(
+      [&](ir::Method *M, const std::vector<uint64_t> &Args) {
+        Jit.compile(M, Args);
+      },
+      /*Threshold=*/3);
+  std::vector<uint64_t> Results2;
+  for (int K = 0; K != 6; ++K)
+    Results2.push_back(I2.run(W2.Find, W2.findArgs()));
+
+  // Identical worlds: identical results, before and after compilation.
+  EXPECT_EQ(Results1, Results2);
+}
+
+TEST(MixedModeTest, RecursiveMethodsCompileOnACleanInvocation) {
+  // A self-recursive method must not be rewritten under its own frames;
+  // it compiles on the next top-level call and keeps working.
+  vm::TypeTable Types;
+  vm::HeapConfig HC;
+  HC.HeapBytes = 1 << 20;
+  vm::Heap Heap(Types, HC);
+  ir::Module M;
+  ir::IRBuilder B(M);
+
+  ir::Method *Fib = M.addMethod("fib", ir::Type::I32, {ir::Type::I32});
+  {
+    ir::BasicBlock *Entry = Fib->addBlock("entry");
+    ir::BasicBlock *Base = Fib->addBlock("base");
+    ir::BasicBlock *Rec = Fib->addBlock("rec");
+    B.setInsertPoint(Entry);
+    B.br(B.cmpLt(Fib->arg(0), B.i32(2)), Base, Rec);
+    B.setInsertPoint(Base);
+    B.ret(Fib->arg(0));
+    B.setInsertPoint(Rec);
+    ir::Value *A = B.call(Fib, ir::Type::I32,
+                          {B.sub(Fib->arg(0), B.i32(1))});
+    ir::Value *C = B.call(Fib, ir::Type::I32,
+                          {B.sub(Fib->arg(0), B.i32(2))});
+    B.ret(B.add(A, C));
+  }
+
+  jit::CompileManager::Options Opts;
+  jit::CompileManager Jit(Heap, Opts);
+  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  exec::Interpreter Interp(Heap, Mem);
+  Interp.enableMixedMode(
+      [&](ir::Method *Mth, const std::vector<uint64_t> &Args) {
+        Jit.compile(Mth, Args);
+      },
+      /*Threshold=*/2);
+
+  // The first call's recursion blows past the threshold while fib is on
+  // the stack: compilation must be deferred, results stay right.
+  EXPECT_EQ(Interp.run(Fib, {10}), 55u);
+  EXPECT_EQ(Interp.run(Fib, {10}), 55u); // Compiles at this clean entry.
+  EXPECT_TRUE(Interp.isCompiled(Fib));
+  EXPECT_EQ(Interp.run(Fib, {10}), 55u);
+}
+
+} // namespace

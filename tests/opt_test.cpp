@@ -1,0 +1,187 @@
+//===- tests/opt_test.cpp - Baseline pipeline optimizations ---------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "opt/ConstantFolding.h"
+#include "opt/DeadCodeElim.h"
+#include "opt/LocalCSE.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::ir;
+
+namespace {
+
+unsigned countInstructions(Method *M) {
+  unsigned N = 0;
+  for (const auto &BB : M->blocks())
+    N += BB->size();
+  return N;
+}
+
+class OptTest : public ::testing::Test {
+protected:
+  vm::TypeTable Types;
+  Module M;
+};
+
+TEST_F(OptTest, FoldsConstantChains) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *A = B.add(B.i32(2), B.i32(3));   // 5
+  Value *C = B.mul(A, B.i32(4));          // 20, after A folds
+  Value *D = B.add(Fn->arg(0), C);        // Not foldable.
+  B.ret(D);
+
+  unsigned Folded = opt::foldConstants(Fn);
+  EXPECT_EQ(Folded, 2u);
+  EXPECT_TRUE(verifyMethod(Fn));
+  // Only the add with the argument and the ret remain.
+  EXPECT_EQ(countInstructions(Fn), 2u);
+  auto *Add = cast<BinaryInst>(Fn->entry()->front());
+  auto *K = dyn_cast<Constant>(Add->rhs());
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(K->intValue(), 20);
+}
+
+TEST_F(OptTest, FoldingRespectsI32Wraparound) {
+  Method *Fn = M.addMethod("f", Type::I32, {});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *A = B.add(B.i32(0x7fffffff), B.i32(1));
+  B.ret(A);
+  opt::foldConstants(Fn);
+  auto *K = dyn_cast<Constant>(cast<RetInst>(Fn->entry()->back())->value());
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(K->intValue(), -2147483648LL);
+}
+
+TEST_F(OptTest, DivisionByZeroIsNotFolded) {
+  Method *Fn = M.addMethod("f", Type::I32, {});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *A = B.div(B.i32(10), B.i32(0));
+  B.ret(A);
+  EXPECT_EQ(opt::foldConstants(Fn), 0u);
+}
+
+TEST_F(OptTest, FoldsComparisons) {
+  Method *Fn = M.addMethod("f", Type::I32, {});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  B.ret(B.cmpLt(B.i32(3), B.i32(7)));
+  opt::foldConstants(Fn);
+  auto *K = dyn_cast<Constant>(cast<RetInst>(Fn->entry()->back())->value());
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(K->intValue(), 1);
+}
+
+TEST_F(OptTest, CseMergesIdenticalExpressions) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32, Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *A1 = B.add(Fn->arg(0), Fn->arg(1));
+  Value *A2 = B.add(Fn->arg(0), Fn->arg(1)); // Duplicate.
+  Value *A3 = B.add(Fn->arg(1), Fn->arg(0)); // Different operand order.
+  B.ret(B.mul(B.mul(A1, A2), A3));
+
+  EXPECT_EQ(opt::localCSE(Fn), 1u);
+  EXPECT_TRUE(verifyMethod(Fn));
+}
+
+TEST_F(OptTest, CseMergesArrayLengthButNotGetField) {
+  auto *Cls = Types.addClass("C");
+  const vm::FieldDesc *F = Types.addField(Cls, "f", Type::I32);
+
+  Method *Fn = M.addMethod("f", Type::I32, {Type::Ref});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *L1 = B.arrayLength(Fn->arg(0));
+  Value *L2 = B.arrayLength(Fn->arg(0)); // Lengths are immutable: merge.
+  Value *G1 = B.getField(Fn->arg(0), F);
+  Value *G2 = B.getField(Fn->arg(0), F); // Mutable memory: keep both.
+  B.ret(B.add(B.add(L1, L2), B.add(G1, G2)));
+
+  EXPECT_EQ(opt::localCSE(Fn), 1u);
+}
+
+TEST_F(OptTest, CseIsBlockLocal) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  BasicBlock *Next = Fn->addBlock("next");
+  B.setInsertPoint(Entry);
+  Value *A1 = B.add(Fn->arg(0), B.i32(5));
+  B.jump(Next);
+  B.setInsertPoint(Next);
+  Value *A2 = B.add(Fn->arg(0), B.i32(5)); // Same expr, other block.
+  B.ret(B.mul(A1, A2));
+  EXPECT_EQ(opt::localCSE(Fn), 0u);
+}
+
+TEST_F(OptTest, DceRemovesUnusedPureChains) {
+  auto *Cls = Types.addClass("C");
+  const vm::FieldDesc *F = Types.addField(Cls, "f", Type::I32);
+
+  Method *Fn = M.addMethod("f", Type::I32, {Type::Ref, Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  Value *Dead1 = B.add(Fn->arg(1), B.i32(1));
+  B.mul(Dead1, Dead1);                  // Dead, and keeps Dead1 alive
+                                        // until the first round.
+  B.getField(Fn->arg(0), F);            // Dead load: removable.
+  B.putField(Fn->arg(0), F, Fn->arg(1)); // Side effect: must stay.
+  B.ret(Fn->arg(1));
+
+  unsigned Removed = opt::eliminateDeadCode(Fn);
+  EXPECT_EQ(Removed, 3u);
+  EXPECT_TRUE(verifyMethod(Fn));
+  EXPECT_EQ(countInstructions(Fn), 2u); // putfield + ret.
+}
+
+TEST_F(OptTest, DceKeepsLoopCarriedPhis) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  BasicBlock *Entry = Fn->addBlock("entry");
+  BasicBlock *H = Fn->addBlock("h");
+  BasicBlock *Body = Fn->addBlock("body");
+  BasicBlock *Exit = Fn->addBlock("exit");
+  B.setInsertPoint(Entry);
+  B.jump(H);
+  B.setInsertPoint(H);
+  PhiInst *I = B.phi(Type::I32);
+  B.br(B.cmpLt(I, Fn->arg(0)), Body, Exit);
+  B.setInsertPoint(Body);
+  Value *I1 = B.add(I, B.i32(1));
+  B.jump(H);
+  B.setInsertPoint(Exit);
+  B.ret(I);
+  Fn->recomputePreds();
+  I->addIncoming(Entry, M.intConst(Type::I32, 0));
+  I->addIncoming(Body, I1);
+
+  EXPECT_EQ(opt::eliminateDeadCode(Fn), 0u);
+  EXPECT_TRUE(verifyMethod(Fn));
+}
+
+TEST_F(OptTest, PipelineCombinationReachesFixpoint) {
+  Method *Fn = M.addMethod("f", Type::I32, {Type::I32});
+  IRBuilder B(M);
+  B.setInsertPoint(Fn->addBlock("entry"));
+  // (x + (2*8)) computed twice, second unused after CSE.
+  Value *K = B.mul(B.i32(2), B.i32(8));
+  Value *A1 = B.add(Fn->arg(0), K);
+  Value *A2 = B.add(Fn->arg(0), K);
+  (void)A2;
+  B.ret(A1);
+
+  opt::foldConstants(Fn);
+  opt::localCSE(Fn);
+  opt::eliminateDeadCode(Fn);
+  EXPECT_TRUE(verifyMethod(Fn));
+  EXPECT_EQ(countInstructions(Fn), 2u); // add + ret.
+}
+
+} // namespace

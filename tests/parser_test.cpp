@@ -1,0 +1,243 @@
+//===- tests/parser_test.cpp - Textual IR round trips ---------------------===//
+//
+// The printer and parser are mutual inverses: print -> parse -> print is
+// the identity on text, and parsed methods behave identically under the
+// interpreter. Exercised over hand-written snippets, every workload's hot
+// method, and prefetch-transformed code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "workloads/Runner.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace spf;
+using namespace spf::ir;
+
+namespace {
+
+std::string printed(Method *M) {
+  std::ostringstream OS;
+  printMethod(OS, M);
+  return OS.str();
+}
+
+TEST(ParserTest, ParsesAMinimalMethod) {
+  vm::TypeTable Types;
+  Module M;
+  std::string Text = R"(method i32 addOne(i32 %arg0) {
+entry:
+  %1 = add i32 %arg0, 1
+  ret %1
+}
+)";
+  std::string Error;
+  Method *Fn = parseMethod(M, Types, Text, &Error);
+  ASSERT_NE(Fn, nullptr) << Error;
+  EXPECT_TRUE(verifyMethod(Fn));
+  EXPECT_EQ(Fn->name(), "addOne");
+  EXPECT_EQ(Fn->returnType(), Type::I32);
+  EXPECT_EQ(Fn->numArgs(), 1u);
+  EXPECT_EQ(printed(Fn), Text);
+}
+
+TEST(ParserTest, ParsesControlFlowAndPhis) {
+  vm::TypeTable Types;
+  Module M;
+  std::string Text = R"(method i32 count(i32 %arg0) {
+entry:
+  jump header
+header:  ; preds: entry body
+  %2 = phi i32 [entry: 0], [body: %5]
+  %3 = cmplt i32 %2, %arg0
+  br %3 ? body : exit
+body:  ; preds: header
+  %5 = add i32 %2, 1
+  jump header
+exit:  ; preds: header
+  ret %2
+}
+)";
+  std::string Error;
+  Method *Fn = parseMethod(M, Types, Text, &Error);
+  ASSERT_NE(Fn, nullptr) << Error;
+  EXPECT_TRUE(verifyMethod(Fn));
+  EXPECT_EQ(printed(Fn), Text);
+
+  // And it runs: count(7) == 7.
+  vm::HeapConfig HC;
+  HC.HeapBytes = 1 << 16;
+  vm::Heap Heap(Types, HC);
+  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  exec::Interpreter Interp(Heap, Mem);
+  EXPECT_EQ(Interp.run(Fn, {7}), 7u);
+}
+
+TEST(ParserTest, ParsesHeapOperations) {
+  vm::TypeTable Types;
+  auto *Cls = Types.addClass("Token");
+  Types.addField(Cls, "facts", Type::Ref);
+  Types.addField(Cls, "size", Type::I32);
+  Module M;
+  std::string Text = R"(method i32 touch(ref %arg0.tok) {
+entry:
+  %1 = getfield %arg0.tok.Token::facts (+16)
+  %2 = arraylength %1
+  %3 = aload.ref %1[0]
+  putfield %arg0.tok.Token::size = %2
+  %5 = getfield %arg0.tok.Token::size (+24)
+  astore %1[1] = %3
+  ret %5
+}
+)";
+  std::string Error;
+  Method *Fn = parseMethod(M, Types, Text, &Error);
+  ASSERT_NE(Fn, nullptr) << Error;
+  EXPECT_TRUE(verifyMethod(Fn));
+  EXPECT_EQ(printed(Fn), Text);
+}
+
+TEST(ParserTest, ParsesPrefetchPrimitives) {
+  vm::TypeTable Types;
+  Module M;
+  std::string Text = R"(method void pf(ref %arg0, i32 %arg1) {
+entry:
+  prefetch [%arg0 + %arg1*8 + 24]
+  %3.pref = spec_load [%arg0 + %arg1*8 + 24]
+  prefetch.guarded [%3.pref + 16]
+  prefetch [%arg0 - 8]
+  ret
+}
+)";
+  std::string Error;
+  Method *Fn = parseMethod(M, Types, Text, &Error);
+  ASSERT_NE(Fn, nullptr) << Error;
+  EXPECT_TRUE(verifyMethod(Fn));
+  EXPECT_EQ(printed(Fn), Text);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  vm::TypeTable Types;
+  Module M;
+  std::string Error;
+
+  EXPECT_EQ(parseMethod(M, Types, "", &Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+
+  EXPECT_EQ(parseMethod(M, Types,
+                        "method i32 f() {\nentry:\n  ret %99\n}\n", &Error),
+            nullptr);
+  EXPECT_NE(Error.find("undefined value"), std::string::npos);
+
+  EXPECT_EQ(parseMethod(M, Types,
+                        "method i32 f() {\nentry:\n  jump nowhere\n}\n",
+                        &Error),
+            nullptr);
+  EXPECT_NE(Error.find("unknown block"), std::string::npos);
+
+  EXPECT_EQ(parseMethod(
+                M, Types,
+                "method i32 f(ref %arg0) {\nentry:\n"
+                "  %1 = getfield %arg0.Nope::f (+16)\n  ret 0\n}\n",
+                &Error),
+            nullptr);
+  EXPECT_NE(Error.find("unknown class"), std::string::npos);
+
+  EXPECT_EQ(parseMethod(M, Types,
+                        "method i32 f() {\nentry:\n  frobnicate 1, 2\n}\n",
+                        &Error),
+            nullptr);
+  EXPECT_NE(Error.find("unknown operation"), std::string::npos);
+}
+
+TEST(ParserTest, RoundTripsEveryWorkloadHotMethod) {
+  for (const auto &Spec : workloads::allWorkloads()) {
+    workloads::WorkloadConfig Cfg;
+    Cfg.Scale = 0.02;
+    workloads::BuiltWorkload W = Spec.Build(Cfg);
+    // Hot methods plus helpers, but not the synthesized population (slow
+    // and redundant): take the named (non "pop.") units.
+    for (const auto &CU : W.CompileUnits) {
+      if (CU.M->name().rfind("pop.", 0) == 0)
+        continue;
+      std::string Before = printed(CU.M);
+      std::string Error;
+      Method *Again = parseMethod(*W.Module, *W.Types, Before, &Error);
+      ASSERT_NE(Again, nullptr)
+          << Spec.Name << "/" << CU.M->name() << ": " << Error;
+      EXPECT_TRUE(verifyMethod(Again)) << Spec.Name << "/" << CU.M->name();
+      EXPECT_EQ(printed(Again), Before)
+          << Spec.Name << "/" << CU.M->name() << " did not round-trip";
+    }
+  }
+}
+
+TEST(ParserTest, RoundTripsPrefetchTransformedCode) {
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("jess");
+  workloads::WorkloadConfig Cfg;
+  Cfg.Scale = 0.05;
+  workloads::BuiltWorkload W = Spec->Build(Cfg);
+  Method *Find = W.Module->findMethod("Node2.findInMemory");
+
+  core::PrefetchPassOptions Opts = workloads::passOptionsFor(
+      sim::MachineConfig::pentium4(), core::PrefetchMode::InterIntra);
+  core::PrefetchPass Pass(*W.Heap, Opts);
+  core::PrefetchPassResult R = Pass.run(Find, W.CompileUnits[0].Args);
+  ASSERT_GT(R.CodeGen.SpecLoads, 0u);
+
+  std::string Before = printed(Find);
+  EXPECT_NE(Before.find("spec_load"), std::string::npos);
+  std::string Error;
+  Method *Again = parseMethod(*W.Module, *W.Types, Before, &Error);
+  ASSERT_NE(Again, nullptr) << Error;
+  EXPECT_TRUE(verifyMethod(Again));
+  EXPECT_EQ(printed(Again), Before);
+}
+
+TEST(ParserTest, ParsedMethodBehavesIdentically) {
+  // The parsed copy of findInMemory must retire the same instructions and
+  // return the same result as the original.
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("jess");
+  workloads::WorkloadConfig Cfg;
+  Cfg.Scale = 0.05;
+  workloads::BuiltWorkload W = Spec->Build(Cfg);
+  Method *Find = W.Module->findMethod("Node2.findInMemory");
+  const auto &Args = W.CompileUnits[0].Args;
+
+  std::string Error;
+  Method *Copy = parseMethod(*W.Module, *W.Types, printed(Find), &Error);
+  ASSERT_NE(Copy, nullptr) << Error;
+
+  sim::MemorySystem M1(sim::MachineConfig::pentium4());
+  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  exec::Interpreter I1(*W.Heap, M1);
+  exec::Interpreter I2(*W.Heap, M2);
+  uint64_t R1 = I1.run(Find, Args);
+  uint64_t R2 = I2.run(Copy, Args);
+  EXPECT_EQ(R1, R2);
+  EXPECT_EQ(I1.stats().Retired, I2.stats().Retired);
+  EXPECT_EQ(M1.cycles(), M2.cycles());
+}
+
+TEST(ParserTest, ParsesFloatConstantsLosslessly) {
+  vm::TypeTable Types;
+  Module M;
+  std::string Text = R"(method f64 fp(f64 %arg0) {
+entry:
+  %1 = mul f64 %arg0, 0.15625
+  %2 = add f64 %1, 0.25
+  ret %2
+}
+)";
+  std::string Error;
+  Method *Fn = parseMethod(M, Types, Text, &Error);
+  ASSERT_NE(Fn, nullptr) << Error;
+  EXPECT_EQ(printed(Fn), Text);
+}
+
+} // namespace

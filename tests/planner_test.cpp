@@ -1,0 +1,268 @@
+//===- tests/planner_test.cpp - Section 3.3 planning rules ----------------===//
+
+#include "TestKernels.h"
+#include "core/ObjectInspector.h"
+#include "core/PrefetchPlanner.h"
+#include "core/StrideAnalysis.h"
+#include "workloads/KernelBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::ir;
+using namespace spf::testkernels;
+
+namespace {
+
+/// Shared machinery: annotate the jess graph, then plan with chosen
+/// options.
+struct PlannerFixture {
+  JessWorld W;
+  analysis::DominatorTree DT;
+  analysis::LoopInfo LI;
+  std::unique_ptr<analysis::DefUse> DU;
+  std::unique_ptr<LoadDependenceGraph> G;
+
+  explicit PlannerFixture(bool Scramble = true)
+      : W(64, Scramble), DT((W.Find->recomputePreds(), W.Find)),
+        LI(W.Find, DT) {
+    DU = std::make_unique<analysis::DefUse>(W.Find);
+    G = std::make_unique<LoadDependenceGraph>(LI.topLevelLoops()[0], LI);
+    ObjectInspector Insp(*W.Heap, LI);
+    InspectionResult R =
+        Insp.inspect(W.Find, W.findArgs(), LI.topLevelLoops()[0], *G);
+    annotateStrides(*G, R, StrideOptions());
+  }
+
+  LoopPlan plan(PlannerOptions Opts) {
+    return planPrefetches(*G, *DU, Opts);
+  }
+};
+
+TEST(PlannerTest, JessInterIntraMatchesFigure4) {
+  // Figure 4: tmp_pref = spec_load(&tv.v[i] + c*d);
+  //           prefetch(tmp_pref + o); [prefetch(tmp_pref + o + s);]
+  PlannerFixture F;
+  PlannerOptions Opts;
+  Opts.Mode = PrefetchMode::InterIntra;
+  Opts.LineBytes = 64;
+  LoopPlan P = F.plan(Opts);
+
+  ASSERT_EQ(P.Anchors.size(), 1u);
+  const AnchorPlan &A = P.Anchors[0];
+  EXPECT_EQ(A.Anchor, F.W.L4);
+  EXPECT_FALSE(A.EmitPlain);
+  ASSERT_FALSE(A.Derefs.empty());
+  EXPECT_EQ(A.InterStride, 8);
+  // A(L4) = v + 16 + i*8, plus d*c = 8.
+  EXPECT_EQ(A.Base, F.W.L2);
+  EXPECT_EQ(A.Index, F.W.Find->arg(0) == nullptr ? nullptr : A.Index);
+  EXPECT_EQ(A.Scale, 8u);
+  EXPECT_EQ(A.AnchorDisp, 16 + 8);
+
+  // First dereference target: o = offset of facts (16).
+  EXPECT_EQ(A.Derefs[0].Offset, 16);
+  EXPECT_FALSE(A.Derefs[0].IsIntra);
+  EXPECT_EQ(A.Derefs[0].ForLoad, F.W.L9);
+
+  // The intra targets (o + 24 = 40, o + 32 = 48) fall within one 64-byte
+  // line of the first: deduped, exactly the paper's observation that the
+  // line already covers the token and its facts array.
+  EXPECT_EQ(A.Derefs.size(), 1u);
+  EXPECT_EQ(P.numIntra(), 0u);
+}
+
+TEST(PlannerTest, SmallLinesKeepTheIntraPrefetch) {
+  // With a hypothetical 16-byte line, o+24 no longer shares the line:
+  // the S[Ly,Lz] prefetch of Figure 4 appears.
+  PlannerFixture F;
+  PlannerOptions Opts;
+  Opts.Mode = PrefetchMode::InterIntra;
+  Opts.LineBytes = 16;
+  LoopPlan P = F.plan(Opts);
+  ASSERT_EQ(P.Anchors.size(), 1u);
+  const AnchorPlan &A = P.Anchors[0];
+  ASSERT_GE(A.Derefs.size(), 2u);
+  EXPECT_EQ(A.Derefs[0].Offset, 16);      // F(a): o.
+  EXPECT_EQ(A.Derefs[1].Offset, 16 + 24); // F(a) + S[L9,L10].
+  EXPECT_TRUE(A.Derefs[1].IsIntra);
+  EXPECT_EQ(A.Derefs[1].ForLoad, F.W.L10);
+  EXPECT_GE(P.numIntra(), 1u);
+}
+
+TEST(PlannerTest, InterModeEmitsNothingForJess) {
+  // Wu's emulation: L4's stride (8) is below half of any real line, and
+  // no other load has an inter pattern — INTER generates no prefetching,
+  // matching the paper's flat INTER bars for jess/db.
+  PlannerFixture F;
+  PlannerOptions Opts;
+  Opts.Mode = PrefetchMode::Inter;
+  Opts.LineBytes = 64;
+  LoopPlan P = F.plan(Opts);
+  EXPECT_TRUE(P.Anchors.empty());
+}
+
+TEST(PlannerTest, UnscrambledJessUsesPlainPrefetchWithBigStride) {
+  // Without scrambling, L9/L10/L11 all carry the 208-byte token pitch:
+  // every adjacent node of L4 has an inter pattern, so L4 itself is not
+  // dereference-prefetched; the strided loads get plain prefetches.
+  PlannerFixture F(/*Scramble=*/false);
+  PlannerOptions Opts;
+  Opts.Mode = PrefetchMode::InterIntra;
+  Opts.LineBytes = 64;
+  LoopPlan P = F.plan(Opts);
+
+  EXPECT_GT(P.numPlain(), 0u);
+  EXPECT_EQ(P.numSpecLoads(), 0u);
+  for (const AnchorPlan &A : P.Anchors) {
+    EXPECT_TRUE(A.EmitPlain);
+    EXPECT_GT(std::abs(A.InterStride), 32);
+  }
+}
+
+TEST(PlannerTest, GuardedFlagFollowsOption) {
+  PlannerFixture F;
+  PlannerOptions Opts;
+  Opts.Mode = PrefetchMode::InterIntra;
+  Opts.LineBytes = 64;
+  Opts.GuardedIntraPrefetch = true; // The Pentium 4 configuration.
+  LoopPlan P = F.plan(Opts);
+  ASSERT_FALSE(P.Anchors.empty());
+  for (const DerefPrefetch &D : P.Anchors[0].Derefs)
+    EXPECT_TRUE(D.Guarded);
+
+  Opts.GuardedIntraPrefetch = false; // Athlon.
+  LoopPlan P2 = F.plan(Opts);
+  for (const DerefPrefetch &D : P2.Anchors[0].Derefs)
+    EXPECT_FALSE(D.Guarded);
+}
+
+TEST(PlannerTest, ScheduleDistanceScalesTheDisplacement) {
+  PlannerFixture F;
+  PlannerOptions Opts;
+  Opts.Mode = PrefetchMode::InterIntra;
+  Opts.LineBytes = 64;
+  Opts.ScheduleDistance = 4;
+  LoopPlan P = F.plan(Opts);
+  ASSERT_EQ(P.Anchors.size(), 1u);
+  EXPECT_EQ(P.Anchors[0].AnchorDisp, 16 + 8 * 4);
+}
+
+TEST(PlannerTest, AddressDecomposition) {
+  PlannerFixture F;
+  Value *Base;
+  Value *Index;
+  unsigned Scale;
+  int64_t Disp;
+
+  // getfield tmp.facts: base = tmp, disp = field offset.
+  ASSERT_TRUE(decomposeAddress(F.W.L9, Base, Index, Scale, Disp));
+  EXPECT_EQ(Base, F.W.L4);
+  EXPECT_EQ(Index, nullptr);
+  EXPECT_EQ(Disp, 16);
+
+  // aaload v[i]: base = v, index = i, scale 8, disp = header.
+  ASSERT_TRUE(decomposeAddress(F.W.L4, Base, Index, Scale, Disp));
+  EXPECT_EQ(Base, F.W.L2);
+  EXPECT_NE(Index, nullptr);
+  EXPECT_EQ(Scale, 8u);
+  EXPECT_EQ(Disp, 16);
+
+  // arraylength v: base = v, disp = length offset.
+  ASSERT_TRUE(decomposeAddress(F.W.L3, Base, Index, Scale, Disp));
+  EXPECT_EQ(Disp, static_cast<int64_t>(vm::ArrayLengthOffset));
+}
+
+TEST(PlannerTest, DereferenceOffsets) {
+  PlannerFixture F;
+  EXPECT_EQ(dereferenceOffset(F.W.L9), 16);  // getfield facts.
+  EXPECT_EQ(dereferenceOffset(F.W.L10), 8);  // arraylength.
+  EXPECT_EQ(dereferenceOffset(F.W.L11), 16); // aaload: element 0 approx.
+}
+
+// -- Profitability condition 1: loads without dependents ------------------
+
+TEST(PlannerTest, LoadsWithoutUsersAreNotPrefetched) {
+  // A strided load with no consumers fails profitability condition 1.
+  vm::TypeTable Types;
+  auto *Cls = Types.addClass("Pt");
+  const vm::FieldDesc *FX = Types.addField(Cls, "x", ir::Type::F64);
+  for (int I = 0; I < 9; ++I)
+    Types.addField(Cls, "p" + std::to_string(I), ir::Type::F64);
+
+  vm::HeapConfig HC;
+  HC.HeapBytes = 4 << 20;
+  vm::Heap Heap(Types, HC);
+  const unsigned N = 256;
+  vm::Addr Arr = Heap.allocArray(ir::Type::Ref, N);
+  for (unsigned I = 0; I != N; ++I) {
+    vm::Addr P = Heap.allocObject(*Cls);
+    Heap.store(Heap.elemAddr(Arr, I), ir::Type::Ref, P);
+  }
+
+  ir::Module M;
+  ir::IRBuilder B(M);
+  Method *Fn = M.addMethod("f", Type::I32, {Type::Ref, Type::I32});
+  B.setInsertPoint(Fn->addBlock("entry"));
+  workloads::LoopNest L(B, "i");
+  PhiInst *I = L.civ(B.i32(0));
+  L.beginBody(B.cmpLt(I, Fn->arg(1)));
+  Value *P = B.aload(Fn->arg(0), I, Type::Ref);
+  B.getField(P, FX); // Strided (80B pitch) but no users.
+  L.close();
+  B.ret(B.i32(0));
+  Fn->recomputePreds();
+
+  analysis::DominatorTree DT(Fn);
+  analysis::LoopInfo LI(Fn, DT);
+  analysis::DefUse DU(Fn);
+  LoadDependenceGraph G(LI.topLevelLoops()[0], LI);
+  ObjectInspector Insp(Heap, LI);
+  InspectionResult R = Insp.inspect(Fn, {Arr, N}, LI.topLevelLoops()[0], G);
+  annotateStrides(G, R, StrideOptions());
+
+  PlannerOptions Opts;
+  Opts.LineBytes = 64;
+  LoopPlan Plan = planPrefetches(G, DU, Opts);
+  for (const AnchorPlan &A : Plan.Anchors)
+    EXPECT_NE(cast<GetFieldInst>(A.Anchor)->field(), FX);
+  EXPECT_TRUE(Plan.Anchors.empty());
+}
+
+} // namespace
+
+// -- Weak-stride exploitation (Wu taxonomy extension) ----------------------
+
+TEST(PlannerTest, WeakStridesExploitedOnlyWhenEnabled) {
+  // Build a graph whose anchor has a weak single stride (60% dominant) by
+  // synthesizing the trace directly.
+  PlannerFixture F;
+  InspectionResult R;
+  R.ReachedTarget = true;
+  vm::Addr A = 0x100000000ull;
+  for (unsigned I = 0; I != 21; ++I) {
+    R.Trace[F.W.L4].push_back({I, A});
+    // 60% of deltas are +80; the rest are distinct jumps.
+    A += (I % 5 < 3) ? 80 : 4096 + I * 64;
+  }
+  LoadDependenceGraph G(F.LI.topLevelLoops()[0], F.LI);
+  annotateStrides(G, R, StrideOptions());
+
+  const LdgNode &N4 = G.nodes()[*G.nodeFor(F.W.L4)];
+  EXPECT_FALSE(N4.InterStride.has_value());
+  EXPECT_EQ(N4.InterKind, StridePatternKind::WeakSingle);
+  EXPECT_EQ(N4.ExtendedStride, 80);
+
+  analysis::DefUse DU(F.W.Find);
+  PlannerOptions Opts;
+  Opts.LineBytes = 64;
+  LoopPlan Off = planPrefetches(G, DU, Opts);
+  EXPECT_TRUE(Off.Anchors.empty()); // Paper default: strong-only.
+
+  Opts.ExploitWeakStrides = true;
+  LoopPlan On = planPrefetches(G, DU, Opts);
+  ASSERT_EQ(On.Anchors.size(), 1u);
+  EXPECT_TRUE(On.Anchors[0].EmitPlain);
+  EXPECT_EQ(On.Anchors[0].InterStride, 80);
+}

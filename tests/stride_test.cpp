@@ -1,0 +1,297 @@
+//===- tests/stride_test.cpp - Stride pattern detection -------------------===//
+
+#include "TestKernels.h"
+#include "core/ObjectInspector.h"
+#include "core/StrideAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::core;
+using namespace spf::testkernels;
+
+namespace {
+
+TEST(DominantStrideTest, UnanimousSamplesGiveTheStride) {
+  StrideOptions Opts;
+  std::vector<int64_t> S(19, 208);
+  auto D = dominantStride(S, Opts);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 208);
+}
+
+TEST(DominantStrideTest, TooFewSamplesRejected) {
+  StrideOptions Opts; // MinSamples = 4.
+  std::vector<int64_t> S = {8, 8, 8};
+  EXPECT_FALSE(dominantStride(S, Opts).has_value());
+  S.push_back(8);
+  EXPECT_TRUE(dominantStride(S, Opts).has_value());
+}
+
+TEST(DominantStrideTest, NegativeStridesWork) {
+  StrideOptions Opts;
+  std::vector<int64_t> S(10, -264);
+  auto D = dominantStride(S, Opts);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, -264);
+}
+
+/// Majority-threshold sweep: with 20 samples, the dominant value must
+/// reach the configured fraction.
+struct ThresholdCase {
+  unsigned Matching; // Out of 20.
+  double Threshold;
+  bool Expect;
+};
+
+class ThresholdSweep : public ::testing::TestWithParam<ThresholdCase> {};
+
+TEST_P(ThresholdSweep, MajorityRuleHolds) {
+  ThresholdCase C = GetParam();
+  StrideOptions Opts;
+  Opts.MajorityThreshold = C.Threshold;
+  std::vector<int64_t> S;
+  for (unsigned I = 0; I != C.Matching; ++I)
+    S.push_back(64);
+  // Non-matching samples are all distinct so they never form a majority.
+  for (unsigned I = C.Matching; I != 20; ++I)
+    S.push_back(1000 + I);
+  unsigned N = 0;
+  auto D = dominantStride(S, Opts, &N);
+  EXPECT_EQ(N, 20u);
+  EXPECT_EQ(D.has_value(), C.Expect);
+  if (D) {
+    EXPECT_EQ(*D, 64);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fractions, ThresholdSweep,
+    ::testing::Values(ThresholdCase{20, 0.75, true},   // 100%
+                      ThresholdCase{15, 0.75, true},   // Exactly 75%.
+                      ThresholdCase{14, 0.75, false},  // 70%.
+                      ThresholdCase{19, 0.75, true},   // 95%: one outlier.
+                      ThresholdCase{10, 0.50, true},   // Lower threshold.
+                      ThresholdCase{10, 0.75, false},
+                      ThresholdCase{20, 1.00, true},
+                      ThresholdCase{19, 1.00, false}));
+
+struct JessStrides {
+  JessWorld W;
+  analysis::DominatorTree DT;
+  analysis::LoopInfo LI;
+
+  JessStrides(bool Scramble)
+      : W(64, Scramble), DT((W.Find->recomputePreds(), W.Find)),
+        LI(W.Find, DT) {}
+
+  LoadDependenceGraph annotated() {
+    analysis::Loop *Outer = LI.topLevelLoops()[0];
+    LoadDependenceGraph G(Outer, LI);
+    ObjectInspector Insp(*W.Heap, LI);
+    InspectionResult R = Insp.inspect(W.Find, W.findArgs(), Outer, G);
+    annotateStrides(G, R, StrideOptions());
+    return G;
+  }
+};
+
+TEST(StrideAnnotationTest, ScrambledJessMatchesThePaper) {
+  // Paper, Section 2: "the resulting stride profiles show that only L4
+  // has a stride pattern" among the token-chasing loads, while (L9, L10)
+  // has an intra-iteration pattern.
+  JessStrides F(/*Scramble=*/true);
+  LoadDependenceGraph G = F.annotated();
+
+  auto Node = [&](ir::Instruction *I) -> const LdgNode & {
+    return G.nodes()[*G.nodeFor(I)];
+  };
+
+  ASSERT_TRUE(Node(F.W.L4).InterStride.has_value());
+  EXPECT_EQ(*Node(F.W.L4).InterStride, 8);
+
+  // Loop invariants: no (nonzero) inter stride.
+  EXPECT_FALSE(Node(F.W.L1).InterStride.has_value());
+  EXPECT_FALSE(Node(F.W.L2).InterStride.has_value());
+  EXPECT_FALSE(Node(F.W.L5).InterStride.has_value());
+  EXPECT_FALSE(Node(F.W.L6).InterStride.has_value());
+
+  // Scrambled token fields: no inter pattern.
+  EXPECT_FALSE(Node(F.W.L9).InterStride.has_value());
+  EXPECT_FALSE(Node(F.W.L10).InterStride.has_value());
+  EXPECT_FALSE(Node(F.W.L11).InterStride.has_value());
+
+  // (L9, L10): constant intra-iteration stride — facts array adjacent to
+  // its token: (tok+32+8) - (tok+16) = 24.
+  LdgEdge *E = G.edgeBetween(*G.nodeFor(F.W.L9), *G.nodeFor(F.W.L10));
+  ASSERT_NE(E, nullptr);
+  ASSERT_TRUE(E->IntraStride.has_value());
+  EXPECT_EQ(*E->IntraStride, 24);
+
+  // (L9, L11): first element of facts: (tok+32+16) - (tok+16) = 32.
+  LdgEdge *E2 = G.edgeBetween(*G.nodeFor(F.W.L9), *G.nodeFor(F.W.L11));
+  ASSERT_NE(E2, nullptr);
+  ASSERT_TRUE(E2->IntraStride.has_value());
+  EXPECT_EQ(*E2->IntraStride, 32);
+}
+
+TEST(StrideAnnotationTest, UnscrambledTokensShowInterPatterns) {
+  // Without the scramble, token objects sit at a constant 208-byte pitch
+  // and even L9 shows an inter-iteration stride.
+  JessStrides F(/*Scramble=*/false);
+  LoadDependenceGraph G = F.annotated();
+  const LdgNode &N9 = G.nodes()[*G.nodeFor(F.W.L9)];
+  ASSERT_TRUE(N9.InterStride.has_value());
+  EXPECT_EQ(*N9.InterStride, F.W.tokenPitch());
+}
+
+TEST(StrideAnnotationTest, IntraJoinSkipsIterationsWithMissingAddresses) {
+  // Synthetic traces: From recorded on iterations 0..9, To only on evens;
+  // the join must use only matching iterations.
+  LoadDependenceGraph *Dummy = nullptr;
+  (void)Dummy;
+  InspectionResult R;
+  JessStrides F(true);
+  LoadDependenceGraph G(F.LI.topLevelLoops()[0], F.LI);
+
+  ir::Instruction *From = F.W.L9;
+  ir::Instruction *To = F.W.L10;
+  for (unsigned I = 0; I != 10; ++I)
+    R.Trace[From].push_back({I, 1000 + 100 * I});
+  for (unsigned I = 0; I != 10; I += 2)
+    R.Trace[To].push_back({I, 1000 + 100 * I + 24});
+  R.ReachedTarget = true;
+  R.IterationsObserved = 10;
+  // L9/L10 live in the inner loop: report it observed and small-trip.
+  analysis::Loop *Inner = F.LI.topLevelLoops()[0]->subLoops()[0];
+  R.SubLoopTrips[Inner] = TripStats{10, 10};
+
+  annotateStrides(G, R, StrideOptions());
+  LdgEdge *E = G.edgeBetween(*G.nodeFor(From), *G.nodeFor(To));
+  ASSERT_NE(E, nullptr);
+  ASSERT_TRUE(E->IntraStride.has_value());
+  EXPECT_EQ(*E->IntraStride, 24);
+  EXPECT_EQ(E->IntraSamples, 5u);
+}
+
+TEST(StrideAnnotationTest, InterStrideNeedsConsecutiveIterations) {
+  // Addresses recorded only every third iteration: no consecutive pairs,
+  // no inter stride even though the deltas are regular.
+  JessStrides F(true);
+  LoadDependenceGraph G(F.LI.topLevelLoops()[0], F.LI);
+  InspectionResult R;
+  R.ReachedTarget = true;
+  for (unsigned I = 0; I < 30; I += 3)
+    R.Trace[F.W.L4].push_back({I, 5000 + I * 8});
+  annotateStrides(G, R, StrideOptions());
+  EXPECT_FALSE(G.nodes()[*G.nodeFor(F.W.L4)].InterStride.has_value());
+}
+
+TEST(StrideAnnotationTest, LargeTripSubLoopsAreDropped) {
+  JessStrides F(true);
+  LoadDependenceGraph G(F.LI.topLevelLoops()[0], F.LI);
+  InspectionResult R;
+  R.ReachedTarget = true;
+  // Give every load a perfect trace...
+  for (ir::Instruction *L : {F.W.L4, F.W.L9})
+    for (unsigned I = 0; I != 20; ++I)
+      R.Trace[L].push_back({I, 4096 + I * 64});
+  // ...but report the inner loop as having a large trip count.
+  analysis::Loop *Inner = F.LI.topLevelLoops()[0]->subLoops()[0];
+  R.SubLoopTrips[Inner] = TripStats{4, 400}; // avg 100 >> SmallTripMax.
+
+  annotateStrides(G, R, StrideOptions());
+  // L4 lives in the outer loop: kept. L9 lives in the inner loop: dropped.
+  EXPECT_TRUE(G.nodes()[*G.nodeFor(F.W.L4)].InterStride.has_value());
+  EXPECT_FALSE(G.nodes()[*G.nodeFor(F.W.L9)].InterStride.has_value());
+}
+
+TEST(StrideAnnotationTest, ZeroStridesAreLoopInvariantAndDiscarded) {
+  JessStrides F(true);
+  LoadDependenceGraph G(F.LI.topLevelLoops()[0], F.LI);
+  InspectionResult R;
+  R.ReachedTarget = true;
+  for (unsigned I = 0; I != 20; ++I)
+    R.Trace[F.W.L1].push_back({I, 7777});
+  annotateStrides(G, R, StrideOptions());
+  EXPECT_FALSE(G.nodes()[*G.nodeFor(F.W.L1)].InterStride.has_value());
+  EXPECT_EQ(G.nodes()[*G.nodeFor(F.W.L1)].InterSamples, 19u);
+}
+
+} // namespace
+
+// -- Wu's stride-pattern taxonomy (extension) ------------------------------
+
+namespace taxonomy {
+
+using spf::core::classifyStridePattern;
+using spf::core::StridePatternKind;
+
+TEST(StrideTaxonomyTest, StrongSingle) {
+  StrideOptions Opts;
+  std::vector<int64_t> S(20, 80);
+  int64_t Stride = 0;
+  EXPECT_EQ(classifyStridePattern(S, Opts, Stride),
+            StridePatternKind::StrongSingle);
+  EXPECT_EQ(Stride, 80);
+}
+
+TEST(StrideTaxonomyTest, WeakSingle) {
+  StrideOptions Opts;
+  // 60% dominant, the rest scattered: below the 75% threshold, above 50%.
+  std::vector<int64_t> S;
+  for (int I = 0; I < 12; ++I)
+    S.push_back(64);
+  for (int I = 0; I < 8; ++I)
+    S.push_back(1000 + 13 * I); // Distinct values, irregular order.
+  // Interleave so it is not phased.
+  std::vector<int64_t> Mixed;
+  for (size_t I = 0; I < S.size(); ++I)
+    Mixed.push_back(I % 2 ? S[S.size() - 1 - I / 2] : S[I / 2]);
+  int64_t Stride = 0;
+  EXPECT_EQ(classifyStridePattern(Mixed, Opts, Stride),
+            StridePatternKind::WeakSingle);
+  EXPECT_EQ(Stride, 64);
+}
+
+TEST(StrideTaxonomyTest, PhasedMultiStride) {
+  StrideOptions Opts;
+  // Two long constant phases (a shell-sort gap change, say).
+  std::vector<int64_t> S;
+  for (int I = 0; I < 10; ++I)
+    S.push_back(512);
+  for (int I = 0; I < 10; ++I)
+    S.push_back(256);
+  int64_t Stride = 0;
+  EXPECT_EQ(classifyStridePattern(S, Opts, Stride),
+            StridePatternKind::PhasedMulti);
+  EXPECT_EQ(Stride, 512); // First-phase/dominant stride.
+}
+
+TEST(StrideTaxonomyTest, RandomIsNone) {
+  StrideOptions Opts;
+  std::vector<int64_t> S;
+  for (int I = 0; I < 20; ++I)
+    S.push_back(I * 37 + (I % 3) * 1000); // All distinct.
+  int64_t Stride = 0;
+  EXPECT_EQ(classifyStridePattern(S, Opts, Stride),
+            StridePatternKind::None);
+}
+
+TEST(StrideTaxonomyTest, ZeroStrideIsNotAPattern) {
+  StrideOptions Opts;
+  std::vector<int64_t> S(20, 0);
+  int64_t Stride = 1;
+  EXPECT_EQ(classifyStridePattern(S, Opts, Stride),
+            StridePatternKind::None);
+}
+
+TEST(StrideTaxonomyTest, KindNamesArePrintable) {
+  EXPECT_STREQ(spf::core::stridePatternKindName(
+                   StridePatternKind::StrongSingle),
+               "strong-single");
+  EXPECT_STREQ(spf::core::stridePatternKindName(
+                   StridePatternKind::PhasedMulti),
+               "phased-multi");
+}
+
+} // namespace taxonomy

@@ -1,0 +1,142 @@
+//===- tests/vm_test.cpp - Object model and heap --------------------------===//
+
+#include "vm/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace spf;
+using namespace spf::vm;
+
+namespace {
+
+class VmTest : public ::testing::Test {
+protected:
+  VmTest() {
+    Cls = Types.addClass("Token");
+    FRef = Types.addField(Cls, "facts", ir::Type::Ref);
+    FI32 = Types.addField(Cls, "size", ir::Type::I32);
+    FF64 = Types.addField(Cls, "weight", ir::Type::F64);
+
+    HeapConfig HC;
+    HC.HeapBytes = 1 << 20;
+    H = std::make_unique<Heap>(Types, HC);
+  }
+
+  TypeTable Types;
+  ClassDesc *Cls;
+  const FieldDesc *FRef;
+  const FieldDesc *FI32;
+  const FieldDesc *FF64;
+  std::unique_ptr<Heap> H;
+};
+
+TEST_F(VmTest, FieldLayoutIsSequentialAndAligned) {
+  EXPECT_EQ(FRef->Offset, 16u); // Right after the header.
+  EXPECT_EQ(FI32->Offset, 24u);
+  EXPECT_EQ(FF64->Offset, 32u); // 28 rounded up to 8.
+  EXPECT_EQ(Cls->instanceSize(), 40u);
+  EXPECT_EQ(Cls->findField("size"), FI32);
+  EXPECT_EQ(Cls->findField("nope"), nullptr);
+  EXPECT_EQ(FI32->Parent, Cls);
+}
+
+TEST_F(VmTest, ConsecutiveAllocationsHaveConstantPitch) {
+  // The property every stride pattern in the paper rests on.
+  Addr A = H->allocObject(*Cls);
+  Addr B = H->allocObject(*Cls);
+  Addr C = H->allocObject(*Cls);
+  ASSERT_NE(A, 0u);
+  EXPECT_EQ(B - A, C - B);
+  EXPECT_EQ(B - A, 40u);
+}
+
+TEST_F(VmTest, ObjectsAreZeroInitialized) {
+  Addr A = H->allocObject(*Cls);
+  EXPECT_EQ(H->load(A + FRef->Offset, ir::Type::Ref), 0u);
+  EXPECT_EQ(H->load(A + FI32->Offset, ir::Type::I32), 0u);
+}
+
+TEST_F(VmTest, TypedFieldAccessRoundTrips) {
+  Addr A = H->allocObject(*Cls);
+  H->store(A + FI32->Offset, ir::Type::I32, static_cast<uint64_t>(-7));
+  EXPECT_EQ(static_cast<int64_t>(H->load(A + FI32->Offset, ir::Type::I32)),
+            -7); // Sign-extended.
+  H->store(A + FRef->Offset, ir::Type::Ref, A);
+  EXPECT_EQ(H->load(A + FRef->Offset, ir::Type::Ref), A);
+}
+
+TEST_F(VmTest, I32StoresDoNotClobberNeighbors) {
+  Addr A = H->allocObject(*Cls);
+  H->store(A + FRef->Offset, ir::Type::Ref, 0xAABBCCDDEEFF0011ull);
+  H->store(A + FI32->Offset, ir::Type::I32, 0x12345678);
+  EXPECT_EQ(H->load(A + FRef->Offset, ir::Type::Ref), 0xAABBCCDDEEFF0011ull);
+}
+
+TEST_F(VmTest, ArrayHeaderAndElements) {
+  Addr Arr = H->allocArray(ir::Type::I32, 10);
+  ASSERT_NE(Arr, 0u);
+  EXPECT_TRUE(H->isArray(Arr));
+  EXPECT_EQ(H->arrayLength(Arr), 10u);
+  EXPECT_EQ(H->arrayElemType(Arr), ir::Type::I32);
+  EXPECT_EQ(H->elemAddr(Arr, 0), Arr + ObjectHeaderSize);
+  EXPECT_EQ(H->elemAddr(Arr, 3), Arr + ObjectHeaderSize + 12);
+  // 16 + 40 = 56 -> aligned 56.
+  EXPECT_EQ(H->objectSize(Arr), 56u);
+
+  Addr Obj = H->allocObject(*Cls);
+  EXPECT_FALSE(H->isArray(Obj));
+  EXPECT_EQ(H->objectSize(Obj), 40u);
+}
+
+TEST_F(VmTest, AllocationFailsGracefullyWhenFull) {
+  HeapConfig Small;
+  Small.HeapBytes = 256;
+  Heap Tiny(Types, Small);
+  Addr A = Tiny.allocObject(*Cls);
+  EXPECT_NE(A, 0u);
+  // Exhaust.
+  while (Tiny.allocObject(*Cls))
+    ;
+  EXPECT_EQ(Tiny.allocObject(*Cls), 0u);
+  EXPECT_EQ(Tiny.allocArray(ir::Type::I64, 1000), 0u);
+}
+
+TEST_F(VmTest, AddressClassification) {
+  Addr Obj = H->allocObject(*Cls);
+  EXPECT_TRUE(H->isHeapAddress(Obj));
+  EXPECT_TRUE(H->isValidAccess(Obj + FI32->Offset, 4));
+  EXPECT_FALSE(H->isHeapAddress(0));
+  EXPECT_FALSE(H->isValidAccess(H->heapTop(), 8)); // Beyond frontier.
+  EXPECT_FALSE(H->isValidAccess(H->heapTop() - 4, 8)); // Straddles it.
+
+  Addr S = H->allocStatic(ir::Type::Ref);
+  EXPECT_TRUE(H->isStaticAddress(S));
+  EXPECT_FALSE(H->isHeapAddress(S));
+  EXPECT_TRUE(H->isValidAccess(S, 8));
+  ASSERT_EQ(H->staticRefSlots().size(), 1u);
+  EXPECT_EQ(H->staticRefSlots()[0], S);
+
+  Addr SInt = H->allocStatic(ir::Type::I32);
+  EXPECT_EQ(H->staticRefSlots().size(), 1u); // Non-ref statics not roots.
+  (void)SInt;
+}
+
+TEST_F(VmTest, MarkBitRoundTrips) {
+  Addr Obj = H->allocObject(*Cls);
+  EXPECT_FALSE(H->marked(Obj));
+  H->setMarked(Obj, true);
+  EXPECT_TRUE(H->marked(Obj));
+  EXPECT_TRUE(H->isArray(Obj) == false); // Flags kept intact.
+  H->setMarked(Obj, false);
+  EXPECT_FALSE(H->marked(Obj));
+}
+
+TEST_F(VmTest, IsObjectStartWalksTheHeap) {
+  Addr A = H->allocObject(*Cls);
+  Addr Arr = H->allocArray(ir::Type::Ref, 3);
+  EXPECT_TRUE(H->isObjectStart(A));
+  EXPECT_TRUE(H->isObjectStart(Arr));
+  EXPECT_FALSE(H->isObjectStart(A + 8));
+}
+
+} // namespace
