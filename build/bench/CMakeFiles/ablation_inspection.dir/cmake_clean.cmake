@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inspection.dir/ablation_inspection.cpp.o"
+  "CMakeFiles/ablation_inspection.dir/ablation_inspection.cpp.o.d"
+  "ablation_inspection"
+  "ablation_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

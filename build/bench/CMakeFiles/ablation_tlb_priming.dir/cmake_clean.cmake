@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tlb_priming.dir/ablation_tlb_priming.cpp.o"
+  "CMakeFiles/ablation_tlb_priming.dir/ablation_tlb_priming.cpp.o.d"
+  "ablation_tlb_priming"
+  "ablation_tlb_priming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tlb_priming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_greedy.dir/comparison_greedy.cpp.o"
+  "CMakeFiles/comparison_greedy.dir/comparison_greedy.cpp.o.d"
+  "comparison_greedy"
+  "comparison_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

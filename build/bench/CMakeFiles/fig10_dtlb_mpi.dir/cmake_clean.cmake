@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dtlb_mpi.dir/fig10_dtlb_mpi.cpp.o"
+  "CMakeFiles/fig10_dtlb_mpi.dir/fig10_dtlb_mpi.cpp.o.d"
+  "fig10_dtlb_mpi"
+  "fig10_dtlb_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dtlb_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

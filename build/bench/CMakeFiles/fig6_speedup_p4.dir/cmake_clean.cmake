@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_speedup_p4.dir/fig6_speedup_p4.cpp.o"
+  "CMakeFiles/fig6_speedup_p4.dir/fig6_speedup_p4.cpp.o.d"
+  "fig6_speedup_p4"
+  "fig6_speedup_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_speedup_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

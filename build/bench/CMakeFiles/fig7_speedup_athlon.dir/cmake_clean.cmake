@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_speedup_athlon.dir/fig7_speedup_athlon.cpp.o"
+  "CMakeFiles/fig7_speedup_athlon.dir/fig7_speedup_athlon.cpp.o.d"
+  "fig7_speedup_athlon"
+  "fig7_speedup_athlon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_speedup_athlon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

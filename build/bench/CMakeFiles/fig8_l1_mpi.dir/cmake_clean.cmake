@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_l1_mpi.dir/fig8_l1_mpi.cpp.o"
+  "CMakeFiles/fig8_l1_mpi.dir/fig8_l1_mpi.cpp.o.d"
+  "fig8_l1_mpi"
+  "fig8_l1_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_l1_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_l2_mpi.dir/fig9_l2_mpi.cpp.o"
+  "CMakeFiles/fig9_l2_mpi.dir/fig9_l2_mpi.cpp.o.d"
+  "fig9_l2_mpi"
+  "fig9_l2_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_l2_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

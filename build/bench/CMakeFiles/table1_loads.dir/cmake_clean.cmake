@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_loads.dir/table1_loads.cpp.o"
+  "CMakeFiles/table1_loads.dir/table1_loads.cpp.o.d"
+  "table1_loads"
+  "table1_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

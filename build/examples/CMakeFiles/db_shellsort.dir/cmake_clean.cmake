@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_shellsort.dir/db_shellsort.cpp.o"
+  "CMakeFiles/db_shellsort.dir/db_shellsort.cpp.o.d"
+  "db_shellsort"
+  "db_shellsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_shellsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_strides.dir/gc_strides.cpp.o"
+  "CMakeFiles/gc_strides.dir/gc_strides.cpp.o.d"
+  "gc_strides"
+  "gc_strides.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_strides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

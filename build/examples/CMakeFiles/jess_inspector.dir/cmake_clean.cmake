@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jess_inspector.dir/jess_inspector.cpp.o"
+  "CMakeFiles/jess_inspector.dir/jess_inspector.cpp.o.d"
+  "jess_inspector"
+  "jess_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jess_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

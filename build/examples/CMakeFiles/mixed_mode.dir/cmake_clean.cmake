@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_mode.dir/mixed_mode.cpp.o"
+  "CMakeFiles/mixed_mode.dir/mixed_mode.cpp.o.d"
+  "mixed_mode"
+  "mixed_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spf_cli.dir/spf_cli.cpp.o"
+  "CMakeFiles/spf_cli.dir/spf_cli.cpp.o.d"
+  "spf_cli"
+  "spf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

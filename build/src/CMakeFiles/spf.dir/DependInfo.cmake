@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Cfg.cpp" "src/CMakeFiles/spf.dir/analysis/Cfg.cpp.o" "gcc" "src/CMakeFiles/spf.dir/analysis/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/DefUse.cpp" "src/CMakeFiles/spf.dir/analysis/DefUse.cpp.o" "gcc" "src/CMakeFiles/spf.dir/analysis/DefUse.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/spf.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/spf.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/spf.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/spf.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/core/GreedyPrefetch.cpp" "src/CMakeFiles/spf.dir/core/GreedyPrefetch.cpp.o" "gcc" "src/CMakeFiles/spf.dir/core/GreedyPrefetch.cpp.o.d"
+  "/root/repo/src/core/LoadDependenceGraph.cpp" "src/CMakeFiles/spf.dir/core/LoadDependenceGraph.cpp.o" "gcc" "src/CMakeFiles/spf.dir/core/LoadDependenceGraph.cpp.o.d"
+  "/root/repo/src/core/ObjectInspector.cpp" "src/CMakeFiles/spf.dir/core/ObjectInspector.cpp.o" "gcc" "src/CMakeFiles/spf.dir/core/ObjectInspector.cpp.o.d"
+  "/root/repo/src/core/PrefetchCodeGen.cpp" "src/CMakeFiles/spf.dir/core/PrefetchCodeGen.cpp.o" "gcc" "src/CMakeFiles/spf.dir/core/PrefetchCodeGen.cpp.o.d"
+  "/root/repo/src/core/PrefetchPass.cpp" "src/CMakeFiles/spf.dir/core/PrefetchPass.cpp.o" "gcc" "src/CMakeFiles/spf.dir/core/PrefetchPass.cpp.o.d"
+  "/root/repo/src/core/PrefetchPlanner.cpp" "src/CMakeFiles/spf.dir/core/PrefetchPlanner.cpp.o" "gcc" "src/CMakeFiles/spf.dir/core/PrefetchPlanner.cpp.o.d"
+  "/root/repo/src/core/StrideAnalysis.cpp" "src/CMakeFiles/spf.dir/core/StrideAnalysis.cpp.o" "gcc" "src/CMakeFiles/spf.dir/core/StrideAnalysis.cpp.o.d"
+  "/root/repo/src/exec/Interpreter.cpp" "src/CMakeFiles/spf.dir/exec/Interpreter.cpp.o" "gcc" "src/CMakeFiles/spf.dir/exec/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/spf.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/spf.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/CMakeFiles/spf.dir/ir/IRBuilder.cpp.o" "gcc" "src/CMakeFiles/spf.dir/ir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "src/CMakeFiles/spf.dir/ir/IRParser.cpp.o" "gcc" "src/CMakeFiles/spf.dir/ir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/CMakeFiles/spf.dir/ir/IRPrinter.cpp.o" "gcc" "src/CMakeFiles/spf.dir/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/spf.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/spf.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Method.cpp" "src/CMakeFiles/spf.dir/ir/Method.cpp.o" "gcc" "src/CMakeFiles/spf.dir/ir/Method.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/spf.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/spf.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/spf.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/spf.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/jit/CompileManager.cpp" "src/CMakeFiles/spf.dir/jit/CompileManager.cpp.o" "gcc" "src/CMakeFiles/spf.dir/jit/CompileManager.cpp.o.d"
+  "/root/repo/src/opt/ConstantFolding.cpp" "src/CMakeFiles/spf.dir/opt/ConstantFolding.cpp.o" "gcc" "src/CMakeFiles/spf.dir/opt/ConstantFolding.cpp.o.d"
+  "/root/repo/src/opt/DeadCodeElim.cpp" "src/CMakeFiles/spf.dir/opt/DeadCodeElim.cpp.o" "gcc" "src/CMakeFiles/spf.dir/opt/DeadCodeElim.cpp.o.d"
+  "/root/repo/src/opt/LinearScan.cpp" "src/CMakeFiles/spf.dir/opt/LinearScan.cpp.o" "gcc" "src/CMakeFiles/spf.dir/opt/LinearScan.cpp.o.d"
+  "/root/repo/src/opt/Liveness.cpp" "src/CMakeFiles/spf.dir/opt/Liveness.cpp.o" "gcc" "src/CMakeFiles/spf.dir/opt/Liveness.cpp.o.d"
+  "/root/repo/src/opt/LocalCSE.cpp" "src/CMakeFiles/spf.dir/opt/LocalCSE.cpp.o" "gcc" "src/CMakeFiles/spf.dir/opt/LocalCSE.cpp.o.d"
+  "/root/repo/src/opt/LoopInvariantCodeMotion.cpp" "src/CMakeFiles/spf.dir/opt/LoopInvariantCodeMotion.cpp.o" "gcc" "src/CMakeFiles/spf.dir/opt/LoopInvariantCodeMotion.cpp.o.d"
+  "/root/repo/src/sim/Cache.cpp" "src/CMakeFiles/spf.dir/sim/Cache.cpp.o" "gcc" "src/CMakeFiles/spf.dir/sim/Cache.cpp.o.d"
+  "/root/repo/src/sim/HardwarePrefetcher.cpp" "src/CMakeFiles/spf.dir/sim/HardwarePrefetcher.cpp.o" "gcc" "src/CMakeFiles/spf.dir/sim/HardwarePrefetcher.cpp.o.d"
+  "/root/repo/src/sim/MachineConfig.cpp" "src/CMakeFiles/spf.dir/sim/MachineConfig.cpp.o" "gcc" "src/CMakeFiles/spf.dir/sim/MachineConfig.cpp.o.d"
+  "/root/repo/src/sim/MemorySystem.cpp" "src/CMakeFiles/spf.dir/sim/MemorySystem.cpp.o" "gcc" "src/CMakeFiles/spf.dir/sim/MemorySystem.cpp.o.d"
+  "/root/repo/src/sim/Tlb.cpp" "src/CMakeFiles/spf.dir/sim/Tlb.cpp.o" "gcc" "src/CMakeFiles/spf.dir/sim/Tlb.cpp.o.d"
+  "/root/repo/src/support/ErrorHandling.cpp" "src/CMakeFiles/spf.dir/support/ErrorHandling.cpp.o" "gcc" "src/CMakeFiles/spf.dir/support/ErrorHandling.cpp.o.d"
+  "/root/repo/src/vm/GarbageCollector.cpp" "src/CMakeFiles/spf.dir/vm/GarbageCollector.cpp.o" "gcc" "src/CMakeFiles/spf.dir/vm/GarbageCollector.cpp.o.d"
+  "/root/repo/src/vm/Heap.cpp" "src/CMakeFiles/spf.dir/vm/Heap.cpp.o" "gcc" "src/CMakeFiles/spf.dir/vm/Heap.cpp.o.d"
+  "/root/repo/src/vm/TypeTable.cpp" "src/CMakeFiles/spf.dir/vm/TypeTable.cpp.o" "gcc" "src/CMakeFiles/spf.dir/vm/TypeTable.cpp.o.d"
+  "/root/repo/src/workloads/Compress.cpp" "src/CMakeFiles/spf.dir/workloads/Compress.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Compress.cpp.o.d"
+  "/root/repo/src/workloads/Db.cpp" "src/CMakeFiles/spf.dir/workloads/Db.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Db.cpp.o.d"
+  "/root/repo/src/workloads/Euler.cpp" "src/CMakeFiles/spf.dir/workloads/Euler.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Euler.cpp.o.d"
+  "/root/repo/src/workloads/Jack.cpp" "src/CMakeFiles/spf.dir/workloads/Jack.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Jack.cpp.o.d"
+  "/root/repo/src/workloads/Javac.cpp" "src/CMakeFiles/spf.dir/workloads/Javac.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Javac.cpp.o.d"
+  "/root/repo/src/workloads/Jess.cpp" "src/CMakeFiles/spf.dir/workloads/Jess.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Jess.cpp.o.d"
+  "/root/repo/src/workloads/MolDyn.cpp" "src/CMakeFiles/spf.dir/workloads/MolDyn.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/MolDyn.cpp.o.d"
+  "/root/repo/src/workloads/MonteCarlo.cpp" "src/CMakeFiles/spf.dir/workloads/MonteCarlo.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/MonteCarlo.cpp.o.d"
+  "/root/repo/src/workloads/MpegAudio.cpp" "src/CMakeFiles/spf.dir/workloads/MpegAudio.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/MpegAudio.cpp.o.d"
+  "/root/repo/src/workloads/Mtrt.cpp" "src/CMakeFiles/spf.dir/workloads/Mtrt.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Mtrt.cpp.o.d"
+  "/root/repo/src/workloads/ProgramPopulation.cpp" "src/CMakeFiles/spf.dir/workloads/ProgramPopulation.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/ProgramPopulation.cpp.o.d"
+  "/root/repo/src/workloads/RayTracer.cpp" "src/CMakeFiles/spf.dir/workloads/RayTracer.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/RayTracer.cpp.o.d"
+  "/root/repo/src/workloads/Runner.cpp" "src/CMakeFiles/spf.dir/workloads/Runner.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Runner.cpp.o.d"
+  "/root/repo/src/workloads/Search.cpp" "src/CMakeFiles/spf.dir/workloads/Search.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Search.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/CMakeFiles/spf.dir/workloads/Workload.cpp.o" "gcc" "src/CMakeFiles/spf.dir/workloads/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldg_test.dir/ldg_test.cpp.o"
+  "CMakeFiles/ldg_test.dir/ldg_test.cpp.o.d"
+  "ldg_test"
+  "ldg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

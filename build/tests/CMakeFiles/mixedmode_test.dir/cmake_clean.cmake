@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixedmode_test.dir/mixedmode_test.cpp.o"
+  "CMakeFiles/mixedmode_test.dir/mixedmode_test.cpp.o.d"
+  "mixedmode_test"
+  "mixedmode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixedmode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

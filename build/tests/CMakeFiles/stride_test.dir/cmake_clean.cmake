@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stride_test.dir/stride_test.cpp.o"
+  "CMakeFiles/stride_test.dir/stride_test.cpp.o.d"
+  "stride_test"
+  "stride_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stride_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
