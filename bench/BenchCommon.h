@@ -1,19 +1,24 @@
 //===- bench/BenchCommon.h - Shared harness for the figures -----*- C++ -*-===//
 ///
 /// \file
-/// Helpers shared by the per-figure binaries: run the 12 Table 3
-/// workloads under the three Section 4 configurations on a machine model
-/// and print paper-style rows.
+/// Helpers shared by the per-figure binaries: expand the 12 Table 3
+/// workloads under the Section 4 configurations into an experiment plan,
+/// run it on the parallel driver (src/harness), and print paper-style
+/// rows.
 ///
 /// The problem scale can be reduced for quick runs with SPF_SCALE (e.g.
 /// SPF_SCALE=0.1 ./fig6_speedup_p4); the recorded EXPERIMENTS.md numbers
-/// use the default 1.0.
+/// use the default 1.0. Worker count comes from --jobs N (or SPF_JOBS;
+/// default: hardware concurrency). Any workload self-check failure or
+/// baseline-vs-prefetch result mismatch makes the binary exit nonzero.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPF_BENCH_BENCHCOMMON_H
 #define SPF_BENCH_BENCHCOMMON_H
 
+#include "harness/Experiment.h"
+#include "harness/ThreadPool.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
@@ -37,6 +42,46 @@ inline workloads::WorkloadConfig benchConfig() {
   return Cfg;
 }
 
+/// Number of correctness failures recorded so far in this binary.
+inline unsigned &failureCount() {
+  static unsigned Count = 0;
+  return Count;
+}
+
+/// Records one correctness failure; the binary will exit nonzero.
+inline void reportFailure(const std::string &Msg) {
+  ++failureCount();
+  std::fprintf(stderr, "FAILURE: %s\n", Msg.c_str());
+}
+
+/// The exit code every bench main() must return: nonzero iff any
+/// workload self-check failed or prefetching changed a result.
+inline int exitCode() { return failureCount() ? 1 : 0; }
+
+/// Folds a finished plan's verdicts into this binary's failure count.
+/// Returns true when the plan was fully clean.
+inline bool reportPlanFailures(const harness::ExperimentResult &Result) {
+  for (const std::string &F : Result.Failures)
+    reportFailure(F);
+  return Result.ok();
+}
+
+/// Worker count: --jobs N / --jobs=N on the command line, else SPF_JOBS,
+/// else hardware concurrency.
+inline unsigned jobsFromArgs(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    long V = -1;
+    if (A == "--jobs" && I + 1 < argc)
+      V = std::atol(argv[I + 1]);
+    else if (A.rfind("--jobs=", 0) == 0)
+      V = std::atol(A.c_str() + 7);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  return harness::defaultJobs();
+}
+
 /// Results for one workload under the three configurations.
 struct WorkloadRuns {
   const workloads::WorkloadSpec *Spec = nullptr;
@@ -46,41 +91,59 @@ struct WorkloadRuns {
   bool HasInter = false;
 };
 
-/// Runs every Table 3 workload on \p Machine. When \p WithInter is false
-/// only BASELINE and INTER+INTRA are run (enough for the MPI figures).
-inline std::vector<WorkloadRuns> runAll(const sim::MachineConfig &Machine,
-                                        bool WithInter) {
+/// Appends the full Table 3 sweep on \p Machine to \p Plan. When
+/// \p WithInter is false only BASELINE and INTER+INTRA are planned
+/// (enough for the MPI figures).
+inline std::vector<unsigned> planAll(harness::ExperimentPlan &Plan,
+                                     const sim::MachineConfig &Machine,
+                                     bool WithInter,
+                                     const std::string &Group = "") {
+  using namespace workloads;
+  std::vector<const WorkloadSpec *> Specs;
+  for (const WorkloadSpec &Spec : allWorkloads())
+    Specs.push_back(&Spec);
+  std::vector<Algorithm> Algos{Algorithm::Baseline};
+  if (WithInter)
+    Algos.push_back(Algorithm::Inter);
+  Algos.push_back(Algorithm::InterIntra);
+  return Plan.addSweep(Specs, Algos, {Machine}, benchConfig(), Group);
+}
+
+/// Folds the cells planned by planAll back into per-workload rows.
+/// \p First is the index of the sweep's first cell in \p Result.
+inline std::vector<WorkloadRuns>
+collectAll(const harness::ExperimentResult &Result, bool WithInter,
+           unsigned First = 0) {
   using namespace workloads;
   std::vector<WorkloadRuns> Rows;
+  unsigned PerWorkload = WithInter ? 3 : 2;
+  unsigned I = First;
   for (const WorkloadSpec &Spec : allWorkloads()) {
     WorkloadRuns Row;
     Row.Spec = &Spec;
-
-    RunOptions Opt;
-    Opt.Machine = Machine;
-    Opt.Config = benchConfig();
-
-    Opt.Algo = Algorithm::Baseline;
-    Row.Base = runWorkload(Spec, Opt);
+    Row.Base = Result.run(I);
     if (WithInter) {
-      Opt.Algo = Algorithm::Inter;
-      Row.Inter = runWorkload(Spec, Opt);
+      Row.Inter = Result.run(I + 1);
       Row.HasInter = true;
     }
-    Opt.Algo = Algorithm::InterIntra;
-    Row.Intra = runWorkload(Spec, Opt);
-
-    if (!Row.Base.SelfCheckOk || !Row.Intra.SelfCheckOk)
-      std::fprintf(stderr, "WARNING: %s failed its self-check\n",
-                   Spec.Name.c_str());
-    if (Row.Intra.ReturnValue != Row.Base.ReturnValue)
-      std::fprintf(stderr,
-                   "WARNING: %s computed a different result with "
-                   "prefetching enabled\n",
-                   Spec.Name.c_str());
+    Row.Intra = Result.run(I + PerWorkload - 1);
     Rows.push_back(std::move(Row));
+    I += PerWorkload;
   }
   return Rows;
+}
+
+/// Runs every Table 3 workload on \p Machine with \p Jobs workers
+/// (0 = SPF_JOBS / hardware default). Self-check failures and
+/// baseline-vs-prefetch mismatches are recorded via reportFailure(), so
+/// callers finish with `return bench::exitCode();`.
+inline std::vector<WorkloadRuns> runAll(const sim::MachineConfig &Machine,
+                                        bool WithInter, unsigned Jobs = 0) {
+  harness::ExperimentPlan Plan;
+  planAll(Plan, Machine, WithInter);
+  harness::ExperimentResult Result = harness::runPlan(Plan, Jobs);
+  reportPlanFailures(Result);
+  return collectAll(Result, WithInter);
 }
 
 inline double speedup(const WorkloadRuns &Row,

@@ -19,35 +19,74 @@ using namespace spf;
 using namespace spf::bench;
 using namespace spf::workloads;
 
-static RunResult runJess(std::function<void(core::PrefetchPassOptions &)> T) {
-  const WorkloadSpec *Spec = findWorkload("jess");
-  RunOptions Opt;
-  Opt.Config = benchConfig();
-  Opt.Config.Scale = std::min(Opt.Config.Scale, 0.3); // Analysis-bound.
-  Opt.Algo = Algorithm::InterIntra;
-  Opt.TunePass = std::move(T);
-  return runWorkload(*Spec, Opt);
+/// A jess cell with the ablation's pass tuning applied; the jess kernel
+/// is analysis-bound, so its scale is capped.
+static harness::ExperimentCell
+jessCell(std::function<void(core::PrefetchPassOptions &)> T) {
+  harness::ExperimentCell Cell;
+  Cell.Group = "ablation:inspection";
+  Cell.Spec = findWorkload("jess");
+  Cell.Opt.Config = benchConfig();
+  Cell.Opt.Config.Scale = std::min(Cell.Opt.Config.Scale, 0.3);
+  Cell.Opt.Algo = Algorithm::InterIntra;
+  Cell.Opt.TunePass = std::move(T);
+  return Cell;
 }
 
-int main() {
+int main(int argc, char **argv) {
+  // All four sections share one plan and one worker pool.
+  harness::ExperimentPlan Plan;
+
+  const unsigned Iterations[] = {5u, 10u, 20u, 40u};
+  for (unsigned N : Iterations)
+    Plan.add(jessCell([N](core::PrefetchPassOptions &P) {
+      P.Inspector.MaxIterations = N;
+      P.Stride.MinSamples = std::min(4u, N - 1);
+    }));
+
+  const double Thresholds[] = {0.5, 0.75, 0.9, 1.0};
+  for (double T : Thresholds)
+    Plan.add(jessCell([T](core::PrefetchPassOptions &P) {
+      P.Stride.MajorityThreshold = T;
+    }));
+
+  const unsigned FollowRepeats = 3; // Best-of-3 wall time.
+  for (bool Follow : {false, true})
+    for (unsigned I = 0; I != FollowRepeats; ++I)
+      Plan.add(jessCell([Follow](core::PrefetchPassOptions &P) {
+        P.Inspector.FollowCalls = Follow;
+      }));
+
+  for (bool Weak : {false, true}) {
+    harness::ExperimentCell Cell;
+    Cell.Group = "ablation:inspection";
+    Cell.Spec = findWorkload("db");
+    Cell.Opt.Config = benchConfig();
+    Cell.Opt.Algo = Algorithm::InterIntra;
+    Cell.Opt.TunePass = [Weak](core::PrefetchPassOptions &P) {
+      P.Planner.ExploitWeakStrides = Weak;
+    };
+    Plan.add(std::move(Cell));
+  }
+
+  harness::ExperimentResult Result =
+      harness::runPlan(Plan, jobsFromArgs(argc, argv));
+  reportPlanFailures(Result);
+  unsigned I = 0;
+
   std::printf("Ablation A: inspection iterations (jess)\n");
   std::printf("%4s %10s %10s %12s\n", "N", "speclds", "prefetch",
               "pass us");
-  for (unsigned N : {5u, 10u, 20u, 40u}) {
-    RunResult R = runJess([N](core::PrefetchPassOptions &P) {
-      P.Inspector.MaxIterations = N;
-      P.Stride.MinSamples = std::min(4u, N - 1);
-    });
+  for (unsigned N : Iterations) {
+    const RunResult &R = Result.run(I++);
     std::printf("%4u %10u %10u %12.1f\n", N, R.Prefetch.CodeGen.SpecLoads,
                 R.Prefetch.CodeGen.Prefetches, R.JitPrefetchUs);
   }
 
   std::printf("\nAblation B: majority threshold (jess)\n");
   std::printf("%6s %10s %10s\n", "thresh", "speclds", "prefetch");
-  for (double T : {0.5, 0.75, 0.9, 1.0}) {
-    RunResult R = runJess([T](core::PrefetchPassOptions &P) {
-      P.Stride.MajorityThreshold = T;
-    });
+  for (double T : Thresholds) {
+    const RunResult &R = Result.run(I++);
     std::printf("%6.2f %10u %10u\n", T, R.Prefetch.CodeGen.SpecLoads,
                 R.Prefetch.CodeGen.Prefetches);
   }
@@ -56,16 +95,13 @@ int main() {
   std::printf("%-14s %10s %10s %12s\n", "calls", "speclds", "prefetch",
               "pass us");
   for (bool Follow : {false, true}) {
-    // Best-of-3 wall time.
     double Best = 1e18;
     RunResult Last;
-    for (int I = 0; I != 3; ++I) {
-      RunResult R = runJess([Follow](core::PrefetchPassOptions &P) {
-        P.Inspector.FollowCalls = Follow;
-      });
-      if (R.JitPrefetchUs < Best) {
-        Best = R.JitPrefetchUs;
-        Last = R;
+    for (unsigned R = 0; R != FollowRepeats; ++R) {
+      const RunResult &Res = Result.run(I++);
+      if (Res.JitPrefetchUs < Best) {
+        Best = Res.JitPrefetchUs;
+        Last = Res;
       }
     }
     std::printf("%-14s %10u %10u %12.1f\n",
@@ -76,19 +112,12 @@ int main() {
 
   std::printf("\nAblation D: weak/phased stride exploitation (db, P4)\n");
   std::printf("%-18s %10s %12s\n", "strides", "prefetch", "cycles");
-  const WorkloadSpec *Db = findWorkload("db");
   for (bool Weak : {false, true}) {
-    RunOptions Opt;
-    Opt.Config = benchConfig();
-    Opt.Algo = Algorithm::InterIntra;
-    Opt.TunePass = [Weak](core::PrefetchPassOptions &P) {
-      P.Planner.ExploitWeakStrides = Weak;
-    };
-    RunResult R = runWorkload(*Db, Opt);
+    const RunResult &R = Result.run(I++);
     std::printf("%-18s %10u %12llu\n",
                 Weak ? "strong+weak+phased" : "strong only (paper)",
                 R.Prefetch.CodeGen.Prefetches,
                 static_cast<unsigned long long>(R.CompiledCycles));
   }
-  return 0;
+  return exitCode();
 }

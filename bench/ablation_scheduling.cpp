@@ -17,32 +17,52 @@ using namespace spf;
 using namespace spf::bench;
 using namespace spf::workloads;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("Ablation: scheduling distance c (Pentium 4, scale=%.2f)\n",
               scaleFromEnv());
   std::printf("%-10s %4s %12s %12s %10s\n", "benchmark", "c", "cycles",
               "L2 misses", "speedup");
 
+  const unsigned Distances[] = {1u, 2u, 4u, 8u};
+  harness::ExperimentPlan Plan;
   for (const char *Name : {"Euler", "db"}) {
     const WorkloadSpec *Spec = findWorkload(Name);
-    RunOptions Base;
-    Base.Config = benchConfig();
-    Base.Algo = Algorithm::Baseline;
-    RunResult RBase = runWorkload(*Spec, Base);
 
-    for (unsigned C : {1u, 2u, 4u, 8u}) {
-      RunOptions Opt;
-      Opt.Config = benchConfig();
-      Opt.Algo = Algorithm::InterIntra;
-      Opt.TunePass = [C](core::PrefetchPassOptions &P) {
+    harness::ExperimentCell Base;
+    Base.Group = "ablation:scheduling";
+    Base.Spec = Spec;
+    Base.Opt.Config = benchConfig();
+    Base.Opt.Algo = Algorithm::Baseline;
+    unsigned BaseIdx = Plan.add(std::move(Base));
+
+    for (unsigned C : Distances) {
+      harness::ExperimentCell Cell;
+      Cell.Group = "ablation:scheduling";
+      Cell.Spec = Spec;
+      Cell.Opt.Config = benchConfig();
+      Cell.Opt.Algo = Algorithm::InterIntra;
+      Cell.Opt.TunePass = [C](core::PrefetchPassOptions &P) {
         P.Planner.ScheduleDistance = C;
       };
-      RunResult R = runWorkload(*Spec, Opt);
+      Cell.CheckAgainst = BaseIdx;
+      Plan.add(std::move(Cell));
+    }
+  }
+  harness::ExperimentResult Result =
+      harness::runPlan(Plan, jobsFromArgs(argc, argv));
+  reportPlanFailures(Result);
+
+  unsigned I = 0;
+  for (const char *Name : {"Euler", "db"}) {
+    const WorkloadSpec *Spec = findWorkload(Name);
+    const RunResult &RBase = Result.run(I++);
+    for (unsigned C : Distances) {
+      const RunResult &R = Result.run(I++);
       std::printf("%-10s %4u %12llu %12llu %+9.1f%%\n", Name, C,
                   static_cast<unsigned long long>(R.CompiledCycles),
                   static_cast<unsigned long long>(R.Mem.L2LoadMisses),
                   speedupPercent(RBase, R, Spec->CompiledFraction));
     }
   }
-  return 0;
+  return exitCode();
 }

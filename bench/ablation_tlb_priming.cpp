@@ -15,30 +15,46 @@ using namespace spf;
 using namespace spf::bench;
 using namespace spf::workloads;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("Ablation: TLB priming on the Pentium 4, db (scale=%.2f)\n",
               scaleFromEnv());
   std::printf("%-22s %12s %12s %12s %10s\n", "intra realization", "cycles",
               "DTLB misses", "cancelled", "speedup");
 
   const WorkloadSpec *Spec = findWorkload("db");
-  RunOptions Base;
-  Base.Config = benchConfig();
-  Base.Algo = Algorithm::Baseline;
-  RunResult RBase = runWorkload(*Spec, Base);
+  harness::ExperimentPlan Plan;
+
+  harness::ExperimentCell Base;
+  Base.Group = "ablation:tlb";
+  Base.Spec = Spec;
+  Base.Opt.Config = benchConfig();
+  Base.Opt.Algo = Algorithm::Baseline;
+  unsigned BaseIdx = Plan.add(std::move(Base));
+
+  for (bool Guarded : {true, false}) {
+    harness::ExperimentCell Cell;
+    Cell.Group = "ablation:tlb";
+    Cell.Spec = Spec;
+    Cell.Opt.Config = benchConfig();
+    Cell.Opt.Algo = Algorithm::InterIntra;
+    Cell.Opt.TunePass = [Guarded](core::PrefetchPassOptions &P) {
+      P.Planner.GuardedIntraPrefetch = Guarded;
+    };
+    Cell.CheckAgainst = BaseIdx;
+    Plan.add(std::move(Cell));
+  }
+  harness::ExperimentResult Result =
+      harness::runPlan(Plan, jobsFromArgs(argc, argv));
+  reportPlanFailures(Result);
+
+  const RunResult &RBase = Result.run(BaseIdx);
   std::printf("%-22s %12llu %12llu %12s %10s\n", "(baseline)",
               static_cast<unsigned long long>(RBase.CompiledCycles),
               static_cast<unsigned long long>(RBase.Mem.DtlbLoadMisses),
               "-", "-");
-
+  unsigned I = BaseIdx + 1;
   for (bool Guarded : {true, false}) {
-    RunOptions Opt;
-    Opt.Config = benchConfig();
-    Opt.Algo = Algorithm::InterIntra;
-    Opt.TunePass = [Guarded](core::PrefetchPassOptions &P) {
-      P.Planner.GuardedIntraPrefetch = Guarded;
-    };
-    RunResult R = runWorkload(*Spec, Opt);
+    const RunResult &R = Result.run(I++);
     std::printf("%-22s %12llu %12llu %12llu %+9.1f%%\n",
                 Guarded ? "guarded load (paper)" : "hardware prefetch",
                 static_cast<unsigned long long>(R.CompiledCycles),
@@ -47,5 +63,5 @@ int main() {
                     R.Mem.SwPrefetchesCancelled),
                 speedupPercent(RBase, R, Spec->CompiledFraction));
   }
-  return 0;
+  return exitCode();
 }

@@ -12,7 +12,7 @@
 using namespace spf;
 using namespace spf::bench;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("Figure 8: L1 cache load MPIs on the Pentium 4 (scale=%.2f)\n",
               scaleFromEnv());
   std::printf("%-12s %10s %12s %10s\n", "benchmark", "BASELINE",
@@ -20,7 +20,8 @@ int main() {
   std::printf("%-12s %10s %12s %10s\n", "---------", "--------",
               "-----------", "--------");
 
-  auto Rows = runAll(sim::MachineConfig::pentium4(), /*WithInter=*/false);
+  auto Rows = runAll(sim::MachineConfig::pentium4(), /*WithInter=*/false,
+                     jobsFromArgs(argc, argv));
   for (const WorkloadRuns &Row : Rows) {
     double BaseMpi = workloads::perInstruction(Row.Base.Mem.L1LoadMisses,
                                                Row.Base.Retired);
@@ -34,5 +35,5 @@ int main() {
     std::printf("%-12s %10.5f %12.5f %9.1f%%\n", Row.Spec->Name.c_str(),
                 BaseMpi, OptMpi, RetiredIncrease);
   }
-  return 0;
+  return exitCode();
 }

@@ -1,0 +1,202 @@
+//===- bench/sweep.cpp - The whole evaluation in one shared pool ----------===//
+///
+/// Runs every cell behind Figures 6-10 — 12 workloads x {BASELINE, INTER,
+/// INTER+INTRA} x {Pentium 4, Athlon MP} — as one experiment plan on one
+/// worker pool, prints the paper-style tables, and writes a
+/// machine-readable JSON report (format: DESIGN.md, "JSON report").
+///
+/// Usage:
+///   sweep [--jobs N] [--json FILE] [--workloads a,b,c]
+///
+///   --jobs N          worker threads (default: SPF_JOBS, then hardware
+///                     concurrency); results are bit-identical for any N
+///   --json FILE       report path (default: sweep_report.json; "-" for
+///                     stdout)
+///   --workloads CSV   restrict to a comma-separated subset of Table 3
+///                     workload names
+///   SPF_SCALE=0.1     reduced problem scale, as for every bench binary
+///
+/// Exit code is nonzero when any workload self-check fails or prefetching
+/// changes a result. The undocumented --inject-self-check-failure flag
+/// adds a deliberately failing cell so CI can regression-test that path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace spf;
+using namespace spf::bench;
+using namespace spf::workloads;
+
+namespace {
+
+/// The Table 3 workloads restricted to \p Csv (all of them when empty).
+std::vector<const WorkloadSpec *> selectWorkloads(const std::string &Csv) {
+  std::vector<const WorkloadSpec *> Specs;
+  if (Csv.empty()) {
+    for (const WorkloadSpec &S : allWorkloads())
+      Specs.push_back(&S);
+    return Specs;
+  }
+  std::stringstream SS(Csv);
+  std::string Name;
+  while (std::getline(SS, Name, ',')) {
+    if (const WorkloadSpec *S = findWorkload(Name))
+      Specs.push_back(S);
+    else
+      reportFailure("unknown workload '" + Name + "'");
+  }
+  return Specs;
+}
+
+/// Per-workload rows of one machine's block of the plan.
+std::vector<WorkloadRuns>
+collectBlock(const harness::ExperimentResult &Result,
+             const std::vector<const WorkloadSpec *> &Specs,
+             unsigned First) {
+  std::vector<WorkloadRuns> Rows;
+  unsigned I = First;
+  for (const WorkloadSpec *Spec : Specs) {
+    WorkloadRuns Row;
+    Row.Spec = Spec;
+    Row.Base = Result.run(I);
+    Row.Inter = Result.run(I + 1);
+    Row.Intra = Result.run(I + 2);
+    Row.HasInter = true;
+    Rows.push_back(std::move(Row));
+    I += 3;
+  }
+  return Rows;
+}
+
+void printSpeedups(const char *Title,
+                   const std::vector<WorkloadRuns> &Rows) {
+  std::printf("\n%s\n", Title);
+  std::printf("%-12s %10s %12s\n", "benchmark", "INTER", "INTER+INTRA");
+  for (const WorkloadRuns &Row : Rows)
+    std::printf("%-12s %9.1f%% %11.1f%%\n", Row.Spec->Name.c_str(),
+                speedup(Row, Row.Inter), speedup(Row, Row.Intra));
+}
+
+void printMpi(const char *Title, const std::vector<WorkloadRuns> &Rows,
+              uint64_t sim::MemoryStats::*Counter) {
+  std::printf("\n%s\n", Title);
+  std::printf("%-12s %10s %12s\n", "benchmark", "BASELINE", "INTER+INTRA");
+  for (const WorkloadRuns &Row : Rows)
+    std::printf("%-12s %10.5f %12.5f\n", Row.Spec->Name.c_str(),
+                perInstruction(Row.Base.Mem.*Counter, Row.Base.Retired),
+                perInstruction(Row.Intra.Mem.*Counter, Row.Intra.Retired));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = "sweep_report.json";
+  std::string WorkloadCsv;
+  bool InjectFailure = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--json" && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (A.rfind("--json=", 0) == 0)
+      JsonPath = A.substr(7);
+    else if (A == "--workloads" && I + 1 < argc)
+      WorkloadCsv = argv[++I];
+    else if (A.rfind("--workloads=", 0) == 0)
+      WorkloadCsv = A.substr(12);
+    else if (A == "--inject-self-check-failure")
+      InjectFailure = true;
+  }
+  unsigned Jobs = jobsFromArgs(argc, argv);
+
+  std::vector<const WorkloadSpec *> Specs = selectWorkloads(WorkloadCsv);
+  if (Specs.empty()) {
+    reportFailure("no workloads selected");
+    return exitCode();
+  }
+
+  // Deliberately failing cell (regression coverage for the nonzero-exit
+  // contract): jess with its expected return value corrupted. Must
+  // outlive the plan, which stores the spec by pointer.
+  WorkloadSpec Injected;
+  if (InjectFailure) {
+    Injected = *findWorkload("jess");
+    Injected.Name = "jess<injected>";
+    std::function<BuiltWorkload(const WorkloadConfig &)> Orig =
+        Injected.Build;
+    Injected.Build = [Orig](const WorkloadConfig &Cfg) {
+      BuiltWorkload W = Orig(Cfg);
+      W.Expected = W.Expected ? *W.Expected + 1 : 1;
+      return W;
+    };
+  }
+
+  harness::ExperimentPlan Plan;
+  const std::vector<Algorithm> Algos{
+      Algorithm::Baseline, Algorithm::Inter, Algorithm::InterIntra};
+  std::vector<unsigned> P4Cells = Plan.addSweep(
+      Specs, Algos, {sim::MachineConfig::pentium4()}, benchConfig(), "p4");
+  std::vector<unsigned> AthlonCells =
+      Plan.addSweep(Specs, Algos, {sim::MachineConfig::athlonMP()},
+                    benchConfig(), "athlon");
+  if (InjectFailure) {
+    harness::ExperimentCell Cell;
+    Cell.Group = "injected";
+    Cell.Spec = &Injected;
+    Cell.Opt.Config = benchConfig();
+    Cell.Opt.Config.Scale = std::min(Cell.Opt.Config.Scale, 0.05);
+    Cell.Opt.Algo = Algorithm::Baseline;
+    Plan.add(std::move(Cell));
+  }
+
+  std::printf("sweep: %zu cells (%zu workloads x %zu algorithms x 2 "
+              "machines) on %u worker(s), scale=%.2f\n",
+              Plan.size(), Specs.size(), Algos.size(), Jobs,
+              scaleFromEnv());
+
+  auto Start = std::chrono::steady_clock::now();
+  harness::ExperimentResult Result = harness::runPlan(Plan, Jobs);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    Start)
+          .count();
+  reportPlanFailures(Result);
+
+  std::vector<WorkloadRuns> P4Rows =
+      collectBlock(Result, Specs, P4Cells.front());
+  std::vector<WorkloadRuns> AthlonRows =
+      collectBlock(Result, Specs, AthlonCells.front());
+
+  printSpeedups("Figure 6: speedup ratios on the Pentium 4", P4Rows);
+  printSpeedups("Figure 7: speedup ratios on the Athlon MP", AthlonRows);
+  printMpi("Figure 8: L1 cache load MPIs on the Pentium 4", P4Rows,
+           &sim::MemoryStats::L1LoadMisses);
+  printMpi("Figure 9: L2 cache load MPIs on the Pentium 4", P4Rows,
+           &sim::MemoryStats::L2LoadMisses);
+  printMpi("Figure 10: DTLB load MPIs on the Pentium 4", P4Rows,
+           &sim::MemoryStats::DtlbLoadMisses);
+
+  if (JsonPath == "-") {
+    harness::writeJsonReport(std::cout, Plan, Result, scaleFromEnv(),
+                             Jobs);
+  } else {
+    std::ofstream OS(JsonPath);
+    if (!OS) {
+      reportFailure("cannot write JSON report to " + JsonPath);
+    } else {
+      harness::writeJsonReport(OS, Plan, Result, scaleFromEnv(), Jobs);
+      std::printf("\nJSON report: %s\n", JsonPath.c_str());
+    }
+  }
+
+  std::printf("sweep: %zu cells in %.1f s on %u worker(s)%s\n",
+              Plan.size(), Seconds, Jobs,
+              failureCount() ? " — FAILURES (see stderr)" : ", all checks ok");
+  return exitCode();
+}

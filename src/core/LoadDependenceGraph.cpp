@@ -68,3 +68,8 @@ LdgEdge *LoadDependenceGraph::edgeBetween(unsigned From, unsigned To) {
       return &E;
   return nullptr;
 }
+
+const LdgEdge *LoadDependenceGraph::edgeBetween(unsigned From,
+                                                unsigned To) const {
+  return const_cast<LoadDependenceGraph *>(this)->edgeBetween(From, To);
+}

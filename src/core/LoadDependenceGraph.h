@@ -96,6 +96,7 @@ public:
 
   /// The edge From -> To, or null.
   LdgEdge *edgeBetween(unsigned From, unsigned To);
+  const LdgEdge *edgeBetween(unsigned From, unsigned To) const;
 
   /// The base reference operand of a graph-eligible load, or null (e.g.
   /// getstatic reads a fixed address).

@@ -184,8 +184,7 @@ LoopPlan core::planPrefetches(const LoadDependenceGraph &Graph,
         for (unsigned W : Nodes[Z].Succs) {
           if (Visited[W])
             continue;
-          const LdgEdge *Edge =
-              const_cast<LoadDependenceGraph &>(Graph).edgeBetween(Z, W);
+          const LdgEdge *Edge = Graph.edgeBetween(Z, W);
           if (!Edge || !Edge->IntraStride)
             continue;
           Visited[W] = true;

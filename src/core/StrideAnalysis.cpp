@@ -159,6 +159,13 @@ void core::annotateStrides(LoadDependenceGraph &Graph,
         ++IB;
       }
     }
-    E.IntraStride = dominantStride(Diffs, Opts, &E.IntraSamples);
+    // A zero stride means the two loads touch the same address: the
+    // pair is covered by the dereference prefetch for From alone, so —
+    // exactly as on the inter-iteration path above — a zero dominant
+    // stride must not annotate the edge (it would extend intra chains
+    // through no-op hops and plan redundant prefetch entries).
+    auto S = dominantStride(Diffs, Opts, &E.IntraSamples);
+    if (S && *S != 0)
+      E.IntraStride = S;
   }
 }

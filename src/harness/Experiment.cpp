@@ -1,0 +1,154 @@
+//===- harness/Experiment.cpp ---------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include "harness/JsonWriter.h"
+#include "harness/ThreadPool.h"
+
+#include <ostream>
+
+using namespace spf;
+using namespace spf::harness;
+
+unsigned ExperimentPlan::add(ExperimentCell Cell) {
+  Cells.push_back(std::move(Cell));
+  return static_cast<unsigned>(Cells.size() - 1);
+}
+
+std::vector<unsigned> ExperimentPlan::addSweep(
+    const std::vector<const workloads::WorkloadSpec *> &Specs,
+    const std::vector<workloads::Algorithm> &Algos,
+    const std::vector<sim::MachineConfig> &Machines,
+    const workloads::WorkloadConfig &Config, const std::string &Group,
+    bool CheckReturnValues) {
+  std::vector<unsigned> Added;
+  for (const sim::MachineConfig &M : Machines) {
+    for (const workloads::WorkloadSpec *Spec : Specs) {
+      std::optional<unsigned> BaselineIdx;
+      std::vector<unsigned> SpecCells;
+      for (workloads::Algorithm A : Algos) {
+        ExperimentCell C;
+        C.Group = Group;
+        C.Spec = Spec;
+        C.Opt.Machine = M;
+        C.Opt.Algo = A;
+        C.Opt.Config = Config;
+        unsigned Idx = add(std::move(C));
+        if (A == workloads::Algorithm::Baseline)
+          BaselineIdx = Idx;
+        SpecCells.push_back(Idx);
+        Added.push_back(Idx);
+      }
+      if (CheckReturnValues && BaselineIdx)
+        for (unsigned Idx : SpecCells)
+          if (Idx != *BaselineIdx)
+            Cells[Idx].CheckAgainst = BaselineIdx;
+    }
+  }
+  return Added;
+}
+
+ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
+                                  unsigned Jobs) {
+  if (Jobs == 0)
+    Jobs = defaultJobs();
+
+  ExperimentResult Result;
+  Result.Cells.resize(Plan.size());
+
+  // Shared-state audit: the workload registry is a function-local static
+  // whose one-time construction builds every spec. The init is
+  // thread-safe (C++11 magic statics), but force it here so workers never
+  // contend on first use and spec pointers are stable before the sweep.
+  (void)workloads::allWorkloads();
+
+  auto RunCell = [&](unsigned I) {
+    const ExperimentCell &C = Plan.cells()[I];
+    // Each call builds a private Heap/Module, compiles with a private
+    // CompileManager, and simulates on a private MemorySystem: cells
+    // share nothing mutable, so any schedule yields identical stats.
+    Result.Cells[I].Run = workloads::runWorkload(*C.Spec, C.Opt);
+    Result.Cells[I].Ran = true;
+  };
+
+  if (Jobs <= 1 || Plan.size() <= 1) {
+    for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
+         ++I)
+      RunCell(I);
+  } else {
+    ThreadPool Pool(Jobs);
+    for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
+         ++I)
+      Pool.async([&RunCell, I] { RunCell(I); });
+    Pool.wait();
+  }
+
+  // Correctness verdicts, in plan order (deterministic regardless of the
+  // completion schedule above).
+  for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
+       ++I) {
+    const ExperimentCell &C = Plan.cells()[I];
+    const workloads::RunResult &Run = Result.Cells[I].Run;
+    std::string Tag = C.Spec->Name + " [" +
+                      workloads::algorithmName(C.Opt.Algo) + ", " +
+                      C.Opt.Machine.Name + "]";
+    if (!Run.SelfCheckOk)
+      Result.Failures.push_back(Tag + ": workload self-check failed");
+    if (C.CheckAgainst && Result.Cells[*C.CheckAgainst].Ran &&
+        Run.ReturnValue != Result.Cells[*C.CheckAgainst].Run.ReturnValue)
+      Result.Failures.push_back(
+          Tag + ": computed a different result than its baseline run");
+  }
+  return Result;
+}
+
+void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
+                              const ExperimentResult &Result, double Scale,
+                              unsigned Jobs) {
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("schema").value("spf-sweep-v1");
+  J.key("scale").value(Scale);
+  J.key("jobs").value(static_cast<uint64_t>(Jobs));
+  J.key("ok").value(Result.ok());
+
+  J.key("cells").beginArray();
+  for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
+       ++I) {
+    const ExperimentCell &C = Plan.cells()[I];
+    const workloads::RunResult &R = Result.Cells[I].Run;
+    J.beginObject();
+    J.key("group").value(C.Group);
+    J.key("workload").value(C.Spec->Name);
+    J.key("machine").value(C.Opt.Machine.Name);
+    J.key("algorithm").value(workloads::algorithmName(C.Opt.Algo));
+    J.key("cycles").value(R.CompiledCycles);
+    J.key("retired").value(R.Exec.Retired);
+    J.key("prefetch_related").value(R.Exec.PrefetchRelated);
+    J.key("gc_runs").value(R.Exec.GcRuns);
+    J.key("loads").value(R.Mem.Loads);
+    J.key("stores").value(R.Mem.Stores);
+    J.key("l1_load_misses").value(R.Mem.L1LoadMisses);
+    J.key("l2_load_misses").value(R.Mem.L2LoadMisses);
+    J.key("dtlb_load_misses").value(R.Mem.DtlbLoadMisses);
+    J.key("sw_prefetches_issued").value(R.Mem.SwPrefetchesIssued);
+    J.key("sw_prefetches_cancelled").value(R.Mem.SwPrefetchesCancelled);
+    J.key("guarded_loads").value(R.Mem.GuardedLoads);
+    J.key("spec_loads").value(R.Prefetch.CodeGen.SpecLoads);
+    J.key("prefetches").value(R.Prefetch.CodeGen.Prefetches);
+    J.key("jit_total_us").value(R.JitTotalUs);
+    J.key("jit_prefetch_us").value(R.JitPrefetchUs);
+    J.key("return_value").value(R.ReturnValue);
+    J.key("self_check_ok").value(R.SelfCheckOk);
+    J.endObject();
+  }
+  J.endArray();
+
+  J.key("failures").beginArray();
+  for (const std::string &F : Result.Failures)
+    J.value(F);
+  J.endArray();
+
+  J.endObject();
+  OS << '\n';
+}

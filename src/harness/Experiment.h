@@ -1,0 +1,103 @@
+//===- harness/Experiment.h - Parallel experiment driver --------*- C++ -*-===//
+///
+/// \file
+/// The experiment layer behind every figure/ablation binary: a sweep
+/// (workloads x algorithms x machine configs x scale) expands into
+/// independent cells, each of which owns a private Heap / Interpreter /
+/// MemorySystem via workloads::runWorkload. Cells run concurrently on a
+/// fixed-size ThreadPool and are aggregated deterministically in plan
+/// order, so results are bit-identical to a serial run regardless of the
+/// worker count (see tests/harness_test.cpp).
+///
+/// Correctness checking is part of the driver: a cell whose workload
+/// self-check fails, or whose return value differs from the baseline
+/// cell it is checked against, is recorded as a failure — binaries turn
+/// that into a nonzero exit code instead of a stderr-only warning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_HARNESS_EXPERIMENT_H
+#define SPF_HARNESS_EXPERIMENT_H
+
+#include "workloads/Runner.h"
+
+#include <optional>
+#include <string>
+
+namespace spf {
+namespace harness {
+
+/// One independent unit of work: one workload on one machine under one
+/// algorithm (plus optional pass tuning), tagged with the experiment
+/// group it belongs to (e.g. "p4", "athlon", "ablation:c=4").
+struct ExperimentCell {
+  std::string Group;
+  const workloads::WorkloadSpec *Spec = nullptr;
+  workloads::RunOptions Opt;
+  /// Index of a cell (typically this workload's BASELINE run) whose
+  /// return value this cell's must equal; checked after the sweep.
+  std::optional<unsigned> CheckAgainst;
+};
+
+/// Result of one cell, in plan order.
+struct CellResult {
+  workloads::RunResult Run;
+  bool Ran = false; ///< False only if the plan was empty/never executed.
+};
+
+/// An ordered list of cells. Order is significant: it is the aggregation
+/// and report order, and CheckAgainst indices refer into it.
+class ExperimentPlan {
+public:
+  /// Appends one cell; returns its index.
+  unsigned add(ExperimentCell Cell);
+
+  /// Expands the classic sweep: for each machine, for each workload, for
+  /// each algorithm — one cell. When \p CheckReturnValues is true and
+  /// Algorithm::Baseline is part of \p Algos, every non-baseline cell is
+  /// checked against its workload's baseline on the same machine.
+  /// Returns the indices of the new cells in expansion order.
+  std::vector<unsigned>
+  addSweep(const std::vector<const workloads::WorkloadSpec *> &Specs,
+           const std::vector<workloads::Algorithm> &Algos,
+           const std::vector<sim::MachineConfig> &Machines,
+           const workloads::WorkloadConfig &Config,
+           const std::string &Group = "", bool CheckReturnValues = true);
+
+  const std::vector<ExperimentCell> &cells() const { return Cells; }
+  size_t size() const { return Cells.size(); }
+  bool empty() const { return Cells.empty(); }
+
+private:
+  std::vector<ExperimentCell> Cells;
+};
+
+/// All cell results plus the driver's correctness verdicts.
+struct ExperimentResult {
+  std::vector<CellResult> Cells; ///< Parallel to the plan, plan order.
+  /// Human-readable failure lines (self-check failures and baseline
+  /// mismatches), in plan order.
+  std::vector<std::string> Failures;
+
+  bool ok() const { return Failures.empty(); }
+  const workloads::RunResult &run(unsigned Index) const {
+    return Cells[Index].Run;
+  }
+};
+
+/// Runs every cell of \p Plan on \p Jobs workers (1 = fully serial, no
+/// threads spawned) and returns results in plan order. Jobs of 0 means
+/// defaultJobs().
+ExperimentResult runPlan(const ExperimentPlan &Plan, unsigned Jobs = 0);
+
+/// Writes the machine-readable report for a finished plan: metadata plus
+/// one record per cell with the simulator statistics the figures use.
+/// Format documented in DESIGN.md ("JSON report").
+void writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
+                     const ExperimentResult &Result, double Scale,
+                     unsigned Jobs);
+
+} // namespace harness
+} // namespace spf
+
+#endif // SPF_HARNESS_EXPERIMENT_H

@@ -1,0 +1,74 @@
+//===- harness/ThreadPool.cpp ---------------------------------------------===//
+
+#include "harness/ThreadPool.h"
+
+#include <cstdlib>
+
+using namespace spf;
+using namespace spf::harness;
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  if (ThreadCount == 0)
+    ThreadCount = 1;
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I != ThreadCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Lock(QueueLock);
+    Shutdown = true;
+  }
+  QueueCondition.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::async(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueLock);
+    Tasks.push_back(std::move(Task));
+  }
+  QueueCondition.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(QueueLock);
+  CompletionCondition.wait(
+      Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(QueueLock);
+      QueueCondition.wait(Lock,
+                          [this] { return Shutdown || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Shutdown with a drained queue.
+      Task = std::move(Tasks.front());
+      Tasks.pop_front();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(QueueLock);
+      --ActiveTasks;
+      if (Tasks.empty() && ActiveTasks == 0)
+        CompletionCondition.notify_all();
+    }
+  }
+}
+
+unsigned harness::defaultJobs() {
+  if (const char *S = std::getenv("SPF_JOBS")) {
+    long V = std::atol(S);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}

@@ -173,6 +173,34 @@ TEST(StrideAnnotationTest, IntraJoinSkipsIterationsWithMissingAddresses) {
   EXPECT_EQ(E->IntraSamples, 5u);
 }
 
+TEST(StrideAnnotationTest, ZeroIntraStrideIsDiscarded) {
+  // From and To observe the very same address each iteration (To reloads
+  // a field From already touched): the intra difference is constantly 0.
+  // A zero intra stride must be discarded exactly like a zero inter
+  // stride — a dereference prefetch of From's value already covers that
+  // line, and a zero-stride edge would only grow the planner's chains.
+  JessStrides F(true);
+  LoadDependenceGraph G(F.LI.topLevelLoops()[0], F.LI);
+  InspectionResult R;
+  R.ReachedTarget = true;
+  R.IterationsObserved = 10;
+  ir::Instruction *From = F.W.L9;
+  ir::Instruction *To = F.W.L10;
+  for (unsigned I = 0; I != 10; ++I) {
+    R.Trace[From].push_back({I, 6000 + 100 * I});
+    R.Trace[To].push_back({I, 6000 + 100 * I});
+  }
+  analysis::Loop *Inner = F.LI.topLevelLoops()[0]->subLoops()[0];
+  R.SubLoopTrips[Inner] = TripStats{10, 10};
+
+  annotateStrides(G, R, StrideOptions());
+  LdgEdge *E = G.edgeBetween(*G.nodeFor(From), *G.nodeFor(To));
+  ASSERT_NE(E, nullptr);
+  EXPECT_FALSE(E->IntraStride.has_value());
+  // The samples were still inspected and counted.
+  EXPECT_EQ(E->IntraSamples, 10u);
+}
+
 TEST(StrideAnnotationTest, InterStrideNeedsConsecutiveIterations) {
   // Addresses recorded only every third iteration: no consecutive pairs,
   // no inter stride even though the deltas are regular.
