@@ -15,6 +15,10 @@
 ///   --workloads CSV   restrict to a comma-separated subset of Table 3
 ///                     workload names
 ///   SPF_SCALE=0.1     reduced problem scale, as for every bench binary
+///   SPF_FAULTS=...    chaos mode: seeded fault injection (DESIGN.md,
+///                     "Failure model"); quarantined cells are reported
+///                     but injected transients do not fail the run
+///   SPF_CELL_TIMEOUT=S  per-cell wall-clock watchdog in seconds
 ///
 /// Exit code is nonzero when any workload self-check fails or prefetching
 /// changes a result. The undocumented --inject-self-check-failure flag
@@ -167,6 +171,17 @@ int main(int argc, char **argv) {
                                     Start)
           .count();
   reportPlanFailures(Result);
+
+  // Chaos-run visibility: cells that needed retries or never produced a
+  // result. Transient quarantines are not failures (the harness's fault
+  // containment working as intended), but they must never be silent.
+  if (!Result.Quarantine.empty()) {
+    std::printf("\nquarantine: %zu cell(s)\n", Result.Quarantine.size());
+    for (const harness::QuarantineRecord &Q : Result.Quarantine)
+      std::printf("  [%u] %-40s %-8s attempts=%u%s%s\n", Q.CellIndex,
+                  Q.Tag.c_str(), Q.Kind.c_str(), Q.Attempts,
+                  Q.Error.empty() ? "" : " — ", Q.Error.c_str());
+  }
 
   std::vector<WorkloadRuns> P4Rows =
       collectBlock(Result, Specs, P4Cells.front());

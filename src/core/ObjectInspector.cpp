@@ -3,6 +3,7 @@
 #include "core/ObjectInspector.h"
 
 #include "support/ErrorHandling.h"
+#include "support/FaultInjection.h"
 
 using namespace spf;
 using namespace spf::core;
@@ -51,9 +52,18 @@ private:
 
   bool isPrivate(vm::Addr A) const { return A >= PrivateHeapBase; }
 
+  /// An injected failure of a real-heap read during inspection: the
+  /// value degrades to `unknown`, the lattice's safe response.
+  bool injectedReadFault() {
+    if (!SPF_FAULT_POINT(support::FaultSite::InspectHeapRead))
+      return false;
+    ++Result.FaultsInjected;
+    return true;
+  }
+
   /// Side-effect-free typed load: store buffer first, then the private
   /// heap (zero-initialized), then the real heap.
-  IVal loadMem(vm::Addr A, Type Ty) const {
+  IVal loadMem(vm::Addr A, Type Ty) {
     auto It = Shadow.find(A);
     if (It != Shadow.end())
       return It->second;
@@ -62,8 +72,11 @@ private:
         return IVal::known(0); // Untouched private memory reads as zero.
       return IVal::unknown();
     }
-    if (Heap.isValidAccess(A, ir::storageSize(Ty)))
+    if (Heap.isValidAccess(A, ir::storageSize(Ty))) {
+      if (injectedReadFault())
+        return IVal::unknown();
       return IVal::known(Heap.load(A, Ty));
+    }
     return IVal::unknown();
   }
 
@@ -71,15 +84,18 @@ private:
   void storeMem(vm::Addr A, IVal V) { Shadow[A] = V; }
 
   /// Length of the array at \p Base, if determinable.
-  IVal arrayLengthOf(vm::Addr Base) const {
+  IVal arrayLengthOf(vm::Addr Base) {
     auto It = Shadow.find(Base + vm::ArrayLengthOffset);
     if (It != Shadow.end())
       return It->second;
     if (isPrivate(Base))
       return IVal::unknown(); // Allocated with unknown length.
-    if (Heap.isValidAccess(Base, vm::ObjectHeaderSize) && Heap.isArray(Base))
+    if (Heap.isValidAccess(Base, vm::ObjectHeaderSize) && Heap.isArray(Base)) {
+      if (injectedReadFault())
+        return IVal::unknown();
       return IVal::known(
           static_cast<uint64_t>(static_cast<int64_t>(Heap.arrayLength(Base))));
+    }
     return IVal::unknown();
   }
 
@@ -533,7 +549,14 @@ InspectionResult InspectRun::run() {
         break;
     }
 
-    assert(NextBB && "block without terminator during inspection");
+    if (!NextBB) {
+      // Malformed IR (block without a terminator): a broken input must
+      // degrade to "no prefetch for this loop", never kill the JIT.
+      Result.Degraded = true;
+      Result.DegradeReason = "malformed IR: block without terminator";
+      Result.Trace.clear();
+      return Result;
+    }
     onBlockEntered(BB, NextBB, Stop);
     PrevBB = BB;
     BB = NextBB;
@@ -725,7 +748,12 @@ IVal InspectRun::interpretCall(Method *Callee,
         break;
     }
 
-    assert(NextBB && "callee block without terminator during inspection");
+    if (!NextBB) {
+      Result.Degraded = true;
+      Result.DegradeReason =
+          "malformed IR: callee block without terminator";
+      return IVal::unknown();
+    }
     // Loop iteration accounting.
     if (analysis::Loop *L = CLI.loopFor(NextBB))
       if (L->header() == NextBB)

@@ -24,6 +24,7 @@
 #include "core/LoadDependenceGraph.h"
 #include "vm/Heap.h"
 
+#include <string>
 #include <unordered_map>
 
 namespace spf {
@@ -85,6 +86,15 @@ struct InspectionResult {
   /// small-trip-count observation for the loop itself.
   bool TargetExitedEarly = false;
   uint64_t StepsUsed = 0;
+
+  /// Inspection hit a condition it cannot profile through (malformed IR
+  /// such as a block without a terminator). The trace is discarded and
+  /// the pass must not prefetch this loop — the production-JIT response
+  /// to a broken input, instead of aborting the process.
+  bool Degraded = false;
+  std::string DegradeReason;
+  /// Heap reads turned into `unknown` by fault injection (chaos runs).
+  uint64_t FaultsInjected = 0;
 
   /// Per graph load: first access address per observed iteration (sparse;
   /// iterations where the address was unknown are absent).

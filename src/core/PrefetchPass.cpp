@@ -2,11 +2,62 @@
 
 #include "core/PrefetchPass.h"
 
+#include "support/Status.h"
+
 #include <algorithm>
 
 using namespace spf;
 using namespace spf::core;
 using namespace spf::ir;
+
+namespace {
+
+/// Runs object inspection, converting any escaped exception into an
+/// error the pass degrades on (the inspector is a partial interpreter
+/// over possibly-adversarial IR; it must never take the JIT down).
+support::Expected<InspectionResult>
+inspectChecked(ObjectInspector &Inspector, Method *M,
+               const std::vector<uint64_t> &Args, analysis::Loop *L,
+               const LoadDependenceGraph &Graph) {
+  try {
+    InspectionResult Insp = Inspector.inspect(M, Args, L, Graph);
+    if (Insp.Degraded)
+      return support::Status::error(Insp.DegradeReason.empty()
+                                        ? "inspection degraded"
+                                        : Insp.DegradeReason);
+    return Insp;
+  } catch (const std::exception &E) {
+    return support::Status::error(std::string("inspection failed: ") +
+                                  E.what());
+  }
+}
+
+/// Plans prefetches and validates the plan's structural invariants
+/// before any IR is mutated; a plan that fails validation degrades the
+/// loop instead of feeding garbage to codegen.
+support::Expected<LoopPlan> planChecked(const LoadDependenceGraph &Graph,
+                                        const analysis::DefUse &DU,
+                                        const PlannerOptions &Opts) {
+  LoopPlan Plan;
+  try {
+    Plan = planPrefetches(Graph, DU, Opts);
+  } catch (const std::exception &E) {
+    return support::Status::error(std::string("planning failed: ") +
+                                  E.what());
+  }
+  for (const AnchorPlan &A : Plan.Anchors) {
+    if (!A.Anchor || !A.Base)
+      return support::Status::error(
+          "invalid plan: anchor without an insertion point or base");
+    for (const DerefPrefetch &D : A.Derefs)
+      if (!D.ForLoad)
+        return support::Status::error(
+            "invalid plan: dereference prefetch without a covered load");
+  }
+  return Plan;
+}
+
+} // namespace
 
 PrefetchPassResult PrefetchPass::run(Method *M,
                                      const std::vector<uint64_t> &Args) {
@@ -22,7 +73,7 @@ PrefetchPassResult PrefetchPass::run(Method *M,
                                      const analysis::LoopInfo &LI,
                                      const analysis::DefUse &DU) {
   PrefetchPassResult Result;
-  if (LI.numLoops() == 0)
+  if (!M || M->numBlocks() == 0 || LI.numLoops() == 0)
     return Result;
 
   uint64_t InspectionStepsLeft = Opts.MethodInspectionBudget;
@@ -51,7 +102,17 @@ PrefetchPassResult PrefetchPass::run(Method *M,
     InspOpts.StepBudget = std::min<uint64_t>(InspOpts.StepBudget,
                                              InspectionStepsLeft);
     ObjectInspector Inspector(Heap, LI, InspOpts);
-    InspectionResult Insp = Inspector.inspect(M, Args, L, Graph);
+    support::Expected<InspectionResult> InspOrErr =
+        inspectChecked(Inspector, M, Args, L, Graph);
+    if (!InspOrErr.ok()) {
+      ++Result.LoopsDegraded;
+      Report.Degraded = true;
+      Report.DegradeReason = InspOrErr.error();
+      Result.Loops.push_back(Report);
+      continue;
+    }
+    InspectionResult &Insp = *InspOrErr;
+    Result.InspectionFaultsInjected += Insp.FaultsInjected;
     InspectionStepsLeft -= std::min(InspectionStepsLeft, Insp.StepsUsed);
     Report.Reached = Insp.ReachedTarget;
     Report.IterationsObserved = Insp.IterationsObserved;
@@ -78,8 +139,17 @@ PrefetchPassResult PrefetchPass::run(Method *M,
     for (const LdgEdge &E : Graph.edges())
       Report.EdgesWithIntraStride += E.IntraStride.has_value();
 
-    // Step 4: plan and generate prefetching code.
-    LoopPlan Plan = planPrefetches(Graph, DU, Opts.Planner);
+    // Step 4: plan and generate prefetching code. Only a validated plan
+    // reaches applyPlan (the one step that mutates IR).
+    support::Expected<LoopPlan> PlanOrErr = planChecked(Graph, DU, Opts.Planner);
+    if (!PlanOrErr.ok()) {
+      ++Result.LoopsDegraded;
+      Report.Degraded = true;
+      Report.DegradeReason = PlanOrErr.error();
+      Result.Loops.push_back(Report);
+      continue;
+    }
+    LoopPlan &Plan = *PlanOrErr;
     Report.PlainPrefetches = Plan.numPlain();
     Report.SpecLoads = Plan.numSpecLoads();
     Report.DerefPrefetches = Plan.numDeref();

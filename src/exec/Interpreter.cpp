@@ -3,10 +3,37 @@
 #include "exec/Interpreter.h"
 
 #include "support/ErrorHandling.h"
+#include "support/FaultInjection.h"
+#include "support/Status.h"
 
 using namespace spf;
 using namespace spf::exec;
 using namespace spf::ir;
+
+namespace {
+
+/// Runs a callable on scope exit, including exceptional unwinds; keeps
+/// ActiveFrames/CallDepth consistent when a trap propagates out of a
+/// deeply nested simulated call.
+template <typename Fn> struct ScopeExit {
+  Fn F;
+  ~ScopeExit() { F(); }
+};
+template <typename Fn> ScopeExit(Fn) -> ScopeExit<Fn>;
+
+/// A runtime condition the simulated program cannot recover from. Thrown
+/// (not fatal): the VM process survives, the harness quarantines the cell.
+[[noreturn]] void trap(const char *Msg) { throw support::RuntimeTrap(Msg); }
+
+} // namespace
+
+void Interpreter::setDeadline(double Seconds) {
+  HasDeadline = Seconds > 0.0;
+  if (HasDeadline)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(Seconds));
+}
 
 Interpreter::Interpreter(vm::Heap &Heap, sim::MemorySystem &Mem,
                          std::vector<vm::Addr> *ExternalRoots)
@@ -72,16 +99,19 @@ vm::Addr Interpreter::allocate(const Instruction *I, const Frame &F) {
     const auto *NA = cast<NewArrayInst>(I);
     int64_t Len = static_cast<int64_t>(eval(F, NA->length()));
     if (Len < 0)
-      reportFatalError("negative array length");
+      trap("negative array length");
     return Heap.allocArray(NA->elementType(), static_cast<uint64_t>(Len));
   };
 
-  vm::Addr A = TryAlloc();
+  // Chaos: an injected allocation fault looks like heap exhaustion on the
+  // first attempt only — the GC-and-retry path absorbs it, so simulated
+  // results stay bit-identical (the extra collection is pure cost).
+  vm::Addr A = SPF_FAULT_POINT(support::FaultSite::Alloc) ? 0 : TryAlloc();
   if (!A) {
     collectGarbage();
     A = TryAlloc();
     if (!A)
-      reportFatalError("out of memory after garbage collection");
+      trap("out of memory after garbage collection");
   }
   ++Stats.Allocations;
   Mem.tick(4); // Bump allocation + zeroing fast path.
@@ -110,7 +140,7 @@ uint64_t Interpreter::evalBinary(const BinaryInst *B, uint64_t L,
     case BinOp::CmpGt: return A > C;
     case BinOp::CmpGe: return A >= C;
     default:
-      reportFatalError("invalid f64 binary op");
+      trap("invalid f64 binary op");
     }
     uint64_t Bits;
     __builtin_memcpy(&Bits, &Res, 8);
@@ -132,11 +162,11 @@ uint64_t Interpreter::evalBinary(const BinaryInst *B, uint64_t L,
   case BinOp::Mul: return Wrap(A * C);
   case BinOp::Div:
     if (C == 0)
-      reportFatalError("integer division by zero");
+      trap("integer division by zero");
     return Wrap(A / C);
   case BinOp::Rem:
     if (C == 0)
-      reportFatalError("integer remainder by zero");
+      trap("integer remainder by zero");
     return Wrap(A % C);
   case BinOp::And: return Wrap(A & C);
   case BinOp::Or: return Wrap(A | C);
@@ -167,8 +197,10 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
     ++Stats.Calls;
     return M->nativeImpl()(Args);
   }
-  if (++CallDepth > 512)
-    reportFatalError("call stack overflow in simulated program");
+  if (CallDepth >= 512)
+    trap("call stack overflow in simulated program");
+  ++CallDepth;
+  ScopeExit DepthGuard{[this] { --CallDepth; }};
 
   // Mixed mode: hand hot methods to the JIT with the actual arguments of
   // the triggering invocation. The rewritten IR takes effect immediately
@@ -203,6 +235,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
     F.Regs[M->arg(I)->id()] = Args[I];
 
   ActiveFrames.push_back(&F);
+  ScopeExit FrameGuard{[this] { ActiveFrames.pop_back(); }};
 
   BasicBlock *BB = M->entry();
   const BasicBlock *PrevBB = nullptr;
@@ -236,7 +269,12 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         continue; // Handled at block entry; not a retired instruction.
 
       if (++Stats.Retired > MaxInstructions)
-        reportFatalError("execution budget exceeded (runaway loop?)");
+        trap("execution budget exceeded (runaway loop?)");
+      // Cooperative watchdog: one clock read per 4096 retired
+      // instructions bounds both the overhead and the overshoot.
+      if (HasDeadline && (Stats.Retired & 0xFFF) == 0 &&
+          std::chrono::steady_clock::now() >= Deadline)
+        throw support::CellTimeout("cell wall-clock deadline exceeded");
       if (Interpreted)
         Mem.tick(InterpPenalty); // Bytecode dispatch overhead.
 
@@ -280,7 +318,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         auto *G = cast<GetFieldInst>(I);
         vm::Addr Obj = eval(F, G->object());
         if (!Obj)
-          reportFatalError("null pointer in getfield");
+          trap("null pointer in getfield");
         vm::Addr A = Obj + G->field()->Offset;
         Mem.load(A);
         F.Regs[I->id()] = Heap.load(A, G->type());
@@ -290,7 +328,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         auto *P = cast<PutFieldInst>(I);
         vm::Addr Obj = eval(F, P->object());
         if (!Obj)
-          reportFatalError("null pointer in putfield");
+          trap("null pointer in putfield");
         vm::Addr A = Obj + P->field()->Offset;
         Mem.store(A);
         Heap.store(A, P->field()->Ty, eval(F, P->value()));
@@ -313,7 +351,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         auto *AL = cast<ALoadInst>(I);
         vm::Addr Arr = eval(F, AL->array());
         if (!Arr)
-          reportFatalError("null pointer in aload");
+          trap("null pointer in aload");
         int64_t Idx = static_cast<int64_t>(eval(F, AL->index()));
         assert(Idx >= 0 &&
                static_cast<uint64_t>(Idx) < Heap.arrayLength(Arr) &&
@@ -327,7 +365,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         auto *AS = cast<AStoreInst>(I);
         vm::Addr Arr = eval(F, AS->array());
         if (!Arr)
-          reportFatalError("null pointer in astore");
+          trap("null pointer in astore");
         int64_t Idx = static_cast<int64_t>(eval(F, AS->index()));
         assert(Idx >= 0 &&
                static_cast<uint64_t>(Idx) < Heap.arrayLength(Arr) &&
@@ -341,7 +379,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         auto *AL = cast<ArrayLengthInst>(I);
         vm::Addr Arr = eval(F, AL->array());
         if (!Arr)
-          reportFatalError("null pointer in arraylength");
+          trap("null pointer in arraylength");
         Mem.load(Arr + vm::ArrayLengthOffset);
         F.Regs[I->id()] =
             static_cast<uint64_t>(static_cast<int64_t>(Heap.arrayLength(Arr)));
@@ -354,7 +392,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
       case Opcode::Call: {
         auto *C = cast<CallInst>(I);
         if (!C->callee())
-          reportFatalError("call to unresolved method");
+          trap("call to unresolved method");
         CallArgs.clear();
         for (Value *Op : C->operands())
           CallArgs.push_back(eval(F, Op));
@@ -382,20 +420,23 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         auto *R = cast<RetInst>(I);
         if (R->value())
           Result = eval(F, R->value());
-        ActiveFrames.pop_back();
-        --CallDepth;
-        return Result;
+        return Result; // Frame/depth unwound by the scope guards.
       }
       case Opcode::Prefetch: {
         auto *P = cast<PrefetchInst>(I);
         ++Stats.PrefetchRelated;
         vm::Addr A = addressOf(F, P);
+        // Chaos: model the planner having computed a garbage prefetch
+        // address — exactly what the guard exists to contain.
+        if (SPF_FAULT_POINT(support::FaultSite::GuardAddr))
+          A ^= 0xDEAD000000000000ull;
         if (P->isGuarded()) {
-          // Software exception check: only touch mapped memory.
+          // Software exception check: only touch mapped memory. A failed
+          // check takes the recovery branch — no cache or TLB fill.
           if (Heap.isValidAccess(A, 8))
             Mem.guardedLoad(A);
           else
-            Mem.tick(Mem.config().GuardedLoadCost);
+            Mem.guardedLoadFault();
         } else {
           Mem.prefetch(A);
         }
@@ -405,11 +446,13 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         auto *S = cast<SpecLoadInst>(I);
         ++Stats.PrefetchRelated;
         vm::Addr A = addressOf(F, S);
+        if (SPF_FAULT_POINT(support::FaultSite::GuardAddr))
+          A ^= 0xDEAD000000000000ull;
         if (Heap.isValidAccess(A, 8)) {
           Mem.guardedLoad(A);
           F.Regs[I->id()] = Heap.load(A, Type::Ref);
         } else {
-          Mem.tick(Mem.config().GuardedLoadCost);
+          Mem.guardedLoadFault();
           F.Regs[I->id()] = 0;
         }
         break;
@@ -420,7 +463,8 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         break;
     }
 
-    assert(NextBB && "fell off the end of a block without a terminator");
+    if (!NextBB)
+      trap("fell off the end of a block without a terminator");
     PrevBB = BB;
     BB = NextBB;
   }

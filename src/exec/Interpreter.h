@@ -18,6 +18,7 @@
 #include "sim/MemorySystem.h"
 #include "vm/GarbageCollector.h"
 
+#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -70,8 +71,15 @@ public:
   const ExecStats &stats() const { return Stats; }
   vm::GarbageCollector &gc() { return Gc; }
 
-  /// Execution budget; exceeded budgets abort (runaway-loop protection).
+  /// Execution budget; exceeding it throws support::RuntimeTrap
+  /// (runaway-loop protection).
   void setMaxInstructions(uint64_t Max) { MaxInstructions = Max; }
+
+  /// Wall-clock watchdog: execution past the deadline throws
+  /// support::CellTimeout. Checked cooperatively every few thousand
+  /// retired instructions, so overshoot is bounded and cheap runs pay
+  /// (almost) nothing. \p Seconds <= 0 disables the watchdog.
+  void setDeadline(double Seconds);
 
 private:
   struct MethodInfo {
@@ -103,6 +111,8 @@ private:
   vm::GarbageCollector Gc;
   ExecStats Stats;
   uint64_t MaxInstructions = 4ull << 30;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline;
   std::unordered_map<ir::Method *, MethodInfo> Infos;
   std::vector<Frame *> ActiveFrames;
   unsigned CallDepth = 0;

@@ -4,7 +4,10 @@
 
 #include "harness/JsonWriter.h"
 #include "harness/ThreadPool.h"
+#include "support/FaultInjection.h"
+#include "support/Status.h"
 
+#include <cstdlib>
 #include <ostream>
 
 using namespace spf;
@@ -48,6 +51,26 @@ std::vector<unsigned> ExperimentPlan::addSweep(
   return Added;
 }
 
+namespace {
+
+/// Per-cell wall-clock budget from SPF_CELL_TIMEOUT (seconds); 0 = off.
+double cellTimeoutSeconds() {
+  const char *S = std::getenv("SPF_CELL_TIMEOUT");
+  if (!S || !*S)
+    return 0.0;
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  return (End && *End == '\0' && V > 0.0) ? V : 0.0;
+}
+
+/// "workload [ALGO, machine]" — the tag used in Failures and Quarantine.
+std::string cellTag(const ExperimentCell &C) {
+  return C.Spec->Name + " [" + workloads::algorithmName(C.Opt.Algo) + ", " +
+         C.Opt.Machine.Name + "]";
+}
+
+} // namespace
+
 ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
                                   unsigned Jobs) {
   if (Jobs == 0)
@@ -62,13 +85,49 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
   // contend on first use and spec pointers are stable before the sweep.
   (void)workloads::allWorkloads();
 
+  // Chaos configuration is read once; every cell derives its own injector
+  // stream from (plan index, attempt), so the fault schedule — and hence
+  // every result — is independent of worker count and task interleaving.
+  const support::FaultConfig Faults = support::FaultConfig::fromEnv();
+  const double TimeoutSec = cellTimeoutSeconds();
+  constexpr unsigned MaxTransientAttempts = 3;
+
   auto RunCell = [&](unsigned I) {
     const ExperimentCell &C = Plan.cells()[I];
-    // Each call builds a private Heap/Module, compiles with a private
-    // CompileManager, and simulates on a private MemorySystem: cells
-    // share nothing mutable, so any schedule yields identical stats.
-    Result.Cells[I].Run = workloads::runWorkload(*C.Spec, C.Opt);
-    Result.Cells[I].Ran = true;
+    CellResult &Cell = Result.Cells[I];
+    workloads::RunOptions Opt = C.Opt;
+    Opt.TimeoutSeconds = TimeoutSec;
+
+    for (unsigned Attempt = 0; Attempt < MaxTransientAttempts; ++Attempt) {
+      ++Cell.Attempts;
+      // Each call builds a private Heap/Module, compiles with a private
+      // CompileManager, and simulates on a private MemorySystem: cells
+      // share nothing mutable, so any schedule yields identical stats.
+      support::FaultInjector Injector(
+          Faults, (uint64_t(I) << 8) | uint64_t(Attempt));
+      support::FaultScope Scope(Injector);
+      try {
+        if (SPF_FAULT_POINT(support::FaultSite::CellExec))
+          throw support::TransientFault("injected cell fault");
+        Cell.Run = workloads::runWorkload(*C.Spec, Opt);
+        Cell.Ran = true;
+        Cell.Failed = Cell.TimedOut = Cell.Transient = false;
+        Cell.Error.clear();
+        return;
+      } catch (const support::TransientFault &E) {
+        // Expected under chaos: re-roll with the next attempt's stream.
+        Cell.Transient = true;
+        Cell.Error = E.what();
+      } catch (const support::CellTimeout &E) {
+        Cell.TimedOut = true;
+        Cell.Error = E.what();
+        return; // Retrying a deterministic simulation cannot get faster.
+      } catch (const std::exception &E) {
+        Cell.Failed = true;
+        Cell.Error = E.what();
+        return;
+      }
+    }
   };
 
   if (Jobs <= 1 || Plan.size() <= 1) {
@@ -83,15 +142,45 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
     Pool.wait();
   }
 
-  // Correctness verdicts, in plan order (deterministic regardless of the
-  // completion schedule above).
+  // Correctness verdicts and quarantine, in plan order (deterministic
+  // regardless of the completion schedule above).
   for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
        ++I) {
     const ExperimentCell &C = Plan.cells()[I];
-    const workloads::RunResult &Run = Result.Cells[I].Run;
-    std::string Tag = C.Spec->Name + " [" +
-                      workloads::algorithmName(C.Opt.Algo) + ", " +
-                      C.Opt.Machine.Name + "]";
+    const CellResult &Cell = Result.Cells[I];
+    std::string Tag = cellTag(C);
+
+    if (!Cell.Ran) {
+      // The cell never produced a result. Injected transient faults are
+      // the chaos harness working as intended — quarantine only; a
+      // timeout or a real exception is also a Failure.
+      QuarantineRecord Q;
+      Q.CellIndex = I;
+      Q.Tag = Tag;
+      Q.Kind = Cell.TimedOut ? "timeout"
+                             : (Cell.Transient ? "faulted" : "error");
+      Q.Attempts = Cell.Attempts;
+      Q.Error = Cell.Error;
+      Result.Quarantine.push_back(std::move(Q));
+      if (Cell.TimedOut)
+        Result.Failures.push_back(Tag + ": timed out (" + Cell.Error + ")");
+      else if (!Cell.Transient)
+        Result.Failures.push_back(Tag + ": failed (" + Cell.Error + ")");
+      continue; // No result: nothing to check, nothing to compare.
+    }
+
+    if (Cell.Attempts > 1) {
+      // Succeeded after transient retries: record it, keep the result.
+      QuarantineRecord Q;
+      Q.CellIndex = I;
+      Q.Tag = Tag;
+      Q.Kind = "retried";
+      Q.Attempts = Cell.Attempts;
+      Q.Error = Cell.Error;
+      Result.Quarantine.push_back(std::move(Q));
+    }
+
+    const workloads::RunResult &Run = Cell.Run;
     if (!Run.SelfCheckOk)
       Result.Failures.push_back(Tag + ": workload self-check failed");
     if (C.CheckAgainst && Result.Cells[*C.CheckAgainst].Ran &&
@@ -107,7 +196,7 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
                               unsigned Jobs) {
   JsonWriter J(OS);
   J.beginObject();
-  J.key("schema").value("spf-sweep-v1");
+  J.key("schema").value("spf-sweep-v2");
   J.key("scale").value(Scale);
   J.key("jobs").value(static_cast<uint64_t>(Jobs));
   J.key("ok").value(Result.ok());
@@ -122,6 +211,8 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("workload").value(C.Spec->Name);
     J.key("machine").value(C.Opt.Machine.Name);
     J.key("algorithm").value(workloads::algorithmName(C.Opt.Algo));
+    J.key("ran").value(Result.Cells[I].Ran);
+    J.key("attempts").value(static_cast<uint64_t>(Result.Cells[I].Attempts));
     J.key("cycles").value(R.CompiledCycles);
     J.key("retired").value(R.Exec.Retired);
     J.key("prefetch_related").value(R.Exec.PrefetchRelated);
@@ -134,6 +225,7 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("sw_prefetches_issued").value(R.Mem.SwPrefetchesIssued);
     J.key("sw_prefetches_cancelled").value(R.Mem.SwPrefetchesCancelled);
     J.key("guarded_loads").value(R.Mem.GuardedLoads);
+    J.key("guarded_load_faults").value(R.Mem.GuardedLoadFaults);
     J.key("spec_loads").value(R.Prefetch.CodeGen.SpecLoads);
     J.key("prefetches").value(R.Prefetch.CodeGen.Prefetches);
     J.key("jit_total_us").value(R.JitTotalUs);
@@ -147,6 +239,18 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
   J.key("failures").beginArray();
   for (const std::string &F : Result.Failures)
     J.value(F);
+  J.endArray();
+
+  J.key("quarantine").beginArray();
+  for (const QuarantineRecord &Q : Result.Quarantine) {
+    J.beginObject();
+    J.key("cell").value(static_cast<uint64_t>(Q.CellIndex));
+    J.key("tag").value(Q.Tag);
+    J.key("kind").value(Q.Kind);
+    J.key("attempts").value(static_cast<uint64_t>(Q.Attempts));
+    J.key("error").value(Q.Error);
+    J.endObject();
+  }
   J.endArray();
 
   J.endObject();

@@ -42,7 +42,31 @@ struct ExperimentCell {
 /// Result of one cell, in plan order.
 struct CellResult {
   workloads::RunResult Run;
-  bool Ran = false; ///< False only if the plan was empty/never executed.
+  /// The cell produced a result. False when the cell was never executed
+  /// or every attempt failed (see Failed/TimedOut/Transient).
+  bool Ran = false;
+  /// The cell's last attempt ended in an exception that is not an
+  /// injected transient fault (a real correctness problem).
+  bool Failed = false;
+  /// The cell hit its wall-clock deadline (SPF_CELL_TIMEOUT).
+  bool TimedOut = false;
+  /// Every attempt ended in an injected transient fault (chaos testing);
+  /// expected under fault injection, so not a Failure.
+  bool Transient = false;
+  /// Execution attempts made (>1 means transient faults were retried).
+  unsigned Attempts = 0;
+  /// what() of the exception that ended the last attempt, if any.
+  std::string Error;
+};
+
+/// One quarantined cell in the final report: a cell that was retried,
+/// timed out, or gave up — kept out of the aggregates either way.
+struct QuarantineRecord {
+  unsigned CellIndex = 0;
+  std::string Tag;     ///< "workload [ALGO, machine]" as in Failures.
+  std::string Kind;    ///< "retried" | "faulted" | "timeout" | "error".
+  unsigned Attempts = 0;
+  std::string Error;
 };
 
 /// An ordered list of cells. Order is significant: it is the aggregation
@@ -75,9 +99,13 @@ private:
 /// All cell results plus the driver's correctness verdicts.
 struct ExperimentResult {
   std::vector<CellResult> Cells; ///< Parallel to the plan, plan order.
-  /// Human-readable failure lines (self-check failures and baseline
-  /// mismatches), in plan order.
+  /// Human-readable failure lines (self-check failures, baseline
+  /// mismatches, timeouts, and non-transient cell errors), in plan order.
   std::vector<std::string> Failures;
+  /// Cells that needed retries or never produced a result, in plan
+  /// order. Purely-transient quarantines (injected chaos) are not
+  /// Failures; timeouts and real errors appear in both lists.
+  std::vector<QuarantineRecord> Quarantine;
 
   bool ok() const { return Failures.empty(); }
   const workloads::RunResult &run(unsigned Index) const {
@@ -88,6 +116,14 @@ struct ExperimentResult {
 /// Runs every cell of \p Plan on \p Jobs workers (1 = fully serial, no
 /// threads spawned) and returns results in plan order. Jobs of 0 means
 /// defaultJobs().
+///
+/// Failure containment: each cell runs under a per-cell wall-clock
+/// watchdog (SPF_CELL_TIMEOUT seconds; unset/0 = off) and, when
+/// SPF_FAULTS is set, a per-(cell, attempt) seeded fault injector.
+/// Injected transient faults are retried a bounded number of times;
+/// cells that still fail are quarantined. Results stay bit-identical to
+/// a serial run for any worker count: injector streams are derived from
+/// plan index and attempt number, never from scheduling.
 ExperimentResult runPlan(const ExperimentPlan &Plan, unsigned Jobs = 0);
 
 /// Writes the machine-readable report for a finished plan: metadata plus

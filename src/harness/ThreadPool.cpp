@@ -40,6 +40,26 @@ void ThreadPool::wait() {
       Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
 }
 
+namespace {
+
+/// Retires one task on destruction — on the normal path *and* when the
+/// task throws. Without this, an escaping exception would leak the
+/// ActiveTasks increment and wait() would block forever.
+template <typename Fn> struct TaskCompletion {
+  Fn F;
+  ~TaskCompletion() { F(); }
+};
+template <typename Fn> TaskCompletion(Fn) -> TaskCompletion<Fn>;
+
+} // namespace
+
+void ThreadPool::retireTask() {
+  std::lock_guard<std::mutex> Lock(QueueLock);
+  --ActiveTasks;
+  if (Tasks.empty() && ActiveTasks == 0)
+    CompletionCondition.notify_all();
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;
@@ -53,12 +73,13 @@ void ThreadPool::workerLoop() {
       Tasks.pop_front();
       ++ActiveTasks;
     }
-    Task();
-    {
-      std::lock_guard<std::mutex> Lock(QueueLock);
-      --ActiveTasks;
-      if (Tasks.empty() && ActiveTasks == 0)
-        CompletionCondition.notify_all();
+    TaskCompletion Completion{[this] { retireTask(); }};
+    try {
+      Task();
+    } catch (...) {
+      // A throwing task must not take the worker (and with it the whole
+      // pool) down; record it and move on to the next task.
+      UncaughtExceptions.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }

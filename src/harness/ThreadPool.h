@@ -12,7 +12,9 @@
 #ifndef SPF_HARNESS_THREADPOOL_H
 #define SPF_HARNESS_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -35,7 +37,10 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Enqueues \p Task for execution on some worker.
+  /// Enqueues \p Task for execution on some worker. A task that throws
+  /// does not kill the worker or wedge wait(): the exception is swallowed
+  /// (counted in uncaughtExceptions()) and the pool keeps running —
+  /// callers that care about failures must catch inside the task.
   void async(std::function<void()> Task);
 
   /// Blocks until every task submitted so far has finished.
@@ -45,8 +50,14 @@ public:
     return static_cast<unsigned>(Workers.size());
   }
 
+  /// Number of tasks whose exceptions escaped into the pool.
+  uint64_t uncaughtExceptions() const {
+    return UncaughtExceptions.load(std::memory_order_relaxed);
+  }
+
 private:
   void workerLoop();
+  void retireTask();
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Tasks;
@@ -55,6 +66,7 @@ private:
   std::condition_variable CompletionCondition; ///< Queue drained.
   unsigned ActiveTasks = 0;
   bool Shutdown = false;
+  std::atomic<uint64_t> UncaughtExceptions{0};
 };
 
 /// The worker count the harness should use: SPF_JOBS when set to a

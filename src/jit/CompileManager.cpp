@@ -30,10 +30,16 @@ CompileResult CompileManager::compile(ir::Method *M,
   CompileResult Result;
   Result.M = M;
 
-  // Stage 1: verification.
+  // Stage 1: verification. A malformed input method is a bailout, not a
+  // crash: the method simply stays uncompiled this time around.
   auto T0 = Clock::now();
-  if (!ir::verifyMethod(M))
-    reportFatalError("method failed verification before compilation");
+  if (!ir::verifyMethod(M)) {
+    Result.VerifyStatus = support::Status::error(
+        "method failed verification before compilation");
+    Result.Timings.VerifyUs = microsSince(T0);
+    TotalJitUs += Result.Timings.totalUs();
+    return Result;
+  }
   Result.Timings.VerifyUs = microsSince(T0);
 
   // Stage 2: conventional cleanup optimizations.
@@ -79,6 +85,8 @@ CompileResult CompileManager::compile(ir::Method *M,
   Aggregate.LoopsVisited += Result.Prefetch.LoopsVisited;
   Aggregate.LoopsSkippedSmallTrip += Result.Prefetch.LoopsSkippedSmallTrip;
   Aggregate.LoopsNotReached += Result.Prefetch.LoopsNotReached;
+  Aggregate.LoopsDegraded += Result.Prefetch.LoopsDegraded;
+  Aggregate.InspectionFaultsInjected += Result.Prefetch.InspectionFaultsInjected;
   Aggregate.CodeGen.Prefetches += Result.Prefetch.CodeGen.Prefetches;
   Aggregate.CodeGen.SpecLoads += Result.Prefetch.CodeGen.SpecLoads;
   for (const auto &LR : Result.Prefetch.Loops)

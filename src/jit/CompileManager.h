@@ -15,6 +15,7 @@
 #define SPF_JIT_COMPILEMANAGER_H
 
 #include "core/PrefetchPass.h"
+#include "support/Status.h"
 
 namespace spf {
 namespace jit {
@@ -36,6 +37,10 @@ struct CompileTimings {
 /// Outcome of compiling one method.
 struct CompileResult {
   ir::Method *M = nullptr;
+  /// Pre-compile verification outcome. A method that arrives malformed is
+  /// left as-is (the mixed-mode interpreter keeps executing the original
+  /// IR) rather than taking the VM down — the production-JIT bailout.
+  support::Status VerifyStatus = support::Status::success();
   CompileTimings Timings;
   core::PrefetchPassResult Prefetch;
   unsigned Folded = 0;
@@ -56,8 +61,11 @@ public:
   CompileManager(const vm::Heap &Heap, Options Opts)
       : Heap(Heap), Opts(std::move(Opts)) {}
 
-  /// Compiles \p M with compile-time argument values \p Args.
-  /// Aborts on verification failure (a compiler bug, not an input error).
+  /// Compiles \p M with compile-time argument values \p Args. A method
+  /// failing *pre*-compile verification is skipped recoverably (see
+  /// CompileResult::VerifyStatus); failing verification *after* the
+  /// prefetch pass still aborts — that is our codegen bug, not an input
+  /// error, and must never reach execution.
   CompileResult compile(ir::Method *M, const std::vector<uint64_t> &Args);
 
   /// Aggregate timings across everything compiled so far.

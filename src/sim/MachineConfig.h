@@ -49,6 +49,9 @@ struct MachineConfig {
   unsigned TlbMissPenalty = 50;   ///< Added on a DTLB miss (page walk).
   unsigned PrefetchIssueCost = 1; ///< Hardware prefetch instruction.
   unsigned GuardedLoadCost = 3;   ///< Guarded load incl. exception check.
+  /// Guarded load whose software exception check *fails*: the recovery
+  /// branch retires, nothing is loaded, no cache/TLB fill happens.
+  unsigned GuardFaultCost = 6;
   /// Cycles until a prefetched line becomes usable; an access arriving
   /// earlier pays the remainder (partial hiding).
   unsigned PrefetchFillLatency = 60;

@@ -102,3 +102,8 @@ void MemorySystem::guardedLoad(uint64_t Addr) {
   L2.prefetchFill(Addr, ReadyAt);
   L1.prefetchFill(Addr, ReadyAt);
 }
+
+void MemorySystem::guardedLoadFault() {
+  ++Stats.GuardedLoadFaults;
+  Cycles += Cfg.GuardFaultCost;
+}

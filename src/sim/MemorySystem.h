@@ -29,6 +29,9 @@ struct MemoryStats {
   uint64_t SwPrefetchesIssued = 0;
   uint64_t SwPrefetchesCancelled = 0; ///< DTLB miss cancelled the prefetch.
   uint64_t GuardedLoads = 0;
+  /// Guarded loads whose software exception check failed (garbage
+  /// speculative address): recovery-path cost only, no fill.
+  uint64_t GuardedLoadFaults = 0;
 };
 
 /// The simulated memory hierarchy of one machine.
@@ -56,6 +59,11 @@ public:
   /// cache levels, costing only the issue overhead — its latency is hidden
   /// by out-of-order execution since no computation consumes its result.
   void guardedLoad(uint64_t Addr);
+
+  /// Guarded load whose guard failed: the software exception check
+  /// rejected the address, so no memory access happens — only the
+  /// recovery branch's cost. Caches and the DTLB are untouched.
+  void guardedLoadFault();
 
   uint64_t cycles() const { return Cycles; }
   const MemoryStats &stats() const { return Stats; }

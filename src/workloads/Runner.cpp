@@ -61,6 +61,8 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
   // Execute on the simulated machine.
   sim::MemorySystem Mem(Opts.Machine);
   exec::Interpreter Interp(*W.Heap, Mem, &W.Roots);
+  if (Opts.TimeoutSeconds > 0.0)
+    Interp.setDeadline(Opts.TimeoutSeconds);
   Result.ReturnValue = Interp.run(W.Entry, W.EntryArgs);
 
   Result.CompiledCycles = Mem.cycles();

@@ -74,6 +74,42 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   EXPECT_EQ(Count.load(), 50u);
 }
 
+/// Regression test for the exception-safety bug: a throwing task used to
+/// leak its ActiveTasks increment (deadlocking wait()) and kill the
+/// worker via std::terminate. The pool must absorb the throw, count it,
+/// and stay fully usable.
+TEST(ThreadPoolTest, ThrowingTaskDoesNotWedgeThePool) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Count{0};
+  for (unsigned I = 0; I != 20; ++I) {
+    Pool.async([&Count, I] {
+      if (I % 4 == 0)
+        throw std::runtime_error("task blew up");
+      Count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  Pool.wait(); // Must return despite 5 of the 20 tasks throwing.
+  EXPECT_EQ(Count.load(), 15u);
+  EXPECT_EQ(Pool.uncaughtExceptions(), 5u);
+
+  // The pool remains usable after the throws: same workers, new batch.
+  for (unsigned I = 0; I != 10; ++I)
+    Pool.async([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 25u);
+  EXPECT_EQ(Pool.uncaughtExceptions(), 5u);
+}
+
+TEST(ThreadPoolTest, NonExceptionThrowIsAbsorbedToo) {
+  ThreadPool Pool(1);
+  std::atomic<bool> Ran{false};
+  Pool.async([] { throw 42; }); // Not derived from std::exception.
+  Pool.async([&Ran] { Ran = true; });
+  Pool.wait();
+  EXPECT_TRUE(Ran.load());
+  EXPECT_EQ(Pool.uncaughtExceptions(), 1u);
+}
+
 TEST(DefaultJobsTest, HonorsSpfJobsWhenPositive) {
   const char *Old = std::getenv("SPF_JOBS");
   std::string Saved = Old ? Old : "";
@@ -276,13 +312,18 @@ TEST(JsonReportTest, ReportCarriesTheCellStats) {
   writeJsonReport(OS, Plan, R, 0.05, 2);
   std::string S = OS.str();
 
-  EXPECT_NE(S.find("\"schema\":\"spf-sweep-v1\""), std::string::npos);
+  EXPECT_NE(S.find("\"schema\":\"spf-sweep-v2\""), std::string::npos);
   EXPECT_NE(S.find("\"jobs\":2"), std::string::npos);
   EXPECT_NE(S.find("\"ok\":true"), std::string::npos);
   EXPECT_NE(S.find("\"group\":\"json\""), std::string::npos);
   EXPECT_NE(S.find("\"workload\":\"jess\""), std::string::npos);
   EXPECT_NE(S.find("\"algorithm\":\"INTER+INTRA\""), std::string::npos);
+  EXPECT_NE(S.find("\"ran\":true"), std::string::npos);
+  EXPECT_NE(S.find("\"attempts\":1"), std::string::npos);
+  EXPECT_NE(S.find("\"guarded_load_faults\":"), std::string::npos);
   EXPECT_NE(S.find("\"failures\":[]"), std::string::npos);
+  // Clean run: nothing quarantined.
+  EXPECT_NE(S.find("\"quarantine\":[]"), std::string::npos);
   // The recorded cycles round-trip exactly.
   EXPECT_NE(S.find("\"cycles\":" + std::to_string(R.run(0).CompiledCycles)),
             std::string::npos);
@@ -303,6 +344,28 @@ TEST(JsonWriterTest, EscapesAndNests) {
   }
   EXPECT_EQ(OS.str(), "{\"s\":\"a\\\"b\\\\c\\n\",\"n\":42,"
                       "\"arr\":[true,false]}");
+}
+
+/// Pathological strings (a quarantined cell's error message could carry
+/// anything an exception what() produces): every control character must
+/// be escaped so the report stays machine-parseable.
+TEST(JsonWriterTest, EscapesEveryControlCharacter) {
+  std::ostringstream OS;
+  {
+    JsonWriter J(OS);
+    std::string Nasty = "a\rb\x01" "c\x1f"; // Split: \x is greedy.
+    Nasty.push_back('\0'); // Embedded NUL must be escaped, not truncate.
+    Nasty += "d\tz";
+    J.beginObject();
+    J.key("err").value(Nasty);
+    J.endObject();
+  }
+  EXPECT_EQ(OS.str(),
+            "{\"err\":\"a\\u000db\\u0001c\\u001f\\u0000d\\tz\"}");
+
+  // No raw byte below 0x20 may survive in any output.
+  for (char C : OS.str())
+    EXPECT_GE(static_cast<unsigned char>(C), 0x20u);
 }
 
 } // namespace
