@@ -82,6 +82,33 @@ inline unsigned jobsFromArgs(int argc, char **argv) {
   return harness::defaultJobs();
 }
 
+/// Record-once / replay-many knobs from the command line:
+///   --no-trace-reuse      interpret every cell directly (A/B baseline)
+///   --trace-cache-mb N    in-memory trace budget in MB (0 disables;
+///                         default: SPF_TRACE_MB, then 256)
+///   --trace-dir DIR       spill evicted traces to DIR and reuse them
+///                         across runs
+inline harness::TraceOptions traceOptionsFromArgs(int argc, char **argv) {
+  harness::TraceOptions T;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    double Mb = -1;
+    if (A == "--no-trace-reuse")
+      T.Enabled = false;
+    else if (A == "--trace-cache-mb" && I + 1 < argc)
+      Mb = std::atof(argv[I + 1]);
+    else if (A.rfind("--trace-cache-mb=", 0) == 0)
+      Mb = std::atof(A.c_str() + 17);
+    else if (A == "--trace-dir" && I + 1 < argc)
+      T.SpillDir = argv[I + 1];
+    else if (A.rfind("--trace-dir=", 0) == 0)
+      T.SpillDir = A.substr(12);
+    if (Mb >= 0)
+      T.BudgetBytes = static_cast<size_t>(Mb * 1024.0 * 1024.0);
+  }
+  return T;
+}
+
 /// Results for one workload under the three configurations.
 struct WorkloadRuns {
   const workloads::WorkloadSpec *Spec = nullptr;

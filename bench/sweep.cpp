@@ -7,6 +7,7 @@
 ///
 /// Usage:
 ///   sweep [--jobs N] [--json FILE] [--workloads a,b,c]
+///         [--no-trace-reuse] [--trace-cache-mb N] [--trace-dir DIR]
 ///
 ///   --jobs N          worker threads (default: SPF_JOBS, then hardware
 ///                     concurrency); results are bit-identical for any N
@@ -14,10 +15,20 @@
 ///                     stdout)
 ///   --workloads CSV   restrict to a comma-separated subset of Table 3
 ///                     workload names
+///   --no-trace-reuse  interpret every cell directly instead of replaying
+///                     recorded access traces (statistics are identical
+///                     either way; this is the A/B baseline CI diffs
+///                     against)
+///   --trace-cache-mb N  in-memory trace cache budget in MB (0 disables;
+///                     default: SPF_TRACE_MB, then 256)
+///   --trace-dir DIR   spill evicted traces to DIR; later runs replay
+///                     them across process boundaries
 ///   SPF_SCALE=0.1     reduced problem scale, as for every bench binary
+///   SPF_TRACE_MB=N    default trace cache budget in MB
 ///   SPF_FAULTS=...    chaos mode: seeded fault injection (DESIGN.md,
 ///                     "Failure model"); quarantined cells are reported
-///                     but injected transients do not fail the run
+///                     but injected transients do not fail the run —
+///                     fault injection also disables trace reuse
 ///   SPF_CELL_TIMEOUT=S  per-cell wall-clock watchdog in seconds
 ///
 /// Exit code is nonzero when any workload self-check fails or prefetching
@@ -88,6 +99,47 @@ void printSpeedups(const char *Title,
                 speedup(Row, Row.Inter), speedup(Row, Row.Intra));
 }
 
+/// Per-cell wall-clock accounting: which cells interpreted (and how
+/// long), which replayed a recorded trace, plus a cache summary line.
+void printCellTimings(const harness::ExperimentPlan &Plan,
+                      const harness::ExperimentResult &Result) {
+  std::printf("\nPer-cell wall clock (record-once / replay-many)\n");
+  std::printf("%-12s %-9s %-12s %12s %12s\n", "benchmark", "machine",
+              "algorithm", "interpret_us", "replay_us");
+  for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
+       ++I) {
+    const harness::ExperimentCell &C = Plan.cells()[I];
+    const workloads::RunResult &R = Result.run(I);
+    if (!Result.Cells[I].Ran)
+      continue;
+    std::printf("%-12s %-9s %-12s %12.0f %12.0f%s\n", C.Spec->Name.c_str(),
+                C.Opt.Machine.Name.c_str(),
+                workloads::algorithmName(C.Opt.Algo), R.InterpretUs,
+                R.ReplayUs, R.Replayed ? "  (replayed)" : "");
+  }
+
+  const harness::TraceCacheStats &T = Result.Trace;
+  uint64_t Lookups = T.Hits + T.Misses;
+  if (!Result.TraceEnabled) {
+    std::printf("trace cache: disabled\n");
+    return;
+  }
+  std::printf("trace cache: %llu/%llu hits (%.0f%%), %llu inserts, "
+              "%llu evictions, %llu overflows, %llu spilled, "
+              "%.1f/%.0f MB used\n",
+              static_cast<unsigned long long>(T.Hits),
+              static_cast<unsigned long long>(Lookups),
+              Lookups ? 100.0 * static_cast<double>(T.Hits) /
+                            static_cast<double>(Lookups)
+                      : 0.0,
+              static_cast<unsigned long long>(T.Inserts),
+              static_cast<unsigned long long>(T.Evictions),
+              static_cast<unsigned long long>(T.Overflows),
+              static_cast<unsigned long long>(T.SpillStores),
+              static_cast<double>(Result.TraceBytesInUse) / (1 << 20),
+              static_cast<double>(Result.TraceBudgetBytes) / (1 << 20));
+}
+
 void printMpi(const char *Title, const std::vector<WorkloadRuns> &Rows,
               uint64_t sim::MemoryStats::*Counter) {
   std::printf("\n%s\n", Title);
@@ -118,6 +170,7 @@ int main(int argc, char **argv) {
       InjectFailure = true;
   }
   unsigned Jobs = jobsFromArgs(argc, argv);
+  harness::TraceOptions Trace = traceOptionsFromArgs(argc, argv);
 
   std::vector<const WorkloadSpec *> Specs = selectWorkloads(WorkloadCsv);
   if (Specs.empty()) {
@@ -165,7 +218,7 @@ int main(int argc, char **argv) {
               scaleFromEnv());
 
   auto Start = std::chrono::steady_clock::now();
-  harness::ExperimentResult Result = harness::runPlan(Plan, Jobs);
+  harness::ExperimentResult Result = harness::runPlan(Plan, Jobs, Trace);
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     Start)
@@ -196,6 +249,8 @@ int main(int argc, char **argv) {
            &sim::MemoryStats::L2LoadMisses);
   printMpi("Figure 10: DTLB load MPIs on the Pentium 4", P4Rows,
            &sim::MemoryStats::DtlbLoadMisses);
+
+  printCellTimings(Plan, Result);
 
   if (JsonPath == "-") {
     harness::writeJsonReport(std::cout, Plan, Result, scaleFromEnv(),

@@ -16,6 +16,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "sim/MachineConfig.h"
+#include "sim/MemorySystem.h"
 
 #include <iostream>
 

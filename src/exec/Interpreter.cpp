@@ -35,9 +35,18 @@ void Interpreter::setDeadline(double Seconds) {
                    std::chrono::duration<double>(Seconds));
 }
 
-Interpreter::Interpreter(vm::Heap &Heap, sim::MemorySystem &Mem,
+Interpreter::Interpreter(vm::Heap &Heap, AccessSink &Sink,
                          std::vector<vm::Addr> *ExternalRoots)
-    : Heap(Heap), Mem(Mem), ExternalRoots(ExternalRoots) {}
+    : Heap(Heap), Sink(Sink), ExternalRoots(ExternalRoots) {}
+
+SiteId Interpreter::siteOf(const ir::Instruction *I) {
+  auto It = LoadSites.find(I);
+  if (It != LoadSites.end())
+    return It->second;
+  SiteId Id = static_cast<SiteId>(LoadSites.size());
+  LoadSites.emplace(I, Id);
+  return Id;
+}
 
 const Interpreter::MethodInfo &Interpreter::infoFor(Method *M) {
   auto It = Infos.find(M);
@@ -89,7 +98,7 @@ void Interpreter::collectGarbage() {
   ++Stats.GcRuns;
   // Charge a nominal pause; GC cost is not part of the paper's metric
   // (best-run steady-state timing), so keep it small but nonzero.
-  Mem.tick(10000);
+  Sink.tick(10000);
 }
 
 vm::Addr Interpreter::allocate(const Instruction *I, const Frame &F) {
@@ -114,7 +123,7 @@ vm::Addr Interpreter::allocate(const Instruction *I, const Frame &F) {
       trap("out of memory after garbage collection");
   }
   ++Stats.Allocations;
-  Mem.tick(4); // Bump allocation + zeroing fast path.
+  Sink.tick(4); // Bump allocation + zeroing fast path.
   return A;
 }
 
@@ -276,13 +285,13 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
           std::chrono::steady_clock::now() >= Deadline)
         throw support::CellTimeout("cell wall-clock deadline exceeded");
       if (Interpreted)
-        Mem.tick(InterpPenalty); // Bytecode dispatch overhead.
+        Sink.tick(InterpPenalty); // Bytecode dispatch overhead.
 
       switch (I->opcode()) {
       case Opcode::Binary: {
         auto *B = cast<BinaryInst>(I);
         F.Regs[I->id()] = evalBinary(B, eval(F, B->lhs()), eval(F, B->rhs()));
-        Mem.tick(1);
+        Sink.tick(1);
         break;
       }
       case Opcode::Conv: {
@@ -311,7 +320,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
           break;
         }
         }
-        Mem.tick(1);
+        Sink.tick(1);
         break;
       }
       case Opcode::GetField: {
@@ -320,7 +329,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         if (!Obj)
           trap("null pointer in getfield");
         vm::Addr A = Obj + G->field()->Offset;
-        Mem.load(A);
+        Sink.load(A, siteOf(I));
         F.Regs[I->id()] = Heap.load(A, G->type());
         break;
       }
@@ -330,19 +339,19 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         if (!Obj)
           trap("null pointer in putfield");
         vm::Addr A = Obj + P->field()->Offset;
-        Mem.store(A);
+        Sink.store(A);
         Heap.store(A, P->field()->Ty, eval(F, P->value()));
         break;
       }
       case Opcode::GetStatic: {
         auto *G = cast<GetStaticInst>(I);
-        Mem.load(G->variable()->Address);
+        Sink.load(G->variable()->Address, siteOf(I));
         F.Regs[I->id()] = Heap.load(G->variable()->Address, G->type());
         break;
       }
       case Opcode::PutStatic: {
         auto *P = cast<PutStaticInst>(I);
-        Mem.store(P->variable()->Address);
+        Sink.store(P->variable()->Address);
         Heap.store(P->variable()->Address, P->variable()->Ty,
                    eval(F, P->value()));
         break;
@@ -357,7 +366,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
                static_cast<uint64_t>(Idx) < Heap.arrayLength(Arr) &&
                "array index out of bounds");
         vm::Addr A = Heap.elemAddr(Arr, static_cast<uint64_t>(Idx));
-        Mem.load(A);
+        Sink.load(A, siteOf(I));
         F.Regs[I->id()] = Heap.load(A, AL->type());
         break;
       }
@@ -371,7 +380,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
                static_cast<uint64_t>(Idx) < Heap.arrayLength(Arr) &&
                "array index out of bounds");
         vm::Addr A = Heap.elemAddr(Arr, static_cast<uint64_t>(Idx));
-        Mem.store(A);
+        Sink.store(A);
         Heap.store(A, Heap.arrayElemType(Arr), eval(F, AS->value()));
         break;
       }
@@ -380,7 +389,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         vm::Addr Arr = eval(F, AL->array());
         if (!Arr)
           trap("null pointer in arraylength");
-        Mem.load(Arr + vm::ArrayLengthOffset);
+        Sink.load(Arr + vm::ArrayLengthOffset, siteOf(I));
         F.Regs[I->id()] =
             static_cast<uint64_t>(static_cast<int64_t>(Heap.arrayLength(Arr)));
         break;
@@ -396,7 +405,7 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         CallArgs.clear();
         for (Value *Op : C->operands())
           CallArgs.push_back(eval(F, Op));
-        Mem.tick(5); // Call/return overhead.
+        Sink.tick(5); // Call/return overhead.
         ++Stats.Calls;
         uint64_t R = execute(C->callee(), CallArgs);
         if (I->type() != Type::Void)
@@ -407,13 +416,13 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         break; // Unreachable; handled above.
       case Opcode::Branch: {
         auto *B = cast<BranchInst>(I);
-        Mem.tick(1);
+        Sink.tick(1);
         NextBB = eval(F, B->condition()) ? B->trueSuccessor()
                                          : B->falseSuccessor();
         break;
       }
       case Opcode::Jump:
-        Mem.tick(1);
+        Sink.tick(1);
         NextBB = cast<JumpInst>(I)->target();
         break;
       case Opcode::Ret: {
@@ -434,11 +443,11 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
           // Software exception check: only touch mapped memory. A failed
           // check takes the recovery branch — no cache or TLB fill.
           if (Heap.isValidAccess(A, 8))
-            Mem.guardedLoad(A);
+            Sink.guardedLoad(A);
           else
-            Mem.guardedLoadFault();
+            Sink.guardedLoadFault();
         } else {
-          Mem.prefetch(A);
+          Sink.prefetch(A);
         }
         break;
       }
@@ -449,10 +458,10 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         if (SPF_FAULT_POINT(support::FaultSite::GuardAddr))
           A ^= 0xDEAD000000000000ull;
         if (Heap.isValidAccess(A, 8)) {
-          Mem.guardedLoad(A);
+          Sink.guardedLoad(A);
           F.Regs[I->id()] = Heap.load(A, Type::Ref);
         } else {
-          Mem.guardedLoadFault();
+          Sink.guardedLoadFault();
           F.Regs[I->id()] = 0;
         }
         break;

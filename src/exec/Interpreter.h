@@ -2,9 +2,14 @@
 ///
 /// \file
 /// Executes compiled IR methods over the simulated heap, reporting every
-/// memory operation to the machine's MemorySystem. This stands in for the
+/// memory operation to an abstract AccessSink. This stands in for the
 /// JVM's compiled-code execution: the paper's measured quantities (cycles,
-/// retired instructions, cache/DTLB miss events) all originate here.
+/// retired instructions, cache/DTLB miss events) all originate here — but
+/// the interpreter itself knows nothing about timing. The usual sink is
+/// sim::MemorySystem (live simulation); wrapping it in a
+/// trace::RecordingSink captures the access stream for record-once /
+/// replay-many sweeps. Demand loads are attributed to their static load
+/// site (exec::SiteId, assigned in first-execution order).
 ///
 /// Allocation failures trigger the mark-compact collector with the active
 /// frames' reference slots plus the caller-provided handles as roots.
@@ -14,8 +19,8 @@
 #ifndef SPF_EXEC_INTERPRETER_H
 #define SPF_EXEC_INTERPRETER_H
 
+#include "exec/AccessSink.h"
 #include "ir/Module.h"
-#include "sim/MemorySystem.h"
 #include "vm/GarbageCollector.h"
 
 #include <chrono>
@@ -41,8 +46,10 @@ struct ExecStats {
 class Interpreter {
 public:
   /// \p ExternalRoots are mutator handles (workload data-structure roots)
-  /// that the GC must trace and may update.
-  Interpreter(vm::Heap &Heap, sim::MemorySystem &Mem,
+  /// that the GC must trace and may update. \p Sink consumes the memory
+  /// event stream (typically a sim::MemorySystem, possibly behind a
+  /// trace::RecordingSink); the interpreter never reads it back.
+  Interpreter(vm::Heap &Heap, AccessSink &Sink,
               std::vector<vm::Addr> *ExternalRoots = nullptr);
 
   /// Runs \p M with \p Args; returns the raw 64-bit result (0 for void).
@@ -71,6 +78,11 @@ public:
   const ExecStats &stats() const { return Stats; }
   vm::GarbageCollector &gc() { return Gc; }
 
+  /// Distinct static load sites executed so far (dense SiteId space).
+  unsigned loadSiteCount() const {
+    return static_cast<unsigned>(LoadSites.size());
+  }
+
   /// Execution budget; exceeding it throws support::RuntimeTrap
   /// (runaway-loop protection).
   void setMaxInstructions(uint64_t Max) { MaxInstructions = Max; }
@@ -93,6 +105,7 @@ private:
   };
 
   const MethodInfo &infoFor(ir::Method *M);
+  SiteId siteOf(const ir::Instruction *I);
   uint64_t execute(ir::Method *M, const std::vector<uint64_t> &Args);
   uint64_t eval(const Frame &F, const ir::Value *V) const;
   uint64_t evalBinary(const ir::BinaryInst *B, uint64_t L, uint64_t R) const;
@@ -101,7 +114,7 @@ private:
   void collectGarbage();
 
   vm::Heap &Heap;
-  sim::MemorySystem &Mem;
+  AccessSink &Sink;
   std::vector<vm::Addr> *ExternalRoots;
   CompileHook MixedModeHook;
   unsigned CompileThreshold = 0;
@@ -114,6 +127,9 @@ private:
   bool HasDeadline = false;
   std::chrono::steady_clock::time_point Deadline;
   std::unordered_map<ir::Method *, MethodInfo> Infos;
+  /// Load-site attribution: instruction -> dense SiteId, assigned in
+  /// first-execution order (deterministic for a deterministic program).
+  std::unordered_map<const ir::Instruction *, SiteId> LoadSites;
   std::vector<Frame *> ActiveFrames;
   unsigned CallDepth = 0;
 };

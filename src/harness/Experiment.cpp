@@ -7,7 +7,9 @@
 #include "support/FaultInjection.h"
 #include "support/Status.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <ostream>
 
 using namespace spf;
@@ -69,10 +71,40 @@ std::string cellTag(const ExperimentCell &C) {
          C.Opt.Machine.Name + "]";
 }
 
+/// FNV-1a over the per-site stats, as a 16-hex-digit string. A compact
+/// per-cell fingerprint of the full load-site attribution: two runs with
+/// equal hashes had bit-identical per-site miss profiles, which is how
+/// the CI replay-vs-direct diff covers site stats without emitting every
+/// site as a JSON row.
+std::string siteStatsHash(const std::vector<sim::SiteStats> &Sites) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    for (unsigned B = 0; B < 8; ++B) {
+      H ^= (V >> (B * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  for (const sim::SiteStats &S : Sites) {
+    Mix(S.Loads);
+    Mix(S.L1Misses);
+    Mix(S.L2Misses);
+    Mix(S.DtlbMisses);
+  }
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
 } // namespace
 
 ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
                                   unsigned Jobs) {
+  return runPlan(Plan, Jobs, TraceOptions());
+}
+
+ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
+                                  const TraceOptions &Trace) {
   if (Jobs == 0)
     Jobs = defaultJobs();
 
@@ -92,11 +124,38 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
   const double TimeoutSec = cellTimeoutSeconds();
   constexpr unsigned MaxTransientAttempts = 3;
 
+  // Record-once / replay-many: active only when requested, budgeted, and
+  // chaos-free. Fault injection must keep exercising the real interpret
+  // path (and can corrupt a recording mid-stream), so any enabled fault
+  // site turns reuse off for the whole plan — the PR 2 quarantine
+  // machinery below sees exactly the behavior it always did.
+  const bool UseTrace =
+      Trace.Enabled && Trace.BudgetBytes > 0 && !Faults.anyEnabled();
+  std::optional<TraceCache> Cache;
+  if (UseTrace)
+    Cache.emplace(Trace.BudgetBytes, Trace.SpillDir);
+
   auto RunCell = [&](unsigned I) {
     const ExperimentCell &C = Plan.cells()[I];
     CellResult &Cell = Result.Cells[I];
     workloads::RunOptions Opt = C.Opt;
     Opt.TimeoutSeconds = TimeoutSec;
+
+    // Cells whose signature is cached replay the recorded access stream
+    // instead of re-interpreting; stats are bit-identical either way, so
+    // which cell records and which replays (a scheduling accident under
+    // Jobs > 1) never shows up in the results.
+    const std::string Sig =
+        UseTrace ? workloads::executionSignature(*C.Spec, Opt)
+                 : std::string();
+    if (!Sig.empty()) {
+      if (auto E = Cache->lookup(Sig)) {
+        ++Cell.Attempts;
+        Cell.Run = workloads::replayTrace(E->ExecSide, E->Buf, Opt.Machine);
+        Cell.Ran = true;
+        return;
+      }
+    }
 
     for (unsigned Attempt = 0; Attempt < MaxTransientAttempts; ++Attempt) {
       ++Cell.Attempts;
@@ -109,7 +168,23 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
       try {
         if (SPF_FAULT_POINT(support::FaultSite::CellExec))
           throw support::TransientFault("injected cell fault");
-        Cell.Run = workloads::runWorkload(*C.Spec, Opt);
+        if (!Sig.empty()) {
+          // Tee the access stream while simulating live; the recording
+          // never perturbs the run, and an over-cap trace is simply
+          // dropped (the run's own results stand either way).
+          trace::TraceBuffer Buf;
+          Buf.setByteCap(Trace.BudgetBytes);
+          Opt.Record = &Buf;
+          Opt.ReserveEvents = Cache->reservedEvents(C.Spec->Name);
+          Cell.Run = workloads::runWorkload(*C.Spec, Opt);
+          Opt.Record = nullptr;
+          if (Buf.overflowed())
+            Cache->noteOverflow(C.Spec->Name);
+          else
+            Cache->insert(Sig, std::move(Buf), Cell.Run);
+        } else {
+          Cell.Run = workloads::runWorkload(*C.Spec, Opt);
+        }
         Cell.Ran = true;
         Cell.Failed = Cell.TimedOut = Cell.Transient = false;
         Cell.Error.clear();
@@ -188,6 +263,13 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
       Result.Failures.push_back(
           Tag + ": computed a different result than its baseline run");
   }
+
+  Result.TraceEnabled = UseTrace;
+  if (Cache) {
+    Result.Trace = Cache->stats();
+    Result.TraceBytesInUse = Cache->bytesInUse();
+    Result.TraceBudgetBytes = Cache->budgetBytes();
+  }
   return Result;
 }
 
@@ -220,8 +302,10 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("loads").value(R.Mem.Loads);
     J.key("stores").value(R.Mem.Stores);
     J.key("l1_load_misses").value(R.Mem.L1LoadMisses);
+    J.key("l1_store_misses").value(R.Mem.L1StoreMisses);
     J.key("l2_load_misses").value(R.Mem.L2LoadMisses);
     J.key("dtlb_load_misses").value(R.Mem.DtlbLoadMisses);
+    J.key("cycles_stalled_on_loads").value(R.Mem.CyclesStalledOnLoads);
     J.key("sw_prefetches_issued").value(R.Mem.SwPrefetchesIssued);
     J.key("sw_prefetches_cancelled").value(R.Mem.SwPrefetchesCancelled);
     J.key("guarded_loads").value(R.Mem.GuardedLoads);
@@ -232,9 +316,31 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("jit_prefetch_us").value(R.JitPrefetchUs);
     J.key("return_value").value(R.ReturnValue);
     J.key("self_check_ok").value(R.SelfCheckOk);
+    J.key("load_sites").value(static_cast<uint64_t>(R.Sites.size()));
+    J.key("site_stats_hash").value(siteStatsHash(R.Sites));
+    // Wall-clock bookkeeping — which cell recorded vs replayed depends
+    // on scheduling; consumers comparing reports must ignore these
+    // (see .github/workflows/ci.yml, replay-vs-direct diff).
+    J.key("replayed").value(R.Replayed);
+    J.key("interpret_us").value(R.InterpretUs);
+    J.key("replay_us").value(R.ReplayUs);
     J.endObject();
   }
   J.endArray();
+
+  J.key("trace").beginObject();
+  J.key("enabled").value(Result.TraceEnabled);
+  J.key("hits").value(Result.Trace.Hits);
+  J.key("misses").value(Result.Trace.Misses);
+  J.key("inserts").value(Result.Trace.Inserts);
+  J.key("evictions").value(Result.Trace.Evictions);
+  J.key("overflows").value(Result.Trace.Overflows);
+  J.key("spill_stores").value(Result.Trace.SpillStores);
+  J.key("spill_loads").value(Result.Trace.SpillLoads);
+  J.key("bytes_in_use").value(static_cast<uint64_t>(Result.TraceBytesInUse));
+  J.key("budget_bytes").value(
+      static_cast<uint64_t>(Result.TraceBudgetBytes));
+  J.endObject();
 
   J.key("failures").beginArray();
   for (const std::string &F : Result.Failures)

@@ -19,6 +19,7 @@
 #ifndef SPF_HARNESS_EXPERIMENT_H
 #define SPF_HARNESS_EXPERIMENT_H
 
+#include "harness/TraceCache.h"
 #include "workloads/Runner.h"
 
 #include <optional>
@@ -96,6 +97,23 @@ private:
   std::vector<ExperimentCell> Cells;
 };
 
+/// Record-once / replay-many configuration for a plan. With tracing
+/// enabled, cells that share an execution signature interpret once and
+/// replay the recorded access stream through every other timing variant
+/// (bit-identical stats, a fraction of the time). Tracing silently
+/// disables itself when fault injection is active (SPF_FAULTS): chaos
+/// must keep exercising the real interpret path, and injected faults
+/// make recordings non-reusable.
+struct TraceOptions {
+  /// Master switch (bench: --no-trace-reuse clears it).
+  bool Enabled = true;
+  /// In-memory byte budget for cached traces; 0 disables tracing.
+  /// Defaults from SPF_TRACE_MB (see TraceCache::budgetFromEnv).
+  size_t BudgetBytes = TraceCache::budgetFromEnv();
+  /// Optional spill directory for evicted traces (bench: --trace-dir).
+  std::string SpillDir;
+};
+
 /// All cell results plus the driver's correctness verdicts.
 struct ExperimentResult {
   std::vector<CellResult> Cells; ///< Parallel to the plan, plan order.
@@ -106,6 +124,13 @@ struct ExperimentResult {
   /// order. Purely-transient quarantines (injected chaos) are not
   /// Failures; timeouts and real errors appear in both lists.
   std::vector<QuarantineRecord> Quarantine;
+
+  /// Whether trace reuse was actually active for this plan (requested,
+  /// budget > 0, and no fault injection), plus the cache's counters.
+  bool TraceEnabled = false;
+  TraceCacheStats Trace;
+  size_t TraceBytesInUse = 0;
+  size_t TraceBudgetBytes = 0;
 
   bool ok() const { return Failures.empty(); }
   const workloads::RunResult &run(unsigned Index) const {
@@ -125,6 +150,17 @@ struct ExperimentResult {
 /// a serial run for any worker count: injector streams are derived from
 /// plan index and attempt number, never from scheduling.
 ExperimentResult runPlan(const ExperimentPlan &Plan, unsigned Jobs = 0);
+
+/// As above, with explicit record-once / replay-many configuration. The
+/// default overload uses TraceOptions{} (reuse on, budget from
+/// SPF_TRACE_MB). Trace reuse never changes reported statistics: a
+/// replayed cell's MemoryStats, per-site stats, and cycles are
+/// bit-identical to direct interpretation (tests/trace_test.cpp), so
+/// results remain independent of worker count and cache state; only the
+/// wall-clock bookkeeping fields (Replayed, InterpretUs, ReplayUs)
+/// depend on which cell happened to record first.
+ExperimentResult runPlan(const ExperimentPlan &Plan, unsigned Jobs,
+                         const TraceOptions &Trace);
 
 /// Writes the machine-readable report for a finished plan: metadata plus
 /// one record per cell with the simulator statistics the figures use.

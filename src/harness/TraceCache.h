@@ -1,0 +1,117 @@
+//===- harness/TraceCache.h - Record-once/replay-many trace store -*- C++ -*-===//
+///
+/// \file
+/// A thread-safe LRU cache of recorded access traces keyed by execution
+/// signature (workloads::executionSignature). Each entry pairs the
+/// encoded trace with the execution-side result of the run that recorded
+/// it (retired instructions, return value, JIT stats — everything the
+/// signature determines); replaying the trace through a machine's
+/// MemorySystem reconstitutes the full per-cell result without
+/// re-interpreting the workload.
+///
+/// The in-memory footprint is bounded by a byte budget (default from
+/// SPF_TRACE_MB); least-recently-used entries are evicted first. With a
+/// spill directory configured, every accepted recording is written
+/// through to disk and misses check the directory before giving up, so
+/// evicted entries stay replayable and repeat sweeps replay across
+/// process boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_HARNESS_TRACECACHE_H
+#define SPF_HARNESS_TRACECACHE_H
+
+#include "trace/TraceBuffer.h"
+#include "workloads/Runner.h"
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace spf {
+namespace harness {
+
+/// Cache effectiveness counters (monotonic; snapshot via stats()).
+struct TraceCacheStats {
+  uint64_t Hits = 0;       ///< Lookups served (memory or spill).
+  uint64_t Misses = 0;     ///< Lookups that found nothing.
+  uint64_t Inserts = 0;    ///< Entries accepted into memory.
+  uint64_t Evictions = 0;  ///< Entries pushed out by the byte budget.
+  uint64_t Overflows = 0;  ///< Recordings discarded (over byte cap).
+  uint64_t SpillStores = 0;///< Entries written to the spill directory.
+  uint64_t SpillLoads = 0; ///< Hits served from the spill directory.
+};
+
+class TraceCache {
+public:
+  /// One cached recording. ExecSide carries the execution-side result of
+  /// the run that recorded Buf (its machine-specific Mem/Sites/cycles
+  /// fields are dead weight; replayTrace overwrites them).
+  struct Entry {
+    trace::TraceBuffer Buf;
+    workloads::RunResult ExecSide;
+  };
+
+  /// \p BudgetBytes bounds the in-memory encoded-trace bytes (0 disables
+  /// caching entirely); \p SpillDir, when non-empty, receives evicted and
+  /// oversized entries as files.
+  explicit TraceCache(size_t BudgetBytes, std::string SpillDir = "");
+
+  /// Returns the entry recorded under \p Sig, refreshing its LRU
+  /// position, or null. Checks the spill directory on a memory miss.
+  /// The returned entry is immutable and safe to use while other threads
+  /// insert or evict.
+  std::shared_ptr<const Entry> lookup(const std::string &Sig);
+
+  /// Caches \p Buf (finished, not overflowed) and its execution-side
+  /// result under \p Sig, evicting LRU entries to fit the budget. An
+  /// entry larger than the whole budget is only spilled, never held.
+  void insert(const std::string &Sig, trace::TraceBuffer Buf,
+              workloads::RunResult ExecSide);
+
+  /// Records that a recording for \p Workload was discarded over-cap.
+  void noteOverflow(const std::string &Workload);
+
+  /// Pre-size hint for the next recording of \p Workload: the encoded
+  /// event count of the workload's most recent trace (any signature —
+  /// algorithms change prefetch events, not the order of magnitude).
+  /// 0 when the workload has not been recorded yet.
+  uint64_t reservedEvents(const std::string &Workload) const;
+
+  TraceCacheStats stats() const;
+  size_t bytesInUse() const;
+  size_t budgetBytes() const { return Budget; }
+
+  /// In-memory byte budget from SPF_TRACE_MB (megabytes; unset or
+  /// unparsable = 256 MB, 0 = disable caching).
+  static size_t budgetFromEnv();
+
+private:
+  struct Slot {
+    std::string Sig;
+    std::shared_ptr<const Entry> E;
+    size_t Bytes = 0;
+  };
+
+  void evictToFitLocked(size_t Incoming);
+  void spillLocked(const Slot &S);
+  std::shared_ptr<const Entry> loadSpilled(const std::string &Sig);
+  std::string spillPathFor(const std::string &Sig) const;
+
+  const size_t Budget;
+  const std::string SpillDir;
+
+  mutable std::mutex Mu;
+  std::list<Slot> Lru; // Front = most recently used.
+  std::unordered_map<std::string, std::list<Slot>::iterator> Index;
+  std::unordered_map<std::string, uint64_t> EventsByWorkload;
+  size_t Bytes = 0;
+  TraceCacheStats Stats;
+};
+
+} // namespace harness
+} // namespace spf
+
+#endif // SPF_HARNESS_TRACECACHE_H

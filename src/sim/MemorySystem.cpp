@@ -19,13 +19,17 @@ void MemorySystem::hwPrefetchOnMiss(uint64_t Addr) {
     L2.prefetchFill(Target, Cycles + Cfg.PrefetchFillLatency);
 }
 
-void MemorySystem::demandAccess(uint64_t Addr, bool IsLoad) {
+uint64_t MemorySystem::demandAccess(uint64_t Addr, bool IsLoad,
+                                    SiteStats *Site) {
   uint64_t Cost = Cfg.L1HitCycles;
 
   if (!Dtlb.access(Addr)) {
     Cost += Cfg.TlbMissPenalty;
-    if (IsLoad)
+    if (IsLoad) {
       ++Stats.DtlbLoadMisses;
+      if (Site)
+        ++Site->DtlbMisses;
+    }
   }
 
   CacheAccessResult R1 = L1.access(Addr, Cycles);
@@ -37,8 +41,13 @@ void MemorySystem::demandAccess(uint64_t Addr, bool IsLoad) {
     if (R1.WaitCycles > Cfg.L2HitPenalty)
       hwPrefetchOnMiss(Addr);
   } else {
-    if (IsLoad)
+    if (IsLoad) {
       ++Stats.L1LoadMisses;
+      if (Site)
+        ++Site->L1Misses;
+    } else {
+      ++Stats.L1StoreMisses;
+    }
     CacheAccessResult R2 = L2.access(Addr, Cycles);
     if (R2.Hit) {
       Cost += Cfg.L2HitPenalty + R2.WaitCycles;
@@ -46,23 +55,31 @@ void MemorySystem::demandAccess(uint64_t Addr, bool IsLoad) {
         hwPrefetchOnMiss(Addr);
     } else {
       Cost += Cfg.L2HitPenalty + Cfg.MemPenalty;
-      if (IsLoad)
+      if (IsLoad) {
         ++Stats.L2LoadMisses;
+        if (Site)
+          ++Site->L2Misses;
+      }
       hwPrefetchOnMiss(Addr);
     }
   }
 
   Cycles += Cost;
+  return Cost;
 }
 
-void MemorySystem::load(uint64_t Addr) {
+void MemorySystem::load(uint64_t Addr, exec::SiteId Site) {
   ++Stats.Loads;
-  demandAccess(Addr, /*IsLoad=*/true);
+  if (Site >= Sites.size())
+    Sites.resize(Site + 1);
+  SiteStats &S = Sites[Site];
+  ++S.Loads;
+  Stats.CyclesStalledOnLoads += demandAccess(Addr, /*IsLoad=*/true, &S);
 }
 
 void MemorySystem::store(uint64_t Addr) {
   ++Stats.Stores;
-  demandAccess(Addr, /*IsLoad=*/false);
+  demandAccess(Addr, /*IsLoad=*/false, nullptr);
 }
 
 void MemorySystem::prefetch(uint64_t Addr) {

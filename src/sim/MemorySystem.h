@@ -3,18 +3,24 @@
 /// \file
 /// Composes the cache hierarchy, the DTLB, and the hardware prefetcher
 /// behind the event interface the interpreter drives: compute ticks,
-/// demand loads/stores, hardware prefetch instructions, and guarded loads.
-/// Owns the cycle clock and the counters behind Figures 8-10 (load misses
-/// per instruction).
+/// demand loads/stores, hardware prefetch instructions, and guarded
+/// loads. This is the canonical exec::AccessSink implementation — the
+/// timing half of the execution/timing split — so it can consume either
+/// a live interpreter or a replayed trace::TraceBuffer, with identical
+/// results. Owns the cycle clock and the counters behind Figures 8-10
+/// (load misses per instruction), plus per-load-site attribution.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPF_SIM_MEMORYSYSTEM_H
 #define SPF_SIM_MEMORYSYSTEM_H
 
+#include "exec/AccessSink.h"
 #include "sim/HardwarePrefetcher.h"
 #include "sim/MachineConfig.h"
 #include "sim/Tlb.h"
+
+#include <vector>
 
 namespace spf {
 namespace sim {
@@ -24,6 +30,7 @@ struct MemoryStats {
   uint64_t Loads = 0;
   uint64_t Stores = 0;
   uint64_t L1LoadMisses = 0;
+  uint64_t L1StoreMisses = 0;
   uint64_t L2LoadMisses = 0;
   uint64_t DtlbLoadMisses = 0;
   uint64_t SwPrefetchesIssued = 0;
@@ -32,48 +39,71 @@ struct MemoryStats {
   /// Guarded loads whose software exception check failed (garbage
   /// speculative address): recovery-path cost only, no fill.
   uint64_t GuardedLoadFaults = 0;
+  /// Cycle breakdown: total cycles charged to demand loads (hit latency
+  /// plus every miss/TLB penalty) — the share of the clock that load
+  /// stalls account for.
+  uint64_t CyclesStalledOnLoads = 0;
+
+  bool operator==(const MemoryStats &) const = default;
+};
+
+/// Per-load-site counters (index = exec::SiteId, assigned by the
+/// interpreter in first-execution order and carried by the trace).
+struct SiteStats {
+  uint64_t Loads = 0;
+  uint64_t L1Misses = 0;
+  uint64_t L2Misses = 0;
+  uint64_t DtlbMisses = 0;
+
+  bool operator==(const SiteStats &) const = default;
 };
 
 /// The simulated memory hierarchy of one machine.
-class MemorySystem {
+class MemorySystem final : public exec::AccessSink {
 public:
   explicit MemorySystem(const MachineConfig &Cfg);
 
   const MachineConfig &config() const { return Cfg; }
 
   /// Advances the clock for \p N non-memory instructions.
-  void tick(uint64_t N) { Cycles += N * Cfg.ComputeCycles; }
+  void tick(uint64_t N) override { Cycles += N * Cfg.ComputeCycles; }
 
-  /// Demand load at \p Addr. Advances the clock by the access cost.
-  void load(uint64_t Addr);
+  /// Demand load at \p Addr, attributed to load site \p Site. Advances
+  /// the clock by the access cost.
+  void load(uint64_t Addr, exec::SiteId Site) override;
+
+  /// Convenience for direct (non-interpreter) drivers: site 0.
+  void load(uint64_t Addr) { load(Addr, 0); }
 
   /// Demand store at \p Addr.
-  void store(uint64_t Addr);
+  void store(uint64_t Addr) override;
 
   /// Hardware prefetch instruction: cancelled when the target page is not
   /// in the DTLB; otherwise fills the configured level with the line
   /// becoming usable PrefetchFillLatency cycles from now.
-  void prefetch(uint64_t Addr);
+  void prefetch(uint64_t Addr) override;
 
   /// Guarded load: a real access that fills the DTLB (TLB priming) and all
   /// cache levels, costing only the issue overhead — its latency is hidden
   /// by out-of-order execution since no computation consumes its result.
-  void guardedLoad(uint64_t Addr);
+  void guardedLoad(uint64_t Addr) override;
 
   /// Guarded load whose guard failed: the software exception check
   /// rejected the address, so no memory access happens — only the
   /// recovery branch's cost. Caches and the DTLB are untouched.
-  void guardedLoadFault();
+  void guardedLoadFault() override;
 
   uint64_t cycles() const { return Cycles; }
   const MemoryStats &stats() const { return Stats; }
+  /// Per-site load/miss attribution; index = SiteId, grown on demand.
+  const std::vector<SiteStats> &siteStats() const { return Sites; }
 
   const Cache &l1() const { return L1; }
   const Cache &l2() const { return L2; }
   const Tlb &dtlb() const { return Dtlb; }
 
 private:
-  void demandAccess(uint64_t Addr, bool IsLoad);
+  uint64_t demandAccess(uint64_t Addr, bool IsLoad, SiteStats *Site);
   void hwPrefetchOnMiss(uint64_t Addr);
 
   MachineConfig Cfg;
@@ -83,6 +113,7 @@ private:
   HardwarePrefetcher HwPf;
   uint64_t Cycles = 0;
   MemoryStats Stats;
+  std::vector<SiteStats> Sites;
   std::vector<uint64_t> HwTargets; // Scratch for prefetcher output.
 };
 

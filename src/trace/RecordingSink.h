@@ -1,0 +1,63 @@
+//===- trace/RecordingSink.h - Tee events into a trace ----------*- C++ -*-===//
+///
+/// \file
+/// An AccessSink that forwards every event to a live inner sink while
+/// appending it to a TraceBuffer. The inner sink sees exactly the stream
+/// it would have seen without recording, so the recording run's results
+/// ARE direct-interpretation results; the buffer is a pure side product.
+/// If the buffer overflows its byte cap, recording silently stops (the
+/// trace is discarded) and the run is still fully valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_TRACE_RECORDINGSINK_H
+#define SPF_TRACE_RECORDINGSINK_H
+
+#include "trace/TraceBuffer.h"
+
+namespace spf {
+namespace trace {
+
+class RecordingSink final : public exec::AccessSink {
+public:
+  RecordingSink(exec::AccessSink &Inner, TraceBuffer &Buf)
+      : Inner(Inner), Buf(Buf) {}
+
+  /// Flushing on destruction makes `{ RecordingSink S(...); run(); }`
+  /// leave a finished buffer even on exceptional unwinds.
+  ~RecordingSink() override { Buf.finish(); }
+
+  void tick(uint64_t N) override {
+    Buf.tick(N);
+    Inner.tick(N);
+  }
+  void load(uint64_t Addr, exec::SiteId Site) override {
+    Buf.load(Addr, Site);
+    Inner.load(Addr, Site);
+  }
+  void store(uint64_t Addr) override {
+    Buf.store(Addr);
+    Inner.store(Addr);
+  }
+  void prefetch(uint64_t Addr) override {
+    Buf.prefetch(Addr);
+    Inner.prefetch(Addr);
+  }
+  void guardedLoad(uint64_t Addr) override {
+    Buf.guardedLoad(Addr);
+    Inner.guardedLoad(Addr);
+  }
+  void guardedLoadFault() override {
+    Buf.guardedLoadFault();
+    Inner.guardedLoadFault();
+  }
+
+private:
+  exec::AccessSink &Inner;
+  TraceBuffer &Buf;
+};
+
+} // namespace trace
+} // namespace spf
+
+#endif // SPF_TRACE_RECORDINGSINK_H

@@ -1,0 +1,266 @@
+//===- trace/TraceBuffer.cpp ----------------------------------------------===//
+
+#include "trace/TraceBuffer.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+using namespace spf;
+using namespace spf::trace;
+
+namespace {
+
+constexpr uint32_t SpillMagic = 0x53505452; // "SPTR"
+constexpr uint32_t SpillVersion = 1;
+
+constexpr uint32_t TokenEscape = 31; // arg value meaning "varint follows".
+
+uint64_t zigzag(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^ static_cast<uint64_t>(V >> 63);
+}
+
+int64_t unzigzag(uint64_t V) {
+  return static_cast<int64_t>((V >> 1) ^ (~(V & 1) + 1));
+}
+
+template <typename T> void writeRaw(std::ostream &OS, T V) {
+  char Buf[sizeof(T)];
+  std::memcpy(Buf, &V, sizeof(T));
+  OS.write(Buf, sizeof(T));
+}
+
+template <typename T> bool readRaw(std::istream &IS, T &V) {
+  char Buf[sizeof(T)];
+  if (!IS.read(Buf, sizeof(T)))
+    return false;
+  std::memcpy(&V, Buf, sizeof(T));
+  return true;
+}
+
+} // namespace
+
+void TraceBuffer::emitVarint(uint64_t V) {
+  while (V >= 0x80) {
+    Bytes.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Bytes.push_back(static_cast<uint8_t>(V));
+}
+
+void TraceBuffer::emitToken(EventKind K, uint32_t Arg) {
+  Bytes.push_back(static_cast<uint8_t>(static_cast<uint32_t>(K) |
+                                       (Arg << 3)));
+}
+
+void TraceBuffer::emitAddr(uint64_t Addr, uint64_t &Last) {
+  // Two's-complement difference: correct even across uint64 wraparound.
+  emitVarint(zigzag(static_cast<int64_t>(Addr - Last)));
+  Last = Addr;
+}
+
+bool TraceBuffer::checkCap() {
+  if (ByteCap && Bytes.size() > ByteCap) {
+    Overflowed = true;
+    Bytes.clear();
+    Bytes.shrink_to_fit();
+    return false;
+  }
+  return true;
+}
+
+void TraceBuffer::flushTicks() {
+  if (!PendingTicks)
+    return;
+  if (PendingTicks < TokenEscape) {
+    emitToken(EventKind::Tick, static_cast<uint32_t>(PendingTicks));
+  } else {
+    emitToken(EventKind::Tick, TokenEscape);
+    emitVarint(PendingTicks);
+  }
+  PendingTicks = 0;
+  ++Events;
+}
+
+void TraceBuffer::load(uint64_t Addr, exec::SiteId Site) {
+  ++RecordedCalls;
+  if (Overflowed)
+    return;
+  flushTicks();
+  if (Site >= NumSites)
+    NumSites = Site + 1;
+  uint64_t SiteZz =
+      zigzag(static_cast<int64_t>(Site) - static_cast<int64_t>(LastSite));
+  if (SiteZz < TokenEscape) {
+    emitToken(EventKind::Load, static_cast<uint32_t>(SiteZz));
+  } else {
+    emitToken(EventKind::Load, TokenEscape);
+    emitVarint(SiteZz);
+  }
+  LastSite = Site;
+  if (Site >= LastAddrBySite.size())
+    LastAddrBySite.resize(Site + 1, 0);
+  emitAddr(Addr, LastAddrBySite[Site]);
+  ++Events;
+  checkCap();
+}
+
+void TraceBuffer::store(uint64_t Addr) {
+  ++RecordedCalls;
+  if (Overflowed)
+    return;
+  flushTicks();
+  emitToken(EventKind::Store, 0);
+  emitAddr(Addr, LastStoreAddr);
+  ++Events;
+  checkCap();
+}
+
+void TraceBuffer::prefetch(uint64_t Addr) {
+  ++RecordedCalls;
+  if (Overflowed)
+    return;
+  flushTicks();
+  emitToken(EventKind::Prefetch, 0);
+  emitAddr(Addr, LastPrefetchAddr);
+  ++Events;
+  checkCap();
+}
+
+void TraceBuffer::guardedLoad(uint64_t Addr) {
+  ++RecordedCalls;
+  if (Overflowed)
+    return;
+  flushTicks();
+  emitToken(EventKind::GuardedLoad, 0);
+  emitAddr(Addr, LastGuardedAddr);
+  ++Events;
+  checkCap();
+}
+
+void TraceBuffer::guardedLoadFault() {
+  ++RecordedCalls;
+  if (Overflowed)
+    return;
+  flushTicks();
+  emitToken(EventKind::GuardedLoadFault, 0);
+  ++Events;
+  checkCap();
+}
+
+void TraceBuffer::finish() {
+  if (!Overflowed)
+    flushTicks();
+  Finished = true;
+}
+
+void TraceBuffer::reserveEvents(uint64_t ExpectedEvents) {
+  // The amortized-size target is <= 4 bytes/event; reserving at that rate
+  // keeps the common case to zero reallocations and bounded overshoot.
+  if (ExpectedEvents)
+    Bytes.reserve(static_cast<size_t>(ExpectedEvents * 4 + 64));
+}
+
+void TraceBuffer::writeTo(std::ostream &OS) const {
+  writeRaw(OS, SpillMagic);
+  writeRaw(OS, SpillVersion);
+  writeRaw(OS, Events);
+  writeRaw(OS, RecordedCalls);
+  writeRaw(OS, NumSites);
+  writeRaw(OS, static_cast<uint64_t>(Bytes.size()));
+  OS.write(reinterpret_cast<const char *>(Bytes.data()),
+           static_cast<std::streamsize>(Bytes.size()));
+}
+
+bool TraceBuffer::readFrom(std::istream &IS) {
+  *this = TraceBuffer();
+  uint32_t Magic = 0, Version = 0, Sites = 0;
+  uint64_t NEvents = 0, NCalls = 0, NBytes = 0;
+  if (!readRaw(IS, Magic) || Magic != SpillMagic)
+    return false;
+  if (!readRaw(IS, Version) || Version != SpillVersion)
+    return false;
+  if (!readRaw(IS, NEvents) || !readRaw(IS, NCalls) || !readRaw(IS, Sites) ||
+      !readRaw(IS, NBytes))
+    return false;
+  std::vector<uint8_t> Data(static_cast<size_t>(NBytes));
+  if (NBytes &&
+      !IS.read(reinterpret_cast<char *>(Data.data()),
+               static_cast<std::streamsize>(NBytes)))
+    return false;
+  Bytes = std::move(Data);
+  Events = NEvents;
+  RecordedCalls = NCalls;
+  NumSites = Sites;
+  Finished = true;
+  return true;
+}
+
+// -- TraceReader -----------------------------------------------------------
+
+uint8_t TraceReader::byte() { return Buf.Bytes[Pos++]; }
+
+uint64_t TraceReader::readVarint() {
+  uint64_t V = 0;
+  unsigned Shift = 0;
+  while (Pos < Buf.Bytes.size()) {
+    uint8_t B = byte();
+    V |= static_cast<uint64_t>(B & 0x7F) << Shift;
+    if (!(B & 0x80))
+      break;
+    Shift += 7;
+  }
+  return V;
+}
+
+bool TraceReader::next(AccessEvent &E) {
+  if (Pos >= Buf.Bytes.size())
+    return false;
+  uint8_t Token = byte();
+  auto Kind = static_cast<EventKind>(Token & 7);
+  uint32_t Arg = Token >> 3;
+
+  E.Kind = Kind;
+  E.Site = 0;
+  switch (Kind) {
+  case EventKind::Tick:
+    E.Value = Arg == TokenEscape ? readVarint() : Arg;
+    break;
+  case EventKind::Load: {
+    uint64_t SiteZz = Arg == TokenEscape ? readVarint() : Arg;
+    auto Site = static_cast<exec::SiteId>(static_cast<int64_t>(LastSite) +
+                                          unzigzag(SiteZz));
+    LastSite = Site;
+    if (Site >= LastAddrBySite.size())
+      LastAddrBySite.resize(Site + 1, 0);
+    uint64_t &Last = LastAddrBySite[Site];
+    Last += static_cast<uint64_t>(unzigzag(readVarint()));
+    E.Value = Last;
+    E.Site = Site;
+    break;
+  }
+  case EventKind::Store:
+    LastStoreAddr += static_cast<uint64_t>(unzigzag(readVarint()));
+    E.Value = LastStoreAddr;
+    break;
+  case EventKind::Prefetch:
+    LastPrefetchAddr += static_cast<uint64_t>(unzigzag(readVarint()));
+    E.Value = LastPrefetchAddr;
+    break;
+  case EventKind::GuardedLoad:
+    LastGuardedAddr += static_cast<uint64_t>(unzigzag(readVarint()));
+    E.Value = LastGuardedAddr;
+    break;
+  case EventKind::GuardedLoadFault:
+    E.Value = 0;
+    break;
+  }
+  return true;
+}
+
+void trace::replay(const TraceBuffer &Buf, exec::AccessSink &Sink) {
+  TraceReader Reader(Buf);
+  AccessEvent E;
+  while (Reader.next(E))
+    dispatch(E, Sink);
+}

@@ -1,0 +1,159 @@
+//===- trace/TraceBuffer.h - Compact append-only access trace ---*- C++ -*-===//
+///
+/// \file
+/// An append-only, delta/varint-compressed encoding of an access-event
+/// stream, compact enough that multi-million-event kernels stay cheap to
+/// hold (target: <= 4 bytes per event amortized on strided workloads).
+///
+/// Wire format. Each event starts with one token byte:
+///
+///   token = kind (low 3 bits) | arg (high 5 bits)
+///
+///   Tick:             arg < 31: tick count == arg (1..30).
+///                     arg == 31: LEB128 varint count follows.
+///                     Consecutive tick() calls are run-length merged
+///                     before encoding (tick is additive by contract).
+///   Load:             arg < 31: zigzag(site - LastSite) == arg.
+///                     arg == 31: varint zigzag site delta follows.
+///                     Then a varint zigzag address delta follows,
+///                     relative to *that site's* previous address — a
+///                     constant-stride load site therefore costs one
+///                     token byte plus a 1-byte delta per event.
+///   Store/Prefetch/
+///   GuardedLoad:      varint zigzag address delta follows, relative to
+///                     the previous address of the same kind.
+///   GuardedLoadFault: token byte only.
+///
+/// Encoder and decoder keep mirrored state (per-site last addresses,
+/// per-kind last addresses, last site), so decoding reproduces the exact
+/// recorded stream: replay(buffer, sink) is bit-equivalent to having
+/// driven the sink live (see tests/trace_test.cpp).
+///
+/// A byte cap supports bounded recording: once the encoded size exceeds
+/// the cap the buffer discards its storage and marks itself overflowed;
+/// the recording run is unaffected (the live sink saw every event), the
+/// trace is just not reusable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_TRACE_TRACEBUFFER_H
+#define SPF_TRACE_TRACEBUFFER_H
+
+#include "trace/AccessEvent.h"
+
+#include <iosfwd>
+#include <vector>
+
+namespace spf {
+namespace trace {
+
+class TraceBuffer {
+public:
+  TraceBuffer() = default;
+
+  // -- Recording (AccessSink-shaped, but not an AccessSink itself: the
+  //    tee that forwards to a live sink is trace::RecordingSink) --------
+
+  void tick(uint64_t N) {
+    PendingTicks += N;
+    ++RecordedCalls;
+  }
+  void load(uint64_t Addr, exec::SiteId Site);
+  void store(uint64_t Addr);
+  void prefetch(uint64_t Addr);
+  void guardedLoad(uint64_t Addr);
+  void guardedLoadFault();
+
+  /// Flushes the pending tick run. Must be called when recording ends;
+  /// harmless to call more than once.
+  void finish();
+
+  // -- Capacity / accounting -------------------------------------------
+
+  /// Pre-sizes the byte storage for an expected \p Events encoded events
+  /// (the record-once path plumbs the previous trace of the same
+  /// workload here, so hot cells do not pay reallocation churn).
+  void reserveEvents(uint64_t Events);
+
+  /// Recording stops (storage is dropped, overflowed() becomes true)
+  /// once the encoded size exceeds \p Bytes. 0 = unlimited.
+  void setByteCap(size_t Bytes) { ByteCap = Bytes; }
+  bool overflowed() const { return Overflowed; }
+
+  /// Encoded events so far (post tick-merging; excludes a still-pending
+  /// tick run until finish()).
+  uint64_t events() const { return Events; }
+  /// Sink calls recorded (each tick() call counts), pre-merging.
+  uint64_t recordedCalls() const { return RecordedCalls; }
+  size_t byteSize() const { return Bytes.size(); }
+  /// One past the largest load site recorded (0 when no loads).
+  uint32_t loadSites() const { return NumSites; }
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+
+  // -- Spill serialization ---------------------------------------------
+
+  /// Writes the finished buffer (header + bytes) to \p OS.
+  void writeTo(std::ostream &OS) const;
+  /// Reads a buffer previously written with writeTo. Returns false (and
+  /// leaves *this empty) on a malformed or truncated stream.
+  bool readFrom(std::istream &IS);
+
+private:
+  friend class TraceReader;
+
+  void emitToken(EventKind K, uint32_t Arg);
+  void emitVarint(uint64_t V);
+  void emitAddr(uint64_t Addr, uint64_t &Last);
+  void flushTicks();
+  bool checkCap();
+
+  std::vector<uint8_t> Bytes;
+  uint64_t PendingTicks = 0;
+  uint64_t Events = 0;
+  uint64_t RecordedCalls = 0;
+  uint32_t NumSites = 0;
+  size_t ByteCap = 0;
+  bool Overflowed = false;
+  bool Finished = false;
+
+  // Encoder prediction state (mirrored by TraceReader).
+  exec::SiteId LastSite = 0;
+  std::vector<uint64_t> LastAddrBySite;
+  uint64_t LastStoreAddr = 0;
+  uint64_t LastPrefetchAddr = 0;
+  uint64_t LastGuardedAddr = 0;
+};
+
+/// Sequential decoder over a finished TraceBuffer. The buffer must
+/// outlive the reader and not be appended to while reading.
+class TraceReader {
+public:
+  explicit TraceReader(const TraceBuffer &Buf) : Buf(Buf) {}
+
+  /// Decodes the next event into \p E; false at end of trace.
+  bool next(AccessEvent &E);
+
+private:
+  uint8_t byte();
+  uint64_t readVarint();
+
+  const TraceBuffer &Buf;
+  size_t Pos = 0;
+
+  exec::SiteId LastSite = 0;
+  std::vector<uint64_t> LastAddrBySite;
+  uint64_t LastStoreAddr = 0;
+  uint64_t LastPrefetchAddr = 0;
+  uint64_t LastGuardedAddr = 0;
+};
+
+/// Feeds every event of \p Buf into \p Sink, in recorded order. With a
+/// sim::MemorySystem sink this reproduces, bit for bit, the MemoryStats,
+/// per-site stats, and cycle count of the run that recorded the trace.
+void replay(const TraceBuffer &Buf, exec::AccessSink &Sink);
+
+} // namespace trace
+} // namespace spf
+
+#endif // SPF_TRACE_TRACEBUFFER_H

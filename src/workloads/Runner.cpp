@@ -2,8 +2,25 @@
 
 #include "workloads/Runner.h"
 
+#include "trace/RecordingSink.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
 using namespace spf;
 using namespace spf::workloads;
+
+namespace {
+
+double elapsedUs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
 
 const char *workloads::algorithmName(Algorithm A) {
   switch (A) {
@@ -58,19 +75,86 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
   Result.JitPrefetchUs = Jit.prefetchUs();
   Result.Prefetch = Jit.aggregatePrefetch();
 
-  // Execute on the simulated machine.
+  // Execute on the simulated machine, optionally teeing the access-event
+  // stream into a trace buffer (the live simulation is unaffected, so a
+  // recording run's results are direct-interpretation results).
   sim::MemorySystem Mem(Opts.Machine);
-  exec::Interpreter Interp(*W.Heap, Mem, &W.Roots);
+  std::optional<trace::RecordingSink> Recorder;
+  exec::AccessSink *Sink = &Mem;
+  if (Opts.Record) {
+    Opts.Record->reserveEvents(Opts.ReserveEvents);
+    Recorder.emplace(Mem, *Opts.Record);
+    Sink = &*Recorder;
+  }
+  exec::Interpreter Interp(*W.Heap, *Sink, &W.Roots);
   if (Opts.TimeoutSeconds > 0.0)
     Interp.setDeadline(Opts.TimeoutSeconds);
+  auto Start = std::chrono::steady_clock::now();
   Result.ReturnValue = Interp.run(W.Entry, W.EntryArgs);
+  Result.InterpretUs = elapsedUs(Start);
+  if (Opts.Record)
+    Opts.Record->finish();
 
   Result.CompiledCycles = Mem.cycles();
   Result.Retired = Interp.stats().Retired;
   Result.Mem = Mem.stats();
+  Result.Sites = Mem.siteStats();
   Result.Exec = Interp.stats();
   if (W.Expected)
     Result.SelfCheckOk = Result.ReturnValue == *W.Expected;
+  return Result;
+}
+
+std::string workloads::executionSignature(const WorkloadSpec &Spec,
+                                          const RunOptions &Opts) {
+  // An arbitrary pass mutation cannot be keyed: without a caller-provided
+  // stable tag, runs with a TunePass are never trace-cached.
+  if (Opts.TunePass && Opts.TuneKey.empty())
+    return std::string();
+
+  // Scale is hashed by bit pattern: any representable value keys exactly.
+  uint64_t ScaleBits = 0;
+  std::memcpy(&ScaleBits, &Opts.Config.Scale, sizeof(ScaleBits));
+
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "|scale=%016llx|seed=%016llx|heap=%llx",
+                static_cast<unsigned long long>(ScaleBits),
+                static_cast<unsigned long long>(Opts.Config.Seed),
+                static_cast<unsigned long long>(Opts.Config.HeapBytes));
+  std::string Sig = Spec.Name + "|" + algorithmName(Opts.Algo) + Buf;
+
+  // Only the compile-relevant machine facets enter the key (see header
+  // comment): what the planner reads is LineBytes and the fill-level-
+  // derived guarded-load choice. BASELINE never runs the planner, so its
+  // trace is machine-independent.
+  if (Opts.Algo != Algorithm::Baseline) {
+    core::PrefetchPassOptions P = passOptionsFor(
+        Opts.Machine, Opts.Algo == Algorithm::Inter
+                          ? core::PrefetchMode::Inter
+                          : core::PrefetchMode::InterIntra);
+    std::snprintf(Buf, sizeof(Buf), "|line=%u|guard=%d", P.Planner.LineBytes,
+                  P.Planner.GuardedIntraPrefetch ? 1 : 0);
+    Sig += Buf;
+  }
+  if (!Opts.TuneKey.empty())
+    Sig += "|tune=" + Opts.TuneKey;
+  return Sig;
+}
+
+RunResult workloads::replayTrace(const RunResult &ExecSide,
+                                 const trace::TraceBuffer &Buf,
+                                 const sim::MachineConfig &Machine) {
+  RunResult Result = ExecSide;
+  sim::MemorySystem Mem(Machine);
+  auto Start = std::chrono::steady_clock::now();
+  trace::replay(Buf, Mem);
+  Result.ReplayUs = elapsedUs(Start);
+  Result.InterpretUs = 0;
+  Result.Replayed = true;
+  Result.CompiledCycles = Mem.cycles();
+  Result.Mem = Mem.stats();
+  Result.Sites = Mem.siteStats();
   return Result;
 }
 

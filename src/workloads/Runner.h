@@ -14,6 +14,8 @@
 
 #include "exec/Interpreter.h"
 #include "jit/CompileManager.h"
+#include "sim/MemorySystem.h"
+#include "trace/TraceBuffer.h"
 #include "workloads/Workload.h"
 
 #include <functional>
@@ -38,9 +40,21 @@ struct RunOptions {
   /// Optional hook to adjust the derived pass options (ablation studies:
   /// scheduling distance, guarded loads, inspection iterations, ...).
   std::function<void(core::PrefetchPassOptions &)> TunePass;
+  /// Stable tag describing what TunePass does, so tuned runs can still be
+  /// keyed by execution signature. A run with a TunePass but no TuneKey
+  /// has no signature (executionSignature returns "") and is never
+  /// trace-cached.
+  std::string TuneKey;
   /// Wall-clock watchdog for the simulated execution, in seconds; the run
   /// throws support::CellTimeout when exceeded. 0 disables it.
   double TimeoutSeconds = 0.0;
+  /// When set, the execution's access-event stream is recorded into this
+  /// buffer (tee: the live simulation is unaffected). The caller owns the
+  /// buffer and any byte cap on it.
+  trace::TraceBuffer *Record = nullptr;
+  /// Pre-size hint for the recording buffer, in expected encoded events
+  /// (typically a previous trace of the same workload); 0 = no hint.
+  uint64_t ReserveEvents = 0;
 };
 
 /// Everything measured in one run.
@@ -48,12 +62,19 @@ struct RunResult {
   uint64_t CompiledCycles = 0; ///< Simulated cycles in compiled code.
   uint64_t Retired = 0;        ///< Retired instructions.
   sim::MemoryStats Mem;
+  /// Per-load-site attribution (index = exec::SiteId).
+  std::vector<sim::SiteStats> Sites;
   exec::ExecStats Exec;
   double JitTotalUs = 0;    ///< Total JIT compilation time.
   double JitPrefetchUs = 0; ///< Prefetch pass share of it.
   core::PrefetchPassResult Prefetch;
   uint64_t ReturnValue = 0;
   bool SelfCheckOk = true; ///< Entry returned the expected value.
+
+  // Record-once / replay-many accounting (wall clock, not simulated):
+  bool Replayed = false;   ///< Result came from a trace replay.
+  double InterpretUs = 0;  ///< Time interpreting (0 when replayed).
+  double ReplayUs = 0;     ///< Time replaying (0 when interpreted).
 };
 
 /// Derives the prefetch pass options appropriate for \p M: the planner's
@@ -65,6 +86,30 @@ core::PrefetchPassOptions passOptionsFor(const sim::MachineConfig &M,
 
 /// Builds, compiles, and runs \p Spec under \p Opts.
 RunResult runWorkload(const WorkloadSpec &Spec, const RunOptions &Opts);
+
+/// The *execution signature* of a run: everything its access-event
+/// stream depends on. Two runs with equal signatures interpret the same
+/// program over the same heap and emit bit-identical event streams, so
+/// one recorded trace serves both. The signature deliberately includes
+/// only the compile-relevant machine facets — PlannerOptions::LineBytes
+/// and the prefetch-fill level (as GuardedIntraPrefetch) — because those
+/// are all the planner reads from the machine; cache sizes, latencies,
+/// and DTLB geometry shape timing, never the address stream. BASELINE
+/// runs never invoke the planner, so their signature has no machine
+/// facet at all and one baseline trace serves every machine.
+/// Returns "" for runs that cannot be keyed (TunePass without TuneKey).
+std::string executionSignature(const WorkloadSpec &Spec,
+                               const RunOptions &Opts);
+
+/// Replays a recorded trace through a fresh MemorySystem for \p Machine
+/// and grafts the timing results onto \p ExecSide (the execution-side
+/// result of the run that recorded the trace: retired instructions,
+/// return value, JIT stats — all signature-determined). The returned
+/// MemoryStats/per-site stats/cycles are bit-identical to direct
+/// interpretation on \p Machine.
+RunResult replayTrace(const RunResult &ExecSide,
+                      const trace::TraceBuffer &Buf,
+                      const sim::MachineConfig &Machine);
 
 /// Mixed-mode total-time model: compiled cycles plus the (configuration-
 /// independent) uncompiled time derived from the baseline run and the

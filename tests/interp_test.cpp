@@ -2,6 +2,7 @@
 
 #include "exec/Interpreter.h"
 #include "ir/IRBuilder.h"
+#include "sim/MemorySystem.h"
 #include "ir/Verifier.h"
 #include "workloads/KernelBuilder.h"
 

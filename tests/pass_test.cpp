@@ -4,6 +4,7 @@
 #include "core/PrefetchPass.h"
 #include "exec/Interpreter.h"
 #include "jit/CompileManager.h"
+#include "sim/MemorySystem.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,577 @@
+//===- tests/trace_test.cpp - Access-event trace layer --------------------===//
+//
+// The trace layer's contract, bottom to top: every event kind survives
+// record -> encode -> decode -> replay losslessly; the encoding stays
+// compact on strided streams; replaying a recorded run through a fresh
+// MemorySystem reproduces the direct run's statistics bit for bit (for
+// every Table 3 workload on both machines); and the experiment driver's
+// record-once / replay-many path changes no reported statistic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "harness/TraceCache.h"
+#include "sim/CountingSink.h"
+#include "sim/MemorySystem.h"
+#include "trace/RecordingSink.h"
+#include "trace/TraceBuffer.h"
+#include "workloads/Runner.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+using namespace spf;
+using namespace spf::trace;
+
+namespace {
+
+uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+/// Decodes \p Buf back into a flat event list.
+std::vector<AccessEvent> decodeAll(const TraceBuffer &Buf) {
+  std::vector<AccessEvent> Events;
+  TraceReader Reader(Buf);
+  AccessEvent E;
+  while (Reader.next(E))
+    Events.push_back(E);
+  return Events;
+}
+
+// -- Encoding ---------------------------------------------------------------
+
+TEST(TraceBufferTest, RoundTripsEveryEventKind) {
+  TraceBuffer Buf;
+  Buf.tick(7);
+  Buf.load(0x1000, 0);
+  Buf.load(0x1040, 0);   // Same-site stride.
+  Buf.load(0x9000, 3);   // Forward site jump.
+  Buf.load(0x8fc0, 1);   // Backward site jump, backward address.
+  Buf.store(0x2000);
+  Buf.store(0x1ff8);     // Negative delta.
+  Buf.prefetch(0x3000);
+  Buf.guardedLoad(0x4000);
+  Buf.guardedLoadFault();
+  Buf.tick(1);
+  Buf.finish();
+
+  std::vector<AccessEvent> Expected = {
+      {EventKind::Tick, 7, 0},
+      {EventKind::Load, 0x1000, 0},
+      {EventKind::Load, 0x1040, 0},
+      {EventKind::Load, 0x9000, 3},
+      {EventKind::Load, 0x8fc0, 1},
+      {EventKind::Store, 0x2000, 0},
+      {EventKind::Store, 0x1ff8, 0},
+      {EventKind::Prefetch, 0x3000, 0},
+      {EventKind::GuardedLoad, 0x4000, 0},
+      {EventKind::GuardedLoadFault, 0, 0},
+      {EventKind::Tick, 1, 0},
+  };
+  EXPECT_EQ(decodeAll(Buf), Expected);
+  EXPECT_EQ(Buf.events(), Expected.size());
+  EXPECT_EQ(Buf.loadSites(), 4u); // One past the largest site id (3).
+}
+
+TEST(TraceBufferTest, ConsecutiveTicksMergeIntoOneEvent) {
+  TraceBuffer Buf;
+  for (unsigned I = 0; I != 1000; ++I)
+    Buf.tick(3);
+  Buf.finish();
+  ASSERT_EQ(Buf.events(), 1u);
+  EXPECT_EQ(Buf.recordedCalls(), 1000u);
+
+  // tick(a); tick(b) == tick(a+b) by the AccessSink additivity contract,
+  // so the merged replay drives the sink identically.
+  sim::CountingSink Counts;
+  replay(Buf, Counts);
+  EXPECT_EQ(Counts.TickCalls, 1u);
+  EXPECT_EQ(Counts.TicksTotal, 3000u);
+}
+
+TEST(TraceBufferTest, StridedStreamStaysUnderFourBytesPerEvent) {
+  // The shape runWorkload produces: per iteration a tick run, a few
+  // constant-stride loads from fixed sites, and an occasional store.
+  TraceBuffer Buf;
+  uint64_t A = 0x10000, B = 0x80000, C = 0x200000;
+  for (unsigned I = 0; I != 100000; ++I) {
+    Buf.tick(4);
+    Buf.load(A += 24, 0);
+    Buf.load(B += 128, 1);
+    Buf.load(C += 8, 2);
+    if (I % 7 == 0)
+      Buf.store(A);
+  }
+  Buf.finish();
+  ASSERT_GT(Buf.events(), 400000u);
+  double BytesPerEvent = static_cast<double>(Buf.byteSize()) /
+                         static_cast<double>(Buf.events());
+  EXPECT_LE(BytesPerEvent, 4.0) << Buf.byteSize() << " bytes for "
+                                << Buf.events() << " events";
+}
+
+TEST(TraceBufferTest, FuzzedStreamRoundTripsExactly) {
+  uint64_t Rng = 0xdecafbad;
+  TraceBuffer Buf;
+  std::vector<AccessEvent> Expected;
+  uint64_t PendingTicks = 0;
+  auto Flush = [&] {
+    if (PendingTicks) {
+      Expected.push_back({EventKind::Tick, PendingTicks, 0});
+      PendingTicks = 0;
+    }
+  };
+
+  for (unsigned I = 0; I != 50000; ++I) {
+    switch (splitmix64(Rng) % 6) {
+    case 0: {
+      // Counts up to full 64-bit range (varint + RLE paths).
+      uint64_t N = splitmix64(Rng) >> (splitmix64(Rng) % 64);
+      PendingTicks += N;
+      Buf.tick(N);
+      break;
+    }
+    case 1: {
+      exec::SiteId Site = static_cast<exec::SiteId>(splitmix64(Rng) % 64);
+      uint64_t Addr = splitmix64(Rng); // Arbitrary 64-bit (wraparound).
+      Flush();
+      Expected.push_back({EventKind::Load, Addr, Site});
+      Buf.load(Addr, Site);
+      break;
+    }
+    case 2: {
+      uint64_t Addr = splitmix64(Rng);
+      Flush();
+      Expected.push_back({EventKind::Store, Addr, 0});
+      Buf.store(Addr);
+      break;
+    }
+    case 3: {
+      uint64_t Addr = splitmix64(Rng);
+      Flush();
+      Expected.push_back({EventKind::Prefetch, Addr, 0});
+      Buf.prefetch(Addr);
+      break;
+    }
+    case 4: {
+      uint64_t Addr = splitmix64(Rng);
+      Flush();
+      Expected.push_back({EventKind::GuardedLoad, Addr, 0});
+      Buf.guardedLoad(Addr);
+      break;
+    }
+    case 5:
+      Flush();
+      Expected.push_back({EventKind::GuardedLoadFault, 0, 0});
+      Buf.guardedLoadFault();
+      break;
+    }
+  }
+  Flush();
+  Buf.finish();
+  EXPECT_EQ(decodeAll(Buf), Expected);
+}
+
+TEST(TraceBufferTest, ByteCapDiscardsTraceButKeepsCounting) {
+  TraceBuffer Buf;
+  Buf.setByteCap(64);
+  uint64_t Rng = 1;
+  for (unsigned I = 0; I != 1000; ++I)
+    Buf.load(splitmix64(Rng), static_cast<exec::SiteId>(I % 8));
+  Buf.finish();
+  EXPECT_TRUE(Buf.overflowed());
+  EXPECT_EQ(Buf.byteSize(), 0u); // Storage released, not just truncated.
+  EXPECT_EQ(Buf.recordedCalls(), 1000u);
+}
+
+TEST(TraceBufferTest, SpillRoundTripPreservesTheStream) {
+  TraceBuffer Buf;
+  Buf.tick(100);
+  for (unsigned I = 0; I != 500; ++I) {
+    Buf.load(0x1000 + 16 * I, 0);
+    Buf.tick(2);
+  }
+  Buf.guardedLoadFault();
+  Buf.finish();
+
+  std::stringstream SS;
+  Buf.writeTo(SS);
+
+  TraceBuffer Loaded;
+  ASSERT_TRUE(Loaded.readFrom(SS));
+  EXPECT_EQ(Loaded.events(), Buf.events());
+  EXPECT_EQ(Loaded.loadSites(), Buf.loadSites());
+  EXPECT_EQ(decodeAll(Loaded), decodeAll(Buf));
+}
+
+TEST(TraceBufferTest, ReadFromRejectsCorruptStreams) {
+  TraceBuffer Buf;
+  Buf.load(0x1000, 0);
+  Buf.finish();
+  std::stringstream SS;
+  Buf.writeTo(SS);
+  std::string Good = SS.str();
+
+  TraceBuffer Out;
+  { // Truncated mid-payload.
+    std::stringstream Bad(Good.substr(0, Good.size() - 1));
+    EXPECT_FALSE(Out.readFrom(Bad));
+  }
+  { // Wrong magic.
+    std::string Flipped = Good;
+    Flipped[0] ^= 0xff;
+    std::stringstream Bad(Flipped);
+    EXPECT_FALSE(Out.readFrom(Bad));
+  }
+  { // Empty.
+    std::stringstream Bad("");
+    EXPECT_FALSE(Out.readFrom(Bad));
+  }
+}
+
+// -- Recording tee and replay ----------------------------------------------
+
+/// Drives \p Sink with a deterministic synthetic access stream exercising
+/// every event kind, including DTLB- and cache-hostile jumps.
+void driveSyntheticStream(exec::AccessSink &Sink) {
+  uint64_t Rng = 42;
+  uint64_t Hot = 0x100000;
+  for (unsigned I = 0; I != 20000; ++I) {
+    Sink.tick(3);
+    Sink.load(Hot += 24, 0);
+    Sink.load((splitmix64(Rng) % (1u << 26)) & ~7ull, 1); // Random far.
+    Sink.store(0x400000 + 8 * (I % 512));
+    if (I % 3 == 0)
+      Sink.prefetch(Hot + 24 * 4);
+    if (I % 5 == 0)
+      Sink.guardedLoad(0x800000 + 64 * I);
+    if (I % 1024 == 0)
+      Sink.guardedLoadFault();
+  }
+}
+
+TEST(RecordingSinkTest, TeeIsInvisibleAndReplayIsBitIdentical) {
+  sim::MachineConfig Machine = sim::MachineConfig::pentium4();
+
+  // Direct: no recording involved at all.
+  sim::MemorySystem Direct(Machine);
+  driveSyntheticStream(Direct);
+
+  // Recorded: same stream through the tee.
+  sim::MemorySystem Live(Machine);
+  TraceBuffer Buf;
+  {
+    RecordingSink Tee(Live, Buf);
+    driveSyntheticStream(Tee);
+  } // Destructor finishes the buffer.
+
+  // The tee must not have perturbed the live simulation...
+  EXPECT_EQ(Live.stats(), Direct.stats());
+  EXPECT_EQ(Live.cycles(), Direct.cycles());
+  EXPECT_EQ(Live.siteStats(), Direct.siteStats());
+
+  // ...and replaying the recording reproduces it bit for bit.
+  sim::MemorySystem Replayed(Machine);
+  replay(Buf, Replayed);
+  EXPECT_EQ(Replayed.stats(), Direct.stats());
+  EXPECT_EQ(Replayed.cycles(), Direct.cycles());
+  EXPECT_EQ(Replayed.siteStats(), Direct.siteStats());
+
+  // The same trace replays on the *other* machine too; different timing,
+  // same event counts.
+  sim::MemorySystem Other(sim::MachineConfig::athlonMP());
+  replay(Buf, Other);
+  EXPECT_EQ(Other.stats().Loads, Direct.stats().Loads);
+  EXPECT_EQ(Other.stats().Stores, Direct.stats().Stores);
+  EXPECT_EQ(Other.stats().GuardedLoads, Direct.stats().GuardedLoads);
+}
+
+TEST(CountingSinkTest, CountsEveryCall) {
+  sim::CountingSink Counts;
+  driveSyntheticStream(Counts);
+  EXPECT_EQ(Counts.TickCalls, 20000u);
+  EXPECT_EQ(Counts.TicksTotal, 60000u);
+  EXPECT_EQ(Counts.Loads, 40000u);
+  EXPECT_EQ(Counts.Stores, 20000u);
+  EXPECT_EQ(Counts.LoadSites, 2u);
+  EXPECT_EQ(Counts.totalCalls(),
+            Counts.TickCalls + Counts.Loads + Counts.Stores +
+                Counts.Prefetches + Counts.GuardedLoads +
+                Counts.GuardedLoadFaults);
+}
+
+// -- Execution signatures ---------------------------------------------------
+
+workloads::WorkloadConfig tinyConfig() {
+  workloads::WorkloadConfig Cfg;
+  Cfg.Scale = 0.05;
+  return Cfg;
+}
+
+TEST(ExecutionSignatureTest, BaselineIsMachineIndependent) {
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("jess");
+  ASSERT_NE(Spec, nullptr);
+  workloads::RunOptions P4, Athlon;
+  P4.Machine = sim::MachineConfig::pentium4();
+  Athlon.Machine = sim::MachineConfig::athlonMP();
+  P4.Config = Athlon.Config = tinyConfig();
+
+  // BASELINE never runs the planner: one trace serves every machine.
+  EXPECT_EQ(workloads::executionSignature(*Spec, P4),
+            workloads::executionSignature(*Spec, Athlon));
+
+  // The prefetch algorithms read LineBytes / the guarded-load choice, so
+  // the two machines (L2/128B/guarded vs L1/64B/unguarded) key apart.
+  P4.Algo = Athlon.Algo = workloads::Algorithm::InterIntra;
+  EXPECT_NE(workloads::executionSignature(*Spec, P4),
+            workloads::executionSignature(*Spec, Athlon));
+
+  // Different algorithm, different signature.
+  workloads::RunOptions Inter = P4;
+  Inter.Algo = workloads::Algorithm::Inter;
+  EXPECT_NE(workloads::executionSignature(*Spec, P4),
+            workloads::executionSignature(*Spec, Inter));
+
+  // Different scale, different signature.
+  workloads::RunOptions Scaled = P4;
+  Scaled.Config.Scale = 0.1;
+  EXPECT_NE(workloads::executionSignature(*Spec, P4),
+            workloads::executionSignature(*Spec, Scaled));
+}
+
+TEST(ExecutionSignatureTest, TunedRunsNeedAStableKey) {
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("db");
+  ASSERT_NE(Spec, nullptr);
+  workloads::RunOptions Opt;
+  Opt.Config = tinyConfig();
+  Opt.TunePass = [](core::PrefetchPassOptions &P) {
+    P.Planner.ScheduleDistance = 4;
+  };
+  // An arbitrary mutation cannot be keyed...
+  EXPECT_EQ(workloads::executionSignature(*Spec, Opt), "");
+  // ...until the caller names it.
+  Opt.TuneKey = "dist=4";
+  std::string Sig = workloads::executionSignature(*Spec, Opt);
+  EXPECT_NE(Sig, "");
+  EXPECT_NE(Sig.find("tune=dist=4"), std::string::npos);
+}
+
+// -- Differential: replay == direct for the full evaluation matrix ---------
+
+TEST(DifferentialTest, ReplayMatchesDirectForEveryWorkloadAndMachine) {
+  const std::vector<sim::MachineConfig> Machines = {
+      sim::MachineConfig::pentium4(), sim::MachineConfig::athlonMP()};
+  for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads()) {
+    for (const sim::MachineConfig &Machine : Machines) {
+      workloads::RunOptions Opt;
+      Opt.Machine = Machine;
+      Opt.Algo = workloads::Algorithm::InterIntra;
+      Opt.Config = tinyConfig();
+      TraceBuffer Buf;
+      Opt.Record = &Buf;
+      workloads::RunResult Direct = workloads::runWorkload(Spec, Opt);
+      ASSERT_FALSE(Buf.overflowed()) << Spec.Name;
+
+      workloads::RunResult Replayed =
+          workloads::replayTrace(Direct, Buf, Machine);
+      std::string Tag = Spec.Name + " on " + Machine.Name;
+      EXPECT_TRUE(Replayed.Replayed) << Tag;
+      EXPECT_EQ(Replayed.CompiledCycles, Direct.CompiledCycles) << Tag;
+      EXPECT_EQ(Replayed.Mem, Direct.Mem) << Tag;
+      EXPECT_EQ(Replayed.Sites, Direct.Sites) << Tag;
+      EXPECT_EQ(Replayed.ReturnValue, Direct.ReturnValue) << Tag;
+      EXPECT_EQ(Replayed.Retired, Direct.Retired) << Tag;
+    }
+  }
+}
+
+TEST(DifferentialTest, BaselineTraceReplaysAcrossMachines) {
+  // The signature layer treats BASELINE traces as machine-independent;
+  // verify the claim: a trace recorded on the Pentium 4 replayed on the
+  // Athlon MP must match the Athlon's own direct run bit for bit.
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("jess");
+  ASSERT_NE(Spec, nullptr);
+
+  workloads::RunOptions P4;
+  P4.Machine = sim::MachineConfig::pentium4();
+  P4.Config = tinyConfig();
+  TraceBuffer Buf;
+  P4.Record = &Buf;
+  workloads::RunResult Recorded = workloads::runWorkload(*Spec, P4);
+
+  workloads::RunOptions Athlon = P4;
+  Athlon.Machine = sim::MachineConfig::athlonMP();
+  Athlon.Record = nullptr;
+  workloads::RunResult Direct = workloads::runWorkload(*Spec, Athlon);
+
+  workloads::RunResult Replayed =
+      workloads::replayTrace(Recorded, Buf, Athlon.Machine);
+  EXPECT_EQ(Replayed.CompiledCycles, Direct.CompiledCycles);
+  EXPECT_EQ(Replayed.Mem, Direct.Mem);
+  EXPECT_EQ(Replayed.Sites, Direct.Sites);
+}
+
+// -- TraceCache -------------------------------------------------------------
+
+harness::TraceCache::Entry makeEntry(unsigned Loads, uint64_t Tag) {
+  harness::TraceCache::Entry E;
+  for (unsigned I = 0; I != Loads; ++I)
+    E.Buf.load(0x1000 + 64 * I, 0);
+  E.Buf.finish();
+  E.ExecSide.ReturnValue = Tag;
+  return E;
+}
+
+TEST(TraceCacheTest, LruEvictsLeastRecentlyUsed) {
+  harness::TraceCache Cache(3000); // Room for ~2 entries of ~512+N bytes.
+  harness::TraceCache::Entry A = makeEntry(200, 1), B = makeEntry(200, 2),
+                             C = makeEntry(200, 3);
+  Cache.insert("wl-a|BASELINE", std::move(A.Buf), A.ExecSide);
+  Cache.insert("wl-b|BASELINE", std::move(B.Buf), B.ExecSide);
+  ASSERT_NE(Cache.lookup("wl-a|BASELINE"), nullptr); // Refresh A.
+  Cache.insert("wl-c|BASELINE", std::move(C.Buf), C.ExecSide);
+
+  // B was least recently used, so B is the one pushed out.
+  EXPECT_EQ(Cache.lookup("wl-b|BASELINE"), nullptr);
+  auto GotA = Cache.lookup("wl-a|BASELINE");
+  auto GotC = Cache.lookup("wl-c|BASELINE");
+  ASSERT_NE(GotA, nullptr);
+  ASSERT_NE(GotC, nullptr);
+  EXPECT_EQ(GotA->ExecSide.ReturnValue, 1u);
+  EXPECT_EQ(GotC->ExecSide.ReturnValue, 3u);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_LE(Cache.bytesInUse(), Cache.budgetBytes());
+}
+
+TEST(TraceCacheTest, ZeroBudgetHoldsNothing) {
+  harness::TraceCache Cache(0);
+  harness::TraceCache::Entry E = makeEntry(10, 9);
+  Cache.insert("wl|X", std::move(E.Buf), E.ExecSide);
+  EXPECT_EQ(Cache.lookup("wl|X"), nullptr);
+  EXPECT_EQ(Cache.bytesInUse(), 0u);
+}
+
+TEST(TraceCacheTest, ReservedEventsFollowsTheLatestRecording) {
+  harness::TraceCache Cache(1 << 20);
+  EXPECT_EQ(Cache.reservedEvents("jess"), 0u);
+  harness::TraceCache::Entry E = makeEntry(123, 0);
+  uint64_t Events = E.Buf.events();
+  Cache.insert("jess|BASELINE|scale=x", std::move(E.Buf), E.ExecSide);
+  // Keyed by workload (the signature's first field), not full signature:
+  // a different algorithm's recording still benefits from the hint.
+  EXPECT_EQ(Cache.reservedEvents("jess"), Events);
+  EXPECT_EQ(Cache.reservedEvents("db"), 0u);
+}
+
+TEST(TraceCacheTest, SpillDirectoryServesEvictedAndCrossProcessHits) {
+  std::string Dir = ::testing::TempDir() + "/spf-trace-spill";
+  harness::TraceCache::Entry A = makeEntry(300, 7), B = makeEntry(300, 8);
+
+  {
+    harness::TraceCache Cache(1800, Dir); // Fits one entry at a time.
+    Cache.insert("wl-a|SIG", std::move(A.Buf), A.ExecSide);
+    Cache.insert("wl-b|SIG", std::move(B.Buf), B.ExecSide); // Evicts A.
+    ASSERT_GE(Cache.stats().Evictions, 1u);
+
+    // The evicted entry comes back from disk.
+    auto GotA = Cache.lookup("wl-a|SIG");
+    ASSERT_NE(GotA, nullptr);
+    EXPECT_EQ(GotA->ExecSide.ReturnValue, 7u);
+    EXPECT_GE(Cache.stats().SpillLoads, 1u);
+  }
+
+  // A fresh cache (new process, same --trace-dir) replays the spill.
+  harness::TraceCache Fresh(1 << 20, Dir);
+  auto Got = Fresh.lookup("wl-a|SIG");
+  ASSERT_NE(Got, nullptr);
+  EXPECT_EQ(Got->ExecSide.ReturnValue, 7u);
+  EXPECT_GT(Got->Buf.events(), 0u);
+
+  // A different signature that hash-collides-or-not must never be served
+  // someone else's trace.
+  EXPECT_EQ(Fresh.lookup("wl-z|OTHER"), nullptr);
+}
+
+// -- runPlan integration ----------------------------------------------------
+
+TEST(RunPlanTraceTest, ReuseChangesNoStatisticAtAnyWorkerCount) {
+  harness::ExperimentPlan Plan;
+  std::vector<const workloads::WorkloadSpec *> Specs = {
+      workloads::findWorkload("jess"), workloads::findWorkload("db")};
+  ASSERT_TRUE(Specs[0] && Specs[1]);
+  Plan.addSweep(Specs,
+                {workloads::Algorithm::Baseline, workloads::Algorithm::Inter,
+                 workloads::Algorithm::InterIntra},
+                {sim::MachineConfig::pentium4(),
+                 sim::MachineConfig::athlonMP()},
+                tinyConfig(), "trace");
+  ASSERT_EQ(Plan.size(), 12u);
+
+  harness::TraceOptions Off;
+  Off.Enabled = false;
+  harness::ExperimentResult Direct = harness::runPlan(Plan, 1, Off);
+  EXPECT_FALSE(Direct.TraceEnabled);
+
+  for (unsigned Jobs : {1u, 8u}) {
+    harness::ExperimentResult Reused =
+        harness::runPlan(Plan, Jobs, harness::TraceOptions());
+    EXPECT_TRUE(Reused.TraceEnabled);
+    ASSERT_EQ(Reused.Cells.size(), Direct.Cells.size());
+    for (unsigned I = 0; I != Plan.size(); ++I) {
+      const workloads::RunResult &D = Direct.run(I);
+      const workloads::RunResult &R = Reused.run(I);
+      std::string Tag = Plan.cells()[I].Spec->Name + " cell " +
+                        std::to_string(I) + " jobs " + std::to_string(Jobs);
+      EXPECT_EQ(R.CompiledCycles, D.CompiledCycles) << Tag;
+      EXPECT_EQ(R.Mem, D.Mem) << Tag;
+      EXPECT_EQ(R.Sites, D.Sites) << Tag;
+      EXPECT_EQ(R.Retired, D.Retired) << Tag;
+      EXPECT_EQ(R.ReturnValue, D.ReturnValue) << Tag;
+      EXPECT_EQ(R.SelfCheckOk, D.SelfCheckOk) << Tag;
+      EXPECT_EQ(R.Exec.Retired, D.Exec.Retired) << Tag;
+      EXPECT_EQ(R.Exec.PrefetchRelated, D.Exec.PrefetchRelated) << Tag;
+      EXPECT_EQ(R.Exec.GcRuns, D.Exec.GcRuns) << Tag;
+    }
+    // At one worker the schedule is the plan order, so the two baseline
+    // cells of each workload (P4 first, Athlon second) share one trace.
+    if (Jobs == 1)
+      EXPECT_GE(Reused.Trace.Hits, 2u);
+  }
+}
+
+TEST(RunPlanTraceTest, JsonReportCarriesTraceFields) {
+  harness::ExperimentPlan Plan;
+  std::vector<const workloads::WorkloadSpec *> Specs = {
+      workloads::findWorkload("db")};
+  ASSERT_TRUE(Specs[0]);
+  Plan.addSweep(Specs, {workloads::Algorithm::Baseline},
+                {sim::MachineConfig::pentium4(),
+                 sim::MachineConfig::athlonMP()},
+                tinyConfig(), "json");
+  harness::ExperimentResult Result =
+      harness::runPlan(Plan, 1, harness::TraceOptions());
+
+  std::ostringstream OS;
+  harness::writeJsonReport(OS, Plan, Result, 0.05, 1);
+  std::string Json = OS.str();
+  for (const char *Key :
+       {"\"schema\":\"spf-sweep-v2\"", "\"l1_store_misses\"",
+        "\"cycles_stalled_on_loads\"", "\"load_sites\"",
+        "\"site_stats_hash\"", "\"replayed\"", "\"interpret_us\"",
+        "\"replay_us\"", "\"trace\"", "\"hits\"", "\"budget_bytes\""})
+    EXPECT_NE(Json.find(Key), std::string::npos) << Key;
+
+  // Two baseline cells, one signature: the second must have replayed.
+  EXPECT_NE(Json.find("\"replayed\":true"), std::string::npos);
+  EXPECT_EQ(Result.Trace.Hits, 1u);
+  EXPECT_EQ(Result.Trace.Misses, 1u);
+}
+
+} // namespace
