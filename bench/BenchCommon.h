@@ -18,11 +18,15 @@
 #define SPF_BENCH_BENCHCOMMON_H
 
 #include "harness/Experiment.h"
+#include "harness/Supervisor.h"
 #include "harness/ThreadPool.h"
+#include "support/Env.h"
+#include "support/Process.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 namespace spf {
@@ -109,6 +113,114 @@ inline harness::TraceOptions traceOptionsFromArgs(int argc, char **argv) {
   return T;
 }
 
+/// Per-binary CLI state shared by every bench main: worker threads,
+/// trace reuse, out-of-process isolation, and the run journal. Filled by
+/// init(); consumed by runPlanCli(). PlanSeq numbers the runPlanCli
+/// calls a binary makes, so the hidden worker protocol can name a cell
+/// of any plan in a multi-plan binary.
+struct BenchCli {
+  int Argc = 0;
+  char **Argv = nullptr;
+  std::string SelfPath;
+  std::optional<harness::WorkerRequest> Worker;
+  unsigned Jobs = 0;
+  harness::TraceOptions Trace;
+  bool Isolate = false;
+  uint64_t CellMemMb = 0;
+  std::string JournalPath;
+  bool Resume = false;
+  unsigned PlanSeq = 0;
+};
+
+inline BenchCli &cli() {
+  static BenchCli C;
+  return C;
+}
+
+/// Parses the shared bench flags. Call first in every bench main:
+///   --jobs N            worker threads (or SPF_JOBS)
+///   --no-trace-reuse / --trace-cache-mb N / --trace-dir DIR
+///   --isolate           run every cell in a supervised worker process
+///   --cell-mem-mb N     RLIMIT_AS per worker in MiB (or SPF_CELL_MEM_MB)
+///   --journal FILE      append one fsync'd record per finished cell
+///   --resume            graft a previous journal instead of re-running
+/// Also recognizes the hidden worker protocol (--run-cell ...); a worker
+/// invocation is dispatched inside runPlanCli, never here.
+inline void init(int argc, char **argv) {
+  BenchCli &C = cli();
+  C.Argc = argc;
+  C.Argv = argv;
+  C.SelfPath = support::selfExecutablePath(argv[0]);
+  C.Worker = harness::parseWorkerRequest(argc, argv);
+  C.Jobs = jobsFromArgs(argc, argv);
+  C.Trace = traceOptionsFromArgs(argc, argv);
+  C.CellMemMb = harness::cellMemMbFromEnv();
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--isolate") {
+      C.Isolate = true;
+    } else if (A == "--cell-mem-mb" && I + 1 < argc) {
+      C.CellMemMb = static_cast<uint64_t>(std::atoll(argv[++I]));
+    } else if (A.rfind("--cell-mem-mb=", 0) == 0) {
+      C.CellMemMb = static_cast<uint64_t>(std::atoll(A.c_str() + 14));
+    } else if (A == "--journal" && I + 1 < argc) {
+      C.JournalPath = argv[++I];
+    } else if (A.rfind("--journal=", 0) == 0) {
+      C.JournalPath = A.substr(10);
+    } else if (A == "--resume") {
+      C.Resume = true;
+    }
+  }
+  if (C.Resume && C.JournalPath.empty())
+    support::envConfigError("--resume", "",
+                            "--resume requires --journal FILE");
+}
+
+/// Runs \p Plan under the configuration init() parsed. In a worker
+/// invocation targeting this plan, runs the requested cell and exits;
+/// for earlier plans of a multi-plan binary it fabricates empty results
+/// (the worker's stdout goes to /dev/null, so the skipped plans' tables
+/// print into the void) so control flow reaches the target plan without
+/// executing anything.
+inline harness::ExperimentResult
+runPlanCli(const harness::ExperimentPlan &Plan) {
+  BenchCli &C = cli();
+  const unsigned Seq = C.PlanSeq++;
+  if (C.Worker) {
+    if (C.Worker->PlanSeq == Seq)
+      harness::runCellWorker(Plan, *C.Worker, C.Trace); // Does not return.
+    harness::ExperimentResult R;
+    R.Cells.resize(Plan.size());
+    for (harness::CellResult &Cell : R.Cells) {
+      Cell.Ran = true;
+      Cell.Attempts = 1;
+    }
+    return R;
+  }
+
+  harness::RunPlanOptions Opts;
+  Opts.Trace = C.Trace;
+  if (C.Isolate) {
+    Opts.Isolate.Enabled = true;
+    Opts.Isolate.CellMemMb = C.CellMemMb;
+    const std::string Self = C.SelfPath;
+    const int Argc = C.Argc;
+    char **const Argv = C.Argv;
+    Opts.Isolate.WorkerCommand = [Self, Argc, Argv,
+                                  Seq](unsigned Cell, unsigned Attempt) {
+      return harness::workerArgv(Self, Argc, Argv, Seq, Cell, Attempt);
+    };
+  }
+  if (!C.JournalPath.empty()) {
+    // Multi-plan binaries journal each plan separately.
+    Opts.Journal.Path =
+        Seq == 0 ? C.JournalPath
+                 : C.JournalPath + ".plan" + std::to_string(Seq);
+    Opts.Journal.Resume = C.Resume;
+  }
+  return harness::runPlan(Plan, C.Jobs, Opts);
+}
+
 /// Results for one workload under the three configurations.
 struct WorkloadRuns {
   const workloads::WorkloadSpec *Spec = nullptr;
@@ -160,15 +272,15 @@ collectAll(const harness::ExperimentResult &Result, bool WithInter,
   return Rows;
 }
 
-/// Runs every Table 3 workload on \p Machine with \p Jobs workers
-/// (0 = SPF_JOBS / hardware default). Self-check failures and
-/// baseline-vs-prefetch mismatches are recorded via reportFailure(), so
-/// callers finish with `return bench::exitCode();`.
+/// Runs every Table 3 workload on \p Machine under the configuration
+/// init() parsed (jobs, trace reuse, isolation, journal). Self-check
+/// failures and baseline-vs-prefetch mismatches are recorded via
+/// reportFailure(), so callers finish with `return bench::exitCode();`.
 inline std::vector<WorkloadRuns> runAll(const sim::MachineConfig &Machine,
-                                        bool WithInter, unsigned Jobs = 0) {
+                                        bool WithInter) {
   harness::ExperimentPlan Plan;
   planAll(Plan, Machine, WithInter);
-  harness::ExperimentResult Result = harness::runPlan(Plan, Jobs);
+  harness::ExperimentResult Result = runPlanCli(Plan);
   reportPlanFailures(Result);
   return collectAll(Result, WithInter);
 }

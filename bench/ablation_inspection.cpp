@@ -34,6 +34,7 @@ jessCell(std::function<void(core::PrefetchPassOptions &)> T) {
 }
 
 int main(int argc, char **argv) {
+  init(argc, argv);
   // All four sections share one plan and one worker pool.
   harness::ExperimentPlan Plan;
 
@@ -69,8 +70,7 @@ int main(int argc, char **argv) {
     Plan.add(std::move(Cell));
   }
 
-  harness::ExperimentResult Result =
-      harness::runPlan(Plan, jobsFromArgs(argc, argv));
+  harness::ExperimentResult Result = runPlanCli(Plan);
   reportPlanFailures(Result);
   unsigned I = 0;
 

@@ -18,6 +18,7 @@ using namespace spf::bench;
 using namespace spf::workloads;
 
 int main(int argc, char **argv) {
+  init(argc, argv);
   std::printf("Ablation: scheduling distance c (Pentium 4, scale=%.2f)\n",
               scaleFromEnv());
   std::printf("%-10s %4s %12s %12s %10s\n", "benchmark", "c", "cycles",
@@ -48,8 +49,7 @@ int main(int argc, char **argv) {
       Plan.add(std::move(Cell));
     }
   }
-  harness::ExperimentResult Result =
-      harness::runPlan(Plan, jobsFromArgs(argc, argv));
+  harness::ExperimentResult Result = runPlanCli(Plan);
   reportPlanFailures(Result);
 
   unsigned I = 0;

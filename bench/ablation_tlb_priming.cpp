@@ -16,6 +16,7 @@ using namespace spf::bench;
 using namespace spf::workloads;
 
 int main(int argc, char **argv) {
+  init(argc, argv);
   std::printf("Ablation: TLB priming on the Pentium 4, db (scale=%.2f)\n",
               scaleFromEnv());
   std::printf("%-22s %12s %12s %12s %10s\n", "intra realization", "cycles",
@@ -43,8 +44,7 @@ int main(int argc, char **argv) {
     Cell.CheckAgainst = BaseIdx;
     Plan.add(std::move(Cell));
   }
-  harness::ExperimentResult Result =
-      harness::runPlan(Plan, jobsFromArgs(argc, argv));
+  harness::ExperimentResult Result = runPlanCli(Plan);
   reportPlanFailures(Result);
 
   const RunResult &RBase = Result.run(BaseIdx);

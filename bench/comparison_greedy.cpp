@@ -56,6 +56,7 @@ RunResult runGreedy(const WorkloadSpec &Spec, unsigned &Emitted) {
 } // namespace
 
 int main(int argc, char **argv) {
+  init(argc, argv);
   std::printf("Stride vs greedy prefetching (Pentium 4, scale=%.2f)\n",
               scaleFromEnv());
   std::printf("%-10s %12s %12s %10s %10s\n", "benchmark", "stride",
@@ -71,8 +72,7 @@ int main(int argc, char **argv) {
   Plan.addSweep(Specs, {Algorithm::Baseline, Algorithm::InterIntra},
                 {sim::MachineConfig::pentium4()}, benchConfig(),
                 "comparison:greedy");
-  harness::ExperimentResult Result =
-      harness::runPlan(Plan, jobsFromArgs(argc, argv));
+  harness::ExperimentResult Result = runPlanCli(Plan);
   reportPlanFailures(Result);
 
   unsigned I = 0;

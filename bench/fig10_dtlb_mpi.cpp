@@ -16,13 +16,13 @@ using namespace spf;
 using namespace spf::bench;
 
 int main(int argc, char **argv) {
+  init(argc, argv);
   std::printf("Figure 10: DTLB load MPIs on the Pentium 4 (scale=%.2f)\n",
               scaleFromEnv());
   std::printf("%-12s %10s %12s\n", "benchmark", "BASELINE", "INTER+INTRA");
   std::printf("%-12s %10s %12s\n", "---------", "--------", "-----------");
 
-  auto Rows = runAll(sim::MachineConfig::pentium4(), /*WithInter=*/false,
-                     jobsFromArgs(argc, argv));
+  auto Rows = runAll(sim::MachineConfig::pentium4(), /*WithInter=*/false);
   for (const WorkloadRuns &Row : Rows)
     std::printf("%-12s %10.5f %12.5f\n", Row.Spec->Name.c_str(),
                 workloads::perInstruction(Row.Base.Mem.DtlbLoadMisses,

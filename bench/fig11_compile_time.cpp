@@ -16,6 +16,7 @@ using namespace spf;
 using namespace spf::bench;
 
 int main(int argc, char **argv) {
+  init(argc, argv);
   std::printf(
       "Figure 11: prefetch compile time / total JIT time (scale=%.2f)\n",
       scaleFromEnv());
@@ -45,8 +46,7 @@ int main(int argc, char **argv) {
       Plan.add(std::move(Cell));
     }
   }
-  harness::ExperimentResult Result =
-      harness::runPlan(Plan, jobsFromArgs(argc, argv));
+  harness::ExperimentResult Result = runPlanCli(Plan);
   reportPlanFailures(Result);
 
   unsigned I = 0;

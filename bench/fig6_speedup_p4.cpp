@@ -16,13 +16,13 @@ using namespace spf;
 using namespace spf::bench;
 
 int main(int argc, char **argv) {
+  init(argc, argv);
   std::printf("Figure 6: speedup ratios on the Pentium 4 (scale=%.2f)\n",
               scaleFromEnv());
   std::printf("%-12s %10s %12s\n", "benchmark", "INTER", "INTER+INTRA");
   std::printf("%-12s %10s %12s\n", "---------", "-----", "-----------");
 
-  auto Rows = runAll(sim::MachineConfig::pentium4(), /*WithInter=*/true,
-                     jobsFromArgs(argc, argv));
+  auto Rows = runAll(sim::MachineConfig::pentium4(), /*WithInter=*/true);
   for (const WorkloadRuns &Row : Rows)
     std::printf("%-12s %9.1f%% %11.1f%%\n", Row.Spec->Name.c_str(),
                 speedup(Row, Row.Inter), speedup(Row, Row.Intra));

@@ -13,6 +13,7 @@ using namespace spf;
 using namespace spf::bench;
 
 int main(int argc, char **argv) {
+  init(argc, argv);
   std::printf("Figure 8: L1 cache load MPIs on the Pentium 4 (scale=%.2f)\n",
               scaleFromEnv());
   std::printf("%-12s %10s %12s %10s\n", "benchmark", "BASELINE",
@@ -20,8 +21,7 @@ int main(int argc, char **argv) {
   std::printf("%-12s %10s %12s %10s\n", "---------", "--------",
               "-----------", "--------");
 
-  auto Rows = runAll(sim::MachineConfig::pentium4(), /*WithInter=*/false,
-                     jobsFromArgs(argc, argv));
+  auto Rows = runAll(sim::MachineConfig::pentium4(), /*WithInter=*/false);
   for (const WorkloadRuns &Row : Rows) {
     double BaseMpi = workloads::perInstruction(Row.Base.Mem.L1LoadMisses,
                                                Row.Base.Retired);

@@ -8,6 +8,7 @@
 /// Usage:
 ///   sweep [--jobs N] [--json FILE] [--workloads a,b,c]
 ///         [--no-trace-reuse] [--trace-cache-mb N] [--trace-dir DIR]
+///         [--isolate] [--cell-mem-mb N] [--journal FILE] [--resume]
 ///
 ///   --jobs N          worker threads (default: SPF_JOBS, then hardware
 ///                     concurrency); results are bit-identical for any N
@@ -23,6 +24,16 @@
 ///                     default: SPF_TRACE_MB, then 256)
 ///   --trace-dir DIR   spill evicted traces to DIR; later runs replay
 ///                     them across process boundaries
+///   --isolate         run every cell in a supervised worker process with
+///                     hard rlimits; crashes become per-cell quarantine
+///                     entries instead of killing the sweep (statistics
+///                     stay bit-identical to the in-process mode)
+///   --cell-mem-mb N   RLIMIT_AS per worker process in MiB (default:
+///                     SPF_CELL_MEM_MB; 0 = unlimited)
+///   --journal FILE    append one fsync'd JSON line per finished cell, so
+///                     a killed sweep can be resumed
+///   --resume          graft results recorded in --journal FILE and only
+///                     run the cells it is missing
 ///   SPF_SCALE=0.1     reduced problem scale, as for every bench binary
 ///   SPF_TRACE_MB=N    default trace cache budget in MB
 ///   SPF_FAULTS=...    chaos mode: seeded fault injection (DESIGN.md,
@@ -30,6 +41,8 @@
 ///                     but injected transients do not fail the run —
 ///                     fault injection also disables trace reuse
 ///   SPF_CELL_TIMEOUT=S  per-cell wall-clock watchdog in seconds
+///   SPF_CELL_MEM_MB=N   default per-worker RLIMIT_AS in MiB
+///   SPF_NO_BACKOFF=1    disable the retry backoff delay (tests/CI)
 ///
 /// Exit code is nonzero when any workload self-check fails or prefetching
 /// changes a result. The undocumented --inject-self-check-failure flag
@@ -153,6 +166,7 @@ void printMpi(const char *Title, const std::vector<WorkloadRuns> &Rows,
 } // namespace
 
 int main(int argc, char **argv) {
+  init(argc, argv);
   std::string JsonPath = "sweep_report.json";
   std::string WorkloadCsv;
   bool InjectFailure = false;
@@ -169,8 +183,7 @@ int main(int argc, char **argv) {
     else if (A == "--inject-self-check-failure")
       InjectFailure = true;
   }
-  unsigned Jobs = jobsFromArgs(argc, argv);
-  harness::TraceOptions Trace = traceOptionsFromArgs(argc, argv);
+  unsigned Jobs = cli().Jobs;
 
   std::vector<const WorkloadSpec *> Specs = selectWorkloads(WorkloadCsv);
   if (Specs.empty()) {
@@ -218,22 +231,35 @@ int main(int argc, char **argv) {
               scaleFromEnv());
 
   auto Start = std::chrono::steady_clock::now();
-  harness::ExperimentResult Result = harness::runPlan(Plan, Jobs, Trace);
+  harness::ExperimentResult Result = runPlanCli(Plan);
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     Start)
           .count();
   reportPlanFailures(Result);
 
+  if (!Result.JournalPath.empty())
+    std::printf("journal: %s — %u cell(s) grafted from a previous run, "
+                "%u appended\n",
+                Result.JournalPath.c_str(), Result.JournalGrafted,
+                Result.JournalAppended);
+
   // Chaos-run visibility: cells that needed retries or never produced a
   // result. Transient quarantines are not failures (the harness's fault
   // containment working as intended), but they must never be silent.
   if (!Result.Quarantine.empty()) {
     std::printf("\nquarantine: %zu cell(s)\n", Result.Quarantine.size());
-    for (const harness::QuarantineRecord &Q : Result.Quarantine)
-      std::printf("  [%u] %-40s %-8s attempts=%u%s%s\n", Q.CellIndex,
-                  Q.Tag.c_str(), Q.Kind.c_str(), Q.Attempts,
-                  Q.Error.empty() ? "" : " — ", Q.Error.c_str());
+    for (const harness::QuarantineRecord &Q : Result.Quarantine) {
+      std::printf("  [%u] %-40s %-8s attempts=%u", Q.CellIndex,
+                  Q.Tag.c_str(), Q.Kind.c_str(), Q.Attempts);
+      if (Q.Signal)
+        std::printf(" signal=%d", Q.Signal);
+      else if (Q.ExitStatus > 0)
+        std::printf(" exit=%d", Q.ExitStatus);
+      if (!Q.Error.empty())
+        std::printf(" — %s", Q.Error.c_str());
+      std::printf("\n");
+    }
   }
 
   std::vector<WorkloadRuns> P4Rows =

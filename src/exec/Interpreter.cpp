@@ -29,10 +29,23 @@ template <typename Fn> ScopeExit(Fn) -> ScopeExit<Fn>;
 
 void Interpreter::setDeadline(double Seconds) {
   HasDeadline = Seconds > 0.0;
-  if (HasDeadline)
+  if (HasDeadline) {
     Deadline = std::chrono::steady_clock::now() +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                    std::chrono::duration<double>(Seconds));
+    // Cover the watchdog's blind spot: GC (and the allocation slow path
+    // that triggers it) retires no instructions, so the per-4096-retired
+    // check below never runs there. The collector polls this checkpoint
+    // at the same cadence inside every collection phase.
+    Gc.setCheckpoint([this] { checkDeadline(); });
+  } else {
+    Gc.setCheckpoint(nullptr);
+  }
+}
+
+void Interpreter::checkDeadline() const {
+  if (HasDeadline && std::chrono::steady_clock::now() >= Deadline)
+    throw support::CellTimeout("cell wall-clock deadline exceeded");
 }
 
 Interpreter::Interpreter(vm::Heap &Heap, AccessSink &Sink,
@@ -87,6 +100,10 @@ uint64_t Interpreter::eval(const Frame &F, const Value *V) const {
 }
 
 void Interpreter::collectGarbage() {
+  // The allocation slow path lands here without retiring anything;
+  // check once on entry so even a checkpoint-free tiny heap cannot
+  // extend a cell past its deadline by collecting in a loop.
+  checkDeadline();
   std::vector<vm::Addr *> Roots;
   if (ExternalRoots)
     for (vm::Addr &Handle : *ExternalRoots)

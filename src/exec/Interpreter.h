@@ -89,11 +89,17 @@ public:
 
   /// Wall-clock watchdog: execution past the deadline throws
   /// support::CellTimeout. Checked cooperatively every few thousand
-  /// retired instructions, so overshoot is bounded and cheap runs pay
-  /// (almost) nothing. \p Seconds <= 0 disables the watchdog.
+  /// retired instructions — and, via a GarbageCollector checkpoint, at
+  /// the same cadence inside collections and the allocation slow path,
+  /// so a cell stuck in GC still observes its deadline. Overshoot is
+  /// bounded and cheap runs pay (almost) nothing. \p Seconds <= 0
+  /// disables the watchdog.
   void setDeadline(double Seconds);
 
 private:
+  /// Throws support::CellTimeout when the deadline has passed.
+  void checkDeadline() const;
+
   struct MethodInfo {
     unsigned NumValues = 0;
     std::vector<unsigned> RefValueIds; // Dense ids of Ref-typed values.

@@ -2,15 +2,23 @@
 
 #include "harness/Experiment.h"
 
+#include "harness/Journal.h"
+#include "harness/JsonReader.h"
 #include "harness/JsonWriter.h"
+#include "harness/Subprocess.h"
+#include "harness/Supervisor.h"
 #include "harness/ThreadPool.h"
+#include "support/Env.h"
 #include "support/FaultInjection.h"
 #include "support/Status.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <ostream>
+#include <thread>
 
 using namespace spf;
 using namespace spf::harness;
@@ -55,14 +63,22 @@ std::vector<unsigned> ExperimentPlan::addSweep(
 
 namespace {
 
-/// Per-cell wall-clock budget from SPF_CELL_TIMEOUT (seconds); 0 = off.
-double cellTimeoutSeconds() {
-  const char *S = std::getenv("SPF_CELL_TIMEOUT");
-  if (!S || !*S)
-    return 0.0;
-  char *End = nullptr;
-  double V = std::strtod(S, &End);
-  return (End && *End == '\0' && V > 0.0) ? V : 0.0;
+/// Exponential backoff before retry \p Attempt of cell \p Cell: base
+/// 50ms doubling per attempt, capped at 1s, plus deterministic seeded
+/// jitter so a burst of colliding retries de-synchronizes the same way
+/// every run. SPF_NO_BACKOFF (set by ctest) disables the sleep entirely;
+/// the fault schedule is unaffected either way — backoff only shapes
+/// wall clock, never which attempt streams fire.
+void backoffBeforeRetry(unsigned Cell, unsigned Attempt) {
+  static const bool Disabled = support::envFlagSet("SPF_NO_BACKOFF");
+  if (Disabled || Attempt == 0)
+    return;
+  uint64_t BaseMs = 50ull << (Attempt - 1);
+  if (BaseMs > 1000)
+    BaseMs = 1000;
+  SplitMix64 Rng(0xb0ff5eedULL ^ ((uint64_t(Cell) << 8) | Attempt));
+  uint64_t Ms = BaseMs + Rng.nextBelow(BaseMs / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
 }
 
 /// "workload [ALGO, machine]" — the tag used in Failures and Quarantine.
@@ -100,16 +116,49 @@ std::string siteStatsHash(const std::vector<sim::SiteStats> &Sites) {
 
 ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
                                   unsigned Jobs) {
-  return runPlan(Plan, Jobs, TraceOptions());
+  return runPlan(Plan, Jobs, RunPlanOptions());
 }
 
 ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
                                   const TraceOptions &Trace) {
+  RunPlanOptions Opts;
+  Opts.Trace = Trace;
+  return runPlan(Plan, Jobs, Opts);
+}
+
+ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
+                                  const RunPlanOptions &Opts) {
+  const TraceOptions &Trace = Opts.Trace;
+  const bool Isolated = Opts.Isolate.Enabled;
   if (Jobs == 0)
     Jobs = defaultJobs();
 
   ExperimentResult Result;
   Result.Cells.resize(Plan.size());
+  Result.Isolated = Isolated;
+
+  // Durable journal: load the previous run's records first when
+  // resuming (refusing on a plan mismatch), then open for appending.
+  std::optional<RunJournal> Journal;
+  std::vector<std::optional<CellResult>> Grafted(Plan.size());
+  std::atomic<unsigned> Appended{0};
+  if (!Opts.Journal.Path.empty()) {
+    Result.JournalPath = Opts.Journal.Path;
+    Journal.emplace(Opts.Journal.Path);
+    std::string Error;
+    if (Opts.Journal.Resume && !Journal->load(Plan, Grafted, &Error)) {
+      Result.Failures.push_back("journal: " + Error);
+      return Result;
+    }
+    if (!Journal->openForAppend(Plan, /*Fresh=*/!Opts.Journal.Resume,
+                                &Error)) {
+      Result.Failures.push_back("journal: " + Error);
+      return Result;
+    }
+    for (const std::optional<CellResult> &G : Grafted)
+      if (G)
+        ++Result.JournalGrafted;
+  }
 
   // Shared-state audit: the workload registry is a function-local static
   // whose one-time construction builds every spec. The init is
@@ -128,9 +177,12 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
   // chaos-free. Fault injection must keep exercising the real interpret
   // path (and can corrupt a recording mid-stream), so any enabled fault
   // site turns reuse off for the whole plan — the PR 2 quarantine
-  // machinery below sees exactly the behavior it always did.
-  const bool UseTrace =
-      Trace.Enabled && Trace.BudgetBytes > 0 && !Faults.anyEnabled();
+  // machinery below sees exactly the behavior it always did. In isolated
+  // mode the supervisor holds no cache at all: workers run their own
+  // cache front over the shared --trace-dir spill directory (see
+  // harness/Supervisor.h), which is the only cross-process channel.
+  const bool UseTrace = !Isolated && Trace.Enabled && Trace.BudgetBytes > 0 &&
+                        !Faults.anyEnabled();
   std::optional<TraceCache> Cache;
   if (UseTrace)
     Cache.emplace(Trace.BudgetBytes, Trace.SpillDir);
@@ -158,6 +210,7 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     }
 
     for (unsigned Attempt = 0; Attempt < MaxTransientAttempts; ++Attempt) {
+      backoffBeforeRetry(I, Attempt);
       ++Cell.Attempts;
       // Each call builds a private Heap/Module, compiles with a private
       // CompileManager, and simulates on a private MemorySystem: cells
@@ -205,17 +258,120 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     }
   };
 
+  // Supervised execution: one freshly exec'd worker per attempt, hard
+  // rlimit caps in the child, a wall-clock deadline + SIGKILL here. The
+  // worker mirrors the in-process attempt semantics (same fault-stream
+  // salt, same exception classification), so per-cell statistics are
+  // bit-identical between the two modes; the supervisor only has to
+  // classify deaths the worker could not report itself.
+  auto RunCellSupervised = [&](unsigned I) {
+    CellResult &Cell = Result.Cells[I];
+    // The hard deadline leaves the cooperative watchdog room to fire
+    // first and deliver a clean "timeout" record; only a worker that
+    // cannot even reach a checkpoint is killed from outside.
+    const double Deadline = TimeoutSec > 0 ? TimeoutSec * 2 + 10 : 0.0;
+    support::WorkerLimits Limits;
+    Limits.MemBytes = Opts.Isolate.CellMemMb << 20;
+    Limits.CpuSec =
+        TimeoutSec > 0 ? static_cast<uint64_t>(TimeoutSec * 2) + 5 : 0;
+
+    for (unsigned Attempt = 0; Attempt < MaxTransientAttempts; ++Attempt) {
+      backoffBeforeRetry(I, Attempt);
+      ++Cell.Attempts;
+      SpawnOutcome Out =
+          runWorkerProcess(Opts.Isolate.WorkerCommand(I, Attempt), Limits,
+                           Deadline);
+      if (Out.SpawnFailed) {
+        Cell.Failed = true;
+        Cell.Error = Out.SpawnError;
+        return;
+      }
+
+      // A clean worker always ends its pipe output with one record
+      // line; anything else is a death to classify from the status.
+      CellResult Rec;
+      bool HaveRec = false;
+      size_t Pos = Out.Output.find("{\"worker\":\"spf-cell-v1\"");
+      if (Pos != std::string::npos) {
+        size_t End = Out.Output.find('\n', Pos);
+        std::string Line = Out.Output.substr(
+            Pos, End == std::string::npos ? std::string::npos : End - Pos);
+        if (std::unique_ptr<JsonValue> V = JsonValue::parse(Line))
+          HaveRec = parseCellRecord(V->get("record"), Rec);
+      }
+
+      if (Out.DeadlineKilled) {
+        // Even the cooperative watchdog never ran: the worker was wedged
+        // somewhere no checkpoint reaches. No retry — a deterministic
+        // simulation will wedge identically.
+        Cell.Crashed = true;
+        Cell.DeadlineKilled = true;
+        Cell.Signal = Out.Signal;
+        Cell.ExitStatus = Out.ExitCode;
+        Cell.Error = "worker exceeded the supervisor hard deadline";
+        return;
+      }
+
+      if (HaveRec && Out.ExitCode == 0 && Out.Signal == 0 &&
+          (Rec.Ran || Rec.Transient || Rec.TimedOut || Rec.Failed)) {
+        // Graft the worker's attempt verdict, preserving the attempt
+        // count and the sticky transient flag exactly like the
+        // in-process loop does.
+        unsigned Attempts = Cell.Attempts;
+        bool PrevTransient = Cell.Transient;
+        Cell = std::move(Rec);
+        Cell.Attempts = Attempts;
+        Cell.Transient = Cell.Transient || PrevTransient;
+        if (Cell.Ran || Cell.TimedOut || Cell.Failed)
+          return;
+        continue; // Transient: re-roll with the next attempt's stream.
+      }
+
+      // Crashed: fatal signal, nonzero exit, or no parseable record.
+      // Retried — an injected crash re-rolls on the next attempt's
+      // stream, and a real one at least gets a second chance before the
+      // cell is quarantined.
+      Cell.Crashed = true;
+      Cell.Signal = Out.Signal;
+      Cell.ExitStatus = Out.ExitCode;
+      if (Out.Signal != 0)
+        Cell.Error = "worker killed by signal " + std::to_string(Out.Signal);
+      else if (Out.ExitCode != 0)
+        Cell.Error = "worker exited with status " +
+                     std::to_string(Out.ExitCode);
+      else
+        Cell.Error = "worker delivered no result record";
+    }
+  };
+
+  auto Dispatch = [&](unsigned I) {
+    if (Grafted[I]) {
+      // Journaled by a previous run of this plan: graft, don't re-run.
+      Result.Cells[I] = *Grafted[I];
+      return;
+    }
+    if (Isolated)
+      RunCellSupervised(I);
+    else
+      RunCell(I);
+    if (Journal && Result.Cells[I].Ran) {
+      Journal->append(Plan, I, Result.Cells[I]);
+      Appended.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
   if (Jobs <= 1 || Plan.size() <= 1) {
     for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
          ++I)
-      RunCell(I);
+      Dispatch(I);
   } else {
     ThreadPool Pool(Jobs);
     for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
          ++I)
-      Pool.async([&RunCell, I] { RunCell(I); });
+      Pool.async([&Dispatch, I] { Dispatch(I); });
     Pool.wait();
   }
+  Result.JournalAppended = Appended.load();
 
   // Correctness verdicts and quarantine, in plan order (deterministic
   // regardless of the completion schedule above).
@@ -226,20 +382,31 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     std::string Tag = cellTag(C);
 
     if (!Cell.Ran) {
-      // The cell never produced a result. Injected transient faults are
-      // the chaos harness working as intended — quarantine only; a
-      // timeout or a real exception is also a Failure.
+      // The cell never produced a result. Injected transient faults and
+      // contained worker crashes are the chaos/isolation machinery
+      // working as intended — quarantine only; a timeout, a supervisor
+      // deadline kill, or a real exception is also a Failure.
       QuarantineRecord Q;
       Q.CellIndex = I;
       Q.Tag = Tag;
-      Q.Kind = Cell.TimedOut ? "timeout"
-                             : (Cell.Transient ? "faulted" : "error");
+      if (Cell.TimedOut)
+        Q.Kind = "timeout";
+      else if (Cell.Crashed)
+        Q.Kind = "crashed";
+      else if (Cell.Transient)
+        Q.Kind = "faulted";
+      else
+        Q.Kind = "error";
       Q.Attempts = Cell.Attempts;
+      Q.Signal = Cell.Signal;
+      Q.ExitStatus = Cell.ExitStatus;
       Q.Error = Cell.Error;
       Result.Quarantine.push_back(std::move(Q));
       if (Cell.TimedOut)
         Result.Failures.push_back(Tag + ": timed out (" + Cell.Error + ")");
-      else if (!Cell.Transient)
+      else if (Cell.DeadlineKilled)
+        Result.Failures.push_back(Tag + ": " + Cell.Error);
+      else if (!Cell.Crashed && !Cell.Transient)
         Result.Failures.push_back(Tag + ": failed (" + Cell.Error + ")");
       continue; // No result: nothing to check, nothing to compare.
     }
@@ -342,6 +509,14 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
       static_cast<uint64_t>(Result.TraceBudgetBytes));
   J.endObject();
 
+  J.key("isolated").value(Result.Isolated);
+  J.key("journal").beginObject();
+  J.key("enabled").value(!Result.JournalPath.empty());
+  J.key("path").value(Result.JournalPath);
+  J.key("grafted").value(static_cast<uint64_t>(Result.JournalGrafted));
+  J.key("appended").value(static_cast<uint64_t>(Result.JournalAppended));
+  J.endObject();
+
   J.key("failures").beginArray();
   for (const std::string &F : Result.Failures)
     J.value(F);
@@ -354,6 +529,8 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("tag").value(Q.Tag);
     J.key("kind").value(Q.Kind);
     J.key("attempts").value(static_cast<uint64_t>(Q.Attempts));
+    J.key("signal").value(static_cast<int64_t>(Q.Signal));
+    J.key("exit_status").value(static_cast<int64_t>(Q.ExitStatus));
     J.key("error").value(Q.Error);
     J.endObject();
   }

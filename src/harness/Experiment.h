@@ -22,6 +22,7 @@
 #include "harness/TraceCache.h"
 #include "workloads/Runner.h"
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -54,8 +55,20 @@ struct CellResult {
   /// Every attempt ended in an injected transient fault (chaos testing);
   /// expected under fault injection, so not a Failure.
   bool Transient = false;
+  /// Supervised mode only: the worker process died without delivering a
+  /// result (fatal signal, nonzero exit, rlimit kill). Contained, so not
+  /// a Failure — the crash is quarantined with Signal/ExitStatus below.
+  bool Crashed = false;
+  /// Supervised mode only: the worker blew past the supervisor's hard
+  /// wall-clock deadline and was SIGKILLed. Unlike a cooperative timeout
+  /// this means even the watchdog never ran — treated as a Failure.
+  bool DeadlineKilled = false;
   /// Execution attempts made (>1 means transient faults were retried).
   unsigned Attempts = 0;
+  /// Terminating signal of the last worker attempt (0 = none).
+  int Signal = 0;
+  /// Exit status of the last worker attempt (-1 = did not exit).
+  int ExitStatus = -1;
   /// what() of the exception that ended the last attempt, if any.
   std::string Error;
 };
@@ -64,9 +77,12 @@ struct CellResult {
 /// timed out, or gave up — kept out of the aggregates either way.
 struct QuarantineRecord {
   unsigned CellIndex = 0;
-  std::string Tag;     ///< "workload [ALGO, machine]" as in Failures.
-  std::string Kind;    ///< "retried" | "faulted" | "timeout" | "error".
+  std::string Tag;  ///< "workload [ALGO, machine]" as in Failures.
+  /// "retried" | "faulted" | "timeout" | "error" | "crashed".
+  std::string Kind;
   unsigned Attempts = 0;
+  int Signal = 0;      ///< Worker's terminating signal ("crashed" only).
+  int ExitStatus = -1; ///< Worker's exit status ("crashed" only).
   std::string Error;
 };
 
@@ -114,6 +130,39 @@ struct TraceOptions {
   std::string SpillDir;
 };
 
+/// Out-of-process cell isolation. With Enabled, every cell attempt runs
+/// in a freshly exec'd worker process (WorkerCommand builds its argv;
+/// benches wire this to their own binary plus the hidden --run-cell
+/// protocol — see harness/Supervisor.h) under hard rlimit caps. The
+/// supervisor classifies worker deaths from the wait status, so crashes
+/// and wedges are contained per cell instead of killing the sweep.
+struct IsolateOptions {
+  bool Enabled = false;
+  /// RLIMIT_AS cap per worker, in MiB (0 = no cap). Benches default it
+  /// from SPF_CELL_MEM_MB / --cell-mem-mb.
+  uint64_t CellMemMb = 0;
+  /// Builds the worker argv for one (cell, attempt). Required when
+  /// Enabled; argv[0] is the binary to exec.
+  std::function<std::vector<std::string>(unsigned Cell, unsigned Attempt)>
+      WorkerCommand;
+};
+
+/// Durable run journal (crash-resumable sweeps). With a Path, every
+/// finished cell is appended as one fsync'd JSON line; with Resume, a
+/// prior journal for the same plan (hash-checked) is loaded first and
+/// its cells are grafted instead of re-executed. See harness/Journal.h.
+struct JournalOptions {
+  std::string Path; ///< Empty = no journal.
+  bool Resume = false;
+};
+
+/// Full configuration for one runPlan call.
+struct RunPlanOptions {
+  TraceOptions Trace;
+  IsolateOptions Isolate;
+  JournalOptions Journal;
+};
+
 /// All cell results plus the driver's correctness verdicts.
 struct ExperimentResult {
   std::vector<CellResult> Cells; ///< Parallel to the plan, plan order.
@@ -131,6 +180,14 @@ struct ExperimentResult {
   TraceCacheStats Trace;
   size_t TraceBytesInUse = 0;
   size_t TraceBudgetBytes = 0;
+
+  /// Whether cells ran in supervised worker processes.
+  bool Isolated = false;
+  /// Journal bookkeeping: active path (empty = off), cells grafted from
+  /// a resumed journal, cells appended by this run.
+  std::string JournalPath;
+  unsigned JournalGrafted = 0;
+  unsigned JournalAppended = 0;
 
   bool ok() const { return Failures.empty(); }
   const workloads::RunResult &run(unsigned Index) const {
@@ -161,6 +218,15 @@ ExperimentResult runPlan(const ExperimentPlan &Plan, unsigned Jobs = 0);
 /// depend on which cell happened to record first.
 ExperimentResult runPlan(const ExperimentPlan &Plan, unsigned Jobs,
                          const TraceOptions &Trace);
+
+/// The full-configuration overload: trace reuse, out-of-process
+/// isolation, and the durable journal. Supervised per-cell statistics
+/// are bit-identical to in-process runs for every cell (the worker path
+/// mirrors the attempt semantics exactly; locked by tests/isolate_test);
+/// a resumed journaled run reproduces the uninterrupted run's normalized
+/// report byte-for-byte without re-running completed cells.
+ExperimentResult runPlan(const ExperimentPlan &Plan, unsigned Jobs,
+                         const RunPlanOptions &Opts);
 
 /// Writes the machine-readable report for a finished plan: metadata plus
 /// one record per cell with the simulator statistics the figures use.

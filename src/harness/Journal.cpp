@@ -1,0 +1,361 @@
+//===- harness/Journal.cpp ------------------------------------------------===//
+
+#include "harness/Journal.h"
+
+#include "harness/JsonReader.h"
+#include "harness/JsonWriter.h"
+
+#include <cstdio>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+using namespace spf;
+using namespace spf::harness;
+
+namespace {
+
+constexpr const char *JournalMagic = "spf-journal-v1";
+
+uint64_t fnv1a(uint64_t H, const std::string &S) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string hex16(uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+} // namespace
+
+std::string harness::journalCellKey(const ExperimentPlan &Plan, unsigned I) {
+  const ExperimentCell &C = Plan.cells()[I];
+  std::string Key = std::to_string(I) + "|" + C.Group + "|" + C.Spec->Name +
+                    "|" + workloads::algorithmName(C.Opt.Algo) + "|" +
+                    C.Opt.Machine.Name + "|";
+  std::string Sig = workloads::executionSignature(*C.Spec, C.Opt);
+  if (!Sig.empty()) {
+    Key += Sig;
+  } else {
+    // Unkeyable run options (TunePass without TuneKey): fall back to the
+    // workload facets; the plan index above still pins the cell.
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "scale=%.17g,seed=%llu,heap=%llu",
+                  C.Opt.Config.Scale,
+                  static_cast<unsigned long long>(C.Opt.Config.Seed),
+                  static_cast<unsigned long long>(C.Opt.Config.HeapBytes));
+    Key += Buf;
+  }
+  return Key;
+}
+
+uint64_t harness::journalPlanHash(const ExperimentPlan &Plan) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E; ++I) {
+    H = fnv1a(H, journalCellKey(Plan, I));
+    H = fnv1a(H, "\n");
+  }
+  return H;
+}
+
+void harness::writeCellRecordJson(JsonWriter &J, const CellResult &Cell) {
+  const workloads::RunResult &R = Cell.Run;
+  J.beginObject();
+  J.key("ran").value(Cell.Ran);
+  J.key("failed").value(Cell.Failed);
+  J.key("timed_out").value(Cell.TimedOut);
+  J.key("transient").value(Cell.Transient);
+  J.key("crashed").value(Cell.Crashed);
+  J.key("deadline_killed").value(Cell.DeadlineKilled);
+  J.key("attempts").value(static_cast<uint64_t>(Cell.Attempts));
+  J.key("signal").value(static_cast<int64_t>(Cell.Signal));
+  J.key("exit_status").value(static_cast<int64_t>(Cell.ExitStatus));
+  J.key("error").value(Cell.Error);
+  J.key("run").beginObject();
+  J.key("cycles").value(R.CompiledCycles);
+  J.key("retired").value(R.Retired);
+  J.key("jit_total_us").value(R.JitTotalUs);
+  J.key("jit_prefetch_us").value(R.JitPrefetchUs);
+  J.key("return_value").value(R.ReturnValue);
+  J.key("self_check_ok").value(R.SelfCheckOk);
+  J.key("replayed").value(R.Replayed);
+  J.key("interpret_us").value(R.InterpretUs);
+  J.key("replay_us").value(R.ReplayUs);
+  J.key("mem").beginObject();
+  J.key("loads").value(R.Mem.Loads);
+  J.key("stores").value(R.Mem.Stores);
+  J.key("l1_load_misses").value(R.Mem.L1LoadMisses);
+  J.key("l1_store_misses").value(R.Mem.L1StoreMisses);
+  J.key("l2_load_misses").value(R.Mem.L2LoadMisses);
+  J.key("dtlb_load_misses").value(R.Mem.DtlbLoadMisses);
+  J.key("sw_prefetches_issued").value(R.Mem.SwPrefetchesIssued);
+  J.key("sw_prefetches_cancelled").value(R.Mem.SwPrefetchesCancelled);
+  J.key("guarded_loads").value(R.Mem.GuardedLoads);
+  J.key("guarded_load_faults").value(R.Mem.GuardedLoadFaults);
+  J.key("cycles_stalled_on_loads").value(R.Mem.CyclesStalledOnLoads);
+  J.endObject();
+  J.key("exec").beginObject();
+  J.key("retired").value(R.Exec.Retired);
+  J.key("prefetch_related").value(R.Exec.PrefetchRelated);
+  J.key("calls").value(R.Exec.Calls);
+  J.key("allocations").value(R.Exec.Allocations);
+  J.key("gc_runs").value(R.Exec.GcRuns);
+  J.endObject();
+  J.key("prefetch").beginObject();
+  J.key("loops_visited").value(static_cast<uint64_t>(R.Prefetch.LoopsVisited));
+  J.key("loops_skipped_small_trip")
+      .value(static_cast<uint64_t>(R.Prefetch.LoopsSkippedSmallTrip));
+  J.key("loops_not_reached")
+      .value(static_cast<uint64_t>(R.Prefetch.LoopsNotReached));
+  J.key("loops_degraded")
+      .value(static_cast<uint64_t>(R.Prefetch.LoopsDegraded));
+  J.key("inspection_faults_injected")
+      .value(R.Prefetch.InspectionFaultsInjected);
+  J.key("prefetches")
+      .value(static_cast<uint64_t>(R.Prefetch.CodeGen.Prefetches));
+  J.key("spec_loads")
+      .value(static_cast<uint64_t>(R.Prefetch.CodeGen.SpecLoads));
+  J.endObject();
+  // Per-site stats as compact 4-tuples; Prefetch.Loops (diagnostic-only
+  // per-loop reports, referencing freed analyses) are dropped, matching
+  // what the trace cache persists.
+  J.key("sites").beginArray();
+  for (const sim::SiteStats &S : R.Sites) {
+    J.beginArray();
+    J.value(S.Loads);
+    J.value(S.L1Misses);
+    J.value(S.L2Misses);
+    J.value(S.DtlbMisses);
+    J.endArray();
+  }
+  J.endArray();
+  J.endObject();
+  J.endObject();
+}
+
+bool harness::parseCellRecord(const JsonValue &V, CellResult &Cell) {
+  if (V.kind() != JsonValue::Kind::Object || !V.has("ran"))
+    return false;
+  Cell = CellResult();
+  Cell.Ran = V.getBool("ran");
+  Cell.Failed = V.getBool("failed");
+  Cell.TimedOut = V.getBool("timed_out");
+  Cell.Transient = V.getBool("transient");
+  Cell.Crashed = V.getBool("crashed");
+  Cell.DeadlineKilled = V.getBool("deadline_killed");
+  Cell.Attempts = static_cast<unsigned>(V.getU64("attempts"));
+  Cell.Signal = static_cast<int>(V.getI64("signal"));
+  Cell.ExitStatus = static_cast<int>(V.getI64("exit_status"));
+  Cell.Error = V.getString("error");
+
+  const JsonValue &Run = V.get("run");
+  if (Run.kind() != JsonValue::Kind::Object)
+    return false;
+  workloads::RunResult &R = Cell.Run;
+  R.CompiledCycles = Run.getU64("cycles");
+  R.Retired = Run.getU64("retired");
+  R.JitTotalUs = Run.getDouble("jit_total_us");
+  R.JitPrefetchUs = Run.getDouble("jit_prefetch_us");
+  R.ReturnValue = Run.getU64("return_value");
+  R.SelfCheckOk = Run.getBool("self_check_ok", true);
+  R.Replayed = Run.getBool("replayed");
+  R.InterpretUs = Run.getDouble("interpret_us");
+  R.ReplayUs = Run.getDouble("replay_us");
+
+  const JsonValue &Mem = Run.get("mem");
+  R.Mem.Loads = Mem.getU64("loads");
+  R.Mem.Stores = Mem.getU64("stores");
+  R.Mem.L1LoadMisses = Mem.getU64("l1_load_misses");
+  R.Mem.L1StoreMisses = Mem.getU64("l1_store_misses");
+  R.Mem.L2LoadMisses = Mem.getU64("l2_load_misses");
+  R.Mem.DtlbLoadMisses = Mem.getU64("dtlb_load_misses");
+  R.Mem.SwPrefetchesIssued = Mem.getU64("sw_prefetches_issued");
+  R.Mem.SwPrefetchesCancelled = Mem.getU64("sw_prefetches_cancelled");
+  R.Mem.GuardedLoads = Mem.getU64("guarded_loads");
+  R.Mem.GuardedLoadFaults = Mem.getU64("guarded_load_faults");
+  R.Mem.CyclesStalledOnLoads = Mem.getU64("cycles_stalled_on_loads");
+
+  const JsonValue &Exec = Run.get("exec");
+  R.Exec.Retired = Exec.getU64("retired");
+  R.Exec.PrefetchRelated = Exec.getU64("prefetch_related");
+  R.Exec.Calls = Exec.getU64("calls");
+  R.Exec.Allocations = Exec.getU64("allocations");
+  R.Exec.GcRuns = Exec.getU64("gc_runs");
+
+  const JsonValue &Pf = Run.get("prefetch");
+  R.Prefetch.LoopsVisited = static_cast<unsigned>(Pf.getU64("loops_visited"));
+  R.Prefetch.LoopsSkippedSmallTrip =
+      static_cast<unsigned>(Pf.getU64("loops_skipped_small_trip"));
+  R.Prefetch.LoopsNotReached =
+      static_cast<unsigned>(Pf.getU64("loops_not_reached"));
+  R.Prefetch.LoopsDegraded =
+      static_cast<unsigned>(Pf.getU64("loops_degraded"));
+  R.Prefetch.InspectionFaultsInjected =
+      Pf.getU64("inspection_faults_injected");
+  R.Prefetch.CodeGen.Prefetches =
+      static_cast<unsigned>(Pf.getU64("prefetches"));
+  R.Prefetch.CodeGen.SpecLoads =
+      static_cast<unsigned>(Pf.getU64("spec_loads"));
+
+  const JsonValue &Sites = Run.get("sites");
+  if (Sites.kind() == JsonValue::Kind::Array) {
+    R.Sites.reserve(Sites.array().size());
+    for (const JsonValue &S : Sites.array()) {
+      if (S.kind() != JsonValue::Kind::Array || S.array().size() != 4)
+        return false;
+      sim::SiteStats St;
+      St.Loads = S.array()[0].u64();
+      St.L1Misses = S.array()[1].u64();
+      St.L2Misses = S.array()[2].u64();
+      St.DtlbMisses = S.array()[3].u64();
+      R.Sites.push_back(St);
+    }
+  }
+  return true;
+}
+
+RunJournal::~RunJournal() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool RunJournal::load(const ExperimentPlan &Plan,
+                      std::vector<std::optional<CellResult>> &Recorded,
+                      std::string *Error) {
+  Recorded.assign(Plan.size(), std::nullopt);
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return true; // No journal yet: nothing recorded, fresh resume.
+
+  std::string Content((std::istreambuf_iterator<char>(IS)),
+                      std::istreambuf_iterator<char>());
+  const std::string WantHash = hex16(journalPlanHash(Plan));
+
+  size_t Pos = 0;
+  unsigned LineNo = 0;
+  bool SawHeader = false;
+  while (Pos < Content.size()) {
+    size_t Nl = Content.find('\n', Pos);
+    if (Nl == std::string::npos)
+      break; // Truncated final line: the crash interrupted this write.
+    std::string Line = Content.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+
+    std::string ParseError;
+    std::unique_ptr<JsonValue> V = JsonValue::parse(Line, &ParseError);
+    if (!V) {
+      if (Error)
+        *Error = Path + ":" + std::to_string(LineNo) +
+                 ": malformed journal line: " + ParseError;
+      return false;
+    }
+
+    if (!SawHeader) {
+      SawHeader = true;
+      if (V->getString("journal") != JournalMagic) {
+        if (Error)
+          *Error = Path + ": not a " + std::string(JournalMagic) + " file";
+        return false;
+      }
+      if (V->getString("plan_hash") != WantHash) {
+        if (Error)
+          *Error = Path + ": plan hash mismatch (journal " +
+                   V->getString("plan_hash") + ", plan " + WantHash +
+                   "): refusing to graft results from a different plan";
+        return false;
+      }
+      continue;
+    }
+
+    uint64_t Cell = V->getU64("cell", Plan.size());
+    if (Cell >= Plan.size()) {
+      if (Error)
+        *Error = Path + ":" + std::to_string(LineNo) +
+                 ": cell index out of range";
+      return false;
+    }
+    // The plan hash already pins every key, but verify per-line anyway:
+    // it catches a journal assembled from two different runs.
+    if (V->getString("key") !=
+        journalCellKey(Plan, static_cast<unsigned>(Cell))) {
+      if (Error)
+        *Error = Path + ":" + std::to_string(LineNo) +
+                 ": cell key mismatch for cell " + std::to_string(Cell);
+      return false;
+    }
+    CellResult R;
+    if (!parseCellRecord(V->get("record"), R)) {
+      if (Error)
+        *Error = Path + ":" + std::to_string(LineNo) +
+                 ": malformed cell record";
+      return false;
+    }
+    Recorded[Cell] = std::move(R); // Last record wins on duplicates.
+  }
+  return true;
+}
+
+bool RunJournal::openForAppend(const ExperimentPlan &Plan, bool Fresh,
+                               std::string *Error) {
+  int Flags = O_WRONLY | O_CREAT | O_APPEND | (Fresh ? O_TRUNC : 0);
+  Fd = ::open(Path.c_str(), Flags, 0644);
+  if (Fd < 0) {
+    if (Error)
+      *Error = Path + ": cannot open journal for writing";
+    return false;
+  }
+  // A fresh journal (or a resumed one whose file vanished) needs the
+  // header; an existing non-empty journal already has it.
+  off_t End = ::lseek(Fd, 0, SEEK_END);
+  if (Fresh || End == 0) {
+    std::ostringstream OS;
+    JsonWriter J(OS);
+    J.beginObject();
+    J.key("journal").value(JournalMagic);
+    J.key("plan_hash").value(hex16(journalPlanHash(Plan)));
+    J.key("cells").value(static_cast<uint64_t>(Plan.size()));
+    J.endObject();
+    OS << '\n';
+    std::string Line = OS.str();
+    if (::write(Fd, Line.data(), Line.size()) !=
+        static_cast<ssize_t>(Line.size())) {
+      if (Error)
+        *Error = Path + ": cannot write journal header";
+      return false;
+    }
+    ::fsync(Fd);
+  }
+  return true;
+}
+
+void RunJournal::append(const ExperimentPlan &Plan, unsigned I,
+                        const CellResult &Cell) {
+  if (Fd < 0)
+    return;
+  std::ostringstream OS;
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("key").value(journalCellKey(Plan, I));
+  J.key("cell").value(static_cast<uint64_t>(I));
+  J.key("record");
+  writeCellRecordJson(J, Cell);
+  J.endObject();
+  OS << '\n';
+  std::string Line = OS.str();
+  std::lock_guard<std::mutex> Lock(Mu);
+  // One O_APPEND write keeps the line atomic; the fsync makes it durable
+  // before the supervisor moves on — a later SIGKILL cannot lose it.
+  if (::write(Fd, Line.data(), Line.size()) ==
+      static_cast<ssize_t>(Line.size()))
+    ::fsync(Fd);
+}

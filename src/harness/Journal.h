@@ -1,0 +1,101 @@
+//===- harness/Journal.h - Durable append-only run journal ------*- C++ -*-===//
+///
+/// \file
+/// Crash-resumable sweeps: with `--journal FILE`, the driver appends one
+/// fsync'd JSON line per finished cell, and `--resume` grafts the
+/// recorded results back into a rerun of the same plan so completed
+/// cells are never re-executed. The file is append-only and
+/// line-oriented — a SIGKILL mid-write leaves at most one truncated
+/// final line, which resume tolerates; every earlier record is durable.
+///
+/// Format (one JSON document per line):
+///
+///   {"journal":"spf-journal-v1","plan_hash":"<16 hex>","cells":N}
+///   {"key":"<cell key>","cell":I,"record":{...full cell result...}}
+///   ...
+///
+/// The header's plan hash is an FNV-1a over every cell's key (plan
+/// index, group, workload, algorithm, machine, and the execution
+/// signature where one exists); resuming against a journal whose hash
+/// differs is refused — grafting cell 17 of an edited plan onto cell 17
+/// of the old one would silently corrupt the report.
+///
+/// This header also exports the cell-record JSON codec, shared verbatim
+/// with the worker result pipe (harness/Supervisor.h): a journal line's
+/// "record" member and a worker's wire record are the same document.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_HARNESS_JOURNAL_H
+#define SPF_HARNESS_JOURNAL_H
+
+#include "harness/Experiment.h"
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spf {
+namespace harness {
+
+class JsonValue;
+class JsonWriter;
+
+/// Stable identity of plan cell \p I: plan position plus everything that
+/// names the cell, with the execution signature where the run options
+/// admit one (tuned cells without a TuneKey fall back to the workload's
+/// scale/seed/heap facets — position in the plan still disambiguates).
+std::string journalCellKey(const ExperimentPlan &Plan, unsigned I);
+
+/// FNV-1a over every cell key, in plan order.
+uint64_t journalPlanHash(const ExperimentPlan &Plan);
+
+/// Serializes one finished cell (flags + the full RunResult, per-site
+/// stats included) as the "record" object used on the worker wire and in
+/// journal lines. Deterministic formatting (JsonWriter), so a record
+/// parsed and re-serialized is byte-identical.
+void writeCellRecordJson(JsonWriter &J, const CellResult &Cell);
+
+/// Inverse of writeCellRecordJson. Returns false when \p V is not a
+/// well-formed record object.
+bool parseCellRecord(const JsonValue &V, CellResult &Cell);
+
+/// The append-only journal for one plan run.
+class RunJournal {
+public:
+  explicit RunJournal(std::string Path) : Path(std::move(Path)) {}
+  ~RunJournal();
+
+  /// Loads an existing journal for \p Plan into \p Recorded (indexed by
+  /// plan cell, nullopt = not journaled). A missing file is an empty
+  /// journal (fresh resume). Returns false and sets \p Error on a
+  /// plan-hash mismatch or a malformed interior line; a truncated final
+  /// line (crash mid-write) is silently dropped.
+  bool load(const ExperimentPlan &Plan,
+            std::vector<std::optional<CellResult>> &Recorded,
+            std::string *Error);
+
+  /// Opens the journal for appending. With \p Fresh, any existing file
+  /// is truncated and a new header written; otherwise records append
+  /// after the existing content (call load() first when resuming).
+  bool openForAppend(const ExperimentPlan &Plan, bool Fresh,
+                     std::string *Error);
+
+  /// Appends the record of finished cell \p I as one fsync'd line.
+  /// Thread-safe; a journal that was never opened ignores the call.
+  void append(const ExperimentPlan &Plan, unsigned I,
+              const CellResult &Cell);
+
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+  std::mutex Mu;
+  int Fd = -1;
+};
+
+} // namespace harness
+} // namespace spf
+
+#endif // SPF_HARNESS_JOURNAL_H

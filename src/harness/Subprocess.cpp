@@ -1,0 +1,164 @@
+//===- harness/Subprocess.cpp ---------------------------------------------===//
+
+#include "harness/Subprocess.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace spf;
+using namespace spf::harness;
+
+namespace {
+
+double monotonicNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+SpawnOutcome harness::runWorkerProcess(const std::vector<std::string> &Argv,
+                                       const support::WorkerLimits &Limits,
+                                       double DeadlineSec) {
+  SpawnOutcome Out;
+  if (Argv.empty()) {
+    Out.SpawnFailed = true;
+    Out.SpawnError = "empty argv";
+    return Out;
+  }
+
+  int Pipe[2];
+  if (::pipe(Pipe) != 0) {
+    Out.SpawnFailed = true;
+    Out.SpawnError = std::string("pipe: ") + std::strerror(errno);
+    return Out;
+  }
+
+  // The child only runs async-signal-safe code before exec, so the argv
+  // array must be fully materialized in the parent.
+  std::vector<char *> CArgv;
+  CArgv.reserve(Argv.size() + 1);
+  for (const std::string &A : Argv)
+    CArgv.push_back(const_cast<char *>(A.c_str()));
+  CArgv.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Pipe[0]);
+    ::close(Pipe[1]);
+    Out.SpawnFailed = true;
+    Out.SpawnError = std::string("fork: ") + std::strerror(errno);
+    return Out;
+  }
+
+  if (Pid == 0) {
+    // Child: async-signal-safe calls only until exec. Its own process
+    // group, so a deadline kill sweeps up anything the worker forked —
+    // an orphaned grandchild would otherwise hold inherited pipes (ours,
+    // ctest's) open long after the worker is gone.
+    ::setpgid(0, 0);
+    ::close(Pipe[0]);
+    if (Pipe[1] != WorkerResultFd) {
+      if (::dup2(Pipe[1], WorkerResultFd) < 0)
+        ::_exit(127);
+      ::close(Pipe[1]);
+    }
+    int DevNull = ::open("/dev/null", O_WRONLY);
+    if (DevNull >= 0) {
+      ::dup2(DevNull, STDOUT_FILENO);
+      if (DevNull != STDOUT_FILENO)
+        ::close(DevNull);
+    }
+    support::applyWorkerLimits(Limits);
+    ::execv(CArgv[0], CArgv.data());
+    ::_exit(127);
+  }
+
+  // Parent: drain the pipe concurrently with the wait (so records larger
+  // than the kernel pipe buffer cannot wedge both sides) until either the
+  // pipe reaches EOF or the worker is reaped. The reap path matters:
+  // EOF alone would hang on a grandchild that inherited the write end
+  // and outlives the SIGKILLed worker — once the worker itself is gone,
+  // anything already in the pipe is drained and stragglers are ignored.
+  ::close(Pipe[1]);
+  ::fcntl(Pipe[0], F_SETFL, O_NONBLOCK);
+  const double Deadline =
+      DeadlineSec > 0 ? monotonicNow() + DeadlineSec : 0.0;
+  bool Killed = false;
+  bool Reaped = false;
+  int Status = 0;
+  char Buf[1 << 16];
+
+  auto DrainOnce = [&]() -> bool { // True at EOF.
+    while (true) {
+      ssize_t N = ::read(Pipe[0], Buf, sizeof(Buf));
+      if (N > 0) {
+        Out.Output.append(Buf, static_cast<size_t>(N));
+        continue;
+      }
+      if (N == 0)
+        return true;
+      if (errno == EINTR)
+        continue;
+      return false; // EAGAIN: nothing more right now.
+    }
+  };
+
+  while (true) {
+    if (Deadline > 0 && !Killed && monotonicNow() >= Deadline) {
+      if (::kill(-Pid, SIGKILL) != 0) // Whole group, grandchildren too.
+        ::kill(Pid, SIGKILL);
+      Killed = true;
+    }
+    struct pollfd PFd;
+    PFd.fd = Pipe[0];
+    PFd.events = POLLIN;
+    PFd.revents = 0;
+    int TimeoutMs = 50; // Granularity of the deadline and reap checks.
+    if (Deadline > 0 && !Killed) {
+      double Left = Deadline - monotonicNow();
+      int LeftMs = static_cast<int>(Left * 1000.0) + 1;
+      if (LeftMs < TimeoutMs)
+        TimeoutMs = LeftMs > 0 ? LeftMs : 0;
+    }
+    int R = ::poll(&PFd, 1, TimeoutMs);
+    if (R < 0 && errno != EINTR)
+      break;
+    if (R > 0 && DrainOnce())
+      break; // EOF: every write end is closed.
+    if (!Reaped) {
+      pid_t W = ::waitpid(Pid, &Status, WNOHANG);
+      if (W == Pid)
+        Reaped = true;
+    }
+    if (Reaped) {
+      // The worker is gone; whatever it wrote is already in the pipe.
+      DrainOnce();
+      break;
+    }
+  }
+  ::close(Pipe[0]);
+  Out.DeadlineKilled = Killed;
+
+  while (!Reaped) {
+    if (::waitpid(Pid, &Status, 0) >= 0) {
+      Reaped = true;
+    } else if (errno != EINTR) {
+      Out.SpawnFailed = true;
+      Out.SpawnError = std::string("waitpid: ") + std::strerror(errno);
+      return Out;
+    }
+  }
+  if (WIFEXITED(Status))
+    Out.ExitCode = WEXITSTATUS(Status);
+  else if (WIFSIGNALED(Status))
+    Out.Signal = WTERMSIG(Status);
+  return Out;
+}

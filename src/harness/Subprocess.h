@@ -1,0 +1,57 @@
+//===- harness/Subprocess.h - Spawn and reap one worker ---------*- C++ -*-===//
+///
+/// \file
+/// Runs one supervised worker: fork + exec of the harness binary itself
+/// with hard resource limits applied in the child, the result pipe on a
+/// fixed fd, and a supervisor-side wall-clock deadline enforced with
+/// SIGKILL. The outcome carries everything the supervisor needs to
+/// classify the cell: captured pipe output, exit status or fatal signal,
+/// and whether the deadline fired.
+///
+/// fork() is immediately followed by exec (self-exec, never bare fork):
+/// the supervisor runs worker spawns from ThreadPool threads, and only
+/// async-signal-safe calls are legal in a multithreaded parent's forked
+/// child before exec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_HARNESS_SUBPROCESS_H
+#define SPF_HARNESS_SUBPROCESS_H
+
+#include "support/Process.h"
+
+#include <string>
+#include <vector>
+
+namespace spf {
+namespace harness {
+
+/// File descriptor the worker's result record arrives on. Fixed by the
+/// protocol so the child can be exec'd without passing the fd number.
+inline constexpr int WorkerResultFd = 3;
+
+/// What happened to one spawned worker.
+struct SpawnOutcome {
+  bool SpawnFailed = false;   ///< pipe/fork/exec never got off the ground.
+  std::string SpawnError;     ///< Why, when SpawnFailed.
+  bool DeadlineKilled = false;///< Supervisor SIGKILLed past the deadline.
+  int ExitCode = -1;          ///< Exit status when the worker exited.
+  int Signal = 0;             ///< Terminating signal, 0 if none.
+  std::string Output;         ///< Everything read from the result pipe.
+};
+
+/// Execs \p Argv (Argv[0] is the binary path) with \p Limits applied in
+/// the child, stdout redirected to /dev/null (worker progress chatter
+/// must not interleave with the supervisor's), stderr inherited, and the
+/// result pipe on WorkerResultFd. Blocks until the worker exits, killing
+/// it with SIGKILL once \p DeadlineSec of wall time elapse (0 = no
+/// deadline). The pipe is drained concurrently with the wait, so records
+/// larger than the kernel pipe buffer cannot deadlock the worker.
+SpawnOutcome runWorkerProcess(const std::vector<std::string> &Argv,
+                              const support::WorkerLimits &Limits,
+                              double DeadlineSec);
+
+} // namespace harness
+} // namespace spf
+
+#endif // SPF_HARNESS_SUBPROCESS_H

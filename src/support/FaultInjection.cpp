@@ -2,6 +2,8 @@
 
 #include "support/FaultInjection.h"
 
+#include "support/Env.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,6 +22,8 @@ const char *support::faultSiteName(FaultSite S) {
     return "guard-addr";
   case FaultSite::CellExec:
     return "cell";
+  case FaultSite::Crash:
+    return "crash";
   }
   return "?";
 }
@@ -124,12 +128,12 @@ FaultConfig FaultConfig::fromEnv() {
   std::string Error;
   if (std::optional<FaultConfig> Cfg = parse(Spec, &Error))
     return *Cfg;
-  static bool Warned = false;
-  if (!Warned) {
-    Warned = true;
-    std::fprintf(stderr, "SPF_FAULTS ignored: %s\n", Error.c_str());
-  }
-  return FaultConfig();
+  envConfigError("SPF_FAULTS", Spec, Error);
+}
+
+void support::maybeInjectCrash() {
+  if (SPF_FAULT_POINT(FaultSite::Crash))
+    std::abort();
 }
 
 FaultInjector::FaultInjector(const FaultConfig &Cfg, uint64_t StreamSalt) {

@@ -16,7 +16,11 @@
 ///    before the software exception check, exercising the guard-failure
 ///    path end to end;
 ///  * `cell`         — a whole experiment cell throws a TransientFault,
-///    exercising the harness's isolation/retry/quarantine machinery.
+///    exercising the harness's isolation/retry/quarantine machinery;
+///  * `crash`        — a whole experiment cell calls `abort()`. Only armed
+///    in supervised worker processes (see harness/Supervisor.h); an
+///    in-process run never evaluates the site, so `all:...` chaos stays
+///    safe without isolation.
 ///
 /// Configuration: programmatic (`FaultConfig`) or the environment knob
 ///
@@ -48,9 +52,10 @@ enum class FaultSite : unsigned {
   Alloc = 1,           ///< "alloc"
   GuardAddr = 2,       ///< "guard-addr"
   CellExec = 3,        ///< "cell"
+  Crash = 4,           ///< "crash"
 };
 
-inline constexpr unsigned NumFaultSites = 4;
+inline constexpr unsigned NumFaultSites = 5;
 
 /// The spelling used in SPF_FAULTS and reports.
 const char *faultSiteName(FaultSite S);
@@ -87,8 +92,10 @@ struct FaultConfig {
                                           std::string *Error = nullptr);
 
   /// Config from the SPF_FAULTS environment variable; everything
-  /// disabled when unset. A malformed value is diagnosed on stderr once
-  /// and treated as unset (chaos must never abort the run it hardens).
+  /// disabled when unset. A malformed value is a configuration error:
+  /// diagnosed on stderr and the process exits nonzero before any cell
+  /// runs (silently ignoring it would run the sweep without the chaos
+  /// the caller asked for).
   static FaultConfig fromEnv();
 };
 
@@ -137,6 +144,12 @@ private:
   FaultInjector *Prev;
   static thread_local FaultInjector *Current;
 };
+
+/// Hard-crash injection point for the `crash` site: when the site fires,
+/// the process calls `abort()` (SIGABRT, no unwinding, no cleanup) —
+/// exactly the class of failure only out-of-process supervision can
+/// contain. Call it only from supervised worker entry paths.
+void maybeInjectCrash();
 
 } // namespace support
 } // namespace spf

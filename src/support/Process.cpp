@@ -1,0 +1,50 @@
+//===- support/Process.cpp ------------------------------------------------===//
+
+#include "support/Process.h"
+
+#include <cerrno>
+#include <sys/resource.h>
+#include <unistd.h>
+
+using namespace spf;
+using namespace spf::support;
+
+void support::applyWorkerLimits(const WorkerLimits &Limits) {
+  if (Limits.MemBytes > 0) {
+    struct rlimit RL;
+    RL.rlim_cur = static_cast<rlim_t>(Limits.MemBytes);
+    RL.rlim_max = static_cast<rlim_t>(Limits.MemBytes);
+    (void)::setrlimit(RLIMIT_AS, &RL);
+  }
+  if (Limits.CpuSec > 0) {
+    struct rlimit RL;
+    RL.rlim_cur = static_cast<rlim_t>(Limits.CpuSec);
+    RL.rlim_max = static_cast<rlim_t>(Limits.CpuSec + 2);
+    (void)::setrlimit(RLIMIT_CPU, &RL);
+  }
+}
+
+bool support::writeAllFd(int Fd, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, P, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::string support::selfExecutablePath(const char *Argv0) {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = '\0';
+    return Buf;
+  }
+  return Argv0 ? Argv0 : "";
+}

@@ -1,0 +1,45 @@
+//===- support/Process.h - rlimit and pipe helpers for workers --*- C++ -*-===//
+///
+/// \file
+/// Small POSIX wrappers used by the supervised execution mode: hard
+/// per-worker resource caps (setrlimit) and full-buffer fd writes. The
+/// limit application runs in a forked child between fork() and exec(),
+/// so everything here is async-signal-safe — no allocation, no stdio.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_SUPPORT_PROCESS_H
+#define SPF_SUPPORT_PROCESS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace spf {
+namespace support {
+
+/// Hard caps applied to a worker process. Zero disables a cap.
+struct WorkerLimits {
+  uint64_t MemBytes = 0; ///< RLIMIT_AS (address space).
+  uint64_t CpuSec = 0;   ///< RLIMIT_CPU soft; hard is CpuSec + 2 so the
+                         ///< SIGXCPU default still yields a clean signal
+                         ///< before the hard SIGKILL backstop.
+};
+
+/// Applies \p Limits to the calling process. Async-signal-safe; a failed
+/// setrlimit is ignored (the supervisor's deadline + SIGKILL is the
+/// backstop of last resort).
+void applyWorkerLimits(const WorkerLimits &Limits);
+
+/// Writes all of \p Data to \p Fd, retrying on EINTR and short writes.
+/// Returns false on any other error.
+bool writeAllFd(int Fd, const void *Data, size_t Len);
+
+/// Absolute path of the running executable (/proc/self/exe), falling
+/// back to \p Argv0 when the proc link is unreadable.
+std::string selfExecutablePath(const char *Argv0);
+
+} // namespace support
+} // namespace spf
+
+#endif // SPF_SUPPORT_PROCESS_H

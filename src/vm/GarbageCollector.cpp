@@ -30,6 +30,14 @@ void forEachRefSlot(const Heap &H, Addr Obj, Callback Fn) {
 
 } // namespace
 
+void GarbageCollector::pollCheckpoint() {
+  if (++WorkSinceCheckpoint >= CheckpointInterval) {
+    WorkSinceCheckpoint = 0;
+    if (Checkpoint)
+      Checkpoint();
+  }
+}
+
 GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
   ++Collections;
   GcStats Stats;
@@ -38,8 +46,10 @@ GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
   // can be rejected instead of corrupting the trace.
   std::unordered_set<Addr> Starts;
   for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;
-       Obj += H.objectSize(Obj))
+       Obj += H.objectSize(Obj)) {
     Starts.insert(Obj);
+    pollCheckpoint();
+  }
 
   auto IsObjectRef = [&](Addr A) {
     return A && H.isHeapAddress(A) && Starts.count(A);
@@ -65,6 +75,7 @@ GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
     forEachRefSlot(H, Obj, [&](Addr SlotAddr) {
       MarkRoot(H.load(SlotAddr, ir::Type::Ref));
     });
+    pollCheckpoint();
   }
 
   // -- Compute sliding-compaction forwarding addresses ---------------------
@@ -75,6 +86,7 @@ GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
   Addr NextFree = H.heapBase();
   for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;
        Obj += H.objectSize(Obj)) {
+    pollCheckpoint();
     if (!H.marked(Obj))
       continue;
     Forward[Obj] = NextFree;
@@ -92,6 +104,7 @@ GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
   // -- Fix references in live objects, statics, and roots ------------------
   for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;
        Obj += H.objectSize(Obj)) {
+    pollCheckpoint();
     if (!H.marked(Obj))
       continue;
     forEachRefSlot(H, Obj, [&](Addr SlotAddr) {
@@ -112,6 +125,7 @@ GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
   // -- Slide live objects down (ascending order; moves never overlap
   //    destructively) and clear marks --------------------------------------
   for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;) {
+    pollCheckpoint();
     // Cache the size: once the object slides down over its old storage the
     // header at the old address is no longer readable.
     uint64_t Size = H.objectSize(Obj);

@@ -15,6 +15,7 @@
 #include "core/StrideAnalysis.h"
 #include "harness/Experiment.h"
 #include "sim/MemorySystem.h"
+#include "support/Env.h"
 #include "support/FaultInjection.h"
 #include "support/Status.h"
 #include "workloads/KernelBuilder.h"
@@ -109,10 +110,61 @@ TEST(FaultConfigTest, FromEnvUnsetDisablesEverything) {
   EXPECT_FALSE(C.anyEnabled());
 }
 
-TEST(FaultConfigTest, FromEnvMalformedIsTreatedAsUnset) {
+TEST(FaultConfigTest, ParsesCrashSite) {
+  auto C = FaultConfig::parse("crash:0.5:9");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->site(FaultSite::Crash).Enabled);
+  EXPECT_DOUBLE_EQ(C->site(FaultSite::Crash).Rate, 0.5);
+  EXPECT_FALSE(C->site(FaultSite::CellExec).Enabled);
+}
+
+// -- Fail-fast environment parsing -----------------------------------------
+//
+// A malformed knob must kill the process immediately with a clear message
+// and exit code 2 (support::ConfigErrorExit) — a typo'd SPF_FAULTS that
+// silently disables chaos mode would make a chaos CI job pass vacuously.
+
+TEST(EnvFailFastDeathTest, MalformedSpfFaultsExitsWithConfigError) {
   ScopedEnv E("SPF_FAULTS", "not a spec");
-  FaultConfig C = FaultConfig::fromEnv();
-  EXPECT_FALSE(C.anyEnabled()); // Diagnosed on stderr, never aborts.
+  EXPECT_EXIT(FaultConfig::fromEnv(),
+              ::testing::ExitedWithCode(support::ConfigErrorExit),
+              "invalid SPF_FAULTS");
+}
+
+TEST(EnvFailFastDeathTest, MalformedSpfTraceMbExitsWithConfigError) {
+  ScopedEnv E("SPF_TRACE_MB", "lots");
+  EXPECT_EXIT(support::envDouble("SPF_TRACE_MB", 256.0, 0.0),
+              ::testing::ExitedWithCode(support::ConfigErrorExit),
+              "invalid SPF_TRACE_MB");
+}
+
+TEST(EnvFailFastDeathTest, NegativeSpfCellTimeoutExitsWithConfigError) {
+  ScopedEnv E("SPF_CELL_TIMEOUT", "-3");
+  EXPECT_EXIT(support::envDouble("SPF_CELL_TIMEOUT", 0.0, 0.0),
+              ::testing::ExitedWithCode(support::ConfigErrorExit),
+              "invalid SPF_CELL_TIMEOUT");
+}
+
+TEST(EnvFailFastDeathTest, MalformedSpfCellMemMbExitsWithConfigError) {
+  ScopedEnv E("SPF_CELL_MEM_MB", "-64");
+  EXPECT_EXIT(support::envU64("SPF_CELL_MEM_MB", 0),
+              ::testing::ExitedWithCode(support::ConfigErrorExit),
+              "invalid SPF_CELL_MEM_MB");
+}
+
+TEST(EnvFailFastTest, WellFormedValuesParse) {
+  {
+    ScopedEnv E("SPF_CELL_TIMEOUT", "2.5");
+    EXPECT_DOUBLE_EQ(support::envDouble("SPF_CELL_TIMEOUT", 0.0, 0.0), 2.5);
+  }
+  {
+    ScopedEnv E("SPF_CELL_MEM_MB", "512");
+    EXPECT_EQ(support::envU64("SPF_CELL_MEM_MB", 0), 512u);
+  }
+  {
+    ScopedEnv E("SPF_CELL_MEM_MB", nullptr);
+    EXPECT_EQ(support::envU64("SPF_CELL_MEM_MB", 7), 7u); // Unset: default.
+  }
 }
 
 // -- Injector determinism --------------------------------------------------
