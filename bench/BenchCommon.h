@@ -18,14 +18,20 @@
 #define SPF_BENCH_BENCHCOMMON_H
 
 #include "harness/Experiment.h"
+#include "harness/JsonWriter.h"
 #include "harness/Supervisor.h"
 #include "harness/ThreadPool.h"
+#include "obs/DecisionLog.h"
+#include "obs/Obs.h"
+#include "obs/StatRegistry.h"
+#include "obs/Tracer.h"
 #include "support/Env.h"
 #include "support/Process.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <string>
 
@@ -130,11 +136,48 @@ struct BenchCli {
   std::string JournalPath;
   bool Resume = false;
   unsigned PlanSeq = 0;
+  // Observability outputs (src/obs). ProfileOut also arms the tracer in
+  // supervised workers — they inherit the flag through workerArgv and
+  // ship their spans back on the record line.
+  std::string ProfileOut;   ///< Chrome trace_event JSON path.
+  std::string StatsOut;     ///< Prometheus text dump path.
+  std::string DecisionsOut; ///< Compile-decision JSON-lines path.
+  bool Explain = false;     ///< Print the per-cell decision summary.
+  bool DecisionsOpened = false; ///< First plan truncates, later append.
 };
 
 inline BenchCli &cli() {
   static BenchCli C;
   return C;
+}
+
+/// atexit hook (supervisor process only): writes the Chrome trace and
+/// the Prometheus stats dump after main() has finished every plan.
+inline void flushObservability() {
+  BenchCli &C = cli();
+  if (!C.ProfileOut.empty() && obs::Tracer::instance().active()) {
+    std::ofstream OS(C.ProfileOut, std::ios::trunc);
+    if (OS) {
+      // Label our lane with the binary name; worker lanes are labeled
+      // by pid in Tracer::writeChromeTrace.
+      std::string Label = C.SelfPath;
+      size_t Slash = Label.find_last_of('/');
+      if (Slash != std::string::npos)
+        Label = Label.substr(Slash + 1);
+      size_t N = obs::Tracer::instance().writeChromeTrace(OS, Label);
+      std::fprintf(stderr, "trace: %zu event(s) -> %s\n", N,
+                   C.ProfileOut.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", C.ProfileOut.c_str());
+    }
+  }
+  if (!C.StatsOut.empty() && obs::enabled()) {
+    std::ofstream OS(C.StatsOut, std::ios::trunc);
+    if (OS)
+      obs::stats().writeProm(OS);
+    else
+      std::fprintf(stderr, "stats: cannot write %s\n", C.StatsOut.c_str());
+  }
 }
 
 /// Parses the shared bench flags. Call first in every bench main:
@@ -169,11 +212,94 @@ inline void init(int argc, char **argv) {
       C.JournalPath = A.substr(10);
     } else if (A == "--resume") {
       C.Resume = true;
+    } else if (A == "--profile-out" && I + 1 < argc) {
+      C.ProfileOut = argv[++I];
+    } else if (A.rfind("--profile-out=", 0) == 0) {
+      C.ProfileOut = A.substr(14);
+    } else if (A == "--stats-out" && I + 1 < argc) {
+      C.StatsOut = argv[++I];
+    } else if (A.rfind("--stats-out=", 0) == 0) {
+      C.StatsOut = A.substr(12);
+    } else if (A == "--decisions-out" && I + 1 < argc) {
+      C.DecisionsOut = argv[++I];
+    } else if (A.rfind("--decisions-out=", 0) == 0) {
+      C.DecisionsOut = A.substr(16);
+    } else if (A == "--explain") {
+      C.Explain = true;
     }
   }
   if (C.Resume && C.JournalPath.empty())
     support::envConfigError("--resume", "",
                             "--resume requires --journal FILE");
+  if (C.ProfileOut.empty())
+    if (const char *E = std::getenv("SPF_TRACE_OUT"))
+      C.ProfileOut = E;
+  if (C.StatsOut.empty())
+    if (const char *E = std::getenv("SPF_STATS_OUT"))
+      C.StatsOut = E;
+  if (C.DecisionsOut.empty())
+    if (const char *E = std::getenv("SPF_DECISIONS_OUT"))
+      C.DecisionsOut = E;
+  // Arm the tracer in supervisors AND workers (workers inherit the flag
+  // via workerArgv; their spans travel back on the record line). Only
+  // the supervisor flushes files: workers _Exit before atexit runs, and
+  // the hook is not registered for them anyway.
+  if (!C.ProfileOut.empty() && obs::enabled())
+    obs::Tracer::instance().enable();
+  if (!C.Worker && (!C.ProfileOut.empty() || !C.StatsOut.empty()))
+    std::atexit(flushObservability);
+}
+
+/// Emits the per-cell compile-decision log for one finished plan: the
+/// human summary on stdout (--explain) and one JSON line per decision
+/// (--decisions-out), each wrapped with its cell's identity so lines
+/// from multi-plan binaries stay attributable.
+inline void emitDecisions(const harness::ExperimentPlan &Plan,
+                          const harness::ExperimentResult &Result) {
+  BenchCli &C = cli();
+  if (!C.Explain && C.DecisionsOut.empty())
+    return;
+  std::ofstream DS;
+  if (!C.DecisionsOut.empty()) {
+    DS.open(C.DecisionsOut,
+            C.DecisionsOpened ? std::ios::app : std::ios::trunc);
+    C.DecisionsOpened = true;
+    if (!DS)
+      std::fprintf(stderr, "decisions: cannot write %s\n",
+                   C.DecisionsOut.c_str());
+  }
+  for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
+       ++I) {
+    const harness::ExperimentCell &Cell = Plan.cells()[I];
+    const std::vector<obs::DecisionEvent> &Decisions =
+        Result.Cells[I].Run.Decisions;
+    if (Decisions.empty())
+      continue;
+    if (C.Explain) {
+      std::printf("\nexplain: %s [%s, %s] — %zu decision(s)\n",
+                  Cell.Spec->Name.c_str(),
+                  workloads::algorithmName(Cell.Opt.Algo),
+                  Cell.Opt.Machine.Name.c_str(), Decisions.size());
+      for (const obs::DecisionEvent &D : Decisions)
+        std::printf("  %s\n", obs::formatDecision(D).c_str());
+    }
+    if (DS) {
+      for (const obs::DecisionEvent &D : Decisions) {
+        harness::JsonWriter J(DS);
+        J.beginObject();
+        J.key("cell").value(static_cast<uint64_t>(I));
+        if (!Cell.Group.empty())
+          J.key("group").value(Cell.Group);
+        J.key("workload").value(Cell.Spec->Name);
+        J.key("algorithm").value(workloads::algorithmName(Cell.Opt.Algo));
+        J.key("machine").value(Cell.Opt.Machine.Name);
+        J.key("decision");
+        obs::writeDecisionJson(J, D);
+        J.endObject();
+        DS << '\n';
+      }
+    }
+  }
 }
 
 /// Runs \p Plan under the configuration init() parsed. In a worker
@@ -218,7 +344,9 @@ runPlanCli(const harness::ExperimentPlan &Plan) {
                  : C.JournalPath + ".plan" + std::to_string(Seq);
     Opts.Journal.Resume = C.Resume;
   }
-  return harness::runPlan(Plan, C.Jobs, Opts);
+  harness::ExperimentResult Result = harness::runPlan(Plan, C.Jobs, Opts);
+  emitDecisions(Plan, Result);
+  return Result;
 }
 
 /// Results for one workload under the three configurations.

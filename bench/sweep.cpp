@@ -9,6 +9,8 @@
 ///   sweep [--jobs N] [--json FILE] [--workloads a,b,c]
 ///         [--no-trace-reuse] [--trace-cache-mb N] [--trace-dir DIR]
 ///         [--isolate] [--cell-mem-mb N] [--journal FILE] [--resume]
+///         [--profile-out FILE] [--stats-out FILE]
+///         [--decisions-out FILE] [--explain]
 ///
 ///   --jobs N          worker threads (default: SPF_JOBS, then hardware
 ///                     concurrency); results are bit-identical for any N
@@ -34,6 +36,19 @@
 ///                     a killed sweep can be resumed
 ///   --resume          graft results recorded in --journal FILE and only
 ///                     run the cells it is missing
+///   --profile-out F   write a Chrome trace_event JSON timeline of the
+///                     whole sweep (open in chrome://tracing or
+///                     ui.perfetto.dev); under --isolate, worker
+///                     processes appear as their own lanes (or
+///                     SPF_TRACE_OUT)
+///   --stats-out F     write the harness counters/histograms in
+///                     Prometheus text format (or SPF_STATS_OUT)
+///   --decisions-out F write one JSON line per compile decision —
+///                     which strides inspection found, what the planner
+///                     pruned, why loops degraded (or SPF_DECISIONS_OUT)
+///   --explain         print the per-cell compile-decision summary
+///   SPF_OBS=0         disable all observability at run time; report
+///                     statistics are bit-identical either way
 ///   SPF_SCALE=0.1     reduced problem scale, as for every bench binary
 ///   SPF_TRACE_MB=N    default trace cache budget in MB
 ///   SPF_FAULTS=...    chaos mode: seeded fault injection (DESIGN.md,

@@ -2,6 +2,7 @@
 
 #include "core/ObjectInspector.h"
 
+#include "obs/DecisionLog.h"
 #include "support/ErrorHandling.h"
 #include "support/FaultInjection.h"
 
@@ -554,6 +555,9 @@ InspectionResult InspectRun::run() {
       // degrade to "no prefetch for this loop", never kill the JIT.
       Result.Degraded = true;
       Result.DegradeReason = "malformed IR: block without terminator";
+      if (auto *DL = obs::DecisionScope::current())
+        DL->event("inspect", "degrade-origin", BB ? "@" + BB->name() : "",
+                  Result.DegradeReason);
       Result.Trace.clear();
       return Result;
     }
@@ -752,6 +756,8 @@ IVal InspectRun::interpretCall(Method *Callee,
       Result.Degraded = true;
       Result.DegradeReason =
           "malformed IR: callee block without terminator";
+      if (auto *DL = obs::DecisionScope::current())
+        DL->event("inspect", "degrade-origin", "", Result.DegradeReason);
       return IVal::unknown();
     }
     // Loop iteration accounting.

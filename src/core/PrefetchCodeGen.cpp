@@ -2,12 +2,15 @@
 
 #include "core/PrefetchCodeGen.h"
 
+#include "obs/DecisionLog.h"
+
 using namespace spf;
 using namespace spf::core;
 using namespace spf::ir;
 
 CodeGenStats core::applyPlan(const LoopPlan &Plan) {
   CodeGenStats Stats;
+  obs::DecisionLog *DL = obs::DecisionScope::current();
 
   for (const AnchorPlan &A : Plan.Anchors) {
     BasicBlock *BB = A.Anchor->parent();
@@ -19,6 +22,10 @@ CodeGenStats core::applyPlan(const LoopPlan &Plan) {
                                                     A.AnchorDisp,
                                                     A.PlainGuarded));
       ++Stats.Prefetches;
+      if (DL)
+        DL->event("codegen",
+                  A.PlainGuarded ? "guarded-prefetch" : "prefetch",
+                  obs::siteLabel(A.Anchor), "", A.InterStride);
       continue;
     }
 
@@ -35,12 +42,19 @@ CodeGenStats core::applyPlan(const LoopPlan &Plan) {
     InsertPos = Spec;
 
     // prefetch(F(a) [+ S]) for each planned dereference target.
+    unsigned Guarded = 0;
     for (const DerefPrefetch &D : A.Derefs) {
       InsertPos = BB->insertAfter(
           InsertPos, std::make_unique<PrefetchInst>(
                          Spec, nullptr, 0, D.Offset, D.Guarded));
       ++Stats.Prefetches;
+      Guarded += D.Guarded;
     }
+    if (DL)
+      DL->event("codegen", "spec-load-chain", obs::siteLabel(A.Anchor),
+                "derefs=" + std::to_string(A.Derefs.size()) +
+                    " guarded=" + std::to_string(Guarded),
+                A.InterStride);
   }
 
   return Stats;

@@ -2,9 +2,12 @@
 
 #include "core/PrefetchPass.h"
 
+#include "obs/DecisionLog.h"
+#include "support/FaultInjection.h"
 #include "support/Status.h"
 
 #include <algorithm>
+#include <string>
 
 using namespace spf;
 using namespace spf::core;
@@ -77,6 +80,7 @@ PrefetchPassResult PrefetchPass::run(Method *M,
     return Result;
 
   uint64_t InspectionStepsLeft = Opts.MethodInspectionBudget;
+  obs::DecisionLog *DL = obs::DecisionScope::current();
 
   // "The algorithm then traverses the loops in each tree in a postorder
   //  traversal, walking the trees in the program order."
@@ -84,17 +88,29 @@ PrefetchPassResult PrefetchPass::run(Method *M,
     ++Result.LoopsVisited;
     LoopReport Report;
     Report.L = L;
+    if (DL)
+      DL->setContext(M->name(), L->header()->id());
 
     // Step 1: load dependence graph (nested loads included tentatively).
     LoadDependenceGraph Graph(L, LI);
     if (Graph.nodes().empty()) {
+      if (DL)
+        DL->event("ldg", "no-candidates", "",
+                  "no reference-based loads in loop");
       Result.Loops.push_back(Report);
       continue;
     }
+    if (DL)
+      DL->event("ldg", "built", "",
+                "nodes=" + std::to_string(Graph.nodes().size()) +
+                    " edges=" + std::to_string(Graph.edges().size()));
 
     // Step 2: object inspection with the actual parameter values,
     // under the method-wide step budget.
     if (InspectionStepsLeft == 0) {
+      if (DL)
+        DL->event("inspect", "budget-exhausted", "",
+                  "method inspection budget consumed by earlier loops");
       Result.Loops.push_back(Report);
       continue;
     }
@@ -108,6 +124,11 @@ PrefetchPassResult PrefetchPass::run(Method *M,
       ++Result.LoopsDegraded;
       Report.Degraded = true;
       Report.DegradeReason = InspOrErr.error();
+      // Satellite fix: the degrade reason used to survive only as an
+      // aggregate counter; keep the originating Status message (which
+      // names the FaultSite for injected faults) with the loop.
+      if (DL)
+        DL->event("inspect", "degraded", "", Report.DegradeReason);
       Result.Loops.push_back(Report);
       continue;
     }
@@ -118,9 +139,18 @@ PrefetchPassResult PrefetchPass::run(Method *M,
     Report.IterationsObserved = Insp.IterationsObserved;
     if (!Insp.ReachedTarget) {
       ++Result.LoopsNotReached;
+      if (DL)
+        DL->event("inspect", "not-reached", "",
+                  "inspection never entered the loop", 0, Insp.StepsUsed);
       Result.Loops.push_back(Report);
       continue;
     }
+    if (DL && Insp.FaultsInjected > 0)
+      DL->event("inspect", "faults-injected", "",
+                std::string(support::faultSiteName(
+                    support::FaultSite::InspectHeapRead)) +
+                    " degraded reads to unknown",
+                0, Insp.FaultsInjected);
 
     // A loop that exits within the small-trip budget is not prefetched
     // directly; its loads are reconsidered with the parent loop.
@@ -128,9 +158,16 @@ PrefetchPassResult PrefetchPass::run(Method *M,
         Insp.IterationsObserved <= Opts.SmallTripMax) {
       ++Result.LoopsSkippedSmallTrip;
       Report.SkippedSmallTrip = true;
+      if (DL)
+        DL->event("inspect", "small-trip", "",
+                  "loop exited within the small-trip bound; loads deferred "
+                  "to the parent loop",
+                  0, Insp.IterationsObserved);
       Result.Loops.push_back(Report);
       continue;
     }
+    if (DL)
+      DL->event("inspect", "reached", "", "", 0, Insp.IterationsObserved);
 
     // Step 3: stride pattern annotation.
     annotateStrides(Graph, Insp, Opts.Stride);
@@ -146,6 +183,8 @@ PrefetchPassResult PrefetchPass::run(Method *M,
       ++Result.LoopsDegraded;
       Report.Degraded = true;
       Report.DegradeReason = PlanOrErr.error();
+      if (DL)
+        DL->event("plan", "degraded", "", Report.DegradeReason);
       Result.Loops.push_back(Report);
       continue;
     }
@@ -154,10 +193,17 @@ PrefetchPassResult PrefetchPass::run(Method *M,
     Report.SpecLoads = Plan.numSpecLoads();
     Report.DerefPrefetches = Plan.numDeref();
     Report.IntraPrefetches = Plan.numIntra();
+    if (DL && Plan.Anchors.empty())
+      DL->event("plan", "nothing-profitable", "",
+                "no anchor passed the profitability conditions");
 
     CodeGenStats CG = applyPlan(Plan);
     Result.CodeGen.Prefetches += CG.Prefetches;
     Result.CodeGen.SpecLoads += CG.SpecLoads;
+    if (DL && !Plan.Anchors.empty())
+      DL->event("codegen", "emitted", "",
+                "prefetches=" + std::to_string(CG.Prefetches) +
+                    " spec_loads=" + std::to_string(CG.SpecLoads));
 
     Result.Loops.push_back(Report);
   }

@@ -2,6 +2,8 @@
 
 #include "core/PrefetchPlanner.h"
 
+#include "obs/DecisionLog.h"
+
 #include <cstdlib>
 
 using namespace spf;
@@ -117,6 +119,7 @@ LoopPlan core::planPrefetches(const LoadDependenceGraph &Graph,
   LineDedup Dedup(Opts.LineBytes);
   const auto &Nodes = Graph.nodes();
   const int64_t C = static_cast<int64_t>(Opts.ScheduleDistance);
+  obs::DecisionLog *DL = obs::DecisionScope::current();
 
   for (unsigned X = 0, E = Nodes.size(); X != E; ++X) {
     const LdgNode &NX = Nodes[X];
@@ -127,13 +130,21 @@ LoopPlan core::planPrefetches(const LoadDependenceGraph &Graph,
     if (!NX.InterStride && !WeakOnly)
       continue;
     // Profitability (1): something must consume the load.
-    if (!DU.hasUsers(NX.Load))
+    if (!DU.hasUsers(NX.Load)) {
+      if (DL)
+        DL->event("plan", "rejected", obs::siteLabel(NX.Load),
+                  "no instruction consumes the loaded value");
       continue;
+    }
 
     AnchorPlan A;
     A.Anchor = NX.Load;
-    if (!decomposeAddress(NX.Load, A.Base, A.Index, A.Scale, A.AnchorDisp))
+    if (!decomposeAddress(NX.Load, A.Base, A.Index, A.Scale, A.AnchorDisp)) {
+      if (DL)
+        DL->event("plan", "rejected", obs::siteLabel(NX.Load),
+                  "address not decomposable into base+index*scale+disp");
       continue;
+    }
     int64_t D = NX.InterStride ? *NX.InterStride : NX.ExtendedStride;
     A.InterStride = D;
     A.AnchorDisp += D * C;
@@ -151,13 +162,26 @@ LoopPlan core::planPrefetches(const LoadDependenceGraph &Graph,
       // stride must exceed half a cache line, or the line is (almost
       // certainly) already covered — by the previous iteration's access or
       // by the hardware prefetcher.
-      if (std::llabs(D) <= static_cast<int64_t>(Opts.LineBytes / 2))
+      if (std::llabs(D) <= static_cast<int64_t>(Opts.LineBytes / 2)) {
+        if (DL)
+          DL->event("plan", "rejected", obs::siteLabel(NX.Load),
+                    "stride within half a cache line; covered by the "
+                    "previous access or the hardware prefetcher",
+                    D);
         continue;
+      }
       // Profitability (2): line dedup against already-issued prefetches.
-      if (!Dedup.tryIssue(A.Base, A.Index, A.Scale, A.AnchorDisp))
+      if (!Dedup.tryIssue(A.Base, A.Index, A.Scale, A.AnchorDisp)) {
+        if (DL)
+          DL->event("plan", "pair-pruned", obs::siteLabel(NX.Load),
+                    "target shares a cache line with an issued prefetch", D);
         continue;
+      }
       A.EmitPlain = true;
       A.PlainGuarded = false;
+      if (DL)
+        DL->event("plan", "plain-prefetch", obs::siteLabel(NX.Load),
+                  WeakOnly ? "weak/extended stride anchor" : "", D);
       Plan.Anchors.push_back(std::move(A));
       continue;
     }
@@ -169,9 +193,20 @@ LoopPlan core::planPrefetches(const LoadDependenceGraph &Graph,
     for (unsigned Y : UnstridedSuccs) {
       const LdgNode &NY = Nodes[Y];
       int64_t OffY = dereferenceOffset(NY.Load);
-      if (ChainDedup.tryIssue(nullptr, nullptr, 0, OffY))
+      if (ChainDedup.tryIssue(nullptr, nullptr, 0, OffY)) {
         A.Derefs.push_back(DerefPrefetch{OffY, Opts.GuardedIntraPrefetch,
                                          NY.Load, /*IsIntra=*/false});
+        if (DL)
+          DL->event("plan", "deref-prefetch",
+                    obs::siteLabel(NX.Load) + "->" + obs::siteLabel(NY.Load),
+                    Opts.GuardedIntraPrefetch ? "guarded" : "", OffY);
+      } else if (DL) {
+        DL->event("plan", "pair-pruned",
+                  obs::siteLabel(NX.Load) + "->" + obs::siteLabel(NY.Load),
+                  "dereference target shares a cache line with an issued "
+                  "prefetch",
+                  OffY);
+      }
 
       // Transitive intra chain from Ly: follow edges annotated with intra
       // strides, accumulating S along the path.
@@ -192,17 +227,34 @@ LoopPlan core::planPrefetches(const LoadDependenceGraph &Graph,
           // Condition (2) plus "we assume that the stride is longer than
           // the cache line": targets within a line of an issued prefetch
           // are dropped.
-          if (ChainDedup.tryIssue(nullptr, nullptr, 0, Off))
+          if (ChainDedup.tryIssue(nullptr, nullptr, 0, Off)) {
             A.Derefs.push_back(DerefPrefetch{
                 Off, Opts.GuardedIntraPrefetch, Nodes[W].Load,
                 /*IsIntra=*/true});
+            if (DL)
+              DL->event("plan", "intra-prefetch",
+                        obs::siteLabel(NX.Load) + "->" +
+                            obs::siteLabel(Nodes[W].Load),
+                        "transitive intra chain", Off);
+          } else if (DL) {
+            DL->event("plan", "pair-pruned",
+                      obs::siteLabel(NX.Load) + "->" +
+                          obs::siteLabel(Nodes[W].Load),
+                      "intra target shares a cache line with an issued "
+                      "prefetch",
+                      Off);
+          }
           Work.emplace_back(W, Off);
         }
       }
     }
 
-    if (!A.Derefs.empty())
+    if (!A.Derefs.empty()) {
+      if (DL)
+        DL->event("plan", "spec-load", obs::siteLabel(NX.Load),
+                  "derefs=" + std::to_string(A.Derefs.size()), D);
       Plan.Anchors.push_back(std::move(A));
+    }
   }
 
   return Plan;

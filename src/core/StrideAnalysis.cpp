@@ -2,6 +2,8 @@
 
 #include "core/StrideAnalysis.h"
 
+#include "obs/DecisionLog.h"
+
 #include <algorithm>
 #include <map>
 
@@ -10,10 +12,13 @@ using namespace spf::core;
 
 std::optional<int64_t>
 core::dominantStride(const std::vector<int64_t> &Samples,
-                     const StrideOptions &Opts, unsigned *NumSamples) {
+                     const StrideOptions &Opts, unsigned *NumSamples,
+                     double *Fraction) {
   if (NumSamples)
     *NumSamples = static_cast<unsigned>(Samples.size());
-  if (Samples.size() < Opts.MinSamples)
+  if (Fraction)
+    *Fraction = 0.0;
+  if (Samples.empty())
     return std::nullopt;
 
   std::map<int64_t, unsigned> Histogram;
@@ -24,9 +29,13 @@ core::dominantStride(const std::vector<int64_t> &Samples,
       Histogram.begin(), Histogram.end(),
       [](const auto &A, const auto &B) { return A.second < B.second; });
 
-  double Fraction =
+  double Share =
       static_cast<double>(Best->second) / static_cast<double>(Samples.size());
-  if (Fraction < Opts.MajorityThreshold)
+  if (Fraction)
+    *Fraction = Share;
+  if (Samples.size() < Opts.MinSamples)
+    return std::nullopt;
+  if (Share < Opts.MajorityThreshold)
     return std::nullopt;
   return Best->first;
 }
@@ -87,10 +96,15 @@ core::classifyStridePattern(const std::vector<int64_t> &Samples,
 void core::annotateStrides(LoadDependenceGraph &Graph,
                            const InspectionResult &Insp,
                            const StrideOptions &Opts) {
+  obs::DecisionLog *DL = obs::DecisionScope::current();
+
   // Identify nested loops whose loads must be dropped: observed average
   // trip count above SmallTripMax, or loops never observed at all that are
-  // not the target itself.
-  auto NodeEligible = [&](const LdgNode &N) {
+  // not the target itself. \p Why (may be null) receives the reason a
+  // node is dropped, for the decision log.
+  auto NodeEligible = [&](const LdgNode &N, const char **Why) {
+    if (Why)
+      *Why = "";
     if (N.Home == Graph.target())
       return true;
     // Walk up from the load's home loop to (exclusive) the target: every
@@ -98,10 +112,16 @@ void core::annotateStrides(LoadDependenceGraph &Graph,
     for (analysis::Loop *L = N.Home; L && L != Graph.target();
          L = L->parent()) {
       auto It = Insp.SubLoopTrips.find(L);
-      if (It == Insp.SubLoopTrips.end())
-        return false; // Never executed during inspection.
-      if (It->second.average() > Opts.SmallTripMax)
+      if (It == Insp.SubLoopTrips.end()) {
+        if (Why)
+          *Why = "nested loop never observed during inspection";
         return false;
+      }
+      if (It->second.average() > Opts.SmallTripMax) {
+        if (Why)
+          *Why = "nested loop trip count above small-trip bound";
+        return false;
+      }
     }
     return true;
   };
@@ -111,21 +131,49 @@ void core::annotateStrides(LoadDependenceGraph &Graph,
   for (LdgNode &N : Graph.nodes()) {
     N.InterStride.reset();
     N.InterSamples = 0;
-    if (!NodeEligible(N))
+    const char *Why = nullptr;
+    if (!NodeEligible(N, &Why)) {
+      if (DL)
+        DL->event("stride", "node-dropped", obs::siteLabel(N.Load), Why);
       continue;
+    }
     auto It = Insp.Trace.find(N.Load);
-    if (It == Insp.Trace.end())
+    if (It == Insp.Trace.end()) {
+      if (DL)
+        DL->event("stride", "no-samples", obs::siteLabel(N.Load),
+                  "load never executed during inspection");
       continue;
+    }
     const auto &Recs = It->second;
     std::vector<int64_t> Diffs;
     for (size_t I = 1; I < Recs.size(); ++I)
       if (Recs[I].Iteration == Recs[I - 1].Iteration + 1)
         Diffs.push_back(static_cast<int64_t>(Recs[I].Address) -
                         static_cast<int64_t>(Recs[I - 1].Address));
-    auto S = dominantStride(Diffs, Opts, &N.InterSamples);
+    double Fraction = 0;
+    auto S = dominantStride(Diffs, Opts, &N.InterSamples, &Fraction);
     if (S && *S != 0)
       N.InterStride = S;
     N.InterKind = classifyStridePattern(Diffs, Opts, N.ExtendedStride);
+    if (DL) {
+      if (N.InterStride) {
+        DL->event("stride", "inter-pattern", obs::siteLabel(N.Load),
+                  stridePatternKindName(N.InterKind), *N.InterStride,
+                  N.InterSamples, Fraction);
+      } else {
+        const char *Reason =
+            Diffs.size() < Opts.MinSamples ? "too few samples"
+            : (S && *S == 0)               ? "zero stride (loop-invariant address)"
+                                           : "no majority stride";
+        DL->event("stride", "inter-rejected", obs::siteLabel(N.Load), Reason,
+                  S ? *S : 0, N.InterSamples, Fraction);
+        if (N.InterKind == StridePatternKind::WeakSingle ||
+            N.InterKind == StridePatternKind::PhasedMulti)
+          DL->event("stride", "weak-pattern", obs::siteLabel(N.Load),
+                    stridePatternKindName(N.InterKind), N.ExtendedStride,
+                    N.InterSamples, Fraction);
+      }
+    }
   }
 
   // Intra-iteration strides on adjacent pairs: same-iteration address
@@ -135,7 +183,7 @@ void core::annotateStrides(LoadDependenceGraph &Graph,
     E.IntraSamples = 0;
     const LdgNode &From = Graph.nodes()[E.From];
     const LdgNode &To = Graph.nodes()[E.To];
-    if (!NodeEligible(From) || !NodeEligible(To))
+    if (!NodeEligible(From, nullptr) || !NodeEligible(To, nullptr))
       continue;
     auto FromIt = Insp.Trace.find(From.Load);
     auto ToIt = Insp.Trace.find(To.Load);
@@ -164,8 +212,22 @@ void core::annotateStrides(LoadDependenceGraph &Graph,
     // exactly as on the inter-iteration path above — a zero dominant
     // stride must not annotate the edge (it would extend intra chains
     // through no-op hops and plan redundant prefetch entries).
-    auto S = dominantStride(Diffs, Opts, &E.IntraSamples);
+    double Fraction = 0;
+    auto S = dominantStride(Diffs, Opts, &E.IntraSamples, &Fraction);
     if (S && *S != 0)
       E.IntraStride = S;
+    if (DL && !Diffs.empty()) {
+      std::string Pair =
+          obs::siteLabel(From.Load) + "->" + obs::siteLabel(To.Load);
+      if (E.IntraStride)
+        DL->event("stride", "intra-pattern", std::move(Pair), "",
+                  *E.IntraStride, E.IntraSamples, Fraction);
+      else
+        DL->event("stride", "intra-rejected", std::move(Pair),
+                  Diffs.size() < Opts.MinSamples ? "too few samples"
+                  : (S && *S == 0) ? "zero stride (same address pair)"
+                                   : "no majority stride",
+                  S ? *S : 0, E.IntraSamples, Fraction);
+    }
   }
 }

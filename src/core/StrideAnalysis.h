@@ -36,10 +36,14 @@ struct StrideOptions {
 };
 
 /// Finds the dominant value of \p Samples; returns it when it reaches the
-/// majority threshold over at least MinSamples samples.
+/// majority threshold over at least MinSamples samples. \p Fraction, when
+/// non-null, receives the dominant value's share of the samples (0 when
+/// there are none) whether or not it wins — the decision log reports the
+/// confidence behind rejections too.
 std::optional<int64_t> dominantStride(const std::vector<int64_t> &Samples,
                                       const StrideOptions &Opts,
-                                      unsigned *NumSamples = nullptr);
+                                      unsigned *NumSamples = nullptr,
+                                      double *Fraction = nullptr);
 
 /// Classifies \p Samples into Wu's taxonomy: strong single stride (the
 /// dominant value reaches the majority threshold), weak single stride

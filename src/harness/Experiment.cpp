@@ -8,6 +8,10 @@
 #include "harness/Subprocess.h"
 #include "harness/Supervisor.h"
 #include "harness/ThreadPool.h"
+#include "obs/Obs.h"
+#include "obs/StatRegistry.h"
+#include "obs/Tracer.h"
+#include "support/BuildInfo.h"
 #include "support/Env.h"
 #include "support/FaultInjection.h"
 #include "support/Status.h"
@@ -137,6 +141,11 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
   Result.Cells.resize(Plan.size());
   Result.Isolated = Isolated;
 
+  obs::Span PlanSpan("run-plan", "harness");
+  PlanSpan.noteU64("cells", Plan.size());
+  PlanSpan.noteU64("jobs", Jobs);
+  PlanSpan.note("isolated", Isolated ? "true" : "false");
+
   // Durable journal: load the previous run's records first when
   // resuming (refusing on a plan mismatch), then open for appending.
   std::optional<RunJournal> Journal;
@@ -193,6 +202,10 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     workloads::RunOptions Opt = C.Opt;
     Opt.TimeoutSeconds = TimeoutSec;
 
+    obs::Span CellSpan("cell", "harness");
+    CellSpan.noteU64("index", I);
+    CellSpan.note("tag", cellTag(C));
+
     // Cells whose signature is cached replay the recorded access stream
     // instead of re-interpreting; stats are bit-identical either way, so
     // which cell records and which replays (a scheduling accident under
@@ -203,6 +216,7 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     if (!Sig.empty()) {
       if (auto E = Cache->lookup(Sig)) {
         ++Cell.Attempts;
+        obs::Tracer::instance().instant("trace-hit", {{"tag", cellTag(C)}});
         Cell.Run = workloads::replayTrace(E->ExecSide, E->Buf, Opt.Machine);
         Cell.Ran = true;
         return;
@@ -212,6 +226,10 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     for (unsigned Attempt = 0; Attempt < MaxTransientAttempts; ++Attempt) {
       backoffBeforeRetry(I, Attempt);
       ++Cell.Attempts;
+      if (Attempt > 0)
+        obs::Tracer::instance().instant(
+            "retry", {{"tag", cellTag(C)},
+                      {"attempt", std::to_string(Attempt + 1)}});
       // Each call builds a private Heap/Module, compiles with a private
       // CompileManager, and simulates on a private MemorySystem: cells
       // share nothing mutable, so any schedule yields identical stats.
@@ -278,9 +296,13 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     for (unsigned Attempt = 0; Attempt < MaxTransientAttempts; ++Attempt) {
       backoffBeforeRetry(I, Attempt);
       ++Cell.Attempts;
+      obs::Span WorkerSpan("worker-attempt", "harness");
+      WorkerSpan.noteU64("cell", I);
+      WorkerSpan.noteU64("attempt", Attempt + 1);
       SpawnOutcome Out =
           runWorkerProcess(Opts.Isolate.WorkerCommand(I, Attempt), Limits,
                            Deadline);
+      WorkerSpan.end();
       if (Out.SpawnFailed) {
         Cell.Failed = true;
         Cell.Error = Out.SpawnError;
@@ -296,8 +318,15 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
         size_t End = Out.Output.find('\n', Pos);
         std::string Line = Out.Output.substr(
             Pos, End == std::string::npos ? std::string::npos : End - Pos);
-        if (std::unique_ptr<JsonValue> V = JsonValue::parse(Line))
+        if (std::unique_ptr<JsonValue> V = JsonValue::parse(Line)) {
           HaveRec = parseCellRecord(V->get("record"), Rec);
+          // Spans buffered in the worker cross the fork boundary on the
+          // record line; graft them (with the worker's own pid) so the
+          // merged trace shows one lane per worker process.
+          if (obs::Tracer::instance().active() && V->has("spans"))
+            obs::Tracer::instance().import(
+                obs::Tracer::parseEventsJson(V->get("spans")));
+        }
       }
 
       if (Out.DeadlineKilled) {
@@ -347,6 +376,8 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
   auto Dispatch = [&](unsigned I) {
     if (Grafted[I]) {
       // Journaled by a previous run of this plan: graft, don't re-run.
+      obs::Tracer::instance().instant(
+          "journal-graft", {{"tag", cellTag(Plan.cells()[I])}});
       Result.Cells[I] = *Grafted[I];
       return;
     }
@@ -437,6 +468,31 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     Result.TraceBytesInUse = Cache->bytesInUse();
     Result.TraceBudgetBytes = Cache->budgetBytes();
   }
+
+  // Registry bookkeeping, harvested once per plan after the (possibly
+  // parallel) run — deterministic because it only reads the finished
+  // per-cell verdicts.
+  if (obs::enabled()) {
+    obs::StatRegistry &S = obs::stats();
+    S.counter("spf_cells_total").inc(Plan.size());
+    for (const CellResult &Cell : Result.Cells) {
+      S.counter("spf_cell_attempts_total").inc(Cell.Attempts);
+      if (Cell.Ran)
+        S.counter("spf_cells_ran_total").inc();
+      if (Cell.Run.Replayed)
+        S.counter("spf_cells_replayed_total").inc();
+      if (Cell.Crashed)
+        S.counter("spf_cells_crashed_total").inc();
+      if (Cell.TimedOut)
+        S.counter("spf_cells_timeout_total").inc();
+    }
+    S.counter("spf_cells_quarantined_total").inc(Result.Quarantine.size());
+    S.counter("spf_journal_grafts_total").inc(Result.JournalGrafted);
+    if (UseTrace) {
+      S.counter("spf_trace_hits_total").inc(Result.Trace.Hits);
+      S.counter("spf_trace_misses_total").inc(Result.Trace.Misses);
+    }
+  }
   return Result;
 }
 
@@ -446,6 +502,11 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
   JsonWriter J(OS);
   J.beginObject();
   J.key("schema").value("spf-sweep-v2");
+  // Build/run provenance: which binary produced this report, and in
+  // which process. Consumers diffing reports across runs must ignore
+  // this section (run_id differs by construction).
+  J.key("provenance");
+  support::writeProvenanceJson(J);
   J.key("scale").value(Scale);
   J.key("jobs").value(static_cast<uint64_t>(Jobs));
   J.key("ok").value(Result.ok());
@@ -535,6 +596,15 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.endObject();
   }
   J.endArray();
+
+  // Registry snapshot (counters/gauges/histograms) — only when the
+  // observability hooks are on, so disabled-mode reports carry no
+  // schedule-dependent extras. Cross-run diffs must ignore it (trace
+  // hit counts and wall-clock histograms are scheduling artifacts).
+  if (obs::enabled()) {
+    J.key("stats");
+    obs::stats().writeJson(J);
+  }
 
   J.endObject();
   OS << '\n';

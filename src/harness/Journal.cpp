@@ -4,6 +4,7 @@
 
 #include "harness/JsonReader.h"
 #include "harness/JsonWriter.h"
+#include "obs/DecisionLog.h"
 
 #include <cstdio>
 #include <fcntl.h>
@@ -136,6 +137,15 @@ void harness::writeCellRecordJson(JsonWriter &J, const CellResult &Cell) {
     J.endArray();
   }
   J.endArray();
+  // Compile-decision events ride along so --explain works for journaled
+  // and worker-run cells. The member is omitted entirely when empty,
+  // keeping obs-disabled records byte-identical to the pre-obs format.
+  if (!R.Decisions.empty()) {
+    J.key("decisions").beginArray();
+    for (const obs::DecisionEvent &D : R.Decisions)
+      obs::writeDecisionJson(J, D);
+    J.endArray();
+  }
   J.endObject();
   J.endObject();
 }
@@ -216,6 +226,15 @@ bool harness::parseCellRecord(const JsonValue &V, CellResult &Cell) {
       St.L2Misses = S.array()[2].u64();
       St.DtlbMisses = S.array()[3].u64();
       R.Sites.push_back(St);
+    }
+  }
+
+  if (Run.has("decisions")) {
+    const JsonValue &Ds = Run.get("decisions");
+    if (Ds.kind() == JsonValue::Kind::Array) {
+      R.Decisions.reserve(Ds.array().size());
+      for (const JsonValue &D : Ds.array())
+        R.Decisions.push_back(obs::parseDecisionEvent(D));
     }
   }
   return true;

@@ -44,6 +44,8 @@ public:
   /// zero-valued defaults, which keeps the formats forward-compatible).
   const JsonValue &get(const std::string &Key) const;
   bool has(const std::string &Key) const { return Obj.count(Key) != 0; }
+  /// All object members, sorted by key.
+  const std::map<std::string, JsonValue> &objectMembers() const { return Obj; }
 
   // Typed accessors with defaults for absent/mismatched members.
   uint64_t getU64(const std::string &Key, uint64_t Default = 0) const;

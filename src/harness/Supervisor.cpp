@@ -5,6 +5,7 @@
 #include "harness/Journal.h"
 #include "harness/JsonWriter.h"
 #include "harness/Subprocess.h"
+#include "obs/Tracer.h"
 #include "support/Env.h"
 #include "support/FaultInjection.h"
 #include "support/Process.h"
@@ -93,6 +94,9 @@ void harness::runCellWorker(const ExperimentPlan &Plan,
                             const WorkerRequest &Req,
                             const TraceOptions &Trace) {
   CellResult Cell;
+  obs::Span WorkerSpan("worker-cell", "harness");
+  WorkerSpan.noteU64("cell", Req.Cell);
+  WorkerSpan.noteU64("attempt", Req.Attempt);
   if (Req.Cell >= Plan.size()) {
     Cell.Failed = true;
     Cell.Error = "worker cell index out of range";
@@ -159,12 +163,21 @@ void harness::runCellWorker(const ExperimentPlan &Plan,
     }
   }
 
+  WorkerSpan.end();
+
   std::ostringstream OS;
   JsonWriter J(OS);
   J.beginObject();
   J.key("worker").value("spf-cell-v1");
   J.key("record");
   writeCellRecordJson(J, Cell);
+  // Ship the worker's buffered spans back on the record line: the
+  // supervisor import()s them (with this process's real pid) so the
+  // merged Chrome trace shows one lane per worker process.
+  if (obs::Tracer::instance().active()) {
+    J.key("spans");
+    obs::Tracer::writeEventsJson(J, obs::Tracer::instance().drain());
+  }
   J.endObject();
   OS << '\n';
   const std::string Line = OS.str();

@@ -1,0 +1,106 @@
+//===- obs/DecisionLog.cpp - Per-loop compiler decision events ------------===//
+
+#include "obs/DecisionLog.h"
+
+#include "harness/JsonReader.h"
+#include "harness/JsonWriter.h"
+#include "ir/BasicBlock.h"
+#include "ir/Instruction.h"
+
+#include <cstdio>
+
+namespace spf {
+namespace obs {
+
+thread_local DecisionLog *DecisionScope::Current = nullptr;
+
+void DecisionLog::record(DecisionEvent E) {
+  if (E.Method.empty())
+    E.Method = CtxMethod;
+  if (E.Loop == 0)
+    E.Loop = CtxLoop;
+  Events.push_back(std::move(E));
+}
+
+void DecisionLog::event(const char *Pass, const char *Event, std::string Site,
+                        std::string Detail, int64_t Stride, uint64_t Samples,
+                        double Confidence) {
+  DecisionEvent E;
+  E.Pass = Pass;
+  E.Event = Event;
+  E.Site = std::move(Site);
+  E.Detail = std::move(Detail);
+  E.Stride = Stride;
+  E.Samples = Samples;
+  E.Confidence = Confidence;
+  record(std::move(E));
+}
+
+std::string siteLabel(const ir::Value *V) {
+  if (!V)
+    return "";
+  if (!V->name().empty())
+    return "%" + V->name();
+  if (const auto *I = dyn_cast<ir::Instruction>(V)) {
+    std::string Label = ir::opcodeName(I->opcode());
+    if (I->parent())
+      Label += "@" + I->parent()->name();
+    return Label;
+  }
+  return "<value>";
+}
+
+void writeDecisionJson(harness::JsonWriter &J, const DecisionEvent &E) {
+  J.beginObject();
+  J.key("method").value(E.Method);
+  J.key("loop").value(E.Loop);
+  J.key("pass").value(E.Pass);
+  J.key("event").value(E.Event);
+  if (!E.Site.empty())
+    J.key("site").value(E.Site);
+  if (!E.Detail.empty())
+    J.key("detail").value(E.Detail);
+  if (E.Stride != 0)
+    J.key("stride").value(E.Stride);
+  if (E.Samples != 0)
+    J.key("samples").value(E.Samples);
+  if (E.Confidence != 0)
+    J.key("confidence").value(E.Confidence);
+  J.endObject();
+}
+
+DecisionEvent parseDecisionEvent(const harness::JsonValue &V) {
+  DecisionEvent E;
+  E.Method = V.getString("method");
+  E.Loop = V.getU64("loop");
+  E.Pass = V.getString("pass");
+  E.Event = V.getString("event");
+  E.Site = V.getString("site");
+  E.Detail = V.getString("detail");
+  E.Stride = V.getI64("stride");
+  E.Samples = V.getU64("samples");
+  E.Confidence = V.getDouble("confidence");
+  return E;
+}
+
+std::string formatDecision(const DecisionEvent &E) {
+  std::string Line = E.Method + "/loop@" + std::to_string(E.Loop) + " [" +
+                     E.Pass + "] " + E.Event;
+  if (!E.Site.empty())
+    Line += " " + E.Site;
+  if (E.Stride != 0)
+    Line += " stride=" + std::to_string(E.Stride);
+  if (E.Samples != 0)
+    Line += " samples=" + std::to_string(E.Samples);
+  if (E.Confidence != 0) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " conf=%.2f", E.Confidence);
+    Line += Buf;
+  }
+  if (!E.Detail.empty())
+    Line += " (" + E.Detail + ")";
+  return Line;
+}
+
+} // namespace obs
+} // namespace spf

@@ -1,0 +1,227 @@
+//===- obs/Tracer.cpp - Span-based phase tracing --------------------------===//
+
+#include "obs/Tracer.h"
+
+#include "harness/JsonReader.h"
+#include "harness/JsonWriter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <unistd.h>
+
+namespace spf {
+namespace obs {
+
+Tracer &Tracer::instance() {
+  // Intentionally leaked, like StatRegistry::global(): the bench atexit
+  // flush must be able to drain it after other statics are gone.
+  static Tracer *T = new Tracer;
+  return *T;
+}
+
+void Tracer::enable() {
+#if SPF_OBS
+  Active.store(true, std::memory_order_relaxed);
+#endif
+}
+
+void Tracer::disable() {
+#if SPF_OBS
+  Active.store(false, std::memory_order_relaxed);
+#endif
+}
+
+void Tracer::record(TraceEvent E) {
+  if (E.Pid == 0)
+    E.Pid = static_cast<uint64_t>(::getpid());
+  if (E.Tid == 0)
+    E.Tid = currentTid();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
+void Tracer::instant(std::string Name,
+                     std::vector<std::pair<std::string, std::string>> Args) {
+  if (!active())
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Ph = 'i';
+  E.TsUs = nowUs();
+  E.Args = std::move(Args);
+  record(std::move(E));
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<TraceEvent> Out;
+  Out.swap(Events);
+  return Out;
+}
+
+size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+void Tracer::import(std::vector<TraceEvent> Imported) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &E : Imported)
+    Events.push_back(std::move(E));
+}
+
+uint64_t Tracer::nowUs() {
+  // steady_clock is CLOCK_MONOTONIC on Linux: one machine-wide time
+  // axis shared by the supervisor and every forked worker.
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t Tracer::currentTid() {
+  static std::atomic<uint64_t> NextTid{1};
+  thread_local uint64_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+static void writeEventJson(harness::JsonWriter &J, const TraceEvent &E) {
+  J.beginObject();
+  J.key("name").value(E.Name);
+  J.key("cat").value(E.Cat);
+  J.key("ph").value(std::string(1, E.Ph));
+  J.key("ts").value(E.TsUs);
+  if (E.Ph == 'X')
+    J.key("dur").value(E.DurUs);
+  J.key("pid").value(E.Pid);
+  J.key("tid").value(E.Tid);
+  if (E.Ph == 'i')
+    J.key("s").value("t"); // Instant scope: thread.
+  if (!E.Args.empty()) {
+    J.key("args").beginObject();
+    for (const auto &[K, V] : E.Args)
+      J.key(K).value(V);
+    J.endObject();
+  }
+  J.endObject();
+}
+
+size_t Tracer::writeChromeTrace(std::ostream &OS,
+                                const std::string &ProcessLabel) {
+  std::vector<TraceEvent> All = drain();
+  // Deterministic file order: by time, then pid/tid.
+  std::stable_sort(All.begin(), All.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (A.TsUs != B.TsUs)
+                       return A.TsUs < B.TsUs;
+                     if (A.Pid != B.Pid)
+                       return A.Pid < B.Pid;
+                     return A.Tid < B.Tid;
+                   });
+  uint64_t SelfPid = static_cast<uint64_t>(::getpid());
+  std::set<uint64_t> Pids;
+  for (const auto &E : All)
+    Pids.insert(E.Pid);
+
+  harness::JsonWriter J(OS);
+  J.beginObject();
+  J.key("traceEvents").beginArray();
+  // process_name metadata first, one per pid lane.
+  for (uint64_t Pid : Pids) {
+    J.beginObject();
+    J.key("name").value("process_name");
+    J.key("ph").value("M");
+    J.key("pid").value(Pid);
+    J.key("tid").value(uint64_t(0));
+    J.key("args").beginObject();
+    J.key("name").value(Pid == SelfPid ? ProcessLabel
+                                       : "spf worker " + std::to_string(Pid));
+    J.endObject();
+    J.endObject();
+  }
+  for (const auto &E : All)
+    writeEventJson(J, E);
+  J.endArray();
+  J.key("displayTimeUnit").value("ms");
+  J.endObject();
+  OS << '\n';
+  return All.size();
+}
+
+void Tracer::writeEventsJson(harness::JsonWriter &J,
+                             const std::vector<TraceEvent> &Events) {
+  J.beginArray();
+  for (const auto &E : Events)
+    writeEventJson(J, E);
+  J.endArray();
+}
+
+std::vector<TraceEvent>
+Tracer::parseEventsJson(const harness::JsonValue &V) {
+  std::vector<TraceEvent> Out;
+  if (V.kind() != harness::JsonValue::Kind::Array)
+    return Out;
+  for (const auto &Elem : V.array()) {
+    if (Elem.kind() != harness::JsonValue::Kind::Object)
+      continue;
+    TraceEvent E;
+    E.Name = Elem.getString("name");
+    E.Cat = Elem.getString("cat", "spf");
+    std::string Ph = Elem.getString("ph", "X");
+    E.Ph = Ph.empty() ? 'X' : Ph[0];
+    if (E.Ph == 'M')
+      continue; // Metadata is regenerated at write time.
+    E.TsUs = Elem.getU64("ts");
+    E.DurUs = Elem.getU64("dur");
+    E.Pid = Elem.getU64("pid");
+    E.Tid = Elem.getU64("tid");
+    if (Elem.has("args")) {
+      const harness::JsonValue &Args = Elem.get("args");
+      if (Args.kind() == harness::JsonValue::Kind::Object) {
+        // JsonValue keeps object members sorted by key; argument order
+        // is presentational only, so that is fine.
+        for (const auto &[K, AV] : Args.objectMembers())
+          E.Args.emplace_back(
+              K, AV.kind() == harness::JsonValue::Kind::String
+                     ? AV.str()
+                     : std::to_string(AV.u64()));
+      }
+    }
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+Span::Span(const char *Name, const char *Cat) {
+  Tracer &T = Tracer::instance();
+  if (!T.active())
+    return;
+  Live = true;
+  StartUs = Tracer::nowUs();
+  E.Name = Name;
+  E.Cat = Cat;
+}
+
+void Span::note(const char *Key, std::string Val) {
+  if (Live)
+    E.Args.emplace_back(Key, std::move(Val));
+}
+
+void Span::noteU64(const char *Key, uint64_t Val) {
+  if (Live)
+    E.Args.emplace_back(Key, std::to_string(Val));
+}
+
+void Span::end() {
+  if (!Live)
+    return;
+  Live = false;
+  E.TsUs = StartUs;
+  E.DurUs = Tracer::nowUs() - StartUs;
+  Tracer::instance().record(std::move(E));
+}
+
+} // namespace obs
+} // namespace spf

@@ -2,6 +2,9 @@
 
 #include "workloads/Runner.h"
 
+#include "obs/Obs.h"
+#include "obs/StatRegistry.h"
+#include "obs/Tracer.h"
 #include "trace/RecordingSink.h"
 
 #include <chrono>
@@ -57,9 +60,18 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
                                  const RunOptions &Opts) {
   RunResult Result;
 
+  obs::Span RunSpan("run-workload", "runner");
+  RunSpan.note("workload", Spec.Name);
+  RunSpan.note("algorithm", algorithmName(Opts.Algo));
+
+  obs::Span BuildSpan("build-workload", "runner");
   BuiltWorkload W = Spec.Build(Opts.Config);
+  BuildSpan.end();
 
   // JIT-compile the hot methods with their first-invocation arguments.
+  // The decision log records here, at compile time, and is detached
+  // before the simulated (timed) execution below — observability never
+  // runs inside the timed region.
   jit::CompileManager::Options CM;
   CM.EnablePrefetch = Opts.Algo != Algorithm::Baseline;
   CM.Pass = passOptionsFor(Opts.Machine, Opts.Algo == Algorithm::Inter
@@ -68,8 +80,18 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
   if (Opts.TunePass)
     Opts.TunePass(CM.Pass);
   jit::CompileManager Jit(*W.Heap, CM);
-  for (const CompileUnit &CU : W.CompileUnits)
-    Jit.compile(CU.M, CU.Args);
+  {
+    obs::DecisionLog Log;
+    std::optional<obs::DecisionScope> Scope;
+    if (obs::enabled())
+      Scope.emplace(Log);
+    obs::Span JitSpan("jit", "runner");
+    for (const CompileUnit &CU : W.CompileUnits)
+      Jit.compile(CU.M, CU.Args);
+    JitSpan.end();
+    Scope.reset();
+    Result.Decisions = Log.take();
+  }
 
   Result.JitTotalUs = Jit.totalJitUs();
   Result.JitPrefetchUs = Jit.prefetchUs();
@@ -89,9 +111,12 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
   exec::Interpreter Interp(*W.Heap, *Sink, &W.Roots);
   if (Opts.TimeoutSeconds > 0.0)
     Interp.setDeadline(Opts.TimeoutSeconds);
+  obs::Span SimSpan("simulate", "runner");
+  SimSpan.note("workload", Spec.Name);
   auto Start = std::chrono::steady_clock::now();
   Result.ReturnValue = Interp.run(W.Entry, W.EntryArgs);
   Result.InterpretUs = elapsedUs(Start);
+  SimSpan.end();
   if (Opts.Record)
     Opts.Record->finish();
 
@@ -102,6 +127,22 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
   Result.Exec = Interp.stats();
   if (W.Expected)
     Result.SelfCheckOk = Result.ReturnValue == *W.Expected;
+
+  // Stats are harvested after the timed region.
+  if (obs::enabled()) {
+    obs::StatRegistry &S = obs::stats();
+    S.counter("spf_runs_total").inc();
+    S.counter("spf_prefetches_emitted_total")
+        .inc(Result.Prefetch.CodeGen.Prefetches);
+    S.counter("spf_spec_loads_emitted_total")
+        .inc(Result.Prefetch.CodeGen.SpecLoads);
+    S.counter("spf_loops_visited_total").inc(Result.Prefetch.LoopsVisited);
+    S.counter("spf_loops_degraded_total").inc(Result.Prefetch.LoopsDegraded);
+    S.histogram("spf_jit_us").observe(
+        static_cast<uint64_t>(Result.JitTotalUs));
+    S.histogram("spf_interpret_us")
+        .observe(static_cast<uint64_t>(Result.InterpretUs));
+  }
   return Result;
 }
 
@@ -147,9 +188,13 @@ RunResult workloads::replayTrace(const RunResult &ExecSide,
                                  const sim::MachineConfig &Machine) {
   RunResult Result = ExecSide;
   sim::MemorySystem Mem(Machine);
+  obs::Span ReplaySpan("replay-trace", "runner");
   auto Start = std::chrono::steady_clock::now();
   trace::replay(Buf, Mem);
   Result.ReplayUs = elapsedUs(Start);
+  ReplaySpan.end();
+  if (obs::enabled())
+    obs::stats().counter("spf_trace_replays_total").inc();
   Result.InterpretUs = 0;
   Result.Replayed = true;
   Result.CompiledCycles = Mem.cycles();

@@ -14,6 +14,7 @@
 
 #include "exec/Interpreter.h"
 #include "jit/CompileManager.h"
+#include "obs/DecisionLog.h"
 #include "sim/MemorySystem.h"
 #include "trace/TraceBuffer.h"
 #include "workloads/Workload.h"
@@ -70,6 +71,11 @@ struct RunResult {
   core::PrefetchPassResult Prefetch;
   uint64_t ReturnValue = 0;
   bool SelfCheckOk = true; ///< Entry returned the expected value.
+  /// Structured compile-decision events (obs/DecisionLog.h), recorded at
+  /// JIT time when observability is enabled; empty otherwise. Carried
+  /// with the result so `--explain` works through the trace cache, the
+  /// journal, and the worker record line.
+  std::vector<obs::DecisionEvent> Decisions;
 
   // Record-once / replay-many accounting (wall clock, not simulated):
   bool Replayed = false;   ///< Result came from a trace replay.

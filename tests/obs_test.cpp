@@ -1,0 +1,466 @@
+//===- tests/obs_test.cpp - Observability subsystem -----------------------===//
+//
+// Contracts under test: StatRegistry counters are exact under concurrent
+// increments and handles survive reset(); histograms bucket by powers of
+// two and the Prometheus dump is cumulative; Tracer spans serialize to
+// valid Chrome trace_event JSON and survive the worker wire format; the
+// prefetch pipeline records attributable decision events for every loop
+// it visits (including fault-degraded ones); and enabling observability
+// never changes a run's statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestKernels.h"
+#include "core/PrefetchPass.h"
+#include "harness/Experiment.h"
+#include "harness/Journal.h"
+#include "harness/JsonReader.h"
+#include "harness/JsonWriter.h"
+#include "obs/DecisionLog.h"
+#include "obs/Obs.h"
+#include "obs/StatRegistry.h"
+#include "obs/Tracer.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <thread>
+
+using namespace spf;
+using namespace spf::obs;
+using namespace spf::testkernels;
+
+namespace {
+
+// -- StatRegistry -----------------------------------------------------------
+
+TEST(StatRegistryTest, ConcurrentIncrementsAreExact) {
+  StatRegistry R;
+  Counter &C = R.counter("spf_test_total");
+  std::vector<std::thread> Threads;
+  constexpr unsigned NumThreads = 8, PerThread = 20000;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&C] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        C.inc();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(C.value(), uint64_t(NumThreads) * PerThread);
+  // Lookup by name returns the same handle.
+  EXPECT_EQ(&R.counter("spf_test_total"), &C);
+}
+
+TEST(StatRegistryTest, HistogramBucketsByBitWidth) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::bucketOf(~0ULL), 64u);
+  EXPECT_EQ(Histogram::bucketBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketBound(3), 7u);
+  EXPECT_EQ(Histogram::bucketBound(64), ~0ULL);
+
+  Histogram H;
+  H.observe(0);
+  H.observe(5); // Bucket 3 (values 4..7).
+  H.observe(7);
+  H.observe(100); // Bucket 7 (values 64..127).
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(3), 2u);
+  EXPECT_EQ(H.bucketCount(7), 1u);
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 112u);
+}
+
+TEST(StatRegistryTest, PromDumpIsCumulative) {
+  StatRegistry R;
+  R.counter("spf_cells_total").inc(7);
+  R.gauge("spf_depth").set(-3);
+  Histogram &H = R.histogram("spf_lat_us");
+  H.observe(1); // Bucket 1, bound 1.
+  H.observe(6); // Bucket 3, bound 7.
+  H.observe(7);
+  std::ostringstream OS;
+  R.writeProm(OS);
+  const std::string P = OS.str();
+  EXPECT_NE(P.find("# TYPE spf_cells_total counter\nspf_cells_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("# TYPE spf_depth gauge\nspf_depth -3\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("# TYPE spf_lat_us histogram\n"), std::string::npos);
+  EXPECT_NE(P.find("spf_lat_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  // Cumulative: the le="7" bucket includes the le="1" observation.
+  EXPECT_NE(P.find("spf_lat_us_bucket{le=\"7\"} 3\n"), std::string::npos);
+  EXPECT_NE(P.find("spf_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("spf_lat_us_sum 14\n"), std::string::npos);
+  EXPECT_NE(P.find("spf_lat_us_count 3\n"), std::string::npos);
+}
+
+TEST(StatRegistryTest, ResetZeroesButKeepsHandles) {
+  StatRegistry R;
+  Counter &C = R.counter("spf_reset_test");
+  Histogram &H = R.histogram("spf_reset_hist");
+  C.inc(5);
+  H.observe(42);
+  R.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  // The cached references are still the registered stats.
+  C.inc();
+  EXPECT_EQ(R.counter("spf_reset_test").value(), 1u);
+}
+
+// -- Tracer -----------------------------------------------------------------
+
+/// Drains the global tracer and disables it, restoring a clean slate for
+/// the next test.
+struct TracerGuard {
+  TracerGuard() {
+    Tracer::instance().disable();
+    Tracer::instance().drain();
+    Tracer::instance().enable();
+  }
+  ~TracerGuard() {
+    Tracer::instance().drain();
+    Tracer::instance().disable();
+  }
+};
+
+TEST(TracerTest, NestedSpansRecordContainedIntervals) {
+  TracerGuard G;
+  {
+    Span Outer("outer", "test");
+    Outer.note("k", "v");
+    { Span Inner("inner", "test"); }
+  }
+  std::vector<TraceEvent> Evs = Tracer::instance().drain();
+  ASSERT_EQ(Evs.size(), 2u);
+  // Spans record at end: the inner one lands first.
+  const TraceEvent &Inner = Evs[0], &Outer = Evs[1];
+  EXPECT_EQ(Inner.Name, "inner");
+  EXPECT_EQ(Outer.Name, "outer");
+  EXPECT_EQ(Outer.Ph, 'X');
+  EXPECT_GE(Inner.TsUs, Outer.TsUs);
+  EXPECT_LE(Inner.TsUs + Inner.DurUs, Outer.TsUs + Outer.DurUs);
+  EXPECT_EQ(Inner.Pid, Outer.Pid);
+  ASSERT_EQ(Outer.Args.size(), 1u);
+  EXPECT_EQ(Outer.Args[0].first, "k");
+  EXPECT_EQ(Outer.Args[0].second, "v");
+}
+
+TEST(TracerTest, InactiveTracerRecordsNothing) {
+  Tracer::instance().disable();
+  Tracer::instance().drain();
+  {
+    Span S("dead", "test");
+    EXPECT_FALSE(S.live());
+  }
+  Tracer::instance().instant("dead-instant");
+  EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+}
+
+TEST(TracerTest, ChromeTraceJsonSchema) {
+  TracerGuard G;
+  {
+    Span S("phase-a", "test");
+    S.noteU64("n", 3);
+  }
+  Tracer::instance().instant("marker", {{"tag", "t1"}});
+  // Import simulates a worker's shipped spans: foreign pid preserved.
+  TraceEvent Foreign;
+  Foreign.Name = "worker-span";
+  Foreign.Ph = 'X';
+  Foreign.TsUs = 1;
+  Foreign.DurUs = 2;
+  Foreign.Pid = 999999;
+  Foreign.Tid = 1;
+  Tracer::instance().import({Foreign});
+
+  std::ostringstream OS;
+  size_t N = Tracer::instance().writeChromeTrace(OS, "obs_test");
+  EXPECT_EQ(N, 3u);
+
+  std::string Err;
+  std::unique_ptr<harness::JsonValue> Doc =
+      harness::JsonValue::parse(OS.str(), &Err);
+  ASSERT_TRUE(Doc) << Err;
+  const harness::JsonValue &Evs = Doc->get("traceEvents");
+  ASSERT_EQ(Evs.kind(), harness::JsonValue::Kind::Array);
+  std::set<uint64_t> Pids;
+  unsigned Metadata = 0, Complete = 0, Instants = 0;
+  for (const harness::JsonValue &E : Evs.array()) {
+    ASSERT_TRUE(E.has("name"));
+    ASSERT_TRUE(E.has("ph"));
+    ASSERT_TRUE(E.has("pid"));
+    ASSERT_TRUE(E.has("tid"));
+    const std::string Ph = E.getString("ph");
+    if (Ph == "M") {
+      ++Metadata;
+      EXPECT_EQ(E.getString("name"), "process_name");
+    } else if (Ph == "X") {
+      ++Complete;
+      EXPECT_TRUE(E.has("ts"));
+      EXPECT_TRUE(E.has("dur"));
+      Pids.insert(E.getU64("pid"));
+    } else if (Ph == "i") {
+      ++Instants;
+      EXPECT_EQ(E.getString("s"), "t");
+    }
+  }
+  // One lane per process: ours and the imported worker's.
+  EXPECT_EQ(Metadata, 2u);
+  EXPECT_EQ(Complete, 2u);
+  EXPECT_EQ(Instants, 1u);
+  EXPECT_TRUE(Pids.count(999999));
+}
+
+TEST(TracerTest, WireFormatRoundtrips) {
+  TraceEvent E;
+  E.Name = "cell";
+  E.Cat = "harness";
+  E.Ph = 'X';
+  E.TsUs = 123456789;
+  E.DurUs = 42;
+  E.Pid = 4321;
+  E.Tid = 7;
+  E.Args = {{"tag", "jess [INTER, p4]"}, {"attempt", "2"}};
+
+  std::ostringstream OS;
+  harness::JsonWriter J(OS);
+  Tracer::writeEventsJson(J, {E});
+  std::string Err;
+  std::unique_ptr<harness::JsonValue> V =
+      harness::JsonValue::parse(OS.str(), &Err);
+  ASSERT_TRUE(V) << Err;
+  std::vector<TraceEvent> Back = Tracer::parseEventsJson(*V);
+  ASSERT_EQ(Back.size(), 1u);
+  EXPECT_EQ(Back[0].Name, E.Name);
+  EXPECT_EQ(Back[0].Cat, E.Cat);
+  EXPECT_EQ(Back[0].Ph, E.Ph);
+  EXPECT_EQ(Back[0].TsUs, E.TsUs);
+  EXPECT_EQ(Back[0].DurUs, E.DurUs);
+  EXPECT_EQ(Back[0].Pid, E.Pid);
+  EXPECT_EQ(Back[0].Tid, E.Tid);
+  // The parser reads args out of a name-ordered map; compare as sets.
+  auto Sorted = [](std::vector<std::pair<std::string, std::string>> A) {
+    std::sort(A.begin(), A.end());
+    return A;
+  };
+  EXPECT_EQ(Sorted(Back[0].Args), Sorted(E.Args));
+}
+
+// -- Decision log -----------------------------------------------------------
+
+/// Runs the full prefetch pass on the jess kernel under a DecisionScope
+/// and returns the recorded events.
+std::vector<DecisionEvent> runJessWithLog(core::PrefetchPassOptions Opts,
+                                          core::PrefetchPassResult *R =
+                                              nullptr) {
+  JessWorld W(64, /*Scramble=*/true);
+  DecisionLog Log;
+  DecisionScope Scope(Log);
+  core::PrefetchPass Pass(*W.Heap, Opts);
+  core::PrefetchPassResult Result = Pass.run(W.Find, W.findArgs());
+  if (R)
+    *R = Result;
+  return Log.take();
+}
+
+core::PrefetchPassOptions jessOpts() {
+  core::PrefetchPassOptions Opts;
+  Opts.Planner.Mode = core::PrefetchMode::InterIntra;
+  Opts.Planner.LineBytes = 64;
+  return Opts;
+}
+
+TEST(DecisionLogTest, JessGoldenEvents) {
+  core::PrefetchPassResult R;
+  std::vector<DecisionEvent> Evs = runJessWithLog(jessOpts(), &R);
+  ASSERT_FALSE(Evs.empty());
+
+  // Every event is attributed to the method and a real loop header.
+  std::set<uint64_t> Loops;
+  for (const DecisionEvent &E : Evs) {
+    EXPECT_FALSE(E.Method.empty());
+    EXPECT_FALSE(E.Pass.empty());
+    EXPECT_FALSE(E.Event.empty());
+    Loops.insert(E.Loop);
+  }
+  // At least one decision entry per visited loop (the --explain
+  // acceptance contract).
+  EXPECT_GE(Loops.size(), size_t(R.LoopsVisited));
+
+  auto Has = [&](const char *Pass, const char *Event) {
+    return std::any_of(Evs.begin(), Evs.end(),
+                       [&](const DecisionEvent &E) {
+                         return E.Pass == Pass && E.Event == Event;
+                       });
+  };
+  // jess's outer loop inspects, finds the 208-byte inter stride, plans,
+  // and emits code; the 5-trip inner loop is skipped as small-trip.
+  EXPECT_TRUE(Has("inspect", "reached"));
+  EXPECT_TRUE(Has("inspect", "small-trip"));
+  EXPECT_TRUE(Has("codegen", "emitted"));
+  auto Inter = std::find_if(Evs.begin(), Evs.end(),
+                            [](const DecisionEvent &E) {
+                              return E.Pass == "stride" &&
+                                     E.Event == "inter-pattern";
+                            });
+  ASSERT_NE(Inter, Evs.end());
+  EXPECT_NE(Inter->Stride, 0);
+  EXPECT_GT(Inter->Samples, 0u);
+  EXPECT_GT(Inter->Confidence, 0.5);
+  EXPECT_FALSE(Inter->Site.empty());
+}
+
+TEST(DecisionLogTest, FaultedInspectionRecordsOrigin) {
+  auto C = support::FaultConfig::parse("inspect-read:1:3");
+  ASSERT_TRUE(C.has_value());
+  support::FaultInjector Injector(*C);
+  support::FaultScope Scope(Injector);
+
+  std::vector<DecisionEvent> Evs = runJessWithLog(jessOpts());
+  // The originating fault site must be on the record (satellite: keep
+  // the FaultSite/Status with the degraded loop, not just a counter).
+  auto It = std::find_if(Evs.begin(), Evs.end(), [](const DecisionEvent &E) {
+    return E.Pass == "inspect" && E.Event == "faults-injected";
+  });
+  ASSERT_NE(It, Evs.end());
+  EXPECT_NE(It->Detail.find(support::faultSiteName(
+                support::FaultSite::InspectHeapRead)),
+            std::string::npos);
+  EXPECT_GT(It->Samples, 0u);
+}
+
+TEST(DecisionLogTest, ScopeIsNullWhenNotInstalled) {
+  EXPECT_EQ(DecisionScope::current(), nullptr);
+  std::vector<DecisionEvent> Evs = runJessWithLog(jessOpts());
+  EXPECT_FALSE(Evs.empty()); // Scoped run still records.
+  EXPECT_EQ(DecisionScope::current(), nullptr); // Restored on unwind.
+}
+
+TEST(DecisionLogTest, FormatIsHumanReadable) {
+  DecisionEvent E;
+  E.Method = "find";
+  E.Loop = 1;
+  E.Pass = "stride";
+  E.Event = "inter-pattern";
+  E.Site = "%l4";
+  E.Stride = 208;
+  E.Samples = 19;
+  E.Confidence = 1.0;
+  std::string S = formatDecision(E);
+  EXPECT_NE(S.find("find/loop@1"), std::string::npos);
+  EXPECT_NE(S.find("[stride]"), std::string::npos);
+  EXPECT_NE(S.find("inter-pattern"), std::string::npos);
+  EXPECT_NE(S.find("stride=208"), std::string::npos);
+  EXPECT_NE(S.find("samples=19"), std::string::npos);
+}
+
+// -- Cell-record codec ------------------------------------------------------
+
+TEST(CellRecordTest, DecisionsRoundtripThroughJson) {
+  harness::CellResult Cell;
+  Cell.Ran = true;
+  DecisionEvent D;
+  D.Method = "find";
+  D.Loop = 3;
+  D.Pass = "plan";
+  D.Event = "deref-prefetch";
+  D.Site = "%a->%b";
+  D.Detail = "guarded";
+  D.Stride = -64;
+  D.Samples = 12;
+  D.Confidence = 0.75;
+  Cell.Run.Decisions.push_back(D);
+
+  std::ostringstream OS;
+  harness::JsonWriter J(OS);
+  harness::writeCellRecordJson(J, Cell);
+  std::string Err;
+  std::unique_ptr<harness::JsonValue> V =
+      harness::JsonValue::parse(OS.str(), &Err);
+  ASSERT_TRUE(V) << Err;
+  harness::CellResult Back;
+  ASSERT_TRUE(harness::parseCellRecord(*V, Back));
+  ASSERT_EQ(Back.Run.Decisions.size(), 1u);
+  const DecisionEvent &B = Back.Run.Decisions[0];
+  EXPECT_EQ(B.Method, D.Method);
+  EXPECT_EQ(B.Loop, D.Loop);
+  EXPECT_EQ(B.Pass, D.Pass);
+  EXPECT_EQ(B.Event, D.Event);
+  EXPECT_EQ(B.Site, D.Site);
+  EXPECT_EQ(B.Detail, D.Detail);
+  EXPECT_EQ(B.Stride, D.Stride);
+  EXPECT_EQ(B.Samples, D.Samples);
+  EXPECT_DOUBLE_EQ(B.Confidence, D.Confidence);
+}
+
+TEST(CellRecordTest, NoDecisionsMeansNoMember) {
+  // Byte-compat contract: an obs-off record must not even mention the
+  // member, so pre-obs readers and diff-based CI stay unperturbed.
+  harness::CellResult Cell;
+  Cell.Ran = true;
+  std::ostringstream OS;
+  harness::JsonWriter J(OS);
+  harness::writeCellRecordJson(J, Cell);
+  EXPECT_EQ(OS.str().find("decisions"), std::string::npos);
+}
+
+// -- Observability never changes results ------------------------------------
+
+TEST(ObsParityTest, RunPlanStatsAreIdenticalOnAndOff) {
+  using workloads::Algorithm;
+  auto BuildPlan = [] {
+    harness::ExperimentPlan Plan;
+    workloads::WorkloadConfig Cfg;
+    Cfg.Scale = 0.05;
+    Plan.addSweep({workloads::findWorkload("jess")},
+                  {Algorithm::Baseline, Algorithm::InterIntra},
+                  {sim::MachineConfig::pentium4()}, Cfg);
+    return Plan;
+  };
+
+  obs::setEnabled(false);
+  harness::ExperimentPlan PlanOff = BuildPlan();
+  harness::ExperimentResult Off = harness::runPlan(PlanOff, 2);
+  obs::setEnabled(true);
+  harness::ExperimentPlan PlanOn = BuildPlan();
+  harness::ExperimentResult On = harness::runPlan(PlanOn, 2);
+  obs::setEnabled(true); // Leave enabled (the build default).
+
+  ASSERT_TRUE(Off.ok());
+  ASSERT_TRUE(On.ok());
+  ASSERT_EQ(Off.Cells.size(), On.Cells.size());
+  for (size_t I = 0; I != Off.Cells.size(); ++I) {
+    const workloads::RunResult &A = Off.Cells[I].Run;
+    const workloads::RunResult &B = On.Cells[I].Run;
+    EXPECT_EQ(A.CompiledCycles, B.CompiledCycles);
+    EXPECT_EQ(A.Retired, B.Retired);
+    EXPECT_EQ(A.ReturnValue, B.ReturnValue);
+    EXPECT_EQ(A.Mem.Loads, B.Mem.Loads);
+    EXPECT_EQ(A.Mem.L1LoadMisses, B.Mem.L1LoadMisses);
+    EXPECT_EQ(A.Mem.L2LoadMisses, B.Mem.L2LoadMisses);
+    EXPECT_EQ(A.Mem.DtlbLoadMisses, B.Mem.DtlbLoadMisses);
+    EXPECT_EQ(A.Mem.SwPrefetchesIssued, B.Mem.SwPrefetchesIssued);
+    EXPECT_EQ(A.Prefetch.CodeGen.Prefetches,
+              B.Prefetch.CodeGen.Prefetches);
+    EXPECT_EQ(A.Prefetch.CodeGen.SpecLoads, B.Prefetch.CodeGen.SpecLoads);
+    // Decisions are the one sanctioned difference: recorded only when
+    // observability is on.
+    EXPECT_TRUE(A.Decisions.empty());
+  }
+  // The prefetched cell must have decision events when obs is on.
+  EXPECT_FALSE(On.Cells.back().Run.Decisions.empty());
+}
+
+} // namespace
