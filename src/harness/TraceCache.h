@@ -42,6 +42,13 @@ struct TraceCacheStats {
   uint64_t Overflows = 0;  ///< Recordings discarded (over byte cap).
   uint64_t SpillStores = 0;///< Entries written to the spill directory.
   uint64_t SpillLoads = 0; ///< Hits served from the spill directory.
+  /// Spill files that failed to decode (truncated, bit-flipped, stale
+  /// version, checksum mismatch). Each is unlinked and treated as a
+  /// clean miss, so the cell re-records.
+  uint64_t SpillDecodeErrors = 0;
+  /// Spill publishes that failed (tmp write or atomic rename); the tmp
+  /// file is unlinked, the entry just isn't on disk.
+  uint64_t SpillPublishErrors = 0;
 };
 
 class TraceCache {
@@ -56,8 +63,12 @@ public:
 
   /// \p BudgetBytes bounds the in-memory encoded-trace bytes (0 disables
   /// caching entirely); \p SpillDir, when non-empty, receives evicted and
-  /// oversized entries as files.
-  explicit TraceCache(size_t BudgetBytes, std::string SpillDir = "");
+  /// oversized entries as files. \p UseMmap selects how spill files are
+  /// read back: mmap'd MAP_SHARED and replayed zero-copy (the default —
+  /// forked workers share one page-cache copy), or copied into the heap
+  /// (the SPF_TRACE_MMAP=0 fallback).
+  explicit TraceCache(size_t BudgetBytes, std::string SpillDir = "",
+                      bool UseMmap = mmapFromEnv());
 
   /// Returns the entry recorded under \p Sig, refreshing its LRU
   /// position, or null. Checks the spill directory on a memory miss.
@@ -88,6 +99,10 @@ public:
   /// unparsable = 256 MB, 0 = disable caching).
   static size_t budgetFromEnv();
 
+  /// Whether spill files are read back via mmap (SPF_TRACE_MMAP; unset
+  /// or nonzero = mmap, 0 = heap-copy fallback).
+  static bool mmapFromEnv();
+
 private:
   struct Slot {
     std::string Sig;
@@ -99,9 +114,11 @@ private:
   void spillLocked(const Slot &S);
   std::shared_ptr<const Entry> loadSpilled(const std::string &Sig);
   std::string spillPathFor(const std::string &Sig) const;
+  void noteSpillDecodeError(const std::string &Path);
 
   const size_t Budget;
   const std::string SpillDir;
+  const bool UseMmap;
 
   mutable std::mutex Mu;
   std::list<Slot> Lru; // Front = most recently used.

@@ -12,7 +12,7 @@
 namespace spf {
 namespace obs {
 
-thread_local DecisionLog *DecisionScope::Current = nullptr;
+thread_local constinit DecisionLog *DecisionScope::Current = nullptr;
 
 void DecisionLog::record(DecisionEvent E) {
   if (E.Method.empty())

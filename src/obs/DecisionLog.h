@@ -106,7 +106,8 @@ public:
 
 private:
   DecisionLog *Prev;
-  static thread_local DecisionLog *Current;
+  // constinit: no TLS init-guard wrapper (see FaultScope::Current).
+  static thread_local constinit DecisionLog *Current;
 };
 
 /// Short printable label for a load site: the value's name when it has

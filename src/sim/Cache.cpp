@@ -2,6 +2,7 @@
 
 #include "sim/Cache.h"
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
 
@@ -9,86 +10,37 @@ using namespace spf;
 using namespace spf::sim;
 
 Cache::Cache(CacheParams P) : Params(P) {
-  assert(P.LineBytes && (P.LineBytes & (P.LineBytes - 1)) == 0 &&
-         "line size must be a power of two");
+  assert(P.LineBytes >= 2 && (P.LineBytes & (P.LineBytes - 1)) == 0 &&
+         "line size must be a power of two (>= 2, so no line address "
+         "collides with the InvalidTag sentinel)");
+  LineShift = static_cast<unsigned>(std::countr_zero(P.LineBytes));
   NumSets = static_cast<unsigned>(P.SizeBytes / (P.LineBytes * P.Assoc));
   assert(NumSets && (NumSets & (NumSets - 1)) == 0 &&
          "set count must be a nonzero power of two");
-  Lines.resize(static_cast<size_t>(NumSets) * P.Assoc);
+  size_t Slots = static_cast<size_t>(NumSets) * P.Assoc;
+  Tags.assign(Slots, InvalidTag);
+  LastUse.assign(Slots, 0);
+  ReadyAt.assign(Slots, 0);
 }
 
-Cache::Line *Cache::findLine(uint64_t LineAddr) {
-  unsigned Set = static_cast<unsigned>(LineAddr & (NumSets - 1));
-  Line *Base = &Lines[static_cast<size_t>(Set) * Params.Assoc];
-  for (unsigned I = 0; I != Params.Assoc; ++I)
-    if (Base[I].Valid && Base[I].Tag == LineAddr)
-      return &Base[I];
-  return nullptr;
-}
-
-const Cache::Line *Cache::findLine(uint64_t LineAddr) const {
-  return const_cast<Cache *>(this)->findLine(LineAddr);
-}
-
-Cache::Line &Cache::victimFor(uint64_t LineAddr) {
-  unsigned Set = static_cast<unsigned>(LineAddr & (NumSets - 1));
-  Line *Base = &Lines[static_cast<size_t>(Set) * Params.Assoc];
-  Line *Victim = Base;
+size_t Cache::victimFor(size_t Base) {
+  size_t Victim = Base;
   for (unsigned I = 0; I != Params.Assoc; ++I) {
-    if (!Base[I].Valid)
-      return Base[I];
-    if (Base[I].LastUse < Victim->LastUse)
-      Victim = &Base[I];
+    if (Tags[Base + I] == InvalidTag)
+      return Base + I;
+    if (LastUse[Base + I] < LastUse[Victim])
+      Victim = Base + I;
   }
-  return *Victim;
-}
-
-CacheAccessResult Cache::access(uint64_t Addr, uint64_t Now) {
-  uint64_t LineAddr = Addr / Params.LineBytes;
-  ++DemandAccesses;
-  ++UseClock;
-
-  if (Line *L = findLine(LineAddr)) {
-    L->LastUse = UseClock;
-    CacheAccessResult R;
-    R.Hit = true;
-    if (L->ReadyAt > Now) {
-      R.WaitCycles = L->ReadyAt - Now;
-      ++LateProbes;
-      L->ReadyAt = 0;
-    }
-    return R;
-  }
-
-  ++DemandMisses;
-  Line &V = victimFor(LineAddr);
-  V.Valid = true;
-  V.Tag = LineAddr;
-  V.LastUse = UseClock;
-  V.ReadyAt = 0; // Demand fill: the caller charges the full penalty.
-  return CacheAccessResult{};
-}
-
-void Cache::prefetchFill(uint64_t Addr, uint64_t ReadyAt) {
-  uint64_t LineAddr = Addr / Params.LineBytes;
-  ++UseClock;
-  if (Line *L = findLine(LineAddr)) {
-    L->LastUse = UseClock; // Already present: keep warm, keep ReadyAt.
-    return;
-  }
-  ++PrefetchFills;
-  Line &V = victimFor(LineAddr);
-  V.Valid = true;
-  V.Tag = LineAddr;
-  V.LastUse = UseClock;
-  V.ReadyAt = ReadyAt;
-}
-
-bool Cache::contains(uint64_t Addr) const {
-  return findLine(Addr / Params.LineBytes) != nullptr;
+  return Victim;
 }
 
 void Cache::reset() {
-  for (Line &L : Lines)
-    L = Line();
+  for (uint64_t &T : Tags)
+    T = InvalidTag;
+  for (uint64_t &U : LastUse)
+    U = 0;
+  for (uint64_t &R : ReadyAt)
+    R = 0;
+  MruLine = InvalidTag;
+  MruSlot = 0;
 }

@@ -7,11 +7,22 @@
 /// out-of-order machines where a prefetch one iteration ahead may not
 /// fully cover memory latency).
 ///
+/// The cache sits on the hottest per-event path of trace replay (one to
+/// two probes per demand access), so the lookup is structured for that:
+/// line addresses are shifts (line size is a power of two), tags live in
+/// a packed per-set array an associativity's worth of which fits in one
+/// host cache line, and the hit path is inline. Recency and ready-cycles
+/// are parallel arrays touched only on the slot that hits. An invalid
+/// slot holds InvalidTag, which no reachable line address equals (line
+/// bytes >= 2 keeps line addresses below 2^63), so validity needs no
+/// separate flag and the scan is a single compare per way.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPF_SIM_CACHE_H
 #define SPF_SIM_CACHE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -43,14 +54,141 @@ public:
   /// Demand access at \p Now; fills the line on a miss (ready
   /// immediately, i.e. the pipeline stalls for it — the penalty is charged
   /// by the caller).
-  CacheAccessResult access(uint64_t Addr, uint64_t Now);
+  CacheAccessResult access(uint64_t Addr, uint64_t Now) {
+    uint64_t LineAddr = Addr >> LineShift;
+    ++DemandAccesses;
+    ++UseClock;
+    // One-line MRU filter: unit strides touch the same line repeatedly,
+    // so the previous hit's slot is checked before the set scan. Every
+    // bookkeeping step (use stamp, ready-cycle drain) is the same as the
+    // scan path — pure shortcut, bit-identical stats.
+    if (LineAddr == MruLine) {
+      LastUse[MruSlot] = UseClock;
+      return hitAt(MruSlot, Now);
+    }
+    size_t Base = setBase(LineAddr);
+    for (unsigned I = 0; I != Params.Assoc; ++I) {
+      if (Tags[Base + I] == LineAddr) {
+        LastUse[Base + I] = UseClock;
+        MruLine = LineAddr;
+        MruSlot = Base + I;
+        return hitAt(Base + I, Now);
+      }
+    }
+    ++DemandMisses;
+    size_t V = victimFor(Base);
+    Tags[V] = LineAddr;
+    LastUse[V] = UseClock;
+    ReadyAt[V] = 0; // Demand fill: the caller charges the full penalty.
+    MruLine = LineAddr;
+    MruSlot = V;
+    return CacheAccessResult{};
+  }
 
-  /// Prefetch fill: inserts the line, usable from cycle \p ReadyAt.
+  /// Prefetch fill: inserts the line, usable from cycle \p Ready.
   /// Counted separately from demand statistics.
-  void prefetchFill(uint64_t Addr, uint64_t ReadyAt);
+  void prefetchFill(uint64_t Addr, uint64_t Ready) {
+    uint64_t LineAddr = Addr >> LineShift;
+    ++UseClock;
+    if (LineAddr == MruLine) {
+      LastUse[MruSlot] = UseClock; // Already present: keep warm,
+      return;                      // keep ReadyAt.
+    }
+    size_t Base = setBase(LineAddr);
+    for (unsigned I = 0; I != Params.Assoc; ++I) {
+      if (Tags[Base + I] == LineAddr) {
+        LastUse[Base + I] = UseClock;
+        MruLine = LineAddr;
+        MruSlot = Base + I;
+        return;
+      }
+    }
+    ++PrefetchFills;
+    size_t V = victimFor(Base);
+    Tags[V] = LineAddr;
+    LastUse[V] = UseClock;
+    ReadyAt[V] = Ready;
+    MruLine = LineAddr;
+    MruSlot = V;
+  }
+
+  /// "No clean hit" result of peekCleanHit().
+  static constexpr size_t NoSlot = ~size_t(0);
+
+  /// Pure probe for the replay fast path: the slot of a clean demand hit
+  /// (line present and fully resident — no in-flight prefetch to wait
+  /// for), or NoSlot. No state changes; pair with commitHit().
+  size_t peekCleanHit(uint64_t Addr, uint64_t Now) const {
+    uint64_t LineAddr = Addr >> LineShift;
+    if (LineAddr == MruLine)
+      return ReadyAt[MruSlot] <= Now ? MruSlot : NoSlot;
+    size_t Base = setBase(LineAddr);
+    for (unsigned I = 0; I != Params.Assoc; ++I)
+      if (Tags[Base + I] == LineAddr)
+        return ReadyAt[Base + I] <= Now ? Base + I : NoSlot;
+    return NoSlot;
+  }
+
+  /// Commits the demand hit peekCleanHit() found — exactly access()'s
+  /// hit path for a resident line (counters, use stamp, MRU repoint).
+  void commitHit(size_t Slot) {
+    ++DemandAccesses;
+    ++UseClock;
+    LastUse[Slot] = UseClock;
+    MruLine = Tags[Slot];
+    MruSlot = Slot;
+  }
+
+  /// Register-resident counter window for a block of commits: the use
+  /// clock and demand-access count live in the cursor (breaking the
+  /// per-event memory round trip on those counters), everything else
+  /// goes straight to the cache. flush() before any non-cursor call on
+  /// the same cache, and at the end of the block.
+  class BlockCursor {
+  public:
+    explicit BlockCursor(Cache &C)
+        : C(C), UseClock(C.UseClock), DemandAccesses(C.DemandAccesses) {}
+
+    size_t peekCleanHit(uint64_t Addr, uint64_t Now) const {
+      return C.peekCleanHit(Addr, Now);
+    }
+
+    /// Exactly Cache::commitHit, counters held in the cursor.
+    void commitHit(size_t Slot) {
+      ++DemandAccesses;
+      ++UseClock;
+      C.LastUse[Slot] = UseClock;
+      C.MruLine = C.Tags[Slot];
+      C.MruSlot = Slot;
+    }
+
+    void flush() {
+      C.UseClock = UseClock;
+      C.DemandAccesses = DemandAccesses;
+    }
+
+    void reload() {
+      UseClock = C.UseClock;
+      DemandAccesses = C.DemandAccesses;
+    }
+
+  private:
+    Cache &C;
+    uint64_t UseClock;
+    uint64_t DemandAccesses;
+  };
 
   /// True when the line holding \p Addr is present (no LRU update).
-  bool contains(uint64_t Addr) const;
+  bool contains(uint64_t Addr) const {
+    uint64_t LineAddr = Addr >> LineShift;
+    if (LineAddr == MruLine)
+      return true;
+    size_t Base = setBase(LineAddr);
+    for (unsigned I = 0; I != Params.Assoc; ++I)
+      if (Tags[Base + I] == LineAddr)
+        return true;
+    return false;
+  }
 
   /// Invalidates all lines (statistics are kept).
   void reset();
@@ -64,20 +202,42 @@ public:
   uint64_t lateProbes() const { return LateProbes; }
 
 private:
-  struct Line {
-    uint64_t Tag = 0;
-    uint64_t LastUse = 0;
-    uint64_t ReadyAt = 0;
-    bool Valid = false;
-  };
+  static constexpr uint64_t InvalidTag = ~uint64_t(0);
 
-  Line *findLine(uint64_t LineAddr);
-  const Line *findLine(uint64_t LineAddr) const;
-  Line &victimFor(uint64_t LineAddr);
+  size_t setBase(uint64_t LineAddr) const {
+    return (static_cast<size_t>(LineAddr) & (NumSets - 1)) * Params.Assoc;
+  }
+
+  /// Hit bookkeeping shared by the MRU and scan paths (LastUse is already
+  /// stamped by the caller).
+  CacheAccessResult hitAt(size_t Slot, uint64_t Now) {
+    CacheAccessResult R;
+    R.Hit = true;
+    uint64_t &Ready = ReadyAt[Slot];
+    if (Ready > Now) {
+      R.WaitCycles = Ready - Now;
+      ++LateProbes;
+      Ready = 0;
+    }
+    return R;
+  }
+
+  /// LRU victim slot in the set at \p Base: the first invalid way, else
+  /// the first minimum-LastUse way (exact order of the classic scan).
+  size_t victimFor(size_t Base);
 
   CacheParams Params;
   unsigned NumSets;
-  std::vector<Line> Lines; // NumSets * Assoc, set-major.
+  unsigned LineShift;
+  std::vector<uint64_t> Tags;    ///< NumSets * Assoc, set-major; InvalidTag
+                                 ///< marks an empty way.
+  std::vector<uint64_t> LastUse; ///< Use-clock stamp, parallel to Tags.
+  std::vector<uint64_t> ReadyAt; ///< Prefetch-fill ready cycle, parallel.
+  /// One-line MRU filter. Invariant: while MruLine != InvalidTag,
+  /// Tags[MruSlot] == MruLine — every Tags write (the two insert sites)
+  /// re-points it, and reset() invalidates it.
+  uint64_t MruLine = InvalidTag;
+  size_t MruSlot = 0;
   uint64_t UseClock = 0;
 
   uint64_t DemandAccesses = 0;

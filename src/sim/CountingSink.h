@@ -43,6 +43,37 @@ public:
   void guardedLoad(uint64_t) override { ++GuardedLoads; }
   void guardedLoadFault() override { ++GuardedLoadFaults; }
 
+  /// Block dispatch (replay fast path): same counts as per-event calls,
+  /// one virtual call per block.
+  void consume(const exec::AccessEvent *Events, size_t N) override {
+    for (size_t I = 0; I != N; ++I) {
+      const exec::AccessEvent &E = Events[I];
+      switch (E.Kind) {
+      case exec::EventKind::Tick:
+        ++TickCalls;
+        TicksTotal += E.Value;
+        break;
+      case exec::EventKind::Load:
+        ++Loads;
+        if (E.Site >= LoadSites)
+          LoadSites = E.Site + 1;
+        break;
+      case exec::EventKind::Store:
+        ++Stores;
+        break;
+      case exec::EventKind::Prefetch:
+        ++Prefetches;
+        break;
+      case exec::EventKind::GuardedLoad:
+        ++GuardedLoads;
+        break;
+      case exec::EventKind::GuardedLoadFault:
+        ++GuardedLoadFaults;
+        break;
+      }
+    }
+  }
+
   /// Memory events + tick calls (how many sink calls were consumed).
   uint64_t totalCalls() const {
     return TickCalls + Loads + Stores + Prefetches + GuardedLoads +

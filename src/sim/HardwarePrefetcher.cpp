@@ -7,7 +7,7 @@ using namespace spf::sim;
 
 void HardwarePrefetcher::onDemandMiss(uint64_t Addr,
                                       std::vector<uint64_t> &Out) {
-  uint64_t Line = Addr / LineBytes;
+  uint64_t Line = lineOf(Addr);
   ++UseClock;
 
   // Confirmed stream: the miss is the line we predicted next.
@@ -15,10 +15,10 @@ void HardwarePrefetcher::onDemandMiss(uint64_t Addr,
     if (!S.Valid || S.NextLine != Line)
       continue;
     S.LastUse = UseClock;
-    uint64_t Page = Addr / PageBytes;
+    uint64_t Page = pageOf(Addr);
     for (unsigned D = 1; D <= Degree; ++D) {
       uint64_t Target = (Line + D) * LineBytes;
-      if (Target / PageBytes != Page)
+      if (pageOf(Target) != Page)
         break; // Never cross a page boundary.
       Out.push_back(Target);
       ++Issued;

@@ -12,6 +12,7 @@
 #ifndef SPF_SIM_HARDWAREPREFETCHER_H
 #define SPF_SIM_HARDWAREPREFETCHER_H
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -26,7 +27,14 @@ public:
   HardwarePrefetcher(unsigned NumStreams, unsigned Degree, unsigned LineBytes,
                      unsigned PageBytes)
       : NumStreams(NumStreams), Degree(Degree), LineBytes(LineBytes),
-        PageBytes(PageBytes), Streams(NumStreams) {}
+        PageBytes(PageBytes),
+        LineShift((LineBytes & (LineBytes - 1)) == 0
+                      ? static_cast<unsigned>(std::countr_zero(LineBytes))
+                      : 0),
+        PageShift((PageBytes & (PageBytes - 1)) == 0
+                      ? static_cast<unsigned>(std::countr_zero(PageBytes))
+                      : 0),
+        Streams(NumStreams) {}
 
   /// Observes a demand miss at \p Addr; appends prefetch target addresses
   /// to \p Out when a stream is confirmed.
@@ -41,10 +49,21 @@ private:
     bool Valid = false;
   };
 
+  /// Shift-form division for the power-of-two geometry every real machine
+  /// uses (a shift of 0 falls back to actual division).
+  uint64_t lineOf(uint64_t Addr) const {
+    return LineShift ? Addr >> LineShift : Addr / LineBytes;
+  }
+  uint64_t pageOf(uint64_t Addr) const {
+    return PageShift ? Addr >> PageShift : Addr / PageBytes;
+  }
+
   unsigned NumStreams;
   unsigned Degree;
   unsigned LineBytes;
   unsigned PageBytes;
+  unsigned LineShift;
+  unsigned PageShift;
   std::vector<Stream> Streams;
   uint64_t UseClock = 0;
   uint64_t Issued = 0;

@@ -124,3 +124,124 @@ void MemorySystem::guardedLoadFault() {
   ++Stats.GuardedLoadFaults;
   Cycles += Cfg.GuardFaultCost;
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((flatten))
+#endif
+void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
+  // The replay fast path: one virtual consume() per block, and inside it
+  // the clock and the load counters live in locals — member accesses all
+  // share one alias class, so keeping them in the object would force a
+  // reload/store per event. The common load (TLB MRU hit + clean L1 hit
+  // + known site) commits via the pure peek/commit probes, which perform
+  // exactly the member-path bookkeeping; everything else writes the
+  // locals back, takes the ordinary member call, and re-hoists — the
+  // batched-vs-per-event differential tests pin the two paths together,
+  // bit for bit.
+  uint64_t Cyc = Cycles;
+  uint64_t NLoads = Stats.Loads;
+  uint64_t Stalled = Stats.CyclesStalledOnLoads;
+  const uint64_t HitCost = Cfg.L1HitCycles;
+  const uint64_t ComputeC = Cfg.ComputeCycles;
+  SiteStats *SiteArr = Sites.data();
+  size_t NSites = Sites.size();
+  // Stride loops hammer one site for thousands of events, so its load
+  // count is accumulated in a register and flushed on site change (and
+  // before any fallback, which may touch the site table).
+  size_t CurSite = NSites; // No run pending.
+  uint64_t CurSiteLoads = 0;
+  Tlb::BlockCursor TlbCur(Dtlb);
+  Cache::BlockCursor L1Cur(L1);
+  // Writes every register-held counter back to its home and empties the
+  // site run; the member state is then exactly what per-event dispatch
+  // would have produced.
+  auto Sync = [&] {
+    Cycles = Cyc;
+    Stats.Loads = NLoads;
+    Stats.CyclesStalledOnLoads = Stalled;
+    if (CurSiteLoads) {
+      SiteArr[CurSite].Loads += CurSiteLoads;
+      CurSiteLoads = 0;
+    }
+    CurSite = NSites;
+    TlbCur.flush();
+    L1Cur.flush();
+  };
+  auto Rehoist = [&] {
+    Cyc = Cycles;
+    NLoads = Stats.Loads;
+    Stalled = Stats.CyclesStalledOnLoads;
+    SiteArr = Sites.data(); // The call may have grown the site table.
+    NSites = Sites.size();
+    CurSite = NSites;
+    TlbCur.reload();
+    L1Cur.reload();
+  };
+  // Stores, prefetches and guarded loads never touch the load counters
+  // or the site table, so their fallback only moves the clock and the
+  // TLB/L1 counter windows.
+  auto SyncMachine = [&] {
+    Cycles = Cyc;
+    TlbCur.flush();
+    L1Cur.flush();
+  };
+  auto RehoistMachine = [&] {
+    Cyc = Cycles;
+    TlbCur.reload();
+    L1Cur.reload();
+  };
+  for (size_t I = 0; I != N; ++I) {
+    const exec::AccessEvent &E = Events[I];
+    switch (E.Kind) {
+    case exec::EventKind::Tick:
+      Cyc += E.Value * ComputeC;
+      break;
+    case exec::EventKind::Load: {
+      size_t TlbSlot, L1Slot;
+      if (E.Site < NSites && (TlbSlot = TlbCur.peekHit(E.Value)) != Tlb::NoSlot &&
+          (L1Slot = L1Cur.peekCleanHit(E.Value, Cyc)) != Cache::NoSlot) {
+        // Identical to load() when the TLB and the L1 both hit a
+        // resident line: hit cost only, no miss counters.
+        TlbCur.commitHit(TlbSlot);
+        L1Cur.commitHit(L1Slot);
+        ++NLoads;
+        if (E.Site == CurSite) {
+          ++CurSiteLoads;
+        } else {
+          if (CurSiteLoads)
+            SiteArr[CurSite].Loads += CurSiteLoads;
+          CurSite = E.Site;
+          CurSiteLoads = 1;
+        }
+        Stalled += HitCost;
+        Cyc += HitCost;
+        break;
+      }
+      Sync();
+      load(E.Value, E.Site);
+      Rehoist();
+      break;
+    }
+    case exec::EventKind::Store:
+      SyncMachine();
+      store(E.Value);
+      RehoistMachine();
+      break;
+    case exec::EventKind::Prefetch:
+      SyncMachine();
+      prefetch(E.Value);
+      RehoistMachine();
+      break;
+    case exec::EventKind::GuardedLoad:
+      SyncMachine();
+      guardedLoad(E.Value);
+      RehoistMachine();
+      break;
+    case exec::EventKind::GuardedLoadFault:
+      ++Stats.GuardedLoadFaults;
+      Cyc += Cfg.GuardFaultCost;
+      break;
+    }
+  }
+  Sync();
+}

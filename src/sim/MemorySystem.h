@@ -93,6 +93,11 @@ public:
   /// recovery branch's cost. Caches and the DTLB are untouched.
   void guardedLoadFault() override;
 
+  /// Block dispatch for the replay fast path: identical semantics to
+  /// per-event calls (the class is final, so the inner loop
+  /// devirtualizes), bit-identical stats and cycles.
+  void consume(const exec::AccessEvent *Events, size_t N) override;
+
   uint64_t cycles() const { return Cycles; }
   const MemoryStats &stats() const { return Stats; }
   /// Per-site load/miss attribution; index = SiteId, grown on demand.

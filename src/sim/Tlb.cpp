@@ -5,26 +5,28 @@
 using namespace spf;
 using namespace spf::sim;
 
-void Tlb::touch(uint64_t Page) {
-  auto It = Map.find(Page);
-  Lru.splice(Lru.begin(), Lru, It->second);
+Tlb::Tlb(unsigned Entries, unsigned PageBytes)
+    : Entries(Entries), PageBytes(PageBytes),
+      PageShift((PageBytes & (PageBytes - 1)) == 0
+                    ? static_cast<unsigned>(std::countr_zero(PageBytes))
+                    : 0) {
+  // Capacity 2x the entry count (power of two, >= 8): at most half the
+  // slots are ever live, keeping linear probes short.
+  size_t Cap = std::bit_ceil(static_cast<size_t>(Entries ? Entries : 1) * 2);
+  if (Cap < 8)
+    Cap = 8;
+  Mask = Cap - 1;
+  HashShift = 64 - static_cast<unsigned>(std::countr_zero(Cap));
+  Pages.assign(Cap, EmptyPage);
+  Stamps.assign(Cap, 0);
 }
 
-void Tlb::insertPage(uint64_t Page) {
-  if (Map.size() >= Entries) {
-    uint64_t Evicted = Lru.back();
-    Lru.pop_back();
-    Map.erase(Evicted);
-  }
-  Lru.push_front(Page);
-  Map[Page] = Lru.begin();
-}
-
-bool Tlb::access(uint64_t Addr) {
-  uint64_t Page = Addr / PageBytes;
-  ++DemandAccesses;
-  if (Map.count(Page)) {
-    touch(Page);
+bool Tlb::accessSlow(uint64_t Page) {
+  size_t I = findSlot(Page);
+  if (I != NotFound) {
+    Stamps[I] = ++UseClock;
+    MruPage = Page;
+    MruIdx = I;
     return true;
   }
   ++DemandMisses;
@@ -32,16 +34,93 @@ bool Tlb::access(uint64_t Addr) {
   return false;
 }
 
+void Tlb::evictLru() {
+  // Evict the minimum stamp: exact LRU, since every touch assigns a
+  // fresh monotonic stamp. O(capacity) on the rare miss path, in
+  // exchange for probe-only hits.
+  size_t Victim = NotFound;
+  uint64_t Min = ~uint64_t(0);
+  size_t Cap = Mask + 1;
+  for (size_t I = 0; I != Cap; ++I)
+    if (Pages[I] < TombPage && Stamps[I] < Min) {
+      Min = Stamps[I];
+      Victim = I;
+    }
+  if (Pages[Victim] == MruPage) // Only possible when Entries == 1.
+    MruPage = NoPage;
+  Pages[Victim] = TombPage;
+  --LiveCount;
+}
+
+void Tlb::rebuild() {
+  // Drop tombstones, keeping every live (page, stamp) pair: LRU state is
+  // carried entirely by the stamps, so slot placement is unobservable.
+  std::vector<uint64_t> OldPages = std::move(Pages);
+  std::vector<uint64_t> OldStamps = std::move(Stamps);
+  size_t Cap = Mask + 1;
+  Pages.assign(Cap, EmptyPage);
+  Stamps.assign(Cap, 0);
+  UsedCount = LiveCount;
+  for (size_t I = 0; I != Cap; ++I) {
+    if (OldPages[I] >= TombPage)
+      continue;
+    size_t J = hashIdx(OldPages[I]);
+    while (Pages[J] != EmptyPage)
+      J = (J + 1) & Mask;
+    Pages[J] = OldPages[I];
+    Stamps[J] = OldStamps[I];
+    if (OldPages[I] == MruPage)
+      MruIdx = J;
+  }
+}
+
+void Tlb::insertPage(uint64_t Page) {
+  if (LiveCount >= Entries)
+    evictLru();
+  if ((UsedCount + 1) * 4 > (Mask + 1) * 3)
+    rebuild();
+  // The caller guarantees Page is absent, so the first tombstone (or the
+  // terminal empty slot) on its probe chain is a valid home.
+  size_t I = hashIdx(Page);
+  for (;;) {
+    uint64_t P = Pages[I];
+    if (P == TombPage)
+      break;
+    if (P == EmptyPage) {
+      ++UsedCount;
+      break;
+    }
+    I = (I + 1) & Mask;
+  }
+  Pages[I] = Page;
+  Stamps[I] = ++UseClock;
+  ++LiveCount;
+  MruPage = Page;
+  MruIdx = I;
+}
+
 void Tlb::fill(uint64_t Addr) {
-  uint64_t Page = Addr / PageBytes;
-  if (Map.count(Page)) {
-    touch(Page);
+  uint64_t Page = pageOf(Addr);
+  if (Page == MruPage) {
+    Stamps[MruIdx] = ++UseClock;
+    return;
+  }
+  size_t I = findSlot(Page);
+  if (I != NotFound) {
+    Stamps[I] = ++UseClock;
+    MruPage = Page;
+    MruIdx = I;
     return;
   }
   insertPage(Page);
 }
 
 void Tlb::reset() {
-  Lru.clear();
-  Map.clear();
+  Pages.assign(Pages.size(), EmptyPage);
+  Stamps.assign(Stamps.size(), 0);
+  LiveCount = 0;
+  UsedCount = 0;
+  UseClock = 0;
+  MruPage = NoPage;
+  MruIdx = 0;
 }

@@ -10,7 +10,7 @@
 using namespace spf;
 using namespace spf::support;
 
-thread_local FaultInjector *FaultScope::Current = nullptr;
+thread_local constinit FaultInjector *FaultScope::Current = nullptr;
 
 const char *support::faultSiteName(FaultSite S) {
   switch (S) {

@@ -142,7 +142,10 @@ public:
 
 private:
   FaultInjector *Prev;
-  static thread_local FaultInjector *Current;
+  // constinit: statically initialized, so access needs no TLS init-guard
+  // wrapper (whose instrumentation GCC's UBSan misreads as a possible
+  // null store).
+  static thread_local constinit FaultInjector *Current;
 };
 
 /// Hard-crash injection point for the `crash` site: when the site fires,

@@ -1,0 +1,36 @@
+//===- support/MappedFile.cpp ---------------------------------------------===//
+
+#include "support/MappedFile.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace spf;
+using namespace spf::support;
+
+std::shared_ptr<MappedFile> MappedFile::map(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return nullptr;
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || St.st_size <= 0 ||
+      !S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return nullptr;
+  }
+  size_t Size = static_cast<size_t>(St.st_size);
+  void *Mem = ::mmap(nullptr, Size, PROT_READ, MAP_SHARED, Fd, 0);
+  // The mapping survives the descriptor; closing immediately keeps the
+  // fd footprint flat even with many live spills.
+  ::close(Fd);
+  if (Mem == MAP_FAILED)
+    return nullptr;
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(static_cast<const uint8_t *>(Mem), Size));
+}
+
+MappedFile::~MappedFile() {
+  ::munmap(const_cast<uint8_t *>(Data), Size);
+}

@@ -1,0 +1,49 @@
+//===- support/MappedFile.h - Read-only shared file mapping -----*- C++ -*-===//
+///
+/// \file
+/// A read-only, MAP_SHARED memory mapping of a whole file. Used by the
+/// trace cache to replay spills zero-copy: the supervisor and every
+/// forked worker that maps the same spill share one page-cache copy of
+/// the bytes instead of each reading them into its own heap. The handle
+/// is shared_ptr-owned so borrowers (trace::TraceBuffer in borrowed-
+/// bytes mode) keep the mapping alive for exactly as long as any of
+/// them needs it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_SUPPORT_MAPPEDFILE_H
+#define SPF_SUPPORT_MAPPEDFILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace spf {
+namespace support {
+
+class MappedFile {
+public:
+  /// Maps \p Path read-only (PROT_READ, MAP_SHARED). Returns nullptr on
+  /// any failure — missing file, empty file (nothing to map), or mmap
+  /// refusal — callers treat all of those as "no usable bytes".
+  static std::shared_ptr<MappedFile> map(const std::string &Path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+
+  const uint8_t *data() const { return Data; }
+  size_t size() const { return Size; }
+
+private:
+  MappedFile(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  const uint8_t *Data;
+  size_t Size;
+};
+
+} // namespace support
+} // namespace spf
+
+#endif // SPF_SUPPORT_MAPPEDFILE_H

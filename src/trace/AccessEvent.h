@@ -2,12 +2,13 @@
 ///
 /// \file
 /// The decoded form of one event in an access trace. The wire format
-/// (trace/TraceBuffer.h) is delta/varint compressed; this struct is what
-/// a TraceReader yields and what replay() feeds back into an AccessSink.
+/// (trace/TraceBuffer.h) is delta/varint compressed; exec::AccessEvent
+/// is what a TraceReader yields and what replay() feeds back into an
+/// AccessSink.
 ///
-/// Consecutive tick() calls are run-length merged at record time (the
-/// AccessSink contract makes tick additive), so one Tick event may stand
-/// for many interpreter-side calls. Every other event maps 1:1.
+/// The record type itself lives in exec/AccessSink.h (next to the sink
+/// interface whose consume() takes blocks of it); this header re-exports
+/// it under the trace namespace for the encode/decode layer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,63 +20,10 @@
 namespace spf {
 namespace trace {
 
-/// Wire opcode of one event; stable across encode/decode.
-enum class EventKind : uint8_t {
-  Tick = 0,             ///< Payload: tick count (merged run).
-  Load = 1,             ///< Payload: address + load site.
-  Store = 2,            ///< Payload: address.
-  Prefetch = 3,         ///< Payload: address.
-  GuardedLoad = 4,      ///< Payload: address.
-  GuardedLoadFault = 5, ///< No payload.
-};
-
-inline const char *eventKindName(EventKind K) {
-  switch (K) {
-  case EventKind::Tick: return "tick";
-  case EventKind::Load: return "load";
-  case EventKind::Store: return "store";
-  case EventKind::Prefetch: return "prefetch";
-  case EventKind::GuardedLoad: return "guarded-load";
-  case EventKind::GuardedLoadFault: return "guarded-load-fault";
-  }
-  return "?";
-}
-
-/// One decoded event.
-struct AccessEvent {
-  EventKind Kind = EventKind::Tick;
-  /// Address for Load/Store/Prefetch/GuardedLoad; tick count for Tick;
-  /// zero for GuardedLoadFault.
-  uint64_t Value = 0;
-  /// Load site for Load events; zero otherwise.
-  exec::SiteId Site = 0;
-
-  bool operator==(const AccessEvent &) const = default;
-};
-
-/// Dispatches one decoded event into \p Sink.
-inline void dispatch(const AccessEvent &E, exec::AccessSink &Sink) {
-  switch (E.Kind) {
-  case EventKind::Tick:
-    Sink.tick(E.Value);
-    break;
-  case EventKind::Load:
-    Sink.load(E.Value, E.Site);
-    break;
-  case EventKind::Store:
-    Sink.store(E.Value);
-    break;
-  case EventKind::Prefetch:
-    Sink.prefetch(E.Value);
-    break;
-  case EventKind::GuardedLoad:
-    Sink.guardedLoad(E.Value);
-    break;
-  case EventKind::GuardedLoadFault:
-    Sink.guardedLoadFault();
-    break;
-  }
-}
+using exec::AccessEvent;
+using exec::EventKind;
+using exec::dispatch;
+using exec::eventKindName;
 
 } // namespace trace
 } // namespace spf

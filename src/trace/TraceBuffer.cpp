@@ -2,6 +2,7 @@
 
 #include "trace/TraceBuffer.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -12,9 +13,19 @@ using namespace spf::trace;
 namespace {
 
 constexpr uint32_t SpillMagic = 0x53505452; // "SPTR"
-constexpr uint32_t SpillVersion = 1;
+// v2: FNV-1a checksum over header counters + payload (v1 had none; a v1
+// spill now reads back as a clean miss and simply re-records).
+constexpr uint32_t SpillVersion = 2;
 
 constexpr uint32_t TokenEscape = 31; // arg value meaning "varint follows".
+
+/// Hard sanity bound on the header's site count: a checksum-valid spill
+/// never exceeds this, and it caps the decoder's per-site state.
+constexpr uint32_t MaxSpillSites = 1u << 24;
+
+/// Serialized size of the checksummed header counters:
+/// Events(8) + RecordedCalls(8) + NumSites(4) + NBytes(8).
+constexpr size_t SpillCountersBytes = 28;
 
 uint64_t zigzag(int64_t V) {
   return (static_cast<uint64_t>(V) << 1) ^ static_cast<uint64_t>(V >> 63);
@@ -23,6 +34,16 @@ uint64_t zigzag(int64_t V) {
 int64_t unzigzag(uint64_t V) {
   return static_cast<int64_t>((V >> 1) ^ (~(V & 1) + 1));
 }
+
+uint64_t fnv1a(uint64_t H, const uint8_t *Data, size_t N) {
+  for (size_t I = 0; I != N; ++I) {
+    H ^= Data[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+constexpr uint64_t Fnv1aInit = 1469598103934665603ull;
 
 template <typename T> void writeRaw(std::ostream &OS, T V) {
   char Buf[sizeof(T)];
@@ -37,6 +58,52 @@ template <typename T> bool readRaw(std::istream &IS, T &V) {
   std::memcpy(&V, Buf, sizeof(T));
   return true;
 }
+
+template <typename T> void packRaw(uint8_t *&P, T V) {
+  std::memcpy(P, &V, sizeof(T));
+  P += sizeof(T);
+}
+
+template <typename T> void unpackRaw(const uint8_t *&P, T &V) {
+  std::memcpy(&V, P, sizeof(T));
+  P += sizeof(T);
+}
+
+struct SpillCounters {
+  uint64_t Events = 0;
+  uint64_t RecordedCalls = 0;
+  uint32_t NumSites = 0;
+  uint64_t NBytes = 0;
+
+  void pack(uint8_t (&Buf)[SpillCountersBytes]) const {
+    uint8_t *P = Buf;
+    packRaw(P, Events);
+    packRaw(P, RecordedCalls);
+    packRaw(P, NumSites);
+    packRaw(P, NBytes);
+  }
+  void unpack(const uint8_t (&Buf)[SpillCountersBytes]) {
+    const uint8_t *P = Buf;
+    unpackRaw(P, Events);
+    unpackRaw(P, RecordedCalls);
+    unpackRaw(P, NumSites);
+    unpackRaw(P, NBytes);
+  }
+
+  /// Internal-consistency checks that hold for every writeTo'd buffer:
+  /// each encoded event occupies at least one token byte, and the site
+  /// count is bounded. Rejecting here keeps a corrupt header from ever
+  /// sizing an allocation or the decoder's per-site state.
+  bool plausible() const {
+    if ((Events == 0) != (NBytes == 0))
+      return false;
+    if (Events > NBytes)
+      return false;
+    if (NumSites > MaxSpillSites)
+      return false;
+    return true;
+  }
+};
 
 } // namespace
 
@@ -162,93 +229,216 @@ void TraceBuffer::reserveEvents(uint64_t ExpectedEvents) {
 }
 
 void TraceBuffer::writeTo(std::ostream &OS) const {
+  SpillCounters C;
+  C.Events = Events;
+  C.RecordedCalls = RecordedCalls;
+  C.NumSites = NumSites;
+  C.NBytes = byteSize();
+  uint8_t Counters[SpillCountersBytes];
+  C.pack(Counters);
+  uint64_t Sum = fnv1a(Fnv1aInit, Counters, sizeof(Counters));
+  Sum = fnv1a(Sum, data(), byteSize());
+
   writeRaw(OS, SpillMagic);
   writeRaw(OS, SpillVersion);
-  writeRaw(OS, Events);
-  writeRaw(OS, RecordedCalls);
-  writeRaw(OS, NumSites);
-  writeRaw(OS, static_cast<uint64_t>(Bytes.size()));
-  OS.write(reinterpret_cast<const char *>(Bytes.data()),
-           static_cast<std::streamsize>(Bytes.size()));
+  writeRaw(OS, Sum);
+  OS.write(reinterpret_cast<const char *>(Counters),
+           static_cast<std::streamsize>(sizeof(Counters)));
+  OS.write(reinterpret_cast<const char *>(data()),
+           static_cast<std::streamsize>(byteSize()));
 }
 
 bool TraceBuffer::readFrom(std::istream &IS) {
   *this = TraceBuffer();
-  uint32_t Magic = 0, Version = 0, Sites = 0;
-  uint64_t NEvents = 0, NCalls = 0, NBytes = 0;
+  uint32_t Magic = 0, Version = 0;
+  uint64_t Sum = 0;
   if (!readRaw(IS, Magic) || Magic != SpillMagic)
     return false;
   if (!readRaw(IS, Version) || Version != SpillVersion)
     return false;
-  if (!readRaw(IS, NEvents) || !readRaw(IS, NCalls) || !readRaw(IS, Sites) ||
-      !readRaw(IS, NBytes))
+  if (!readRaw(IS, Sum))
     return false;
-  std::vector<uint8_t> Data(static_cast<size_t>(NBytes));
-  if (NBytes &&
-      !IS.read(reinterpret_cast<char *>(Data.data()),
-               static_cast<std::streamsize>(NBytes)))
+  uint8_t Counters[SpillCountersBytes];
+  if (!IS.read(reinterpret_cast<char *>(Counters),
+               static_cast<std::streamsize>(sizeof(Counters))))
     return false;
+  SpillCounters C;
+  C.unpack(Counters);
+  if (!C.plausible())
+    return false;
+
+  // Validate the claimed payload size against the actual remaining
+  // stream before allocating: a corrupt NBytes must never size an
+  // allocation beyond what the stream really holds.
+  std::vector<uint8_t> Data;
+  auto Cur = IS.tellg();
+  if (Cur != std::istream::pos_type(-1)) {
+    IS.seekg(0, std::ios::end);
+    auto End = IS.tellg();
+    IS.seekg(Cur);
+    if (End == std::istream::pos_type(-1) ||
+        static_cast<uint64_t>(End - Cur) < C.NBytes)
+      return false;
+    Data.resize(static_cast<size_t>(C.NBytes));
+    if (C.NBytes &&
+        !IS.read(reinterpret_cast<char *>(Data.data()),
+                 static_cast<std::streamsize>(C.NBytes)))
+      return false;
+  } else {
+    // Non-seekable stream: read in bounded chunks so truncation is
+    // detected without trusting NBytes for an upfront allocation.
+    constexpr size_t ChunkBytes = 1u << 16;
+    uint64_t Left = C.NBytes;
+    while (Left) {
+      size_t Want = static_cast<size_t>(std::min<uint64_t>(Left, ChunkBytes));
+      size_t Have = Data.size();
+      Data.resize(Have + Want);
+      if (!IS.read(reinterpret_cast<char *>(Data.data() + Have),
+                   static_cast<std::streamsize>(Want)))
+        return false;
+      Left -= Want;
+    }
+  }
+
+  uint64_t Expect = fnv1a(Fnv1aInit, Counters, sizeof(Counters));
+  Expect = fnv1a(Expect, Data.data(), Data.size());
+  if (Expect != Sum)
+    return false;
+
   Bytes = std::move(Data);
-  Events = NEvents;
-  RecordedCalls = NCalls;
-  NumSites = Sites;
+  Events = C.Events;
+  RecordedCalls = C.RecordedCalls;
+  NumSites = C.NumSites;
   Finished = true;
+  return true;
+}
+
+bool TraceBuffer::borrowFrom(const uint8_t *&P, const uint8_t *End,
+                             std::shared_ptr<const void> NewOwner) {
+  *this = TraceBuffer();
+  const uint8_t *Q = P;
+  if (End < Q || static_cast<size_t>(End - Q) <
+                     sizeof(uint32_t) * 2 + sizeof(uint64_t) +
+                         SpillCountersBytes)
+    return false;
+  uint32_t Magic = 0, Version = 0;
+  uint64_t Sum = 0;
+  unpackRaw(Q, Magic);
+  unpackRaw(Q, Version);
+  unpackRaw(Q, Sum);
+  if (Magic != SpillMagic || Version != SpillVersion)
+    return false;
+  uint8_t Counters[SpillCountersBytes];
+  std::memcpy(Counters, Q, sizeof(Counters));
+  Q += sizeof(Counters);
+  SpillCounters C;
+  C.unpack(Counters);
+  if (!C.plausible())
+    return false;
+  if (static_cast<uint64_t>(End - Q) < C.NBytes)
+    return false;
+
+  uint64_t Expect = fnv1a(Fnv1aInit, Counters, sizeof(Counters));
+  Expect = fnv1a(Expect, Q, static_cast<size_t>(C.NBytes));
+  if (Expect != Sum)
+    return false;
+
+  BorrowedData = Q;
+  BorrowedSize = static_cast<size_t>(C.NBytes);
+  Owner = std::move(NewOwner);
+  Events = C.Events;
+  RecordedCalls = C.RecordedCalls;
+  NumSites = C.NumSites;
+  Finished = true;
+  P = Q + C.NBytes;
   return true;
 }
 
 // -- TraceReader -----------------------------------------------------------
 
-uint8_t TraceReader::byte() { return Buf.Bytes[Pos++]; }
-
-uint64_t TraceReader::readVarint() {
-  uint64_t V = 0;
-  unsigned Shift = 0;
-  while (Pos < Buf.Bytes.size()) {
-    uint8_t B = byte();
-    V |= static_cast<uint64_t>(B & 0x7F) << Shift;
-    if (!(B & 0x80))
-      break;
-    Shift += 7;
-  }
-  return V;
+TraceReader::TraceReader(const uint8_t *Data, size_t Size, uint32_t NumSites)
+    : Data(Data), Size(Size), NumSites(NumSites) {
+  // Pre-sized once so the Load fast path is a bounds check + index, and
+  // a corrupt site delta can never size an allocation (NumSites is
+  // checksum-protected on the spill path and capped regardless).
+  LastAddrBySite.assign(std::min(NumSites, MaxSpillSites), 0);
 }
 
-bool TraceReader::next(AccessEvent &E) {
-  if (Pos >= Buf.Bytes.size())
-    return false;
-  uint8_t Token = byte();
-  auto Kind = static_cast<EventKind>(Token & 7);
+bool TraceReader::readVarint(uint64_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  for (;;) {
+    if (Pos >= Size)
+      return fail(); // Truncated: continuation promised, stream ended.
+    uint8_t B = Data[Pos++];
+    uint64_t Low = B & 0x7F;
+    if (Shift == 63 && Low > 1)
+      return fail(); // Bits beyond 63.
+    V |= Low << Shift;
+    if (!(B & 0x80))
+      return true;
+    Shift += 7;
+    if (Shift >= 64)
+      return fail(); // More than 10 continuation bytes.
+  }
+}
+
+bool TraceReader::decodeOne(AccessEvent &E) {
+  uint8_t Token = Data[Pos++];
+  uint32_t KindBits = Token & 7;
   uint32_t Arg = Token >> 3;
+  if (KindBits > static_cast<uint32_t>(EventKind::GuardedLoadFault))
+    return fail();
+  auto Kind = static_cast<EventKind>(KindBits);
 
   E.Kind = Kind;
   E.Site = 0;
+  uint64_t V = 0;
   switch (Kind) {
   case EventKind::Tick:
-    E.Value = Arg == TokenEscape ? readVarint() : Arg;
+    if (Arg != TokenEscape)
+      E.Value = Arg;
+    else if (readVarint(V))
+      E.Value = V;
+    else
+      return false;
     break;
   case EventKind::Load: {
-    uint64_t SiteZz = Arg == TokenEscape ? readVarint() : Arg;
-    auto Site = static_cast<exec::SiteId>(static_cast<int64_t>(LastSite) +
-                                          unzigzag(SiteZz));
+    uint64_t SiteZz = Arg;
+    if (Arg == TokenEscape && !readVarint(SiteZz))
+      return false;
+    // Unsigned wraparound arithmetic: a corrupt delta lands far outside
+    // [0, NumSites) and is rejected, with no signed-overflow UB.
+    uint64_t Site64 =
+        LastSite + static_cast<uint64_t>(unzigzag(SiteZz));
+    if (Site64 >= NumSites || Site64 >= LastAddrBySite.size())
+      return fail();
+    auto Site = static_cast<exec::SiteId>(Site64);
     LastSite = Site;
-    if (Site >= LastAddrBySite.size())
-      LastAddrBySite.resize(Site + 1, 0);
+    if (!readVarint(V))
+      return false;
     uint64_t &Last = LastAddrBySite[Site];
-    Last += static_cast<uint64_t>(unzigzag(readVarint()));
+    Last += static_cast<uint64_t>(unzigzag(V));
     E.Value = Last;
     E.Site = Site;
     break;
   }
   case EventKind::Store:
-    LastStoreAddr += static_cast<uint64_t>(unzigzag(readVarint()));
+    if (!readVarint(V))
+      return false;
+    LastStoreAddr += static_cast<uint64_t>(unzigzag(V));
     E.Value = LastStoreAddr;
     break;
   case EventKind::Prefetch:
-    LastPrefetchAddr += static_cast<uint64_t>(unzigzag(readVarint()));
+    if (!readVarint(V))
+      return false;
+    LastPrefetchAddr += static_cast<uint64_t>(unzigzag(V));
     E.Value = LastPrefetchAddr;
     break;
   case EventKind::GuardedLoad:
-    LastGuardedAddr += static_cast<uint64_t>(unzigzag(readVarint()));
+    if (!readVarint(V))
+      return false;
+    LastGuardedAddr += static_cast<uint64_t>(unzigzag(V));
     E.Value = LastGuardedAddr;
     break;
   case EventKind::GuardedLoadFault:
@@ -258,9 +448,163 @@ bool TraceReader::next(AccessEvent &E) {
   return true;
 }
 
-void trace::replay(const TraceBuffer &Buf, exec::AccessSink &Sink) {
+bool TraceReader::next(AccessEvent &E) {
+  if (Malformed || Pos >= Size)
+    return false;
+  return decodeOne(E);
+}
+
+size_t TraceReader::fill(AccessEvent *Out, size_t Cap) {
+  // One tight token loop per block, decoder state held in locals and
+  // written back once: member loads can't be cached across the loop by
+  // the compiler (byte reads through Data alias everything), so this is
+  // measurably cheaper than per-event decodeOne() calls. Semantics are
+  // identical to decodeOne — the batched-vs-per-event differential tests
+  // and the corruption fuzz drive both paths over the same streams.
+  if (Malformed)
+    return 0;
+  const uint8_t *const D = Data;
+  const size_t Sz = Size;
+  size_t P = Pos;
+  uint64_t LSite = LastSite;
+  uint64_t *const SiteAddr = LastAddrBySite.data();
+  const uint64_t SiteCnt = LastAddrBySite.size();
+  uint64_t LStore = LastStoreAddr;
+  uint64_t LPf = LastPrefetchAddr;
+  uint64_t LGl = LastGuardedAddr;
+  size_t N = 0;
+  bool Bad = false;
+
+  auto varint = [&](uint64_t &V) -> bool {
+    V = 0;
+    unsigned Shift = 0;
+    for (;;) {
+      if (P >= Sz)
+        return false; // Truncated.
+      uint8_t B = D[P++];
+      uint64_t Low = B & 0x7F;
+      if (Shift == 63 && Low > 1)
+        return false; // Bits beyond 63.
+      V |= Low << Shift;
+      if (!(B & 0x80))
+        return true;
+      Shift += 7;
+      if (Shift >= 64)
+        return false; // More than 10 continuation bytes.
+    }
+  };
+
+  while (N != Cap && P != Sz) {
+    uint8_t Token = D[P++];
+    uint32_t KindBits = Token & 7;
+    uint32_t Arg = Token >> 3;
+    AccessEvent &E = Out[N];
+    E.Site = 0;
+    uint64_t V = 0;
+    switch (KindBits) {
+    case static_cast<uint32_t>(EventKind::Tick):
+      E.Kind = EventKind::Tick;
+      if (Arg != TokenEscape) {
+        E.Value = Arg;
+        break;
+      }
+      if (!varint(V)) {
+        Bad = true;
+        goto out;
+      }
+      E.Value = V;
+      break;
+    case static_cast<uint32_t>(EventKind::Load): {
+      uint64_t SiteZz = Arg;
+      if (Arg == TokenEscape && !varint(SiteZz)) {
+        Bad = true;
+        goto out;
+      }
+      // Unsigned wraparound arithmetic: a corrupt delta lands far
+      // outside [0, SiteCnt) and is rejected, no signed-overflow UB.
+      // SiteCnt == min(NumSites, MaxSpillSites), so this one check is
+      // exactly decodeOne's pair of bounds.
+      uint64_t Site64 = LSite + static_cast<uint64_t>(unzigzag(SiteZz));
+      if (Site64 >= SiteCnt) {
+        Bad = true;
+        goto out;
+      }
+      LSite = Site64;
+      if (!varint(V)) {
+        Bad = true;
+        goto out;
+      }
+      uint64_t Addr = SiteAddr[Site64] += static_cast<uint64_t>(unzigzag(V));
+      E.Kind = EventKind::Load;
+      E.Value = Addr;
+      E.Site = static_cast<exec::SiteId>(Site64);
+      break;
+    }
+    case static_cast<uint32_t>(EventKind::Store):
+      if (!varint(V)) {
+        Bad = true;
+        goto out;
+      }
+      LStore += static_cast<uint64_t>(unzigzag(V));
+      E.Kind = EventKind::Store;
+      E.Value = LStore;
+      break;
+    case static_cast<uint32_t>(EventKind::Prefetch):
+      if (!varint(V)) {
+        Bad = true;
+        goto out;
+      }
+      LPf += static_cast<uint64_t>(unzigzag(V));
+      E.Kind = EventKind::Prefetch;
+      E.Value = LPf;
+      break;
+    case static_cast<uint32_t>(EventKind::GuardedLoad):
+      if (!varint(V)) {
+        Bad = true;
+        goto out;
+      }
+      LGl += static_cast<uint64_t>(unzigzag(V));
+      E.Kind = EventKind::GuardedLoad;
+      E.Value = LGl;
+      break;
+    case static_cast<uint32_t>(EventKind::GuardedLoadFault):
+      E.Kind = EventKind::GuardedLoadFault;
+      E.Value = 0;
+      break;
+    default: // Kind bits 6 and 7 are unassigned.
+      Bad = true;
+      goto out;
+    }
+    ++N;
+  }
+
+out:
+  Pos = P;
+  LastSite = static_cast<exec::SiteId>(LSite);
+  LastStoreAddr = LStore;
+  LastPrefetchAddr = LPf;
+  LastGuardedAddr = LGl;
+  if (Bad)
+    Malformed = true;
+  return N;
+}
+
+bool trace::replay(const TraceBuffer &Buf, exec::AccessSink &Sink) {
+  TraceReader Reader(Buf);
+  AccessEvent Block[ReplayBlockEvents];
+  for (;;) {
+    size_t N = Reader.fill(Block, ReplayBlockEvents);
+    if (!N)
+      break;
+    Sink.consume(Block, N);
+  }
+  return !Reader.malformed();
+}
+
+bool trace::replayPerEvent(const TraceBuffer &Buf, exec::AccessSink &Sink) {
   TraceReader Reader(Buf);
   AccessEvent E;
   while (Reader.next(E))
     dispatch(E, Sink);
+  return !Reader.malformed();
 }

@@ -29,10 +29,24 @@
 /// recorded stream: replay(buffer, sink) is bit-equivalent to having
 /// driven the sink live (see tests/trace_test.cpp).
 ///
+/// The decoder treats its input as untrusted: varint shifts are bounded,
+/// every payload read is bounds-checked, kinds 6/7 and out-of-range load
+/// sites are decode errors, and a truncated stream is reported as
+/// malformed rather than silently yielding partial values. Spill streams
+/// additionally carry an FNV-1a checksum, so a bit-flipped or truncated
+/// spill file reads back as a clean failure (= cache miss), never as
+/// garbage events.
+///
 /// A byte cap supports bounded recording: once the encoded size exceeds
 /// the cap the buffer discards its storage and marks itself overflowed;
 /// the recording run is unaffected (the live sink saw every event), the
 /// trace is just not reusable.
+///
+/// Storage is either *owned* (the recording vector) or *borrowed*: a
+/// read-only view into memory kept alive by a shared owner handle —
+/// typically an mmap'd spill file (support/MappedFile.h), so the
+/// supervisor and every forked worker replay straight out of one shared
+/// page-cache copy instead of per-process heap re-reads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +56,7 @@
 #include "trace/AccessEvent.h"
 
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 namespace spf {
@@ -85,19 +100,39 @@ public:
   uint64_t events() const { return Events; }
   /// Sink calls recorded (each tick() call counts), pre-merging.
   uint64_t recordedCalls() const { return RecordedCalls; }
-  size_t byteSize() const { return Bytes.size(); }
   /// One past the largest load site recorded (0 when no loads).
   uint32_t loadSites() const { return NumSites; }
 
-  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  /// Encoded bytes: the owned recording storage, or the borrowed view.
+  const uint8_t *data() const {
+    return BorrowedData ? BorrowedData : Bytes.data();
+  }
+  size_t byteSize() const { return BorrowedData ? BorrowedSize : Bytes.size(); }
+  /// True when the encoded bytes are a borrowed read-only view (e.g. an
+  /// mmap'd spill) rather than owned storage. Borrowed buffers are
+  /// replay-only: do not record into them.
+  bool borrowed() const { return BorrowedData != nullptr; }
 
   // -- Spill serialization ---------------------------------------------
 
-  /// Writes the finished buffer (header + bytes) to \p OS.
+  /// Writes the finished buffer (checksummed header + bytes) to \p OS.
   void writeTo(std::ostream &OS) const;
-  /// Reads a buffer previously written with writeTo. Returns false (and
-  /// leaves *this empty) on a malformed or truncated stream.
+
+  /// Reads a buffer previously written with writeTo into owned storage.
+  /// Returns false (and leaves *this empty) on a malformed, truncated,
+  /// or checksum-mismatched stream; header sizes are validated against
+  /// the actual remaining stream size before any allocation, so a
+  /// corrupt header can never trigger an attacker-chosen allocation.
   bool readFrom(std::istream &IS);
+
+  /// Zero-copy variant of readFrom: parses a writeTo blob at \p P (end
+  /// of readable memory \p End) and *borrows* the payload bytes in
+  /// place, keeping \p Owner alive for the buffer's lifetime (the mmap
+  /// handle or heap block backing [P, End)). On success advances \p P
+  /// past the blob. Same validation and checksum guarantees as
+  /// readFrom; returns false and leaves *this empty on any failure.
+  bool borrowFrom(const uint8_t *&P, const uint8_t *End,
+                  std::shared_ptr<const void> Owner);
 
 private:
   friend class TraceReader;
@@ -109,6 +144,11 @@ private:
   bool checkCap();
 
   std::vector<uint8_t> Bytes;
+  const uint8_t *BorrowedData = nullptr;
+  size_t BorrowedSize = 0;
+  /// Keeps borrowed storage alive (shared with other borrowing buffers).
+  std::shared_ptr<const void> Owner;
+
   uint64_t PendingTicks = 0;
   uint64_t Events = 0;
   uint64_t RecordedCalls = 0;
@@ -125,21 +165,49 @@ private:
   uint64_t LastGuardedAddr = 0;
 };
 
-/// Sequential decoder over a finished TraceBuffer. The buffer must
-/// outlive the reader and not be appended to while reading.
+/// Sequential decoder over a finished TraceBuffer (or a raw encoded byte
+/// range). The backing storage must outlive the reader and not be
+/// appended to while reading.
+///
+/// The decoder is hardened against malformed input: varint shifts are
+/// bounded to 64 bits, truncated varints and payloads, unknown kinds,
+/// and load sites outside [0, loadSites()) all stop decoding and set
+/// malformed() instead of yielding garbage events.
 class TraceReader {
 public:
-  explicit TraceReader(const TraceBuffer &Buf) : Buf(Buf) {}
+  explicit TraceReader(const TraceBuffer &Buf)
+      : TraceReader(Buf.data(), Buf.byteSize(), Buf.loadSites()) {}
 
-  /// Decodes the next event into \p E; false at end of trace.
+  /// Decodes a raw encoded byte range directly (\p NumSites = one past
+  /// the largest valid load site). This is the seam the corruption fuzz
+  /// tests drive arbitrary bytes through.
+  TraceReader(const uint8_t *Data, size_t Size, uint32_t NumSites);
+
+  /// Decodes the next event into \p E; false at end of trace or on a
+  /// decode error (distinguish via malformed()).
   bool next(AccessEvent &E);
 
-private:
-  uint8_t byte();
-  uint64_t readVarint();
+  /// Decodes up to \p Cap events into \p Out; returns the number
+  /// decoded. 0 means end of trace or decode error (see malformed()).
+  /// One tight token loop per block — this is the replay fast path.
+  size_t fill(AccessEvent *Out, size_t Cap);
 
-  const TraceBuffer &Buf;
+  /// True once a decode error was hit; no further events are produced.
+  bool malformed() const { return Malformed; }
+
+private:
+  bool decodeOne(AccessEvent &E);
+  bool readVarint(uint64_t &V);
+  bool fail() {
+    Malformed = true;
+    return false;
+  }
+
+  const uint8_t *Data;
+  size_t Size;
   size_t Pos = 0;
+  uint32_t NumSites;
+  bool Malformed = false;
 
   exec::SiteId LastSite = 0;
   std::vector<uint64_t> LastAddrBySite;
@@ -148,10 +216,22 @@ private:
   uint64_t LastGuardedAddr = 0;
 };
 
-/// Feeds every event of \p Buf into \p Sink, in recorded order. With a
+/// Number of decoded events per consume() block on the replay path.
+inline constexpr size_t ReplayBlockEvents = 256;
+
+/// Feeds every event of \p Buf into \p Sink, in recorded order, as
+/// blocks of up to ReplayBlockEvents via AccessSink::consume. With a
 /// sim::MemorySystem sink this reproduces, bit for bit, the MemoryStats,
 /// per-site stats, and cycle count of the run that recorded the trace.
-void replay(const TraceBuffer &Buf, exec::AccessSink &Sink);
+/// Returns false if the trace failed to decode (the sink saw every
+/// event up to the malformed point, never a garbage event).
+bool replay(const TraceBuffer &Buf, exec::AccessSink &Sink);
+
+/// Reference replay: one virtual sink call per event (the pre-batching
+/// path). Kept as the A/B baseline for the batched fast path — the
+/// differential tests and `bench/sweep --throughput` prove replay() is
+/// bit-identical to and faster than this. Same return contract.
+bool replayPerEvent(const TraceBuffer &Buf, exec::AccessSink &Sink);
 
 } // namespace trace
 } // namespace spf

@@ -111,8 +111,11 @@ vm::Addr allocRecord(World &W, const DbTypes &T, int32_t Key, int64_t Id) {
   W.setElem(Elems, 0, Str);
   W.setField(Str, T.StrVal, Chars);
   W.setField(Str, T.StrKey, static_cast<uint64_t>(static_cast<int64_t>(Key)));
+  // ItemChars exceeds the key's 8 nibbles; mask the shift count (as the
+  // hardware the JIT targets does) so chars past the key repeat its low
+  // nibbles instead of shifting a 32-bit value by >= 32.
   for (unsigned C = 0; C != ItemChars; ++C)
-    W.setElem(Chars, C, static_cast<uint64_t>((Key >> (C * 4)) & 0xf));
+    W.setElem(Chars, C, static_cast<uint64_t>((Key >> ((C * 4) & 31)) & 0xf));
   return Rec;
 }
 

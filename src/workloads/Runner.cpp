@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <stdexcept>
 
 using namespace spf;
 using namespace spf::workloads;
@@ -190,11 +191,21 @@ RunResult workloads::replayTrace(const RunResult &ExecSide,
   sim::MemorySystem Mem(Machine);
   obs::Span ReplaySpan("replay-trace", "runner");
   auto Start = std::chrono::steady_clock::now();
-  trace::replay(Buf, Mem);
+  bool Decoded = trace::replay(Buf, Mem);
   Result.ReplayUs = elapsedUs(Start);
   ReplaySpan.end();
-  if (obs::enabled())
+  if (obs::enabled()) {
     obs::stats().counter("spf_trace_replays_total").inc();
+    obs::stats().counter("spf_trace_replay_events_total").inc(Buf.events());
+  }
+  if (!Decoded) {
+    // Cannot happen for buffers that came through the cache (spills are
+    // checksummed) or were just recorded; a malformed trace here is a
+    // bug, and partial stats must never masquerade as a result.
+    if (obs::enabled())
+      obs::stats().counter("spf_trace_decode_errors_total").inc();
+    throw std::runtime_error("trace decode error during replay");
+  }
   Result.InterpretUs = 0;
   Result.Replayed = true;
   Result.CompiledCycles = Mem.cycles();

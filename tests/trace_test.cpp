@@ -21,6 +21,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 using namespace spf;
@@ -236,6 +238,143 @@ TEST(TraceBufferTest, ReadFromRejectsCorruptStreams) {
   }
 }
 
+TEST(TraceBufferTest, SpillTruncatedAtEveryByteOffsetIsRejected) {
+  TraceBuffer Buf;
+  Buf.tick(12);
+  for (unsigned I = 0; I != 100; ++I)
+    Buf.load(0x4000 + 24 * I, static_cast<exec::SiteId>(I % 3));
+  Buf.store(0x9000);
+  Buf.guardedLoadFault();
+  Buf.finish();
+  std::stringstream SS;
+  Buf.writeTo(SS);
+  std::string Good = SS.str();
+  ASSERT_GT(Good.size(), 32u);
+
+  for (size_t Len = 0; Len != Good.size(); ++Len) {
+    // Stream path: every proper prefix is rejected before any payload is
+    // interpreted.
+    TraceBuffer Out;
+    std::stringstream Bad(Good.substr(0, Len));
+    EXPECT_FALSE(Out.readFrom(Bad)) << "prefix " << Len;
+    EXPECT_EQ(Out.events(), 0u) << "prefix " << Len;
+
+    // Borrowed (mmap-shaped) path: same verdict, cursor not advanced.
+    TraceBuffer Borrow;
+    const uint8_t *P = reinterpret_cast<const uint8_t *>(Good.data());
+    const uint8_t *Start = P;
+    EXPECT_FALSE(Borrow.borrowFrom(P, P + Len, nullptr)) << "prefix " << Len;
+    EXPECT_EQ(P, Start) << "prefix " << Len;
+  }
+
+  // The untruncated blob still reads back fine through both paths.
+  TraceBuffer Out;
+  std::stringstream Ok(Good);
+  ASSERT_TRUE(Out.readFrom(Ok));
+  EXPECT_EQ(decodeAll(Out), decodeAll(Buf));
+  TraceBuffer Borrow;
+  const uint8_t *P = reinterpret_cast<const uint8_t *>(Good.data());
+  ASSERT_TRUE(Borrow.borrowFrom(P, P + Good.size(), nullptr));
+  EXPECT_EQ(P, reinterpret_cast<const uint8_t *>(Good.data()) + Good.size());
+  EXPECT_EQ(decodeAll(Borrow), decodeAll(Buf));
+}
+
+TEST(TraceBufferTest, SpillBitFlipsAreRejected) {
+  TraceBuffer Buf;
+  for (unsigned I = 0; I != 200; ++I) {
+    Buf.tick(1 + I % 5);
+    Buf.load(0x10000 + 8 * I, 0);
+  }
+  Buf.finish();
+  std::stringstream SS;
+  Buf.writeTo(SS);
+  std::string Good = SS.str();
+
+  // Every single-bit flip lands in the magic, the checksummed header
+  // counters, or the checksummed payload, so none may survive.
+  uint64_t Rng = 0xb17f11b5;
+  for (unsigned Round = 0; Round != 500; ++Round) {
+    std::string Bad = Good;
+    size_t Byte = splitmix64(Rng) % Bad.size();
+    Bad[Byte] = static_cast<char>(Bad[Byte] ^ (1u << (splitmix64(Rng) % 8)));
+
+    TraceBuffer Out;
+    std::stringstream IS(Bad);
+    EXPECT_FALSE(Out.readFrom(IS)) << "flip at byte " << Byte;
+
+    TraceBuffer Borrow;
+    const uint8_t *P = reinterpret_cast<const uint8_t *>(Bad.data());
+    EXPECT_FALSE(Borrow.borrowFrom(P, P + Bad.size(), nullptr))
+        << "flip at byte " << Byte;
+  }
+}
+
+TEST(TraceReaderFuzzTest, ArbitraryBytesNeverYieldGarbageEvents) {
+  // The raw decoder seam: arbitrary bytes in, and the only acceptable
+  // outcomes are well-formed events (valid kind, in-range site) followed
+  // by a clean end or malformed(). The batched and per-event decoders
+  // must agree on everything, including the failure point.
+  uint64_t Rng = 0xfee1de5;
+  for (unsigned Round = 0; Round != 400; ++Round) {
+    size_t Len = splitmix64(Rng) % 600;
+    std::vector<uint8_t> Raw(Len);
+    for (uint8_t &B : Raw)
+      B = static_cast<uint8_t>(splitmix64(Rng));
+    uint32_t Sites = static_cast<uint32_t>(splitmix64(Rng) % 9);
+
+    TraceReader PerEvent(Raw.data(), Raw.size(), Sites);
+    std::vector<AccessEvent> One;
+    AccessEvent E;
+    while (PerEvent.next(E)) {
+      One.push_back(E);
+      ASSERT_LE(static_cast<unsigned>(E.Kind),
+                static_cast<unsigned>(EventKind::GuardedLoadFault));
+      if (E.Kind == EventKind::Load)
+        ASSERT_LT(E.Site, Sites);
+    }
+
+    TraceReader Batched(Raw.data(), Raw.size(), Sites);
+    std::vector<AccessEvent> Blocks;
+    AccessEvent Block[ReplayBlockEvents];
+    size_t Got;
+    while ((Got = Batched.fill(Block, ReplayBlockEvents)) != 0)
+      Blocks.insert(Blocks.end(), Block, Block + Got);
+
+    ASSERT_EQ(One, Blocks) << "round " << Round;
+    ASSERT_EQ(PerEvent.malformed(), Batched.malformed()) << "round " << Round;
+  }
+}
+
+TEST(TraceReaderFuzzTest, TruncatedValidPayloadDecodesAPrefixThenFails) {
+  TraceBuffer Buf;
+  Buf.tick(1u << 20); // Multi-byte varint.
+  for (unsigned I = 0; I != 40; ++I) {
+    Buf.load(0x100000 + 4096 * I, static_cast<exec::SiteId>(I % 4));
+    Buf.store(0x200000 + 8 * I);
+    Buf.prefetch(0x300000 + 64 * I);
+    Buf.guardedLoad(0x400000 + 128 * I);
+  }
+  Buf.finish();
+  std::vector<AccessEvent> Full = decodeAll(Buf);
+
+  for (size_t Len = 0; Len != Buf.byteSize(); ++Len) {
+    TraceReader R(Buf.data(), Len, Buf.loadSites());
+    std::vector<AccessEvent> Got;
+    AccessEvent E;
+    while (R.next(E))
+      Got.push_back(E);
+    // Whatever decodes before the cut is an exact prefix of the real
+    // stream — truncation can hide events but never corrupt them (a cut
+    // mid-event additionally sets malformed(); a cut on an event
+    // boundary is indistinguishable from a shorter trace).
+    ASSERT_LE(Got.size(), Full.size());
+    ASSERT_TRUE(std::equal(Got.begin(), Got.end(), Full.begin()))
+        << "prefix " << Len;
+    if (R.malformed())
+      EXPECT_LT(Got.size(), Full.size()) << Len;
+  }
+}
+
 // -- Recording tee and replay ----------------------------------------------
 
 /// Drives \p Sink with a deterministic synthetic access stream exercising
@@ -418,6 +557,47 @@ TEST(DifferentialTest, BaselineTraceReplaysAcrossMachines) {
   EXPECT_EQ(Replayed.Sites, Direct.Sites);
 }
 
+TEST(DifferentialTest, BatchedDispatchMatchesPerEventForEveryWorkload) {
+  // The batched consume() overrides (MemorySystem's peek/commit fast
+  // path, CountingSink's loop) against the one-virtual-call-per-event
+  // reference, across every Table 3 workload on both machines: stats,
+  // per-site stats, and cycles must be bit-identical.
+  const std::vector<sim::MachineConfig> Machines = {
+      sim::MachineConfig::pentium4(), sim::MachineConfig::athlonMP()};
+  for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads()) {
+    workloads::RunOptions Opt;
+    Opt.Machine = Machines[0];
+    Opt.Algo = workloads::Algorithm::InterIntra;
+    Opt.Config = tinyConfig();
+    TraceBuffer Buf;
+    Opt.Record = &Buf;
+    workloads::runWorkload(Spec, Opt);
+    ASSERT_FALSE(Buf.overflowed()) << Spec.Name;
+
+    for (const sim::MachineConfig &Machine : Machines) {
+      std::string Tag = Spec.Name + " on " + Machine.Name;
+      sim::MemorySystem Batched(Machine), PerEvent(Machine);
+      ASSERT_TRUE(replay(Buf, Batched)) << Tag;
+      ASSERT_TRUE(replayPerEvent(Buf, PerEvent)) << Tag;
+      EXPECT_EQ(Batched.stats(), PerEvent.stats()) << Tag;
+      EXPECT_EQ(Batched.cycles(), PerEvent.cycles()) << Tag;
+      EXPECT_EQ(Batched.siteStats(), PerEvent.siteStats()) << Tag;
+    }
+
+    sim::CountingSink A, B;
+    ASSERT_TRUE(replay(Buf, A)) << Spec.Name;
+    ASSERT_TRUE(replayPerEvent(Buf, B)) << Spec.Name;
+    EXPECT_EQ(A.TickCalls, B.TickCalls) << Spec.Name;
+    EXPECT_EQ(A.TicksTotal, B.TicksTotal) << Spec.Name;
+    EXPECT_EQ(A.Loads, B.Loads) << Spec.Name;
+    EXPECT_EQ(A.Stores, B.Stores) << Spec.Name;
+    EXPECT_EQ(A.Prefetches, B.Prefetches) << Spec.Name;
+    EXPECT_EQ(A.GuardedLoads, B.GuardedLoads) << Spec.Name;
+    EXPECT_EQ(A.GuardedLoadFaults, B.GuardedLoadFaults) << Spec.Name;
+    EXPECT_EQ(A.LoadSites, B.LoadSites) << Spec.Name;
+  }
+}
+
 // -- TraceCache -------------------------------------------------------------
 
 harness::TraceCache::Entry makeEntry(unsigned Loads, uint64_t Tag) {
@@ -497,6 +677,150 @@ TEST(TraceCacheTest, SpillDirectoryServesEvictedAndCrossProcessHits) {
   // A different signature that hash-collides-or-not must never be served
   // someone else's trace.
   EXPECT_EQ(Fresh.lookup("wl-z|OTHER"), nullptr);
+}
+
+std::vector<std::filesystem::path> spillFiles(const std::string &Dir) {
+  std::vector<std::filesystem::path> Files;
+  std::error_code EC;
+  for (const auto &DE : std::filesystem::directory_iterator(Dir, EC))
+    Files.push_back(DE.path());
+  return Files;
+}
+
+TEST(TraceCacheTest, MmapAndHeapSpillReloadsAreIdentical) {
+  std::string Dir = ::testing::TempDir() + "/spf-mmap-vs-heap";
+  std::filesystem::remove_all(Dir);
+  harness::TraceCache::Entry E = makeEntry(400, 11);
+  std::vector<AccessEvent> Expected = decodeAll(E.Buf);
+  {
+    harness::TraceCache Cache(1 << 20, Dir);
+    Cache.insert("wl|MODES", std::move(E.Buf), E.ExecSide);
+    ASSERT_GE(Cache.stats().SpillStores, 1u);
+  }
+
+  harness::TraceCache Mapped(1 << 20, Dir, /*UseMmap=*/true);
+  harness::TraceCache Heap(1 << 20, Dir, /*UseMmap=*/false);
+  auto GotM = Mapped.lookup("wl|MODES");
+  auto GotH = Heap.lookup("wl|MODES");
+  ASSERT_NE(GotM, nullptr);
+  ASSERT_NE(GotH, nullptr);
+
+  // The mmap reload borrows the file's pages; the heap reload borrows a
+  // shared heap copy. Same events, same execution side, either way.
+  EXPECT_TRUE(GotM->Buf.borrowed());
+  EXPECT_TRUE(GotH->Buf.borrowed());
+  EXPECT_EQ(GotM->ExecSide.ReturnValue, 11u);
+  EXPECT_EQ(GotH->ExecSide.ReturnValue, 11u);
+  EXPECT_EQ(decodeAll(GotM->Buf), Expected);
+  EXPECT_EQ(decodeAll(GotH->Buf), Expected);
+
+  // And both replay identically through a real machine.
+  sim::MemorySystem FromMap(sim::MachineConfig::pentium4());
+  sim::MemorySystem FromHeap(sim::MachineConfig::pentium4());
+  ASSERT_TRUE(replay(GotM->Buf, FromMap));
+  ASSERT_TRUE(replay(GotH->Buf, FromHeap));
+  EXPECT_EQ(FromMap.stats(), FromHeap.stats());
+  EXPECT_EQ(FromMap.cycles(), FromHeap.cycles());
+}
+
+TEST(TraceCacheTest, CorruptSpillFilesAreACleanMissAndUnlinked) {
+  std::string Dir = ::testing::TempDir() + "/spf-corrupt-spill";
+  std::filesystem::remove_all(Dir);
+  {
+    harness::TraceCache Cache(1 << 20, Dir);
+    harness::TraceCache::Entry E = makeEntry(300, 5);
+    Cache.insert("wl|CORRUPT", std::move(E.Buf), E.ExecSide);
+    ASSERT_GE(Cache.stats().SpillStores, 1u);
+  }
+  auto Files = spillFiles(Dir);
+  ASSERT_EQ(Files.size(), 1u);
+  std::string Path = Files[0].string();
+  std::string Good;
+  {
+    std::ifstream IS(Path, std::ios::binary);
+    std::stringstream SS;
+    SS << IS.rdbuf();
+    Good = SS.str();
+  }
+  ASSERT_GT(Good.size(), 64u);
+
+  uint64_t Rng = 0x5b111bad;
+  auto RunCase = [&](const std::string &Bytes, bool UseMmap,
+                     const std::string &What) {
+    {
+      std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+      OS.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    }
+    harness::TraceCache Fresh(1 << 20, Dir, UseMmap);
+    EXPECT_EQ(Fresh.lookup("wl|CORRUPT"), nullptr) << What;
+    EXPECT_EQ(Fresh.stats().SpillDecodeErrors, 1u) << What;
+    EXPECT_EQ(Fresh.stats().Misses, 1u) << What;
+    // The bad file is unlinked, so the next sweep re-records instead of
+    // tripping over it again.
+    EXPECT_TRUE(spillFiles(Dir).empty()) << What;
+  };
+
+  for (bool UseMmap : {true, false}) {
+    std::string Mode = UseMmap ? " (mmap)" : " (heap)";
+    // Truncations at every byte offset, including the empty file.
+    for (size_t Len = 0; Len != Good.size(); ++Len)
+      RunCase(Good.substr(0, Len), UseMmap,
+              "truncated at " + std::to_string(Len) + Mode);
+    // Seeded single-bit flips across the whole blob.
+    for (unsigned Round = 0; Round != 200; ++Round) {
+      size_t Byte = splitmix64(Rng) % Good.size();
+      std::string Bad = Good;
+      Bad[Byte] = static_cast<char>(Bad[Byte] ^ (1u << (splitmix64(Rng) % 8)));
+      RunCase(Bad, UseMmap,
+              "bit flip at " + std::to_string(Byte) + Mode);
+    }
+  }
+
+  // The pristine blob still loads (sanity that only corruption misses).
+  {
+    std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+    OS.write(Good.data(), static_cast<std::streamsize>(Good.size()));
+  }
+  harness::TraceCache Fresh(1 << 20, Dir);
+  auto Got = Fresh.lookup("wl|CORRUPT");
+  ASSERT_NE(Got, nullptr);
+  EXPECT_EQ(Got->ExecSide.ReturnValue, 5u);
+}
+
+TEST(TraceCacheTest, FailedSpillPublishIsCountedAndLeavesNoTmpFile) {
+  // Learn the deterministic spill file name for the signature.
+  std::string Probe = ::testing::TempDir() + "/spf-rename-probe";
+  std::filesystem::remove_all(Probe);
+  {
+    harness::TraceCache Cache(1 << 20, Probe);
+    harness::TraceCache::Entry E = makeEntry(50, 3);
+    Cache.insert("wl|RENAME", std::move(E.Buf), E.ExecSide);
+  }
+  auto ProbeFiles = spillFiles(Probe);
+  ASSERT_EQ(ProbeFiles.size(), 1u);
+  std::string Name = ProbeFiles[0].filename().string();
+
+  // Occupy that path with a non-empty directory: rename(2) cannot
+  // replace it, so the publish must fail.
+  std::string Dir = ::testing::TempDir() + "/spf-rename-fail";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir + "/" + Name + "/blocker");
+
+  harness::TraceCache Cache(1 << 20, Dir);
+  harness::TraceCache::Entry E = makeEntry(50, 3);
+  Cache.insert("wl|RENAME", std::move(E.Buf), E.ExecSide);
+  EXPECT_EQ(Cache.stats().SpillPublishErrors, 1u);
+
+  // No temp-file litter: the only directory entry is our blocker.
+  for (const std::filesystem::path &P : spillFiles(Dir))
+    EXPECT_TRUE(std::filesystem::is_directory(P)) << P;
+
+  // The in-memory entry still serves...
+  EXPECT_NE(Cache.lookup("wl|RENAME"), nullptr);
+  // ...but a fresh process finds nothing on disk (and no crash from the
+  // directory squatting on the spill path).
+  harness::TraceCache Fresh(1 << 20, Dir);
+  EXPECT_EQ(Fresh.lookup("wl|RENAME"), nullptr);
 }
 
 // -- runPlan integration ----------------------------------------------------
