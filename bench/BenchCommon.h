@@ -26,12 +26,15 @@
 #include "obs/StatRegistry.h"
 #include "obs/Tracer.h"
 #include "support/Env.h"
+#include "support/FaultInjection.h"
 #include "support/Process.h"
+#include "support/Shutdown.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 
@@ -64,9 +67,26 @@ inline void reportFailure(const std::string &Msg) {
   std::fprintf(stderr, "FAILURE: %s\n", Msg.c_str());
 }
 
-/// The exit code every bench main() must return: nonzero iff any
-/// workload self-check failed or prefetching changed a result.
-inline int exitCode() { return failureCount() ? 1 : 0; }
+/// Exit code for a sweep that was interrupted (shutdown signal or
+/// --sweep-deadline) but wrote a valid partial report. Distinct from 1
+/// (correctness failure) and support::ConfigErrorExit (2): scripts can
+/// tell "rerun with --resume" from "investigate".
+inline constexpr int InterruptedExit = 3;
+
+/// Set when any plan this binary ran was interrupted (see exitCode()).
+inline bool &sawInterrupted() {
+  static bool Interrupted = false;
+  return Interrupted;
+}
+
+/// The exit code every bench main() must return: 1 iff any workload
+/// self-check failed or prefetching changed a result; InterruptedExit
+/// for a clean-but-interrupted partial sweep; 0 otherwise.
+inline int exitCode() {
+  if (failureCount())
+    return 1;
+  return sawInterrupted() ? InterruptedExit : 0;
+}
 
 /// Folds a finished plan's verdicts into this binary's failure count.
 /// Returns true when the plan was fully clean.
@@ -135,6 +155,12 @@ struct BenchCli {
   uint64_t CellMemMb = 0;
   std::string JournalPath;
   bool Resume = false;
+  /// Global wall-clock budget for each plan in seconds (0 = none);
+  /// --sweep-deadline / SPF_SWEEP_DEADLINE_S.
+  double SweepDeadlineSec = 0.0;
+  /// Streaming aggregation sink (--cells-out FILE): one JSONL record per
+  /// cell at in-order retirement; also turns on O(jobs)-resident folding.
+  std::string CellsOut;
   unsigned PlanSeq = 0;
   // Observability outputs (src/obs). ProfileOut also arms the tracer in
   // supervised workers — they inherit the flag through workerArgv and
@@ -187,7 +213,14 @@ inline void flushObservability() {
 ///   --cell-mem-mb N     RLIMIT_AS per worker in MiB (or SPF_CELL_MEM_MB)
 ///   --journal FILE      append one fsync'd record per finished cell
 ///   --resume            graft a previous journal instead of re-running
-/// Also recognizes the hidden worker protocol (--run-cell ...); a worker
+///   --sweep-deadline S  stop admitting cells after S seconds and write
+///                       a partial `interrupted` report (exit code 3;
+///                       or SPF_SWEEP_DEADLINE_S)
+///   --cells-out FILE    stream one JSONL record per cell and keep only
+///                       O(jobs) cells resident (streaming aggregation)
+/// Also installs the SIGTERM/SIGINT graceful-shutdown handlers in
+/// supervisor processes (workers stay killable the default way), and
+/// recognizes the hidden worker protocol (--run-cell ...); a worker
 /// invocation is dispatched inside runPlanCli, never here.
 inline void init(int argc, char **argv) {
   BenchCli &C = cli();
@@ -212,6 +245,14 @@ inline void init(int argc, char **argv) {
       C.JournalPath = A.substr(10);
     } else if (A == "--resume") {
       C.Resume = true;
+    } else if (A == "--sweep-deadline" && I + 1 < argc) {
+      C.SweepDeadlineSec = std::atof(argv[++I]);
+    } else if (A.rfind("--sweep-deadline=", 0) == 0) {
+      C.SweepDeadlineSec = std::atof(A.c_str() + 17);
+    } else if (A == "--cells-out" && I + 1 < argc) {
+      C.CellsOut = argv[++I];
+    } else if (A.rfind("--cells-out=", 0) == 0) {
+      C.CellsOut = A.substr(12);
     } else if (A == "--profile-out" && I + 1 < argc) {
       C.ProfileOut = argv[++I];
     } else if (A.rfind("--profile-out=", 0) == 0) {
@@ -231,6 +272,13 @@ inline void init(int argc, char **argv) {
   if (C.Resume && C.JournalPath.empty())
     support::envConfigError("--resume", "",
                             "--resume requires --journal FILE");
+  if (C.SweepDeadlineSec <= 0)
+    C.SweepDeadlineSec = support::sweepDeadlineSecondsFromEnv();
+  // Graceful shutdown: supervisors latch SIGTERM/SIGINT and finish with
+  // a partial report + exit code 3; workers keep default disposition so
+  // a group kill still takes them down instantly.
+  if (!C.Worker)
+    support::installShutdownHandlers();
   if (C.ProfileOut.empty())
     if (const char *E = std::getenv("SPF_TRACE_OUT"))
       C.ProfileOut = E;
@@ -344,9 +392,66 @@ runPlanCli(const harness::ExperimentPlan &Plan) {
                  : C.JournalPath + ".plan" + std::to_string(Seq);
     Opts.Journal.Resume = C.Resume;
   }
+  // Resource governor: every bench supervisor honors SIGTERM/SIGINT
+  // (handlers installed in init) and the sweep deadline.
+  Opts.Governor.Graceful = true;
+  Opts.Governor.SweepDeadlineSec = C.SweepDeadlineSec;
+  if (!C.CellsOut.empty()) {
+    Opts.Stream.Enabled = true;
+    Opts.Stream.CellsOutPath =
+        Seq == 0 ? C.CellsOut : C.CellsOut + ".plan" + std::to_string(Seq);
+  }
   harness::ExperimentResult Result = harness::runPlan(Plan, C.Jobs, Opts);
+  if (Result.Interrupted) {
+    sawInterrupted() = true;
+    std::fprintf(stderr,
+                 "interrupted: %s — %u cell(s) skipped; partial report is "
+                 "valid%s\n",
+                 Result.InterruptReason.c_str(), Result.CellsSkipped,
+                 Result.JournalPath.empty()
+                     ? ""
+                     : ", rerun with --resume to complete the sweep");
+  }
   emitDecisions(Plan, Result);
   return Result;
+}
+
+/// Writes the JSON report for one finished plan to \p Path ("-" =
+/// stdout). File writes are one of the named ENOSPC/EIO injection points
+/// (disk-write site): the first attempt runs under a fault scope and is
+/// retried once *outside* it, so injected failures always recover while
+/// real persistent failures still surface as a Failure at the caller.
+inline bool writeReportTo(const std::string &Path,
+                          const harness::ExperimentPlan &Plan,
+                          const harness::ExperimentResult &Result,
+                          double Scale, unsigned Jobs) {
+  if (Path == "-") {
+    harness::writeJsonReport(std::cout, Plan, Result, Scale, Jobs);
+    return true;
+  }
+  support::FaultInjector Injector(support::FaultConfig::fromEnv(),
+                                  /*StreamSalt=*/0x5e9075ULL);
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    bool Injected = false;
+    if (Attempt == 0) {
+      support::FaultScope Scope(Injector);
+      Injected = SPF_FAULT_POINT(support::FaultSite::DiskWrite);
+    }
+    if (!Injected) {
+      std::ofstream OS(Path, std::ios::trunc);
+      if (OS) {
+        harness::writeJsonReport(OS, Plan, Result, Scale, Jobs);
+        OS.flush();
+        if (OS)
+          return true;
+      }
+    }
+    if (obs::enabled())
+      obs::stats().counter("spf_report_write_failures_total").inc();
+    std::fprintf(stderr, "report: write to %s failed%s\n", Path.c_str(),
+                 Attempt == 0 ? ", retrying" : "");
+  }
+  return false;
 }
 
 /// Results for one workload under the three configurations.

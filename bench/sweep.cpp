@@ -37,6 +37,16 @@
 ///                     a killed sweep can be resumed
 ///   --resume          graft results recorded in --journal FILE and only
 ///                     run the cells it is missing
+///   --sweep-deadline S  stop admitting cells after S seconds of wall
+///                     clock, finish/kill the in-flight ones against the
+///                     SPF_SHUTDOWN_GRACE_S window, and write a partial
+///                     report marked "interrupted" (exit code 3; with
+///                     --journal, --resume completes it byte-identically;
+///                     or SPF_SWEEP_DEADLINE_S)
+///   --cells-out FILE  stream one JSONL record per cell at in-order
+///                     retirement and fold per-cell site tables as they
+///                     retire, so peak resident cells is O(jobs) instead
+///                     of O(plan); the JSON report stays bit-identical
 ///   --profile-out F   write a Chrome trace_event JSON timeline of the
 ///                     whole sweep (open in chrome://tracing or
 ///                     ui.perfetto.dev); under --isolate, worker
@@ -63,6 +73,9 @@
 ///                     statistics are bit-identical either way
 ///   SPF_SCALE=0.1     reduced problem scale, as for every bench binary
 ///   SPF_TRACE_MB=N    default trace cache budget in MB
+///   SPF_TRACE_DIR_MB=N  byte budget for the --trace-dir spill directory
+///                     in MB; least-recently-used spill files are evicted
+///                     to stay under it (0 = unlimited)
 ///   SPF_FAULTS=...    chaos mode: seeded fault injection (DESIGN.md,
 ///                     "Failure model"); quarantined cells are reported
 ///                     but injected transients do not fail the run —
@@ -71,9 +84,11 @@
 ///   SPF_CELL_MEM_MB=N   default per-worker RLIMIT_AS in MiB
 ///   SPF_NO_BACKOFF=1    disable the retry backoff delay (tests/CI)
 ///
-/// Exit code is nonzero when any workload self-check fails or prefetching
-/// changes a result. The undocumented --inject-self-check-failure flag
-/// adds a deliberately failing cell so CI can regression-test that path.
+/// Exit code is 1 when any workload self-check fails or prefetching
+/// changes a result, and 3 when the sweep was interrupted (SIGTERM,
+/// SIGINT, or --sweep-deadline) but wrote a valid partial report. The
+/// undocumented --inject-self-check-failure flag adds a deliberately
+/// failing cell so CI can regression-test the nonzero-exit path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -572,19 +587,16 @@ int main(int argc, char **argv) {
 
   printCellTimings(Plan, Result);
 
-  if (JsonPath == "-") {
-    harness::writeJsonReport(std::cout, Plan, Result, scaleFromEnv(),
-                             Jobs);
-  } else {
-    std::ofstream OS(JsonPath);
-    if (!OS) {
-      reportFailure("cannot write JSON report to " + JsonPath);
-    } else {
-      harness::writeJsonReport(OS, Plan, Result, scaleFromEnv(), Jobs);
-      std::printf("\nJSON report: %s\n", JsonPath.c_str());
-    }
-  }
+  if (!writeReportTo(JsonPath, Plan, Result, scaleFromEnv(), Jobs))
+    reportFailure("cannot write JSON report to " + JsonPath);
+  else if (JsonPath != "-")
+    std::printf("\nJSON report: %s\n", JsonPath.c_str());
 
+  if (Result.Interrupted)
+    std::printf("sweep: interrupted (%s) — %u of %zu cell(s) skipped; the "
+                "report above is a valid partial result\n",
+                Result.InterruptReason.c_str(), Result.CellsSkipped,
+                Plan.size());
   std::printf("sweep: %zu cells in %.1f s on %u worker(s)%s\n",
               Plan.size(), Seconds, Jobs,
               failureCount() ? " — FAILURES (see stderr)" : ", all checks ok");

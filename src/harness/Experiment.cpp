@@ -14,14 +14,20 @@
 #include "support/BuildInfo.h"
 #include "support/Env.h"
 #include "support/FaultInjection.h"
+#include "support/Shutdown.h"
 #include "support/Status.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <mutex>
 #include <optional>
 #include <ostream>
+#include <sstream>
 #include <thread>
 
 using namespace spf;
@@ -182,16 +188,59 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
   const double TimeoutSec = cellTimeoutSeconds();
   constexpr unsigned MaxTransientAttempts = 3;
 
+  // Resource governor: every stop source (shutdown signal, global sweep
+  // deadline, external stop) latches exactly once with a reason. After
+  // the latch, no new cell or retry attempt is admitted; in-flight
+  // supervised workers drain against the grace window and are then
+  // group-killed; in-process cells run to completion (they cannot be
+  // safely interrupted mid-simulation). Cells that never ran are marked
+  // Skipped — quarantined but not failed, and never journaled, so a
+  // --resume of the same journal finishes the sweep.
+  const GovernorOptions &Gov = Opts.Governor;
+  const auto SweepStart = std::chrono::steady_clock::now();
+  std::atomic<bool> StopLatch{false};
+  std::mutex StopMu;
+  std::string StopReason;
+  auto CheckStop = [&]() -> bool {
+    if (StopLatch.load(std::memory_order_relaxed))
+      return true;
+    std::string Reason;
+    if (Gov.Graceful && support::shutdownRequested())
+      Reason = "signal " + std::to_string(support::shutdownSignal());
+    else if (Gov.SweepDeadlineSec > 0 &&
+             std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           SweepStart)
+                     .count() >= Gov.SweepDeadlineSec)
+      Reason = "sweep deadline";
+    else if (Gov.ExternalStop && Gov.ExternalStop())
+      Reason = "external stop";
+    else
+      return false;
+    std::lock_guard<std::mutex> Lock(StopMu);
+    if (!StopLatch.load(std::memory_order_relaxed)) {
+      StopReason = Reason;
+      obs::Tracer::instance().instant("sweep-stop", {{"reason", Reason}});
+      StopLatch.store(true, std::memory_order_relaxed);
+    }
+    return true;
+  };
+  const bool Governed =
+      Gov.Graceful || Gov.SweepDeadlineSec > 0 || Gov.ExternalStop != nullptr;
+  const double GraceSec = support::shutdownGraceSeconds();
+
   // Record-once / replay-many: active only when requested, budgeted, and
   // chaos-free. Fault injection must keep exercising the real interpret
-  // path (and can corrupt a recording mid-stream), so any enabled fault
-  // site turns reuse off for the whole plan — the PR 2 quarantine
-  // machinery below sees exactly the behavior it always did. In isolated
-  // mode the supervisor holds no cache at all: workers run their own
-  // cache front over the shared --trace-dir spill directory (see
-  // harness/Supervisor.h), which is the only cross-process channel.
+  // path (and can corrupt a recording mid-stream), so any enabled
+  // *execution* fault site turns reuse off for the whole plan — the PR 2
+  // quarantine machinery below sees exactly the behavior it always did.
+  // Disk-only chaos (disk-write/disk-sync) deliberately keeps reuse on:
+  // those sites exist to exercise the spill/journal persistence paths,
+  // and never perturb cell statistics. In isolated mode the supervisor
+  // holds no cache at all: workers run their own cache front over the
+  // shared --trace-dir spill directory (see harness/Supervisor.h), which
+  // is the only cross-process channel.
   const bool UseTrace = !Isolated && Trace.Enabled && Trace.BudgetBytes > 0 &&
-                        !Faults.anyEnabled();
+                        !Faults.anyExecutionSiteEnabled();
   std::optional<TraceCache> Cache;
   if (UseTrace)
     Cache.emplace(Trace.BudgetBytes, Trace.SpillDir);
@@ -224,6 +273,13 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     }
 
     for (unsigned Attempt = 0; Attempt < MaxTransientAttempts; ++Attempt) {
+      if (Governed && CheckStop()) {
+        // Interrupted between attempts: leave the cell un-run (Skipped),
+        // never half-retried — --resume gives it its full attempt budget.
+        Cell.Skipped = true;
+        Cell.Error = "sweep interrupted";
+        return;
+      }
       backoffBeforeRetry(I, Attempt);
       ++Cell.Attempts;
       if (Attempt > 0)
@@ -293,7 +349,19 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     Limits.CpuSec =
         TimeoutSec > 0 ? static_cast<uint64_t>(TimeoutSec * 2) + 5 : 0;
 
+    // Shutdown hookup: the worker wait polls the governor's stop latch,
+    // drains the worker for the grace window, then group-SIGKILLs it.
+    StopPolicy SP;
+    SP.GraceSec = GraceSec;
+    if (Governed)
+      SP.Stop = [&CheckStop] { return CheckStop(); };
+
     for (unsigned Attempt = 0; Attempt < MaxTransientAttempts; ++Attempt) {
+      if (Governed && CheckStop()) {
+        Cell.Skipped = true;
+        Cell.Error = "sweep interrupted";
+        return;
+      }
       backoffBeforeRetry(I, Attempt);
       ++Cell.Attempts;
       obs::Span WorkerSpan("worker-attempt", "harness");
@@ -301,11 +369,18 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
       WorkerSpan.noteU64("attempt", Attempt + 1);
       SpawnOutcome Out =
           runWorkerProcess(Opts.Isolate.WorkerCommand(I, Attempt), Limits,
-                           Deadline);
+                           Deadline, Governed ? &SP : nullptr);
       WorkerSpan.end();
       if (Out.SpawnFailed) {
         Cell.Failed = true;
         Cell.Error = Out.SpawnError;
+        return;
+      }
+      if (Out.ShutdownKilled) {
+        // The sweep is ending and the worker did not drain in time: the
+        // cell never produced a result through no fault of its own.
+        Cell.Skipped = true;
+        Cell.Error = "sweep interrupted";
         return;
       }
 
@@ -376,9 +451,17 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
   auto Dispatch = [&](unsigned I) {
     if (Grafted[I]) {
       // Journaled by a previous run of this plan: graft, don't re-run.
+      // Move + release so a resumed 100k-cell sweep does not hold two
+      // copies of every grafted record.
       obs::Tracer::instance().instant(
           "journal-graft", {{"tag", cellTag(Plan.cells()[I])}});
-      Result.Cells[I] = *Grafted[I];
+      Result.Cells[I] = std::move(*Grafted[I]);
+      Grafted[I].reset();
+      return;
+    }
+    if (Governed && CheckStop()) {
+      Result.Cells[I].Skipped = true;
+      Result.Cells[I].Error = "sweep interrupted";
       return;
     }
     if (Isolated)
@@ -386,23 +469,157 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     else
       RunCell(I);
     if (Journal && Result.Cells[I].Ran) {
+      // The journal's disk I/O runs under its own per-cell fault stream
+      // (salt disjoint from the attempt salts 0..2) so disk-write /
+      // disk-sync chaos reaches the append path without perturbing the
+      // cell's own execution.
+      support::FaultInjector JournalInjector(Faults,
+                                             (uint64_t(I) << 8) | 0x7fu);
+      support::FaultScope JournalScope(JournalInjector);
       Journal->append(Plan, I, Result.Cells[I]);
       Appended.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Streaming aggregation: cells are admitted through a bounded window
+  // and retired strictly in plan order; retirement optionally writes the
+  // full record to the --cells-out stream, then folds the heavy per-cell
+  // payloads into the two scalars the report needs and frees them, so
+  // peak resident cells is O(jobs + window), not O(plan).
+  const bool Streaming = Opts.Stream.Enabled;
+  const unsigned PlanN = static_cast<unsigned>(Plan.size());
+  std::mutex StreamMu;
+  std::condition_variable StreamCv;
+  unsigned NextRetire = 0;
+  std::vector<unsigned char> DoneFlags;
+  std::ofstream CellsOut;
+  bool CellsOutOk = false;
+  uint64_t PeakResident = 0;
+  uint64_t StreamedCount = 0;
+  uint64_t StreamWriteFailures = 0;
+  const unsigned Window = std::max(2 * Jobs, 4u);
+  if (Streaming) {
+    DoneFlags.assign(PlanN, 0);
+    if (!Opts.Stream.CellsOutPath.empty()) {
+      CellsOut.open(Opts.Stream.CellsOutPath,
+                    std::ios::binary | std::ios::trunc);
+      if (!CellsOut) {
+        Result.Failures.push_back("cells-out: cannot open " +
+                                  Opts.Stream.CellsOutPath + " for writing");
+        return Result;
+      }
+      // Header mirrors the journal's, so one reader handles both.
+      char HashBuf[24];
+      std::snprintf(HashBuf, sizeof(HashBuf), "%016llx",
+                    static_cast<unsigned long long>(journalPlanHash(Plan)));
+      std::ostringstream OS;
+      JsonWriter J(OS);
+      J.beginObject();
+      J.key("cells_out").value("spf-cells-v1");
+      J.key("plan_hash").value(std::string(HashBuf));
+      J.key("cells").value(static_cast<uint64_t>(PlanN));
+      J.endObject();
+      OS << '\n';
+      CellsOut << OS.str();
+      CellsOutOk = static_cast<bool>(CellsOut);
+      if (!CellsOutOk)
+        ++StreamWriteFailures;
+    }
+  }
+
+  // Caller holds StreamMu. Writes the cell's full record to the stream,
+  // then folds: per-site stats reduce to (count, hash) — exactly what
+  // writeJsonReport emits — and the heavy vectors are freed.
+  auto RetireLocked = [&](unsigned I) {
+    CellResult &Cell = Result.Cells[I];
+    if (CellsOutOk) {
+      std::ostringstream OS;
+      JsonWriter J(OS);
+      J.beginObject();
+      J.key("key").value(journalCellKey(Plan, I));
+      J.key("cell").value(static_cast<uint64_t>(I));
+      J.key("record");
+      writeCellRecordJson(J, Cell);
+      J.endObject();
+      OS << '\n';
+      CellsOut << OS.str();
+      if (!CellsOut) {
+        // ENOSPC/EIO on the stream: stop writing, count the loss, keep
+        // the sweep going — the report's folded values are unaffected.
+        CellsOutOk = false;
+        ++StreamWriteFailures;
+      } else {
+        ++StreamedCount;
+      }
+    }
+    Cell.FoldedSiteCount = Cell.Run.Sites.size();
+    Cell.FoldedSiteHash = siteStatsHash(Cell.Run.Sites);
+    Cell.SitesFolded = true;
+    std::vector<sim::SiteStats>().swap(Cell.Run.Sites);
+    Cell.Run.Decisions.clear();
+    Cell.Run.Decisions.shrink_to_fit();
+    Cell.Run.Prefetch.Loops.clear();
+    Cell.Run.Prefetch.Loops.shrink_to_fit();
+  };
+
+  // Admission is deadlock-free for any Jobs: the ThreadPool starts tasks
+  // in FIFO submission (= plan) order, so the smallest unfinished index
+  // is always running or next to start, and it never waits (I <
+  // NextRetire + Window holds when I == NextRetire). Everything the
+  // window blocks is a *larger* index on another thread.
+  auto DispatchStreamed = [&](unsigned I) {
+    if (Streaming) {
+      std::unique_lock<std::mutex> Lock(StreamMu);
+      StreamCv.wait(Lock, [&] { return I < NextRetire + Window; });
+      uint64_t Resident = uint64_t(I) + 1 - NextRetire;
+      if (Resident > PeakResident)
+        PeakResident = Resident;
+    }
+    Dispatch(I);
+    if (Streaming) {
+      std::lock_guard<std::mutex> Lock(StreamMu);
+      DoneFlags[I] = 1;
+      while (NextRetire < PlanN && DoneFlags[NextRetire])
+        RetireLocked(NextRetire++);
+      StreamCv.notify_all();
     }
   };
 
   if (Jobs <= 1 || Plan.size() <= 1) {
     for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
          ++I)
-      Dispatch(I);
+      DispatchStreamed(I);
   } else {
     ThreadPool Pool(Jobs);
     for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
          ++I)
-      Pool.async([&Dispatch, I] { Dispatch(I); });
+      Pool.async([&DispatchStreamed, I] { DispatchStreamed(I); });
     Pool.wait();
   }
+  if (CellsOut.is_open()) {
+    CellsOut.flush();
+    if (!CellsOut && CellsOutOk)
+      ++StreamWriteFailures;
+    CellsOut.close();
+  }
+  Result.CellsStreamed = StreamedCount;
+  Result.PeakResidentCells = Streaming ? PeakResident : PlanN;
   Result.JournalAppended = Appended.load();
+  if (Journal) {
+    // Records that hit the degraded-append path never landed in the
+    // file: report what is actually durable.
+    Result.JournalDegraded = Journal->degraded();
+    Result.JournalAppendFailures = Journal->appendFailures();
+    Result.JournalSyncFailures = Journal->syncFailures();
+    if (Result.JournalAppended >= Result.JournalAppendFailures)
+      Result.JournalAppended -=
+          static_cast<unsigned>(Result.JournalAppendFailures);
+  }
+  Result.Interrupted = StopLatch.load(std::memory_order_relaxed);
+  if (Result.Interrupted) {
+    std::lock_guard<std::mutex> Lock(StopMu);
+    Result.InterruptReason = StopReason;
+  }
 
   // Correctness verdicts and quarantine, in plan order (deterministic
   // regardless of the completion schedule above).
@@ -413,14 +630,17 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     std::string Tag = cellTag(C);
 
     if (!Cell.Ran) {
-      // The cell never produced a result. Injected transient faults and
-      // contained worker crashes are the chaos/isolation machinery
-      // working as intended — quarantine only; a timeout, a supervisor
-      // deadline kill, or a real exception is also a Failure.
+      // The cell never produced a result. Injected transient faults,
+      // contained worker crashes, and interruption skips are the
+      // chaos/isolation/governance machinery working as intended —
+      // quarantine only; a timeout, a supervisor deadline kill, or a
+      // real exception is also a Failure.
       QuarantineRecord Q;
       Q.CellIndex = I;
       Q.Tag = Tag;
-      if (Cell.TimedOut)
+      if (Cell.Skipped)
+        Q.Kind = "skipped";
+      else if (Cell.TimedOut)
         Q.Kind = "timeout";
       else if (Cell.Crashed)
         Q.Kind = "crashed";
@@ -433,7 +653,9 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
       Q.ExitStatus = Cell.ExitStatus;
       Q.Error = Cell.Error;
       Result.Quarantine.push_back(std::move(Q));
-      if (Cell.TimedOut)
+      if (Cell.Skipped)
+        ++Result.CellsSkipped; // Not a Failure: --resume re-runs it.
+      else if (Cell.TimedOut)
         Result.Failures.push_back(Tag + ": timed out (" + Cell.Error + ")");
       else if (Cell.DeadlineKilled)
         Result.Failures.push_back(Tag + ": " + Cell.Error);
@@ -485,9 +707,20 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
         S.counter("spf_cells_crashed_total").inc();
       if (Cell.TimedOut)
         S.counter("spf_cells_timeout_total").inc();
+      if (Cell.Skipped)
+        S.counter("spf_cells_skipped_total").inc();
     }
     S.counter("spf_cells_quarantined_total").inc(Result.Quarantine.size());
     S.counter("spf_journal_grafts_total").inc(Result.JournalGrafted);
+    if (Result.Interrupted)
+      S.gauge("spf_sweep_interrupted").set(1);
+    if (Streaming) {
+      S.counter("spf_stream_cells_total").inc(Result.CellsStreamed);
+      S.gauge("spf_stream_peak_resident_cells")
+          .set(static_cast<int64_t>(Result.PeakResidentCells));
+      if (StreamWriteFailures)
+        S.counter("spf_stream_write_failures_total").inc(StreamWriteFailures);
+    }
     if (UseTrace) {
       S.counter("spf_trace_hits_total").inc(Result.Trace.Hits);
       S.counter("spf_trace_misses_total").inc(Result.Trace.Misses);
@@ -510,12 +743,19 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
   J.key("scale").value(Scale);
   J.key("jobs").value(static_cast<uint64_t>(Jobs));
   J.key("ok").value(Result.ok());
+  // Interruption verdict: a partial report from a graceful shutdown or
+  // sweep-deadline stop is valid JSON with every key below — consumers
+  // check `interrupted` (and benches exit with the distinct code 3).
+  J.key("interrupted").value(Result.Interrupted);
+  J.key("interrupt_reason").value(Result.InterruptReason);
+  J.key("cells_skipped").value(static_cast<uint64_t>(Result.CellsSkipped));
 
   J.key("cells").beginArray();
   for (unsigned I = 0, E = static_cast<unsigned>(Plan.size()); I != E;
        ++I) {
     const ExperimentCell &C = Plan.cells()[I];
-    const workloads::RunResult &R = Result.Cells[I].Run;
+    const CellResult &Cell = Result.Cells[I];
+    const workloads::RunResult &R = Cell.Run;
     J.beginObject();
     J.key("group").value(C.Group);
     J.key("workload").value(C.Spec->Name);
@@ -544,8 +784,14 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("jit_prefetch_us").value(R.JitPrefetchUs);
     J.key("return_value").value(R.ReturnValue);
     J.key("self_check_ok").value(R.SelfCheckOk);
-    J.key("load_sites").value(static_cast<uint64_t>(R.Sites.size()));
-    J.key("site_stats_hash").value(siteStatsHash(R.Sites));
+    // Folded cells (streaming aggregation) freed R.Sites at retirement;
+    // the pre-fold values are byte-identical to the in-memory path's.
+    J.key("load_sites").value(Cell.SitesFolded
+                                  ? Cell.FoldedSiteCount
+                                  : static_cast<uint64_t>(R.Sites.size()));
+    J.key("site_stats_hash")
+        .value(Cell.SitesFolded ? Cell.FoldedSiteHash
+                                : siteStatsHash(R.Sites));
     // Wall-clock bookkeeping — which cell recorded vs replayed depends
     // on scheduling; consumers comparing reports must ignore these
     // (see .github/workflows/ci.yml, replay-vs-direct diff).
@@ -565,6 +811,10 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
   J.key("overflows").value(Result.Trace.Overflows);
   J.key("spill_stores").value(Result.Trace.SpillStores);
   J.key("spill_loads").value(Result.Trace.SpillLoads);
+  J.key("spill_publish_errors").value(Result.Trace.SpillPublishErrors);
+  J.key("spill_decode_errors").value(Result.Trace.SpillDecodeErrors);
+  J.key("spill_evictions").value(Result.Trace.SpillEvictions);
+  J.key("stale_tmp_removed").value(Result.Trace.StaleTmpRemoved);
   J.key("bytes_in_use").value(static_cast<uint64_t>(Result.TraceBytesInUse));
   J.key("budget_bytes").value(
       static_cast<uint64_t>(Result.TraceBudgetBytes));
@@ -576,6 +826,9 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
   J.key("path").value(Result.JournalPath);
   J.key("grafted").value(static_cast<uint64_t>(Result.JournalGrafted));
   J.key("appended").value(static_cast<uint64_t>(Result.JournalAppended));
+  J.key("degraded").value(Result.JournalDegraded);
+  J.key("append_failures").value(Result.JournalAppendFailures);
+  J.key("sync_failures").value(Result.JournalSyncFailures);
   J.endObject();
 
   J.key("failures").beginArray();

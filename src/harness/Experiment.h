@@ -63,6 +63,11 @@ struct CellResult {
   /// wall-clock deadline and was SIGKILLed. Unlike a cooperative timeout
   /// this means even the watchdog never ran — treated as a Failure.
   bool DeadlineKilled = false;
+  /// The cell was never admitted (or its worker was reaped early)
+  /// because the sweep was interrupted — a shutdown signal, the global
+  /// sweep deadline, or an external stop. Not a Failure: the cell is not
+  /// journaled, so --resume runs it.
+  bool Skipped = false;
   /// Execution attempts made (>1 means transient faults were retried).
   unsigned Attempts = 0;
   /// Terminating signal of the last worker attempt (0 = none).
@@ -71,6 +76,12 @@ struct CellResult {
   int ExitStatus = -1;
   /// what() of the exception that ended the last attempt, if any.
   std::string Error;
+  /// Streaming aggregation folded this cell (see StreamOptions): the
+  /// heavy per-cell payloads (Run.Sites, Run.Decisions, per-loop
+  /// reports) were reduced to the two values the report needs and freed.
+  bool SitesFolded = false;
+  uint64_t FoldedSiteCount = 0;  ///< Run.Sites.size() before folding.
+  std::string FoldedSiteHash;    ///< siteStatsHash before folding.
 };
 
 /// One quarantined cell in the final report: a cell that was retried,
@@ -78,7 +89,8 @@ struct CellResult {
 struct QuarantineRecord {
   unsigned CellIndex = 0;
   std::string Tag;  ///< "workload [ALGO, machine]" as in Failures.
-  /// "retried" | "faulted" | "timeout" | "error" | "crashed".
+  /// "retried" | "faulted" | "timeout" | "error" | "crashed" |
+  /// "skipped" (sweep interrupted before the cell could run).
   std::string Kind;
   unsigned Attempts = 0;
   int Signal = 0;      ///< Worker's terminating signal ("crashed" only).
@@ -156,11 +168,46 @@ struct JournalOptions {
   bool Resume = false;
 };
 
+/// Resource governance for one plan run: graceful shutdown and the
+/// global sweep deadline. All stop sources funnel into one path — stop
+/// admitting cells, give in-flight supervised workers a grace window
+/// (SPF_SHUTDOWN_GRACE_S) then group-SIGKILL them, flush the journal,
+/// and return a partial result marked Interrupted. Unfinished cells are
+/// quarantined as "skipped" and never journaled, so a later --resume of
+/// the same journal completes the sweep.
+struct GovernorOptions {
+  /// Honor the process-wide shutdown latch (support/Shutdown.h); the
+  /// bench layer arms SIGTERM/SIGINT handlers in supervisor processes.
+  bool Graceful = false;
+  /// Wall-clock budget for the whole runPlan call, in seconds (0 =
+  /// none). Benches wire --sweep-deadline / SPF_SWEEP_DEADLINE_S here.
+  double SweepDeadlineSec = 0.0;
+  /// Extra stop source, polled between cells and attempts. Tests use it
+  /// to interrupt deterministically after N cells; null = none.
+  std::function<bool()> ExternalStop;
+};
+
+/// Streaming aggregation: keeps peak resident cells at O(jobs) instead
+/// of O(plan). Cells are admitted through a bounded in-flight window and
+/// retired strictly in plan order; at retirement a cell's full record is
+/// optionally written to a JSONL stream, then its heavy payloads
+/// (per-site stats, decision events) are folded into the scalars the
+/// report needs and freed. The final JSON report is bit-identical to the
+/// in-memory path (tests/stream_test.cpp pins this).
+struct StreamOptions {
+  bool Enabled = false;
+  /// Optional JSONL destination ("--cells-out"): one journal-format line
+  /// per cell, written at in-order retirement. Empty = fold only.
+  std::string CellsOutPath;
+};
+
 /// Full configuration for one runPlan call.
 struct RunPlanOptions {
   TraceOptions Trace;
   IsolateOptions Isolate;
   JournalOptions Journal;
+  GovernorOptions Governor;
+  StreamOptions Stream;
 };
 
 /// All cell results plus the driver's correctness verdicts.
@@ -188,6 +235,25 @@ struct ExperimentResult {
   std::string JournalPath;
   unsigned JournalGrafted = 0;
   unsigned JournalAppended = 0;
+  /// Journal durability degradations (see RunJournal): records dropped
+  /// after the append retry, and fsyncs that failed. Degraded journals
+  /// are still resumable; dropped cells simply re-run.
+  bool JournalDegraded = false;
+  uint64_t JournalAppendFailures = 0;
+  uint64_t JournalSyncFailures = 0;
+
+  /// The run stopped early (signal, sweep deadline, or external stop).
+  /// The result is a valid partial sweep: finished cells are real,
+  /// unfinished ones are quarantined "skipped" and re-run on --resume.
+  bool Interrupted = false;
+  std::string InterruptReason; ///< e.g. "signal 15", "sweep deadline".
+  unsigned CellsSkipped = 0;
+
+  /// Streaming bookkeeping: records written to the --cells-out stream,
+  /// and the high-water mark of completed-but-unretired + in-flight
+  /// cells (O(jobs) when streaming, == plan size otherwise).
+  uint64_t CellsStreamed = 0;
+  uint64_t PeakResidentCells = 0;
 
   bool ok() const { return Failures.empty(); }
   const workloads::RunResult &run(unsigned Index) const {

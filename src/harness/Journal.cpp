@@ -5,6 +5,9 @@
 #include "harness/JsonReader.h"
 #include "harness/JsonWriter.h"
 #include "obs/DecisionLog.h"
+#include "obs/StatRegistry.h"
+#include "support/FaultInjection.h"
+#include "support/Process.h"
 
 #include <cstdio>
 #include <fcntl.h>
@@ -346,8 +349,7 @@ bool RunJournal::openForAppend(const ExperimentPlan &Plan, bool Fresh,
     J.endObject();
     OS << '\n';
     std::string Line = OS.str();
-    if (::write(Fd, Line.data(), Line.size()) !=
-        static_cast<ssize_t>(Line.size())) {
+    if (!support::writeAllFd(Fd, Line.data(), Line.size())) {
       if (Error)
         *Error = Path + ": cannot write journal header";
       return false;
@@ -355,6 +357,22 @@ bool RunJournal::openForAppend(const ExperimentPlan &Plan, bool Fresh,
     ::fsync(Fd);
   }
   return true;
+}
+
+bool RunJournal::writeLineLocked(const std::string &Line) {
+  // Injected disk failure: refuse before touching the file, exactly like
+  // an ENOSPC that rejects the whole write.
+  if (SPF_FAULT_POINT(support::FaultSite::DiskWrite))
+    return false;
+  off_t Before = ::lseek(Fd, 0, SEEK_END);
+  if (support::writeAllFd(Fd, Line.data(), Line.size()))
+    return true;
+  // Real short/failed write. A torn tail line is tolerable (load() drops
+  // it), but appending *after* one would create a malformed interior line
+  // that poisons the whole journal — truncate the tear back off.
+  if (Before < 0 || ::ftruncate(Fd, Before) != 0)
+    Poisoned = true;
+  return false;
 }
 
 void RunJournal::append(const ExperimentPlan &Plan, unsigned I,
@@ -374,7 +392,25 @@ void RunJournal::append(const ExperimentPlan &Plan, unsigned I,
   std::lock_guard<std::mutex> Lock(Mu);
   // One O_APPEND write keeps the line atomic; the fsync makes it durable
   // before the supervisor moves on — a later SIGKILL cannot lose it.
-  if (::write(Fd, Line.data(), Line.size()) ==
-      static_cast<ssize_t>(Line.size()))
-    ::fsync(Fd);
+  bool Wrote = !Poisoned && writeLineLocked(Line);
+  if (!Wrote && !Poisoned)
+    Wrote = writeLineLocked(Line); // Retry once: transient EIO recovers.
+  if (!Wrote) {
+    // The record is dropped from the journal (the cell re-runs on
+    // --resume); the sweep itself carries on. Loud, not silent:
+    AppendFailures.fetch_add(1, std::memory_order_relaxed);
+    Degraded.store(true, std::memory_order_relaxed);
+    obs::stats().counter("spf_journal_append_failures_total").inc();
+    obs::stats().gauge("spf_journal_degraded").set(1);
+    return;
+  }
+  bool SyncFailed = SPF_FAULT_POINT(support::FaultSite::DiskSync) ||
+                    ::fsync(Fd) != 0;
+  if (SyncFailed) {
+    // The line is in the file but not guaranteed durable.
+    SyncFailures.fetch_add(1, std::memory_order_relaxed);
+    Degraded.store(true, std::memory_order_relaxed);
+    obs::stats().counter("spf_journal_sync_failures_total").inc();
+    obs::stats().gauge("spf_journal_degraded").set(1);
+  }
 }

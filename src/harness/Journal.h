@@ -31,6 +31,8 @@
 
 #include "harness/Experiment.h"
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -84,15 +86,48 @@ public:
 
   /// Appends the record of finished cell \p I as one fsync'd line.
   /// Thread-safe; a journal that was never opened ignores the call.
+  ///
+  /// Durability under I/O failure: a failed or short write is retried
+  /// once; if it still fails the record is dropped *loudly* — the journal
+  /// latches degraded mode, counts the loss, and truncates away any torn
+  /// bytes so every other line stays loadable (the dropped cell simply
+  /// re-runs on --resume). A failed fsync likewise latches degraded mode:
+  /// the line is in the file but its durability is no longer guaranteed.
+  /// Both paths honor the disk-write / disk-sync fault-injection sites.
   void append(const ExperimentPlan &Plan, unsigned I,
               const CellResult &Cell);
 
   const std::string &path() const { return Path; }
 
+  /// True once any append or fsync ultimately failed: the journal is
+  /// still valid for --resume, but at least one finished cell may be
+  /// missing from it (it will re-run) or not yet durable.
+  bool degraded() const { return Degraded.load(std::memory_order_relaxed); }
+  /// Records dropped after the one retry (each re-runs on resume).
+  uint64_t appendFailures() const {
+    return AppendFailures.load(std::memory_order_relaxed);
+  }
+  /// fsyncs that failed after a successful write.
+  uint64_t syncFailures() const {
+    return SyncFailures.load(std::memory_order_relaxed);
+  }
+
 private:
+  /// Writes \p Line at the journal tail; on a real short/failed write,
+  /// truncates the torn bytes back off. Caller holds Mu. Returns false
+  /// when the line is not (fully) in the file.
+  bool writeLineLocked(const std::string &Line);
+
   std::string Path;
   std::mutex Mu;
   int Fd = -1;
+  /// Set when a torn line could not be truncated away: appending anything
+  /// further would corrupt the journal, so writes stop (reads at resume
+  /// still salvage everything before the tear).
+  bool Poisoned = false;
+  std::atomic<bool> Degraded{false};
+  std::atomic<uint64_t> AppendFailures{0};
+  std::atomic<uint64_t> SyncFailures{0};
 };
 
 } // namespace harness

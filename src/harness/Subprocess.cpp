@@ -26,7 +26,8 @@ double monotonicNow() {
 
 SpawnOutcome harness::runWorkerProcess(const std::vector<std::string> &Argv,
                                        const support::WorkerLimits &Limits,
-                                       double DeadlineSec) {
+                                       double DeadlineSec,
+                                       const StopPolicy *Stop) {
   SpawnOutcome Out;
   if (Argv.empty()) {
     Out.SpawnFailed = true;
@@ -92,9 +93,17 @@ SpawnOutcome harness::runWorkerProcess(const std::vector<std::string> &Argv,
   const double Deadline =
       DeadlineSec > 0 ? monotonicNow() + DeadlineSec : 0.0;
   bool Killed = false;
+  bool KilledByStop = false;
+  double StopKillAt = 0.0; // When > 0, a shutdown grace window is running.
   bool Reaped = false;
   int Status = 0;
   char Buf[1 << 16];
+
+  auto KillGroup = [&]() {
+    if (::kill(-Pid, SIGKILL) != 0) // Whole group, grandchildren too.
+      ::kill(Pid, SIGKILL);
+    Killed = true;
+  };
 
   auto DrainOnce = [&]() -> bool { // True at EOF.
     while (true) {
@@ -112,10 +121,20 @@ SpawnOutcome harness::runWorkerProcess(const std::vector<std::string> &Argv,
   };
 
   while (true) {
-    if (Deadline > 0 && !Killed && monotonicNow() >= Deadline) {
-      if (::kill(-Pid, SIGKILL) != 0) // Whole group, grandchildren too.
-        ::kill(Pid, SIGKILL);
-      Killed = true;
+    if (Deadline > 0 && !Killed && monotonicNow() >= Deadline)
+      KillGroup();
+    // Shutdown path: first observation of the stop condition starts the
+    // grace window (the worker may still finish and deliver its record);
+    // when it expires the worker goes the same group-SIGKILL way as a
+    // deadline overrun, but classified as ShutdownKilled.
+    if (Stop && Stop->Stop && !Killed) {
+      if (StopKillAt == 0.0 && Stop->Stop())
+        StopKillAt =
+            monotonicNow() + (Stop->GraceSec > 0 ? Stop->GraceSec : 0.0);
+      if (StopKillAt > 0.0 && monotonicNow() >= StopKillAt) {
+        KillGroup();
+        KilledByStop = true;
+      }
     }
     struct pollfd PFd;
     PFd.fd = Pipe[0];
@@ -145,7 +164,8 @@ SpawnOutcome harness::runWorkerProcess(const std::vector<std::string> &Argv,
     }
   }
   ::close(Pipe[0]);
-  Out.DeadlineKilled = Killed;
+  Out.DeadlineKilled = Killed && !KilledByStop;
+  Out.ShutdownKilled = KilledByStop;
 
   while (!Reaped) {
     if (::waitpid(Pid, &Status, 0) >= 0) {

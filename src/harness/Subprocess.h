@@ -20,6 +20,7 @@
 
 #include "support/Process.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -35,9 +36,23 @@ struct SpawnOutcome {
   bool SpawnFailed = false;   ///< pipe/fork/exec never got off the ground.
   std::string SpawnError;     ///< Why, when SpawnFailed.
   bool DeadlineKilled = false;///< Supervisor SIGKILLed past the deadline.
+  /// Supervisor SIGKILLed because a shutdown was requested and the
+  /// worker did not drain within the grace window. Distinct from
+  /// DeadlineKilled: the worker did nothing wrong, the sweep is ending.
+  bool ShutdownKilled = false;
   int ExitCode = -1;          ///< Exit status when the worker exited.
   int Signal = 0;             ///< Terminating signal, 0 if none.
   std::string Output;         ///< Everything read from the result pipe.
+};
+
+/// Graceful-shutdown hookup for one worker wait: \p Stop is polled at
+/// the reap loop's granularity (~50ms); once it first returns true, the
+/// worker gets \p GraceSec more seconds to finish and deliver its record
+/// (drain), then its whole process group is SIGKILLed and the outcome is
+/// marked ShutdownKilled.
+struct StopPolicy {
+  std::function<bool()> Stop;
+  double GraceSec = 2.0;
 };
 
 /// Execs \p Argv (Argv[0] is the binary path) with \p Limits applied in
@@ -47,9 +62,12 @@ struct SpawnOutcome {
 /// it with SIGKILL once \p DeadlineSec of wall time elapse (0 = no
 /// deadline). The pipe is drained concurrently with the wait, so records
 /// larger than the kernel pipe buffer cannot deadlock the worker.
+/// \p Stop (optional) bounds the wait by a shutdown request; see
+/// StopPolicy.
 SpawnOutcome runWorkerProcess(const std::vector<std::string> &Argv,
                               const support::WorkerLimits &Limits,
-                              double DeadlineSec);
+                              double DeadlineSec,
+                              const StopPolicy *Stop = nullptr);
 
 } // namespace harness
 } // namespace spf

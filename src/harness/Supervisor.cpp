@@ -110,8 +110,11 @@ void harness::runCellWorker(const ExperimentPlan &Plan,
     // --trace-dir every recording is written through to disk, so sibling
     // workers (and resumed runs) replay instead of re-interpreting. No
     // spill dir means no cross-process channel — skip tracing entirely.
+    // Disk-only chaos keeps tracing on (it exists to exercise exactly
+    // these spill writes); any execution site disables it, as in-process.
     const bool UseTrace = Trace.Enabled && Trace.BudgetBytes > 0 &&
-                          !Trace.SpillDir.empty() && !Faults.anyEnabled();
+                          !Trace.SpillDir.empty() &&
+                          !Faults.anyExecutionSiteEnabled();
     std::optional<TraceCache> Cache;
     if (UseTrace)
       Cache.emplace(Trace.BudgetBytes, Trace.SpillDir);

@@ -16,6 +16,16 @@
 /// evicted entries stay replayable and repeat sweeps replay across
 /// process boundaries.
 ///
+/// The spill directory itself is bounded by a second byte budget
+/// (SPF_TRACE_DIR_MB; 0 = unlimited): published spill files are tracked
+/// LRU and the least-recently-replayed files are unlinked when the
+/// directory would exceed the budget, so a week-long sweep cannot fill
+/// the disk. Opening a spill directory also sweeps out stale `*.tmp.<pid>`
+/// files left by crashed writers (a live sibling's tmp file is spared by
+/// a pid liveness check). Accounting is per-process and approximate when
+/// several supervised workers share one directory — a file evicted by a
+/// sibling reads back as a clean miss.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPF_HARNESS_TRACECACHE_H
@@ -49,6 +59,13 @@ struct TraceCacheStats {
   /// Spill publishes that failed (tmp write or atomic rename); the tmp
   /// file is unlinked, the entry just isn't on disk.
   uint64_t SpillPublishErrors = 0;
+  /// Spill files unlinked to keep the directory inside its byte budget
+  /// (SPF_TRACE_DIR_MB), plus recordings skipped because they alone
+  /// exceed the whole budget. Evicted signatures re-record on next use.
+  uint64_t SpillEvictions = 0;
+  /// Stale `*.tmp.<pid>` files (dead or unparsable pid) removed when the
+  /// spill directory was opened — debris from crashed writers.
+  uint64_t StaleTmpRemoved = 0;
 };
 
 class TraceCache {
@@ -66,9 +83,11 @@ public:
   /// oversized entries as files. \p UseMmap selects how spill files are
   /// read back: mmap'd MAP_SHARED and replayed zero-copy (the default —
   /// forked workers share one page-cache copy), or copied into the heap
-  /// (the SPF_TRACE_MMAP=0 fallback).
+  /// (the SPF_TRACE_MMAP=0 fallback). \p SpillBudgetBytes bounds the
+  /// spill directory's total bytes (0 = unlimited).
   explicit TraceCache(size_t BudgetBytes, std::string SpillDir = "",
-                      bool UseMmap = mmapFromEnv());
+                      bool UseMmap = mmapFromEnv(),
+                      size_t SpillBudgetBytes = spillBudgetFromEnv());
 
   /// Returns the entry recorded under \p Sig, refreshing its LRU
   /// position, or null. Checks the spill directory on a memory miss.
@@ -99,6 +118,10 @@ public:
   /// unparsable = 256 MB, 0 = disable caching).
   static size_t budgetFromEnv();
 
+  /// Spill-directory byte budget from SPF_TRACE_DIR_MB (megabytes;
+  /// unset = 0 = unlimited).
+  static size_t spillBudgetFromEnv();
+
   /// Whether spill files are read back via mmap (SPF_TRACE_MMAP; unset
   /// or nonzero = mmap, 0 = heap-copy fallback).
   static bool mmapFromEnv();
@@ -110,21 +133,40 @@ private:
     size_t Bytes = 0;
   };
 
+  /// One published spill file this process knows about.
+  struct SpillFile {
+    std::string Path;
+    uint64_t Bytes = 0;
+  };
+
   void evictToFitLocked(size_t Incoming);
   void spillLocked(const Slot &S);
   std::shared_ptr<const Entry> loadSpilled(const std::string &Sig);
   std::string spillPathFor(const std::string &Sig) const;
   void noteSpillDecodeError(const std::string &Path);
+  /// Removes crashed writers' stale tmp files and seeds the spill-file
+  /// LRU from the directory's existing files (oldest mtime = coldest).
+  void openSpillDirLocked();
+  /// Accounts a just-published (or re-published) spill file at MRU.
+  void noteSpillPublishedLocked(const std::string &Path, uint64_t Bytes);
+  /// Unlinks cold spill files until Incoming more bytes fit the budget.
+  void evictSpillToFitLocked(uint64_t Incoming);
+  /// Refreshes a spill file's LRU position after a successful replay.
+  void touchSpillLocked(const std::string &Path);
 
   const size_t Budget;
   const std::string SpillDir;
   const bool UseMmap;
+  const size_t SpillBudget;
 
   mutable std::mutex Mu;
   std::list<Slot> Lru; // Front = most recently used.
   std::unordered_map<std::string, std::list<Slot>::iterator> Index;
   std::unordered_map<std::string, uint64_t> EventsByWorkload;
   size_t Bytes = 0;
+  std::list<SpillFile> SpillLru; // Front = most recently used.
+  std::unordered_map<std::string, std::list<SpillFile>::iterator> SpillIndex;
+  uint64_t SpillBytes = 0;
   TraceCacheStats Stats;
 };
 

@@ -24,6 +24,10 @@ const char *support::faultSiteName(FaultSite S) {
     return "cell";
   case FaultSite::Crash:
     return "crash";
+  case FaultSite::DiskWrite:
+    return "disk-write";
+  case FaultSite::DiskSync:
+    return "disk-sync";
   }
   return "?";
 }
@@ -41,6 +45,17 @@ bool FaultConfig::anyEnabled() const {
   for (const Site &S : Sites)
     if (S.Enabled && S.Rate > 0.0)
       return true;
+  return false;
+}
+
+bool FaultConfig::anyExecutionSiteEnabled() const {
+  for (unsigned I = 0; I != NumFaultSites; ++I) {
+    FaultSite S = static_cast<FaultSite>(I);
+    if (S == FaultSite::DiskWrite || S == FaultSite::DiskSync)
+      continue;
+    if (Sites[I].Enabled && Sites[I].Rate > 0.0)
+      return true;
+  }
   return false;
 }
 

@@ -20,7 +20,19 @@
 ///  * `crash`        — a whole experiment cell calls `abort()`. Only armed
 ///    in supervised worker processes (see harness/Supervisor.h); an
 ///    in-process run never evaluates the site, so `all:...` chaos stays
-///    safe without isolation.
+///    safe without isolation;
+///  * `disk-write`   — a harness disk write (trace spill, journal append,
+///    report write) fails as if the disk were full or erroring
+///    (ENOSPC/EIO). Every armed path degrades and counts — never crashes
+///    or silently loses records;
+///  * `disk-sync`    — an fsync fails after a successful write: the data
+///    is in the file but its durability is no longer guaranteed. The
+///    journal latches its degraded mode and counts the event.
+///
+/// The disk sites only simulate I/O failure in the harness's persistence
+/// paths; unlike the execution sites they never perturb cell statistics,
+/// so trace reuse stays on when only disk sites are armed (see
+/// FaultConfig::anyExecutionSiteEnabled).
 ///
 /// Configuration: programmatic (`FaultConfig`) or the environment knob
 ///
@@ -53,9 +65,11 @@ enum class FaultSite : unsigned {
   GuardAddr = 2,       ///< "guard-addr"
   CellExec = 3,        ///< "cell"
   Crash = 4,           ///< "crash"
+  DiskWrite = 5,       ///< "disk-write"
+  DiskSync = 6,        ///< "disk-sync"
 };
 
-inline constexpr unsigned NumFaultSites = 5;
+inline constexpr unsigned NumFaultSites = 7;
 
 /// The spelling used in SPF_FAULTS and reports.
 const char *faultSiteName(FaultSite S);
@@ -80,6 +94,11 @@ struct FaultConfig {
   std::array<Site, NumFaultSites> Sites;
 
   bool anyEnabled() const;
+  /// True when any site that perturbs cell *execution* (everything but
+  /// the disk-I/O sites) is enabled. Trace reuse keys off this: injected
+  /// disk failures only exercise the persistence paths, so replaying a
+  /// recorded trace under them is still honest chaos.
+  bool anyExecutionSiteEnabled() const;
   Site &site(FaultSite S) { return Sites[static_cast<unsigned>(S)]; }
   const Site &site(FaultSite S) const {
     return Sites[static_cast<unsigned>(S)];

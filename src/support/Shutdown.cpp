@@ -1,0 +1,57 @@
+//===- support/Shutdown.cpp -----------------------------------------------===//
+
+#include "support/Shutdown.h"
+
+#include "support/Env.h"
+
+#include <atomic>
+#include <signal.h>
+
+using namespace spf;
+using namespace spf::support;
+
+namespace {
+
+// Lock-free atomics are the only state a signal handler may touch.
+std::atomic<int> LatchedSignal{0};
+
+extern "C" void shutdownHandler(int Sig) {
+  LatchedSignal.store(Sig, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void support::installShutdownHandlers() {
+  struct sigaction SA;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_handler = shutdownHandler;
+  // No SA_RESTART: the supervisor's poll/waitpid loops must wake on the
+  // signal (they all retry EINTR) so the grace window starts immediately.
+  SA.sa_flags = 0;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+}
+
+bool support::shutdownRequested() {
+  return LatchedSignal.load(std::memory_order_relaxed) != 0;
+}
+
+int support::shutdownSignal() {
+  return LatchedSignal.load(std::memory_order_relaxed);
+}
+
+void support::requestShutdown(int Signal) {
+  LatchedSignal.store(Signal ? Signal : SIGTERM, std::memory_order_relaxed);
+}
+
+void support::resetShutdownForTests() {
+  LatchedSignal.store(0, std::memory_order_relaxed);
+}
+
+double support::sweepDeadlineSecondsFromEnv() {
+  return envDouble("SPF_SWEEP_DEADLINE_S", 0.0, 0.0);
+}
+
+double support::shutdownGraceSeconds() {
+  return envDouble("SPF_SHUTDOWN_GRACE_S", 2.0, 0.0);
+}

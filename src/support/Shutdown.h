@@ -1,0 +1,58 @@
+//===- support/Shutdown.h - Graceful-shutdown latch -------------*- C++ -*-===//
+///
+/// \file
+/// Process-wide graceful-shutdown machinery for the sweep supervisor.
+/// installShutdownHandlers() arms SIGTERM/SIGINT handlers that do nothing
+/// but latch an atomic flag; the experiment driver polls the flag between
+/// cells (harness/Experiment.h, GovernorOptions::Graceful) and the worker
+/// reaper polls it while waiting on in-flight workers, so an operator's
+/// kill -TERM turns into: stop admitting cells, give running workers a
+/// short grace window, SIGKILL stragglers, flush the journal, and write a
+/// partial report marked `interrupted` — instead of a dead supervisor and
+/// a report that never existed.
+///
+/// The handlers are installed without SA_RESTART so blocking poll/wait
+/// loops wake promptly (every such loop in the harness already retries
+/// EINTR). Handlers only store to lock-free atomics: async-signal-safe by
+/// construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_SUPPORT_SHUTDOWN_H
+#define SPF_SUPPORT_SHUTDOWN_H
+
+namespace spf {
+namespace support {
+
+/// Arms the SIGTERM/SIGINT latch. Idempotent; call from supervisor
+/// processes only (workers must stay killable the default way).
+void installShutdownHandlers();
+
+/// True once a shutdown signal was received (or requestShutdown ran).
+bool shutdownRequested();
+
+/// The latched signal number (0 when none; SIGTERM/SIGINT from the
+/// handler; whatever requestShutdown was given otherwise).
+int shutdownSignal();
+
+/// Programmatic latch, for the sweep-deadline path and tests. Uses the
+/// same flag the signal handlers set.
+void requestShutdown(int Signal);
+
+/// Clears the latch (tests only: lets one process exercise the
+/// interrupted path and then resume cleanly).
+void resetShutdownForTests();
+
+/// Global sweep wall-clock budget in seconds from SPF_SWEEP_DEADLINE_S
+/// (0 = none). Malformed values fail fast (support/Env.h).
+double sweepDeadlineSecondsFromEnv();
+
+/// Grace window in seconds between observing a shutdown request and
+/// SIGKILLing still-running workers, from SPF_SHUTDOWN_GRACE_S
+/// (default 2).
+double shutdownGraceSeconds();
+
+} // namespace support
+} // namespace spf
+
+#endif // SPF_SUPPORT_SHUTDOWN_H

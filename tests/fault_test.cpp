@@ -118,6 +118,47 @@ TEST(FaultConfigTest, ParsesCrashSite) {
   EXPECT_FALSE(C->site(FaultSite::CellExec).Enabled);
 }
 
+TEST(FaultConfigTest, ParsesDiskSites) {
+  auto C = FaultConfig::parse("disk-write:0.25:5,disk-sync:0.5:6");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->site(FaultSite::DiskWrite).Enabled);
+  EXPECT_DOUBLE_EQ(C->site(FaultSite::DiskWrite).Rate, 0.25);
+  EXPECT_TRUE(C->site(FaultSite::DiskSync).Enabled);
+  EXPECT_DOUBLE_EQ(C->site(FaultSite::DiskSync).Rate, 0.5);
+  EXPECT_FALSE(C->site(FaultSite::CellExec).Enabled);
+  // Round trip through the canonical names.
+  EXPECT_STREQ(faultSiteName(FaultSite::DiskWrite), "disk-write");
+  EXPECT_STREQ(faultSiteName(FaultSite::DiskSync), "disk-sync");
+  EXPECT_EQ(parseFaultSiteName("disk-write"), FaultSite::DiskWrite);
+  EXPECT_EQ(parseFaultSiteName("disk-sync"), FaultSite::DiskSync);
+}
+
+TEST(FaultConfigTest, ExecutionSitePredicateExcludesDiskSites) {
+  // Disk-only chaos must keep trace reuse on (it exists to exercise the
+  // spill/journal writes), so the gate is "any *execution* site", not
+  // "any site".
+  auto DiskOnly = FaultConfig::parse("disk-write:0.5:1,disk-sync:0.5:2");
+  ASSERT_TRUE(DiskOnly.has_value());
+  EXPECT_TRUE(DiskOnly->anyEnabled());
+  EXPECT_FALSE(DiskOnly->anyExecutionSiteEnabled());
+
+  auto Mixed = FaultConfig::parse("disk-write:0.5:1,cell:0.1:2");
+  ASSERT_TRUE(Mixed.has_value());
+  EXPECT_TRUE(Mixed->anyExecutionSiteEnabled());
+
+  // "all" arms every site, disk included — and counts as execution chaos.
+  auto All = FaultConfig::parse("all:0.1:3");
+  ASSERT_TRUE(All.has_value());
+  EXPECT_TRUE(All->site(FaultSite::DiskWrite).Enabled);
+  EXPECT_TRUE(All->site(FaultSite::DiskSync).Enabled);
+  EXPECT_TRUE(All->anyExecutionSiteEnabled());
+
+  // A rate-zero execution site is enabled but can never fire: not chaos.
+  auto Zero = FaultConfig::parse("cell:0:4");
+  ASSERT_TRUE(Zero.has_value());
+  EXPECT_FALSE(Zero->anyExecutionSiteEnabled());
+}
+
 // -- Fail-fast environment parsing -----------------------------------------
 //
 // A malformed knob must kill the process immediately with a clear message

@@ -12,6 +12,7 @@
 #include "harness/Journal.h"
 #include "harness/JsonReader.h"
 #include "harness/JsonWriter.h"
+#include "support/FaultInjection.h"
 #include "workloads/Runner.h"
 #include "workloads/Workload.h"
 
@@ -345,6 +346,96 @@ TEST(JournalResumeTest, PartialJournalRunsOnlyTheMissingCells) {
   harness::ExperimentResult R2 = harness::runPlan(Plan, 2, Opts);
   EXPECT_EQ(R2.JournalGrafted, 4u);
   EXPECT_EQ(R2.JournalAppended, 0u);
+}
+
+// -- Degraded durability (injected ENOSPC/EIO) -------------------------------
+
+TEST(JournalDegradedTest, FailedAppendIsCountedAndTheJournalStaysLoadable) {
+  TempJournal T("journal_degraded_write.jsonl");
+  harness::ExperimentPlan Plan = tinyPlan(3, "jess");
+  RunJournal J(T.Path);
+  std::string Err;
+  ASSERT_TRUE(J.openForAppend(Plan, /*Fresh=*/true, &Err)) << Err;
+  EXPECT_FALSE(J.degraded());
+
+  // Every injected write fails (both the attempt and the retry), so the
+  // record is dropped — counted, latched, never fatal.
+  auto C = support::FaultConfig::parse("disk-write:1:5");
+  ASSERT_TRUE(C.has_value());
+  support::FaultInjector Inj(*C);
+  {
+    support::FaultScope Scope(Inj);
+    J.append(Plan, 0, syntheticCell());
+  }
+  EXPECT_TRUE(J.degraded());
+  EXPECT_EQ(J.appendFailures(), 1u);
+  EXPECT_EQ(J.syncFailures(), 0u);
+
+  // Outside the fault scope appends work again; the degraded latch stays.
+  J.append(Plan, 1, syntheticCell());
+  EXPECT_TRUE(J.degraded());
+  EXPECT_EQ(J.appendFailures(), 1u);
+
+  // The journal holds exactly the records that really landed.
+  RunJournal J2(T.Path);
+  std::vector<std::optional<CellResult>> Rec;
+  ASSERT_TRUE(J2.load(Plan, Rec, &Err)) << Err;
+  EXPECT_FALSE(Rec[0].has_value()); // Dropped: --resume re-runs it.
+  EXPECT_TRUE(Rec[1].has_value());
+  EXPECT_FALSE(Rec[2].has_value());
+}
+
+TEST(JournalDegradedTest, FailedFsyncCountsButKeepsTheRecord) {
+  TempJournal T("journal_degraded_sync.jsonl");
+  harness::ExperimentPlan Plan = tinyPlan(1, "jess");
+  RunJournal J(T.Path);
+  std::string Err;
+  ASSERT_TRUE(J.openForAppend(Plan, /*Fresh=*/true, &Err)) << Err;
+
+  auto C = support::FaultConfig::parse("disk-sync:1:6");
+  ASSERT_TRUE(C.has_value());
+  support::FaultInjector Inj(*C);
+  {
+    support::FaultScope Scope(Inj);
+    J.append(Plan, 0, syntheticCell());
+  }
+  EXPECT_TRUE(J.degraded());
+  EXPECT_EQ(J.appendFailures(), 0u);
+  EXPECT_EQ(J.syncFailures(), 1u);
+
+  // The write itself succeeded: the record is in the file.
+  RunJournal J2(T.Path);
+  std::vector<std::optional<CellResult>> Rec;
+  ASSERT_TRUE(J2.load(Plan, Rec, &Err)) << Err;
+  EXPECT_TRUE(Rec[0].has_value());
+}
+
+TEST(JournalDegradedTest, ChaosAppendsDegradeTheSweepWithoutFailingIt) {
+  // Through runPlan: with disk-write chaos at rate 1, every append drops.
+  // The sweep completes clean, reports the degradation, and a resume
+  // without chaos re-runs everything the journal lost.
+  setenv("SPF_FAULTS", "disk-write:1:41", 1);
+  TempJournal T("journal_chaos.jsonl");
+  harness::ExperimentPlan Plan = tinyPlan(3, "jess");
+  RunPlanOptions Opts;
+  Opts.Trace.Enabled = false;
+  Opts.Journal.Path = T.Path;
+  harness::ExperimentResult R = harness::runPlan(Plan, 2, Opts);
+  unsetenv("SPF_FAULTS");
+
+  EXPECT_TRUE(R.ok()) << (R.Failures.empty() ? "" : R.Failures[0]);
+  EXPECT_TRUE(R.JournalDegraded);
+  EXPECT_EQ(R.JournalAppendFailures, 3u);
+  EXPECT_EQ(R.JournalAppended, 0u); // Nothing actually landed.
+  for (const CellResult &Cell : R.Cells)
+    EXPECT_TRUE(Cell.Ran); // The cells themselves were untouched.
+
+  Opts.Journal.Resume = true;
+  harness::ExperimentResult R2 = harness::runPlan(Plan, 2, Opts);
+  EXPECT_TRUE(R2.ok());
+  EXPECT_EQ(R2.JournalGrafted, 0u); // The chaos run journaled nothing...
+  EXPECT_EQ(R2.JournalAppended, 3u); // ...so the resume re-runs and lands.
+  EXPECT_FALSE(R2.JournalDegraded);
 }
 
 } // namespace

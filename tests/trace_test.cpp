@@ -11,6 +11,7 @@
 
 #include "harness/Experiment.h"
 #include "harness/TraceCache.h"
+#include "support/FaultInjection.h"
 #include "sim/CountingSink.h"
 #include "sim/MemorySystem.h"
 #include "trace/RecordingSink.h"
@@ -24,6 +25,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 using namespace spf;
 using namespace spf::trace;
@@ -896,6 +898,129 @@ TEST(RunPlanTraceTest, JsonReportCarriesTraceFields) {
   EXPECT_NE(Json.find("\"replayed\":true"), std::string::npos);
   EXPECT_EQ(Result.Trace.Hits, 1u);
   EXPECT_EQ(Result.Trace.Misses, 1u);
+}
+
+// -- Spill-directory budget, stale tmp cleanup, injected disk faults ---------
+
+/// The on-disk size of one makeEntry(300, ...) spill file, measured so
+/// the budget tests track the codec instead of hard-coding sizes.
+uintmax_t probeSpillFileBytes() {
+  std::string Dir = ::testing::TempDir() + "/spf-spill-probe";
+  std::filesystem::remove_all(Dir);
+  harness::TraceCache Cache(1 << 20, Dir);
+  harness::TraceCache::Entry E = makeEntry(300, 0);
+  Cache.insert("wl-probe|SIZE", std::move(E.Buf), E.ExecSide);
+  auto Files = spillFiles(Dir);
+  return Files.size() == 1 ? std::filesystem::file_size(Files[0]) : 0;
+}
+
+TEST(SpillBudgetTest, DirectoryBudgetEvictsLeastRecentlyReplayedFiles) {
+  std::string Dir = ::testing::TempDir() + "/spf-spill-budget";
+  std::filesystem::remove_all(Dir);
+  const uintmax_t One = probeSpillFileBytes();
+  ASSERT_GT(One, 0u);
+
+  // Room for two files and change — the third insert must evict.
+  const size_t Budget = static_cast<size_t>(One * 5 / 2);
+  harness::TraceCache Cache(1 << 20, Dir, harness::TraceCache::mmapFromEnv(),
+                            Budget);
+  harness::TraceCache::Entry A = makeEntry(300, 1), B = makeEntry(300, 2),
+                             C = makeEntry(300, 3), D = makeEntry(300, 4);
+  Cache.insert("wl-a|BUDGET", std::move(A.Buf), A.ExecSide);
+  Cache.insert("wl-b|BUDGET", std::move(B.Buf), B.ExecSide);
+  Cache.insert("wl-c|BUDGET", std::move(C.Buf), C.ExecSide);
+  Cache.insert("wl-d|BUDGET", std::move(D.Buf), D.ExecSide);
+  EXPECT_GT(Cache.stats().SpillEvictions, 0u);
+
+  // The directory really shrank: total bytes fit the budget.
+  uintmax_t Total = 0;
+  for (const std::filesystem::path &P : spillFiles(Dir))
+    Total += std::filesystem::file_size(P);
+  EXPECT_LE(Total, Budget);
+
+  // The newest spill survives on disk for a fresh process; the oldest
+  // was evicted and reads as a clean miss.
+  harness::TraceCache Fresh(1 << 20, Dir);
+  EXPECT_NE(Fresh.lookup("wl-d|BUDGET"), nullptr);
+  EXPECT_EQ(Fresh.lookup("wl-a|BUDGET"), nullptr);
+}
+
+TEST(SpillBudgetTest, ZeroBudgetMeansUnlimited) {
+  std::string Dir = ::testing::TempDir() + "/spf-spill-unlimited";
+  std::filesystem::remove_all(Dir);
+  harness::TraceCache Cache(1 << 20, Dir, harness::TraceCache::mmapFromEnv(),
+                            /*SpillBudgetBytes=*/0);
+  for (unsigned I = 0; I != 6; ++I) {
+    harness::TraceCache::Entry E = makeEntry(300, I);
+    Cache.insert("wl-" + std::to_string(I) + "|NOLIMIT", std::move(E.Buf),
+                 E.ExecSide);
+  }
+  EXPECT_EQ(Cache.stats().SpillEvictions, 0u);
+  EXPECT_EQ(spillFiles(Dir).size(), 6u);
+}
+
+TEST(SpillBudgetTest, ReplayRefreshesASpillFilesLruPosition) {
+  std::string Dir = ::testing::TempDir() + "/spf-spill-touch";
+  std::filesystem::remove_all(Dir);
+  // In-memory budget 0: every lookup goes to disk, exercising the
+  // touch-on-replay path. The spill budget holds two files, not three.
+  const uintmax_t One = probeSpillFileBytes();
+  ASSERT_GT(One, 0u);
+  harness::TraceCache Cache(0, Dir, harness::TraceCache::mmapFromEnv(),
+                            static_cast<size_t>(One * 5 / 2));
+  harness::TraceCache::Entry A = makeEntry(300, 1), B = makeEntry(300, 2),
+                             C = makeEntry(300, 3);
+  Cache.insert("wl-a|TOUCH", std::move(A.Buf), A.ExecSide);
+  Cache.insert("wl-b|TOUCH", std::move(B.Buf), B.ExecSide);
+  ASSERT_NE(Cache.lookup("wl-a|TOUCH"), nullptr); // A is now hottest.
+  Cache.insert("wl-c|TOUCH", std::move(C.Buf), C.ExecSide); // Evicts B.
+
+  EXPECT_NE(Cache.lookup("wl-a|TOUCH"), nullptr);
+  EXPECT_EQ(Cache.lookup("wl-b|TOUCH"), nullptr);
+  EXPECT_NE(Cache.lookup("wl-c|TOUCH"), nullptr);
+}
+
+TEST(SpillBudgetTest, StaleTmpFilesAreSweptAtOpenLiveOnesSpared) {
+  std::string Dir = ::testing::TempDir() + "/spf-stale-tmp";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+
+  // A crashed writer's tmp file: pid 999999999 cannot exist (beyond
+  // kernel.pid_max), so the liveness probe fails and the file goes.
+  std::string Stale = Dir + "/spf-trace-dead.tmp.999999999";
+  // Our own pid is alive: its tmp file must be spared (a supervised
+  // sibling worker could be mid-publish).
+  std::string Live =
+      Dir + "/spf-trace-live.tmp." + std::to_string(::getpid());
+  // An unparsable suffix is debris too.
+  std::string Junk = Dir + "/spf-trace-junk.tmp.notanumber";
+  for (const std::string &P : {Stale, Live, Junk})
+    std::ofstream(P) << "x";
+
+  harness::TraceCache Cache(1 << 20, Dir);
+  EXPECT_EQ(Cache.stats().StaleTmpRemoved, 2u);
+  EXPECT_FALSE(std::filesystem::exists(Stale));
+  EXPECT_TRUE(std::filesystem::exists(Live));
+  EXPECT_FALSE(std::filesystem::exists(Junk));
+}
+
+TEST(SpillFaultTest, InjectedWriteFaultCountsAPublishErrorAndDegrades) {
+  std::string Dir = ::testing::TempDir() + "/spf-spill-fault";
+  std::filesystem::remove_all(Dir);
+  harness::TraceCache Cache(1 << 20, Dir);
+
+  auto C = support::FaultConfig::parse("disk-write:1:13");
+  ASSERT_TRUE(C.has_value());
+  support::FaultInjector Inj(*C);
+  harness::TraceCache::Entry E = makeEntry(100, 7);
+  {
+    support::FaultScope Scope(Inj);
+    Cache.insert("wl|FAULT", std::move(E.Buf), E.ExecSide);
+  }
+  EXPECT_EQ(Cache.stats().SpillPublishErrors, 1u);
+  EXPECT_TRUE(spillFiles(Dir).empty()); // Nothing landed, no tmp litter.
+  // The in-memory entry still serves: the sweep degrades, never breaks.
+  EXPECT_NE(Cache.lookup("wl|FAULT"), nullptr);
 }
 
 } // namespace
