@@ -55,6 +55,75 @@ inline workloads::WorkloadConfig benchConfig() {
   return Cfg;
 }
 
+/// Resolves a machine by registry name (sim::MachineConfig::byName) or
+/// exits with ConfigErrorExit (2) listing the known names.
+inline sim::MachineConfig machineByNameOrExit(const std::string &Name) {
+  if (std::optional<sim::MachineConfig> M = sim::MachineConfig::byName(Name))
+    return *M;
+  std::string Known;
+  for (const std::string &N : sim::MachineConfig::knownNames()) {
+    if (!Known.empty())
+      Known += ", ";
+    Known += N;
+  }
+  support::envConfigError("--machine", Name.c_str(),
+                          "unknown machine; known names: " + Known);
+}
+
+/// Loads and validates a machine file (machines/*.json schema, see
+/// DESIGN.md) or exits with ConfigErrorExit carrying the diagnostic.
+inline sim::MachineConfig machineFromFileOrExit(const std::string &Path) {
+  std::string Error;
+  if (std::optional<sim::MachineConfig> M =
+          sim::MachineConfig::fromFile(Path, &Error))
+    return *M;
+  support::envConfigError("--machine-file", Path.c_str(), Error);
+}
+
+/// Machine-selection flags shared by benches that support them:
+///   --machine NAME       a builtin from the registry (repeatable;
+///                        aliases like "p4"/"athlon"/"modern" work)
+///   --machine-file FILE  a JSON machine description (repeatable)
+///   --hw-prefetch KIND   override the hardware prefetcher of every
+///                        selected machine: none | stream | rpt
+/// Returns the selected machines in flag order; empty when no machine
+/// flag was given, in which case callers use their default plan (the
+/// --hw-prefetch override still applies to it via \p HwOverride).
+inline std::vector<sim::MachineConfig>
+machinesFromArgs(int argc, char **argv,
+                 std::optional<sim::HwPrefetchKind> *HwOverride = nullptr) {
+  std::vector<sim::MachineConfig> Machines;
+  std::optional<sim::HwPrefetchKind> Kind;
+  auto ParseKind = [](const std::string &V) {
+    std::optional<sim::HwPrefetchKind> K = sim::parseHwPrefetchKind(V);
+    if (!K)
+      support::envConfigError("--hw-prefetch", V.c_str(),
+                              "expected none|stream|rpt");
+    return *K;
+  };
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--machine" && I + 1 < argc)
+      Machines.push_back(machineByNameOrExit(argv[++I]));
+    else if (A.rfind("--machine=", 0) == 0)
+      Machines.push_back(machineByNameOrExit(A.substr(10)));
+    else if (A == "--machine-file" && I + 1 < argc)
+      Machines.push_back(machineFromFileOrExit(argv[++I]));
+    else if (A.rfind("--machine-file=", 0) == 0)
+      Machines.push_back(machineFromFileOrExit(A.substr(15)));
+    else if (A == "--hw-prefetch" && I + 1 < argc)
+      Kind = ParseKind(argv[++I]);
+    else if (A.rfind("--hw-prefetch=", 0) == 0)
+      Kind = ParseKind(A.substr(14));
+  }
+  if (Kind)
+    for (sim::MachineConfig &M : Machines)
+      M.HwPrefetch = *Kind;
+  if (HwOverride)
+    *HwOverride = Kind;
+  return Machines;
+}
+
 /// Number of correctness failures recorded so far in this binary.
 inline unsigned &failureCount() {
   static unsigned Count = 0;

@@ -44,7 +44,7 @@ void BM_TlbAccess(benchmark::State &State) {
 BENCHMARK(BM_TlbAccess);
 
 void BM_MemorySystemLoad(benchmark::State &State) {
-  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  sim::MemorySystem Mem(*sim::MachineConfig::byName("pentium4"));
   uint64_t Addr = 0x100000000ull;
   for (auto _ : State) {
     Mem.load(Addr);
@@ -69,7 +69,7 @@ struct JessBench {
 
 void BM_InterpreterDispatch(benchmark::State &State) {
   JessBench J;
-  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  sim::MemorySystem Mem(*sim::MachineConfig::byName("pentium4"));
   exec::Interpreter Interp(*J.W.Heap, Mem, &J.W.Roots);
   const auto &Args = J.W.CompileUnits[0].Args;
   uint64_t Instr = 0;
@@ -122,7 +122,7 @@ void BM_FullPrefetchPass(benchmark::State &State) {
     workloads::BuiltWorkload W = workloads::findWorkload("jess")->Build(Cfg);
     ir::Method *Find = W.Module->findMethod("Node2.findInMemory");
     core::PrefetchPassOptions Opts = workloads::passOptionsFor(
-        sim::MachineConfig::pentium4(), core::PrefetchMode::InterIntra);
+        *sim::MachineConfig::byName("pentium4"), core::PrefetchMode::InterIntra);
     core::PrefetchPass Pass(*W.Heap, Opts);
     auto Start = std::chrono::steady_clock::now();
     auto R = Pass.run(Find, W.CompileUnits[0].Args);

@@ -7,6 +7,7 @@
 ///
 /// Usage:
 ///   sweep [--jobs N] [--json FILE] [--workloads a,b,c]
+///         [--machine NAME] [--machine-file FILE] [--hw-prefetch KIND]
 ///         [--no-trace-reuse] [--trace-cache-mb N] [--trace-dir DIR]
 ///         [--isolate] [--cell-mem-mb N] [--journal FILE] [--resume]
 ///         [--profile-out FILE] [--stats-out FILE]
@@ -19,6 +20,17 @@
 ///                     stdout)
 ///   --workloads CSV   restrict to a comma-separated subset of Table 3
 ///                     workload names
+///   --machine NAME    replace the default Pentium4+AthlonMP plan with a
+///                     prefetch-source sweep (none/sw/hw/combined per
+///                     workload) on the named registry machine
+///                     (pentium4, athlonmp, modern3l; repeatable)
+///   --machine-file F  same, for a machine described by a JSON file
+///                     (machines/*.json schema, see DESIGN.md; repeatable
+///                     and combinable with --machine)
+///   --hw-prefetch K   override the hardware prefetcher kind of every
+///                     selected machine (none | stream | rpt); with no
+///                     --machine/--machine-file it applies to the default
+///                     Pentium4+AthlonMP plan
 ///   --no-trace-reuse  interpret every cell directly instead of replaying
 ///                     recorded access traces (statistics are identical
 ///                     either way; this is the A/B baseline CI diffs
@@ -209,6 +221,46 @@ void printMpi(const char *Title, const std::vector<WorkloadRuns> &Rows,
                 perInstruction(Row.Intra.Mem.*Counter, Row.Intra.Retired));
 }
 
+/// One machine's block of a prefetch-source sweep: cycles per mode, with
+/// the speedup each prefetch source buys over the unprefetched baseline.
+void printModeTable(const sim::MachineConfig &M,
+                    const std::vector<const WorkloadSpec *> &Specs,
+                    const std::vector<harness::PrefetchSources> &Modes,
+                    const harness::ExperimentResult &Result,
+                    unsigned First) {
+  std::printf("\nPrefetch sources on %s (%zu levels, hw prefetcher: %s, "
+              "tlb: %s): cycles [speedup vs none]\n",
+              M.Name.c_str(), M.numLevels(),
+              sim::hwPrefetchKindName(M.HwPrefetch), sim::tlbWalkName(M.Walk));
+  std::printf("%-12s", "benchmark");
+  for (harness::PrefetchSources Mode : Modes)
+    std::printf(" %18s", harness::prefetchSourcesName(Mode));
+  std::printf("\n");
+  unsigned I = First;
+  for (const WorkloadSpec *Spec : Specs) {
+    std::printf("%-12s", Spec->Name.c_str());
+    uint64_t NoneCycles = 0;
+    for (size_t K = 0; K != Modes.size(); ++K) {
+      const RunResult &R = Result.run(I + static_cast<unsigned>(K));
+      if (Modes[K] == harness::PrefetchSources::None)
+        NoneCycles = R.CompiledCycles;
+      if (NoneCycles && Modes[K] != harness::PrefetchSources::None &&
+          R.CompiledCycles) {
+        double Pct = 100.0 * (static_cast<double>(NoneCycles) /
+                                  static_cast<double>(R.CompiledCycles) -
+                              1.0);
+        std::printf(" %11llu %+5.1f%%",
+                    static_cast<unsigned long long>(R.CompiledCycles), Pct);
+      } else {
+        std::printf(" %11llu       ",
+                    static_cast<unsigned long long>(R.CompiledCycles));
+      }
+    }
+    std::printf("\n");
+    I += static_cast<unsigned>(Modes.size());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // --throughput: how fast is replay-many? (ROADMAP item 5's trajectory)
 // ---------------------------------------------------------------------------
@@ -289,7 +341,8 @@ int runThroughput(const std::vector<const WorkloadSpec *> &Specs,
   const std::vector<Algorithm> Algos{
       Algorithm::Baseline, Algorithm::Inter, Algorithm::InterIntra};
   const std::vector<sim::MachineConfig> Machines{
-      sim::MachineConfig::pentium4(), sim::MachineConfig::athlonMP()};
+      *sim::MachineConfig::byName("pentium4"),
+      *sim::MachineConfig::byName("athlonmp")};
 
   // Phase 1: record one trace per unique execution signature (exactly
   // what the sweep's record-once path does), and spill them through a
@@ -490,6 +543,15 @@ int main(int argc, char **argv) {
   }
   unsigned Jobs = cli().Jobs;
 
+  // --machine/--machine-file select machines for a prefetch-source sweep
+  // (none/sw/hw/combined per workload); --hw-prefetch overrides every
+  // selected machine's hardware prefetcher kind. Without a machine
+  // selection the classic Pentium4+AthlonMP algorithm sweep runs.
+  std::optional<sim::HwPrefetchKind> HwOverride;
+  std::vector<sim::MachineConfig> Machines =
+      machinesFromArgs(argc, argv, &HwOverride);
+  const bool ModeSweep = !Machines.empty();
+
   std::vector<const WorkloadSpec *> Specs = selectWorkloads(WorkloadCsv);
   if (Specs.empty()) {
     reportFailure("no workloads selected");
@@ -519,11 +581,28 @@ int main(int argc, char **argv) {
   harness::ExperimentPlan Plan;
   const std::vector<Algorithm> Algos{
       Algorithm::Baseline, Algorithm::Inter, Algorithm::InterIntra};
-  std::vector<unsigned> P4Cells = Plan.addSweep(
-      Specs, Algos, {sim::MachineConfig::pentium4()}, benchConfig(), "p4");
-  std::vector<unsigned> AthlonCells =
-      Plan.addSweep(Specs, Algos, {sim::MachineConfig::athlonMP()},
-                    benchConfig(), "athlon");
+  const std::vector<harness::PrefetchSources> Modes{
+      harness::PrefetchSources::None, harness::PrefetchSources::SwOnly,
+      harness::PrefetchSources::HwOnly, harness::PrefetchSources::Combined};
+  std::vector<unsigned> P4Cells, AthlonCells;
+  std::vector<unsigned> MachineFirstCell;
+  if (ModeSweep) {
+    for (const sim::MachineConfig &M : Machines)
+      MachineFirstCell.push_back(
+          Plan.addModeSweep(Specs, Modes, {M}, benchConfig(),
+                            "machine:" + M.Name)
+              .front());
+  } else {
+    sim::MachineConfig P4 = *sim::MachineConfig::byName("pentium4");
+    sim::MachineConfig Athlon = *sim::MachineConfig::byName("athlonmp");
+    if (HwOverride) {
+      P4.HwPrefetch = *HwOverride;
+      Athlon.HwPrefetch = *HwOverride;
+    }
+    P4Cells = Plan.addSweep(Specs, Algos, {P4}, benchConfig(), "p4");
+    AthlonCells =
+        Plan.addSweep(Specs, Algos, {Athlon}, benchConfig(), "athlon");
+  }
   if (InjectFailure) {
     harness::ExperimentCell Cell;
     Cell.Group = "injected";
@@ -534,10 +613,16 @@ int main(int argc, char **argv) {
     Plan.add(std::move(Cell));
   }
 
-  std::printf("sweep: %zu cells (%zu workloads x %zu algorithms x 2 "
-              "machines) on %u worker(s), scale=%.2f\n",
-              Plan.size(), Specs.size(), Algos.size(), Jobs,
-              scaleFromEnv());
+  if (ModeSweep)
+    std::printf("sweep: %zu cells (%zu workloads x %zu prefetch modes x "
+                "%zu machine(s)) on %u worker(s), scale=%.2f\n",
+                Plan.size(), Specs.size(), Modes.size(), Machines.size(),
+                Jobs, scaleFromEnv());
+  else
+    std::printf("sweep: %zu cells (%zu workloads x %zu algorithms x 2 "
+                "machines) on %u worker(s), scale=%.2f\n",
+                Plan.size(), Specs.size(), Algos.size(), Jobs,
+                scaleFromEnv());
 
   auto Start = std::chrono::steady_clock::now();
   harness::ExperimentResult Result = runPlanCli(Plan);
@@ -571,19 +656,24 @@ int main(int argc, char **argv) {
     }
   }
 
-  std::vector<WorkloadRuns> P4Rows =
-      collectBlock(Result, Specs, P4Cells.front());
-  std::vector<WorkloadRuns> AthlonRows =
-      collectBlock(Result, Specs, AthlonCells.front());
+  if (ModeSweep) {
+    for (size_t K = 0; K != Machines.size(); ++K)
+      printModeTable(Machines[K], Specs, Modes, Result, MachineFirstCell[K]);
+  } else {
+    std::vector<WorkloadRuns> P4Rows =
+        collectBlock(Result, Specs, P4Cells.front());
+    std::vector<WorkloadRuns> AthlonRows =
+        collectBlock(Result, Specs, AthlonCells.front());
 
-  printSpeedups("Figure 6: speedup ratios on the Pentium 4", P4Rows);
-  printSpeedups("Figure 7: speedup ratios on the Athlon MP", AthlonRows);
-  printMpi("Figure 8: L1 cache load MPIs on the Pentium 4", P4Rows,
-           &sim::MemoryStats::L1LoadMisses);
-  printMpi("Figure 9: L2 cache load MPIs on the Pentium 4", P4Rows,
-           &sim::MemoryStats::L2LoadMisses);
-  printMpi("Figure 10: DTLB load MPIs on the Pentium 4", P4Rows,
-           &sim::MemoryStats::DtlbLoadMisses);
+    printSpeedups("Figure 6: speedup ratios on the Pentium 4", P4Rows);
+    printSpeedups("Figure 7: speedup ratios on the Athlon MP", AthlonRows);
+    printMpi("Figure 8: L1 cache load MPIs on the Pentium 4", P4Rows,
+             &sim::MemoryStats::L1LoadMisses);
+    printMpi("Figure 9: L2 cache load MPIs on the Pentium 4", P4Rows,
+             &sim::MemoryStats::L2LoadMisses);
+    printMpi("Figure 10: DTLB load MPIs on the Pentium 4", P4Rows,
+             &sim::MemoryStats::DtlbLoadMisses);
+  }
 
   printCellTimings(Plan, Result);
 

@@ -13,18 +13,20 @@ using namespace spf::sim;
 
 static void printRow(const MachineConfig &C) {
   std::printf("%-10s %8llu %8u %8llu %8u %7u\n", C.Name.c_str(),
-              static_cast<unsigned long long>(C.L1.SizeBytes / 1024),
-              C.L1.LineBytes,
-              static_cast<unsigned long long>(C.L2.SizeBytes / 1024),
-              C.L2.LineBytes, C.TlbEntries);
+              static_cast<unsigned long long>(C.Levels[0].Geometry.SizeBytes /
+                                              1024),
+              C.Levels[0].Geometry.LineBytes,
+              static_cast<unsigned long long>(C.Levels[1].Geometry.SizeBytes /
+                                              1024),
+              C.Levels[1].Geometry.LineBytes, C.TlbEntries);
 }
 
 int main() {
   std::printf("Table 2: parameters related to prefetching\n");
   std::printf("%-10s %8s %8s %8s %8s %7s\n", "Processor", "L1(KB)",
               "L1line", "L2(KB)", "L2line", "#DTLB");
-  MachineConfig P4 = MachineConfig::pentium4();
-  MachineConfig At = MachineConfig::athlonMP();
+  MachineConfig P4 = *MachineConfig::byName("pentium4");
+  MachineConfig At = *MachineConfig::byName("athlonmp");
   printRow(P4);
   printRow(At);
 
@@ -32,11 +34,11 @@ int main() {
   for (const MachineConfig &C : {P4, At}) {
     std::printf(
         "%-10s  L1hit=%u L2hit=+%u mem=+%u dtlbmiss=+%u fill=%u "
-        "swprefetch->%s guarded-intra=%s\n",
-        C.Name.c_str(), C.L1HitCycles, C.L2HitPenalty, C.MemPenalty,
-        C.TlbMissPenalty, C.PrefetchFillLatency,
-        C.SwPrefetchFill == PrefetchFillLevel::L2 ? "L2" : "L1",
-        C.SwPrefetchFill == PrefetchFillLevel::L2 ? "yes" : "no");
+        "swprefetch->%s guarded-intra=%s hwprefetch=%s\n",
+        C.Name.c_str(), C.Levels[0].HitCycles, C.Levels[1].HitCycles,
+        C.MemPenalty, C.TlbMissPenalty, C.PrefetchFillLatency,
+        C.Levels[C.SwFillLevel].Label.c_str(), C.SwFillLevel > 0 ? "yes" : "no",
+        hwPrefetchKindName(C.HwPrefetch));
   }
   return 0;
 }

@@ -28,8 +28,8 @@ int main(int argc, char **argv) {
   std::printf("209_db shell sort, scale %.2f (records > L2, pages > DTLB)\n",
               Scale);
 
-  for (auto Machine : {sim::MachineConfig::pentium4(),
-                       sim::MachineConfig::athlonMP()}) {
+  for (auto Machine : {(*sim::MachineConfig::byName("pentium4")),
+                       (*sim::MachineConfig::byName("athlonmp"))}) {
     std::printf("\n-- %s --\n", Machine.Name.c_str());
     std::printf("%-12s %14s %10s %10s %10s %9s\n", "config", "cycles",
                 "L2 miss", "DTLB miss", "prefetch", "speedup");

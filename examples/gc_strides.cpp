@@ -98,13 +98,13 @@ int main() {
   B.ret(Acc);
 
   core::PrefetchPassOptions Opts = workloads::passOptionsFor(
-      sim::MachineConfig::pentium4(), core::PrefetchMode::InterIntra);
+      (*sim::MachineConfig::byName("pentium4")), core::PrefetchMode::InterIntra);
   core::PrefetchPass Pass(Heap, Opts);
   core::PrefetchPassResult R = Pass.run(Fn, {Roots[0], N});
   std::cout << "Prefetch pass after GC: " << R.CodeGen.Prefetches
             << " prefetch(es) inserted (stride discovered).\n";
 
-  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  sim::MemorySystem Mem((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter Interp(Heap, Mem, &Roots);
   uint64_t Sum = Interp.run(Fn, {Roots[0], N});
   std::cout << "Loop ran with " << Interp.stats().GcRuns

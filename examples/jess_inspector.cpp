@@ -65,7 +65,7 @@ int main() {
 
   // 6. Code generation (Section 3.3), with the Pentium 4's parameters.
   PrefetchPassOptions Opts = workloads::passOptionsFor(
-      sim::MachineConfig::pentium4(), PrefetchMode::InterIntra);
+      (*sim::MachineConfig::byName("pentium4")), PrefetchMode::InterIntra);
   PrefetchPass Pass(*W.Heap, Opts);
   PrefetchPassResult R = Pass.run(Find, CU.Args);
   std::cout << "\nGenerated " << R.CodeGen.SpecLoads << " spec_load and "

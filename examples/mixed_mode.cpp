@@ -29,11 +29,11 @@ int main() {
   const auto &Args = W.CompileUnits[0].Args;
 
   jit::CompileManager::Options Opts;
-  Opts.Pass = passOptionsFor(sim::MachineConfig::pentium4(),
+  Opts.Pass = passOptionsFor((*sim::MachineConfig::byName("pentium4")),
                              core::PrefetchMode::InterIntra);
   jit::CompileManager Jit(*W.Heap, Opts);
 
-  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  sim::MemorySystem Mem((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter Interp(*W.Heap, Mem, &W.Roots);
   Interp.enableMixedMode(
       [&](ir::Method *M, const std::vector<uint64_t> &A) {

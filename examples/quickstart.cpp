@@ -96,7 +96,7 @@ int main() {
   ir::printMethod(std::cout, Sum);
 
   // -- 3. Baseline run on the simulated Pentium 4 ---------------------------
-  sim::MachineConfig P4 = sim::MachineConfig::pentium4();
+  sim::MachineConfig P4 = *sim::MachineConfig::byName("pentium4");
   std::vector<uint64_t> Args = {Arr, N};
 
   uint64_t BaseCycles, BaseL2Miss;
@@ -111,7 +111,7 @@ int main() {
   // -- 4. The paper's pass: object inspection + stride prefetching ----------
   core::PrefetchPassOptions Opts;
   Opts.Planner.Mode = core::PrefetchMode::InterIntra;
-  Opts.Planner.LineBytes = P4.L2.LineBytes; // SW prefetch fills the L2.
+  Opts.Planner.LineBytes = P4.swFillLineBytes(); // SW prefetch fills the L2.
   core::PrefetchPass Pass(Heap, Opts);
   core::PrefetchPassResult R = Pass.run(Sum, Args);
 

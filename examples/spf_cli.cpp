@@ -27,7 +27,7 @@ namespace {
 struct Cli {
   std::string Command;
   std::string Workload = "jess";
-  sim::MachineConfig Machine = sim::MachineConfig::pentium4();
+  sim::MachineConfig Machine = (*sim::MachineConfig::byName("pentium4"));
   Algorithm Algo = Algorithm::InterIntra;
   double Scale = 1.0;
   unsigned Distance = 1;
@@ -63,9 +63,9 @@ bool parseArgs(int Argc, char **Argv, Cli &C) {
       if (!V)
         return false;
       if (std::strcmp(V, "p4") == 0)
-        C.Machine = sim::MachineConfig::pentium4();
+        C.Machine = (*sim::MachineConfig::byName("pentium4"));
       else if (std::strcmp(V, "athlon") == 0)
-        C.Machine = sim::MachineConfig::athlonMP();
+        C.Machine = (*sim::MachineConfig::byName("athlonmp"));
       else
         return false;
     } else if (A == "--algo") {

@@ -33,6 +33,35 @@
 using namespace spf;
 using namespace spf::harness;
 
+const char *harness::prefetchSourcesName(PrefetchSources S) {
+  switch (S) {
+  case PrefetchSources::Unset:
+    return "";
+  case PrefetchSources::None:
+    return "none";
+  case PrefetchSources::SwOnly:
+    return "sw";
+  case PrefetchSources::HwOnly:
+    return "hw";
+  case PrefetchSources::Combined:
+    return "combined";
+  }
+  return "";
+}
+
+std::optional<PrefetchSources>
+harness::parsePrefetchSources(const std::string &S) {
+  if (S == "none")
+    return PrefetchSources::None;
+  if (S == "sw")
+    return PrefetchSources::SwOnly;
+  if (S == "hw")
+    return PrefetchSources::HwOnly;
+  if (S == "combined")
+    return PrefetchSources::Combined;
+  return std::nullopt;
+}
+
 unsigned ExperimentPlan::add(ExperimentCell Cell) {
   Cells.push_back(std::move(Cell));
   return static_cast<unsigned>(Cells.size() - 1);
@@ -71,6 +100,50 @@ std::vector<unsigned> ExperimentPlan::addSweep(
   return Added;
 }
 
+std::vector<unsigned> ExperimentPlan::addModeSweep(
+    const std::vector<const workloads::WorkloadSpec *> &Specs,
+    const std::vector<PrefetchSources> &Modes,
+    const std::vector<sim::MachineConfig> &Machines,
+    const workloads::WorkloadConfig &Config, const std::string &Group,
+    bool CheckReturnValues) {
+  std::vector<unsigned> Added;
+  for (const sim::MachineConfig &M : Machines) {
+    for (const workloads::WorkloadSpec *Spec : Specs) {
+      std::optional<unsigned> NoneIdx;
+      std::vector<unsigned> SpecCells;
+      for (PrefetchSources Mode : Modes) {
+        if (Mode == PrefetchSources::Unset)
+          continue; // Not a runnable mode: only the classic sweep is Unset.
+        ExperimentCell C;
+        C.Group = Group;
+        C.Spec = Spec;
+        C.Opt.Machine = M;
+        // The mode decides both halves: whether the compile inserts
+        // software prefetches, and whether the machine's hardware
+        // prefetcher (of whatever configured kind) is armed.
+        C.Opt.Machine.HwPrefetchEnabled = Mode == PrefetchSources::HwOnly ||
+                                          Mode == PrefetchSources::Combined;
+        C.Opt.Algo = (Mode == PrefetchSources::SwOnly ||
+                      Mode == PrefetchSources::Combined)
+                         ? workloads::Algorithm::InterIntra
+                         : workloads::Algorithm::Baseline;
+        C.Opt.Config = Config;
+        C.Mode = Mode;
+        unsigned Idx = add(std::move(C));
+        if (Mode == PrefetchSources::None)
+          NoneIdx = Idx;
+        SpecCells.push_back(Idx);
+        Added.push_back(Idx);
+      }
+      if (CheckReturnValues && NoneIdx)
+        for (unsigned Idx : SpecCells)
+          if (Idx != *NoneIdx)
+            Cells[Idx].CheckAgainst = NoneIdx;
+    }
+  }
+  return Added;
+}
+
 namespace {
 
 /// Exponential backoff before retry \p Attempt of cell \p Cell: base
@@ -92,9 +165,16 @@ void backoffBeforeRetry(unsigned Cell, unsigned Attempt) {
 }
 
 /// "workload [ALGO, machine]" — the tag used in Failures and Quarantine.
+/// Mode-sweep cells append the prefetch-source facet, which is what
+/// distinguishes e.g. the None cell from the HwOnly cell (same workload,
+/// same algorithm, same machine name).
 std::string cellTag(const ExperimentCell &C) {
-  return C.Spec->Name + " [" + workloads::algorithmName(C.Opt.Algo) + ", " +
-         C.Opt.Machine.Name + "]";
+  std::string Tag = C.Spec->Name + " [" +
+                    workloads::algorithmName(C.Opt.Algo) + ", " +
+                    C.Opt.Machine.Name;
+  if (C.Mode != PrefetchSources::Unset)
+    Tag += std::string(", mode=") + prefetchSourcesName(C.Mode);
+  return Tag + "]";
 }
 
 /// FNV-1a over the per-site stats, as a 16-hex-digit string. A compact
@@ -761,6 +841,15 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("workload").value(C.Spec->Name);
     J.key("machine").value(C.Opt.Machine.Name);
     J.key("algorithm").value(workloads::algorithmName(C.Opt.Algo));
+    // Prefetch-source facet (mode-sweep cells only): which sources were
+    // armed, and the effective hardware prefetcher kind. Classic-sweep
+    // cells omit both keys, keeping their records byte-identical to the
+    // pre-facet schema (the committed golden report pins this).
+    if (C.Mode != PrefetchSources::Unset) {
+      J.key("prefetch_mode").value(prefetchSourcesName(C.Mode));
+      J.key("hw_prefetch")
+          .value(sim::hwPrefetchKindName(C.Opt.Machine.effectiveHwPrefetch()));
+    }
     J.key("ran").value(Result.Cells[I].Ran);
     J.key("attempts").value(static_cast<uint64_t>(Result.Cells[I].Attempts));
     J.key("cycles").value(R.CompiledCycles);
@@ -773,6 +862,16 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("l1_store_misses").value(R.Mem.L1StoreMisses);
     J.key("l2_load_misses").value(R.Mem.L2LoadMisses);
     J.key("dtlb_load_misses").value(R.Mem.DtlbLoadMisses);
+    // Hierarchy-shape-dependent counters, emitted only when the machine
+    // can distinguish them: llc_load_misses duplicates l2_load_misses on
+    // a two-level machine, and page walks exist only on walked-TLB
+    // machines. Legacy (two-level, flat-TLB) records stay byte-identical.
+    if (C.Opt.Machine.numLevels() > 2)
+      J.key("llc_load_misses").value(R.Mem.LlcLoadMisses);
+    if (C.Opt.Machine.Walk == sim::TlbWalk::Walked) {
+      J.key("page_walks").value(R.Mem.PageWalks);
+      J.key("page_walk_cycles").value(R.Mem.PageWalkCycles);
+    }
     J.key("cycles_stalled_on_loads").value(R.Mem.CyclesStalledOnLoads);
     J.key("sw_prefetches_issued").value(R.Mem.SwPrefetchesIssued);
     J.key("sw_prefetches_cancelled").value(R.Mem.SwPrefetchesCancelled);

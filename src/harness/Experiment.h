@@ -29,6 +29,23 @@
 namespace spf {
 namespace harness {
 
+/// Which prefetch sources a cell enables — the cross of the paper's
+/// software pass (compile-time) and the machine's hardware prefetcher
+/// (run-time). Unset marks cells from the classic algorithm sweep, which
+/// predates this facet; such cells report no prefetch_mode key.
+enum class PrefetchSources {
+  Unset,    ///< Classic sweep cell: facet not part of the experiment.
+  None,     ///< Baseline compile, hardware prefetcher off.
+  SwOnly,   ///< INTER+INTRA compile, hardware prefetcher off.
+  HwOnly,   ///< Baseline compile, hardware prefetcher on.
+  Combined, ///< INTER+INTRA compile, hardware prefetcher on.
+};
+
+/// Stable lowercase name ("none", "sw", "hw", "combined"; "" for Unset).
+const char *prefetchSourcesName(PrefetchSources S);
+/// Inverse of prefetchSourcesName; nullopt for unknown strings.
+std::optional<PrefetchSources> parsePrefetchSources(const std::string &S);
+
 /// One independent unit of work: one workload on one machine under one
 /// algorithm (plus optional pass tuning), tagged with the experiment
 /// group it belongs to (e.g. "p4", "athlon", "ablation:c=4").
@@ -39,6 +56,10 @@ struct ExperimentCell {
   /// Index of a cell (typically this workload's BASELINE run) whose
   /// return value this cell's must equal; checked after the sweep.
   std::optional<unsigned> CheckAgainst;
+  /// The prefetch-source facet this cell represents (addModeSweep cells
+  /// only). When set, Opt.Algo and Opt.Machine.HwPrefetchEnabled are
+  /// derived from it and the report carries prefetch_mode/hw_prefetch.
+  PrefetchSources Mode = PrefetchSources::Unset;
 };
 
 /// Result of one cell, in plan order.
@@ -116,6 +137,20 @@ public:
            const std::vector<sim::MachineConfig> &Machines,
            const workloads::WorkloadConfig &Config,
            const std::string &Group = "", bool CheckReturnValues = true);
+
+  /// Expands a prefetch-source sweep: for each machine, for each
+  /// workload, one cell per mode in \p Modes. Each cell's algorithm and
+  /// hardware-prefetcher enable are derived from the mode (None =
+  /// baseline compile + hw off, Combined = INTER+INTRA + hw on, ...);
+  /// the machine's configured prefetcher *kind* is untouched. When
+  /// \p CheckReturnValues is true and None is among the modes, every
+  /// other cell is checked against its workload's None cell.
+  std::vector<unsigned>
+  addModeSweep(const std::vector<const workloads::WorkloadSpec *> &Specs,
+               const std::vector<PrefetchSources> &Modes,
+               const std::vector<sim::MachineConfig> &Machines,
+               const workloads::WorkloadConfig &Config,
+               const std::string &Group = "", bool CheckReturnValues = true);
 
   const std::vector<ExperimentCell> &cells() const { return Cells; }
   size_t size() const { return Cells.size(); }

@@ -44,6 +44,13 @@ std::string harness::journalCellKey(const ExperimentPlan &Plan, unsigned I) {
   std::string Key = std::to_string(I) + "|" + C.Group + "|" + C.Spec->Name +
                     "|" + workloads::algorithmName(C.Opt.Algo) + "|" +
                     C.Opt.Machine.Name + "|";
+  // The prefetch-source facet is part of the identity: a mode sweep runs
+  // e.g. None and HwOnly cells that agree on every other component (the
+  // facet lives in the machine's HwPrefetchEnabled, which is timing-only
+  // and so absent from the execution signature). Classic-sweep cells
+  // (Unset) keep the legacy key format, so existing journals still load.
+  if (C.Mode != PrefetchSources::Unset)
+    Key += std::string("mode=") + prefetchSourcesName(C.Mode) + "|";
   std::string Sig = workloads::executionSignature(*C.Spec, C.Opt);
   if (!Sig.empty()) {
     Key += Sig;
@@ -104,6 +111,15 @@ void harness::writeCellRecordJson(JsonWriter &J, const CellResult &Cell) {
   J.key("guarded_loads").value(R.Mem.GuardedLoads);
   J.key("guarded_load_faults").value(R.Mem.GuardedLoadFaults);
   J.key("cycles_stalled_on_loads").value(R.Mem.CyclesStalledOnLoads);
+  // Multi-level/walked-TLB counters, emitted only when nonzero: legacy
+  // journals (and records of machines where they cannot fire) stay
+  // byte-identical to the pre-hierarchy format.
+  if (R.Mem.LlcLoadMisses)
+    J.key("llc_load_misses").value(R.Mem.LlcLoadMisses);
+  if (R.Mem.PageWalks)
+    J.key("page_walks").value(R.Mem.PageWalks);
+  if (R.Mem.PageWalkCycles)
+    J.key("page_walk_cycles").value(R.Mem.PageWalkCycles);
   J.endObject();
   J.key("exec").beginObject();
   J.key("retired").value(R.Exec.Retired);
@@ -194,6 +210,9 @@ bool harness::parseCellRecord(const JsonValue &V, CellResult &Cell) {
   R.Mem.GuardedLoads = Mem.getU64("guarded_loads");
   R.Mem.GuardedLoadFaults = Mem.getU64("guarded_load_faults");
   R.Mem.CyclesStalledOnLoads = Mem.getU64("cycles_stalled_on_loads");
+  R.Mem.LlcLoadMisses = Mem.getU64("llc_load_misses");
+  R.Mem.PageWalks = Mem.getU64("page_walks");
+  R.Mem.PageWalkCycles = Mem.getU64("page_walk_cycles");
 
   const JsonValue &Exec = Run.get("exec");
   R.Exec.Retired = Exec.getU64("retired");

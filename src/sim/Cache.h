@@ -34,6 +34,8 @@ struct CacheParams {
   uint64_t SizeBytes = 8 * 1024;
   unsigned LineBytes = 64;
   unsigned Assoc = 4;
+
+  bool operator==(const CacheParams &) const = default;
 };
 
 /// Result of a demand access.

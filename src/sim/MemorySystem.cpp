@@ -2,29 +2,117 @@
 
 #include "sim/MemorySystem.h"
 
+#include <cassert>
+
 using namespace spf;
 using namespace spf::sim;
 
+static unsigned lastLineBytes(const MachineConfig &Cfg) {
+  return Cfg.Levels.empty() ? 64 : Cfg.Levels.back().Geometry.LineBytes;
+}
+
+static unsigned pageShiftOf(uint64_t PageBytes) {
+  // Power-of-two pages take the shift path; anything else (rejected by
+  // validate(), but MemorySystem stays defensive) divides.
+  if (PageBytes == 0 || (PageBytes & (PageBytes - 1)) != 0)
+    return 0;
+  unsigned S = 0;
+  while ((uint64_t(1) << S) < PageBytes)
+    ++S;
+  return S;
+}
+
 MemorySystem::MemorySystem(const MachineConfig &Cfg)
-    : Cfg(Cfg), L1(Cfg.L1), L2(Cfg.L2), Dtlb(Cfg.TlbEntries, Cfg.PageBytes),
-      HwPf(Cfg.HwPrefetchStreams, Cfg.HwPrefetchDegree, Cfg.L2.LineBytes,
-           Cfg.PageBytes) {}
+    : Cfg(Cfg), Dtlb(Cfg.TlbEntries, Cfg.PageBytes),
+      HwPf(Cfg.HwPrefetchStreams, Cfg.HwPrefetchDegree, lastLineBytes(Cfg),
+           Cfg.PageBytes),
+      Rpt(Cfg.RptEntries, Cfg.HwPrefetchDegree, Cfg.PageBytes),
+      StreamActive(Cfg.effectiveHwPrefetch() == HwPrefetchKind::Stream),
+      RptActive(Cfg.effectiveHwPrefetch() == HwPrefetchKind::Rpt),
+      HwTrainThreshold(Cfg.Levels.size() > 1 ? Cfg.Levels[1].HitCycles
+                                             : Cfg.MemPenalty),
+      PageShift(pageShiftOf(Cfg.PageBytes)) {
+  assert(Cfg.Levels.size() >= 2 && "MachineConfig::validate() requires >= 2 "
+                                   "cache levels");
+  CacheLevels.reserve(Cfg.Levels.size());
+  for (const CacheLevel &L : Cfg.Levels)
+    CacheLevels.emplace_back(L.Geometry);
+}
 
 void MemorySystem::hwPrefetchOnMiss(uint64_t Addr) {
-  if (!Cfg.HwPrefetchEnabled)
+  if (!StreamActive)
     return;
   HwTargets.clear();
   HwPf.onDemandMiss(Addr, HwTargets);
+  Cache &Last = CacheLevels.back();
   for (uint64_t Target : HwTargets)
-    L2.prefetchFill(Target, Cycles + Cfg.PrefetchFillLatency);
+    Last.prefetchFill(Target, Cycles + Cfg.PrefetchFillLatency);
+}
+
+void MemorySystem::rptObserveLoad(uint32_t Site, uint64_t Addr, uint64_t Now) {
+  HwTargets.clear();
+  Rpt.observe(Site, Addr, HwTargets);
+  if (HwTargets.empty())
+    return;
+  // RPT fills land in the last level only, like the stream prefetcher's:
+  // this keeps the replay fast path's TLB/L1 cursors untouched.
+  Cache &Last = CacheLevels.back();
+  for (uint64_t Target : HwTargets)
+    Last.prefetchFill(Target, Now + Cfg.PrefetchFillLatency);
+}
+
+uint64_t MemorySystem::walkerAccess(uint64_t PteAddr) {
+  // Demand-shaped cost for one page-table entry: base hit cycles, each
+  // deeper probed level's penalty, MemPenalty on a full miss. The walker
+  // fills lines on the way (so a later walk sharing upper-level entries
+  // is cheaper) but never counts load/store stats or trains prefetchers.
+  uint64_t Cost = Cfg.Levels[0].HitCycles;
+  CacheAccessResult R = CacheLevels[0].access(PteAddr, Cycles);
+  if (R.Hit)
+    return Cost + R.WaitCycles;
+  const unsigned NumLevels = numCacheLevels();
+  for (unsigned Lvl = 1; Lvl != NumLevels; ++Lvl) {
+    Cost += Cfg.Levels[Lvl].HitCycles;
+    CacheAccessResult Rl = CacheLevels[Lvl].access(PteAddr, Cycles);
+    if (Rl.Hit)
+      return Cost + Rl.WaitCycles;
+  }
+  return Cost + Cfg.MemPenalty;
+}
+
+uint64_t MemorySystem::pageWalk(uint64_t Addr) {
+  // Radix walk: level L's entry address is the page number's upper bits
+  // (a prefix index — neighbor pages share upper-level entries, so their
+  // PTEs fall in the same cache lines) scaled by the entry size, tagged
+  // into a per-level region that can never collide with heap addresses.
+  uint64_t Page = PageShift ? (Addr >> PageShift) : (Addr / Cfg.PageBytes);
+  constexpr uint64_t OffsetMask = (uint64_t(1) << 56) - 1;
+  uint64_t Cost = 0;
+  for (unsigned L = 0; L != Cfg.WalkLevels; ++L) {
+    unsigned Shift = Cfg.WalkIndexBits * (Cfg.WalkLevels - 1 - L);
+    uint64_t Index = Shift < 64 ? (Page >> Shift) : 0;
+    uint64_t PteAddr =
+        (uint64_t(L + 1) << 56) | ((Index * Cfg.WalkEntryBytes) & OffsetMask);
+    Cost += walkerAccess(PteAddr);
+  }
+  return Cost;
+}
+
+uint64_t MemorySystem::translationCost(uint64_t Addr) {
+  if (Cfg.Walk == TlbWalk::Flat)
+    return Cfg.TlbMissPenalty;
+  uint64_t Cost = pageWalk(Addr);
+  ++Stats.PageWalks;
+  Stats.PageWalkCycles += Cost;
+  return Cost;
 }
 
 uint64_t MemorySystem::demandAccess(uint64_t Addr, bool IsLoad,
                                     SiteStats *Site) {
-  uint64_t Cost = Cfg.L1HitCycles;
+  uint64_t Cost = Cfg.Levels[0].HitCycles;
 
   if (!Dtlb.access(Addr)) {
-    Cost += Cfg.TlbMissPenalty;
+    Cost += translationCost(Addr);
     if (IsLoad) {
       ++Stats.DtlbLoadMisses;
       if (Site)
@@ -32,13 +120,13 @@ uint64_t MemorySystem::demandAccess(uint64_t Addr, bool IsLoad,
     }
   }
 
-  CacheAccessResult R1 = L1.access(Addr, Cycles);
+  CacheAccessResult R1 = CacheLevels[0].access(Addr, Cycles);
   if (R1.Hit) {
     Cost += R1.WaitCycles;
     // A sizeable wait means the line was filled by an in-flight prefetch:
     // architecturally this was a miss, so keep training the hardware
     // prefetcher (otherwise software prefetching would starve it).
-    if (R1.WaitCycles > Cfg.L2HitPenalty)
+    if (R1.WaitCycles > HwTrainThreshold)
       hwPrefetchOnMiss(Addr);
   } else {
     if (IsLoad) {
@@ -48,18 +136,29 @@ uint64_t MemorySystem::demandAccess(uint64_t Addr, bool IsLoad,
     } else {
       ++Stats.L1StoreMisses;
     }
-    CacheAccessResult R2 = L2.access(Addr, Cycles);
-    if (R2.Hit) {
-      Cost += Cfg.L2HitPenalty + R2.WaitCycles;
-      if (R2.WaitCycles > Cfg.L2HitPenalty)
-        hwPrefetchOnMiss(Addr);
-    } else {
-      Cost += Cfg.L2HitPenalty + Cfg.MemPenalty;
-      if (IsLoad) {
-        ++Stats.L2LoadMisses;
-        if (Site)
-          ++Site->L2Misses;
+    const unsigned NumLevels = numCacheLevels();
+    unsigned Lvl = 1;
+    for (; Lvl != NumLevels; ++Lvl) {
+      Cost += Cfg.Levels[Lvl].HitCycles;
+      CacheAccessResult R = CacheLevels[Lvl].access(Addr, Cycles);
+      if (R.Hit) {
+        Cost += R.WaitCycles;
+        if (R.WaitCycles > HwTrainThreshold)
+          hwPrefetchOnMiss(Addr);
+        break;
       }
+      if (IsLoad) {
+        if (Lvl == 1) {
+          ++Stats.L2LoadMisses;
+          if (Site)
+            ++Site->L2Misses;
+        }
+        if (Lvl == NumLevels - 1)
+          ++Stats.LlcLoadMisses;
+      }
+    }
+    if (Lvl == NumLevels) {
+      Cost += Cfg.MemPenalty;
       hwPrefetchOnMiss(Addr);
     }
   }
@@ -74,12 +173,30 @@ void MemorySystem::load(uint64_t Addr, exec::SiteId Site) {
     Sites.resize(Site + 1);
   SiteStats &S = Sites[Site];
   ++S.Loads;
+  // The RPT watches the instruction stream (every execution, hit or
+  // miss), keyed by load site — the simulator's stand-in for the PC.
+  if (RptActive)
+    rptObserveLoad(Site, Addr, Cycles);
   Stats.CyclesStalledOnLoads += demandAccess(Addr, /*IsLoad=*/true, &S);
 }
 
 void MemorySystem::store(uint64_t Addr) {
   ++Stats.Stores;
   demandAccess(Addr, /*IsLoad=*/false, nullptr);
+}
+
+uint64_t MemorySystem::swFillReadyAt(uint64_t Addr) const {
+  // The fill latency depends on where the line currently lives: a line
+  // resident in a deeper level moves up in that level's hit time(s), not
+  // a full memory round trip.
+  uint64_t Penalty = 0;
+  const unsigned NumLevels = numCacheLevels();
+  for (unsigned Lvl = 1; Lvl != NumLevels; ++Lvl) {
+    Penalty += Cfg.Levels[Lvl].HitCycles;
+    if (CacheLevels[Lvl].contains(Addr))
+      return Penalty;
+  }
+  return Cfg.PrefetchFillLatency;
 }
 
 void MemorySystem::prefetch(uint64_t Addr) {
@@ -93,31 +210,33 @@ void MemorySystem::prefetch(uint64_t Addr) {
     return;
   }
 
-  // The fill latency depends on where the line currently lives: an
-  // L2-resident line moves into the L1 in an L2-hit time, not a full
-  // memory round trip.
-  uint64_t ReadyAt = Cycles + (L2.contains(Addr) ? Cfg.L2HitPenalty
-                                                 : Cfg.PrefetchFillLatency);
-  L2.prefetchFill(Addr, ReadyAt);
-  if (Cfg.SwPrefetchFill == PrefetchFillLevel::L1)
-    L1.prefetchFill(Addr, ReadyAt);
+  uint64_t ReadyAt = Cycles + swFillReadyAt(Addr);
+  // Deepest level first, down to the configured fill level.
+  for (unsigned Lvl = numCacheLevels(); Lvl-- > Cfg.SwFillLevel;)
+    CacheLevels[Lvl].prefetchFill(Addr, ReadyAt);
 }
 
 void MemorySystem::guardedLoad(uint64_t Addr) {
   ++Stats.GuardedLoads;
   Cycles += Cfg.GuardedLoadCost;
 
-  // A real load: walks the page table if needed (priming the DTLB) and
-  // brings the line into every level. The fill completes after the
-  // residency-dependent latency; only the issue cost stalls the pipeline
-  // (no computation consumes the loaded value on the critical path).
+  // A real load: walks the page table if needed (priming the DTLB — on a
+  // walked-TLB machine the walk's page-table accesses go through the
+  // caches, warming them for later walks) and brings the line into every
+  // level. The fill completes after the residency-dependent latency;
+  // only the issue cost stalls the pipeline (no computation consumes the
+  // loaded value on the critical path), so the priming walk charges no
+  // cycles either.
+  if (Cfg.Walk == TlbWalk::Walked && !Dtlb.contains(Addr)) {
+    pageWalk(Addr);
+    ++Stats.PageWalks;
+  }
   Dtlb.fill(Addr);
-  if (L1.contains(Addr))
+  if (CacheLevels[0].contains(Addr))
     return;
-  uint64_t ReadyAt = Cycles + (L2.contains(Addr) ? Cfg.L2HitPenalty
-                                                 : Cfg.PrefetchFillLatency);
-  L2.prefetchFill(Addr, ReadyAt);
-  L1.prefetchFill(Addr, ReadyAt);
+  uint64_t ReadyAt = Cycles + swFillReadyAt(Addr);
+  for (unsigned Lvl = numCacheLevels(); Lvl-- > 0;)
+    CacheLevels[Lvl].prefetchFill(Addr, ReadyAt);
 }
 
 void MemorySystem::guardedLoadFault() {
@@ -137,12 +256,15 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
   // exactly the member-path bookkeeping; everything else writes the
   // locals back, takes the ordinary member call, and re-hoists — the
   // batched-vs-per-event differential tests pin the two paths together,
-  // bit for bit.
+  // bit for bit. RPT observation happens on the fast path too (the table
+  // watches every load, hit or miss), but its fills only touch the last
+  // cache level, so the TLB/L1 cursors stay valid.
   uint64_t Cyc = Cycles;
   uint64_t NLoads = Stats.Loads;
   uint64_t Stalled = Stats.CyclesStalledOnLoads;
-  const uint64_t HitCost = Cfg.L1HitCycles;
+  const uint64_t HitCost = Cfg.Levels[0].HitCycles;
   const uint64_t ComputeC = Cfg.ComputeCycles;
+  const bool RptOn = RptActive;
   SiteStats *SiteArr = Sites.data();
   size_t NSites = Sites.size();
   // Stride loops hammer one site for thousands of events, so its load
@@ -151,7 +273,7 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
   size_t CurSite = NSites; // No run pending.
   uint64_t CurSiteLoads = 0;
   Tlb::BlockCursor TlbCur(Dtlb);
-  Cache::BlockCursor L1Cur(L1);
+  Cache::BlockCursor L1Cur(CacheLevels[0]);
   // Writes every register-held counter back to its home and empties the
   // site run; the member state is then exactly what per-event dispatch
   // would have produced.
@@ -201,7 +323,10 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
       if (E.Site < NSites && (TlbSlot = TlbCur.peekHit(E.Value)) != Tlb::NoSlot &&
           (L1Slot = L1Cur.peekCleanHit(E.Value, Cyc)) != Cache::NoSlot) {
         // Identical to load() when the TLB and the L1 both hit a
-        // resident line: hit cost only, no miss counters.
+        // resident line: hit cost only, no miss counters. The RPT
+        // observation uses the register clock — the same value load()
+        // would have passed — and cannot disturb the L1/TLB state the
+        // probes above just peeked.
         TlbCur.commitHit(TlbSlot);
         L1Cur.commitHit(L1Slot);
         ++NLoads;
@@ -213,6 +338,8 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
           CurSite = E.Site;
           CurSiteLoads = 1;
         }
+        if (RptOn)
+          rptObserveLoad(E.Site, E.Value, Cyc);
         Stalled += HitCost;
         Cyc += HitCost;
         break;

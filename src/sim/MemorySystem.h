@@ -1,14 +1,23 @@
-//===- sim/MemorySystem.h - L1 + L2 + DTLB + clock --------------*- C++ -*-===//
+//===- sim/MemorySystem.h - N-level caches + DTLB + clock -------*- C++ -*-===//
 ///
 /// \file
-/// Composes the cache hierarchy, the DTLB, and the hardware prefetcher
-/// behind the event interface the interpreter drives: compute ticks,
-/// demand loads/stores, hardware prefetch instructions, and guarded
-/// loads. This is the canonical exec::AccessSink implementation — the
-/// timing half of the execution/timing split — so it can consume either
-/// a live interpreter or a replayed trace::TraceBuffer, with identical
-/// results. Owns the cycle clock and the counters behind Figures 8-10
-/// (load misses per instruction), plus per-load-site attribution.
+/// Composes the cache hierarchy (any number of levels, from the machine
+/// config), the DTLB (flat-penalty or walked misses), and the selected
+/// hardware prefetcher behind the event interface the interpreter
+/// drives: compute ticks, demand loads/stores, hardware prefetch
+/// instructions, and guarded loads. This is the canonical
+/// exec::AccessSink implementation — the timing half of the
+/// execution/timing split — so it can consume either a live interpreter
+/// or a replayed trace::TraceBuffer, with identical results. Owns the
+/// cycle clock and the counters behind Figures 8-10 (load misses per
+/// instruction), plus per-load-site attribution.
+///
+/// For the builtin two-level flat-TLB configs (Pentium 4, Athlon MP) the
+/// generalized cost accounting is bit-identical to the historical fixed
+/// L1+L2 model: level 0's HitCycles is the base access cost, each deeper
+/// probed level adds its HitCycles, and a full miss adds MemPenalty on
+/// top — exactly the old L1HitCycles / L2HitPenalty / MemPenalty charges
+/// (pinned by the differential tests and the committed golden report).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +27,7 @@
 #include "exec/AccessSink.h"
 #include "sim/HardwarePrefetcher.h"
 #include "sim/MachineConfig.h"
+#include "sim/RptPrefetcher.h"
 #include "sim/Tlb.h"
 
 #include <vector>
@@ -43,6 +53,15 @@ struct MemoryStats {
   /// plus every miss/TLB penalty) — the share of the clock that load
   /// stalls account for.
   uint64_t CyclesStalledOnLoads = 0;
+  /// Load misses at the last cache level. Equals L2LoadMisses on a
+  /// two-level machine; distinct on deeper hierarchies.
+  uint64_t LlcLoadMisses = 0;
+  /// Modeled page walks (TlbWalk::Walked only): demand walks plus
+  /// guarded-load priming walks.
+  uint64_t PageWalks = 0;
+  /// Cycles charged by demand walks (priming walks are latency-hidden
+  /// and charge nothing).
+  uint64_t PageWalkCycles = 0;
 
   bool operator==(const MemoryStats &) const = default;
 };
@@ -79,13 +98,16 @@ public:
   void store(uint64_t Addr) override;
 
   /// Hardware prefetch instruction: cancelled when the target page is not
-  /// in the DTLB; otherwise fills the configured level with the line
+  /// in the DTLB; otherwise fills the configured levels with the line
   /// becoming usable PrefetchFillLatency cycles from now.
   void prefetch(uint64_t Addr) override;
 
-  /// Guarded load: a real access that fills the DTLB (TLB priming) and all
-  /// cache levels, costing only the issue overhead — its latency is hidden
-  /// by out-of-order execution since no computation consumes its result.
+  /// Guarded load: a real access that fills the DTLB (TLB priming — on a
+  /// walked-TLB machine the walk's page-table accesses go through the
+  /// caches, warming them for the demand walk that never happens) and
+  /// all cache levels, costing only the issue overhead — its latency is
+  /// hidden by out-of-order execution since no computation consumes its
+  /// result.
   void guardedLoad(uint64_t Addr) override;
 
   /// Guarded load whose guard failed: the software exception check
@@ -103,19 +125,53 @@ public:
   /// Per-site load/miss attribution; index = SiteId, grown on demand.
   const std::vector<SiteStats> &siteStats() const { return Sites; }
 
-  const Cache &l1() const { return L1; }
-  const Cache &l2() const { return L2; }
+  const Cache &l1() const { return CacheLevels.front(); }
+  const Cache &l2() const { return CacheLevels[1]; }
+  const Cache &lastLevelCache() const { return CacheLevels.back(); }
+  const Cache &cacheLevel(unsigned I) const { return CacheLevels[I]; }
+  unsigned numCacheLevels() const {
+    return static_cast<unsigned>(CacheLevels.size());
+  }
   const Tlb &dtlb() const { return Dtlb; }
+  const RptPrefetcher &rpt() const { return Rpt; }
 
 private:
   uint64_t demandAccess(uint64_t Addr, bool IsLoad, SiteStats *Site);
+  /// Cost of translating \p Addr after a DTLB miss: flat penalty or a
+  /// modeled radix walk (stats counted here).
+  uint64_t translationCost(uint64_t Addr);
+  /// The modeled radix walk itself: one page-table access per walk level
+  /// through the cache hierarchy, deepening prefix indices so neighbor
+  /// pages share upper-level entries. Returns the cost; no stats.
+  uint64_t pageWalk(uint64_t Addr);
+  /// One cache-hierarchy access of the page-table walker: demand-shaped
+  /// cost (level penalties + MemPenalty on a full miss), fills on the
+  /// way, but never counts load/store stats or trains the prefetcher.
+  uint64_t walkerAccess(uint64_t PteAddr);
   void hwPrefetchOnMiss(uint64_t Addr);
+  /// RPT observation of one demand load at time \p Now (the batched path
+  /// passes its register-resident clock; fills only ever touch the last
+  /// cache level, so the TLB/L1 cursors stay valid).
+  void rptObserveLoad(uint32_t Site, uint64_t Addr, uint64_t Now);
+  /// Residency-dependent fill latency of a software prefetch: the
+  /// cumulative penalty down to the shallowest level that holds the
+  /// line, or the full PrefetchFillLatency when none does.
+  uint64_t swFillReadyAt(uint64_t Addr) const;
 
   MachineConfig Cfg;
-  Cache L1;
-  Cache L2;
+  std::vector<Cache> CacheLevels;
   Tlb Dtlb;
   HardwarePrefetcher HwPf;
+  RptPrefetcher Rpt;
+  bool StreamActive; ///< effectiveHwPrefetch() == Stream, hoisted.
+  bool RptActive;    ///< effectiveHwPrefetch() == Rpt, hoisted.
+  /// Stream-training threshold: a demand wait above the first deeper
+  /// level's hit penalty means the line came from an in-flight prefetch,
+  /// i.e. architecturally a miss.
+  uint64_t HwTrainThreshold;
+  /// log2(PageBytes) for the walker's page-number math (0 = division
+  /// fallback for non-power-of-two pages, matching Tlb).
+  unsigned PageShift;
   uint64_t Cycles = 0;
   MemoryStats Stats;
   std::vector<SiteStats> Sites;

@@ -46,14 +46,12 @@ workloads::passOptionsFor(const sim::MachineConfig &M,
   Opts.Planner.ScheduleDistance = 1; // Fixed at one iteration (Section 4).
   // The relevant line is the one of the level software prefetches fill:
   // L2 on the Pentium 4 (128 B), L1 on the Athlon MP (64 B).
-  Opts.Planner.LineBytes = M.SwPrefetchFill == sim::PrefetchFillLevel::L2
-                               ? M.L2.LineBytes
-                               : M.L1.LineBytes;
+  Opts.Planner.LineBytes = M.swFillLineBytes();
   // "We used a load instruction guarded by a software exception check for
   //  intra-iteration stride prefetching on the Pentium 4 in order to fill
-  //  a missing DTLB entry."
-  Opts.Planner.GuardedIntraPrefetch =
-      M.SwPrefetchFill == sim::PrefetchFillLevel::L2;
+  //  a missing DTLB entry." Machines whose software prefetches do not
+  //  fill the L1 (SwFillLevel > 0) take the guarded-load flavor.
+  Opts.Planner.GuardedIntraPrefetch = M.SwFillLevel > 0;
   return Opts;
 }
 
@@ -167,9 +165,14 @@ std::string workloads::executionSignature(const WorkloadSpec &Spec,
   std::string Sig = Spec.Name + "|" + algorithmName(Opts.Algo) + Buf;
 
   // Only the compile-relevant machine facets enter the key (see header
-  // comment): what the planner reads is LineBytes and the fill-level-
-  // derived guarded-load choice. BASELINE never runs the planner, so its
-  // trace is machine-independent.
+  // comment), derived through passOptionsFor so the signature can never
+  // drift from what codegen actually consumes: the fill level's line
+  // bytes and the fill-level-derived guarded-load choice. Every other
+  // MachineConfig field — level sizes and hit cycles, TLB geometry and
+  // walk model, hardware-prefetcher kind/enable — shapes timing only,
+  // never the compiled address stream, and must stay out of the key
+  // (pinned by the signature-separation tests). BASELINE never runs the
+  // planner, so its trace is machine-independent.
   if (Opts.Algo != Algorithm::Baseline) {
     core::PrefetchPassOptions P = passOptionsFor(
         Opts.Machine, Opts.Algo == Algorithm::Inter

@@ -98,7 +98,7 @@ TEST(DifferentialTest, RandomArithmeticMatchesOracle) {
     B.ret(Last.V);
     ASSERT_TRUE(verifyMethod(Fn));
 
-    sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+    sim::MemorySystem Mem((*sim::MachineConfig::byName("pentium4")));
     exec::Interpreter Interp(Heap, Mem);
     uint64_t Got = Interp.run(Fn, {static_cast<uint64_t>(Arg0),
                                    static_cast<uint64_t>(Arg1)});
@@ -148,7 +148,7 @@ TEST(DifferentialTest, RandomHeapTrafficMatchesMapOracle) {
     B.ret(Sum);
     ASSERT_TRUE(verifyMethod(Fn));
 
-    sim::MemorySystem Mem(sim::MachineConfig::athlonMP());
+    sim::MemorySystem Mem((*sim::MachineConfig::byName("athlonmp")));
     exec::Interpreter Interp(Heap, Mem);
     uint64_t Got = Interp.run(Fn, {Arr});
     EXPECT_EQ(static_cast<int32_t>(Got), wrap32(OracleSum));
@@ -221,13 +221,13 @@ TEST(DifferentialTest, PrefetchPassPreservesRandomLoopResults) {
     // Reference result, untransformed.
     uint64_t Expected;
     {
-      sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+      sim::MemorySystem Mem((*sim::MachineConfig::byName("pentium4")));
       exec::Interpreter Interp(Heap, Mem);
       Expected = Interp.run(Fn, {Arr, N});
     }
 
-    for (auto Machine : {sim::MachineConfig::pentium4(),
-                         sim::MachineConfig::athlonMP()}) {
+    for (auto Machine : {(*sim::MachineConfig::byName("pentium4")),
+                         (*sim::MachineConfig::byName("athlonmp"))}) {
       for (auto Mode : {core::PrefetchMode::Inter,
                         core::PrefetchMode::InterIntra}) {
         // Fresh copy of the method per configuration: rebuild it by

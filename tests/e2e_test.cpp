@@ -39,7 +39,7 @@ double pct(const RunResult &Base, const RunResult &Opt, const char *Name) {
 }
 
 TEST(E2ETest, DbGainsBigWithIntraAndNothingWithInter) {
-  auto P4 = sim::MachineConfig::pentium4();
+  auto P4 = (*sim::MachineConfig::byName("pentium4"));
   RunResult Base = run("db", Algorithm::Baseline, P4);
   RunResult Inter = run("db", Algorithm::Inter, P4);
   RunResult Intra = run("db", Algorithm::InterIntra, P4);
@@ -52,7 +52,7 @@ TEST(E2ETest, DbGainsBigWithIntraAndNothingWithInter) {
 
 TEST(E2ETest, DbDtlbMissesCollapseOnP4) {
   // Figure 10's headline: guarded loads prime the DTLB.
-  auto P4 = sim::MachineConfig::pentium4();
+  auto P4 = (*sim::MachineConfig::byName("pentium4"));
   RunResult Base = run("db", Algorithm::Baseline, P4);
   RunResult Intra = run("db", Algorithm::InterIntra, P4);
   EXPECT_LT(Intra.Mem.DtlbLoadMisses, Base.Mem.DtlbLoadMisses / 5);
@@ -61,8 +61,8 @@ TEST(E2ETest, DbDtlbMissesCollapseOnP4) {
 }
 
 TEST(E2ETest, EulerGainsEquallyFromBothAlgorithms) {
-  for (auto M : {sim::MachineConfig::pentium4(),
-                 sim::MachineConfig::athlonMP()}) {
+  for (auto M : {(*sim::MachineConfig::byName("pentium4")),
+                 (*sim::MachineConfig::byName("athlonmp"))}) {
     RunResult Base = run("Euler", Algorithm::Baseline, M);
     RunResult Inter = run("Euler", Algorithm::Inter, M);
     RunResult Intra = run("Euler", Algorithm::InterIntra, M);
@@ -88,13 +88,13 @@ TEST(E2ETest, MolDynHelpsOnAthlonNotOnP4) {
   // capacity relation (fits L2, exceeds the Athlon L1), so this test runs
   // the full problem size.
   RunResult BaseP4 = runFullScale("MolDyn", Algorithm::Baseline,
-                                  sim::MachineConfig::pentium4());
+                                  (*sim::MachineConfig::byName("pentium4")));
   RunResult IntraP4 = runFullScale("MolDyn", Algorithm::InterIntra,
-                                   sim::MachineConfig::pentium4());
+                                   (*sim::MachineConfig::byName("pentium4")));
   RunResult BaseAt = runFullScale("MolDyn", Algorithm::Baseline,
-                                  sim::MachineConfig::athlonMP());
+                                  (*sim::MachineConfig::byName("athlonmp")));
   RunResult IntraAt = runFullScale("MolDyn", Algorithm::InterIntra,
-                                   sim::MachineConfig::athlonMP());
+                                   (*sim::MachineConfig::byName("athlonmp")));
 
   double P4Gain = pct(BaseP4, IntraP4, "MolDyn");
   double AtGain = pct(BaseAt, IntraAt, "MolDyn");
@@ -108,9 +108,9 @@ TEST(E2ETest, NoApplicableFragmentsMeanNoChange) {
   // cycles (bit-for-bit: nothing was inserted).
   for (const char *Name : {"compress", "javac", "Search"}) {
     RunResult Base =
-        run(Name, Algorithm::Baseline, sim::MachineConfig::pentium4());
+        run(Name, Algorithm::Baseline, (*sim::MachineConfig::byName("pentium4")));
     RunResult Intra =
-        run(Name, Algorithm::InterIntra, sim::MachineConfig::pentium4());
+        run(Name, Algorithm::InterIntra, (*sim::MachineConfig::byName("pentium4")));
     EXPECT_EQ(Base.CompiledCycles, Intra.CompiledCycles) << Name;
     EXPECT_EQ(Base.Retired, Intra.Retired) << Name;
   }
@@ -118,9 +118,9 @@ TEST(E2ETest, NoApplicableFragmentsMeanNoChange) {
 
 TEST(E2ETest, MpegaudioPaysPureOverhead) {
   RunResult Base =
-      run("mpegaudio", Algorithm::Baseline, sim::MachineConfig::pentium4());
+      run("mpegaudio", Algorithm::Baseline, (*sim::MachineConfig::byName("pentium4")));
   RunResult Intra = run("mpegaudio", Algorithm::InterIntra,
-                        sim::MachineConfig::pentium4());
+                        (*sim::MachineConfig::byName("pentium4")));
   // Prefetches were inserted...
   EXPECT_GT(Intra.Retired, Base.Retired);
   // ...and could only cost cycles (the filter bank is cache-resident).
@@ -131,7 +131,7 @@ TEST(E2ETest, MpegaudioPaysPureOverhead) {
 }
 
 TEST(E2ETest, JessImprovesWithIntraOnly) {
-  auto P4 = sim::MachineConfig::pentium4();
+  auto P4 = (*sim::MachineConfig::byName("pentium4"));
   RunResult Base = run("jess", Algorithm::Baseline, P4);
   RunResult Inter = run("jess", Algorithm::Inter, P4);
   RunResult Intra = run("jess", Algorithm::InterIntra, P4);
@@ -143,7 +143,7 @@ TEST(E2ETest, JessImprovesWithIntraOnly) {
 TEST(E2ETest, RetiredInstructionIncreaseIsBounded) {
   // Paper: the added prefetch instructions are relatively few (db +9.7%,
   // RayTracer +6.9%, jess +2.2%, the rest < 2%).
-  auto P4 = sim::MachineConfig::pentium4();
+  auto P4 = (*sim::MachineConfig::byName("pentium4"));
   for (const char *Name : {"db", "jess", "Euler", "RayTracer"}) {
     RunResult Base = run(Name, Algorithm::Baseline, P4);
     RunResult Intra = run(Name, Algorithm::InterIntra, P4);
@@ -159,7 +159,7 @@ TEST(E2ETest, RetiredInstructionIncreaseIsBounded) {
 TEST(E2ETest, CompileTimeOverheadIsSmallShare) {
   // Figure 11's property at test scale: the pass is a small share of the
   // whole-program JIT time.
-  auto P4 = sim::MachineConfig::pentium4();
+  auto P4 = (*sim::MachineConfig::byName("pentium4"));
   for (const char *Name : {"jess", "compress", "javac"}) {
     RunResult R = run(Name, Algorithm::InterIntra, P4);
     ASSERT_GT(R.JitTotalUs, 0.0) << Name;
@@ -220,13 +220,13 @@ TEST(E2ETest, GcPreservesStridesAndPrefetchEffectiveness) {
 
     if (Prefetch) {
       core::PrefetchPassOptions Opts = passOptionsFor(
-          sim::MachineConfig::pentium4(), core::PrefetchMode::InterIntra);
+          (*sim::MachineConfig::byName("pentium4")), core::PrefetchMode::InterIntra);
       core::PrefetchPass Pass(Heap, Opts);
       core::PrefetchPassResult R = Pass.run(Fn, {Arr, N});
       EXPECT_GT(R.CodeGen.Prefetches, 0u);
     }
 
-    sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+    sim::MemorySystem Mem((*sim::MachineConfig::byName("pentium4")));
     exec::Interpreter Interp(Heap, Mem, &Roots);
     uint64_t Result = Interp.run(Fn, {Arr, N});
     GcRuns = Interp.stats().GcRuns;

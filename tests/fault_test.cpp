@@ -360,7 +360,7 @@ TEST(StepBudgetTest, PartialTraceStaysConsistentAndPlannable) {
 // -- Guarded-load fault model ----------------------------------------------
 
 TEST(GuardFaultTest, MemorySystemChargesTheFaultCostWithoutFills) {
-  sim::MachineConfig Cfg = sim::MachineConfig::pentium4();
+  sim::MachineConfig Cfg = (*sim::MachineConfig::byName("pentium4"));
   sim::MemorySystem Mem(Cfg);
   uint64_t Before = Mem.cycles();
   sim::MemoryStats Stats0 = Mem.stats();
@@ -386,7 +386,7 @@ TEST(GuardFaultTest, CorruptedAddressesFailTheGuardNotTheProgram) {
   const workloads::WorkloadSpec *Spec = workloads::findWorkload("jess");
   ASSERT_NE(Spec, nullptr);
   workloads::RunOptions Opt;
-  Opt.Machine = sim::MachineConfig::pentium4();
+  Opt.Machine = (*sim::MachineConfig::byName("pentium4"));
   Opt.Algo = workloads::Algorithm::InterIntra;
   Opt.Config.Scale = 0.05;
 
@@ -548,7 +548,7 @@ TEST(ChaosTraceTest, GuardedLoadFaultsSurviveRecordAndReplay) {
   const workloads::WorkloadSpec *Spec = workloads::findWorkload("jess");
   ASSERT_NE(Spec, nullptr);
   workloads::RunOptions Opt;
-  Opt.Machine = sim::MachineConfig::pentium4();
+  Opt.Machine = (*sim::MachineConfig::byName("pentium4"));
   Opt.Algo = workloads::Algorithm::InterIntra;
   Opt.Config.Scale = 0.05;
   trace::TraceBuffer Buf;

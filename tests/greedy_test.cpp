@@ -60,7 +60,7 @@ TEST(GreedyTest, PreservesResultsAndReducesMissesOnAChase) {
 
   // Stride pass on W1: nothing to do.
   core::PrefetchPassOptions PO = workloads::passOptionsFor(
-      sim::MachineConfig::pentium4(), core::PrefetchMode::InterIntra);
+      (*sim::MachineConfig::byName("pentium4")), core::PrefetchMode::InterIntra);
   core::PrefetchPass Stride(*W1.Heap, PO);
   core::PrefetchPassResult SR = Stride.run(Hot1, W1.CompileUnits[0].Args);
   EXPECT_EQ(SR.CodeGen.Prefetches, 0u);
@@ -70,8 +70,8 @@ TEST(GreedyTest, PreservesResultsAndReducesMissesOnAChase) {
   ASSERT_GE(GR.Prefetches, 1u);
   ASSERT_TRUE(verifyMethod(Hot2));
 
-  sim::MemorySystem M1(sim::MachineConfig::pentium4());
-  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  sim::MemorySystem M1((*sim::MachineConfig::byName("pentium4")));
+  sim::MemorySystem M2((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter I1(*W1.Heap, M1, &W1.Roots);
   exec::Interpreter I2(*W2.Heap, M2, &W2.Roots);
   uint64_t R1 = I1.run(W1.Entry, W1.EntryArgs);
@@ -126,7 +126,7 @@ TEST(GreedyTest, HandlesHandWrittenSelfChase) {
   EXPECT_GE(R.Prefetches, 1u);
   ASSERT_TRUE(verifyMethod(Fn));
 
-  sim::MemorySystem Mem(sim::MachineConfig::athlonMP());
+  sim::MemorySystem Mem((*sim::MachineConfig::byName("athlonmp")));
   exec::Interpreter Interp(Heap, Mem);
   vm::Addr Head = Nodes[0 * 263 % N];
   uint64_t Got = Interp.run(Fn, {Head});

@@ -141,7 +141,7 @@ TEST(ExperimentPlanTest, SweepExpandsMachineMajorWithBaselineChecks) {
                                   Algorithm::InterIntra};
   std::vector<unsigned> Idx = Plan.addSweep(
       Specs, Algos,
-      {sim::MachineConfig::pentium4(), sim::MachineConfig::athlonMP()},
+      {(*sim::MachineConfig::byName("pentium4")), (*sim::MachineConfig::byName("athlonmp"))},
       WorkloadConfig(), "g");
 
   ASSERT_EQ(Plan.size(), 12u); // 2 machines x 2 workloads x 3 algorithms.
@@ -156,7 +156,7 @@ TEST(ExperimentPlanTest, SweepExpandsMachineMajorWithBaselineChecks) {
   EXPECT_EQ(C[2].Spec->Name, "jess");
   EXPECT_EQ(C[2].Opt.Algo, Algorithm::InterIntra);
   EXPECT_EQ(C[3].Spec->Name, "db");
-  EXPECT_EQ(C[6].Opt.Machine.Name, sim::MachineConfig::athlonMP().Name);
+  EXPECT_EQ(C[6].Opt.Machine.Name, sim::MachineConfig::byName("athlonmp")->Name);
 
   // Every non-baseline cell checks against its own workload's baseline on
   // the same machine.
@@ -172,7 +172,7 @@ TEST(ExperimentPlanTest, NoBaselineMeansNoChecks) {
   ExperimentPlan Plan;
   Plan.addSweep({findWorkload("jess")}, {Algorithm::Inter,
                                          Algorithm::InterIntra},
-                {sim::MachineConfig::pentium4()}, WorkloadConfig());
+                {(*sim::MachineConfig::byName("pentium4"))}, WorkloadConfig());
   for (const ExperimentCell &C : Plan.cells())
     EXPECT_FALSE(C.CheckAgainst.has_value());
 }
@@ -202,7 +202,7 @@ TEST(RunPlanTest, EightWorkersMatchOneWorkerBitForBit) {
   ASSERT_TRUE(Specs[0] && Specs[1] && Specs[2]);
   Plan.addSweep(
       Specs, {Algorithm::Baseline, Algorithm::Inter, Algorithm::InterIntra},
-      {sim::MachineConfig::pentium4(), sim::MachineConfig::athlonMP()},
+      {(*sim::MachineConfig::byName("pentium4")), (*sim::MachineConfig::byName("athlonmp"))},
       tinyConfig(), "determinism");
   ASSERT_EQ(Plan.size(), 18u);
 
@@ -304,7 +304,7 @@ TEST(JsonReportTest, ReportCarriesTheCellStats) {
   ExperimentPlan Plan;
   Plan.addSweep({findWorkload("jess")},
                 {Algorithm::Baseline, Algorithm::InterIntra},
-                {sim::MachineConfig::pentium4()}, tinyConfig(), "json");
+                {(*sim::MachineConfig::byName("pentium4"))}, tinyConfig(), "json");
   ExperimentResult R = runPlan(Plan, 2);
   ASSERT_TRUE(R.ok());
 

@@ -16,7 +16,7 @@ namespace {
 class InterpTest : public ::testing::Test {
 protected:
   InterpTest()
-      : Heap(Types, smallHeap()), Mem(sim::MachineConfig::pentium4()),
+      : Heap(Types, smallHeap()), Mem((*sim::MachineConfig::byName("pentium4"))),
         Interp(Heap, Mem) {}
 
   static vm::HeapConfig smallHeap() {

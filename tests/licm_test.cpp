@@ -38,7 +38,7 @@ TEST(LicmTest, HoistsInvariantArithmetic) {
   Fn->recomputePreds();
   ASSERT_TRUE(verifyMethod(Fn));
 
-  sim::MemorySystem M1(sim::MachineConfig::pentium4());
+  sim::MemorySystem M1((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter I1(Heap, M1);
   uint64_t Before = I1.run(Fn, {20, 5});
   uint64_t RetiredBefore = I1.stats().Retired;
@@ -52,7 +52,7 @@ TEST(LicmTest, HoistsInvariantArithmetic) {
   const auto *InvInst = cast<Instruction>(Inv);
   EXPECT_EQ(LI.loopFor(InvInst->parent()), nullptr);
 
-  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  sim::MemorySystem M2((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter I2(Heap, M2);
   uint64_t After = I2.run(Fn, {20, 5});
   EXPECT_EQ(Before, After);
@@ -156,15 +156,15 @@ TEST(LicmTest, WorkloadResultsUnchangedUnderLicm) {
   ASSERT_TRUE(verifyMethod(Hot2));
 
   core::PrefetchPassOptions PO = workloads::passOptionsFor(
-      sim::MachineConfig::pentium4(), core::PrefetchMode::InterIntra);
+      (*sim::MachineConfig::byName("pentium4")), core::PrefetchMode::InterIntra);
   core::PrefetchPass P1(*W1.Heap, PO);
   core::PrefetchPass P2(*W2.Heap, PO);
   auto R1 = P1.run(W1.CompileUnits[0].M, W1.CompileUnits[0].Args);
   auto R2 = P2.run(Hot2, W2.CompileUnits[0].Args);
   EXPECT_EQ(R1.CodeGen.SpecLoads, R2.CodeGen.SpecLoads);
 
-  sim::MemorySystem M1(sim::MachineConfig::pentium4());
-  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  sim::MemorySystem M1((*sim::MachineConfig::byName("pentium4")));
+  sim::MemorySystem M2((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter I1(*W1.Heap, M1, &W1.Roots);
   exec::Interpreter I2(*W2.Heap, M2, &W2.Roots);
   EXPECT_EQ(I1.run(W1.Entry, W1.EntryArgs), I2.run(W2.Entry, W2.EntryArgs));

@@ -23,11 +23,11 @@ namespace {
 TEST(MixedModeTest, HotMethodsAreCompiledAtTheThreshold) {
   JessWorld W;
   jit::CompileManager::Options Opts;
-  Opts.Pass = workloads::passOptionsFor(sim::MachineConfig::pentium4(),
+  Opts.Pass = workloads::passOptionsFor((*sim::MachineConfig::byName("pentium4")),
                                         core::PrefetchMode::InterIntra);
   jit::CompileManager Jit(*W.Heap, Opts);
 
-  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  sim::MemorySystem Mem((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter Interp(*W.Heap, Mem);
   unsigned Compiles = 0;
   Interp.enableMixedMode(
@@ -63,7 +63,7 @@ TEST(MixedModeTest, CompiledCodeIsFasterThanInterpreted) {
   jit::CompileManager::Options Opts;
   Opts.EnablePrefetch = false; // Isolate the interpret/compile gap.
   jit::CompileManager Jit(*W.Heap, Opts);
-  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  sim::MemorySystem Mem((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter Interp(*W.Heap, Mem);
   Interp.enableMixedMode(
       [&](ir::Method *M, const std::vector<uint64_t> &Args) {
@@ -80,7 +80,7 @@ TEST(MixedModeTest, CompiledCodeIsFasterThanInterpreted) {
 TEST(MixedModeTest, ResultsAreUnchangedAcrossTheTransition) {
   JessWorld W1, W2;
   // Reference: plain execution.
-  sim::MemorySystem M1(sim::MachineConfig::pentium4());
+  sim::MemorySystem M1((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter I1(*W1.Heap, M1);
   std::vector<uint64_t> Results1;
   for (int K = 0; K != 6; ++K)
@@ -88,10 +88,10 @@ TEST(MixedModeTest, ResultsAreUnchangedAcrossTheTransition) {
 
   // Mixed mode with prefetching kicking in mid-sequence.
   jit::CompileManager::Options Opts;
-  Opts.Pass = workloads::passOptionsFor(sim::MachineConfig::pentium4(),
+  Opts.Pass = workloads::passOptionsFor((*sim::MachineConfig::byName("pentium4")),
                                         core::PrefetchMode::InterIntra);
   jit::CompileManager Jit(*W2.Heap, Opts);
-  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  sim::MemorySystem M2((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter I2(*W2.Heap, M2);
   I2.enableMixedMode(
       [&](ir::Method *M, const std::vector<uint64_t> &Args) {
@@ -135,7 +135,7 @@ TEST(MixedModeTest, RecursiveMethodsCompileOnACleanInvocation) {
 
   jit::CompileManager::Options Opts;
   jit::CompileManager Jit(Heap, Opts);
-  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  sim::MemorySystem Mem((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter Interp(Heap, Mem);
   Interp.enableMixedMode(
       [&](ir::Method *Mth, const std::vector<uint64_t> &Args) {

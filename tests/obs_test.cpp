@@ -426,7 +426,7 @@ TEST(ObsParityTest, RunPlanStatsAreIdenticalOnAndOff) {
     Cfg.Scale = 0.05;
     Plan.addSweep({workloads::findWorkload("jess")},
                   {Algorithm::Baseline, Algorithm::InterIntra},
-                  {sim::MachineConfig::pentium4()}, Cfg);
+                  {(*sim::MachineConfig::byName("pentium4"))}, Cfg);
     return Plan;
   };
 

@@ -73,7 +73,7 @@ exit:  ; preds: header
   vm::HeapConfig HC;
   HC.HeapBytes = 1 << 16;
   vm::Heap Heap(Types, HC);
-  sim::MemorySystem Mem(sim::MachineConfig::pentium4());
+  sim::MemorySystem Mem((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter Interp(Heap, Mem);
   EXPECT_EQ(Interp.run(Fn, {7}), 7u);
 }
@@ -185,7 +185,7 @@ TEST(ParserTest, RoundTripsPrefetchTransformedCode) {
   Method *Find = W.Module->findMethod("Node2.findInMemory");
 
   core::PrefetchPassOptions Opts = workloads::passOptionsFor(
-      sim::MachineConfig::pentium4(), core::PrefetchMode::InterIntra);
+      (*sim::MachineConfig::byName("pentium4")), core::PrefetchMode::InterIntra);
   core::PrefetchPass Pass(*W.Heap, Opts);
   core::PrefetchPassResult R = Pass.run(Find, W.CompileUnits[0].Args);
   ASSERT_GT(R.CodeGen.SpecLoads, 0u);
@@ -213,8 +213,8 @@ TEST(ParserTest, ParsedMethodBehavesIdentically) {
   Method *Copy = parseMethod(*W.Module, *W.Types, printed(Find), &Error);
   ASSERT_NE(Copy, nullptr) << Error;
 
-  sim::MemorySystem M1(sim::MachineConfig::pentium4());
-  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  sim::MemorySystem M1((*sim::MachineConfig::byName("pentium4")));
+  sim::MemorySystem M2((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter I1(*W.Heap, M1);
   exec::Interpreter I2(*W.Heap, M2);
   uint64_t R1 = I1.run(Find, Args);

@@ -73,8 +73,8 @@ TEST(PassTest, TransformedJessComputesTheSameResult) {
   PrefetchPass Pass(*W2.Heap, Opts);
   Pass.run(W2.Find, W2.findArgs());
 
-  sim::MemorySystem M1(sim::MachineConfig::pentium4());
-  sim::MemorySystem M2(sim::MachineConfig::pentium4());
+  sim::MemorySystem M1((*sim::MachineConfig::byName("pentium4")));
+  sim::MemorySystem M2((*sim::MachineConfig::byName("pentium4")));
   exec::Interpreter I1(*W1.Heap, M1);
   exec::Interpreter I2(*W2.Heap, M2);
   uint64_t R1 = I1.run(W1.Find, W1.findArgs());

@@ -171,7 +171,7 @@ TEST(HwPrefetcherTest, StreamsStopAtPageBoundary) {
 
 class MemorySystemTest : public ::testing::Test {
 protected:
-  MemorySystemTest() : Mem(MachineConfig::pentium4()) {}
+  MemorySystemTest() : Mem((*MachineConfig::byName("pentium4"))) {}
   MemorySystem Mem;
 };
 
@@ -184,10 +184,10 @@ TEST_F(MemorySystemTest, ColdLoadPaysFullPenaltyThenHitsL1) {
   const MachineConfig &C = Mem.config();
   Mem.load(0x100000);
   uint64_t Cold = Mem.cycles();
-  EXPECT_EQ(Cold, C.L1HitCycles + C.TlbMissPenalty + C.L2HitPenalty +
-                      C.MemPenalty);
+  EXPECT_EQ(Cold, C.Levels[0].HitCycles + C.TlbMissPenalty +
+                      C.Levels[1].HitCycles + C.MemPenalty);
   Mem.load(0x100000);
-  EXPECT_EQ(Mem.cycles() - Cold, C.L1HitCycles);
+  EXPECT_EQ(Mem.cycles() - Cold, C.Levels[0].HitCycles);
   EXPECT_EQ(Mem.stats().Loads, 2u);
   EXPECT_EQ(Mem.stats().L1LoadMisses, 1u);
   EXPECT_EQ(Mem.stats().L2LoadMisses, 1u);
@@ -208,14 +208,14 @@ TEST_F(MemorySystemTest, PrefetchCancelledOnTlbMiss) {
 TEST_F(MemorySystemTest, PrefetchAfterTlbWarmupFillsL2) {
   const MachineConfig &C = Mem.config();
   Mem.load(0x300000); // Warm the page's TLB entry.
-  Mem.prefetch(0x300000 + 2 * C.L2.LineBytes);
+  Mem.prefetch(0x300000 + 2 * C.Levels[1].Geometry.LineBytes);
   EXPECT_EQ(Mem.stats().SwPrefetchesCancelled, 0u);
   // Let the fill complete.
   Mem.tick(C.PrefetchFillLatency);
   uint64_t Before = Mem.cycles();
-  Mem.load(0x300000 + 2 * C.L2.LineBytes);
+  Mem.load(0x300000 + 2 * C.Levels[1].Geometry.LineBytes);
   // On the P4 the prefetch fills only the L2: the load misses L1, hits L2.
-  EXPECT_EQ(Mem.cycles() - Before, C.L1HitCycles + C.L2HitPenalty);
+  EXPECT_EQ(Mem.cycles() - Before, C.Levels[0].HitCycles + C.Levels[1].HitCycles);
   EXPECT_EQ(Mem.stats().L2LoadMisses, 1u); // Only the warmup load.
 }
 
@@ -227,50 +227,56 @@ TEST_F(MemorySystemTest, GuardedLoadPrimesTlbAndFillsL1) {
   uint64_t Before = Mem.cycles();
   Mem.load(0x400000);
   // TLB primed and L1 filled: a pure L1 hit.
-  EXPECT_EQ(Mem.cycles() - Before, C.L1HitCycles);
+  EXPECT_EQ(Mem.cycles() - Before, C.Levels[0].HitCycles);
   EXPECT_EQ(Mem.stats().DtlbLoadMisses, 0u);
 }
 
 TEST_F(MemorySystemTest, LatePrefetchPaysPartialLatency) {
   const MachineConfig &C = Mem.config();
   Mem.load(0x500000); // TLB warmup.
-  Mem.prefetch(0x500000 + 4 * C.L2.LineBytes);
+  Mem.prefetch(0x500000 + 4 * C.Levels[1].Geometry.LineBytes);
   // Access immediately: the fill is in flight.
   uint64_t Before = Mem.cycles();
-  Mem.load(0x500000 + 4 * C.L2.LineBytes);
+  Mem.load(0x500000 + 4 * C.Levels[1].Geometry.LineBytes);
   uint64_t Cost = Mem.cycles() - Before;
-  EXPECT_GT(Cost, static_cast<uint64_t>(C.L1HitCycles + C.L2HitPenalty));
-  EXPECT_LE(Cost, static_cast<uint64_t>(C.L1HitCycles + C.L2HitPenalty +
-                                        C.PrefetchFillLatency));
+  EXPECT_GT(Cost,
+            static_cast<uint64_t>(C.Levels[0].HitCycles + C.Levels[1].HitCycles));
+  EXPECT_LE(Cost,
+            static_cast<uint64_t>(C.Levels[0].HitCycles +
+                                  C.Levels[1].HitCycles + C.PrefetchFillLatency));
 }
 
 TEST(MemorySystemAthlonTest, SwPrefetchFillsL1OnAthlon) {
-  MachineConfig C = MachineConfig::athlonMP();
+  MachineConfig C = *MachineConfig::byName("athlon");
   MemorySystem Mem(C);
   Mem.load(0x600000); // TLB warmup.
-  Mem.prefetch(0x600000 + 4 * C.L1.LineBytes);
+  Mem.prefetch(0x600000 + 4 * C.Levels[0].Geometry.LineBytes);
   Mem.tick(C.PrefetchFillLatency);
   uint64_t Before = Mem.cycles();
-  Mem.load(0x600000 + 4 * C.L1.LineBytes);
-  EXPECT_EQ(Mem.cycles() - Before, C.L1HitCycles); // Straight L1 hit.
+  Mem.load(0x600000 + 4 * C.Levels[0].Geometry.LineBytes);
+  EXPECT_EQ(Mem.cycles() - Before, C.Levels[0].HitCycles); // Straight L1 hit.
 }
 
 TEST(MachineConfigTest, Table2Parameters) {
-  MachineConfig P4 = MachineConfig::pentium4();
-  EXPECT_EQ(P4.L1.SizeBytes, 8u * 1024);
-  EXPECT_EQ(P4.L1.LineBytes, 64u);
-  EXPECT_EQ(P4.L2.SizeBytes, 256u * 1024);
-  EXPECT_EQ(P4.L2.LineBytes, 128u);
+  MachineConfig P4 = (*MachineConfig::byName("pentium4"));
+  ASSERT_EQ(P4.numLevels(), 2u);
+  EXPECT_EQ(P4.Levels[0].Geometry.SizeBytes, 8u * 1024);
+  EXPECT_EQ(P4.Levels[0].Geometry.LineBytes, 64u);
+  EXPECT_EQ(P4.Levels[1].Geometry.SizeBytes, 256u * 1024);
+  EXPECT_EQ(P4.Levels[1].Geometry.LineBytes, 128u);
   EXPECT_EQ(P4.TlbEntries, 64u);
-  EXPECT_EQ(P4.SwPrefetchFill, PrefetchFillLevel::L2);
+  EXPECT_EQ(P4.SwFillLevel, 1u); // SW prefetches fill the L2.
+  EXPECT_EQ(P4.Walk, TlbWalk::Flat);
 
-  MachineConfig At = MachineConfig::athlonMP();
-  EXPECT_EQ(At.L1.SizeBytes, 64u * 1024);
-  EXPECT_EQ(At.L1.LineBytes, 64u);
-  EXPECT_EQ(At.L2.SizeBytes, 256u * 1024);
-  EXPECT_EQ(At.L2.LineBytes, 64u);
+  MachineConfig At = (*MachineConfig::byName("athlonmp"));
+  ASSERT_EQ(At.numLevels(), 2u);
+  EXPECT_EQ(At.Levels[0].Geometry.SizeBytes, 64u * 1024);
+  EXPECT_EQ(At.Levels[0].Geometry.LineBytes, 64u);
+  EXPECT_EQ(At.Levels[1].Geometry.SizeBytes, 256u * 1024);
+  EXPECT_EQ(At.Levels[1].Geometry.LineBytes, 64u);
   EXPECT_EQ(At.TlbEntries, 256u);
-  EXPECT_EQ(At.SwPrefetchFill, PrefetchFillLevel::L1);
+  EXPECT_EQ(At.SwFillLevel, 0u); // SW prefetches fill the L1 too.
+  EXPECT_EQ(At.Walk, TlbWalk::Flat);
 }
 
 } // namespace
@@ -297,7 +303,7 @@ TEST(HwPrefetcherTest, TracksMultipleConcurrentStreams) {
 }
 
 TEST(MemorySystemTest2, StoresDoNotCountInLoadMpis) {
-  MemorySystem Mem(MachineConfig::pentium4());
+  MemorySystem Mem((*MachineConfig::byName("pentium4")));
   Mem.store(0x700000);
   Mem.store(0x700000 + 4096);
   EXPECT_EQ(Mem.stats().L1LoadMisses, 0u);
@@ -309,7 +315,7 @@ TEST(MemorySystemTest2, StoresDoNotCountInLoadMpis) {
 TEST(MemorySystemTest2, WarmerIsNeverSlower) {
   // Property: re-running the same access trace against a warm hierarchy
   // never costs more cycles than the cold pass.
-  MachineConfig C = MachineConfig::athlonMP();
+  MachineConfig C = (*MachineConfig::byName("athlonmp"));
   MemorySystem Mem(C);
   std::vector<uint64_t> Trace;
   uint64_t A = 0x100000000ull;

@@ -399,7 +399,7 @@ void driveSyntheticStream(exec::AccessSink &Sink) {
 }
 
 TEST(RecordingSinkTest, TeeIsInvisibleAndReplayIsBitIdentical) {
-  sim::MachineConfig Machine = sim::MachineConfig::pentium4();
+  sim::MachineConfig Machine = (*sim::MachineConfig::byName("pentium4"));
 
   // Direct: no recording involved at all.
   sim::MemorySystem Direct(Machine);
@@ -427,7 +427,7 @@ TEST(RecordingSinkTest, TeeIsInvisibleAndReplayIsBitIdentical) {
 
   // The same trace replays on the *other* machine too; different timing,
   // same event counts.
-  sim::MemorySystem Other(sim::MachineConfig::athlonMP());
+  sim::MemorySystem Other((*sim::MachineConfig::byName("athlonmp")));
   replay(Buf, Other);
   EXPECT_EQ(Other.stats().Loads, Direct.stats().Loads);
   EXPECT_EQ(Other.stats().Stores, Direct.stats().Stores);
@@ -460,8 +460,8 @@ TEST(ExecutionSignatureTest, BaselineIsMachineIndependent) {
   const workloads::WorkloadSpec *Spec = workloads::findWorkload("jess");
   ASSERT_NE(Spec, nullptr);
   workloads::RunOptions P4, Athlon;
-  P4.Machine = sim::MachineConfig::pentium4();
-  Athlon.Machine = sim::MachineConfig::athlonMP();
+  P4.Machine = (*sim::MachineConfig::byName("pentium4"));
+  Athlon.Machine = (*sim::MachineConfig::byName("athlonmp"));
   P4.Config = Athlon.Config = tinyConfig();
 
   // BASELINE never runs the planner: one trace serves every machine.
@@ -507,8 +507,12 @@ TEST(ExecutionSignatureTest, TunedRunsNeedAStableKey) {
 // -- Differential: replay == direct for the full evaluation matrix ---------
 
 TEST(DifferentialTest, ReplayMatchesDirectForEveryWorkloadAndMachine) {
+  // Includes the three-level machine so the page-walk and RPT paths are
+  // exercised by the replay contract, not just the classic flat model.
   const std::vector<sim::MachineConfig> Machines = {
-      sim::MachineConfig::pentium4(), sim::MachineConfig::athlonMP()};
+      (*sim::MachineConfig::byName("pentium4")),
+      (*sim::MachineConfig::byName("athlonmp")),
+      (*sim::MachineConfig::byName("modern3l"))};
   for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads()) {
     for (const sim::MachineConfig &Machine : Machines) {
       workloads::RunOptions Opt;
@@ -541,14 +545,14 @@ TEST(DifferentialTest, BaselineTraceReplaysAcrossMachines) {
   ASSERT_NE(Spec, nullptr);
 
   workloads::RunOptions P4;
-  P4.Machine = sim::MachineConfig::pentium4();
+  P4.Machine = (*sim::MachineConfig::byName("pentium4"));
   P4.Config = tinyConfig();
   TraceBuffer Buf;
   P4.Record = &Buf;
   workloads::RunResult Recorded = workloads::runWorkload(*Spec, P4);
 
   workloads::RunOptions Athlon = P4;
-  Athlon.Machine = sim::MachineConfig::athlonMP();
+  Athlon.Machine = (*sim::MachineConfig::byName("athlonmp"));
   Athlon.Record = nullptr;
   workloads::RunResult Direct = workloads::runWorkload(*Spec, Athlon);
 
@@ -562,10 +566,15 @@ TEST(DifferentialTest, BaselineTraceReplaysAcrossMachines) {
 TEST(DifferentialTest, BatchedDispatchMatchesPerEventForEveryWorkload) {
   // The batched consume() overrides (MemorySystem's peek/commit fast
   // path, CountingSink's loop) against the one-virtual-call-per-event
-  // reference, across every Table 3 workload on both machines: stats,
-  // per-site stats, and cycles must be bit-identical.
+  // reference, across every Table 3 workload on all three machines —
+  // including the walked-TLB, RPT-prefetching Modern3L, whose batched
+  // clean-hit loop must observe loads at the same clock values the
+  // per-event path does: stats, per-site stats, and cycles must be
+  // bit-identical.
   const std::vector<sim::MachineConfig> Machines = {
-      sim::MachineConfig::pentium4(), sim::MachineConfig::athlonMP()};
+      (*sim::MachineConfig::byName("pentium4")),
+      (*sim::MachineConfig::byName("athlonmp")),
+      (*sim::MachineConfig::byName("modern3l"))};
   for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads()) {
     workloads::RunOptions Opt;
     Opt.Machine = Machines[0];
@@ -717,8 +726,8 @@ TEST(TraceCacheTest, MmapAndHeapSpillReloadsAreIdentical) {
   EXPECT_EQ(decodeAll(GotH->Buf), Expected);
 
   // And both replay identically through a real machine.
-  sim::MemorySystem FromMap(sim::MachineConfig::pentium4());
-  sim::MemorySystem FromHeap(sim::MachineConfig::pentium4());
+  sim::MemorySystem FromMap((*sim::MachineConfig::byName("pentium4")));
+  sim::MemorySystem FromHeap((*sim::MachineConfig::byName("pentium4")));
   ASSERT_TRUE(replay(GotM->Buf, FromMap));
   ASSERT_TRUE(replay(GotH->Buf, FromHeap));
   EXPECT_EQ(FromMap.stats(), FromHeap.stats());
@@ -835,8 +844,8 @@ TEST(RunPlanTraceTest, ReuseChangesNoStatisticAtAnyWorkerCount) {
   Plan.addSweep(Specs,
                 {workloads::Algorithm::Baseline, workloads::Algorithm::Inter,
                  workloads::Algorithm::InterIntra},
-                {sim::MachineConfig::pentium4(),
-                 sim::MachineConfig::athlonMP()},
+                {(*sim::MachineConfig::byName("pentium4")),
+                 (*sim::MachineConfig::byName("athlonmp"))},
                 tinyConfig(), "trace");
   ASSERT_EQ(Plan.size(), 12u);
 
@@ -878,8 +887,8 @@ TEST(RunPlanTraceTest, JsonReportCarriesTraceFields) {
       workloads::findWorkload("db")};
   ASSERT_TRUE(Specs[0]);
   Plan.addSweep(Specs, {workloads::Algorithm::Baseline},
-                {sim::MachineConfig::pentium4(),
-                 sim::MachineConfig::athlonMP()},
+                {(*sim::MachineConfig::byName("pentium4")),
+                 (*sim::MachineConfig::byName("athlonmp"))},
                 tinyConfig(), "json");
   harness::ExperimentResult Result =
       harness::runPlan(Plan, 1, harness::TraceOptions());

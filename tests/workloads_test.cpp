@@ -52,8 +52,8 @@ TEST_P(WorkloadCase, ResultIsIdenticalUnderAllAlgorithms) {
   EXPECT_GT(RBase.CompiledCycles, 0u);
 
   for (Algorithm A : {Algorithm::Inter, Algorithm::InterIntra}) {
-    for (auto Machine : {sim::MachineConfig::pentium4(),
-                         sim::MachineConfig::athlonMP()}) {
+    for (auto Machine : {(*sim::MachineConfig::byName("pentium4")),
+                         (*sim::MachineConfig::byName("athlonmp"))}) {
       RunOptions Opt;
       Opt.Config = tinyConfig();
       Opt.Algo = A;
@@ -141,7 +141,7 @@ TEST(WorkloadBehaviorTest, MolDynRejectedOnP4ButEmittedOnAthlon) {
   RunOptions Opt;
   Opt.Config = tinyConfig();
   Opt.Algo = Algorithm::Inter;
-  Opt.Machine = sim::MachineConfig::athlonMP();
+  Opt.Machine = (*sim::MachineConfig::byName("athlonmp"));
   RunResult R = runWorkload(*Spec, Opt);
   EXPECT_GT(R.Prefetch.CodeGen.Prefetches, 0u);
 }
@@ -158,12 +158,12 @@ TEST(WorkloadBehaviorTest, JessCompileTimeOverheadIsSmall) {
 }
 
 TEST(RunnerTest, PassOptionsFollowTheMachine) {
-  auto P4 = passOptionsFor(sim::MachineConfig::pentium4(),
+  auto P4 = passOptionsFor((*sim::MachineConfig::byName("pentium4")),
                            core::PrefetchMode::InterIntra);
   EXPECT_EQ(P4.Planner.LineBytes, 128u); // The L2 line: prefetch target.
   EXPECT_TRUE(P4.Planner.GuardedIntraPrefetch);
 
-  auto At = passOptionsFor(sim::MachineConfig::athlonMP(),
+  auto At = passOptionsFor((*sim::MachineConfig::byName("athlonmp")),
                            core::PrefetchMode::InterIntra);
   EXPECT_EQ(At.Planner.LineBytes, 64u); // The L1 line.
   EXPECT_FALSE(At.Planner.GuardedIntraPrefetch);
@@ -190,7 +190,7 @@ TEST(ProgramPopulationTest, PopulationMethodsVerifyAndStayUntouched) {
 
   unsigned PopMethods = 0;
   jit::CompileManager::Options Opts;
-  Opts.Pass = passOptionsFor(sim::MachineConfig::pentium4(),
+  Opts.Pass = passOptionsFor((*sim::MachineConfig::byName("pentium4")),
                              core::PrefetchMode::InterIntra);
   jit::CompileManager Jit(*W.Heap, Opts);
   for (const CompileUnit &CU : W.CompileUnits) {
