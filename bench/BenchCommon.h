@@ -124,6 +124,84 @@ machinesFromArgs(int argc, char **argv,
   return Machines;
 }
 
+/// Epoch / GC-variant / governor knobs shared by adaptation-aware
+/// benches (bench/adaptation, bench/sweep):
+///   --epochs N            epochs per run, >= 1 (or SPF_EPOCHS)
+///   --gc-variant NAME     sliding-compact | mark-sweep | address-shuffle |
+///                         promotion-order (or SPF_GC_VARIANT)
+///   --governor on|off     online prefetch-health governor (or
+///                         SPF_GOVERNOR=on|off)
+///   --phase-change        shuffle ref arrays at the midpoint boundary
+///                         (or SPF_PHASE_CHANGE=1)
+/// Invalid values exit with support::ConfigErrorExit (2) before any cell
+/// runs.
+struct AdaptationKnobs {
+  unsigned Epochs = 1;
+  vm::GcVariant GcVariant = vm::GcVariant::SlidingCompact;
+  bool Governor = false;
+  bool PhaseChange = false;
+
+  void applyTo(workloads::RunOptions &Opt) const {
+    Opt.Epochs = Epochs;
+    Opt.GcVariant = GcVariant;
+    Opt.Governor = Governor;
+    Opt.PhaseChange = PhaseChange;
+  }
+};
+
+inline AdaptationKnobs adaptationFromArgs(int argc, char **argv) {
+  AdaptationKnobs K;
+  auto ParseEpochs = [](const char *Flag, const std::string &V) {
+    char *End = nullptr;
+    long N = std::strtol(V.c_str(), &End, 10);
+    if (!End || *End != '\0' || N < 1 || N > 1000000)
+      support::envConfigError(Flag, V.c_str(),
+                              "expected an integer epoch count >= 1");
+    return static_cast<unsigned>(N);
+  };
+  auto ParseVariant = [](const char *Flag, const std::string &V) {
+    std::optional<vm::GcVariant> G = vm::parseGcVariant(V);
+    if (!G)
+      support::envConfigError(Flag, V.c_str(),
+                              "expected sliding-compact|mark-sweep|"
+                              "address-shuffle|promotion-order");
+    return *G;
+  };
+  auto ParseOnOff = [](const char *Flag, const std::string &V) {
+    if (V == "on" || V == "1" || V == "true")
+      return true;
+    if (V == "off" || V == "0" || V == "false")
+      return false;
+    support::envConfigError(Flag, V.c_str(), "expected on|off");
+  };
+  if (const char *E = std::getenv("SPF_EPOCHS"))
+    K.Epochs = ParseEpochs("SPF_EPOCHS", E);
+  if (const char *E = std::getenv("SPF_GC_VARIANT"))
+    K.GcVariant = ParseVariant("SPF_GC_VARIANT", E);
+  if (const char *E = std::getenv("SPF_GOVERNOR"))
+    K.Governor = ParseOnOff("SPF_GOVERNOR", E);
+  if (const char *E = std::getenv("SPF_PHASE_CHANGE"))
+    K.PhaseChange = ParseOnOff("SPF_PHASE_CHANGE", E);
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--epochs" && I + 1 < argc)
+      K.Epochs = ParseEpochs("--epochs", argv[++I]);
+    else if (A.rfind("--epochs=", 0) == 0)
+      K.Epochs = ParseEpochs("--epochs", A.substr(9));
+    else if (A == "--gc-variant" && I + 1 < argc)
+      K.GcVariant = ParseVariant("--gc-variant", argv[++I]);
+    else if (A.rfind("--gc-variant=", 0) == 0)
+      K.GcVariant = ParseVariant("--gc-variant", A.substr(13));
+    else if (A == "--governor" && I + 1 < argc)
+      K.Governor = ParseOnOff("--governor", argv[++I]);
+    else if (A.rfind("--governor=", 0) == 0)
+      K.Governor = ParseOnOff("--governor", A.substr(11));
+    else if (A == "--phase-change")
+      K.PhaseChange = true;
+  }
+  return K;
+}
+
 /// Number of correctness failures recorded so far in this binary.
 inline unsigned &failureCount() {
   static unsigned Count = 0;

@@ -8,6 +8,8 @@
 /// Usage:
 ///   sweep [--jobs N] [--json FILE] [--workloads a,b,c]
 ///         [--machine NAME] [--machine-file FILE] [--hw-prefetch KIND]
+///         [--epochs N] [--gc-variant KIND] [--governor on|off]
+///         [--phase-change]
 ///         [--no-trace-reuse] [--trace-cache-mb N] [--trace-dir DIR]
 ///         [--isolate] [--cell-mem-mb N] [--journal FILE] [--resume]
 ///         [--profile-out FILE] [--stats-out FILE]
@@ -31,6 +33,21 @@
 ///                     selected machine (none | stream | rpt); with no
 ///                     --machine/--machine-file it applies to the default
 ///                     Pentium4+AthlonMP plan
+///   --epochs N        run every cell's entry method N times with a full
+///                     GC at each epoch boundary (default 1 = classic
+///                     single-shot run; or SPF_EPOCHS)
+///   --gc-variant K    GC perturbation variant at epoch boundaries:
+///                     sliding-compact (default) | mark-sweep |
+///                     address-shuffle | promotion-order (or
+///                     SPF_GC_VARIANT)
+///   --governor on|off enable the online prefetch-health governor, which
+///                     re-decides each prefetch site (keep / retune /
+///                     quarantine / re-inspect) at epoch boundaries;
+///                     governed cells never reuse recorded traces (or
+///                     SPF_GOVERNOR)
+///   --phase-change    shuffle every Ref array's element order at the
+///                     middle epoch boundary, breaking inspected stride
+///                     patterns mid-run (or SPF_PHASE_CHANGE=1)
 ///   --no-trace-reuse  interpret every cell directly instead of replaying
 ///                     recorded access traces (statistics are identical
 ///                     either way; this is the A/B baseline CI diffs
@@ -612,6 +629,18 @@ int main(int argc, char **argv) {
     Cell.Opt.Algo = Algorithm::Baseline;
     Plan.add(std::move(Cell));
   }
+
+  // --epochs/--gc-variant/--governor/--phase-change season every planned
+  // cell; with all four at their defaults this is a no-op and the sweep
+  // is byte-identical to the classic single-epoch run.
+  AdaptationKnobs Adapt = adaptationFromArgs(argc, argv);
+  for (harness::ExperimentCell &C : Plan.cells())
+    Adapt.applyTo(C.Opt);
+  if (Adapt.Epochs > 1 || Adapt.Governor)
+    std::printf("sweep: epochs=%u gc-variant=%s governor=%s%s\n",
+                Adapt.Epochs, vm::gcVariantName(Adapt.GcVariant),
+                Adapt.Governor ? "on" : "off",
+                Adapt.PhaseChange ? " phase-change" : "");
 
   if (ModeSweep)
     std::printf("sweep: %zu cells (%zu workloads x %zu prefetch modes x "

@@ -60,18 +60,20 @@ GreedyResult core::runGreedyPrefetch(Method *M, GreedyOptions Opts) {
         // Greedy: the loaded pointer IS the lookahead address. Touch the
         // next node's start...
         BasicBlock *BB = Chase->parent();
-        Instruction *Pos = BB->insertAfter(
-            Chase, std::make_unique<PrefetchInst>(Chase, nullptr, 0,
-                                                  Opts.PrefetchDisp,
-                                                  /*Guarded=*/false));
+        auto Pf = std::make_unique<PrefetchInst>(Chase, nullptr, 0,
+                                                 Opts.PrefetchDisp,
+                                                 /*Guarded=*/false);
+        Pf->setAnchor(Chase); // Pointer chase: anchored, strideless.
+        Instruction *Pos = BB->insertAfter(Chase, std::move(Pf));
         ++Result.Prefetches;
         // ...and the chased field itself when it lives elsewhere.
         if (Opts.CoverChasedField &&
             Chase->field()->Offset >= 64 + Opts.PrefetchDisp) {
-          BB->insertAfter(Pos, std::make_unique<PrefetchInst>(
-                                   Chase, nullptr, 0,
-                                   Chase->field()->Offset,
-                                   /*Guarded=*/false));
+          auto Pf2 = std::make_unique<PrefetchInst>(Chase, nullptr, 0,
+                                                    Chase->field()->Offset,
+                                                    /*Guarded=*/false);
+          Pf2->setAnchor(Chase);
+          BB->insertAfter(Pos, std::move(Pf2));
           ++Result.Prefetches;
         }
         break; // One chase per phi.

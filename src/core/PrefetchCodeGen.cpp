@@ -17,10 +17,11 @@ CodeGenStats core::applyPlan(const LoopPlan &Plan) {
     Instruction *InsertPos = A.Anchor;
 
     if (A.EmitPlain) {
-      InsertPos = BB->insertAfter(
-          InsertPos, std::make_unique<PrefetchInst>(A.Base, A.Index, A.Scale,
-                                                    A.AnchorDisp,
-                                                    A.PlainGuarded));
+      auto Pf = std::make_unique<PrefetchInst>(A.Base, A.Index, A.Scale,
+                                               A.AnchorDisp, A.PlainGuarded);
+      Pf->setAnchor(A.Anchor);
+      Pf->setStrideBytes(A.InterStride);
+      InsertPos = BB->insertAfter(InsertPos, std::move(Pf));
       ++Stats.Prefetches;
       if (DL)
         DL->event("codegen",
@@ -33,20 +34,24 @@ CodeGenStats core::applyPlan(const LoopPlan &Plan) {
       continue;
 
     // a = spec_load(A(Lx) + d*c)
-    Instruction *Spec = BB->insertAfter(
-        InsertPos,
-        std::make_unique<SpecLoadInst>(A.Base, A.Index, A.Scale,
-                                       A.AnchorDisp));
+    auto SpecI = std::make_unique<SpecLoadInst>(A.Base, A.Index, A.Scale,
+                                                A.AnchorDisp);
+    SpecI->setAnchor(A.Anchor);
+    SpecI->setStrideBytes(A.InterStride);
+    Instruction *Spec = BB->insertAfter(InsertPos, std::move(SpecI));
     Spec->setName("pref");
     ++Stats.SpecLoads;
     InsertPos = Spec;
 
-    // prefetch(F(a) [+ S]) for each planned dereference target.
+    // prefetch(F(a) [+ S]) for each planned dereference target. The
+    // derefs share the anchor (one governor decision covers the chain)
+    // but carry no stride: distance retuning shifts the spec load only.
     unsigned Guarded = 0;
     for (const DerefPrefetch &D : A.Derefs) {
-      InsertPos = BB->insertAfter(
-          InsertPos, std::make_unique<PrefetchInst>(
-                         Spec, nullptr, 0, D.Offset, D.Guarded));
+      auto Pf = std::make_unique<PrefetchInst>(Spec, nullptr, 0, D.Offset,
+                                               D.Guarded);
+      Pf->setAnchor(A.Anchor);
+      InsertPos = BB->insertAfter(InsertPos, std::move(Pf));
       ++Stats.Prefetches;
       Guarded += D.Guarded;
     }
@@ -57,5 +62,28 @@ CodeGenStats core::applyPlan(const LoopPlan &Plan) {
                 A.InterStride);
   }
 
+  return Stats;
+}
+
+CodeGenStats core::stripPrefetchCode(ir::Method &M) {
+  CodeGenStats Stats;
+  for (const auto &BB : M.blocks()) {
+    // Prefetches first (they may use spec loads), spec loads second —
+    // erase() requires the instruction to be user-free.
+    std::vector<Instruction *> Prefetches;
+    std::vector<Instruction *> SpecLoads;
+    for (const auto &IP : BB->instructions()) {
+      if (isa<PrefetchInst>(IP.get()))
+        Prefetches.push_back(IP.get());
+      else if (isa<SpecLoadInst>(IP.get()))
+        SpecLoads.push_back(IP.get());
+    }
+    for (Instruction *I : Prefetches)
+      BB->erase(I);
+    for (Instruction *I : SpecLoads)
+      BB->erase(I);
+    Stats.Prefetches += static_cast<unsigned>(Prefetches.size());
+    Stats.SpecLoads += static_cast<unsigned>(SpecLoads.size());
+  }
   return Stats;
 }

@@ -24,6 +24,14 @@ struct CodeGenStats {
 /// Materializes \p Plan into the anchors' blocks.
 CodeGenStats applyPlan(const LoopPlan &Plan);
 
+/// Removes every prefetch / spec_load from \p M, returning how many of
+/// each were erased. Spec loads feed only the prefetches of their own
+/// chain, so stripping both leaves the method exactly as the planner
+/// found it — this is the "undo" half of governor-triggered
+/// re-inspection + re-JIT (anchor loads are untouched, so load SiteIds
+/// stay stable across the rebuild).
+CodeGenStats stripPrefetchCode(ir::Method &M);
+
 } // namespace core
 } // namespace spf
 

@@ -66,6 +66,27 @@ public:
   /// Guarded load whose check failed: recovery-path cost only.
   virtual void guardedLoadFault() = 0;
 
+  // Site-attributed prefetch events. The interpreter uses these when
+  // per-site prefetch-health accounting is active (the governor's
+  // evidence stream); \p Site is the IR load site whose plan issued the
+  // prefetch. Semantically identical to the unattributed forms — the
+  // defaults forward, so sinks that don't track health need no changes —
+  // and NOT part of the trace wire format: attribution is a live-run
+  // concern, and governor-driven runs are never trace-cached
+  // (workloads::executionSignature refuses to key them).
+  virtual void prefetch(uint64_t Addr, SiteId Site) {
+    (void)Site;
+    prefetch(Addr);
+  }
+  virtual void guardedLoad(uint64_t Addr, SiteId Site) {
+    (void)Site;
+    guardedLoad(Addr);
+  }
+  virtual void guardedLoadFault(SiteId Site) {
+    (void)Site;
+    guardedLoadFault();
+  }
+
   /// Consumes a block of \p N decoded events, in order. The block-
   /// dispatch contract: consume(Events, N) must be indistinguishable
   /// from calling tick/load/store/... once per event in array order —

@@ -450,8 +450,24 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
       }
       case Opcode::Prefetch: {
         auto *P = cast<PrefetchInst>(I);
+        // Governor mode: consult the site's runtime control and attribute
+        // the issue. A quarantined site's prefetch is a nop (modeling the
+        // JIT patching it out) — zero cost, zero events.
+        SiteId PSite = 0;
+        int32_t Extra = 0;
+        if (Governed) {
+          PSite = prefetchSiteOf(P);
+          auto It = Controls.find(PSite);
+          if (It != Controls.end()) {
+            if (It->second.Suppress)
+              break;
+            Extra = It->second.ExtraDistance;
+          }
+        }
         ++Stats.PrefetchRelated;
         vm::Addr A = addressOf(F, P);
+        if (Extra)
+          A += static_cast<uint64_t>(P->strideBytes() * Extra);
         // Chaos: model the planner having computed a garbage prefetch
         // address — exactly what the guard exists to contain.
         if (SPF_FAULT_POINT(support::FaultSite::GuardAddr))
@@ -459,26 +475,59 @@ uint64_t Interpreter::execute(Method *M, const std::vector<uint64_t> &Args) {
         if (P->isGuarded()) {
           // Software exception check: only touch mapped memory. A failed
           // check takes the recovery branch — no cache or TLB fill.
-          if (Heap.isValidAccess(A, 8))
-            Sink.guardedLoad(A);
-          else
-            Sink.guardedLoadFault();
+          if (Heap.isValidAccess(A, 8)) {
+            if (Governed)
+              Sink.guardedLoad(A, PSite);
+            else
+              Sink.guardedLoad(A);
+          } else {
+            if (Governed)
+              Sink.guardedLoadFault(PSite);
+            else
+              Sink.guardedLoadFault();
+          }
         } else {
-          Sink.prefetch(A);
+          if (Governed)
+            Sink.prefetch(A, PSite);
+          else
+            Sink.prefetch(A);
         }
         break;
       }
       case Opcode::SpecLoad: {
         auto *S = cast<SpecLoadInst>(I);
+        SiteId PSite = 0;
+        int32_t Extra = 0;
+        if (Governed) {
+          PSite = prefetchSiteOf(S);
+          auto It = Controls.find(PSite);
+          if (It != Controls.end()) {
+            if (It->second.Suppress) {
+              // The chain's prefetches share this site and are suppressed
+              // with it; a null result keeps the dataflow well-defined.
+              F.Regs[I->id()] = 0;
+              break;
+            }
+            Extra = It->second.ExtraDistance;
+          }
+        }
         ++Stats.PrefetchRelated;
         vm::Addr A = addressOf(F, S);
+        if (Extra)
+          A += static_cast<uint64_t>(S->strideBytes() * Extra);
         if (SPF_FAULT_POINT(support::FaultSite::GuardAddr))
           A ^= 0xDEAD000000000000ull;
         if (Heap.isValidAccess(A, 8)) {
-          Sink.guardedLoad(A);
+          if (Governed)
+            Sink.guardedLoad(A, PSite);
+          else
+            Sink.guardedLoad(A);
           F.Regs[I->id()] = Heap.load(A, Type::Ref);
         } else {
-          Sink.guardedLoadFault();
+          if (Governed)
+            Sink.guardedLoadFault(PSite);
+          else
+            Sink.guardedLoadFault();
           F.Regs[I->id()] = 0;
         }
         break;

@@ -83,6 +83,44 @@ public:
     return static_cast<unsigned>(LoadSites.size());
   }
 
+  // -- Prefetch-health governance (opt::Governor) --------------------------
+
+  /// Runtime re-decision for one load site's prefetch code.
+  struct PrefetchControl {
+    /// Quarantined: the site's prefetches / spec loads execute as nops
+    /// (modeling the JIT patching them out) — zero cost, zero events.
+    bool Suppress = false;
+    /// Extra iterations of lookahead: each prefetch address is shifted by
+    /// ExtraDistance * strideBytes (no effect on strideless prefetches).
+    int32_t ExtraDistance = 0;
+  };
+
+  /// Turns on governor mode: prefetch/guarded-load events carry the
+  /// anchor load's SiteId (the sink's per-site health attribution), and
+  /// the control table below is consulted per prefetch. Off by default —
+  /// the prefetch execution path is then byte-identical to the
+  /// pre-governor interpreter.
+  void enablePrefetchGovernance() { Governed = true; }
+  bool prefetchGovernanceEnabled() const { return Governed; }
+
+  /// Installs/replaces the control for \p Site (governor re-decisions).
+  void setPrefetchControl(SiteId Site, const PrefetchControl &C) {
+    Controls[Site] = C;
+  }
+  /// Drops all controls (after re-inspection rebuilds the prefetch code).
+  void clearPrefetchControls() { Controls.clear(); }
+
+  /// Invalidates cached per-method layout info. Must be called after any
+  /// out-of-band IR rewrite (governor-triggered re-JIT): value counts and
+  /// ref-slot tables are stale otherwise.
+  void invalidateMethodInfo() { Infos.clear(); }
+
+  /// The attribution site of a prefetch/spec-load: its anchor load's
+  /// site when anchored, else the instruction's own (fresh) site.
+  SiteId prefetchSiteOf(const ir::AddressedInst *A) {
+    return siteOf(A->anchor() ? A->anchor() : A);
+  }
+
   /// Execution budget; exceeding it throws support::RuntimeTrap
   /// (runaway-loop protection).
   void setMaxInstructions(uint64_t Max) { MaxInstructions = Max; }
@@ -138,6 +176,10 @@ private:
   std::unordered_map<const ir::Instruction *, SiteId> LoadSites;
   std::vector<Frame *> ActiveFrames;
   unsigned CallDepth = 0;
+  /// Governor mode (enablePrefetchGovernance()).
+  bool Governed = false;
+  /// Per-site runtime controls, keyed by anchor SiteId.
+  std::unordered_map<SiteId, PrefetchControl> Controls;
 };
 
 } // namespace exec

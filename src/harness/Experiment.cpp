@@ -174,6 +174,16 @@ std::string cellTag(const ExperimentCell &C) {
                     C.Opt.Machine.Name;
   if (C.Mode != PrefetchSources::Unset)
     Tag += std::string(", mode=") + prefetchSourcesName(C.Mode);
+  // Adaptive-run facets: an adaptation sweep runs the same workload /
+  // algorithm / machine several times, differing only in these.
+  if (C.Opt.Epochs > 1)
+    Tag += ", epochs=" + std::to_string(C.Opt.Epochs);
+  if (C.Opt.GcVariant != vm::GcVariant::SlidingCompact)
+    Tag += std::string(", gc=") + vm::gcVariantName(C.Opt.GcVariant);
+  if (C.Opt.PhaseChange)
+    Tag += ", phase";
+  if (C.Opt.Governor)
+    Tag += ", governor";
   return Tag + "]";
 }
 
@@ -877,6 +887,46 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("sw_prefetches_cancelled").value(R.Mem.SwPrefetchesCancelled);
     J.key("guarded_loads").value(R.Mem.GuardedLoads);
     J.key("guarded_load_faults").value(R.Mem.GuardedLoadFaults);
+    // RPT hardware-prefetcher effectiveness — only machines whose
+    // effective prefetcher is the RPT can populate these, so only they
+    // carry the keys (classic reports stay byte-identical). Accuracy is
+    // useful / resolved fills; fills still resident at end of run are
+    // unresolved and excluded.
+    if (C.Opt.Machine.effectiveHwPrefetch() == sim::HwPrefetchKind::Rpt) {
+      J.key("rpt_prefetches_issued").value(R.Mem.RptPrefetchesIssued);
+      J.key("rpt_prefetches_useful").value(R.Mem.RptPrefetchesUseful);
+      J.key("rpt_prefetches_late").value(R.Mem.RptPrefetchesLate);
+      J.key("rpt_prefetches_unused").value(R.Mem.RptPrefetchesUnused);
+      uint64_t RptResolved = R.Mem.RptPrefetchesUseful +
+                             R.Mem.RptPrefetchesLate +
+                             R.Mem.RptPrefetchesUnused;
+      J.key("rpt_accuracy")
+          .value(RptResolved ? static_cast<double>(R.Mem.RptPrefetchesUseful) /
+                                   static_cast<double>(RptResolved)
+                             : 0.0);
+    }
+    // Epoch/GC-variant/governor facets, conditional on the cell having
+    // asked for them — single-epoch classic cells stay byte-identical.
+    if (C.Opt.Epochs > 1)
+      J.key("epochs").value(static_cast<uint64_t>(C.Opt.Epochs));
+    if (C.Opt.GcVariant != vm::GcVariant::SlidingCompact)
+      J.key("gc_variant").value(vm::gcVariantName(C.Opt.GcVariant));
+    if (C.Opt.PhaseChange)
+      J.key("phase_change").value(true);
+    if (C.Opt.Epochs > 1 || C.Opt.Governor)
+      J.key("gc_collections").value(R.GcCollections);
+    if (C.Opt.Governor) {
+      J.key("governor").value(true);
+      J.key("governor_quarantined")
+          .value(static_cast<uint64_t>(R.GovernorQuarantined));
+      J.key("governor_retunes")
+          .value(static_cast<uint64_t>(R.GovernorRetunes));
+      J.key("governor_reinspections")
+          .value(static_cast<uint64_t>(R.GovernorReinspections));
+      J.key("sw_prefetches_useful").value(R.Mem.SwPrefetchesUseful);
+      J.key("sw_prefetches_late").value(R.Mem.SwPrefetchesLate);
+      J.key("sw_prefetches_unused").value(R.Mem.SwPrefetchesUnused);
+    }
     J.key("spec_loads").value(R.Prefetch.CodeGen.SpecLoads);
     J.key("prefetches").value(R.Prefetch.CodeGen.Prefetches);
     J.key("jit_total_us").value(R.JitTotalUs);

@@ -153,6 +153,10 @@ public:
                const std::string &Group = "", bool CheckReturnValues = true);
 
   const std::vector<ExperimentCell> &cells() const { return Cells; }
+  /// Mutable access, for callers that season already-planned cells with
+  /// run options the add/addSweep helpers do not know about (epochs, GC
+  /// variant, governor).
+  std::vector<ExperimentCell> &cells() { return Cells; }
   size_t size() const { return Cells.size(); }
   bool empty() const { return Cells.empty(); }
 

@@ -55,14 +55,24 @@ std::string harness::journalCellKey(const ExperimentPlan &Plan, unsigned I) {
   if (!Sig.empty()) {
     Key += Sig;
   } else {
-    // Unkeyable run options (TunePass without TuneKey): fall back to the
-    // workload facets; the plan index above still pins the cell.
+    // Unkeyable run options (TunePass without TuneKey, governor-on): fall
+    // back to the workload facets; the plan index above still pins the
+    // cell. Epoch/GC/governor facets append conditionally so classic
+    // cells keep the legacy key format.
     char Buf[96];
     std::snprintf(Buf, sizeof(Buf), "scale=%.17g,seed=%llu,heap=%llu",
                   C.Opt.Config.Scale,
                   static_cast<unsigned long long>(C.Opt.Config.Seed),
                   static_cast<unsigned long long>(C.Opt.Config.HeapBytes));
     Key += Buf;
+    if (C.Opt.Epochs > 1)
+      Key += ",epochs=" + std::to_string(C.Opt.Epochs);
+    if (C.Opt.GcVariant != vm::GcVariant::SlidingCompact)
+      Key += std::string(",gc=") + vm::gcVariantName(C.Opt.GcVariant);
+    if (C.Opt.PhaseChange)
+      Key += ",phase=1";
+    if (C.Opt.Governor)
+      Key += ",governor=1";
   }
   return Key;
 }
@@ -99,6 +109,20 @@ void harness::writeCellRecordJson(JsonWriter &J, const CellResult &Cell) {
   J.key("replayed").value(R.Replayed);
   J.key("interpret_us").value(R.InterpretUs);
   J.key("replay_us").value(R.ReplayUs);
+  // Epoch/governor accounting, conditional keys: classic single-epoch
+  // records stay byte-identical to the pre-governor format.
+  if (R.Epochs > 1)
+    J.key("epochs").value(static_cast<uint64_t>(R.Epochs));
+  if (R.GcCollections)
+    J.key("gc_collections").value(R.GcCollections);
+  if (R.GovernorQuarantined)
+    J.key("governor_quarantined")
+        .value(static_cast<uint64_t>(R.GovernorQuarantined));
+  if (R.GovernorRetunes)
+    J.key("governor_retunes").value(static_cast<uint64_t>(R.GovernorRetunes));
+  if (R.GovernorReinspections)
+    J.key("governor_reinspections")
+        .value(static_cast<uint64_t>(R.GovernorReinspections));
   J.key("mem").beginObject();
   J.key("loads").value(R.Mem.Loads);
   J.key("stores").value(R.Mem.Stores);
@@ -120,6 +144,23 @@ void harness::writeCellRecordJson(JsonWriter &J, const CellResult &Cell) {
     J.key("page_walks").value(R.Mem.PageWalks);
   if (R.Mem.PageWalkCycles)
     J.key("page_walk_cycles").value(R.Mem.PageWalkCycles);
+  // Prefetch-effectiveness counters, same conditional-key contract: RPT
+  // counters fire only on RPT machines, Sw* resolution only under the
+  // governor's health tracking.
+  if (R.Mem.RptPrefetchesIssued)
+    J.key("rpt_prefetches_issued").value(R.Mem.RptPrefetchesIssued);
+  if (R.Mem.RptPrefetchesUseful)
+    J.key("rpt_prefetches_useful").value(R.Mem.RptPrefetchesUseful);
+  if (R.Mem.RptPrefetchesLate)
+    J.key("rpt_prefetches_late").value(R.Mem.RptPrefetchesLate);
+  if (R.Mem.RptPrefetchesUnused)
+    J.key("rpt_prefetches_unused").value(R.Mem.RptPrefetchesUnused);
+  if (R.Mem.SwPrefetchesUseful)
+    J.key("sw_prefetches_useful").value(R.Mem.SwPrefetchesUseful);
+  if (R.Mem.SwPrefetchesLate)
+    J.key("sw_prefetches_late").value(R.Mem.SwPrefetchesLate);
+  if (R.Mem.SwPrefetchesUnused)
+    J.key("sw_prefetches_unused").value(R.Mem.SwPrefetchesUnused);
   J.endObject();
   J.key("exec").beginObject();
   J.key("retired").value(R.Exec.Retired);
@@ -146,6 +187,16 @@ void harness::writeCellRecordJson(JsonWriter &J, const CellResult &Cell) {
   // Per-site stats as compact 4-tuples; Prefetch.Loops (diagnostic-only
   // per-loop reports, referencing freed analyses) are dropped, matching
   // what the trace cache persists.
+  // Health-tracked runs widen every tuple to 12 (the 8 prefetch-health
+  // fields appended); runs without health data keep the classic 4-tuple
+  // byte for byte.
+  bool SiteHealth = false;
+  for (const sim::SiteStats &S : R.Sites)
+    if (S.SwIssued || S.SwUseful || S.SwLate || S.SwUnused || S.RptIssued ||
+        S.RptUseful || S.RptLate || S.RptUnused) {
+      SiteHealth = true;
+      break;
+    }
   J.key("sites").beginArray();
   for (const sim::SiteStats &S : R.Sites) {
     J.beginArray();
@@ -153,6 +204,16 @@ void harness::writeCellRecordJson(JsonWriter &J, const CellResult &Cell) {
     J.value(S.L1Misses);
     J.value(S.L2Misses);
     J.value(S.DtlbMisses);
+    if (SiteHealth) {
+      J.value(S.SwIssued);
+      J.value(S.SwUseful);
+      J.value(S.SwLate);
+      J.value(S.SwUnused);
+      J.value(S.RptIssued);
+      J.value(S.RptUseful);
+      J.value(S.RptLate);
+      J.value(S.RptUnused);
+    }
     J.endArray();
   }
   J.endArray();
@@ -197,6 +258,13 @@ bool harness::parseCellRecord(const JsonValue &V, CellResult &Cell) {
   R.Replayed = Run.getBool("replayed");
   R.InterpretUs = Run.getDouble("interpret_us");
   R.ReplayUs = Run.getDouble("replay_us");
+  R.Epochs = static_cast<unsigned>(Run.getU64("epochs", 1));
+  R.GcCollections = Run.getU64("gc_collections");
+  R.GovernorQuarantined =
+      static_cast<unsigned>(Run.getU64("governor_quarantined"));
+  R.GovernorRetunes = static_cast<unsigned>(Run.getU64("governor_retunes"));
+  R.GovernorReinspections =
+      static_cast<unsigned>(Run.getU64("governor_reinspections"));
 
   const JsonValue &Mem = Run.get("mem");
   R.Mem.Loads = Mem.getU64("loads");
@@ -213,6 +281,13 @@ bool harness::parseCellRecord(const JsonValue &V, CellResult &Cell) {
   R.Mem.LlcLoadMisses = Mem.getU64("llc_load_misses");
   R.Mem.PageWalks = Mem.getU64("page_walks");
   R.Mem.PageWalkCycles = Mem.getU64("page_walk_cycles");
+  R.Mem.RptPrefetchesIssued = Mem.getU64("rpt_prefetches_issued");
+  R.Mem.RptPrefetchesUseful = Mem.getU64("rpt_prefetches_useful");
+  R.Mem.RptPrefetchesLate = Mem.getU64("rpt_prefetches_late");
+  R.Mem.RptPrefetchesUnused = Mem.getU64("rpt_prefetches_unused");
+  R.Mem.SwPrefetchesUseful = Mem.getU64("sw_prefetches_useful");
+  R.Mem.SwPrefetchesLate = Mem.getU64("sw_prefetches_late");
+  R.Mem.SwPrefetchesUnused = Mem.getU64("sw_prefetches_unused");
 
   const JsonValue &Exec = Run.get("exec");
   R.Exec.Retired = Exec.getU64("retired");
@@ -240,13 +315,25 @@ bool harness::parseCellRecord(const JsonValue &V, CellResult &Cell) {
   if (Sites.kind() == JsonValue::Kind::Array) {
     R.Sites.reserve(Sites.array().size());
     for (const JsonValue &S : Sites.array()) {
-      if (S.kind() != JsonValue::Kind::Array || S.array().size() != 4)
+      // 4 = classic tuple, 12 = with the prefetch-health columns.
+      if (S.kind() != JsonValue::Kind::Array ||
+          (S.array().size() != 4 && S.array().size() != 12))
         return false;
       sim::SiteStats St;
       St.Loads = S.array()[0].u64();
       St.L1Misses = S.array()[1].u64();
       St.L2Misses = S.array()[2].u64();
       St.DtlbMisses = S.array()[3].u64();
+      if (S.array().size() == 12) {
+        St.SwIssued = S.array()[4].u64();
+        St.SwUseful = S.array()[5].u64();
+        St.SwLate = S.array()[6].u64();
+        St.SwUnused = S.array()[7].u64();
+        St.RptIssued = S.array()[8].u64();
+        St.RptUseful = S.array()[9].u64();
+        St.RptLate = S.array()[10].u64();
+        St.RptUnused = S.array()[11].u64();
+      }
       R.Sites.push_back(St);
     }
   }

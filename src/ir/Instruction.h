@@ -472,6 +472,21 @@ public:
   unsigned scale() const { return Scale; }
   int64_t displacement() const { return Disp; }
 
+  /// The demand load this prefetch code was derived from. Its SiteId is
+  /// the site the runtime attributes the issue to (and the unit the
+  /// prefetch-health governor re-decides) — the anchor always executes
+  /// before the prefetch inserted after it, so its site is assigned
+  /// first. Null for hand-built instructions: attribution then falls
+  /// back to the prefetch instruction itself.
+  const Instruction *anchor() const { return Anchor; }
+  void setAnchor(const Instruction *A) { Anchor = A; }
+
+  /// The plan's inter-iteration stride in bytes (0 for dereference
+  /// targets and pointer chases): the unit of governor-driven
+  /// prefetch-distance retuning.
+  int64_t strideBytes() const { return StrideBytes; }
+  void setStrideBytes(int64_t S) { StrideBytes = S; }
+
   static bool classof(const Value *V) {
     auto *I = dyn_cast<Instruction>(V);
     return I && (I->opcode() == Opcode::Prefetch ||
@@ -494,6 +509,8 @@ private:
   unsigned Scale;
   int64_t Disp;
   bool HasIndex;
+  const Instruction *Anchor = nullptr;
+  int64_t StrideBytes = 0;
 };
 
 /// A software prefetch of the cache line at the computed address.

@@ -43,4 +43,8 @@ void Cache::reset() {
     R = 0;
   MruLine = InvalidTag;
   MruSlot = 0;
+  // Tags die silently with their lines: an invalidation is not an
+  // eviction verdict on the prefetch that filled them.
+  for (uint8_t &K : TagKinds)
+    K = 0;
 }

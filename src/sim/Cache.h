@@ -46,6 +46,25 @@ struct CacheAccessResult {
   uint64_t WaitCycles = 0;
 };
 
+/// Provenance of a prefetch-filled line, for effectiveness accounting.
+enum class PfTag : uint8_t {
+  None = 0, ///< Demand fill or untracked prefetch.
+  Sw = 1,   ///< Software prefetch / guarded load from a prefetch plan.
+  Rpt = 2,  ///< Reference-prediction-table hardware prefetch.
+};
+
+/// Receives the resolution of tagged prefetch fills: each tracked fill
+/// eventually either serves a demand hit (used — possibly late, with
+/// part of the fill latency exposed) or is evicted untouched (pure
+/// pollution). sim::MemorySystem implements this to build per-site
+/// prefetch-health counters; a tag resolves exactly once.
+class PrefetchTagObserver {
+public:
+  virtual ~PrefetchTagObserver() = default;
+  virtual void prefetchedLineUsed(PfTag Kind, uint32_t Site, bool Late) = 0;
+  virtual void prefetchedLineEvicted(PfTag Kind, uint32_t Site) = 0;
+};
+
 /// One level of set-associative LRU cache.
 class Cache {
 public:
@@ -79,6 +98,8 @@ public:
     }
     ++DemandMisses;
     size_t V = victimFor(Base);
+    if (Obs)
+      dropTag(V); // Victim may hold an unresolved tag; demand fill is untagged.
     Tags[V] = LineAddr;
     LastUse[V] = UseClock;
     ReadyAt[V] = 0; // Demand fill: the caller charges the full penalty.
@@ -88,8 +109,12 @@ public:
   }
 
   /// Prefetch fill: inserts the line, usable from cycle \p Ready.
-  /// Counted separately from demand statistics.
-  void prefetchFill(uint64_t Addr, uint64_t Ready) {
+  /// Counted separately from demand statistics. When a tag observer is
+  /// installed, \p Kind / \p Site attach provenance to the inserted line
+  /// (a fill that finds the line already present keeps the line's
+  /// original tag — redundant issues don't re-arm accounting).
+  void prefetchFill(uint64_t Addr, uint64_t Ready, PfTag Kind = PfTag::None,
+                    uint32_t Site = 0) {
     uint64_t LineAddr = Addr >> LineShift;
     ++UseClock;
     if (LineAddr == MruLine) {
@@ -107,11 +132,28 @@ public:
     }
     ++PrefetchFills;
     size_t V = victimFor(Base);
+    if (Obs) {
+      dropTag(V);
+      TagKinds[V] = static_cast<uint8_t>(Kind);
+      TagSites[V] = Site;
+    }
     Tags[V] = LineAddr;
     LastUse[V] = UseClock;
     ReadyAt[V] = Ready;
     MruLine = LineAddr;
     MruSlot = V;
+  }
+
+  /// Installs (or clears, with nullptr) the prefetch-provenance observer.
+  /// Off by default: the tag arrays stay untouched and the hot paths pay
+  /// one predictable branch. Timing and demand statistics are identical
+  /// either way — tags are pure accounting.
+  void setTagObserver(PrefetchTagObserver *O) {
+    Obs = O;
+    if (Obs && TagKinds.empty()) {
+      TagKinds.assign(Tags.size(), 0);
+      TagSites.assign(Tags.size(), 0);
+    }
   }
 
   /// "No clean hit" result of peekCleanHit().
@@ -211,7 +253,8 @@ private:
   }
 
   /// Hit bookkeeping shared by the MRU and scan paths (LastUse is already
-  /// stamped by the caller).
+  /// stamped by the caller). A tagged line resolves as used on its first
+  /// demand hit — late when part of the fill latency was still exposed.
   CacheAccessResult hitAt(size_t Slot, uint64_t Now) {
     CacheAccessResult R;
     R.Hit = true;
@@ -221,7 +264,20 @@ private:
       ++LateProbes;
       Ready = 0;
     }
+    if (Obs && TagKinds[Slot]) {
+      Obs->prefetchedLineUsed(static_cast<PfTag>(TagKinds[Slot]),
+                              TagSites[Slot], R.WaitCycles != 0);
+      TagKinds[Slot] = 0;
+    }
     return R;
+  }
+
+  /// Resolves slot \p V 's tag (if any) as evicted-unused.
+  void dropTag(size_t V) {
+    if (TagKinds[V]) {
+      Obs->prefetchedLineEvicted(static_cast<PfTag>(TagKinds[V]), TagSites[V]);
+      TagKinds[V] = 0;
+    }
   }
 
   /// LRU victim slot in the set at \p Base: the first invalid way, else
@@ -246,6 +302,12 @@ private:
   uint64_t DemandMisses = 0;
   uint64_t PrefetchFills = 0;
   uint64_t LateProbes = 0;
+
+  /// Prefetch-provenance tracking; arrays parallel Tags, allocated on
+  /// first setTagObserver(). TagKinds[I] is a PfTag (0 = untagged).
+  PrefetchTagObserver *Obs = nullptr;
+  std::vector<uint8_t> TagKinds;
+  std::vector<uint32_t> TagSites;
 };
 
 } // namespace sim

@@ -37,6 +37,55 @@ MemorySystem::MemorySystem(const MachineConfig &Cfg)
   CacheLevels.reserve(Cfg.Levels.size());
   for (const CacheLevel &L : Cfg.Levels)
     CacheLevels.emplace_back(L.Geometry);
+  // RPT effectiveness is tracked whenever the RPT runs: its fills only
+  // land in the last level, which the batched fast path's L1/TLB cursors
+  // never shortcut, so tagging there is fast-path safe.
+  if (RptActive)
+    CacheLevels.back().setTagObserver(this);
+}
+
+void MemorySystem::enablePrefetchHealth() {
+  if (SwHealth)
+    return;
+  SwHealth = true;
+  // Software prefetches are tagged at their shallowest fill level and
+  // guarded loads at L1 — exactly one tag per issue, so useful/late/
+  // unused partition the resolved fills.
+  CacheLevels[Cfg.SwFillLevel].setTagObserver(this);
+  CacheLevels[0].setTagObserver(this);
+}
+
+void MemorySystem::prefetchedLineUsed(PfTag Kind, uint32_t Site, bool Late) {
+  if (Kind == PfTag::Rpt) {
+    SiteStats &S = siteFor(Site);
+    if (Late) {
+      ++Stats.RptPrefetchesLate;
+      ++S.RptLate;
+    } else {
+      ++Stats.RptPrefetchesUseful;
+      ++S.RptUseful;
+    }
+    return;
+  }
+  SiteStats &S = siteFor(Site);
+  if (Late) {
+    ++Stats.SwPrefetchesLate;
+    ++S.SwLate;
+  } else {
+    ++Stats.SwPrefetchesUseful;
+    ++S.SwUseful;
+  }
+}
+
+void MemorySystem::prefetchedLineEvicted(PfTag Kind, uint32_t Site) {
+  SiteStats &S = siteFor(Site);
+  if (Kind == PfTag::Rpt) {
+    ++Stats.RptPrefetchesUnused;
+    ++S.RptUnused;
+  } else {
+    ++Stats.SwPrefetchesUnused;
+    ++S.SwUnused;
+  }
 }
 
 void MemorySystem::hwPrefetchOnMiss(uint64_t Addr) {
@@ -55,10 +104,15 @@ void MemorySystem::rptObserveLoad(uint32_t Site, uint64_t Addr, uint64_t Now) {
   if (HwTargets.empty())
     return;
   // RPT fills land in the last level only, like the stream prefetcher's:
-  // this keeps the replay fast path's TLB/L1 cursors untouched.
+  // this keeps the replay fast path's TLB/L1 cursors untouched. Fills
+  // carry the training site as their tag, so their fate (useful / late /
+  // evicted-unused) lands back on that site's stats. Sites[Site] exists:
+  // the observing load sized the table before we got here.
+  Stats.RptPrefetchesIssued += HwTargets.size();
+  Sites[Site].RptIssued += HwTargets.size();
   Cache &Last = CacheLevels.back();
   for (uint64_t Target : HwTargets)
-    Last.prefetchFill(Target, Now + Cfg.PrefetchFillLatency);
+    Last.prefetchFill(Target, Now + Cfg.PrefetchFillLatency, PfTag::Rpt, Site);
 }
 
 uint64_t MemorySystem::walkerAccess(uint64_t PteAddr) {
@@ -199,8 +253,10 @@ uint64_t MemorySystem::swFillReadyAt(uint64_t Addr) const {
   return Cfg.PrefetchFillLatency;
 }
 
-void MemorySystem::prefetch(uint64_t Addr) {
+void MemorySystem::prefetchImpl(uint64_t Addr, exec::SiteId Site) {
   ++Stats.SwPrefetchesIssued;
+  if (SwHealth)
+    ++siteFor(Site).SwIssued;
   Cycles += Cfg.PrefetchIssueCost;
 
   // "The processor cancels the execution of the instruction when a data
@@ -211,13 +267,20 @@ void MemorySystem::prefetch(uint64_t Addr) {
   }
 
   uint64_t ReadyAt = Cycles + swFillReadyAt(Addr);
-  // Deepest level first, down to the configured fill level.
+  // Deepest level first, down to the configured fill level. Under health
+  // tracking the shallowest fill carries the tag (one tag per issue).
   for (unsigned Lvl = numCacheLevels(); Lvl-- > Cfg.SwFillLevel;)
-    CacheLevels[Lvl].prefetchFill(Addr, ReadyAt);
+    CacheLevels[Lvl].prefetchFill(Addr, ReadyAt,
+                                  SwHealth && Lvl == Cfg.SwFillLevel
+                                      ? PfTag::Sw
+                                      : PfTag::None,
+                                  Site);
 }
 
-void MemorySystem::guardedLoad(uint64_t Addr) {
+void MemorySystem::guardedLoadImpl(uint64_t Addr, exec::SiteId Site) {
   ++Stats.GuardedLoads;
+  if (SwHealth)
+    ++siteFor(Site).SwIssued;
   Cycles += Cfg.GuardedLoadCost;
 
   // A real load: walks the page table if needed (priming the DTLB — on a
@@ -235,12 +298,21 @@ void MemorySystem::guardedLoad(uint64_t Addr) {
   if (CacheLevels[0].contains(Addr))
     return;
   uint64_t ReadyAt = Cycles + swFillReadyAt(Addr);
+  // The L1 fill carries the tag under health tracking.
   for (unsigned Lvl = numCacheLevels(); Lvl-- > 0;)
-    CacheLevels[Lvl].prefetchFill(Addr, ReadyAt);
+    CacheLevels[Lvl].prefetchFill(Addr, ReadyAt,
+                                  SwHealth && Lvl == 0 ? PfTag::Sw
+                                                       : PfTag::None,
+                                  Site);
 }
 
-void MemorySystem::guardedLoadFault() {
+void MemorySystem::guardedLoadFaultImpl(exec::SiteId Site) {
   ++Stats.GuardedLoadFaults;
+  // A faulted guard is an issue that can never become useful: it drags
+  // the site's accuracy down, which is exactly what the governor should
+  // see for a plan speculating on stale pointers.
+  if (SwHealth)
+    ++siteFor(Site).SwIssued;
   Cycles += Cfg.GuardFaultCost;
 }
 
@@ -248,6 +320,15 @@ void MemorySystem::guardedLoadFault() {
 __attribute__((flatten))
 #endif
 void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
+  // Health tracking tags lines at L1, which the block cursor's clean-hit
+  // shortcut cannot resolve — take the per-event path (identical
+  // semantics by the block-dispatch contract). Governor-driven runs are
+  // the only ones that enable tracking, and they are never the replay
+  // throughput path.
+  if (SwHealth) {
+    exec::AccessSink::consume(Events, N);
+    return;
+  }
   // The replay fast path: one virtual consume() per block, and inside it
   // the clock and the load counters live in locals — member accesses all
   // share one alias class, so keeping them in the object would force a

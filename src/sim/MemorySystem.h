@@ -62,6 +62,23 @@ struct MemoryStats {
   /// Cycles charged by demand walks (priming walks are latency-hidden
   /// and charge nothing).
   uint64_t PageWalkCycles = 0;
+  /// RPT hardware-prefetch fills issued (mirror of the FSM's counter so
+  /// reports see it without the MemorySystem). Zero unless the machine's
+  /// effective hardware prefetcher is the RPT.
+  uint64_t RptPrefetchesIssued = 0;
+  /// Resolution of tagged RPT fills (tags live on last-level lines):
+  /// first demand hit fully resident / hit while still in flight /
+  /// evicted untouched. Each fill resolves at most once; fills still
+  /// resident at end of run stay unresolved.
+  uint64_t RptPrefetchesUseful = 0;
+  uint64_t RptPrefetchesLate = 0;
+  uint64_t RptPrefetchesUnused = 0;
+  /// Resolution of tagged software-prefetch fills (plan prefetches and
+  /// guarded loads). Counted only while prefetch-health tracking is on —
+  /// all zero otherwise, preserving the pre-governor stats bit for bit.
+  uint64_t SwPrefetchesUseful = 0;
+  uint64_t SwPrefetchesLate = 0;
+  uint64_t SwPrefetchesUnused = 0;
 
   bool operator==(const MemoryStats &) const = default;
 };
@@ -73,12 +90,27 @@ struct SiteStats {
   uint64_t L1Misses = 0;
   uint64_t L2Misses = 0;
   uint64_t DtlbMisses = 0;
+  /// Prefetch-health attribution (opt::Governor's evidence). Sw* counts
+  /// the site's plan prefetches / guarded loads and the resolution of
+  /// their tagged fills; populated only when health tracking is enabled
+  /// AND the producer attributes issues (the site-aware prefetch
+  /// overloads below) — zero otherwise. Rpt* attributes the hardware
+  /// RPT's fills to the load site that trained them.
+  uint64_t SwIssued = 0;
+  uint64_t SwUseful = 0;
+  uint64_t SwLate = 0;
+  uint64_t SwUnused = 0;
+  uint64_t RptIssued = 0;
+  uint64_t RptUseful = 0;
+  uint64_t RptLate = 0;
+  uint64_t RptUnused = 0;
 
   bool operator==(const SiteStats &) const = default;
 };
 
 /// The simulated memory hierarchy of one machine.
-class MemorySystem final : public exec::AccessSink {
+class MemorySystem final : public exec::AccessSink,
+                           private PrefetchTagObserver {
 public:
   explicit MemorySystem(const MachineConfig &Cfg);
 
@@ -100,7 +132,14 @@ public:
   /// Hardware prefetch instruction: cancelled when the target page is not
   /// in the DTLB; otherwise fills the configured levels with the line
   /// becoming usable PrefetchFillLatency cycles from now.
-  void prefetch(uint64_t Addr) override;
+  void prefetch(uint64_t Addr) override { prefetchImpl(Addr, 0); }
+
+  /// Site-attributed form: identical timing and global stats; when
+  /// prefetch-health tracking is on, the issue and its fill's fate are
+  /// charged to \p Site 's SiteStats.
+  void prefetch(uint64_t Addr, exec::SiteId Site) override {
+    prefetchImpl(Addr, Site);
+  }
 
   /// Guarded load: a real access that fills the DTLB (TLB priming — on a
   /// walked-TLB machine the walk's page-table accesses go through the
@@ -108,17 +147,38 @@ public:
   /// all cache levels, costing only the issue overhead — its latency is
   /// hidden by out-of-order execution since no computation consumes its
   /// result.
-  void guardedLoad(uint64_t Addr) override;
+  void guardedLoad(uint64_t Addr) override { guardedLoadImpl(Addr, 0); }
+
+  /// Site-attributed form (see prefetch(Addr, Site)).
+  void guardedLoad(uint64_t Addr, exec::SiteId Site) override {
+    guardedLoadImpl(Addr, Site);
+  }
 
   /// Guarded load whose guard failed: the software exception check
   /// rejected the address, so no memory access happens — only the
   /// recovery branch's cost. Caches and the DTLB are untouched.
-  void guardedLoadFault() override;
+  void guardedLoadFault() override { guardedLoadFaultImpl(0); }
+
+  /// Site-attributed form: a fault still counts as an issue against the
+  /// site under health tracking (it can never become useful).
+  void guardedLoadFault(exec::SiteId Site) override {
+    guardedLoadFaultImpl(Site);
+  }
 
   /// Block dispatch for the replay fast path: identical semantics to
   /// per-event calls (the class is final, so the inner loop
   /// devirtualizes), bit-identical stats and cycles.
   void consume(const exec::AccessEvent *Events, size_t N) override;
+
+  /// Turns on per-site prefetch-health accounting: software prefetch /
+  /// guarded-load fills are tagged in the cache and their resolution
+  /// (useful / late / evicted-unused) charged to the issuing site.
+  /// Timing, demand stats, and the pre-existing counters are unchanged —
+  /// but consume() leaves the batched fast path (the L1 cursor cannot
+  /// see tags), so enable this only for governor-driven runs. Cannot be
+  /// turned off again: tags already in flight would misreport.
+  void enablePrefetchHealth();
+  bool prefetchHealthEnabled() const { return SwHealth; }
 
   uint64_t cycles() const { return Cycles; }
   const MemoryStats &stats() const { return Stats; }
@@ -136,6 +196,19 @@ public:
   const RptPrefetcher &rpt() const { return Rpt; }
 
 private:
+  void prefetchImpl(uint64_t Addr, exec::SiteId Site);
+  void guardedLoadImpl(uint64_t Addr, exec::SiteId Site);
+  void guardedLoadFaultImpl(exec::SiteId Site);
+  /// Sites[Site], grown on demand.
+  SiteStats &siteFor(exec::SiteId Site) {
+    if (Site >= Sites.size())
+      Sites.resize(Site + 1);
+    return Sites[Site];
+  }
+  // PrefetchTagObserver: resolution of tagged fills.
+  void prefetchedLineUsed(PfTag Kind, uint32_t Site, bool Late) override;
+  void prefetchedLineEvicted(PfTag Kind, uint32_t Site) override;
+
   uint64_t demandAccess(uint64_t Addr, bool IsLoad, SiteStats *Site);
   /// Cost of translating \p Addr after a DTLB miss: flat penalty or a
   /// modeled radix walk (stats counted here).
@@ -172,6 +245,9 @@ private:
   /// log2(PageBytes) for the walker's page-number math (0 = division
   /// fallback for non-power-of-two pages, matching Tlb).
   unsigned PageShift;
+  /// Prefetch-health tracking on (enablePrefetchHealth()); routes
+  /// consume() through the per-event path.
+  bool SwHealth = false;
   uint64_t Cycles = 0;
   MemoryStats Stats;
   std::vector<SiteStats> Sites;

@@ -51,6 +51,20 @@ public:
     Buf.guardedLoadFault();
     Inner.guardedLoadFault();
   }
+  // Site attribution is live-run metadata, not wire format: the trace
+  // records the plain event, the inner sink keeps the site.
+  void prefetch(uint64_t Addr, exec::SiteId Site) override {
+    Buf.prefetch(Addr);
+    Inner.prefetch(Addr, Site);
+  }
+  void guardedLoad(uint64_t Addr, exec::SiteId Site) override {
+    Buf.guardedLoad(Addr);
+    Inner.guardedLoad(Addr, Site);
+  }
+  void guardedLoadFault(exec::SiteId Site) override {
+    Buf.guardedLoadFault();
+    Inner.guardedLoadFault(Site);
+  }
 
 private:
   exec::AccessSink &Inner;

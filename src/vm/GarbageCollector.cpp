@@ -2,6 +2,8 @@
 
 #include "vm/GarbageCollector.h"
 
+#include "support/SplitMix64.h"
+
 #include <unordered_map>
 #include <unordered_set>
 
@@ -30,6 +32,32 @@ void forEachRefSlot(const Heap &H, Addr Obj, Callback Fn) {
 
 } // namespace
 
+const char *vm::gcVariantName(GcVariant V) {
+  switch (V) {
+  case GcVariant::SlidingCompact:
+    return "sliding-compact";
+  case GcVariant::MarkSweep:
+    return "mark-sweep";
+  case GcVariant::AddressShuffle:
+    return "address-shuffle";
+  case GcVariant::PromotionOrder:
+    return "promotion-order";
+  }
+  return "?";
+}
+
+std::optional<GcVariant> vm::parseGcVariant(const std::string &Name) {
+  if (Name == "sliding-compact")
+    return GcVariant::SlidingCompact;
+  if (Name == "mark-sweep")
+    return GcVariant::MarkSweep;
+  if (Name == "address-shuffle")
+    return GcVariant::AddressShuffle;
+  if (Name == "promotion-order")
+    return GcVariant::PromotionOrder;
+  return std::nullopt;
+}
+
 void GarbageCollector::pollCheckpoint() {
   if (++WorkSinceCheckpoint >= CheckpointInterval) {
     WorkSinceCheckpoint = 0;
@@ -38,9 +66,48 @@ void GarbageCollector::pollCheckpoint() {
   }
 }
 
+GcStats GarbageCollector::sweepInPlace(Heap &H) {
+  // Non-compacting: live objects stay put; maximal dead runs (previous
+  // fillers included — they are unreachable by construction) coalesce
+  // into free-list holes. The deadline watchdog must keep firing here
+  // exactly as in the compacting phases (tests/shutdown_test.cpp).
+  GcStats Stats;
+  Addr HoleStart = 0;
+  uint64_t HoleBytes = 0;
+  auto FlushHole = [&] {
+    if (HoleBytes) {
+      H.addFreeBlock(HoleStart - H.heapBase(), HoleBytes);
+      Stats.ReclaimedBytes += HoleBytes;
+      HoleBytes = 0;
+    }
+  };
+  for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;) {
+    pollCheckpoint();
+    uint64_t Size = H.objectSize(Obj);
+    if (H.marked(Obj)) {
+      H.setMarked(Obj, false);
+      ++Stats.LiveObjects;
+      Stats.LiveBytes += Size;
+      FlushHole();
+    } else {
+      if (!HoleBytes)
+        HoleStart = Obj;
+      HoleBytes += Size;
+    }
+    Obj += Size;
+  }
+  FlushHole();
+  return Stats;
+}
+
 GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
   ++Collections;
   GcStats Stats;
+
+  // Any collection invalidates the recorded holes: compacting variants
+  // move objects over them, and mark-sweep rebuilds the list from this
+  // cycle's dead runs.
+  H.clearFreeList();
 
   // Index object starts so stray (non-reference) bit patterns in ref slots
   // can be rejected instead of corrupting the trace.
@@ -56,11 +123,16 @@ GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
   };
 
   // -- Mark ---------------------------------------------------------------
+  // Discovery order doubles as the PromotionOrder placement sequence.
   std::vector<Addr> Work;
+  std::vector<Addr> Discovery;
+  const bool KeepDiscovery = Variant == GcVariant::PromotionOrder;
   auto MarkRoot = [&](Addr A) {
     if (IsObjectRef(A) && !H.marked(A)) {
       H.setMarked(A, true);
       Work.push_back(A);
+      if (KeepDiscovery)
+        Discovery.push_back(A);
     }
   };
 
@@ -78,17 +150,42 @@ GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
     pollCheckpoint();
   }
 
-  // -- Compute sliding-compaction forwarding addresses ---------------------
-  // Scanning in address order and bump-assigning new addresses preserves
-  // the relative order of live objects (the property the paper relies on
-  // for stride stability).
+  if (Variant == GcVariant::MarkSweep)
+    return sweepInPlace(H);
+
+  // -- Compute forwarding addresses ----------------------------------------
+  // The placement sequence decides what survives of the paper's stride
+  // property: address order (bump-assigned) preserves live-object order,
+  // the other sequences deliberately do not.
+  std::vector<Addr> Order;
+  if (KeepDiscovery) {
+    Order = std::move(Discovery);
+  } else {
+    for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;
+         Obj += H.objectSize(Obj)) {
+      pollCheckpoint();
+      if (H.marked(Obj))
+        Order.push_back(Obj);
+    }
+  }
+  if (Variant == GcVariant::AddressShuffle && Order.size() > 1) {
+    // Windowed Fisher-Yates, deterministic in (seed, collection count):
+    // strides break inside every window while the heap's coarse layout
+    // (pages, working set) stays near the compacted order.
+    SplitMix64 Rng(ShuffleSeed ^ (Collections * 0x9e3779b97f4a7c15ull));
+    for (size_t W0 = 0; W0 < Order.size(); W0 += ShuffleWindow) {
+      size_t WE = std::min(W0 + ShuffleWindow, Order.size());
+      for (size_t I = WE - 1; I > W0; --I) {
+        std::swap(Order[I], Order[W0 + Rng.nextBelow(I - W0 + 1)]);
+        pollCheckpoint();
+      }
+    }
+  }
+
   std::unordered_map<Addr, Addr> Forward;
   Addr NextFree = H.heapBase();
-  for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;
-       Obj += H.objectSize(Obj)) {
+  for (Addr Obj : Order) {
     pollCheckpoint();
-    if (!H.marked(Obj))
-      continue;
     Forward[Obj] = NextFree;
     NextFree += H.objectSize(Obj);
     ++Stats.LiveObjects;
@@ -122,20 +219,38 @@ GcStats GarbageCollector::collect(Heap &H, const std::vector<Addr *> &Roots) {
     if (IsObjectRef(*Slot))
       *Slot = Relocate(*Slot);
 
-  // -- Slide live objects down (ascending order; moves never overlap
-  //    destructively) and clear marks --------------------------------------
-  for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;) {
-    pollCheckpoint();
-    // Cache the size: once the object slides down over its old storage the
-    // header at the old address is no longer readable.
-    uint64_t Size = H.objectSize(Obj);
-    if (H.marked(Obj)) {
-      H.setMarked(Obj, false);
-      Addr To = Forward[Obj];
-      if (To != Obj)
-        std::memmove(H.ptr(To), H.ptr(Obj), Size);
+  if (Variant == GcVariant::SlidingCompact) {
+    // -- Slide live objects down (ascending order; moves never overlap
+    //    destructively) and clear marks ------------------------------------
+    for (Addr Obj = H.heapBase(), End = H.heapTop(); Obj < End;) {
+      pollCheckpoint();
+      // Cache the size: once the object slides down over its old storage
+      // the header at the old address is no longer readable.
+      uint64_t Size = H.objectSize(Obj);
+      if (H.marked(Obj)) {
+        H.setMarked(Obj, false);
+        Addr To = Forward[Obj];
+        if (To != Obj)
+          std::memmove(H.ptr(To), H.ptr(Obj), Size);
+      }
+      Obj += Size;
     }
-    Obj += Size;
+  } else {
+    // -- Reordering placement: destinations can overlap sources in either
+    //    direction, so stage the live image in a scratch buffer ------------
+    std::vector<uint8_t> Scratch(Stats.LiveBytes);
+    for (Addr Obj : Order) {
+      pollCheckpoint();
+      uint64_t Size = H.objectSize(Obj);
+      uint64_t Off = Forward[Obj] - H.heapBase();
+      std::memcpy(Scratch.data() + Off, H.ptr(Obj), Size);
+      uint32_t Flags;
+      std::memcpy(&Flags, Scratch.data() + Off + 4, 4);
+      Flags &= ~HF_Marked;
+      std::memcpy(Scratch.data() + Off + 4, &Flags, 4);
+    }
+    if (Stats.LiveBytes)
+      std::memcpy(H.ptr(H.heapBase()), Scratch.data(), Stats.LiveBytes);
   }
 
   H.setTop(NextFree - H.heapBase());

@@ -30,12 +30,59 @@ const uint8_t *Heap::ptr(Addr A) const {
   return const_cast<Heap *>(this)->ptr(A);
 }
 
+void Heap::formatFiller(Addr A, uint64_t Size) {
+  assert(Size >= ObjectHeaderSize && (Size & 7) == 0 && "unparseable hole");
+  uint64_t Length = (Size - ObjectHeaderSize) / 8;
+  std::memset(ptr(A), 0, ObjectHeaderSize);
+  uint32_t Id = static_cast<uint32_t>(ir::Type::I64);
+  uint32_t Flags = HF_IsArray;
+  std::memcpy(ptr(A), &Id, 4);
+  std::memcpy(ptr(A) + 4, &Flags, 4);
+  std::memcpy(ptr(A) + ArrayLengthOffset, &Length, 8);
+}
+
+void Heap::addFreeBlock(uint64_t Offset, uint64_t Size) {
+  formatFiller(Cfg.HeapBase + Offset, Size);
+  FreeList.push_back({Offset, Size});
+  FreeBytes += Size;
+}
+
+Addr Heap::allocFromFreeList(uint64_t Size) {
+  for (size_t I = 0, E = FreeList.size(); I != E; ++I) {
+    FreeBlock &B = FreeList[I];
+    if (B.Size < Size)
+      continue;
+    uint64_t Rest = B.Size - Size;
+    // The remainder must itself be a formattable filler (or nothing);
+    // a sub-header sliver would break linear heap walks.
+    if (Rest != 0 && Rest < ObjectHeaderSize)
+      continue;
+    uint64_t Offset = B.Offset;
+    FreeBytes -= Size;
+    if (Rest != 0) {
+      B.Offset = Offset + Size;
+      B.Size = Rest;
+      formatFiller(Cfg.HeapBase + B.Offset, Rest);
+    } else {
+      FreeList[I] = FreeList.back();
+      FreeList.pop_back();
+    }
+    return Cfg.HeapBase + Offset;
+  }
+  return 0;
+}
+
 Addr Heap::allocObject(const ClassDesc &Cls) {
   uint64_t Size = alignUp8(Cls.instanceSize());
-  if (Top + Size > Cfg.HeapBytes)
-    return 0;
-  Addr A = Cfg.HeapBase + Top;
-  Top += Size;
+  Addr A = 0;
+  if (!FreeList.empty())
+    A = allocFromFreeList(Size);
+  if (!A) {
+    if (Top + Size > Cfg.HeapBytes)
+      return 0;
+    A = Cfg.HeapBase + Top;
+    Top += Size;
+  }
   ++NumAllocs;
   std::memset(ptr(A), 0, Size);
   uint32_t Id = Cls.id();
@@ -46,10 +93,15 @@ Addr Heap::allocObject(const ClassDesc &Cls) {
 Addr Heap::allocArray(ir::Type ElemTy, uint64_t Length) {
   uint64_t Size =
       alignUp8(ObjectHeaderSize + Length * ir::storageSize(ElemTy));
-  if (Top + Size > Cfg.HeapBytes)
-    return 0;
-  Addr A = Cfg.HeapBase + Top;
-  Top += Size;
+  Addr A = 0;
+  if (!FreeList.empty())
+    A = allocFromFreeList(Size);
+  if (!A) {
+    if (Top + Size > Cfg.HeapBytes)
+      return 0;
+    A = Cfg.HeapBase + Top;
+    Top += Size;
+  }
   ++NumAllocs;
   std::memset(ptr(A), 0, Size);
   uint32_t Id = static_cast<uint32_t>(ElemTy);

@@ -112,15 +112,54 @@ public:
   Addr heapBase() const { return Cfg.HeapBase; }
   /// First free address (allocation frontier).
   Addr heapTop() const { return Cfg.HeapBase + Top; }
+  /// Allocation-frontier offset. After a non-compacting collection this
+  /// still counts in-place holes; subtract freeListBytes() for live+filler
+  /// occupancy.
   uint64_t bytesUsed() const { return Top; }
-  uint64_t bytesFree() const { return Cfg.HeapBytes - Top; }
+  uint64_t bytesFree() const { return Cfg.HeapBytes - Top + FreeBytes; }
   uint64_t allocationCount() const { return NumAllocs; }
 
   /// Ref-typed static slots; the GC treats these as roots.
   const std::vector<Addr> &staticRefSlots() const { return StaticRefSlots; }
 
+  // -- Free-list support (non-compacting collection) -----------------------
+  //
+  // The mark-sweep GC variant reclaims garbage in place: each dead range
+  // is formatted as an unreachable filler array (so linear heap walks
+  // still parse) and registered here. Allocation prefers free blocks
+  // (first fit) before bumping the frontier. Compacting variants clear
+  // the list — after objects move, every recorded hole is meaningless.
+
+  /// One reusable hole inside [heapBase, heapTop).
+  struct FreeBlock {
+    uint64_t Offset = 0; ///< Byte offset from heapBase.
+    uint64_t Size = 0;   ///< Multiple of 8, >= ObjectHeaderSize.
+  };
+
+  const std::vector<FreeBlock> &freeList() const { return FreeList; }
+  uint64_t freeListBytes() const { return FreeBytes; }
+
 private:
   friend class GarbageCollector;
+
+  /// Formats \p Size bytes at \p A as an unreachable I64 filler array so
+  /// the heap stays linearly parseable. \p Size must be a multiple of 8
+  /// and >= ObjectHeaderSize.
+  void formatFiller(Addr A, uint64_t Size);
+
+  /// Registers a hole (formats it as filler first). GC-only.
+  void addFreeBlock(uint64_t Offset, uint64_t Size);
+
+  /// Drops every recorded hole (compacting collection invalidates them).
+  void clearFreeList() {
+    FreeList.clear();
+    FreeBytes = 0;
+  }
+
+  /// First-fit allocation from the free list; 0 when no block fits.
+  /// Splitting keeps remainders parseable (never leaves a sub-header
+  /// sliver), so a block is only taken when the cut is clean.
+  Addr allocFromFreeList(uint64_t Size);
 
   uint8_t *ptr(Addr A);
   const uint8_t *ptr(Addr A) const;
@@ -136,6 +175,8 @@ private:
   uint64_t StaticsTop = 0;
   uint64_t NumAllocs = 0;
   std::vector<Addr> StaticRefSlots;
+  std::vector<FreeBlock> FreeList;
+  uint64_t FreeBytes = 0;
 };
 
 } // namespace vm

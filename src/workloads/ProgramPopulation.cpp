@@ -100,3 +100,36 @@ void workloads::addCompiledPopulation(BuiltWorkload &B,
     B.CompileUnits.push_back({M, {}});
   }
 }
+
+unsigned workloads::applyPhaseChange(vm::Heap &H, uint64_t Seed) {
+  SplitMix64 Rng(Seed ^ 0xa5a5a5a55a5a5a5aULL);
+  unsigned Shuffled = 0;
+  // Linear heap walk (free-list holes are filler I64 arrays, skipped as
+  // non-Ref). This is a model-level mutation of the simulated program's
+  // data, not simulated memory traffic: no cycles are charged.
+  for (vm::Addr A = H.heapBase(); A < H.heapTop(); A += H.objectSize(A)) {
+    if (!H.isArray(A) || H.arrayElemType(A) != ir::Type::Ref)
+      continue;
+    uint64_t N = H.arrayLength(A);
+    if (N < 2)
+      continue;
+    // Only traversal-order arrays are fair game. An array with a null
+    // slot is structural (a Vector's spare capacity, say): programs
+    // index those positionally, and moving the null under a fixed index
+    // would turn a phase change into a crash.
+    bool HasNull = false;
+    for (uint64_t I = 0; I != N && !HasNull; ++I)
+      HasNull = H.load(H.elemAddr(A, I), ir::Type::Ref) == 0;
+    if (HasNull)
+      continue;
+    for (uint64_t I = N - 1; I > 0; --I) {
+      uint64_t J = Rng.nextBelow(I + 1);
+      uint64_t Vi = H.load(H.elemAddr(A, I), ir::Type::Ref);
+      uint64_t Vj = H.load(H.elemAddr(A, J), ir::Type::Ref);
+      H.store(H.elemAddr(A, I), ir::Type::Ref, Vj);
+      H.store(H.elemAddr(A, J), ir::Type::Ref, Vi);
+    }
+    ++Shuffled;
+  }
+  return Shuffled;
+}

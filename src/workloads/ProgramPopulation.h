@@ -26,6 +26,16 @@ namespace workloads {
 void addCompiledPopulation(BuiltWorkload &B, unsigned NumMethods,
                            uint64_t Seed);
 
+/// Workload phase change: shuffles the element order of every reference
+/// array on \p H (seeded Fisher-Yates per array), modeling the program
+/// entering a phase that visits the same objects in a different order —
+/// object addresses are untouched, but array-driven access sequences
+/// (and the strides inspection derived from them) change. Termination
+/// of re-run entry methods is unaffected: array iteration is counted,
+/// and pointer chains keep their links. Returns the number of arrays
+/// shuffled. Deterministic in \p Seed.
+unsigned applyPhaseChange(vm::Heap &H, uint64_t Seed);
+
 } // namespace workloads
 } // namespace spf
 

@@ -2,10 +2,12 @@
 
 #include "workloads/Runner.h"
 
+#include "core/PrefetchCodeGen.h"
 #include "obs/Obs.h"
 #include "obs/StatRegistry.h"
 #include "obs/Tracer.h"
 #include "trace/RecordingSink.h"
+#include "workloads/ProgramPopulation.h"
 
 #include <chrono>
 #include <cstdio>
@@ -79,8 +81,8 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
   if (Opts.TunePass)
     Opts.TunePass(CM.Pass);
   jit::CompileManager Jit(*W.Heap, CM);
+  obs::DecisionLog Log;
   {
-    obs::DecisionLog Log;
     std::optional<obs::DecisionScope> Scope;
     if (obs::enabled())
       Scope.emplace(Log);
@@ -88,13 +90,7 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
     for (const CompileUnit &CU : W.CompileUnits)
       Jit.compile(CU.M, CU.Args);
     JitSpan.end();
-    Scope.reset();
-    Result.Decisions = Log.take();
   }
-
-  Result.JitTotalUs = Jit.totalJitUs();
-  Result.JitPrefetchUs = Jit.prefetchUs();
-  Result.Prefetch = Jit.aggregatePrefetch();
 
   // Execute on the simulated machine, optionally teeing the access-event
   // stream into a trace buffer (the live simulation is unaffected, so a
@@ -110,20 +106,109 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
   exec::Interpreter Interp(*W.Heap, *Sink, &W.Roots);
   if (Opts.TimeoutSeconds > 0.0)
     Interp.setDeadline(Opts.TimeoutSeconds);
+  Interp.gc().setVariant(Opts.GcVariant, Opts.Config.Seed);
+  if (Opts.Governor) {
+    Mem.enablePrefetchHealth();
+    Interp.enablePrefetchGovernance();
+  }
+  opt::Governor Gov(Opts.GovernorCfg);
+
+  // Ref-typed argument slots are GC roots across epoch boundaries: entry
+  // args are re-run every epoch, and compile-unit args feed governor
+  // re-inspection — both must track moved referents.
+  auto addRefArgRoots = [](ir::Method *M, std::vector<uint64_t> &Args,
+                           std::vector<vm::Addr *> &Roots) {
+    for (unsigned I = 0, E = std::min<unsigned>(M->numArgs(),
+                                                static_cast<unsigned>(
+                                                    Args.size()));
+         I != E; ++I)
+      if (M->arg(I)->type() == ir::Type::Ref)
+        Roots.push_back(&Args[I]);
+  };
+
+  unsigned Epochs = Opts.Epochs ? Opts.Epochs : 1;
   obs::Span SimSpan("simulate", "runner");
   SimSpan.note("workload", Spec.Name);
   auto Start = std::chrono::steady_clock::now();
   Result.ReturnValue = Interp.run(W.Entry, W.EntryArgs);
+  for (unsigned E = 1; E < Epochs; ++E) {
+    // -- Epoch boundary: full GC under the selected placement variant. --
+    std::vector<vm::Addr *> Roots;
+    for (vm::Addr &Handle : W.Roots)
+      Roots.push_back(&Handle);
+    addRefArgRoots(W.Entry, W.EntryArgs, Roots);
+    for (CompileUnit &CU : W.CompileUnits)
+      addRefArgRoots(CU.M, CU.Args, Roots);
+    Interp.gc().collect(*W.Heap, Roots);
+    Sink->tick(10000); // Same nominal pause the interpreter charges.
+
+    if (Opts.PhaseChange && E == (Epochs + 1) / 2)
+      applyPhaseChange(*W.Heap, Opts.Config.Seed);
+
+    if (Opts.Governor) {
+      // Governor re-decisions run between epochs — outside the timed
+      // interpretation, like everything else that records decisions.
+      std::optional<obs::DecisionScope> Scope;
+      if (obs::enabled())
+        Scope.emplace(Log);
+      for (const opt::GovernorDecision &D :
+           Gov.endEpoch(Mem.siteStats())) {
+        switch (D.Action) {
+        case opt::GovernorAction::Retune: {
+          exec::Interpreter::PrefetchControl C;
+          C.ExtraDistance = D.ExtraDistance;
+          Interp.setPrefetchControl(D.Site, C);
+          break;
+        }
+        case opt::GovernorAction::Quarantine: {
+          exec::Interpreter::PrefetchControl C;
+          C.Suppress = true;
+          Interp.setPrefetchControl(D.Site, C);
+          break;
+        }
+        case opt::GovernorAction::Reinspect:
+          // Strip every unit's prefetch code and re-run the pipeline
+          // against the *current* (post-GC) heap layout.
+          for (const CompileUnit &CU : W.CompileUnits) {
+            core::CodeGenStats Stripped = core::stripPrefetchCode(*CU.M);
+            if (Stripped.Prefetches || Stripped.SpecLoads)
+              Jit.compile(CU.M, CU.Args);
+          }
+          Interp.clearPrefetchControls();
+          Interp.invalidateMethodInfo();
+          Gov.noteReinspected(Mem.siteStats());
+          break;
+        case opt::GovernorAction::Keep:
+          break;
+        }
+      }
+    }
+    Interp.run(W.Entry, W.EntryArgs);
+  }
   Result.InterpretUs = elapsedUs(Start);
   SimSpan.end();
   if (Opts.Record)
     Opts.Record->finish();
+
+  // JIT totals are harvested after execution: governor re-inspection
+  // re-compiles mid-run and its time belongs in the Figure 11 totals.
+  Result.JitTotalUs = Jit.totalJitUs();
+  Result.JitPrefetchUs = Jit.prefetchUs();
+  Result.Prefetch = Jit.aggregatePrefetch();
+  Result.Decisions = Log.take();
 
   Result.CompiledCycles = Mem.cycles();
   Result.Retired = Interp.stats().Retired;
   Result.Mem = Mem.stats();
   Result.Sites = Mem.siteStats();
   Result.Exec = Interp.stats();
+  Result.Epochs = Epochs;
+  Result.GcCollections = Interp.gc().collectionCount();
+  Result.GovernorQuarantined = Gov.quarantinedSites();
+  Result.GovernorRetunes = Gov.retunesApplied();
+  Result.GovernorReinspections = Gov.reinspections();
+  // Self-check uses epoch 0's return value (captured above): later
+  // epochs legitimately diverge once the phase change reorders data.
   if (W.Expected)
     Result.SelfCheckOk = Result.ReturnValue == *W.Expected;
 
@@ -150,6 +235,12 @@ std::string workloads::executionSignature(const WorkloadSpec &Spec,
   // An arbitrary pass mutation cannot be keyed: without a caller-provided
   // stable tag, runs with a TunePass are never trace-cached.
   if (Opts.TunePass && Opts.TuneKey.empty())
+    return std::string();
+  // Governor-on runs cannot be keyed either: the re-decisions (suppress /
+  // retune / re-JIT) depend on measured per-site health, which depends on
+  // the machine's timing — exactly what the signature must exclude. An
+  // adaptive run must never reuse (or donate) a trace.
+  if (Opts.Governor)
     return std::string();
 
   // Scale is hashed by bit pattern: any representable value keys exactly.
@@ -184,6 +275,18 @@ std::string workloads::executionSignature(const WorkloadSpec &Spec,
   }
   if (!Opts.TuneKey.empty())
     Sig += "|tune=" + Opts.TuneKey;
+  // Epoch / GC-perturbation facets change the access-event stream for
+  // every algorithm (boundary GCs move objects — BASELINE included), so
+  // they key unconditionally; defaults add nothing, keeping classic
+  // signatures (and their cached traces) untouched.
+  if (Opts.Epochs > 1) {
+    std::snprintf(Buf, sizeof(Buf), "|epochs=%u", Opts.Epochs);
+    Sig += Buf;
+  }
+  if (Opts.GcVariant != vm::GcVariant::SlidingCompact)
+    Sig += std::string("|gc=") + vm::gcVariantName(Opts.GcVariant);
+  if (Opts.PhaseChange)
+    Sig += "|phase=1";
   return Sig;
 }
 

@@ -15,6 +15,7 @@
 #include "exec/Interpreter.h"
 #include "jit/CompileManager.h"
 #include "obs/DecisionLog.h"
+#include "opt/Governor.h"
 #include "sim/MemorySystem.h"
 #include "trace/TraceBuffer.h"
 #include "workloads/Workload.h"
@@ -56,6 +57,30 @@ struct RunOptions {
   /// Pre-size hint for the recording buffer, in expected encoded events
   /// (typically a previous trace of the same workload); 0 = no hint.
   uint64_t ReserveEvents = 0;
+
+  // -- Epochs, GC perturbation, and the prefetch-health governor -----------
+
+  /// Number of epochs: the entry method runs once per epoch, with a full
+  /// collection at every epoch boundary. 1 (the default) is the classic
+  /// single-shot run — no boundary GC, byte-identical to the pre-epoch
+  /// runner.
+  unsigned Epochs = 1;
+  /// Placement policy of every collection in the run (boundary GCs and
+  /// allocation-pressure GCs alike). Non-default variants perturb object
+  /// order, going stale the inspection-derived stride plans.
+  vm::GcVariant GcVariant = vm::GcVariant::SlidingCompact;
+  /// Workload phase change: at the midpoint epoch boundary, every
+  /// reference array on the heap has its element order shuffled
+  /// (workloads::applyPhaseChange), so later epochs visit the same
+  /// objects in a different order.
+  bool PhaseChange = false;
+  /// Online prefetch-health governor: per-site effectiveness tracking is
+  /// enabled (sim::MemorySystem::enablePrefetchHealth — the run leaves
+  /// the batched replay fast path) and opt::Governor re-decides each
+  /// site at every epoch boundary. Governor-on runs are never
+  /// trace-cached (executionSignature returns "").
+  bool Governor = false;
+  opt::GovernorConfig GovernorCfg;
 };
 
 /// Everything measured in one run.
@@ -81,6 +106,13 @@ struct RunResult {
   bool Replayed = false;   ///< Result came from a trace replay.
   double InterpretUs = 0;  ///< Time interpreting (0 when replayed).
   double ReplayUs = 0;     ///< Time replaying (0 when interpreted).
+
+  // Epoch/governor accounting (all zero for classic single-epoch runs):
+  unsigned Epochs = 1;          ///< Epochs actually executed.
+  uint64_t GcCollections = 0;   ///< Collections (boundary + pressure).
+  unsigned GovernorQuarantined = 0; ///< Sites quarantined at run end.
+  unsigned GovernorRetunes = 0;     ///< Distance retunes applied.
+  unsigned GovernorReinspections = 0; ///< Strip + re-JIT escalations.
 };
 
 /// Derives the prefetch pass options appropriate for \p M: the planner's

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace spf;
 using namespace spf::vm;
 
@@ -267,6 +269,229 @@ TEST_F(GcTest, PropertyRandomGraphsSurviveCompaction) {
   }
 }
 
+// -- Placement variants -----------------------------------------------------
+//
+// SlidingCompact is the paper's collector and keeps allocation-order
+// strides (tested above). Each alternative placement policy must
+// measurably break the property — that breakage is what the online
+// prefetch-health governor (opt/Governor.h) exists to survive.
+
+TEST_F(GcTest, VariantNamesRoundTrip) {
+  for (GcVariant V :
+       {GcVariant::SlidingCompact, GcVariant::MarkSweep,
+        GcVariant::AddressShuffle, GcVariant::PromotionOrder})
+    EXPECT_EQ(parseGcVariant(gcVariantName(V)), V);
+  EXPECT_FALSE(parseGcVariant("copying").has_value());
+}
+
+TEST_F(GcTest, MarkSweepLeavesLiveObjectsInPlace) {
+  // Interleaved live/dead: sliding compaction would close the gaps and
+  // restore a constant pitch; mark-sweep must leave every survivor at
+  // its old address, so the post-GC pitch keeps the pre-GC holes.
+  std::vector<Addr> Live;
+  for (int I = 0; I < 16; ++I) {
+    if (I % 2 == 0)
+      Live.push_back(makeNode(I));
+    else
+      makeNode(-I); // Garbage.
+  }
+  std::vector<Addr> Before = Live;
+  Addr OldTop = H->heapTop();
+
+  Gc.setVariant(GcVariant::MarkSweep);
+  std::vector<Addr *> Roots;
+  for (Addr &A : Live)
+    Roots.push_back(&A);
+  GcStats S = Gc.collect(*H, Roots);
+
+  EXPECT_EQ(S.LiveObjects, Live.size());
+  EXPECT_GT(S.ReclaimedBytes, 0u);
+  EXPECT_EQ(H->heapTop(), OldTop); // Frontier untouched: nothing moved.
+  for (size_t I = 0; I < Live.size(); ++I) {
+    EXPECT_EQ(Live[I], Before[I]); // In place.
+    EXPECT_EQ(valOf(Live[I]), static_cast<int32_t>(2 * I));
+  }
+  // The inter-object pitch keeps the dead holes: twice the sliding-
+  // compacted pitch here, so a stride plan fit to compacted order would
+  // now be wrong.
+  for (size_t I = 1; I < Live.size(); ++I)
+    EXPECT_EQ(Live[I] - Live[I - 1], 2 * H->objectSize(Live[I - 1]));
+  EXPECT_FALSE(H->freeList().empty());
+}
+
+TEST_F(GcTest, MarkSweepHolesAreReusedByAllocation) {
+  std::vector<Addr> Live;
+  for (int I = 0; I < 16; ++I) {
+    if (I % 2 == 0)
+      Live.push_back(makeNode(I));
+    else
+      makeNode(-I); // Garbage.
+  }
+  Gc.setVariant(GcVariant::MarkSweep);
+  std::vector<Addr *> Roots;
+  for (Addr &A : Live)
+    Roots.push_back(&A);
+  Gc.collect(*H, Roots);
+
+  Addr Top = H->heapTop();
+  Addr Reused = makeNode(99);
+  EXPECT_LT(Reused, Top); // First-fit from a hole, not the frontier.
+  EXPECT_EQ(H->heapTop(), Top);
+  EXPECT_EQ(valOf(Reused), 99);
+}
+
+TEST_F(GcTest, AddressShuffleBreaksLiveObjectOrder) {
+  std::vector<Addr> Live;
+  for (int I = 0; I < 64; ++I)
+    Live.push_back(makeNode(I));
+
+  Gc.setVariant(GcVariant::AddressShuffle, /*Seed=*/42);
+  Gc.setShuffleWindow(8);
+  std::vector<Addr *> Roots;
+  for (Addr &A : Live)
+    Roots.push_back(&A);
+  GcStats S = Gc.collect(*H, Roots);
+  EXPECT_EQ(S.LiveObjects, Live.size());
+
+  // Values survive and the heap is still densely packed...
+  std::vector<Addr> Sorted = Live;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (size_t I = 1; I < Sorted.size(); ++I)
+    EXPECT_EQ(Sorted[I] - Sorted[I - 1], H->objectSize(Sorted[I - 1]));
+  for (size_t I = 0; I < Live.size(); ++I)
+    EXPECT_EQ(valOf(Live[I]), static_cast<int32_t>(I));
+  // ...but allocation order no longer matches address order: the
+  // constant stride the inspector fit before the collection is gone.
+  unsigned Inversions = 0;
+  for (size_t I = 1; I < Live.size(); ++I)
+    Inversions += Live[I] < Live[I - 1];
+  EXPECT_GT(Inversions, 0u);
+}
+
+TEST_F(GcTest, AddressShuffleIsDeterministicPerSeedAndCollection) {
+  auto RunOnce = [&](uint64_t Seed) {
+    HeapConfig HC;
+    HC.HeapBytes = 1 << 20;
+    Heap Local(Types, HC);
+    std::vector<Addr> Live;
+    for (int I = 0; I < 32; ++I) {
+      Live.push_back(Local.allocObject(*Node));
+      Local.store(Live.back() + FVal->Offset, ir::Type::I32,
+                  static_cast<uint64_t>(I));
+    }
+    GarbageCollector LocalGc;
+    LocalGc.setVariant(GcVariant::AddressShuffle, Seed);
+    LocalGc.setShuffleWindow(8);
+    std::vector<Addr *> Roots;
+    for (Addr &A : Live)
+      Roots.push_back(&A);
+    LocalGc.collect(Local, Roots);
+    return Live;
+  };
+  EXPECT_EQ(RunOnce(7), RunOnce(7));   // Same seed: same permutation.
+  EXPECT_NE(RunOnce(7), RunOnce(8));   // Different seed: different one.
+}
+
+TEST_F(GcTest, PromotionOrderPlacesInDiscoveryOrder) {
+  // Build a chain whose link order is the *reverse* of allocation order:
+  // node I points at node I-1, the root holds the last node. Discovery
+  // (promotion) order is then chain order, so after collection the chain
+  // runs in ascending address order — the opposite of what sliding
+  // compaction (allocation order) would produce.
+  const int N = 16;
+  std::vector<Addr> Nodes;
+  for (int I = 0; I < N; ++I) {
+    Nodes.push_back(makeNode(I));
+    if (I > 0)
+      H->store(Nodes[I] + FNext->Offset, ir::Type::Ref, Nodes[I - 1]);
+  }
+  Addr Root = Nodes.back();
+
+  Gc.setVariant(GcVariant::PromotionOrder);
+  std::vector<Addr *> Roots = {&Root};
+  GcStats S = Gc.collect(*H, Roots);
+  EXPECT_EQ(S.LiveObjects, static_cast<uint64_t>(N));
+
+  EXPECT_EQ(Root, H->heapBase()); // First discovered object placed first.
+  Addr Cur = Root;
+  int Hops = 0;
+  int32_t Expect = N - 1;
+  while (Cur) {
+    EXPECT_EQ(valOf(Cur), Expect--);
+    Addr Next = H->load(Cur + FNext->Offset, ir::Type::Ref);
+    if (Next)
+      EXPECT_GT(Next, Cur); // Chain order == address order now.
+    Cur = Next;
+    ASSERT_LE(++Hops, N);
+  }
+  EXPECT_EQ(Hops, N);
+}
+
+TEST_F(GcTest, PropertyVariantsPreserveReachabilityAndValues) {
+  // Placement changes, semantics must not: every variant keeps exactly
+  // the reachable set with intact values and links.
+  SplitMix64 Rng(0xfeedface);
+  for (GcVariant V : {GcVariant::MarkSweep, GcVariant::AddressShuffle,
+                      GcVariant::PromotionOrder}) {
+    for (int Round = 0; Round < 5; ++Round) {
+      HeapConfig HC;
+      HC.HeapBytes = 1 << 20;
+      Heap Local(Types, HC);
+      const unsigned N = 100;
+      std::vector<Addr> Nodes(N);
+      for (unsigned I = 0; I != N; ++I) {
+        Nodes[I] = Local.allocObject(*Node);
+        Local.store(Nodes[I] + FVal->Offset, ir::Type::I32, I);
+      }
+      for (unsigned I = 0; I != N; ++I)
+        if (Rng.nextBelow(100) < 70)
+          Local.store(Nodes[I] + FNext->Offset, ir::Type::Ref,
+                      Nodes[Rng.nextBelow(N)]);
+      std::vector<Addr> RootVals;
+      for (unsigned I = 0; I != N; ++I)
+        if (Rng.nextBelow(100) < 15)
+          RootVals.push_back(Nodes[I]);
+
+      std::vector<bool> Reach(N, false);
+      std::vector<Addr> Work = RootVals;
+      while (!Work.empty()) {
+        Addr A = Work.back();
+        Work.pop_back();
+        unsigned Idx = static_cast<unsigned>(
+            Local.load(A + FVal->Offset, ir::Type::I32));
+        if (Reach[Idx])
+          continue;
+        Reach[Idx] = true;
+        if (Addr Next = Local.load(A + FNext->Offset, ir::Type::Ref))
+          Work.push_back(Next);
+      }
+      uint64_t ExpectedLive = 0;
+      for (bool R : Reach)
+        ExpectedLive += R;
+
+      GarbageCollector LocalGc;
+      LocalGc.setVariant(V, Round);
+      std::vector<Addr *> Roots;
+      for (Addr &A : RootVals)
+        Roots.push_back(&A);
+      GcStats S = LocalGc.collect(Local, Roots);
+      ASSERT_EQ(S.LiveObjects, ExpectedLive) << gcVariantName(V);
+
+      for (Addr Cur : RootVals) {
+        unsigned Hops = 0;
+        while (Cur && Hops++ < N) {
+          ASSERT_TRUE(Local.isObjectStart(Cur)) << gcVariantName(V);
+          unsigned Idx = static_cast<unsigned>(
+              Local.load(Cur + FVal->Offset, ir::Type::I32));
+          ASSERT_LT(Idx, N);
+          EXPECT_TRUE(Reach[Idx]) << gcVariantName(V);
+          Cur = Local.load(Cur + FNext->Offset, ir::Type::Ref);
+        }
+      }
+    }
+  }
+}
+
 // -- Watchdog checkpoints ---------------------------------------------------
 
 TEST_F(GcTest, CheckpointFiresDuringCollection) {
@@ -286,6 +511,35 @@ TEST_F(GcTest, CheckpointFiresDuringCollection) {
 
   EXPECT_EQ(S.LiveObjects, 5000u);
   EXPECT_GT(Fired, 0u);
+}
+
+TEST_F(GcTest, CheckpointFiresDuringEveryVariantPhase) {
+  // The watchdog contract extends to the new placement policies: the
+  // sweep loop, the shuffle permutation, and the scratch-copy placement
+  // all poll the checkpoint, so a cell stuck in a perturbing collection
+  // still observes its deadline.
+  for (GcVariant V : {GcVariant::MarkSweep, GcVariant::AddressShuffle,
+                      GcVariant::PromotionOrder}) {
+    HeapConfig HC;
+    HC.HeapBytes = 4u << 20;
+    Heap Local(Types, HC);
+    std::vector<Addr> Keep;
+    for (int I = 0; I != 5000; ++I) {
+      Addr A = Local.allocObject(*Node);
+      ASSERT_NE(A, 0u);
+      Keep.push_back(A);
+    }
+    unsigned Fired = 0;
+    GarbageCollector LocalGc;
+    LocalGc.setVariant(V, /*Seed=*/1);
+    LocalGc.setCheckpoint([&Fired] { ++Fired; });
+    std::vector<Addr *> Roots;
+    for (Addr &A : Keep)
+      Roots.push_back(&A);
+    GcStats S = LocalGc.collect(Local, Roots);
+    EXPECT_EQ(S.LiveObjects, 5000u) << gcVariantName(V);
+    EXPECT_GT(Fired, 0u) << gcVariantName(V);
+  }
 }
 
 TEST_F(GcTest, ThrowingCheckpointAbandonsCollection) {

@@ -18,6 +18,7 @@
 #include "harness/JsonWriter.h"
 #include "obs/DecisionLog.h"
 #include "obs/Obs.h"
+#include "opt/Governor.h"
 #include "obs/StatRegistry.h"
 #include "obs/Tracer.h"
 #include "support/FaultInjection.h"
@@ -364,6 +365,68 @@ TEST(DecisionLogTest, FormatIsHumanReadable) {
   EXPECT_NE(S.find("inter-pattern"), std::string::npos);
   EXPECT_NE(S.find("stride=208"), std::string::npos);
   EXPECT_NE(S.find("samples=19"), std::string::npos);
+}
+
+TEST(DecisionLogTest, GovernorGoldenEvents) {
+  // The governor's epoch re-decisions ride the same DecisionLog pipeline
+  // as compile-time decisions (Pass="governor"), so --explain and
+  // --decisions-out show *runtime* adaptation next to the static plan.
+  DecisionLog Log;
+  std::vector<opt::GovernorDecision> Decisions;
+  {
+    DecisionScope Scope(Log);
+    opt::Governor Gov;
+    auto Health = [](uint64_t Useful, uint64_t Late, uint64_t Unused) {
+      sim::SiteStats S;
+      S.SwIssued = Useful + Late + Unused;
+      S.SwUseful = Useful;
+      S.SwLate = Late;
+      S.SwUnused = Unused;
+      return S;
+    };
+    // Site 0 late (retune), sites 1+2 inaccurate (quarantine x2 ->
+    // reinspect escalation).
+    std::vector<sim::SiteStats> T = {Health(10, 50, 4), Health(4, 4, 56),
+                                     Health(2, 2, 60)};
+    Decisions = Gov.endEpoch(T);
+  }
+  ASSERT_EQ(Decisions.size(), 4u);
+
+  std::vector<DecisionEvent> Evs = Log.take();
+  ASSERT_EQ(Evs.size(), 4u);
+  EXPECT_EQ(Evs[0].Pass, "governor");
+  EXPECT_EQ(Evs[0].Event, "retune");
+  EXPECT_EQ(Evs[0].Site, "site#0");
+  EXPECT_EQ(Evs[0].Stride, 2); // The retuned extra lookahead.
+  EXPECT_EQ(Evs[0].Samples, 64u);
+  EXPECT_EQ(Evs[1].Event, "quarantine");
+  EXPECT_EQ(Evs[1].Site, "site#1");
+  EXPECT_EQ(Evs[2].Event, "quarantine");
+  EXPECT_EQ(Evs[2].Site, "site#2");
+  EXPECT_EQ(Evs[3].Event, "reinspect");
+  EXPECT_EQ(Evs[3].Samples, 2u); // Quarantines behind the escalation.
+  for (const DecisionEvent &E : Evs) {
+    EXPECT_NE(E.Detail.find("resolved="), std::string::npos);
+    EXPECT_NE(E.Detail.find("accuracy="), std::string::npos);
+    // Human rendering stays readable for runtime events with no method
+    // attribution.
+    EXPECT_NE(formatDecision(E).find("[governor]"), std::string::npos);
+  }
+}
+
+TEST(DecisionLogTest, GovernorWithoutScopeStillDecides) {
+  // No DecisionScope installed: decisions are returned (and applied by
+  // the runner) even though nothing is recorded — observability must
+  // never gate behavior.
+  opt::Governor Gov;
+  sim::SiteStats S;
+  S.SwIssued = 64;
+  S.SwUseful = 2;
+  S.SwUnused = 62;
+  std::vector<sim::SiteStats> T = {S};
+  std::vector<opt::GovernorDecision> D = Gov.endEpoch(T);
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0].Action, opt::GovernorAction::Quarantine);
 }
 
 // -- Cell-record codec ------------------------------------------------------

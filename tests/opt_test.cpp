@@ -4,6 +4,7 @@
 #include "ir/Verifier.h"
 #include "opt/ConstantFolding.h"
 #include "opt/DeadCodeElim.h"
+#include "opt/Governor.h"
 #include "opt/LocalCSE.h"
 
 #include <gtest/gtest.h>
@@ -182,6 +183,133 @@ TEST_F(OptTest, PipelineCombinationReachesFixpoint) {
   opt::eliminateDeadCode(Fn);
   EXPECT_TRUE(verifyMethod(Fn));
   EXPECT_EQ(countInstructions(Fn), 2u); // add + ret.
+}
+
+// -- Prefetch-health governor ------------------------------------------------
+
+/// Builds one cumulative site table entry from issue/fate counts.
+sim::SiteStats health(uint64_t Issued, uint64_t Useful, uint64_t Late,
+                      uint64_t Unused) {
+  sim::SiteStats S;
+  S.SwIssued = Issued;
+  S.SwUseful = Useful;
+  S.SwLate = Late;
+  S.SwUnused = Unused;
+  return S;
+}
+
+TEST(GovernorTest, HealthySitesAreKept) {
+  opt::Governor Gov;
+  // 64 resolved, 60 useful: comfortably above the accuracy floor.
+  std::vector<sim::SiteStats> T = {health(64, 60, 2, 2)};
+  EXPECT_TRUE(Gov.endEpoch(T).empty());
+  EXPECT_EQ(Gov.quarantinedSites(), 0u);
+}
+
+TEST(GovernorTest, ThinEvidenceNeverTriggersADecision) {
+  opt::Governor Gov; // MinResolved = 32.
+  // 100% useless, but only 8 resolved fills: keep (no evidence).
+  std::vector<sim::SiteStats> T = {health(8, 0, 0, 8)};
+  EXPECT_TRUE(Gov.endEpoch(T).empty());
+}
+
+TEST(GovernorTest, InaccurateSiteIsQuarantined) {
+  opt::Governor Gov;
+  std::vector<sim::SiteStats> T = {health(64, 4, 4, 56)};
+  std::vector<opt::GovernorDecision> D = Gov.endEpoch(T);
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0].Action, opt::GovernorAction::Quarantine);
+  EXPECT_EQ(D[0].Site, 0u);
+  EXPECT_EQ(D[0].Resolved, 64u);
+  EXPECT_NEAR(D[0].Accuracy, 4.0 / 64.0, 1e-9);
+  EXPECT_EQ(Gov.quarantinedSites(), 1u);
+
+  // Quarantined sites are left alone afterwards, whatever their stats.
+  std::vector<sim::SiteStats> T2 = {health(128, 8, 8, 112)};
+  EXPECT_TRUE(Gov.endEpoch(T2).empty());
+}
+
+TEST(GovernorTest, LateSiteIsRetunedThenEventuallyQuarantined) {
+  opt::Governor Gov; // RetuneStep = 2, MaxRetunes = 2.
+  // Inaccurate by the floor but mostly *late*: stride right, distance
+  // short. Epoch evidence is the delta, so keep the table cumulative.
+  std::vector<sim::SiteStats> T = {health(64, 10, 50, 4)};
+  std::vector<opt::GovernorDecision> D = Gov.endEpoch(T);
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0].Action, opt::GovernorAction::Retune);
+  EXPECT_EQ(D[0].ExtraDistance, 2);
+
+  T[0].SwIssued += 64;
+  T[0].SwUseful += 10;
+  T[0].SwLate += 50;
+  T[0].SwUnused += 4;
+  D = Gov.endEpoch(T);
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0].Action, opt::GovernorAction::Retune);
+  EXPECT_EQ(D[0].ExtraDistance, 4); // Cumulative lookahead.
+  EXPECT_EQ(Gov.retunesApplied(), 2u);
+
+  // Third bad epoch: retune budget spent, fall through to quarantine.
+  T[0].SwIssued += 64;
+  T[0].SwUseful += 10;
+  T[0].SwLate += 50;
+  T[0].SwUnused += 4;
+  D = Gov.endEpoch(T);
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0].Action, opt::GovernorAction::Quarantine);
+  EXPECT_EQ(Gov.quarantinedSites(), 1u);
+}
+
+TEST(GovernorTest, QuarantineQuorumEscalatesToReinspectOnce) {
+  opt::Governor Gov; // ReinspectQuorum = 2, MaxReinspects = 1.
+  std::vector<sim::SiteStats> T = {health(64, 2, 2, 60),
+                                   health(64, 3, 1, 60)};
+  std::vector<opt::GovernorDecision> D = Gov.endEpoch(T);
+  ASSERT_EQ(D.size(), 3u);
+  EXPECT_EQ(D[0].Action, opt::GovernorAction::Quarantine);
+  EXPECT_EQ(D[1].Action, opt::GovernorAction::Quarantine);
+  EXPECT_EQ(D.back().Action, opt::GovernorAction::Reinspect);
+  EXPECT_EQ(D.back().Resolved, 2u); // Fresh quarantines behind it.
+
+  // The caller re-inspected: all prior decisions are void and the health
+  // baseline restarts at the current cumulative counters.
+  Gov.noteReinspected(T);
+  EXPECT_EQ(Gov.quarantinedSites(), 0u);
+  EXPECT_EQ(Gov.reinspections(), 1u);
+  EXPECT_TRUE(Gov.endEpoch(T).empty()); // Zero fresh evidence: keeps.
+
+  // A second quorum cannot escalate again (budget spent): plain
+  // quarantines only.
+  std::vector<sim::SiteStats> T2 = {health(128, 4, 4, 120),
+                                    health(128, 6, 2, 120)};
+  D = Gov.endEpoch(T2);
+  ASSERT_EQ(D.size(), 2u);
+  EXPECT_EQ(D[0].Action, opt::GovernorAction::Quarantine);
+  EXPECT_EQ(D[1].Action, opt::GovernorAction::Quarantine);
+}
+
+TEST(GovernorTest, RptHealthIsObservedButNotGoverned) {
+  // Hardware-RPT fills are attributed per site for the reports, but the
+  // governor can only act on *software* prefetch code (suppress/retune a
+  // prefetch instruction); it must not quarantine a site on RPT evidence
+  // alone — there is nothing to patch.
+  opt::Governor Gov;
+  sim::SiteStats S;
+  S.RptIssued = 64;
+  S.RptUseful = 2;
+  S.RptUnused = 62;
+  std::vector<sim::SiteStats> T = {S};
+  EXPECT_TRUE(Gov.endEpoch(T).empty());
+}
+
+TEST(GovernorTest, ActionNamesAreStable) {
+  EXPECT_STREQ(opt::governorActionName(opt::GovernorAction::Keep), "keep");
+  EXPECT_STREQ(opt::governorActionName(opt::GovernorAction::Retune),
+               "retune");
+  EXPECT_STREQ(opt::governorActionName(opt::GovernorAction::Quarantine),
+               "quarantine");
+  EXPECT_STREQ(opt::governorActionName(opt::GovernorAction::Reinspect),
+               "reinspect");
 }
 
 } // namespace

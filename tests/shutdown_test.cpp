@@ -115,6 +115,37 @@ TEST(GovernorTest, ExternalStopYieldsAValidPartialResult) {
   EXPECT_NE(S.find("\"kind\":\"skipped\""), std::string::npos);
 }
 
+TEST(GovernorTest, EpochGcCellsStillYieldValidPartialResults) {
+  // Multi-epoch cells with a perturbing GC variant and the prefetch-
+  // health governor spend much of their time inside boundary collections
+  // and re-decisions; a stop request must still turn the sweep into a
+  // valid partial result (the GC checkpoint and the attempt-head polls
+  // keep firing through the new variant phases).
+  support::resetShutdownForTests();
+  harness::ExperimentPlan Plan = tinyPlan(4);
+  for (harness::ExperimentCell &C : Plan.cells()) {
+    C.Opt.Epochs = 3;
+    C.Opt.GcVariant = vm::GcVariant::AddressShuffle;
+    C.Opt.Governor = true;
+  }
+
+  RunPlanOptions Opts;
+  Opts.Trace.Enabled = false;
+  unsigned Polls = 0;
+  Opts.Governor.ExternalStop = [&Polls]() mutable { return ++Polls > 2; };
+  harness::ExperimentResult R = harness::runPlan(Plan, 1, Opts);
+
+  EXPECT_TRUE(R.Interrupted);
+  EXPECT_TRUE(R.ok()) << (R.Failures.empty() ? "" : R.Failures[0]);
+  EXPECT_GT(R.CellsSkipped, 0u);
+  EXPECT_LT(R.CellsSkipped, 4u);
+  // The cell that did run completed all of its epochs and its boundary
+  // collections.
+  ASSERT_TRUE(R.Cells[0].Ran);
+  EXPECT_EQ(R.Cells[0].Run.Epochs, 3u);
+  EXPECT_GE(R.Cells[0].Run.GcCollections, 2u);
+}
+
 TEST(GovernorTest, UninterruptedRunIsNotMarkedInterrupted) {
   support::resetShutdownForTests();
   harness::ExperimentPlan Plan = tinyPlan(2);

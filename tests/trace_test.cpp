@@ -504,6 +504,54 @@ TEST(ExecutionSignatureTest, TunedRunsNeedAStableKey) {
   EXPECT_NE(Sig.find("tune=dist=4"), std::string::npos);
 }
 
+TEST(ExecutionSignatureTest, EpochAndGcFacetsKeyApart) {
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("jess");
+  ASSERT_NE(Spec, nullptr);
+  workloads::RunOptions Classic;
+  Classic.Config = tinyConfig();
+  std::string Base = workloads::executionSignature(*Spec, Classic);
+  ASSERT_NE(Base, "");
+
+  // Defaults (1 epoch, sliding-compact, no phase change) add no facet:
+  // old journals and spilled traces keep their keys.
+  workloads::RunOptions Defaults = Classic;
+  Defaults.Epochs = 1;
+  Defaults.GcVariant = vm::GcVariant::SlidingCompact;
+  EXPECT_EQ(workloads::executionSignature(*Spec, Defaults), Base);
+
+  // Every adaptation facet keys its own trace — including for BASELINE,
+  // whose memory behavior changes with the boundary collections too.
+  workloads::RunOptions Epochs = Classic;
+  Epochs.Epochs = 4;
+  std::string EpochSig = workloads::executionSignature(*Spec, Epochs);
+  EXPECT_NE(EpochSig, Base);
+  EXPECT_NE(EpochSig.find("epochs=4"), std::string::npos);
+
+  workloads::RunOptions Variant = Epochs;
+  Variant.GcVariant = vm::GcVariant::AddressShuffle;
+  std::string VariantSig = workloads::executionSignature(*Spec, Variant);
+  EXPECT_NE(VariantSig, EpochSig);
+  EXPECT_NE(VariantSig.find("gc=address-shuffle"), std::string::npos);
+
+  workloads::RunOptions Phase = Variant;
+  Phase.PhaseChange = true;
+  EXPECT_NE(workloads::executionSignature(*Spec, Phase), VariantSig);
+}
+
+TEST(ExecutionSignatureTest, GovernedRunsAreNeverKeyed) {
+  // Governor re-decisions depend on observed machine timing, so a
+  // governed execution is never correct to replay for another machine —
+  // or to record at all: like an unnamed TunePass mutation it gets the
+  // empty (unkeyable) signature and always interprets directly.
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("jess");
+  ASSERT_NE(Spec, nullptr);
+  workloads::RunOptions Opt;
+  Opt.Config = tinyConfig();
+  Opt.Epochs = 4;
+  Opt.Governor = true;
+  EXPECT_EQ(workloads::executionSignature(*Spec, Opt), "");
+}
+
 // -- Differential: replay == direct for the full evaluation matrix ---------
 
 TEST(DifferentialTest, ReplayMatchesDirectForEveryWorkloadAndMachine) {

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Verifier.h"
+#include "workloads/ProgramPopulation.h"
 #include "workloads/Runner.h"
 
 #include <gtest/gtest.h>
@@ -229,4 +230,99 @@ TEST(RunnerTest, SpeedupSignConventions) {
   EXPECT_DOUBLE_EQ(speedupPercent(Base, Base, 0.7), 0.0);
   // Damping: the same compiled-code gain shrinks with lower f.
   EXPECT_LT(speedupPercent(Base, Fast, 0.5), speedupPercent(Base, Fast, 1.0));
+}
+
+// -- Epochs, GC perturbation, and the governor -------------------------------
+
+TEST(AdaptationRunTest, EpochRunsPreserveResultsUnderEveryVariant) {
+  const WorkloadSpec *Spec = findWorkload("jess");
+  ASSERT_NE(Spec, nullptr);
+  RunOptions Base;
+  Base.Config = tinyConfig();
+  RunResult RBase = runWorkload(*Spec, Base);
+  ASSERT_TRUE(RBase.SelfCheckOk);
+  EXPECT_EQ(RBase.Epochs, 1u);
+
+  for (vm::GcVariant V :
+       {vm::GcVariant::SlidingCompact, vm::GcVariant::MarkSweep,
+        vm::GcVariant::AddressShuffle, vm::GcVariant::PromotionOrder}) {
+    RunOptions Opt;
+    Opt.Config = tinyConfig();
+    Opt.Algo = Algorithm::InterIntra;
+    Opt.Epochs = 3;
+    Opt.GcVariant = V;
+    RunResult R = runWorkload(*Spec, Opt);
+    EXPECT_TRUE(R.SelfCheckOk) << vm::gcVariantName(V);
+    EXPECT_EQ(R.ReturnValue, RBase.ReturnValue) << vm::gcVariantName(V);
+    EXPECT_EQ(R.Epochs, 3u);
+    EXPECT_GE(R.GcCollections, 2u) << vm::gcVariantName(V);
+  }
+}
+
+TEST(AdaptationRunTest, GovernedRunPreservesResultsAndTracksHealth) {
+  const WorkloadSpec *Spec = findWorkload("jess");
+  ASSERT_NE(Spec, nullptr);
+  RunOptions Off;
+  Off.Config = tinyConfig();
+  Off.Algo = Algorithm::InterIntra;
+  Off.Epochs = 4;
+  Off.GcVariant = vm::GcVariant::AddressShuffle;
+  RunResult ROff = runWorkload(*Spec, Off);
+  ASSERT_TRUE(ROff.SelfCheckOk);
+  // Health tracking is off: the governed-only counters stay zero, so the
+  // stats match the pre-governor wire format bit for bit.
+  EXPECT_EQ(ROff.Mem.SwPrefetchesUseful + ROff.Mem.SwPrefetchesLate +
+                ROff.Mem.SwPrefetchesUnused,
+            0u);
+  EXPECT_EQ(ROff.GovernorQuarantined, 0u);
+
+  RunOptions On = Off;
+  On.Governor = true;
+  // Tiny-scale runs resolve few fills per site; drop the evidence floor
+  // so the state machine actually acts in this test.
+  On.GovernorCfg.MinResolved = 4;
+  RunResult ROn = runWorkload(*Spec, On);
+  EXPECT_TRUE(ROn.SelfCheckOk);
+  EXPECT_EQ(ROn.ReturnValue, ROff.ReturnValue)
+      << "governor changed the program result";
+  EXPECT_EQ(ROn.Epochs, 4u);
+  // Health tracking attributed fills.
+  EXPECT_GT(ROn.Mem.SwPrefetchesUseful + ROn.Mem.SwPrefetchesLate +
+                ROn.Mem.SwPrefetchesUnused,
+            0u);
+}
+
+TEST(AdaptationRunTest, PhaseChangeShufflesRefArraysDeterministically) {
+  WorkloadConfig Cfg = tinyConfig();
+  BuiltWorkload A = findWorkload("db")->Build(Cfg);
+  BuiltWorkload B = findWorkload("db")->Build(Cfg);
+
+  unsigned NA = applyPhaseChange(*A.Heap, /*Seed=*/7);
+  EXPECT_GT(NA, 0u); // db's heap holds Ref arrays to shuffle.
+  // Deterministic: the same seed shuffles an identical heap identically.
+  EXPECT_EQ(applyPhaseChange(*B.Heap, /*Seed=*/7), NA);
+  for (vm::Addr Addr = A.Heap->heapBase(); Addr < A.Heap->heapTop();
+       Addr += A.Heap->objectSize(Addr)) {
+    if (!A.Heap->isArray(Addr) ||
+        A.Heap->arrayElemType(Addr) != ir::Type::Ref)
+      continue;
+    for (uint64_t I = 0, E = A.Heap->arrayLength(Addr); I != E; ++I)
+      EXPECT_EQ(A.Heap->load(A.Heap->elemAddr(Addr, I), ir::Type::Ref),
+                B.Heap->load(B.Heap->elemAddr(Addr, I), ir::Type::Ref));
+  }
+
+  // And the program still computes the right answer afterwards: shuffle
+  // the live heap mid-epoch via the runner's knob.
+  const WorkloadSpec *Spec = findWorkload("db");
+  RunOptions Base;
+  Base.Config = tinyConfig();
+  RunResult RBase = runWorkload(*Spec, Base);
+  RunOptions Opt;
+  Opt.Config = tinyConfig();
+  Opt.Algo = Algorithm::InterIntra;
+  Opt.Epochs = 3;
+  Opt.PhaseChange = true;
+  RunResult R = runWorkload(*Spec, Opt);
+  EXPECT_TRUE(R.SelfCheckOk);
+  EXPECT_EQ(R.ReturnValue, RBase.ReturnValue);
 }
