@@ -317,6 +317,13 @@ struct BenchCli {
   std::string DecisionsOut; ///< Compile-decision JSON-lines path.
   bool Explain = false;     ///< Print the per-cell decision summary.
   bool DecisionsOpened = false; ///< First plan truncates, later append.
+  /// Timeline sampling cadence (--timeline-every N / SPF_TIMELINE):
+  /// cells of timeline-aware benches sample the cycle attribution every
+  /// N memory events and the report grows cycle_breakdown / timeline /
+  /// top_sites keys. 0 (the default) keeps reports byte-identical to
+  /// the pre-timeline format; forced to 0 when observability is
+  /// disabled (SPF_OBS=0 runs must stay byte-identical).
+  uint64_t TimelineEvery = 0;
 };
 
 inline BenchCli &cli() {
@@ -412,6 +419,10 @@ inline void init(int argc, char **argv) {
       C.DecisionsOut = argv[++I];
     } else if (A.rfind("--decisions-out=", 0) == 0) {
       C.DecisionsOut = A.substr(16);
+    } else if (A == "--timeline-every" && I + 1 < argc) {
+      C.TimelineEvery = static_cast<uint64_t>(std::atoll(argv[++I]));
+    } else if (A.rfind("--timeline-every=", 0) == 0) {
+      C.TimelineEvery = static_cast<uint64_t>(std::atoll(A.c_str() + 17));
     } else if (A == "--explain") {
       C.Explain = true;
     }
@@ -435,6 +446,13 @@ inline void init(int argc, char **argv) {
   if (C.DecisionsOut.empty())
     if (const char *E = std::getenv("SPF_DECISIONS_OUT"))
       C.DecisionsOut = E;
+  if (!C.TimelineEvery)
+    C.TimelineEvery = support::envU64("SPF_TIMELINE", 0);
+  // SPF_OBS=0 (or an -DSPF_OBSERVABILITY=OFF build) must produce
+  // byte-identical reports: the timeline facet is an observability
+  // feature, so it is hard-disabled along with the rest of obs.
+  if (!obs::enabled())
+    C.TimelineEvery = 0;
   // Arm the tracer in supervisors AND workers (workers inherit the flag
   // via workerArgv; their spans travel back on the record line). Only
   // the supervisor flushes files: workers _Exit before atexit runs, and

@@ -48,6 +48,7 @@
 #include "BenchCommon.h"
 
 #include "harness/JsonReader.h"
+#include "harness/ReportDiff.h"
 
 #include <algorithm>
 #include <fstream>
@@ -182,11 +183,12 @@ void writeRowJson(harness::JsonWriter &J, const RowResult &R) {
   J.endObject();
 }
 
-/// CI gate: compares this run's address-shuffle recovery fractions
-/// against the committed baseline report; a drop of more than 20 points
-/// on any workload is a regression.
-void checkAgainst(const std::string &Path,
-                  const std::vector<RowResult> &ShuffleRows) {
+/// CI gate: diffs this run's report against the committed baseline
+/// through harness::diffReports — the same comparator (and default
+/// thresholds: a recovery drop of more than 0.20 is a regression) that
+/// `spf-report diff` applies, so this gate and the throughput gate can
+/// never drift apart. \p ReportText is this run's own report JSON.
+void checkAgainst(const std::string &Path, const std::string &ReportText) {
   std::ifstream IS(Path);
   if (!IS) {
     reportFailure("--check-against: cannot read " + Path);
@@ -195,28 +197,29 @@ void checkAgainst(const std::string &Path,
   std::stringstream SS;
   SS << IS.rdbuf();
   std::string Error;
-  std::unique_ptr<harness::JsonValue> Doc =
+  std::unique_ptr<harness::JsonValue> Baseline =
       harness::JsonValue::parse(SS.str(), &Error);
-  if (!Doc) {
+  if (!Baseline) {
     reportFailure("--check-against: " + Path + ": " + Error);
     return;
   }
-  for (const harness::JsonValue &V : Doc->get("variants").array()) {
-    if (V.getString("gc_variant") != "address-shuffle")
-      continue;
-    for (const harness::JsonValue &W : V.get("workloads").array()) {
-      double Baseline = W.getDouble("recovery");
-      for (const RowResult &R : ShuffleRows) {
-        if (R.Workload != W.getString("workload"))
-          continue;
-        if (R.Recovery < Baseline - 0.20)
-          reportFailure(
-              "recovery regression on " + R.Workload +
-              " (address-shuffle): " + std::to_string(R.Recovery) +
-              " vs baseline " + std::to_string(Baseline));
-      }
-    }
+  std::unique_ptr<harness::JsonValue> Fresh =
+      harness::JsonValue::parse(ReportText, &Error);
+  if (!Fresh) {
+    reportFailure("--check-against: this run's report: " + Error);
+    return;
   }
+  harness::DiffResult D =
+      harness::diffReports(*Baseline, *Fresh, harness::DiffThresholds());
+  if (!D.Comparable) {
+    reportFailure("--check-against: " + D.Error);
+    return;
+  }
+  for (const harness::DiffFinding &F : D.Findings)
+    if (F.Regression)
+      reportFailure("--check-against: " + F.Where + ": " + F.Detail +
+                    " (baseline " + std::to_string(F.Ref) + ", this run " +
+                    std::to_string(F.Got) + ")");
 }
 
 } // namespace
@@ -299,7 +302,6 @@ int main(int argc, char **argv) {
   reportPlanFailures(Result);
 
   std::vector<std::vector<RowResult>> Folded;
-  std::vector<RowResult> ShuffleRows;
   for (size_t K = 0; K != std::size(PerturbingVariants); ++K) {
     vm::GcVariant V = PerturbingVariants[K];
     std::vector<RowResult> Rows;
@@ -328,7 +330,6 @@ int main(int argc, char **argv) {
       Rows.push_back(std::move(R));
     }
     if (V == vm::GcVariant::AddressShuffle) {
-      ShuffleRows = Rows;
       if (Recovered < MinRecovered)
         reportFailure(
             "address-shuffle: only " + std::to_string(Recovered) + " of " +
@@ -338,9 +339,6 @@ int main(int argc, char **argv) {
     }
     Folded.push_back(std::move(Rows));
   }
-
-  if (!CheckPath.empty())
-    checkAgainst(CheckPath, ShuffleRows);
 
   auto WriteReport = [&](std::ostream &OS) {
     harness::JsonWriter J(OS);
@@ -366,6 +364,14 @@ int main(int argc, char **argv) {
     J.endObject();
     OS << '\n';
   };
+  if (!CheckPath.empty()) {
+    // Diff against the baseline before the final report is written, so
+    // the written report's `failures` count includes any regression the
+    // gate finds (matching the pre-comparator behavior).
+    std::ostringstream Snapshot;
+    WriteReport(Snapshot);
+    checkAgainst(CheckPath, Snapshot.str());
+  }
   if (OutPath == "-") {
     WriteReport(std::cout);
   } else {

@@ -634,8 +634,12 @@ int main(int argc, char **argv) {
   // cell; with all four at their defaults this is a no-op and the sweep
   // is byte-identical to the classic single-epoch run.
   AdaptationKnobs Adapt = adaptationFromArgs(argc, argv);
-  for (harness::ExperimentCell &C : Plan.cells())
+  for (harness::ExperimentCell &C : Plan.cells()) {
     Adapt.applyTo(C.Opt);
+    // --timeline-every N / SPF_TIMELINE: sample the cycle attribution
+    // in every cell (0, the default, keeps the report byte-identical).
+    C.Opt.TimelineEvery = cli().TimelineEvery;
+  }
   if (Adapt.Epochs > 1 || Adapt.Governor)
     std::printf("sweep: epochs=%u gc-variant=%s governor=%s%s\n",
                 Adapt.Epochs, vm::gcVariantName(Adapt.GcVariant),

@@ -113,9 +113,7 @@ void Interpreter::collectGarbage() {
       Roots.push_back(&F->Regs[Id]);
   Gc.collect(Heap, Roots);
   ++Stats.GcRuns;
-  // Charge a nominal pause; GC cost is not part of the paper's metric
-  // (best-run steady-state timing), so keep it small but nonzero.
-  Sink.tick(10000);
+  Sink.tick(GcPauseTicks);
 }
 
 vm::Addr Interpreter::allocate(const Instruction *I, const Frame &F) {

@@ -30,6 +30,14 @@
 namespace spf {
 namespace exec {
 
+/// Nominal compute ticks charged per garbage collection pause — by the
+/// interpreter's allocation-pressure collections and by the runner's
+/// epoch-boundary collections alike. GC cost is not part of the paper's
+/// metric (best-run steady-state timing), so it is small but nonzero;
+/// the report layer uses the same constant to split the GC-pause share
+/// out of the Compute cycle category.
+constexpr uint64_t GcPauseTicks = 10000;
+
 /// Execution statistics accumulated across calls.
 struct ExecStats {
   /// Retired instructions (phis excluded; prefetches included, since the

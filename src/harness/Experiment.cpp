@@ -212,6 +212,28 @@ std::string siteStatsHash(const std::vector<sim::SiteStats> &Sites) {
   return Buf;
 }
 
+/// Top-K load sites by stall-cycle attribution, descending (ties broken
+/// by site id, so the ordering — and the report bytes — are
+/// deterministic). Feeds the report's top_sites key; RetireLocked
+/// precomputes it before streaming aggregation frees Run.Sites, so
+/// streamed and in-memory sweeps emit identical tables.
+constexpr size_t TopSitesK = 8;
+std::vector<std::pair<uint32_t, sim::SiteStats>>
+topStallSites(const std::vector<sim::SiteStats> &Sites) {
+  std::vector<std::pair<uint32_t, sim::SiteStats>> Out;
+  for (uint32_t I = 0; I != Sites.size(); ++I)
+    if (Sites[I].StallCycles)
+      Out.emplace_back(I, Sites[I]);
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    if (A.second.StallCycles != B.second.StallCycles)
+      return A.second.StallCycles > B.second.StallCycles;
+    return A.first < B.first;
+  });
+  if (Out.size() > TopSitesK)
+    Out.resize(TopSitesK);
+  return Out;
+}
+
 } // namespace
 
 ExperimentResult harness::runPlan(const ExperimentPlan &Plan,
@@ -356,7 +378,8 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
       if (auto E = Cache->lookup(Sig)) {
         ++Cell.Attempts;
         obs::Tracer::instance().instant("trace-hit", {{"tag", cellTag(C)}});
-        Cell.Run = workloads::replayTrace(E->ExecSide, E->Buf, Opt.Machine);
+        Cell.Run = workloads::replayTrace(E->ExecSide, E->Buf, Opt.Machine,
+                                          Opt.TimelineEvery);
         Cell.Ran = true;
         return;
       }
@@ -644,6 +667,8 @@ ExperimentResult harness::runPlan(const ExperimentPlan &Plan, unsigned Jobs,
     }
     Cell.FoldedSiteCount = Cell.Run.Sites.size();
     Cell.FoldedSiteHash = siteStatsHash(Cell.Run.Sites);
+    if (Plan.cells()[I].Opt.TimelineEvery && Cell.TopSites.empty())
+      Cell.TopSites = topStallSites(Cell.Run.Sites);
     Cell.SitesFolded = true;
     std::vector<sim::SiteStats>().swap(Cell.Run.Sites);
     Cell.Run.Decisions.clear();
@@ -941,6 +966,68 @@ void harness::writeJsonReport(std::ostream &OS, const ExperimentPlan &Plan,
     J.key("site_stats_hash")
         .value(Cell.SitesFolded ? Cell.FoldedSiteHash
                                 : siteStatsHash(R.Sites));
+    // Cycle-accounting facets, conditional on the cell sampling a
+    // timeline — classic sweeps carry none of these keys and stay
+    // byte-identical. cycle_breakdown is the CPI stack: every simulated
+    // cycle charged to exactly one category, summing to `cycles`. The
+    // GC-pause share is split out of compute here at the report layer
+    // (each collection charges exactly one tick(exec::GcPauseTicks) in
+    // the interpreter, so the split is exact, not an estimate).
+    if (C.Opt.TimelineEvery) {
+      auto WriteAcctKeys = [&](const sim::CycleAccounting &A) {
+        for (size_t L = 0; L != A.Level.size(); ++L)
+          J.key("l" + std::to_string(L + 1)).value(A.Level[L]);
+        J.key("wait").value(A.Wait);
+        J.key("mem_penalty").value(A.MemPenalty);
+        J.key("translation").value(A.Translation);
+        J.key("guard_fault").value(A.GuardFault);
+        J.key("prefetch_issue").value(A.PrefetchIssue);
+      };
+      uint64_t GcPause =
+          R.GcCollections * exec::GcPauseTicks * C.Opt.Machine.ComputeCycles;
+      if (GcPause > R.Acct.Compute)
+        GcPause = R.Acct.Compute;
+      J.key("cycle_breakdown").beginObject();
+      J.key("compute").value(R.Acct.Compute - GcPause);
+      J.key("gc_pause").value(GcPause);
+      WriteAcctKeys(R.Acct);
+      J.key("total").value(R.Acct.total());
+      J.endObject();
+      J.key("timeline").beginArray();
+      for (const obs::TimelineSample &S : R.Timeline) {
+        J.beginObject();
+        J.key("event").value(S.EventIndex);
+        if (S.Boundary)
+          J.key("boundary").value(true);
+        J.key("cycles").value(S.Cycles);
+        J.key("compute").value(S.Acct.Compute);
+        WriteAcctKeys(S.Acct);
+        J.key("loads").value(S.Loads);
+        J.key("sw_issued").value(S.SwIssued);
+        J.key("sw_useful").value(S.SwUseful);
+        J.key("sw_late").value(S.SwLate);
+        J.key("sw_unused").value(S.SwUnused);
+        J.endObject();
+      }
+      J.endArray();
+      std::vector<std::pair<uint32_t, sim::SiteStats>> TopLocal;
+      if (!Cell.SitesFolded)
+        TopLocal = topStallSites(R.Sites);
+      const std::vector<std::pair<uint32_t, sim::SiteStats>> &Top =
+          Cell.SitesFolded ? Cell.TopSites : TopLocal;
+      J.key("top_sites").beginArray();
+      for (const auto &P : Top) {
+        J.beginObject();
+        J.key("site").value(static_cast<uint64_t>(P.first));
+        J.key("loads").value(P.second.Loads);
+        J.key("stall_cycles").value(P.second.StallCycles);
+        J.key("l1_misses").value(P.second.L1Misses);
+        J.key("l2_misses").value(P.second.L2Misses);
+        J.key("dtlb_misses").value(P.second.DtlbMisses);
+        J.endObject();
+      }
+      J.endArray();
+    }
     // Wall-clock bookkeeping — which cell recorded vs replayed depends
     // on scheduling; consumers comparing reports must ignore these
     // (see .github/workflows/ci.yml, replay-vs-direct diff).

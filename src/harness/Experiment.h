@@ -103,6 +103,10 @@ struct CellResult {
   bool SitesFolded = false;
   uint64_t FoldedSiteCount = 0;  ///< Run.Sites.size() before folding.
   std::string FoldedSiteHash;    ///< siteStatsHash before folding.
+  /// Top-K load sites by stall cycles, precomputed before streaming
+  /// aggregation frees Run.Sites (timeline cells only — the report's
+  /// top_sites key). (SiteId, stats) pairs, descending StallCycles.
+  std::vector<std::pair<uint32_t, sim::SiteStats>> TopSites;
 };
 
 /// One quarantined cell in the final report: a cell that was retried,

@@ -51,6 +51,13 @@ std::string harness::journalCellKey(const ExperimentPlan &Plan, unsigned I) {
   // (Unset) keep the legacy key format, so existing journals still load.
   if (C.Mode != PrefetchSources::Unset)
     Key += std::string("mode=") + prefetchSourcesName(C.Mode) + "|";
+  // Timeline cadence is part of the identity too: TimelineEvery is
+  // deliberately absent from the execution signature (it never shapes
+  // the event stream), but a record journaled without timeline samples
+  // cannot satisfy a resume that wants them — and vice versa the report
+  // must not suddenly grow keys. Classic cells (0) keep the legacy key.
+  if (C.Opt.TimelineEvery)
+    Key += "timeline=" + std::to_string(C.Opt.TimelineEvery) + "|";
   std::string Sig = workloads::executionSignature(*C.Spec, C.Opt);
   if (!Sig.empty()) {
     Key += Sig;
@@ -184,19 +191,63 @@ void harness::writeCellRecordJson(JsonWriter &J, const CellResult &Cell) {
   J.key("spec_loads")
       .value(static_cast<uint64_t>(R.Prefetch.CodeGen.SpecLoads));
   J.endObject();
+  // Cycle attribution and the sampled timeline ride along only for
+  // sampling runs (Timeline is nonempty iff TimelineEvery > 0 — the
+  // sampler always appends a final sample), so classic records stay
+  // byte-identical. Both are flat tuples: acct is
+  // [compute, wait, mem_penalty, translation, guard_fault,
+  // prefetch_issue, l1..lN]; each timeline sample prepends
+  // [event, boundary, cycles] and appends [loads, sw_issued, sw_useful,
+  // sw_late, sw_unused] around the same acct layout.
+  if (!R.Timeline.empty()) {
+    auto WriteAcct = [&](const sim::CycleAccounting &A) {
+      J.value(A.Compute);
+      J.value(A.Wait);
+      J.value(A.MemPenalty);
+      J.value(A.Translation);
+      J.value(A.GuardFault);
+      J.value(A.PrefetchIssue);
+      for (uint64_t L : A.Level)
+        J.value(L);
+    };
+    J.key("acct").beginArray();
+    WriteAcct(R.Acct);
+    J.endArray();
+    J.key("timeline").beginArray();
+    for (const obs::TimelineSample &S : R.Timeline) {
+      J.beginArray();
+      J.value(S.EventIndex);
+      J.value(static_cast<uint64_t>(S.Boundary ? 1 : 0));
+      J.value(S.Cycles);
+      J.value(S.Loads);
+      J.value(S.SwIssued);
+      J.value(S.SwUseful);
+      J.value(S.SwLate);
+      J.value(S.SwUnused);
+      WriteAcct(S.Acct);
+      J.endArray();
+    }
+    J.endArray();
+  }
   // Per-site stats as compact 4-tuples; Prefetch.Loops (diagnostic-only
   // per-loop reports, referencing freed analyses) are dropped, matching
   // what the trace cache persists.
   // Health-tracked runs widen every tuple to 12 (the 8 prefetch-health
   // fields appended); runs without health data keep the classic 4-tuple
-  // byte for byte.
+  // byte for byte. Stall attribution appends one more column (5/13)
+  // whenever any site carries stall cycles — records parse at any of
+  // the four widths, older columns first.
   bool SiteHealth = false;
-  for (const sim::SiteStats &S : R.Sites)
+  bool SiteStall = false;
+  for (const sim::SiteStats &S : R.Sites) {
     if (S.SwIssued || S.SwUseful || S.SwLate || S.SwUnused || S.RptIssued ||
-        S.RptUseful || S.RptLate || S.RptUnused) {
+        S.RptUseful || S.RptLate || S.RptUnused)
       SiteHealth = true;
+    if (S.StallCycles)
+      SiteStall = true;
+    if (SiteHealth && SiteStall)
       break;
-    }
+  }
   J.key("sites").beginArray();
   for (const sim::SiteStats &S : R.Sites) {
     J.beginArray();
@@ -214,6 +265,8 @@ void harness::writeCellRecordJson(JsonWriter &J, const CellResult &Cell) {
       J.value(S.RptLate);
       J.value(S.RptUnused);
     }
+    if (SiteStall)
+      J.value(S.StallCycles);
     J.endArray();
   }
   J.endArray();
@@ -315,16 +368,18 @@ bool harness::parseCellRecord(const JsonValue &V, CellResult &Cell) {
   if (Sites.kind() == JsonValue::Kind::Array) {
     R.Sites.reserve(Sites.array().size());
     for (const JsonValue &S : Sites.array()) {
-      // 4 = classic tuple, 12 = with the prefetch-health columns.
-      if (S.kind() != JsonValue::Kind::Array ||
-          (S.array().size() != 4 && S.array().size() != 12))
+      // 4 = classic tuple, 12 = with the prefetch-health columns; 5/13
+      // append the stall-cycle column. Older widths parse with the
+      // missing columns left zero.
+      size_t N = S.kind() == JsonValue::Kind::Array ? S.array().size() : 0;
+      if (N != 4 && N != 5 && N != 12 && N != 13)
         return false;
       sim::SiteStats St;
       St.Loads = S.array()[0].u64();
       St.L1Misses = S.array()[1].u64();
       St.L2Misses = S.array()[2].u64();
       St.DtlbMisses = S.array()[3].u64();
-      if (S.array().size() == 12) {
+      if (N >= 12) {
         St.SwIssued = S.array()[4].u64();
         St.SwUseful = S.array()[5].u64();
         St.SwLate = S.array()[6].u64();
@@ -334,7 +389,50 @@ bool harness::parseCellRecord(const JsonValue &V, CellResult &Cell) {
         St.RptLate = S.array()[10].u64();
         St.RptUnused = S.array()[11].u64();
       }
+      if (N == 5 || N == 13)
+        St.StallCycles = S.array()[N - 1].u64();
       R.Sites.push_back(St);
+    }
+  }
+  // Inverse of the acct/timeline tuples above; absent members (classic
+  // records) leave Acct zeroed and Timeline empty.
+  auto ParseAcct = [](const JsonValue &A, sim::CycleAccounting &Out,
+                      size_t From) {
+    Out.Compute = A.array()[From + 0].u64();
+    Out.Wait = A.array()[From + 1].u64();
+    Out.MemPenalty = A.array()[From + 2].u64();
+    Out.Translation = A.array()[From + 3].u64();
+    Out.GuardFault = A.array()[From + 4].u64();
+    Out.PrefetchIssue = A.array()[From + 5].u64();
+    Out.Level.clear();
+    for (size_t I = From + 6; I < A.array().size(); ++I)
+      Out.Level.push_back(A.array()[I].u64());
+  };
+  if (Run.has("acct")) {
+    const JsonValue &A = Run.get("acct");
+    if (A.kind() != JsonValue::Kind::Array || A.array().size() < 6)
+      return false;
+    ParseAcct(A, R.Acct, 0);
+  }
+  if (Run.has("timeline")) {
+    const JsonValue &T = Run.get("timeline");
+    if (T.kind() != JsonValue::Kind::Array)
+      return false;
+    R.Timeline.reserve(T.array().size());
+    for (const JsonValue &S : T.array()) {
+      if (S.kind() != JsonValue::Kind::Array || S.array().size() < 14)
+        return false;
+      obs::TimelineSample Sample;
+      Sample.EventIndex = S.array()[0].u64();
+      Sample.Boundary = S.array()[1].u64() != 0;
+      Sample.Cycles = S.array()[2].u64();
+      Sample.Loads = S.array()[3].u64();
+      Sample.SwIssued = S.array()[4].u64();
+      Sample.SwUseful = S.array()[5].u64();
+      Sample.SwLate = S.array()[6].u64();
+      Sample.SwUnused = S.array()[7].u64();
+      ParseAcct(S, Sample.Acct, 8);
+      R.Timeline.push_back(Sample);
     }
   }
 

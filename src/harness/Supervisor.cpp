@@ -135,7 +135,8 @@ void harness::runCellWorker(const ExperimentPlan &Plan,
       bool Replayed = false;
       if (!Sig.empty()) {
         if (auto E = Cache->lookup(Sig)) {
-          Cell.Run = workloads::replayTrace(E->ExecSide, E->Buf, Opt.Machine);
+          Cell.Run = workloads::replayTrace(E->ExecSide, E->Buf, Opt.Machine,
+                                            Opt.TimelineEvery);
           Replayed = true;
         }
       }

@@ -74,15 +74,29 @@ Histogram &StatRegistry::histogram(const std::string &Name) {
 
 void StatRegistry::writeProm(std::ostream &OS) const {
   std::lock_guard<std::mutex> Lock(Mu);
-  for (const auto &[Name, C] : Counters) {
+  // Prometheus naming conventions are enforced at exposition time only
+  // (writeJson keeps raw registry names): every monotonic counter gets
+  // the _total suffix — names already carrying it are unchanged — and
+  // every metric gets its # HELP line ahead of # TYPE. The rename map
+  // is documented in DESIGN.md ("Prometheus naming").
+  auto Total = [](const std::string &Name) {
+    if (Name.size() >= 6 && Name.compare(Name.size() - 6, 6, "_total") == 0)
+      return Name;
+    return Name + "_total";
+  };
+  for (const auto &[RawName, C] : Counters) {
+    std::string Name = Total(RawName);
+    OS << "# HELP " << Name << " Monotonic event count.\n";
     OS << "# TYPE " << Name << " counter\n";
     OS << Name << ' ' << C->value() << '\n';
   }
   for (const auto &[Name, G] : Gauges) {
+    OS << "# HELP " << Name << " Current value.\n";
     OS << "# TYPE " << Name << " gauge\n";
     OS << Name << ' ' << G->value() << '\n';
   }
   for (const auto &[Name, H] : Histograms) {
+    OS << "# HELP " << Name << " Sample distribution.\n";
     OS << "# TYPE " << Name << " histogram\n";
     // Cumulative bucket counts up to the last non-empty bucket, then
     // +Inf, per the Prometheus exposition format.

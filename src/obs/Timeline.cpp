@@ -1,0 +1,121 @@
+//===- obs/Timeline.cpp - Phase-timeline sampling -------------------------===//
+
+#include "obs/Timeline.h"
+
+#include "obs/Tracer.h"
+
+using namespace spf;
+using namespace spf::obs;
+
+TimelineSampler::TimelineSampler(sim::MemorySystem &Mem, uint64_t Every,
+                                 size_t MaxSamples)
+    : Mem(Mem), Every(Every ? Every : 1),
+      MaxSamples(MaxSamples < 8 ? 8 : MaxSamples),
+      NextSampleAt(this->Every) {}
+
+void TimelineSampler::takeSample(bool IsBoundary) {
+  TimelineSample S;
+  S.EventIndex = EventCount;
+  S.Boundary = IsBoundary;
+  S.Cycles = Mem.cycles();
+  S.Acct = Mem.acct();
+  const sim::MemoryStats &M = Mem.stats();
+  S.Loads = M.Loads;
+  S.SwIssued = M.SwPrefetchesIssued;
+  S.SwUseful = M.SwPrefetchesUseful;
+  S.SwLate = M.SwPrefetchesLate;
+  S.SwUnused = M.SwPrefetchesUnused;
+  Samples.push_back(std::move(S));
+  if (!IsBoundary)
+    NextSampleAt += Every;
+  if (Samples.size() < MaxSamples)
+    return;
+  // Over budget: halve the resolution. Both replay and live runs see the
+  // same event stream, so they decimate at the same sample and keep the
+  // same survivors — the timeline stays bit-identical across paths.
+  Every *= 2;
+  std::vector<TimelineSample> Kept;
+  Kept.reserve(Samples.size() / 2 + 8);
+  bool Keep = true;
+  for (TimelineSample &T : Samples) {
+    if (T.Boundary) {
+      Kept.push_back(std::move(T));
+      continue;
+    }
+    if (Keep)
+      Kept.push_back(std::move(T));
+    Keep = !Keep;
+  }
+  Samples = std::move(Kept);
+  NextSampleAt = EventCount + Every;
+}
+
+void TimelineSampler::consume(const exec::AccessEvent *Events, size_t N) {
+  size_t I = 0;
+  while (I != N) {
+    // Scan to the next snapshot point, then hand the whole sub-block to
+    // the MemorySystem's batched path in one call. Two stop shapes:
+    // *before* a memory event when a boundary sample is due (so the
+    // snapshot includes every merged tick ahead of it), *after* the
+    // N-th memory event for the periodic cadence.
+    size_t Begin = I;
+    bool Periodic = false;
+    while (I != N) {
+      bool IsMem = Events[I].Kind != exec::EventKind::Tick;
+      if (IsMem && boundaryDue())
+        break;
+      ++I;
+      if (IsMem && ++EventCount == NextSampleAt) {
+        Periodic = true;
+        break;
+      }
+    }
+    if (I != Begin)
+      Mem.consume(Events + Begin, I - Begin);
+    if (Periodic)
+      takeSample(/*IsBoundary=*/false);
+    else if (I != N)
+      firePre(); // Boundary due right before Events[I].
+  }
+}
+
+void TimelineSampler::boundary() {
+  BoundaryEvents.push_back(EventCount);
+  ++PendingBoundaries;
+}
+
+void TimelineSampler::setBoundaries(std::vector<uint64_t> Indices) {
+  Boundaries = std::move(Indices);
+  NextBoundary = 0;
+}
+
+void TimelineSampler::finish() {
+  firePre();
+  takeSample(/*IsBoundary=*/false);
+}
+
+void obs::emitTimelineCounters(const std::vector<TimelineSample> &Timeline,
+                               const std::string &Lane) {
+  Tracer &T = Tracer::instance();
+  if (!T.active() || Timeline.empty())
+    return;
+  for (const TimelineSample &S : Timeline) {
+    TraceEvent E;
+    E.Name = Lane;
+    E.Cat = "spf-timeline";
+    E.Ph = 'C';
+    // The counter lane's time axis is *simulated* cycles, not wall
+    // clock: the phase structure of the run is what the timeline shows,
+    // and it is identical whether the cell was interpreted or replayed.
+    E.TsUs = S.Cycles;
+    E.NumArgs.emplace_back("compute", S.Acct.Compute);
+    for (size_t L = 0; L != S.Acct.Level.size(); ++L)
+      E.NumArgs.emplace_back("l" + std::to_string(L + 1), S.Acct.Level[L]);
+    E.NumArgs.emplace_back("wait", S.Acct.Wait);
+    E.NumArgs.emplace_back("mem_penalty", S.Acct.MemPenalty);
+    E.NumArgs.emplace_back("translation", S.Acct.Translation);
+    E.NumArgs.emplace_back("guard_fault", S.Acct.GuardFault);
+    E.NumArgs.emplace_back("prefetch_issue", S.Acct.PrefetchIssue);
+    T.record(std::move(E));
+  }
+}

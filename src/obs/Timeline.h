@@ -1,0 +1,191 @@
+//===- obs/Timeline.h - Phase-timeline sampling of cycle attribution -*- C++ -*-===//
+///
+/// \file
+/// Time-series sampling of the MemorySystem's cycle attribution and
+/// prefetch-health counters: a TimelineSampler interposes on the
+/// access-event stream (live interpretation or trace replay alike) and
+/// snapshots the cumulative CycleAccounting every N *memory* events,
+/// plus one flagged sample at every epoch/GC boundary the runner
+/// announces.
+///
+/// The sampling cadence deliberately counts memory events only
+/// (loads/stores/prefetches/guarded loads), never ticks: the trace
+/// recorder run-length-merges consecutive tick() calls into one Tick
+/// event, so tick *call counts* differ between live interpretation and
+/// replay while memory events map one-to-one. Counting only the latter
+/// makes every sample land at the same point — and therefore carry the
+/// same cycle values — on both paths, which the timeline determinism
+/// test pins.
+///
+/// Boundary samples cannot be derived from the event stream (a GC pause
+/// is just another merged Tick), so the runner records each boundary's
+/// memory-event index into RunResult::BoundaryEvents; replay feeds that
+/// list back via setBoundaries() and the sampler re-fires the snapshots
+/// at the recorded indices. A boundary snapshot is defined as the state
+/// *immediately before the first memory event after the boundary* — the
+/// only point near the boundary that both paths can agree on, because
+/// the compute ticks around it (previous epoch's tail, the GC pause,
+/// the next epoch's head) are merged into one indivisible Tick event in
+/// the trace. Periodic snapshots are "immediately after the N-th memory
+/// event", which is equally well-defined on both paths.
+///
+/// The sampler is pure mechanism and always compiled; policy lives with
+/// the callers (bench binaries only turn it on when observability is
+/// enabled, keeping SPF_OBS=0 runs byte-identical).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPF_OBS_TIMELINE_H
+#define SPF_OBS_TIMELINE_H
+
+#include "exec/AccessSink.h"
+#include "sim/MemorySystem.h"
+
+#include <string>
+#include <vector>
+
+namespace spf {
+namespace obs {
+
+/// One snapshot of the cumulative simulation state, taken after the
+/// EventIndex-th memory event.
+struct TimelineSample {
+  uint64_t EventIndex = 0; ///< Memory events consumed so far.
+  bool Boundary = false;   ///< Epoch/GC boundary sample (vs periodic).
+  uint64_t Cycles = 0;     ///< Cumulative simulated cycles.
+  sim::CycleAccounting Acct; ///< Cumulative attribution; total()==Cycles.
+  uint64_t Loads = 0;
+  uint64_t SwIssued = 0; ///< MemoryStats::SwPrefetchesIssued.
+  uint64_t SwUseful = 0;
+  uint64_t SwLate = 0;
+  uint64_t SwUnused = 0;
+
+  bool operator==(const TimelineSample &) const = default;
+};
+
+/// AccessSink shim that forwards everything to a MemorySystem and
+/// snapshots it on the configured cadence. Blocks handed to consume()
+/// are split at sample points and forwarded block-wise, so the
+/// MemorySystem's batched fast path stays engaged between samples (the
+/// block-dispatch contract makes the split invisible to it).
+class TimelineSampler final : public exec::AccessSink {
+public:
+  /// Samples every \p Every memory events (must be nonzero). At most
+  /// \p MaxSamples are retained: on overflow the cadence doubles and
+  /// every other periodic sample is dropped (boundary samples are always
+  /// kept) — deterministically, so live and replay decimate identically.
+  explicit TimelineSampler(sim::MemorySystem &Mem, uint64_t Every,
+                           size_t MaxSamples = 4096);
+
+  void tick(uint64_t N) override { Mem.tick(N); }
+  void load(uint64_t Addr, exec::SiteId Site) override {
+    firePre();
+    Mem.load(Addr, Site);
+    noteMemEvent();
+  }
+  void store(uint64_t Addr) override {
+    firePre();
+    Mem.store(Addr);
+    noteMemEvent();
+  }
+  void prefetch(uint64_t Addr) override {
+    firePre();
+    Mem.prefetch(Addr);
+    noteMemEvent();
+  }
+  void prefetch(uint64_t Addr, exec::SiteId Site) override {
+    firePre();
+    Mem.prefetch(Addr, Site);
+    noteMemEvent();
+  }
+  void guardedLoad(uint64_t Addr) override {
+    firePre();
+    Mem.guardedLoad(Addr);
+    noteMemEvent();
+  }
+  void guardedLoad(uint64_t Addr, exec::SiteId Site) override {
+    firePre();
+    Mem.guardedLoad(Addr, Site);
+    noteMemEvent();
+  }
+  void guardedLoadFault() override {
+    firePre();
+    Mem.guardedLoadFault();
+    noteMemEvent();
+  }
+  void guardedLoadFault(exec::SiteId Site) override {
+    firePre();
+    Mem.guardedLoadFault(Site);
+    noteMemEvent();
+  }
+  void consume(const exec::AccessEvent *Events, size_t N) override;
+
+  /// Live-run epoch/GC boundary: records the current memory-event index
+  /// for replay and arms a flagged sample that fires immediately before
+  /// the next memory event (or at finish()).
+  void boundary();
+
+  /// Replay: re-fire boundary samples at these recorded memory-event
+  /// indices (ascending; duplicates fire one sample each).
+  void setBoundaries(std::vector<uint64_t> Indices);
+
+  /// Fires any boundary still due and appends the final sample. Call
+  /// once, after the last event; the timeline is never empty afterwards.
+  void finish();
+
+  const std::vector<TimelineSample> &samples() const { return Samples; }
+  std::vector<TimelineSample> takeSamples() { return std::move(Samples); }
+  /// Boundary indices recorded by boundary() calls (live runs).
+  std::vector<uint64_t> takeBoundaryEvents() {
+    return std::move(BoundaryEvents);
+  }
+
+private:
+  void noteMemEvent() {
+    if (++EventCount == NextSampleAt)
+      takeSample(/*IsBoundary=*/false);
+  }
+  bool boundaryDue() const {
+    return PendingBoundaries ||
+           (NextBoundary < Boundaries.size() &&
+            Boundaries[NextBoundary] <= EventCount);
+  }
+  /// Fires every boundary sample due at the current event index — armed
+  /// live via boundary() or scheduled via setBoundaries(). Called before
+  /// each memory event is forwarded.
+  void firePre() {
+    while (PendingBoundaries) {
+      takeSample(/*IsBoundary=*/true);
+      --PendingBoundaries;
+    }
+    while (NextBoundary < Boundaries.size() &&
+           Boundaries[NextBoundary] <= EventCount) {
+      takeSample(/*IsBoundary=*/true);
+      ++NextBoundary;
+    }
+  }
+  void takeSample(bool IsBoundary);
+
+  sim::MemorySystem &Mem;
+  uint64_t Every;
+  size_t MaxSamples;
+  uint64_t EventCount = 0;
+  uint64_t NextSampleAt;
+  unsigned PendingBoundaries = 0; ///< Armed by boundary(), live runs.
+  std::vector<TimelineSample> Samples;
+  std::vector<uint64_t> BoundaryEvents; ///< Recorded by boundary().
+  std::vector<uint64_t> Boundaries;     ///< Scheduled by setBoundaries().
+  size_t NextBoundary = 0;
+};
+
+/// Emits one Chrome-trace 'C' counter event per sample into the process
+/// Tracer (no-op when the tracer is inactive): the cycle categories as
+/// numeric args on a simulated-cycles time axis, giving a stacked
+/// CPI-over-time lane per cell next to the existing phase spans.
+void emitTimelineCounters(const std::vector<TimelineSample> &Timeline,
+                          const std::string &Lane);
+
+} // namespace obs
+} // namespace spf
+
+#endif // SPF_OBS_TIMELINE_H

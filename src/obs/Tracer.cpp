@@ -99,9 +99,11 @@ static void writeEventJson(harness::JsonWriter &J, const TraceEvent &E) {
   J.key("tid").value(E.Tid);
   if (E.Ph == 'i')
     J.key("s").value("t"); // Instant scope: thread.
-  if (!E.Args.empty()) {
+  if (!E.Args.empty() || !E.NumArgs.empty()) {
     J.key("args").beginObject();
     for (const auto &[K, V] : E.Args)
+      J.key(K).value(V);
+    for (const auto &[K, V] : E.NumArgs)
       J.key(K).value(V);
     J.endObject();
   }
@@ -182,11 +184,12 @@ Tracer::parseEventsJson(const harness::JsonValue &V) {
       if (Args.kind() == harness::JsonValue::Kind::Object) {
         // JsonValue keeps object members sorted by key; argument order
         // is presentational only, so that is fine.
-        for (const auto &[K, AV] : Args.objectMembers())
-          E.Args.emplace_back(
-              K, AV.kind() == harness::JsonValue::Kind::String
-                     ? AV.str()
-                     : std::to_string(AV.u64()));
+        for (const auto &[K, AV] : Args.objectMembers()) {
+          if (AV.kind() == harness::JsonValue::Kind::String)
+            E.Args.emplace_back(K, AV.str());
+          else
+            E.NumArgs.emplace_back(K, AV.u64());
+        }
       }
     }
     Out.push_back(std::move(E));

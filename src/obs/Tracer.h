@@ -49,13 +49,17 @@ namespace obs {
 struct TraceEvent {
   std::string Name;
   std::string Cat = "spf";
-  char Ph = 'X';      ///< 'X' complete span, 'i' instant.
+  char Ph = 'X';      ///< 'X' complete span, 'i' instant, 'C' counter.
   uint64_t TsUs = 0;  ///< CLOCK_MONOTONIC microseconds.
   uint64_t DurUs = 0; ///< Span duration ('X' only).
   uint64_t Pid = 0;
   uint64_t Tid = 0;
-  /// Extra "args" key/value pairs (all serialized as strings).
+  /// Extra "args" key/value pairs (serialized as strings).
   std::vector<std::pair<std::string, std::string>> Args;
+  /// Numeric "args" entries, serialized as JSON numbers — required for
+  /// 'C' counter events, whose values chrome://tracing plots as stacked
+  /// series. Written after Args in the args object.
+  std::vector<std::pair<std::string, uint64_t>> NumArgs;
 };
 
 /// Process-wide event collector. Inactive (and free) until enable().

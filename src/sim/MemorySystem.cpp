@@ -37,6 +37,7 @@ MemorySystem::MemorySystem(const MachineConfig &Cfg)
   CacheLevels.reserve(Cfg.Levels.size());
   for (const CacheLevel &L : Cfg.Levels)
     CacheLevels.emplace_back(L.Geometry);
+  Acct.Level.assign(Cfg.Levels.size(), 0);
   // RPT effectiveness is tracked whenever the RPT runs: its fills only
   // land in the last level, which the batched fast path's L1/TLB cursors
   // never shortcut, so tagging there is fast-path safe.
@@ -164,9 +165,12 @@ uint64_t MemorySystem::translationCost(uint64_t Addr) {
 uint64_t MemorySystem::demandAccess(uint64_t Addr, bool IsLoad,
                                     SiteStats *Site) {
   uint64_t Cost = Cfg.Levels[0].HitCycles;
+  Acct.Level[0] += Cost;
 
   if (!Dtlb.access(Addr)) {
-    Cost += translationCost(Addr);
+    uint64_t TransCost = translationCost(Addr);
+    Cost += TransCost;
+    Acct.Translation += TransCost;
     if (IsLoad) {
       ++Stats.DtlbLoadMisses;
       if (Site)
@@ -177,6 +181,7 @@ uint64_t MemorySystem::demandAccess(uint64_t Addr, bool IsLoad,
   CacheAccessResult R1 = CacheLevels[0].access(Addr, Cycles);
   if (R1.Hit) {
     Cost += R1.WaitCycles;
+    Acct.Wait += R1.WaitCycles;
     // A sizeable wait means the line was filled by an in-flight prefetch:
     // architecturally this was a miss, so keep training the hardware
     // prefetcher (otherwise software prefetching would starve it).
@@ -194,9 +199,11 @@ uint64_t MemorySystem::demandAccess(uint64_t Addr, bool IsLoad,
     unsigned Lvl = 1;
     for (; Lvl != NumLevels; ++Lvl) {
       Cost += Cfg.Levels[Lvl].HitCycles;
+      Acct.Level[Lvl] += Cfg.Levels[Lvl].HitCycles;
       CacheAccessResult R = CacheLevels[Lvl].access(Addr, Cycles);
       if (R.Hit) {
         Cost += R.WaitCycles;
+        Acct.Wait += R.WaitCycles;
         if (R.WaitCycles > HwTrainThreshold)
           hwPrefetchOnMiss(Addr);
         break;
@@ -213,6 +220,7 @@ uint64_t MemorySystem::demandAccess(uint64_t Addr, bool IsLoad,
     }
     if (Lvl == NumLevels) {
       Cost += Cfg.MemPenalty;
+      Acct.MemPenalty += Cfg.MemPenalty;
       hwPrefetchOnMiss(Addr);
     }
   }
@@ -231,7 +239,9 @@ void MemorySystem::load(uint64_t Addr, exec::SiteId Site) {
   // miss), keyed by load site — the simulator's stand-in for the PC.
   if (RptActive)
     rptObserveLoad(Site, Addr, Cycles);
-  Stats.CyclesStalledOnLoads += demandAccess(Addr, /*IsLoad=*/true, &S);
+  uint64_t Cost = demandAccess(Addr, /*IsLoad=*/true, &S);
+  Stats.CyclesStalledOnLoads += Cost;
+  S.StallCycles += Cost;
 }
 
 void MemorySystem::store(uint64_t Addr) {
@@ -258,6 +268,7 @@ void MemorySystem::prefetchImpl(uint64_t Addr, exec::SiteId Site) {
   if (SwHealth)
     ++siteFor(Site).SwIssued;
   Cycles += Cfg.PrefetchIssueCost;
+  Acct.PrefetchIssue += Cfg.PrefetchIssueCost;
 
   // "The processor cancels the execution of the instruction when a data
   //  translation lookaside buffer miss will occur." (Section 3.3)
@@ -282,6 +293,7 @@ void MemorySystem::guardedLoadImpl(uint64_t Addr, exec::SiteId Site) {
   if (SwHealth)
     ++siteFor(Site).SwIssued;
   Cycles += Cfg.GuardedLoadCost;
+  Acct.PrefetchIssue += Cfg.GuardedLoadCost;
 
   // A real load: walks the page table if needed (priming the DTLB — on a
   // walked-TLB machine the walk's page-table accesses go through the
@@ -314,6 +326,7 @@ void MemorySystem::guardedLoadFaultImpl(exec::SiteId Site) {
   if (SwHealth)
     ++siteFor(Site).SwIssued;
   Cycles += Cfg.GuardFaultCost;
+  Acct.GuardFault += Cfg.GuardFaultCost;
 }
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -353,8 +366,21 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
   // before any fallback, which may touch the site table).
   size_t CurSite = NSites; // No run pending.
   uint64_t CurSiteLoads = 0;
+  uint64_t CurSiteStall = 0;
+  // Attribution deltas for the three categories the fast path charges
+  // itself (everything else goes through member calls, which
+  // self-account); flushed add-then-zero alongside the clock.
+  uint64_t AcctCompute = 0;
+  uint64_t AcctL0 = 0;
+  uint64_t AcctFault = 0;
   Tlb::BlockCursor TlbCur(Dtlb);
   Cache::BlockCursor L1Cur(CacheLevels[0]);
+  auto FlushAcct = [&] {
+    Acct.Compute += AcctCompute;
+    Acct.Level[0] += AcctL0;
+    Acct.GuardFault += AcctFault;
+    AcctCompute = AcctL0 = AcctFault = 0;
+  };
   // Writes every register-held counter back to its home and empties the
   // site run; the member state is then exactly what per-event dispatch
   // would have produced.
@@ -362,9 +388,12 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
     Cycles = Cyc;
     Stats.Loads = NLoads;
     Stats.CyclesStalledOnLoads = Stalled;
+    FlushAcct();
     if (CurSiteLoads) {
       SiteArr[CurSite].Loads += CurSiteLoads;
+      SiteArr[CurSite].StallCycles += CurSiteStall;
       CurSiteLoads = 0;
+      CurSiteStall = 0;
     }
     CurSite = NSites;
     TlbCur.flush();
@@ -385,6 +414,7 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
   // TLB/L1 counter windows.
   auto SyncMachine = [&] {
     Cycles = Cyc;
+    FlushAcct();
     TlbCur.flush();
     L1Cur.flush();
   };
@@ -398,6 +428,7 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
     switch (E.Kind) {
     case exec::EventKind::Tick:
       Cyc += E.Value * ComputeC;
+      AcctCompute += E.Value * ComputeC;
       break;
     case exec::EventKind::Load: {
       size_t TlbSlot, L1Slot;
@@ -414,14 +445,19 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
         if (E.Site == CurSite) {
           ++CurSiteLoads;
         } else {
-          if (CurSiteLoads)
+          if (CurSiteLoads) {
             SiteArr[CurSite].Loads += CurSiteLoads;
+            SiteArr[CurSite].StallCycles += CurSiteStall;
+          }
           CurSite = E.Site;
           CurSiteLoads = 1;
+          CurSiteStall = 0;
         }
         if (RptOn)
           rptObserveLoad(E.Site, E.Value, Cyc);
         Stalled += HitCost;
+        CurSiteStall += HitCost;
+        AcctL0 += HitCost;
         Cyc += HitCost;
         break;
       }
@@ -448,6 +484,7 @@ void MemorySystem::consume(const exec::AccessEvent *Events, size_t N) {
     case exec::EventKind::GuardedLoadFault:
       ++Stats.GuardedLoadFaults;
       Cyc += Cfg.GuardFaultCost;
+      AcctFault += Cfg.GuardFaultCost;
       break;
     }
   }

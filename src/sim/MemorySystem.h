@@ -83,6 +83,46 @@ struct MemoryStats {
   bool operator==(const MemoryStats &) const = default;
 };
 
+/// Exact attribution of every cycle the MemorySystem charges. Each
+/// charge site adds to exactly one category (plus the clock), so
+/// total() == MemorySystem::cycles() is a hard invariant on every
+/// machine and on both the per-event and the batched replay paths —
+/// pinned by tests/acct_test.cpp. The GC-pause share is not split out
+/// here: GC pauses reach the sim as ordinary compute ticks, so the
+/// report layer derives gc_pause = pauses * GcPauseTicks * ComputeCycles
+/// and subtracts it from Compute (see harness::cycleBreakdown).
+struct CycleAccounting {
+  /// tick() charges: N * ComputeCycles (includes GC pause ticks).
+  uint64_t Compute = 0;
+  /// Per-cache-level probe charges (index = level): level 0's base
+  /// HitCycles on every demand access plus each deeper probed level's
+  /// HitCycles.
+  std::vector<uint64_t> Level;
+  /// Extra wait on hits to lines still in flight from a prefetch.
+  uint64_t Wait = 0;
+  /// Full-miss memory round trips on demand accesses.
+  uint64_t MemPenalty = 0;
+  /// DTLB-miss translation: the flat penalty on Flat machines, the
+  /// demand page walk's full cost on Walked machines (equals
+  /// MemoryStats::PageWalkCycles there). Guarded-load priming walks are
+  /// latency-hidden and charge neither the clock nor any category.
+  uint64_t Translation = 0;
+  /// Guarded-load guard failures (recovery branch cost).
+  uint64_t GuardFault = 0;
+  /// Software prefetch issue + guarded-load issue overhead.
+  uint64_t PrefetchIssue = 0;
+
+  uint64_t total() const {
+    uint64_t T = Compute + Wait + MemPenalty + Translation + GuardFault +
+                 PrefetchIssue;
+    for (uint64_t L : Level)
+      T += L;
+    return T;
+  }
+
+  bool operator==(const CycleAccounting &) const = default;
+};
+
 /// Per-load-site counters (index = exec::SiteId, assigned by the
 /// interpreter in first-execution order and carried by the trace).
 struct SiteStats {
@@ -90,6 +130,11 @@ struct SiteStats {
   uint64_t L1Misses = 0;
   uint64_t L2Misses = 0;
   uint64_t DtlbMisses = 0;
+  /// Total demand-access cycles this site's loads charged (hit latency
+  /// plus every miss/TLB penalty) — the per-site share of
+  /// MemoryStats::CyclesStalledOnLoads. Not part of siteStatsHash (the
+  /// folded-stream hash stays pinned to the original four fields).
+  uint64_t StallCycles = 0;
   /// Prefetch-health attribution (opt::Governor's evidence). Sw* counts
   /// the site's plan prefetches / guarded loads and the resolution of
   /// their tagged fills; populated only when health tracking is enabled
@@ -117,7 +162,11 @@ public:
   const MachineConfig &config() const { return Cfg; }
 
   /// Advances the clock for \p N non-memory instructions.
-  void tick(uint64_t N) override { Cycles += N * Cfg.ComputeCycles; }
+  void tick(uint64_t N) override {
+    uint64_t C = N * Cfg.ComputeCycles;
+    Cycles += C;
+    Acct.Compute += C;
+  }
 
   /// Demand load at \p Addr, attributed to load site \p Site. Advances
   /// the clock by the access cost.
@@ -182,6 +231,8 @@ public:
 
   uint64_t cycles() const { return Cycles; }
   const MemoryStats &stats() const { return Stats; }
+  /// Cycle attribution; acct().total() == cycles() always holds.
+  const CycleAccounting &acct() const { return Acct; }
   /// Per-site load/miss attribution; index = SiteId, grown on demand.
   const std::vector<SiteStats> &siteStats() const { return Sites; }
 
@@ -250,6 +301,7 @@ private:
   bool SwHealth = false;
   uint64_t Cycles = 0;
   MemoryStats Stats;
+  CycleAccounting Acct;
   std::vector<SiteStats> Sites;
   std::vector<uint64_t> HwTargets; // Scratch for prefetcher output.
 };

@@ -96,11 +96,23 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
   // stream into a trace buffer (the live simulation is unaffected, so a
   // recording run's results are direct-interpretation results).
   sim::MemorySystem Mem(Opts.Machine);
-  std::optional<trace::RecordingSink> Recorder;
+  unsigned Epochs = Opts.Epochs ? Opts.Epochs : 1;
+  // The timeline sampler sits between the recorder and the machine, so
+  // it sees exactly the stream a replay would. A recording multi-epoch
+  // run keeps a dormant sampler (cadence too large to ever fire) purely
+  // to count memory events: the boundary indices it records ride with
+  // the trace and let any later replay re-fire boundary samples.
+  std::optional<obs::TimelineSampler> Sampler;
   exec::AccessSink *Sink = &Mem;
+  if (Opts.TimelineEvery || (Opts.Record && Epochs > 1)) {
+    Sampler.emplace(Mem, Opts.TimelineEvery ? Opts.TimelineEvery
+                                            : ~uint64_t(0) / 2);
+    Sink = &*Sampler;
+  }
+  std::optional<trace::RecordingSink> Recorder;
   if (Opts.Record) {
     Opts.Record->reserveEvents(Opts.ReserveEvents);
-    Recorder.emplace(Mem, *Opts.Record);
+    Recorder.emplace(*Sink, *Opts.Record);
     Sink = &*Recorder;
   }
   exec::Interpreter Interp(*W.Heap, *Sink, &W.Roots);
@@ -126,7 +138,6 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
         Roots.push_back(&Args[I]);
   };
 
-  unsigned Epochs = Opts.Epochs ? Opts.Epochs : 1;
   obs::Span SimSpan("simulate", "runner");
   SimSpan.note("workload", Spec.Name);
   auto Start = std::chrono::steady_clock::now();
@@ -140,7 +151,9 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
     for (CompileUnit &CU : W.CompileUnits)
       addRefArgRoots(CU.M, CU.Args, Roots);
     Interp.gc().collect(*W.Heap, Roots);
-    Sink->tick(10000); // Same nominal pause the interpreter charges.
+    Sink->tick(exec::GcPauseTicks); // Same pause the interpreter charges.
+    if (Sampler)
+      Sampler->boundary();
 
     if (Opts.PhaseChange && E == (Epochs + 1) / 2)
       applyPhaseChange(*W.Heap, Opts.Config.Seed);
@@ -200,7 +213,17 @@ RunResult workloads::runWorkload(const WorkloadSpec &Spec,
   Result.CompiledCycles = Mem.cycles();
   Result.Retired = Interp.stats().Retired;
   Result.Mem = Mem.stats();
+  Result.Acct = Mem.acct();
   Result.Sites = Mem.siteStats();
+  if (Sampler) {
+    Result.BoundaryEvents = Sampler->takeBoundaryEvents();
+    if (Opts.TimelineEvery) {
+      Sampler->finish();
+      Result.Timeline = Sampler->takeSamples();
+      obs::emitTimelineCounters(Result.Timeline,
+                                std::string("timeline:") + Spec.Name);
+    }
+  }
   Result.Exec = Interp.stats();
   Result.Epochs = Epochs;
   Result.GcCollections = Interp.gc().collectionCount();
@@ -292,12 +315,27 @@ std::string workloads::executionSignature(const WorkloadSpec &Spec,
 
 RunResult workloads::replayTrace(const RunResult &ExecSide,
                                  const trace::TraceBuffer &Buf,
-                                 const sim::MachineConfig &Machine) {
+                                 const sim::MachineConfig &Machine,
+                                 uint64_t TimelineEvery) {
   RunResult Result = ExecSide;
   sim::MemorySystem Mem(Machine);
   obs::Span ReplaySpan("replay-trace", "runner");
   auto Start = std::chrono::steady_clock::now();
-  bool Decoded = trace::replay(Buf, Mem);
+  bool Decoded;
+  if (TimelineEvery) {
+    obs::TimelineSampler Sampler(Mem, TimelineEvery);
+    Sampler.setBoundaries(ExecSide.BoundaryEvents);
+    Decoded = trace::replay(Buf, Sampler);
+    if (Decoded) {
+      Sampler.finish();
+      Result.Timeline = Sampler.takeSamples();
+    }
+  } else {
+    // The donor's timeline (if it sampled one) is its machine's, not
+    // ours; without a cadence this replay produces none.
+    Result.Timeline.clear();
+    Decoded = trace::replay(Buf, Mem);
+  }
   Result.ReplayUs = elapsedUs(Start);
   ReplaySpan.end();
   if (obs::enabled()) {
@@ -316,6 +354,7 @@ RunResult workloads::replayTrace(const RunResult &ExecSide,
   Result.Replayed = true;
   Result.CompiledCycles = Mem.cycles();
   Result.Mem = Mem.stats();
+  Result.Acct = Mem.acct();
   Result.Sites = Mem.siteStats();
   return Result;
 }

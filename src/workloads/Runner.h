@@ -15,6 +15,7 @@
 #include "exec/Interpreter.h"
 #include "jit/CompileManager.h"
 #include "obs/DecisionLog.h"
+#include "obs/Timeline.h"
 #include "opt/Governor.h"
 #include "sim/MemorySystem.h"
 #include "trace/TraceBuffer.h"
@@ -81,6 +82,14 @@ struct RunOptions {
   /// trace-cached (executionSignature returns "").
   bool Governor = false;
   opt::GovernorConfig GovernorCfg;
+
+  /// Timeline sampling cadence: snapshot the cycle attribution every N
+  /// memory events (obs::TimelineSampler), plus one flagged sample per
+  /// epoch boundary. 0 (the default) disables sampling entirely —
+  /// RunResult::Timeline stays empty and the run is byte-identical to a
+  /// pre-timeline run. Deliberately excluded from executionSignature:
+  /// sampling observes the event stream, never shapes it.
+  uint64_t TimelineEvery = 0;
 };
 
 /// Everything measured in one run.
@@ -88,8 +97,18 @@ struct RunResult {
   uint64_t CompiledCycles = 0; ///< Simulated cycles in compiled code.
   uint64_t Retired = 0;        ///< Retired instructions.
   sim::MemoryStats Mem;
+  /// Exact cycle attribution; Acct.total() == CompiledCycles always.
+  sim::CycleAccounting Acct;
   /// Per-load-site attribution (index = exec::SiteId).
   std::vector<sim::SiteStats> Sites;
+  /// Attribution time series (RunOptions::TimelineEvery > 0 only; never
+  /// empty then — the sampler always appends a final sample).
+  std::vector<obs::TimelineSample> Timeline;
+  /// Memory-event index of each epoch-boundary GC, recorded whenever
+  /// the run records a trace or samples a timeline. Signature-determined
+  /// (the event stream fixes it), so it rides with the execution side
+  /// through the trace cache and lets replay re-fire boundary samples.
+  std::vector<uint64_t> BoundaryEvents;
   exec::ExecStats Exec;
   double JitTotalUs = 0;    ///< Total JIT compilation time.
   double JitPrefetchUs = 0; ///< Prefetch pass share of it.
@@ -136,6 +155,8 @@ RunResult runWorkload(const WorkloadSpec &Spec, const RunOptions &Opts);
 /// runs never invoke the planner, so their signature has no machine
 /// facet at all and one baseline trace serves every machine.
 /// Returns "" for runs that cannot be keyed (TunePass without TuneKey).
+/// TimelineEvery never enters the signature: sampling is a pure
+/// observer of the stream the signature describes.
 std::string executionSignature(const WorkloadSpec &Spec,
                                const RunOptions &Opts);
 
@@ -144,10 +165,14 @@ std::string executionSignature(const WorkloadSpec &Spec,
 /// result of the run that recorded the trace: retired instructions,
 /// return value, JIT stats — all signature-determined). The returned
 /// MemoryStats/per-site stats/cycles are bit-identical to direct
-/// interpretation on \p Machine.
+/// interpretation on \p Machine. With \p TimelineEvery nonzero the
+/// replay runs through a TimelineSampler (boundary samples re-fired
+/// from ExecSide.BoundaryEvents), producing the same timeline a live
+/// run with the same cadence would.
 RunResult replayTrace(const RunResult &ExecSide,
                       const trace::TraceBuffer &Buf,
-                      const sim::MachineConfig &Machine);
+                      const sim::MachineConfig &Machine,
+                      uint64_t TimelineEvery = 0);
 
 /// Mixed-mode total-time model: compiled cycles plus the (configuration-
 /// independent) uncompiled time derived from the baseline run and the

@@ -83,6 +83,9 @@ TEST(StatRegistryTest, HistogramBucketsByBitWidth) {
 TEST(StatRegistryTest, PromDumpIsCumulative) {
   StatRegistry R;
   R.counter("spf_cells_total").inc(7);
+  // Exposition-time rename: counters registered without the Prometheus
+  // _total suffix get it in writeProm (raw name kept everywhere else).
+  R.counter("spf_widgets").inc(2);
   R.gauge("spf_depth").set(-3);
   Histogram &H = R.histogram("spf_lat_us");
   H.observe(1); // Bucket 1, bound 1.
@@ -91,9 +94,14 @@ TEST(StatRegistryTest, PromDumpIsCumulative) {
   std::ostringstream OS;
   R.writeProm(OS);
   const std::string P = OS.str();
-  EXPECT_NE(P.find("# TYPE spf_cells_total counter\nspf_cells_total 7\n"),
+  EXPECT_NE(P.find("# HELP spf_cells_total Monotonic event count.\n"
+                   "# TYPE spf_cells_total counter\nspf_cells_total 7\n"),
             std::string::npos);
-  EXPECT_NE(P.find("# TYPE spf_depth gauge\nspf_depth -3\n"),
+  EXPECT_NE(P.find("# TYPE spf_widgets_total counter\nspf_widgets_total 2\n"),
+            std::string::npos);
+  EXPECT_EQ(P.find("spf_widgets "), std::string::npos);
+  EXPECT_NE(P.find("# HELP spf_depth Current value.\n"
+                   "# TYPE spf_depth gauge\nspf_depth -3\n"),
             std::string::npos);
   EXPECT_NE(P.find("# TYPE spf_lat_us histogram\n"), std::string::npos);
   EXPECT_NE(P.find("spf_lat_us_bucket{le=\"1\"} 1\n"), std::string::npos);
